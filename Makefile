@@ -1,0 +1,28 @@
+# Developer convenience targets.
+
+PYTHON ?= python
+
+.PHONY: install test bench bench-quick examples lint clean
+
+install:
+	pip install -e . --no-build-isolation
+
+test:
+	$(PYTHON) -m pytest tests/
+
+bench:
+	$(PYTHON) -m pytest benchmarks/ --benchmark-only -s
+
+bench-quick:
+	REPRO_BENCH_SCALE=quick $(PYTHON) -m pytest benchmarks/ --benchmark-only -s
+
+examples:
+	@for script in examples/*.py; do \
+		echo "== $$script"; \
+		$(PYTHON) $$script > /dev/null || exit 1; \
+	done
+	@echo "all examples ran"
+
+clean:
+	rm -rf .pytest_cache .benchmarks build dist *.egg-info
+	find . -name __pycache__ -type d -prune -exec rm -rf {} +

@@ -1,0 +1,76 @@
+"""Ablation: the contribution of each pruning strategy (section 4).
+
+Not a table in the paper, but DESIGN.md calls out the four prunings as
+the algorithm's load-bearing design choices.  This bench mines the same
+synthetic dataset with each lossless pruning disabled in turn (and all
+disabled), reporting nodes expanded and runtime; output equality with the
+fully-pruned run is asserted every time (prunings 1-3 are lossless).
+"""
+
+from __future__ import annotations
+
+import time
+
+from conftest import PAPER_SCALE, print_block
+
+from repro.bench.report import ascii_table, format_seconds
+from repro.bench.runner import paper_mining_parameters
+from repro.core.miner import PruningConfig, RegClusterMiner
+from repro.datasets.synthetic import make_synthetic_dataset
+
+if PAPER_SCALE:
+    DATASET = dict(n_genes=800, n_conditions=20, n_clusters=8, seed=17)
+else:
+    DATASET = dict(n_genes=200, n_conditions=12, n_clusters=3, seed=17)
+
+CONFIGS = [
+    ("all prunings", PruningConfig()),
+    ("no MinG pruning (1)", PruningConfig(min_genes=False)),
+    ("no MinC reachability (2)", PruningConfig(reachability=False)),
+    ("no p-majority (3a)", PruningConfig(p_majority=False)),
+    ("no redundancy (3b)", PruningConfig(redundancy=False)),
+    ("no prunings at all", PruningConfig.none()),
+]
+
+
+def test_pruning_ablation(benchmark):
+    data = make_synthetic_dataset(**DATASET)
+    params = paper_mining_parameters(DATASET["n_genes"])
+
+    def run_all():
+        rows = []
+        results = []
+        for label, config in CONFIGS:
+            start = time.perf_counter()
+            result = RegClusterMiner(
+                data.matrix, params, prunings=config
+            ).mine()
+            seconds = time.perf_counter() - start
+            rows.append(
+                [
+                    label,
+                    result.statistics.nodes_expanded,
+                    result.statistics.candidates_examined,
+                    format_seconds(seconds),
+                ]
+            )
+            results.append(set(result.clusters))
+        return rows, results
+
+    rows, results = benchmark.pedantic(run_all, rounds=1, iterations=1)
+    print_block(
+        "Ablation: pruning strategies (1), (2), (3a), (3b)",
+        ascii_table(
+            ["configuration", "nodes", "candidates", "time"], rows
+        ),
+    )
+
+    # lossless: every configuration yields the identical cluster set
+    reference = results[0]
+    for (label, __), clusters in zip(CONFIGS, results):
+        assert clusters == reference, f"{label} changed the output"
+
+    # the full pruning stack expands the fewest nodes
+    nodes = [row[1] for row in rows]
+    assert nodes[0] == min(nodes)
+    assert nodes[-1] >= nodes[0]

@@ -1,0 +1,70 @@
+"""Figure 7: efficiency of reg-cluster on synthetic datasets.
+
+Thin benchmark wrapper around :func:`repro.experiments.run_figure7`.
+Expected shapes (the reproduction target — absolute numbers are
+hardware-bound):
+
+* runtime vs #g      : slightly more than linear;
+* runtime vs #cond   : clearly super-linear (the worst axis);
+* runtime vs #clus   : approximately linear.
+"""
+
+from __future__ import annotations
+
+from conftest import PAPER_SCALE, print_block
+
+from repro.bench.runner import paper_mining_parameters
+from repro.core.miner import RegClusterMiner
+from repro.datasets.synthetic import SyntheticConfig, make_synthetic_dataset
+from repro.experiments.fig7 import run_figure7
+
+SCALE = "paper" if PAPER_SCALE else "quick"
+
+
+def test_fig7_all_sweeps(benchmark):
+    """All three panels in one driver run (each point mines a fresh
+    dataset with the paper's Figure 7 mining parameters)."""
+    def run():
+        return run_figure7(scale=SCALE)
+
+    result = benchmark.pedantic(run, rounds=1, iterations=1)
+    print_block("Figure 7: efficiency on synthetic datasets",
+                result.render())
+
+    for sweep in result.sweeps.values():
+        assert all(p.seconds > 0 for p in sweep.points)
+    # the paper's qualitative claim: conditions scale worse than linear
+    assert result.growth_ratio("n_conditions") > 1.0
+    # ... and worse than the other two axes
+    assert result.growth_ratio("n_conditions") > result.growth_ratio(
+        "n_genes"
+    )
+    assert result.growth_ratio("n_conditions") > result.growth_ratio(
+        "n_clusters"
+    )
+
+
+def test_fig7_single_default_run(benchmark):
+    """One mining run at the generator defaults (the sweeps' center)."""
+    config = (
+        SyntheticConfig()
+        if PAPER_SCALE
+        else SyntheticConfig(n_genes=400, n_conditions=16, n_clusters=6)
+    )
+    data = make_synthetic_dataset(config)
+    params = paper_mining_parameters(config.n_genes)
+
+    def run():
+        return RegClusterMiner(data.matrix, params).mine()
+
+    result = benchmark.pedantic(run, rounds=3, iterations=1)
+    print_block(
+        "Figure 7 center point",
+        [
+            f"matrix: {data.matrix.n_genes} x {data.matrix.n_conditions}, "
+            f"{data.n_embedded} embedded clusters",
+            f"clusters found: {len(result)}",
+            f"nodes expanded: {result.statistics.nodes_expanded}",
+        ],
+    )
+    assert len(result) > 0

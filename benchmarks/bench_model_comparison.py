@@ -1,0 +1,55 @@
+"""Figures 1, 2 and 4: model-comparison experiments.
+
+Thin benchmark wrappers around :mod:`repro.experiments.model_comparison`;
+each test runs the driver, prints its rendered report and asserts the
+paper's claims hold.
+"""
+
+from __future__ import annotations
+
+from conftest import print_block
+
+from repro.experiments.model_comparison import (
+    run_figure1,
+    run_figure2,
+    run_figure4,
+)
+
+
+def test_fig1_pattern_universality(benchmark):
+    """Figure 1: only reg-cluster groups all six patterns at once."""
+    result = benchmark(run_figure1)
+    print_block(
+        "Figure 1: P1 = P2-5 = P3-15 = P4 = P5/1.5 = P6/3", result.render()
+    )
+    assert result.shifting_groups_subfamily
+    assert result.scaling_groups_subfamily
+    assert not result.shifting_groups_all
+    assert not result.scaling_groups_all
+    assert result.reg_cluster_groups_all
+
+
+def test_fig2_negative_correlation(benchmark):
+    """Figure 2: only reg-cluster groups g1, g2, g3 on the chain."""
+    result = benchmark(run_figure2)
+    print_block(
+        "Figure 2: negative correlation on the running example",
+        result.render(),
+    )
+    assert not result.shifting_accepts
+    assert not result.scaling_accepts
+    assert result.memberships == {"g1": "p", "g2": "n", "g3": "p"}
+
+
+def test_fig4_outlier(benchmark):
+    """Figure 4: tendency models accept the outlier, reg-cluster rejects,
+    pattern models find nothing at all."""
+    result = benchmark(run_figure4)
+    print_block(
+        "Figure 4: the outlier g2 on {c2, c4, c8, c10}", result.render()
+    )
+    gene_sets = [set(genes) for genes in result.reg_cluster_gene_sets]
+    assert result.tendency_groups_all
+    assert {0, 2} in gene_sets
+    assert {0, 1, 2} not in gene_sets
+    assert not result.pattern_models_relate_g1_g3

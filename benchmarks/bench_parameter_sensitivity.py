@@ -1,0 +1,106 @@
+"""Parameter sensitivity (extension): gamma, epsilon, MinG, MinC sweeps.
+
+The paper fixes one parameter setting per experiment; this bench charts
+how each mining knob shapes runtime and output volume on a fixed
+synthetic dataset, filling in the sensitivity analysis DESIGN.md calls
+out.  Expected shapes:
+
+* raising **gamma** shrinks the regulated-pair graph → fewer, smaller
+  clusters, faster search;
+* raising **epsilon** widens coherence windows → more (and wider)
+  clusters, slower search;
+* raising **MinG** / **MinC** prunes harder → monotonically fewer
+  clusters.
+"""
+
+from __future__ import annotations
+
+import time
+
+from conftest import PAPER_SCALE, print_block
+
+from repro.bench.report import ascii_table, format_seconds
+from repro.core.miner import MiningParameters, RegClusterMiner
+from repro.datasets.synthetic import make_synthetic_dataset
+
+if PAPER_SCALE:
+    DATASET = dict(n_genes=1000, n_conditions=24, n_clusters=10, seed=23,
+                   gene_fraction=0.02)
+else:
+    DATASET = dict(n_genes=300, n_conditions=14, n_clusters=4, seed=23,
+                   gene_fraction=0.04)
+
+BASELINE = dict(min_genes=10, min_conditions=6, gamma=0.1, epsilon=0.01)
+
+
+def _sweep(data, knob, values):
+    rows = []
+    counts = []
+    for value in values:
+        params = MiningParameters(**{**BASELINE, knob: value})
+        start = time.perf_counter()
+        result = RegClusterMiner(data.matrix, params).mine()
+        seconds = time.perf_counter() - start
+        rows.append([f"{knob}={value}", len(result),
+                     result.statistics.nodes_expanded,
+                     format_seconds(seconds)])
+        counts.append(len(result))
+    return rows, counts
+
+
+def test_gamma_sensitivity(benchmark):
+    data = make_synthetic_dataset(**DATASET)
+
+    def run():
+        return _sweep(data, "gamma", [0.02, 0.05, 0.1, 0.15, 0.2])
+
+    rows, counts = benchmark.pedantic(run, rounds=1, iterations=1)
+    print_block(
+        "Sensitivity: regulation threshold gamma",
+        ascii_table(["setting", "clusters", "nodes", "time"], rows),
+    )
+    # a stricter regulation test can only remove regulated pairs,
+    # so the trend in output volume is non-increasing overall
+    assert counts[0] >= counts[-1]
+
+
+def test_epsilon_sensitivity(benchmark):
+    data = make_synthetic_dataset(**DATASET)
+
+    def run():
+        return _sweep(data, "epsilon", [0.0, 0.01, 0.05, 0.2])
+
+    rows, counts = benchmark.pedantic(run, rounds=1, iterations=1)
+    print_block(
+        "Sensitivity: coherence threshold epsilon",
+        ascii_table(["setting", "clusters", "nodes", "time"], rows),
+    )
+    assert counts[-1] >= counts[0]  # looser coherence -> more output
+
+
+def test_min_genes_sensitivity(benchmark):
+    data = make_synthetic_dataset(**DATASET)
+
+    def run():
+        return _sweep(data, "min_genes", [5, 10, 15, 20, 25])
+
+    rows, counts = benchmark.pedantic(run, rounds=1, iterations=1)
+    print_block(
+        "Sensitivity: MinG",
+        ascii_table(["setting", "clusters", "nodes", "time"], rows),
+    )
+    assert all(a >= b for a, b in zip(counts, counts[1:]))
+
+
+def test_min_conditions_sensitivity(benchmark):
+    data = make_synthetic_dataset(**DATASET)
+
+    def run():
+        return _sweep(data, "min_conditions", [4, 5, 6, 7, 8])
+
+    rows, counts = benchmark.pedantic(run, rounds=1, iterations=1)
+    print_block(
+        "Sensitivity: MinC",
+        ascii_table(["setting", "clusters", "nodes", "time"], rows),
+    )
+    assert counts[0] >= counts[-1]

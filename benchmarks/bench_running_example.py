@@ -1,0 +1,90 @@
+"""Benchmarks on the paper's running example (Table 1).
+
+Regenerates the worked examples: the RWave^0.15 models of Figure 3, the
+enumeration outcome of Figure 6 (exactly one validated chain,
+``c7 <- c9 <- c5 <- c1 <- c3``), and the Figure 2 cluster content.
+"""
+
+from __future__ import annotations
+
+from conftest import print_block
+
+from repro.core.miner import MiningParameters, RegClusterMiner
+from repro.core.rwave import RWaveIndex, build_rwave
+from repro.core.trace import SearchTrace
+from repro.datasets.running_example import load_running_example
+
+PARAMS = MiningParameters(
+    min_genes=3, min_conditions=5, gamma=0.15, epsilon=0.1
+)
+
+
+def test_fig3_rwave_construction(benchmark):
+    """Figure 3: build the RWave^0.15 models of g1..g3."""
+    matrix = load_running_example()
+    index = benchmark(RWaveIndex, matrix, 0.15)
+    lines = []
+    for gene in range(3):
+        model = build_rwave(matrix, gene, 0.15)
+        lines.append(
+            f"g{gene + 1} (gamma_i = {model.threshold:g}):"
+        )
+        lines.append(model.render(matrix.condition_names))
+    print_block("Figure 3: RWave^0.15 models", lines)
+    assert len(index) == 3
+
+
+def test_fig6_enumeration(benchmark):
+    """Figure 6: the full depth-first enumeration with prunings."""
+    matrix = load_running_example()
+
+    def run():
+        return RegClusterMiner(matrix, PARAMS).mine()
+
+    result = benchmark(run)
+    cluster = result[0]
+    tracer = SearchTrace()
+    RegClusterMiner(matrix, PARAMS, tracer=tracer).mine()
+    lines = [
+        "parameters: MinG=3 MinC=5 gamma=0.15 epsilon=0.1",
+        f"validated representative regulation chains: {len(result)}",
+        cluster.describe(matrix),
+        "",
+        "enumeration tree (paper Figure 6):",
+        tracer.render(matrix.condition_names),
+        "",
+        "search statistics:",
+    ]
+    lines += [
+        f"  {key} = {value}"
+        for key, value in result.statistics.as_dict().items()
+    ]
+    print_block("Figure 6: enumeration of the running example", lines)
+
+    assert len(result) == 1
+    assert [matrix.condition_names[c] for c in cluster.chain] == [
+        "c7", "c9", "c5", "c1", "c3",
+    ]
+    assert cluster.p_members == (0, 2)
+    assert cluster.n_members == (1,)
+
+
+def test_fig2_cluster_relationships(benchmark):
+    """Figure 2: the mined cluster exhibits the printed affine relations."""
+    matrix = load_running_example()
+    result = RegClusterMiner(matrix, PARAMS).mine()
+    cluster = result[0]
+
+    fits = benchmark(cluster.affine_fits, matrix, 2)  # reference g3
+    lines = ["fitted d_g = s1 * d_g3 + s2 on the cluster's conditions:"]
+    for gene, fit in sorted(fits.items()):
+        lines.append(
+            f"  g{gene + 1}: s1 = {fit.scaling:+.3f}, s2 = {fit.shifting:+.3f}"
+            f" (residual {fit.residual:.2g})"
+        )
+    print_block("Figure 2: shifting-and-scaling relations", lines)
+
+    assert abs(fits[0].scaling - 2.5) < 1e-9
+    assert abs(fits[0].shifting + 5.0) < 1e-9
+    assert abs(fits[1].scaling + 2.5) < 1e-9
+    assert abs(fits[1].shifting - 35.0) < 1e-9

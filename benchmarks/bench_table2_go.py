@@ -1,0 +1,37 @@
+"""Table 2: GO term enrichment of the discovered bi-reg-clusters.
+
+Thin benchmark wrapper around :func:`repro.experiments.run_table2`,
+reusing the session's Figure 8 mining run.  The reproduction target: per
+reported cluster, the top term in each GO namespace is the module's
+characteristic term, at an extremely low hypergeometric p-value.
+"""
+
+from __future__ import annotations
+
+from conftest import print_block
+
+from repro.datasets.yeast import DEFAULT_MODULES
+from repro.experiments.table2 import run_table2
+
+
+def test_table2_go_enrichment(benchmark, figure8_run):
+    def build():
+        return run_table2(figure8_run)
+
+    result = benchmark.pedantic(build, rounds=1, iterations=1)
+    print_block(
+        "Table 2: top GO terms of the discovered biclusters",
+        result.render(),
+    )
+
+    modules = {m.name: m for m in DEFAULT_MODULES}
+    assert len(result.rows) == 3
+    for row in result.rows:
+        module = modules[row.module_name]
+        best = row.top_terms
+        assert best["biological_process"].name == module.process
+        assert best["molecular_function"].name == module.function
+        assert best["cellular_component"].name == module.component
+        # "extremely low p-values" — orders of magnitude below chance
+        assert all(p < 1e-2 for p in row.p_values())
+        assert best["biological_process"].p_value < 1e-6

@@ -1,0 +1,41 @@
+"""Shared fixtures for the benchmark suite.
+
+Set ``REPRO_BENCH_SCALE=quick`` to shrink the workloads (useful on slow
+machines); the default reproduces the paper's experiment sizes.
+
+The yeast effectiveness run (Figure 8 / Table 2) is mined once per
+session — via :func:`repro.experiments.run_figure8` — and shared between
+the benchmarks that report on it.
+"""
+
+from __future__ import annotations
+
+import os
+from typing import List
+
+import pytest
+
+from repro.experiments.fig8 import Figure8Result, run_figure8
+
+PAPER_SCALE = os.environ.get("REPRO_BENCH_SCALE", "paper") != "quick"
+
+
+@pytest.fixture(scope="session")
+def bench_scale() -> str:
+    return "paper" if PAPER_SCALE else "quick"
+
+
+@pytest.fixture(scope="session")
+def figure8_run() -> Figure8Result:
+    """The section 5.2 mining run, performed once per session."""
+    shape = (2884, 17) if PAPER_SCALE else (600, 17)
+    return run_figure8(shape=shape)
+
+
+def print_block(title: str, lines: "List[str] | str") -> None:
+    """Print a clearly delimited report block inside benchmark output."""
+    body = lines if isinstance(lines, str) else "\n".join(lines)
+    print()
+    print(f"=== {title} " + "=" * max(1, 70 - len(title)))
+    print(body)
+    print("=" * 74)

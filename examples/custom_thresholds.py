@@ -1,0 +1,102 @@
+#!/usr/bin/env python
+"""Custom regulation thresholds: the section 3.1 alternatives in action.
+
+The reg-cluster model defines "significant" regulation through a
+per-gene threshold.  Equation 4 (the default) uses a fraction of each
+gene's expression range; the paper notes that other thresholds — the
+average closest-pair difference [18], a normalized (variability-based)
+threshold [17], the average expression level [5] — "can be used where
+appropriate".  This example mines the same dataset under each strategy
+and contrasts the outputs, including the degenerate *global constant*
+threshold the paper argues against.
+
+Run with:  python examples/custom_thresholds.py
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+from repro import ExpressionMatrix, MiningParameters, RegClusterMiner
+from repro.core.thresholds import (
+    closest_pair_average,
+    constant,
+    mean_fraction,
+    normalized_std,
+    range_fraction,
+)
+
+
+def sensitivity_matrix() -> ExpressionMatrix:
+    """Two co-regulated families with sensitivities 100x apart.
+
+    Genes h1..h3 swing across hundreds of units, genes l1..l3 across a
+    few — the hormone-E2 situation the paper cites for using *local*
+    thresholds.  Both families follow the same shifting-and-scaling
+    pattern on conditions c1..c5.
+    """
+    base = np.array([0.0, 1.0, 2.0, 3.0, 4.0])
+    rng = np.random.default_rng(0)
+    rows = {
+        "h1": 100.0 * base,
+        "h2": 150.0 * base + 20.0,
+        "h3": -120.0 * base + 520.0,
+        "l1": 1.0 * base,
+        "l2": 1.5 * base + 0.2,
+        "l3": -1.2 * base + 5.2,
+    }
+    values = np.vstack(list(rows.values()))
+    noise_cols = rng.uniform(0, 1, size=(6, 3))
+    # three extra unstructured conditions so ranges are not degenerate
+    scale = np.array([400.0, 600.0, 480.0, 4.0, 6.0, 4.8])[:, None]
+    return ExpressionMatrix(
+        np.hstack([values, noise_cols * scale * 0.5]),
+        gene_names=list(rows),
+    )
+
+
+def main() -> None:
+    matrix = sensitivity_matrix()
+    params = MiningParameters(
+        min_genes=3, min_conditions=5, gamma=0.15, epsilon=0.05
+    )
+
+    strategies = {
+        "range_fraction (Eq. 4, default)": range_fraction(matrix, 0.15),
+        "closest_pair_average [18]": closest_pair_average(matrix, 1.0),
+        "normalized_std [17]": normalized_std(matrix, 0.4),
+        "mean_fraction [5]": mean_fraction(matrix, 0.2),
+        "constant (global, anti-pattern)": constant(matrix, 50.0),
+    }
+
+    print("per-gene thresholds under each strategy:")
+    header = f"{'strategy':<34}" + "".join(
+        f"{name:>8}" for name in matrix.gene_names
+    )
+    print(header)
+    for label, thresholds in strategies.items():
+        cells = "".join(f"{t:8.2f}" for t in thresholds)
+        print(f"{label:<34}{cells}")
+    print()
+
+    print("mining outcome (both families form reg-clusters on c1..c5):")
+    for label, thresholds in strategies.items():
+        result = RegClusterMiner(
+            matrix, params, thresholds=thresholds
+        ).mine()
+        families = set()
+        for cluster in result.clusters:
+            names = {matrix.gene_names[g][0] for g in cluster.genes}
+            families |= names
+        print(
+            f"  {label:<34} {len(result)} cluster(s); "
+            f"families found: {sorted(families) or '-'}"
+        )
+    print()
+    print("note how the global constant threshold (50.0) silences the")
+    print("low-sensitivity family entirely: its swings never reach the")
+    print("threshold, which is exactly why the paper uses local gamma_i.")
+
+
+if __name__ == "__main__":
+    main()

@@ -1,0 +1,63 @@
+"""reg-cluster: shifting-and-scaling co-regulation pattern mining.
+
+A full reproduction of "Mining Shifting-and-Scaling Co-Regulation
+Patterns on Gene Expression Profiles" (ICDE 2006): the reg-cluster model
+and RWave^gamma-based mining algorithm, the baselines it is compared
+against, the paper's datasets (or offline surrogates), and the evaluation
+machinery behind every table and figure.
+
+Quickstart
+----------
+>>> from repro import load_running_example, mine_reg_clusters
+>>> result = mine_reg_clusters(load_running_example(), min_genes=3,
+...                            min_conditions=5, gamma=0.15, epsilon=0.1)
+>>> print(result.clusters[0].describe())
+reg-cluster 3 genes x 5 conditions
+  chain     : c7 <- c9 <- c5 <- c1 <- c3
+  p-members : g1, g3
+  n-members : g2
+"""
+
+from repro.core import (
+    MiningParameters,
+    MiningResult,
+    PruningConfig,
+    RegCluster,
+    RegClusterMiner,
+    RWaveIndex,
+    RWaveModel,
+    build_rwave,
+    is_valid_reg_cluster,
+    mine_reg_clusters,
+    validation_errors,
+)
+from repro.datasets import (
+    SyntheticConfig,
+    load_running_example,
+    make_synthetic_dataset,
+    make_yeast_surrogate,
+)
+from repro.matrix import ExpressionMatrix, load_expression_matrix
+
+__version__ = "1.0.0"
+
+__all__ = [
+    "__version__",
+    "ExpressionMatrix",
+    "load_expression_matrix",
+    "MiningParameters",
+    "MiningResult",
+    "PruningConfig",
+    "RegCluster",
+    "RegClusterMiner",
+    "RWaveModel",
+    "RWaveIndex",
+    "build_rwave",
+    "mine_reg_clusters",
+    "validation_errors",
+    "is_valid_reg_cluster",
+    "load_running_example",
+    "make_synthetic_dataset",
+    "SyntheticConfig",
+    "make_yeast_surrogate",
+]

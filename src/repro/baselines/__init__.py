@@ -1,0 +1,78 @@
+"""Baseline models and miners the paper compares reg-cluster against."""
+
+from repro.baselines.cheng_church import (
+    ChengChurchMiner,
+    mean_squared_residue,
+    mine_msr_biclusters,
+)
+from repro.baselines.common import Bicluster
+from repro.baselines.delta_cluster import DeltaClusterMiner, mine_delta_clusters
+from repro.baselines.fullspace import (
+    GeneClustering,
+    correlation_distance_matrix,
+    hierarchical_clusters,
+    kmeans_clusters,
+)
+from repro.baselines.opsm import OPSMMiner, OPSMModel, mine_opsm
+from repro.baselines.pcluster_fast import (
+    FastPClusterMiner,
+    gene_pair_mds,
+    mine_pclusters_fast,
+)
+from repro.baselines.pcluster import (
+    PClusterMiner,
+    is_pcluster,
+    max_pscore,
+    mine_pclusters,
+    pscore,
+)
+from repro.baselines.tendency import (
+    OrderPreservingCluster,
+    TendencyMiner,
+    mine_tendency_clusters,
+    supports_order,
+)
+from repro.baselines.tricluster import (
+    TriClusterMiner,
+    is_scaling_cluster,
+    mine_scaling_clusters,
+    ratio_range,
+)
+
+__all__ = [
+    "Bicluster",
+    # pCluster (pure shifting)
+    "pscore",
+    "max_pscore",
+    "is_pcluster",
+    "PClusterMiner",
+    "mine_pclusters",
+    "FastPClusterMiner",
+    "gene_pair_mds",
+    "mine_pclusters_fast",
+    # TriCluster-style (pure scaling)
+    "ratio_range",
+    "is_scaling_cluster",
+    "TriClusterMiner",
+    "mine_scaling_clusters",
+    # tendency / order preserving
+    "OPSMModel",
+    "OPSMMiner",
+    "mine_opsm",
+    "supports_order",
+    "OrderPreservingCluster",
+    "TendencyMiner",
+    "mine_tendency_clusters",
+    # Cheng-Church
+    "mean_squared_residue",
+    "ChengChurchMiner",
+    "mine_msr_biclusters",
+    # delta-cluster / FLOC
+    "DeltaClusterMiner",
+    "mine_delta_clusters",
+    # full space
+    "correlation_distance_matrix",
+    "hierarchical_clusters",
+    "kmeans_clusters",
+    "GeneClustering",
+]

@@ -1,0 +1,60 @@
+"""Shared bicluster value object for the baseline algorithms.
+
+The baselines predate the reg-cluster model and know nothing about
+regulation chains or p/n orientation — their result is a plain (gene set,
+condition set) bicluster.  A light value object keeps their outputs
+comparable to each other and convertible for the evaluation machinery.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import FrozenSet, Iterable, Tuple
+
+import numpy as np
+
+from repro.matrix.expression import ExpressionMatrix
+
+__all__ = ["Bicluster"]
+
+
+@dataclass(frozen=True)
+class Bicluster:
+    """An unordered genes x conditions bicluster."""
+
+    genes: Tuple[int, ...]
+    conditions: Tuple[int, ...]
+
+    def __post_init__(self) -> None:
+        object.__setattr__(
+            self, "genes", tuple(sorted(set(int(g) for g in self.genes)))
+        )
+        object.__setattr__(
+            self,
+            "conditions",
+            tuple(sorted(set(int(c) for c in self.conditions))),
+        )
+
+    @property
+    def shape(self) -> Tuple[int, int]:
+        return (len(self.genes), len(self.conditions))
+
+    def cells(self) -> FrozenSet[Tuple[int, int]]:
+        """The (gene, condition) cells the bicluster covers."""
+        return frozenset((g, c) for g in self.genes for c in self.conditions)
+
+    def submatrix(self, matrix: ExpressionMatrix) -> np.ndarray:
+        """The raw value block of this bicluster."""
+        return matrix.values[np.ix_(self.genes, self.conditions)]
+
+    def contains(self, other: "Bicluster") -> bool:
+        """Set containment on both axes."""
+        return set(other.genes) <= set(self.genes) and set(
+            other.conditions
+        ) <= set(self.conditions)
+
+    @classmethod
+    def from_iterables(
+        cls, genes: Iterable[int], conditions: Iterable[int]
+    ) -> "Bicluster":
+        return cls(tuple(genes), tuple(conditions))

@@ -1,0 +1,147 @@
+"""Full-space clustering baselines (refs [10, 23]).
+
+The classic first-generation tools for expression profiles: agglomerative
+hierarchical clustering with correlation distance (Eisen et al.) and
+k-means (Tavazoie et al.).  Both evaluate similarity over *all*
+conditions and assign each gene to exactly one cluster — the two
+structural limitations (no subspace, no overlap) that motivated
+biclustering in the first place.
+
+Implemented directly on numpy; no external clustering library needed.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import List, Tuple
+
+import numpy as np
+
+from repro.matrix.expression import ExpressionMatrix
+
+__all__ = [
+    "correlation_distance_matrix",
+    "hierarchical_clusters",
+    "kmeans_clusters",
+    "GeneClustering",
+]
+
+
+@dataclass(frozen=True)
+class GeneClustering:
+    """A full-space partition of genes."""
+
+    labels: Tuple[int, ...]
+    n_clusters: int
+
+    def members(self, cluster: int) -> Tuple[int, ...]:
+        """Genes assigned to one cluster."""
+        return tuple(
+            g for g, label in enumerate(self.labels) if label == cluster
+        )
+
+    def clusters(self) -> List[Tuple[int, ...]]:
+        """All clusters as gene-id tuples (empty clusters omitted)."""
+        return [
+            members
+            for c in range(self.n_clusters)
+            if (members := self.members(c))
+        ]
+
+
+def correlation_distance_matrix(matrix: ExpressionMatrix) -> np.ndarray:
+    """Pairwise ``1 - Pearson correlation`` over all conditions.
+
+    Constant genes have undefined correlation; they get distance 1
+    (uncorrelated) to everything, matching common tool behaviour.
+    """
+    values = matrix.values
+    centered = values - values.mean(axis=1, keepdims=True)
+    norms = np.linalg.norm(centered, axis=1)
+    safe = np.where(norms == 0, 1.0, norms)
+    unit = centered / safe[:, None]
+    corr = unit @ unit.T
+    corr[norms == 0, :] = 0.0
+    corr[:, norms == 0] = 0.0
+    np.fill_diagonal(corr, 1.0)
+    return 1.0 - np.clip(corr, -1.0, 1.0)
+
+
+def hierarchical_clusters(
+    matrix: ExpressionMatrix, n_clusters: int
+) -> GeneClustering:
+    """Average-linkage agglomerative clustering on correlation distance.
+
+    O(n^3) in gene count — the textbook algorithm, fine for the
+    comparison experiments.
+    """
+    n = matrix.n_genes
+    if not 1 <= n_clusters <= n:
+        raise ValueError(f"n_clusters must be in [1, {n}]")
+    distance = correlation_distance_matrix(matrix)
+    active = list(range(n))
+    members = {i: [i] for i in range(n)}
+    dist = {
+        (i, j): float(distance[i, j])
+        for i in range(n)
+        for j in range(i + 1, n)
+    }
+
+    next_id = n
+    while len(active) > n_clusters:
+        (a, b), __ = min(dist.items(), key=lambda kv: (kv[1], kv[0]))
+        merged = members.pop(a) + members.pop(b)
+        members[next_id] = merged
+        active = [x for x in active if x not in (a, b)]
+        dist = {
+            key: value
+            for key, value in dist.items()
+            if a not in key and b not in key
+        }
+        for other in active:
+            pairs = [
+                float(distance[i, j]) for i in merged for j in members[other]
+            ]
+            dist[(other, next_id)] = float(np.mean(pairs))
+        active.append(next_id)
+        next_id += 1
+
+    labels = [0] * n
+    for cluster_index, cluster_id in enumerate(sorted(active)):
+        for gene in members[cluster_id]:
+            labels[gene] = cluster_index
+    return GeneClustering(labels=tuple(labels), n_clusters=len(active))
+
+
+def kmeans_clusters(
+    matrix: ExpressionMatrix,
+    n_clusters: int,
+    *,
+    seed: int = 0,
+    max_iterations: int = 100,
+) -> GeneClustering:
+    """Lloyd's k-means on the raw profiles (Tavazoie et al. style)."""
+    values = matrix.values
+    n = matrix.n_genes
+    if not 1 <= n_clusters <= n:
+        raise ValueError(f"n_clusters must be in [1, {n}]")
+    rng = np.random.default_rng(seed)
+    centers = values[rng.choice(n, size=n_clusters, replace=False)].copy()
+    labels = np.zeros(n, dtype=np.intp)
+    for _ in range(max_iterations):
+        distances = np.linalg.norm(
+            values[:, None, :] - centers[None, :, :], axis=2
+        )
+        new_labels = distances.argmin(axis=1)
+        if np.array_equal(new_labels, labels):
+            break
+        labels = new_labels
+        for c in range(n_clusters):
+            mask = labels == c
+            if mask.any():
+                centers[c] = values[mask].mean(axis=0)
+            else:  # re-seed an empty cluster with the farthest point
+                farthest = int(distances.min(axis=1).argmax())
+                centers[c] = values[farthest]
+    return GeneClustering(labels=tuple(int(x) for x in labels),
+                          n_clusters=n_clusters)

@@ -1,0 +1,186 @@
+"""pCluster baseline (Wang et al., SIGMOD 2002 — reference [24]).
+
+The pCluster model captures *pure shifting* patterns: a submatrix is a
+delta-pCluster when the pScore of every 2 x 2 sub-block is at most delta,
+
+    pScore([[d_ia, d_ib], [d_ja, d_jb]]) = |(d_ia - d_ib) - (d_ja - d_jb)|.
+
+Equivalently — and this is what the implementation uses — for every gene
+pair the *range* of their per-condition differences over the cluster's
+conditions must not exceed delta.  A pure shifting pattern
+(``d_i = d_j + s2``) has pScore 0; any genuine scaling component makes the
+pScore grow with the data magnitude, which is exactly the limitation the
+reg-cluster paper exploits (see the Figure 4 discussion: coexisting
+positive and negative correlation leads to a "rather large pScore").
+
+The miner enumerates condition subsets depth-first and, for each subset,
+reduces maximal-gene-set discovery to maximal cliques on the gene
+compatibility graph (pairwise validity is exactly set validity for this
+model).  Exponential in the worst case — the original paper's MDS-based
+pruning exists to tame real datasets — but exact, and entirely adequate
+for the comparison experiments, which run on small matrices.
+"""
+
+from __future__ import annotations
+
+from typing import Iterator, List, Sequence, Set, Tuple
+
+import networkx as nx
+import numpy as np
+
+from repro.baselines.common import Bicluster
+from repro.matrix.expression import ExpressionMatrix
+
+__all__ = ["pscore", "max_pscore", "is_pcluster", "PClusterMiner", "mine_pclusters"]
+
+
+def pscore(block: np.ndarray) -> float:
+    """pScore of one 2 x 2 block."""
+    block = np.asarray(block, dtype=np.float64)
+    if block.shape != (2, 2):
+        raise ValueError(f"pScore is defined on 2x2 blocks, got {block.shape}")
+    return float(
+        abs((block[0, 0] - block[0, 1]) - (block[1, 0] - block[1, 1]))
+    )
+
+
+def max_pscore(submatrix: np.ndarray) -> float:
+    """Largest pScore over all 2 x 2 sub-blocks of a submatrix.
+
+    Computed through the difference-range identity: for genes ``i, j``
+    the maximum pScore over condition pairs equals
+    ``max_c (d_ic - d_jc) - min_c (d_ic - d_jc)``.
+    """
+    submatrix = np.asarray(submatrix, dtype=np.float64)
+    if submatrix.ndim != 2 or submatrix.shape[0] < 2 or submatrix.shape[1] < 2:
+        return 0.0
+    worst = 0.0
+    for i in range(submatrix.shape[0] - 1):
+        diffs = submatrix[i] - submatrix[i + 1 :]
+        ranges = diffs.max(axis=1) - diffs.min(axis=1)
+        worst = max(worst, float(ranges.max()))
+    return worst
+
+
+def is_pcluster(submatrix: np.ndarray, delta: float) -> bool:
+    """Does the submatrix satisfy the delta-pCluster (pure shifting) model?"""
+    if delta < 0:
+        raise ValueError(f"delta must be >= 0, got {delta}")
+    return max_pscore(submatrix) <= delta
+
+
+class PClusterMiner:
+    """Exact maximal delta-pCluster miner for small matrices.
+
+    Parameters
+    ----------
+    matrix:
+        The expression data.
+    delta:
+        pScore tolerance.
+    min_genes, min_conditions:
+        Minimum bicluster shape (``nr`` and ``nc`` of the original paper).
+    max_conditions_searched:
+        Safety bound on the matrix width; the subset enumeration is
+        exponential in it.
+    """
+
+    def __init__(
+        self,
+        matrix: ExpressionMatrix,
+        *,
+        delta: float,
+        min_genes: int = 2,
+        min_conditions: int = 2,
+        max_conditions_searched: int = 20,
+    ) -> None:
+        if delta < 0:
+            raise ValueError("delta must be >= 0")
+        if min_genes < 2 or min_conditions < 2:
+            raise ValueError("pClusters need at least 2 genes and 2 conditions")
+        if matrix.n_conditions > max_conditions_searched:
+            raise ValueError(
+                f"matrix has {matrix.n_conditions} conditions; the exact "
+                f"pCluster search is exponential and capped at "
+                f"{max_conditions_searched} (raise max_conditions_searched "
+                f"to override)"
+            )
+        self.matrix = matrix
+        self.delta = float(delta)
+        self.min_genes = min_genes
+        self.min_conditions = min_conditions
+
+    # -- gene-set discovery for a fixed condition set -------------------
+
+    def _maximal_gene_sets(
+        self, conditions: Tuple[int, ...]
+    ) -> Iterator[Tuple[int, ...]]:
+        values = self.matrix.values[:, conditions]
+        n = self.matrix.n_genes
+        graph = nx.Graph()
+        graph.add_nodes_from(range(n))
+        for i in range(n - 1):
+            diffs = values[i] - values[i + 1 :]
+            ranges = diffs.max(axis=1) - diffs.min(axis=1)
+            for offset in np.flatnonzero(ranges <= self.delta):
+                graph.add_edge(i, i + 1 + int(offset))
+        for clique in nx.find_cliques(graph):
+            if len(clique) >= self.min_genes:
+                yield tuple(sorted(clique))
+
+    # -- search ----------------------------------------------------------
+
+    def mine(self) -> List[Bicluster]:
+        """All maximal delta-pClusters meeting the size thresholds.
+
+        Maximality is two-sided: a reported bicluster is not contained in
+        any other reported bicluster.
+        """
+        found: Set[Bicluster] = set()
+        n_cond = self.matrix.n_conditions
+
+        def extend(conditions: Tuple[int, ...], genes_upper: int) -> None:
+            if genes_upper < self.min_genes:
+                return
+            if len(conditions) >= self.min_conditions:
+                best = 0
+                for gene_set in self._maximal_gene_sets(conditions):
+                    best = max(best, len(gene_set))
+                    found.add(Bicluster(gene_set, conditions))
+                if best < self.min_genes:
+                    return  # no superset of conditions can do better
+            start = conditions[-1] + 1 if conditions else 0
+            for nxt in range(start, n_cond):
+                extend(conditions + (nxt,), genes_upper)
+
+        extend((), self.matrix.n_genes)
+        return _prune_contained(found)
+
+
+def _prune_contained(found: Set[Bicluster]) -> List[Bicluster]:
+    """Drop biclusters contained in another one; deterministic order."""
+    ranked = sorted(
+        found,
+        key=lambda b: (-(len(b.genes) * len(b.conditions)), b.conditions, b.genes),
+    )
+    kept: List[Bicluster] = []
+    for candidate in ranked:
+        if not any(other.contains(candidate) for other in kept):
+            kept.append(candidate)
+    return kept
+
+
+def mine_pclusters(
+    matrix: ExpressionMatrix,
+    *,
+    delta: float,
+    min_genes: int = 2,
+    min_conditions: int = 2,
+) -> Sequence[Bicluster]:
+    """Convenience wrapper around :class:`PClusterMiner`."""
+    return PClusterMiner(
+        matrix,
+        delta=delta,
+        min_genes=min_genes,
+        min_conditions=min_conditions,
+    ).mine()

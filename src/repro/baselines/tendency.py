@@ -1,0 +1,154 @@
+"""Tendency-based baseline (OP-cluster / OPSM style — refs [3, 18]).
+
+Tendency (order-preserving) models group genes whose expression values
+*rise and fall synchronously* on a condition subset: a set of genes
+supports an ordered condition sequence when every gene's values are
+non-descending along it.  There is no coherence guarantee — the magnitudes
+are ignored entirely — which is exactly the weakness the reg-cluster paper
+demonstrates with its Figure 4 outlier: the tendency model happily groups
+g2 with g1 and g3 because the three genes share a subsequence order, even
+though g2 is affinely unrelated to the others.
+
+The miner enumerates ordered condition sequences depth-first, keeping the
+supporting gene set; a sequence is reported when it reaches the size
+thresholds and its gene set is maximal.  ``min_difference`` optionally
+requires each step to increase by more than a constant — the "regulation
+threshold 0.8" style patch the paper discusses (and shows to behave
+inconsistently, since the constraint applies only to adjacent sorted
+values rather than all pairs).
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import List, Sequence, Set, Tuple
+
+import numpy as np
+
+from repro.matrix.expression import ExpressionMatrix
+
+__all__ = [
+    "supports_order",
+    "OrderPreservingCluster",
+    "TendencyMiner",
+    "mine_tendency_clusters",
+]
+
+
+def supports_order(
+    profile: np.ndarray,
+    order: Sequence[int],
+    *,
+    min_difference: float = 0.0,
+) -> bool:
+    """Does a profile rise (weakly) along the ordered conditions?
+
+    With ``min_difference == 0`` this is the classic OPSM test
+    (non-descending).  A positive value requires every adjacent step to
+    exceed it.
+    """
+    profile = np.asarray(profile, dtype=np.float64)
+    order = list(order)
+    if len(order) < 2:
+        return True
+    steps = np.diff(profile[order])
+    if min_difference > 0:
+        return bool(np.all(steps > min_difference))
+    return bool(np.all(steps >= 0))
+
+
+@dataclass(frozen=True)
+class OrderPreservingCluster:
+    """Genes supporting one ordered condition sequence."""
+
+    order: Tuple[int, ...]
+    genes: Tuple[int, ...]
+
+    def __post_init__(self) -> None:
+        object.__setattr__(self, "order", tuple(int(c) for c in self.order))
+        object.__setattr__(
+            self, "genes", tuple(sorted(int(g) for g in self.genes))
+        )
+
+    @property
+    def shape(self) -> Tuple[int, int]:
+        return (len(self.genes), len(self.order))
+
+
+class TendencyMiner:
+    """Order-preserving submatrix miner.
+
+    Enumerates ordered condition sequences depth-first.  A sequence is
+    emitted when it has at least ``min_conditions`` conditions and at
+    least ``min_genes`` supporting genes, and no extension keeps the same
+    gene set (so each reported gene set is attached to its longest
+    sequence).
+    """
+
+    def __init__(
+        self,
+        matrix: ExpressionMatrix,
+        *,
+        min_genes: int = 2,
+        min_conditions: int = 2,
+        min_difference: float = 0.0,
+    ) -> None:
+        if min_genes < 1 or min_conditions < 2:
+            raise ValueError("min_genes >= 1 and min_conditions >= 2 required")
+        if min_difference < 0:
+            raise ValueError("min_difference must be >= 0")
+        self.matrix = matrix
+        self.min_genes = min_genes
+        self.min_conditions = min_conditions
+        self.min_difference = min_difference
+
+    def mine(self) -> List[OrderPreservingCluster]:
+        values = self.matrix.values
+        n_genes, n_cond = self.matrix.shape
+        found: Set[OrderPreservingCluster] = set()
+
+        def extend(order: Tuple[int, ...], genes: np.ndarray) -> None:
+            emitted_same_genes = False
+            for nxt in range(n_cond):
+                if nxt in order:
+                    continue
+                steps = values[genes, nxt] - values[genes, order[-1]]
+                if self.min_difference > 0:
+                    keep = steps > self.min_difference
+                else:
+                    keep = steps >= 0
+                survivors = genes[keep]
+                if survivors.shape[0] < self.min_genes:
+                    continue
+                if survivors.shape[0] == genes.shape[0]:
+                    emitted_same_genes = True
+                extend(order + (nxt,), survivors)
+            if (
+                len(order) >= self.min_conditions
+                and genes.shape[0] >= self.min_genes
+                and not emitted_same_genes
+            ):
+                found.add(
+                    OrderPreservingCluster(order=order, genes=tuple(genes))
+                )
+
+        all_genes = np.arange(n_genes, dtype=np.intp)
+        for start in range(n_cond):
+            extend((start,), all_genes)
+        return sorted(found, key=lambda c: (c.order, c.genes))
+
+
+def mine_tendency_clusters(
+    matrix: ExpressionMatrix,
+    *,
+    min_genes: int = 2,
+    min_conditions: int = 2,
+    min_difference: float = 0.0,
+) -> List[OrderPreservingCluster]:
+    """Convenience wrapper around :class:`TendencyMiner`."""
+    return TendencyMiner(
+        matrix,
+        min_genes=min_genes,
+        min_conditions=min_conditions,
+        min_difference=min_difference,
+    ).mine()

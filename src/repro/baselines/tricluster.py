@@ -1,0 +1,159 @@
+"""TriCluster-style scaling baseline (Zhao & Zaki, SIGMOD 2005 — ref [26]),
+restricted to a 2D expression matrix.
+
+TriCluster captures *pure scaling* patterns: two genes belong together on
+a condition set when the ratios of their expression values are nearly
+constant, i.e. the ratio range is within a tolerance epsilon:
+
+    max_c (d_ic / d_jc)  <=  (1 + epsilon) * min_c (d_ic / d_jc).
+
+A pure scaling pattern (``d_i = s1 * d_j``, ``s1 > 0``) has ratio range
+zero.  Shifting components break the constant ratio, and the coexistence
+of positively and negatively correlated genes produces sign flips — the
+"rather large expression ratio range" the reg-cluster paper points out.
+
+As with the pCluster baseline, pairwise validity equals set validity, so
+the miner enumerates condition subsets and extracts maximal cliques from
+the gene compatibility graph.  Ratios are only meaningful on same-sign,
+non-zero values; gene pairs violating that on a condition set are simply
+incompatible (which is faithful: TriCluster operates on positive
+expression values).
+"""
+
+from __future__ import annotations
+
+from typing import Iterator, List, Sequence, Set, Tuple
+
+import networkx as nx
+import numpy as np
+
+from repro.baselines.common import Bicluster
+from repro.baselines.pcluster import _prune_contained
+from repro.matrix.expression import ExpressionMatrix
+
+__all__ = [
+    "ratio_range",
+    "is_scaling_cluster",
+    "TriClusterMiner",
+    "mine_scaling_clusters",
+]
+
+
+def ratio_range(profile_i: np.ndarray, profile_j: np.ndarray) -> float:
+    """Relative spread of the ratio ``d_i / d_j`` across conditions.
+
+    Returns ``max_ratio / min_ratio - 1`` for strictly positive ratio
+    sequences (after flipping a uniformly-negative one), and ``inf`` when
+    ratios change sign or hit zero — such a pair can never satisfy a
+    scaling model.
+    """
+    profile_i = np.asarray(profile_i, dtype=np.float64)
+    profile_j = np.asarray(profile_j, dtype=np.float64)
+    if profile_i.shape != profile_j.shape or profile_i.ndim != 1:
+        raise ValueError("profiles must be 1-D and of equal length")
+    if profile_i.size == 0:
+        return 0.0
+    if np.any(profile_j == 0):
+        return float("inf")
+    ratios = profile_i / profile_j
+    if np.all(ratios < 0):
+        ratios = -ratios
+    if np.any(ratios <= 0):
+        return float("inf")
+    return float(ratios.max() / ratios.min() - 1.0)
+
+
+def is_scaling_cluster(submatrix: np.ndarray, epsilon: float) -> bool:
+    """Does every gene pair keep a near-constant expression ratio?"""
+    if epsilon < 0:
+        raise ValueError(f"epsilon must be >= 0, got {epsilon}")
+    submatrix = np.asarray(submatrix, dtype=np.float64)
+    if submatrix.ndim != 2:
+        raise ValueError("expected a 2-D submatrix")
+    n = submatrix.shape[0]
+    for i in range(n - 1):
+        for j in range(i + 1, n):
+            if ratio_range(submatrix[i], submatrix[j]) > epsilon:
+                return False
+    return True
+
+
+class TriClusterMiner:
+    """Exact maximal scaling-bicluster miner for small matrices."""
+
+    def __init__(
+        self,
+        matrix: ExpressionMatrix,
+        *,
+        epsilon: float,
+        min_genes: int = 2,
+        min_conditions: int = 2,
+        max_conditions_searched: int = 20,
+    ) -> None:
+        if epsilon < 0:
+            raise ValueError("epsilon must be >= 0")
+        if min_genes < 2 or min_conditions < 2:
+            raise ValueError(
+                "scaling clusters need at least 2 genes and 2 conditions"
+            )
+        if matrix.n_conditions > max_conditions_searched:
+            raise ValueError(
+                f"matrix has {matrix.n_conditions} conditions; the exact "
+                f"search is exponential and capped at "
+                f"{max_conditions_searched}"
+            )
+        self.matrix = matrix
+        self.epsilon = float(epsilon)
+        self.min_genes = min_genes
+        self.min_conditions = min_conditions
+
+    def _maximal_gene_sets(
+        self, conditions: Tuple[int, ...]
+    ) -> Iterator[Tuple[int, ...]]:
+        values = self.matrix.values[:, conditions]
+        n = self.matrix.n_genes
+        graph = nx.Graph()
+        graph.add_nodes_from(range(n))
+        for i in range(n - 1):
+            for j in range(i + 1, n):
+                if ratio_range(values[i], values[j]) <= self.epsilon:
+                    graph.add_edge(i, j)
+        for clique in nx.find_cliques(graph):
+            if len(clique) >= self.min_genes:
+                yield tuple(sorted(clique))
+
+    def mine(self) -> List[Bicluster]:
+        """All maximal scaling biclusters meeting the size thresholds."""
+        found: Set[Bicluster] = set()
+        n_cond = self.matrix.n_conditions
+
+        def extend(conditions: Tuple[int, ...]) -> None:
+            if len(conditions) >= self.min_conditions:
+                best = 0
+                for gene_set in self._maximal_gene_sets(conditions):
+                    best = max(best, len(gene_set))
+                    found.add(Bicluster(gene_set, conditions))
+                if best < self.min_genes:
+                    return
+            start = conditions[-1] + 1 if conditions else 0
+            for nxt in range(start, n_cond):
+                extend(conditions + (nxt,))
+
+        extend(())
+        return _prune_contained(found)
+
+
+def mine_scaling_clusters(
+    matrix: ExpressionMatrix,
+    *,
+    epsilon: float,
+    min_genes: int = 2,
+    min_conditions: int = 2,
+) -> Sequence[Bicluster]:
+    """Convenience wrapper around :class:`TriClusterMiner`."""
+    return TriClusterMiner(
+        matrix,
+        epsilon=epsilon,
+        min_genes=min_genes,
+        min_conditions=min_conditions,
+    ).mine()

@@ -1,0 +1,19 @@
+"""Benchmark harness: sweeps and report rendering."""
+
+from repro.bench.report import ascii_series, ascii_table, format_seconds
+from repro.bench.runner import (
+    SweepPoint,
+    SweepResult,
+    paper_mining_parameters,
+    run_sweep,
+)
+
+__all__ = [
+    "SweepPoint",
+    "SweepResult",
+    "paper_mining_parameters",
+    "run_sweep",
+    "ascii_table",
+    "ascii_series",
+    "format_seconds",
+]

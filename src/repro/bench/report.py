@@ -1,0 +1,63 @@
+"""Text rendering for benchmark outputs.
+
+Every benchmark prints the rows/series the corresponding paper table or
+figure reports.  These helpers render aligned ASCII tables and simple
+horizontal bar "plots" so the series shapes (the reproduction target) are
+visible straight from the bench log.
+"""
+
+from __future__ import annotations
+
+from typing import List, Optional, Sequence
+
+__all__ = ["ascii_table", "ascii_series", "format_seconds"]
+
+
+def format_seconds(seconds: float) -> str:
+    """Human-scale duration formatting."""
+    if seconds < 1e-3:
+        return f"{seconds * 1e6:.0f}us"
+    if seconds < 1.0:
+        return f"{seconds * 1e3:.1f}ms"
+    return f"{seconds:.2f}s"
+
+
+def ascii_table(
+    headers: Sequence[str], rows: Sequence[Sequence[object]]
+) -> str:
+    """Render an aligned table with a header rule."""
+    cells = [[str(v) for v in row] for row in rows]
+    widths = [
+        max(len(headers[k]), *(len(r[k]) for r in cells)) if cells else len(headers[k])
+        for k in range(len(headers))
+    ]
+    head = "  ".join(h.ljust(w) for h, w in zip(headers, widths))
+    rule = "-" * len(head)
+    body = [
+        "  ".join(c.ljust(w) for c, w in zip(row, widths)) for row in cells
+    ]
+    return "\n".join([head, rule, *body])
+
+
+def ascii_series(
+    label: str,
+    xs: Sequence[object],
+    ys: Sequence[float],
+    *,
+    width: int = 40,
+    unit: Optional[str] = None,
+) -> str:
+    """A horizontal-bar rendering of one figure series.
+
+    The bar lengths are proportional to the y values, so the curve shape
+    (linear / superlinear / exponential) is readable from the log.
+    """
+    if len(xs) != len(ys):
+        raise ValueError("xs and ys must be parallel")
+    lines: List[str] = [label]
+    top = max(ys) if ys else 0.0
+    for x, y in zip(xs, ys):
+        bar = "#" * (int(round(width * y / top)) if top > 0 else 0)
+        shown = format_seconds(y) if unit == "s" else f"{y:g}"
+        lines.append(f"  {str(x):>8}  {shown:>9}  {bar}")
+    return "\n".join(lines)

@@ -1,0 +1,142 @@
+"""Timing harness behind the efficiency experiments (Figure 7).
+
+The paper's Figure 7 plots average reg-cluster runtime while one generator
+parameter varies and the other two stay at their defaults.  This module
+provides exactly that sweep: generate a dataset for each parameter value,
+run the miner with the paper's mining parameters (``MinG = 0.01 * #g``,
+``MinC = 6``, ``gamma = 0.1``, ``epsilon = 0.01``), and collect per-point
+timings and search statistics.
+"""
+
+from __future__ import annotations
+
+import time
+from dataclasses import dataclass
+from typing import Callable, List, Optional, Sequence
+
+from repro.core.miner import MiningResult, RegClusterMiner
+from repro.core.params import MiningParameters
+from repro.datasets.synthetic import SyntheticConfig, make_synthetic_dataset
+
+__all__ = ["SweepPoint", "SweepResult", "paper_mining_parameters", "run_sweep"]
+
+
+@dataclass(frozen=True)
+class SweepPoint:
+    """One measured point of a parameter sweep."""
+
+    parameter: str
+    value: int
+    seconds: float
+    n_clusters: int
+    nodes_expanded: int
+
+    def __str__(self) -> str:
+        return (
+            f"{self.parameter}={self.value}: {self.seconds:.3f}s, "
+            f"{self.n_clusters} clusters, {self.nodes_expanded} nodes"
+        )
+
+
+@dataclass(frozen=True)
+class SweepResult:
+    """All points of one sweep, in measurement order."""
+
+    parameter: str
+    points: Sequence[SweepPoint]
+
+    def seconds(self) -> List[float]:
+        return [p.seconds for p in self.points]
+
+    def values(self) -> List[int]:
+        return [p.value for p in self.points]
+
+
+def paper_mining_parameters(n_genes: int) -> MiningParameters:
+    """The Figure 7 mining configuration for a given gene count.
+
+    ``MinG = 0.01 * #g`` (at least 2), ``MinC = 6``, ``gamma = 0.1``,
+    ``epsilon = 0.01``.
+    """
+    return MiningParameters(
+        min_genes=max(int(round(0.01 * n_genes)), 2),
+        min_conditions=6,
+        gamma=0.1,
+        epsilon=0.01,
+    )
+
+
+def _time_one(
+    config: SyntheticConfig,
+    params: Optional[MiningParameters],
+    repeats: int,
+) -> SweepPoint:
+    if params is None:
+        params = paper_mining_parameters(config.n_genes)
+    timings: List[float] = []
+    result: Optional[MiningResult] = None
+    for __ in range(max(repeats, 1)):
+        data = make_synthetic_dataset(config)
+        miner = RegClusterMiner(data.matrix, params)
+        start = time.perf_counter()
+        result = miner.mine()
+        timings.append(time.perf_counter() - start)
+    assert result is not None
+    return SweepPoint(
+        parameter="",
+        value=0,
+        seconds=sum(timings) / len(timings),
+        n_clusters=len(result),
+        nodes_expanded=result.statistics.nodes_expanded,
+    )
+
+
+def run_sweep(
+    parameter: str,
+    values: Sequence[int],
+    *,
+    base_config: Optional[SyntheticConfig] = None,
+    params_factory: Optional[Callable[[SyntheticConfig], MiningParameters]] = None,
+    repeats: int = 1,
+) -> SweepResult:
+    """Vary one generator parameter and time the miner at each value.
+
+    Parameters
+    ----------
+    parameter:
+        ``"n_genes"``, ``"n_conditions"`` or ``"n_clusters"`` — the
+        paper's ``#g``, ``#cond`` and ``#clus``.
+    values:
+        The x-axis of the sweep.
+    base_config:
+        Generator defaults for the parameters not being varied.
+    params_factory:
+        Custom mining parameters per point; defaults to the paper's
+        Figure 7 configuration.
+    repeats:
+        Average timing over this many full runs per point.
+    """
+    if parameter not in ("n_genes", "n_conditions", "n_clusters"):
+        raise ValueError(
+            "parameter must be one of n_genes / n_conditions / n_clusters, "
+            f"got {parameter!r}"
+        )
+    if base_config is None:
+        base_config = SyntheticConfig()
+    points: List[SweepPoint] = []
+    for value in values:
+        config = SyntheticConfig(
+            **{**base_config.__dict__, parameter: int(value)}
+        )
+        params = params_factory(config) if params_factory else None
+        timing = _time_one(config, params, repeats)
+        points.append(
+            SweepPoint(
+                parameter=parameter,
+                value=int(value),
+                seconds=timing.seconds,
+                n_clusters=timing.n_clusters,
+                nodes_expanded=timing.nodes_expanded,
+            )
+        )
+    return SweepResult(parameter=parameter, points=tuple(points))

@@ -1,0 +1,324 @@
+"""Command-line interface: ``reg-cluster`` (or ``python -m repro``).
+
+Subcommands
+-----------
+``mine``
+    Mine reg-clusters from a tab-delimited expression file.
+``generate``
+    Write a synthetic dataset or the yeast surrogate to disk.
+``rwave``
+    Print the RWave^gamma model of one gene (Figure 3 style).
+``sweep``
+    Run one Figure 7 efficiency sweep and print the series.
+``validate``
+    Re-check a saved result file against Definition 3.2.
+``profile``
+    Render one saved cluster's expression profiles as ASCII art.
+``experiment``
+    Regenerate one of the paper's tables/figures end to end.
+``describe``
+    Print headline statistics of an expression file.
+"""
+
+from __future__ import annotations
+
+import argparse
+import sys
+from typing import Optional, Sequence
+
+from repro.bench.report import ascii_series
+from repro.bench.runner import run_sweep
+from repro.core.miner import mine_reg_clusters
+from repro.core.rwave import build_rwave
+from repro.core.serialize import load_result, save_result
+from repro.core.thresholds import resolve_strategy
+from repro.core.validate import validation_errors
+from repro.eval.profiles import render_cluster_profiles
+from repro.datasets.synthetic import make_synthetic_dataset
+from repro.datasets.yeast import make_yeast_surrogate
+from repro.matrix.io import load_expression_matrix, save_expression_matrix
+from repro.matrix.summary import summarize
+
+__all__ = ["main", "build_parser"]
+
+
+def build_parser() -> argparse.ArgumentParser:
+    """The ``reg-cluster`` argument parser (exposed for testing)."""
+    parser = argparse.ArgumentParser(
+        prog="reg-cluster",
+        description="Mine shifting-and-scaling co-regulation patterns "
+        "(reg-clusters) from gene expression profiles.",
+    )
+    sub = parser.add_subparsers(dest="command", required=True)
+
+    mine = sub.add_parser("mine", help="mine reg-clusters from a matrix file")
+    mine.add_argument("path", help="tab-delimited expression file")
+    mine.add_argument("--min-genes", type=int, required=True, metavar="MinG")
+    mine.add_argument(
+        "--min-conditions", type=int, required=True, metavar="MinC"
+    )
+    mine.add_argument("--gamma", type=float, required=True,
+                      help="regulation threshold in [0, 1]")
+    mine.add_argument("--epsilon", type=float, required=True,
+                      help="coherence threshold >= 0")
+    mine.add_argument("--max-clusters", type=int, default=None)
+    mine.add_argument(
+        "--stats", action="store_true", help="also print search statistics"
+    )
+    mine.add_argument(
+        "--output", default=None, metavar="RESULT.json",
+        help="also write the result as JSON",
+    )
+    mine.add_argument(
+        "--threshold-strategy", default="range_fraction",
+        help="per-gene threshold strategy (range_fraction, "
+        "closest_pair_average, normalized_std, mean_fraction, constant)",
+    )
+
+    generate = sub.add_parser("generate", help="write a dataset to disk")
+    generate.add_argument("kind", choices=["synthetic", "yeast"])
+    generate.add_argument("--out", required=True, help="output path")
+    generate.add_argument("--genes", type=int, default=3000)
+    generate.add_argument("--conditions", type=int, default=30)
+    generate.add_argument("--clusters", type=int, default=30)
+    generate.add_argument("--seed", type=int, default=0)
+
+    rwave = sub.add_parser("rwave", help="print one gene's RWave model")
+    rwave.add_argument("path", help="tab-delimited expression file")
+    rwave.add_argument("--gene", required=True, help="gene name or index")
+    rwave.add_argument("--gamma", type=float, required=True)
+
+    sweep = sub.add_parser("sweep", help="run one Figure 7 efficiency sweep")
+    sweep.add_argument(
+        "parameter", choices=["n_genes", "n_conditions", "n_clusters"]
+    )
+    sweep.add_argument(
+        "values", type=int, nargs="+", help="parameter values to measure"
+    )
+    sweep.add_argument("--genes", type=int, default=3000)
+    sweep.add_argument("--conditions", type=int, default=30)
+    sweep.add_argument("--clusters", type=int, default=30)
+
+    validate = sub.add_parser(
+        "validate", help="re-check a saved result against Definition 3.2"
+    )
+    validate.add_argument("matrix", help="tab-delimited expression file")
+    validate.add_argument("result", help="JSON result file (from mine --output)")
+
+    profile = sub.add_parser(
+        "profile", help="render one cluster's profiles as ASCII art"
+    )
+    profile.add_argument("matrix", help="tab-delimited expression file")
+    profile.add_argument("result", help="JSON result file")
+    profile.add_argument("--index", type=int, default=0,
+                         help="cluster index within the result (default 0)")
+    profile.add_argument("--height", type=int, default=16)
+
+    experiment = sub.add_parser(
+        "experiment", help="regenerate one paper table/figure"
+    )
+    experiment.add_argument(
+        "which",
+        choices=["fig1", "fig2", "fig4", "fig7", "fig8", "table2"],
+    )
+    experiment.add_argument(
+        "--scale", choices=["paper", "quick"], default="paper",
+        help="workload size (quick shrinks the datasets)",
+    )
+
+    describe = sub.add_parser(
+        "describe", help="print headline statistics of a matrix file"
+    )
+    describe.add_argument("path", help="tab-delimited expression file")
+    describe.add_argument(
+        "--gamma", type=float, default=None,
+        help="also print the median regulation threshold at this gamma",
+    )
+
+    return parser
+
+
+def _cmd_mine(args: argparse.Namespace) -> int:
+    matrix = load_expression_matrix(args.path)
+    thresholds = None
+    if args.threshold_strategy != "range_fraction":
+        strategy = resolve_strategy(args.threshold_strategy)
+        thresholds = strategy(matrix, args.gamma)
+    result = mine_reg_clusters(
+        matrix,
+        min_genes=args.min_genes,
+        min_conditions=args.min_conditions,
+        gamma=args.gamma,
+        epsilon=args.epsilon,
+        max_clusters=args.max_clusters,
+        thresholds=thresholds,
+    )
+    print(f"{len(result)} reg-cluster(s)")
+    for index, cluster in enumerate(result, start=1):
+        print(f"[{index}]")
+        print(cluster.describe(matrix))
+    if args.stats:
+        for key, value in result.statistics.as_dict().items():
+            print(f"  {key}: {value}")
+    if args.output:
+        save_result(result, args.output, matrix=matrix)
+        print(f"result written to {args.output}")
+    return 0
+
+
+def _cmd_validate(args: argparse.Namespace) -> int:
+    matrix = load_expression_matrix(args.matrix)
+    result = load_result(args.result, matrix=matrix)
+    bad = 0
+    for index, cluster in enumerate(result.clusters, start=1):
+        errors = validation_errors(matrix, cluster, result.parameters)
+        if errors:
+            bad += 1
+            print(f"[{index}] INVALID:")
+            for error in errors:
+                print(f"    {error}")
+    print(
+        f"{len(result.clusters) - bad}/{len(result.clusters)} clusters "
+        f"valid under Definition 3.2"
+    )
+    return 0 if bad == 0 else 1
+
+
+def _cmd_profile(args: argparse.Namespace) -> int:
+    matrix = load_expression_matrix(args.matrix)
+    result = load_result(args.result, matrix=matrix)
+    if not 0 <= args.index < len(result.clusters):
+        raise ValueError(
+            f"cluster index {args.index} out of range "
+            f"(result has {len(result.clusters)} clusters)"
+        )
+    cluster = result.clusters[args.index]
+    print(cluster.describe(matrix))
+    print()
+    print(render_cluster_profiles(cluster, matrix, height=args.height))
+    return 0
+
+
+def _cmd_generate(args: argparse.Namespace) -> int:
+    if args.kind == "synthetic":
+        data = make_synthetic_dataset(
+            n_genes=args.genes,
+            n_conditions=args.conditions,
+            n_clusters=args.clusters,
+            seed=args.seed,
+        )
+        matrix = data.matrix
+        print(
+            f"synthetic {matrix.n_genes}x{matrix.n_conditions} with "
+            f"{data.n_embedded} embedded clusters -> {args.out}"
+        )
+    else:
+        surrogate = make_yeast_surrogate(seed=args.seed)
+        matrix = surrogate.matrix
+        print(
+            f"yeast surrogate {matrix.n_genes}x{matrix.n_conditions} with "
+            f"{len(surrogate.modules)} modules -> {args.out}"
+        )
+    save_expression_matrix(matrix, args.out)
+    return 0
+
+
+def _cmd_rwave(args: argparse.Namespace) -> int:
+    matrix = load_expression_matrix(args.path)
+    gene: "int | str" = args.gene
+    if isinstance(gene, str) and gene.lstrip("-").isdigit():
+        gene = int(gene)
+    model = build_rwave(matrix, gene, args.gamma)
+    print(
+        f"RWave^{args.gamma} of {args.gene} "
+        f"(threshold {model.threshold:.4g})"
+    )
+    print(model.render(matrix.condition_names))
+    return 0
+
+
+def _cmd_sweep(args: argparse.Namespace) -> int:
+    from repro.datasets.synthetic import SyntheticConfig
+
+    base = SyntheticConfig(
+        n_genes=args.genes,
+        n_conditions=args.conditions,
+        n_clusters=args.clusters,
+    )
+    result = run_sweep(args.parameter, args.values, base_config=base)
+    print(
+        ascii_series(
+            f"runtime vs {args.parameter}",
+            result.values(),
+            result.seconds(),
+            unit="s",
+        )
+    )
+    return 0
+
+
+def _cmd_describe(args: argparse.Namespace) -> int:
+    matrix = load_expression_matrix(args.path)
+    summary = summarize(matrix)
+    print(summary.render())
+    if args.gamma is not None:
+        threshold = summary.suggested_gamma_threshold(args.gamma)
+        print(
+            f"median regulation threshold at gamma={args.gamma}: "
+            f"{threshold:.4g}"
+        )
+    return 0
+
+
+def _cmd_experiment(args: argparse.Namespace) -> int:
+    from repro.experiments import (
+        run_figure1,
+        run_figure2,
+        run_figure4,
+        run_figure7,
+        run_figure8,
+        run_table2,
+    )
+
+    quick = args.scale == "quick"
+    if args.which == "fig1":
+        print(run_figure1().render())
+    elif args.which == "fig2":
+        print(run_figure2().render())
+    elif args.which == "fig4":
+        print(run_figure4().render())
+    elif args.which == "fig7":
+        print(run_figure7(scale=args.scale).render())
+    elif args.which == "fig8":
+        shape = (600, 17) if quick else (2884, 17)
+        print(run_figure8(shape=shape).render())
+    else:  # table2
+        shape = (600, 17) if quick else (2884, 17)
+        print(run_table2(shape=shape).render())
+    return 0
+
+
+def main(argv: Optional[Sequence[str]] = None) -> int:
+    """Entry point; returns a process exit code."""
+    args = build_parser().parse_args(
+        list(argv) if argv is not None else None
+    )
+    handlers = {
+        "mine": _cmd_mine,
+        "generate": _cmd_generate,
+        "rwave": _cmd_rwave,
+        "sweep": _cmd_sweep,
+        "validate": _cmd_validate,
+        "profile": _cmd_profile,
+        "experiment": _cmd_experiment,
+        "describe": _cmd_describe,
+    }
+    try:
+        return handlers[args.command](args)
+    except (ValueError, KeyError, OSError) as error:
+        print(f"error: {error}", file=sys.stderr)
+        return 2
+
+
+if __name__ == "__main__":  # pragma: no cover
+    sys.exit(main())

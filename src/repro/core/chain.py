@@ -1,0 +1,120 @@
+"""Regulation chains (paper section 4).
+
+A regulation chain ``c_k1 <- c_k2 <- ... <- c_km`` is an ordered sequence
+of conditions in which each successive condition is a regulation successor
+of the previous one.  A gene is a *p-member* of the chain when its
+expression values climb along the chain with every adjacent step
+regulated, and an *n-member* when they descend likewise (i.e. the gene
+complies with the inverted chain).
+
+Of the two orientations of the same cluster exactly one is the
+*representative* chain: the one whose compliant p-members form the
+majority; ties are broken towards the orientation starting with the
+larger condition id (the paper's prose rule).
+"""
+
+from __future__ import annotations
+
+from typing import Sequence, Tuple
+
+import numpy as np
+
+__all__ = [
+    "invert_chain",
+    "is_representative",
+    "canonical_orientation",
+    "gene_matches_chain",
+    "match_chain_members",
+]
+
+
+def invert_chain(chain: Sequence[int]) -> Tuple[int, ...]:
+    """``invert(C.Y)``: the same conditions walked in reverse."""
+    return tuple(reversed(tuple(chain)))
+
+
+def is_representative(
+    chain: Sequence[int], n_p_members: int, n_n_members: int
+) -> bool:
+    """Is this orientation the representative one for its cluster?
+
+    Representative means the majority of member genes comply with the
+    chain directly (p-members).  On an exact tie, the orientation whose
+    first condition has the larger id wins — so exactly one of the two
+    orientations of any cluster is representative.
+    """
+    if n_p_members != n_n_members:
+        return n_p_members > n_n_members
+    chain = tuple(chain)
+    if len(chain) < 2 or chain[0] == chain[-1]:
+        return True
+    return chain[0] > chain[-1]
+
+
+def canonical_orientation(
+    chain: Sequence[int], n_p_members: int, n_n_members: int
+) -> Tuple[Tuple[int, ...], int, int]:
+    """Return ``(chain, p, n)`` flipped, if needed, to the representative.
+
+    Convenience for presenting externally-supplied clusters the same way
+    the miner reports them.
+    """
+    chain = tuple(chain)
+    if is_representative(chain, n_p_members, n_n_members):
+        return chain, n_p_members, n_n_members
+    return invert_chain(chain), n_n_members, n_p_members
+
+
+def gene_matches_chain(
+    row: np.ndarray, threshold: float, chain: Sequence[int]
+) -> bool:
+    """Does one gene comply with a chain as a p-member?
+
+    Every adjacent step must be up-regulated: ``d[next] - d[prev] >
+    threshold`` (Eq. 3).  Because values then increase monotonically with
+    gaps all exceeding the threshold, *every* pair of chain conditions is
+    regulated — the model's "any two conditions" requirement.
+    """
+    chain = np.asarray(tuple(chain), dtype=np.intp)
+    if chain.shape[0] < 2:
+        return True
+    steps = np.diff(np.asarray(row, dtype=np.float64)[chain])
+    return bool(np.all(steps > threshold))
+
+
+def match_chain_members(
+    values: np.ndarray,
+    thresholds: np.ndarray,
+    chain: Sequence[int],
+    candidates: np.ndarray,
+) -> Tuple[np.ndarray, np.ndarray]:
+    """Split candidate genes into p-members and n-members of a chain.
+
+    Parameters
+    ----------
+    values:
+        Full data array, genes x conditions.
+    thresholds:
+        Per-gene regulation thresholds (Eq. 4).
+    chain:
+        Condition ids in chain order.
+    candidates:
+        Gene indices to classify.
+
+    Returns
+    -------
+    (p_members, n_members):
+        Gene index arrays; genes complying with neither orientation are
+        dropped.  For a single-condition chain every candidate is a
+        p-member (orientation is undetermined until a second condition).
+    """
+    candidates = np.asarray(candidates, dtype=np.intp)
+    chain = np.asarray(tuple(chain), dtype=np.intp)
+    if chain.shape[0] < 2:
+        return candidates.copy(), np.empty(0, dtype=np.intp)
+    sub = values[np.ix_(candidates, chain)]
+    steps = np.diff(sub, axis=1)
+    limit = thresholds[candidates][:, None]
+    p_mask = np.all(steps > limit, axis=1)
+    n_mask = np.all(steps < -limit, axis=1)
+    return candidates[p_mask], candidates[n_mask]

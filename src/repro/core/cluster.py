@@ -1,0 +1,191 @@
+"""The reg-cluster result object (paper Definition 3.2).
+
+A :class:`RegCluster` couples a representative regulation chain (ordered
+condition ids) with the genes complying with it directly (p-members) and
+with its inversion (n-members).  It is a value object: hashable,
+comparable, and able to materialize its submatrix, per-gene H profiles and
+fitted scaling/shifting factors for reporting.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Dict, FrozenSet, Optional, Sequence, Tuple
+
+import numpy as np
+
+from repro.core.chain import invert_chain
+from repro.core.coherence import AffineFit, chain_h_profile, fit_affine
+from repro.matrix.expression import ExpressionMatrix
+
+__all__ = ["RegCluster", "cell_set"]
+
+
+@dataclass(frozen=True)
+class RegCluster:
+    """One mined reg-cluster ``C = X x Y``.
+
+    Attributes
+    ----------
+    chain:
+        Representative regulation chain ``C.Y`` — condition ids in chain
+        order (p-member expression ascends along it).
+    p_members:
+        Gene ids complying with :attr:`chain` (``C.pX``), sorted.
+    n_members:
+        Gene ids complying with the inverted chain (``C.nX``), sorted.
+    """
+
+    chain: Tuple[int, ...]
+    p_members: Tuple[int, ...]
+    n_members: Tuple[int, ...] = ()
+
+    def __post_init__(self) -> None:
+        object.__setattr__(self, "chain", tuple(int(c) for c in self.chain))
+        object.__setattr__(
+            self, "p_members", tuple(sorted(int(g) for g in self.p_members))
+        )
+        object.__setattr__(
+            self, "n_members", tuple(sorted(int(g) for g in self.n_members))
+        )
+        if len(set(self.chain)) != len(self.chain):
+            raise ValueError("chain contains duplicate conditions")
+        if set(self.p_members) & set(self.n_members):
+            raise ValueError("a gene cannot be both p-member and n-member")
+
+    # ------------------------------------------------------------------
+    # Shape
+    # ------------------------------------------------------------------
+
+    @property
+    def genes(self) -> Tuple[int, ...]:
+        """All member genes ``C.X`` (p-members then n-members, each sorted)."""
+        return tuple(sorted((*self.p_members, *self.n_members)))
+
+    @property
+    def conditions(self) -> Tuple[int, ...]:
+        """Condition ids of the cluster, in chain order (alias of chain)."""
+        return self.chain
+
+    @property
+    def n_genes(self) -> int:
+        return len(self.p_members) + len(self.n_members)
+
+    @property
+    def n_conditions(self) -> int:
+        return len(self.chain)
+
+    @property
+    def shape(self) -> Tuple[int, int]:
+        return (self.n_genes, self.n_conditions)
+
+    @property
+    def inverted_chain(self) -> Tuple[int, ...]:
+        """``invert(C.Y)`` — the chain the n-members comply with."""
+        return invert_chain(self.chain)
+
+    def orientation(self, gene: int) -> int:
+        """``+1`` for a p-member, ``-1`` for an n-member.
+
+        Raises :class:`KeyError` for non-members.
+        """
+        if gene in self.p_members:
+            return 1
+        if gene in self.n_members:
+            return -1
+        raise KeyError(f"gene {gene} is not a member of this cluster")
+
+    # ------------------------------------------------------------------
+    # Set views
+    # ------------------------------------------------------------------
+
+    def cells(self) -> FrozenSet[Tuple[int, int]]:
+        """The set of (gene, condition) cells the cluster covers."""
+        return frozenset(
+            (g, c) for g in self.genes for c in self.chain
+        )
+
+    def overlap_fraction(self, other: "RegCluster") -> float:
+        """Fraction of this cluster's cells shared with ``other`` (§5.2)."""
+        mine = self.cells()
+        if not mine:
+            return 0.0
+        return len(mine & other.cells()) / len(mine)
+
+    # ------------------------------------------------------------------
+    # Materialization against a matrix
+    # ------------------------------------------------------------------
+
+    def submatrix(self, matrix: ExpressionMatrix) -> ExpressionMatrix:
+        """The cluster's expression submatrix, columns in chain order."""
+        return matrix.submatrix(self.genes, self.chain)
+
+    def h_profiles(self, matrix: ExpressionMatrix) -> Dict[int, np.ndarray]:
+        """Per-gene H-score profiles along the representative chain.
+
+        Every member — p or n — is scored on the same chain order: for an
+        n-member both the baseline difference and every step difference
+        flip sign, so the ratios are directly comparable (the paper's
+        worked example scores g2 on the same H values as g1/g3).
+        """
+        return {
+            gene: chain_h_profile(matrix, gene, self.chain)
+            for gene in self.genes
+        }
+
+    def affine_fits(
+        self, matrix: ExpressionMatrix, reference: Optional[int] = None
+    ) -> Dict[int, AffineFit]:
+        """Fit ``d_g = s1 * d_ref + s2`` on the cluster's conditions.
+
+        ``reference`` defaults to the first p-member.  P-members come out
+        with positive scaling, n-members with negative scaling — the
+        signature property of the reg-cluster model.
+        """
+        if reference is None:
+            if not self.p_members:
+                raise ValueError("cluster has no p-members to anchor the fit")
+            reference = self.p_members[0]
+        cond = list(self.chain)
+        ref_profile = matrix.submatrix([reference], cond).values[0]
+        fits: Dict[int, AffineFit] = {}
+        for gene in self.genes:
+            profile = matrix.submatrix([gene], cond).values[0]
+            fits[gene] = fit_affine(profile, ref_profile)
+        return fits
+
+    # ------------------------------------------------------------------
+    # Presentation
+    # ------------------------------------------------------------------
+
+    def describe(self, matrix: Optional[ExpressionMatrix] = None) -> str:
+        """Human-readable one-cluster report."""
+        if matrix is not None:
+            chain_names = " <- ".join(
+                matrix.condition_names[c] for c in self.chain
+            )
+            p_names = ", ".join(matrix.gene_names[g] for g in self.p_members)
+            n_names = ", ".join(matrix.gene_names[g] for g in self.n_members)
+        else:
+            chain_names = " <- ".join(f"c{c + 1}" for c in self.chain)
+            p_names = ", ".join(f"g{g + 1}" for g in self.p_members)
+            n_names = ", ".join(f"g{g + 1}" for g in self.n_members)
+        lines = [
+            f"reg-cluster {self.n_genes} genes x {self.n_conditions} conditions",
+            f"  chain     : {chain_names}",
+            f"  p-members : {p_names or '(none)'}",
+            f"  n-members : {n_names or '(none)'}",
+        ]
+        return "\n".join(lines)
+
+    def __str__(self) -> str:
+        return self.describe()
+
+
+def cell_set(clusters: Sequence[RegCluster]) -> FrozenSet[Tuple[int, int]]:
+    """Union of covered cells over several clusters."""
+    covered: FrozenSet[Tuple[int, int]] = frozenset()
+    for cluster in clusters:
+        covered = covered | cluster.cells()
+    return covered
+

@@ -1,0 +1,187 @@
+"""Coherence measurement (paper section 3.2, Eq. 5-7 and Lemma 3.2).
+
+Two profiles are *shifting-and-scaling* related on a condition subset when
+``d_i = s1 * d_j + s2`` for some scaling ``s1`` (of either sign) and
+shifting ``s2``.  Lemma 3.2 reduces verification from all condition pairs
+to the adjacent pairs of the value-sorted condition sequence, normalized
+by a fixed baseline pair:
+
+    H(i, c1, c2, ck, ck+1) = (d_i,ck+1 - d_i,ck) / (d_i,c2 - d_i,c1)
+
+Profiles whose H scores agree step-by-step (within epsilon) form a
+coherent cluster; epsilon = 0 recovers the exact affine relation.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Sequence, Tuple
+
+import numpy as np
+
+from repro.matrix.expression import ExpressionMatrix
+
+__all__ = [
+    "coherence_score",
+    "coherence_scores",
+    "chain_h_profile",
+    "is_shifting_and_scaling",
+    "AffineFit",
+    "fit_affine",
+]
+
+
+def coherence_score(
+    matrix: ExpressionMatrix,
+    gene: "int | str",
+    baseline: Tuple["int | str", "int | str"],
+    step: Tuple["int | str", "int | str"],
+) -> float:
+    """The H score of Eq. 7 for one gene.
+
+    ``baseline`` is the chain's first condition-pair ``(c1, c2)`` and
+    ``step`` an adjacent pair ``(ck, ck+1)``; both given in chain order.
+
+    Raises
+    ------
+    ZeroDivisionError
+        If the baseline pair has equal expression values for the gene.
+        (Inside a valid chain this cannot happen: the pair is regulated,
+        so its difference strictly exceeds the non-negative threshold.)
+    """
+    i = matrix.gene_index(gene)
+    c1, c2 = (matrix.condition_index(c) for c in baseline)
+    ck, ck1 = (matrix.condition_index(c) for c in step)
+    row = matrix.values[i]
+    denominator = row[c2] - row[c1]
+    if denominator == 0.0:
+        raise ZeroDivisionError(
+            f"baseline pair ({baseline[0]}, {baseline[1]}) has zero "
+            f"expression difference for gene index {i}"
+        )
+    return float((row[ck1] - row[ck]) / denominator)
+
+
+def coherence_scores(
+    values: np.ndarray,
+    gene_rows: np.ndarray,
+    c1: int,
+    c2: int,
+    ck: int,
+    ck1: int,
+) -> np.ndarray:
+    """Vectorized H scores for many genes at one chain step.
+
+    ``values`` is the full data array; ``gene_rows`` the gene indices of
+    interest.  Genes with a degenerate baseline yield ``inf``/``nan`` and
+    must be filtered by the caller (the miner never passes such genes:
+    chain membership guarantees a regulated baseline).
+    """
+    rows = values[gene_rows]
+    denominator = rows[:, c2] - rows[:, c1]
+    with np.errstate(divide="ignore", invalid="ignore"):
+        return (rows[:, ck1] - rows[:, ck]) / denominator
+
+
+def chain_h_profile(
+    matrix: ExpressionMatrix, gene: "int | str", chain: Sequence["int | str"]
+) -> np.ndarray:
+    """All adjacent-step H scores of one gene along a chain.
+
+    For a chain ``(c1, ..., cn)`` returns the ``n - 1`` values
+    ``H(i, c1, c2, ck, ck+1)`` for ``k = 1 .. n-1``; the first entry is
+    always exactly ``1.0``.
+    """
+    if len(chain) < 2:
+        raise ValueError("a chain needs at least two conditions")
+    i = matrix.gene_index(gene)
+    cond = matrix.condition_indices(chain)
+    row = matrix.values[i][cond]
+    denominator = row[1] - row[0]
+    if denominator == 0.0:
+        raise ZeroDivisionError(
+            "baseline pair has zero expression difference"
+        )
+    return np.diff(row) / denominator
+
+
+def is_shifting_and_scaling(
+    profile_i: np.ndarray,
+    profile_j: np.ndarray,
+    *,
+    epsilon: float = 0.0,
+    rtol: float = 1e-9,
+) -> bool:
+    """Lemma 3.2 test: are two profiles affinely related on these columns?
+
+    The profiles are compared on the sequence order of ``profile_i``
+    sorted ascending (the lemma's premise).  With ``epsilon == 0`` this is
+    the exact necessary-and-sufficient condition for
+    ``d_i = s1 * d_j + s2``; a positive epsilon allows the same relative
+    H-score slack the reg-cluster model allows.
+
+    Degenerate inputs (constant baseline pair) return ``False``: a
+    constant profile cannot witness a scaling relation.
+    """
+    profile_i = np.asarray(profile_i, dtype=np.float64)
+    profile_j = np.asarray(profile_j, dtype=np.float64)
+    if profile_i.shape != profile_j.shape or profile_i.ndim != 1:
+        raise ValueError("profiles must be 1-D and of equal length")
+    if profile_i.shape[0] < 2:
+        return True
+    order = np.argsort(profile_i, kind="stable")
+    vi = profile_i[order]
+    vj = profile_j[order]
+    base_i = vi[1] - vi[0]
+    base_j = vj[1] - vj[0]
+    if base_i == 0.0 or base_j == 0.0:
+        return False
+    h_i = np.diff(vi) / base_i
+    h_j = np.diff(vj) / base_j
+    tolerance = epsilon + rtol * np.maximum(np.abs(h_i), np.abs(h_j))
+    return bool(np.all(np.abs(h_i - h_j) <= tolerance))
+
+
+@dataclass(frozen=True)
+class AffineFit:
+    """Least-squares fit of ``d_i ~= s1 * d_j + s2`` (Eq. 5 factors)."""
+
+    scaling: float
+    shifting: float
+    residual: float
+
+    @property
+    def is_positive_correlation(self) -> bool:
+        """``s1 > 0``: the profiles are positively correlated (Eq. 5)."""
+        return self.scaling > 0
+
+    def apply(self, profile: np.ndarray) -> np.ndarray:
+        """Transform a profile by this fit: ``s1 * profile + s2``."""
+        return self.scaling * np.asarray(profile, dtype=np.float64) + self.shifting
+
+
+def fit_affine(target: np.ndarray, source: np.ndarray) -> AffineFit:
+    """Fit scaling/shifting factors mapping ``source`` onto ``target``.
+
+    Used for reporting the per-gene ``s1``/``s2`` factors of a discovered
+    cluster (the quantities the paper prints for its worked examples, e.g.
+    ``d_1 = 2.5 * d_3 - 5``).  A constant ``source`` yields scaling 0 and
+    shifting equal to the mean of ``target``.
+    """
+    target = np.asarray(target, dtype=np.float64)
+    source = np.asarray(source, dtype=np.float64)
+    if target.shape != source.shape or target.ndim != 1:
+        raise ValueError("profiles must be 1-D and of equal length")
+    if target.shape[0] == 0:
+        raise ValueError("cannot fit an empty profile")
+    source_centered = source - source.mean()
+    variance = float(np.dot(source_centered, source_centered))
+    if variance == 0.0:
+        scaling = 0.0
+    else:
+        scaling = float(np.dot(source_centered, target - target.mean()) / variance)
+    shifting = float(target.mean() - scaling * source.mean())
+    residual = float(
+        np.sqrt(np.mean((target - (scaling * source + shifting)) ** 2))
+    )
+    return AffineFit(scaling=scaling, shifting=shifting, residual=residual)

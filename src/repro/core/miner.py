@@ -1,0 +1,421 @@
+"""The reg-cluster mining algorithm (paper Figure 5).
+
+The miner performs a bi-directional depth-first enumeration of
+*representative regulation chains* over the per-gene RWave^gamma models.
+A search node carries the chain enumerated so far (``C.Y``), the genes
+complying with it (p-members, ``C.pX``) and the genes complying with its
+inversion (n-members, ``C.nX``).  Extending a node appends one candidate
+condition, re-splits the members, scores every surviving gene with the
+step's H value (Eq. 7) and branches on each maximal coherent gene window.
+
+Pruning strategies (numbers follow the paper):
+
+1. **MinG** — members only shrink along a branch, so a node with fewer
+   than ``MinG`` members is abandoned.
+2. **MinC reachability** — a gene whose longest remaining chain (from the
+   RWave max-chain tables) cannot reach ``MinC`` is dropped.
+3. **Redundancy** — (a) a node whose p-members fall below ``MinG / 2``
+   can never yield a representative chain (the inverted orientation will);
+   (b) a node that re-derives an already-emitted cluster roots a
+   redundant subtree.
+4. **Coherence** — a step with no coherent gene window of ``MinG`` genes
+   ends the branch.
+
+Prunings 1-3 are lossless (toggling them changes runtime, never output —
+the ablation benchmark verifies this); pruning 4 *is* the coherence
+constraint of the model and cannot be disabled.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Dict, FrozenSet, List, Optional, Set, Tuple
+
+import numpy as np
+
+from repro.core.chain import is_representative
+from repro.core.cluster import RegCluster
+from repro.core.params import MiningParameters
+from repro.core.rwave import RWaveIndex
+from repro.core.trace import SearchTrace
+from repro.core.window import coherent_gene_windows
+from repro.matrix.expression import ExpressionMatrix
+
+__all__ = [
+    "PruningConfig",
+    "SearchStatistics",
+    "MiningResult",
+    "RegClusterMiner",
+    "mine_reg_clusters",
+]
+
+
+@dataclass(frozen=True)
+class PruningConfig:
+    """Which lossless prunings the search applies (ablation knobs).
+
+    All default to on.  Pruning 4 (coherence windows) is part of the
+    cluster definition and therefore has no switch.
+    """
+
+    min_genes: bool = True  #: pruning (1)
+    reachability: bool = True  #: pruning (2)
+    p_majority: bool = True  #: pruning (3a)
+    redundancy: bool = True  #: pruning (3b)
+
+    @classmethod
+    def none(cls) -> "PruningConfig":
+        """All lossless prunings off (slowest, same output)."""
+        return cls(False, False, False, False)
+
+
+@dataclass
+class SearchStatistics:
+    """Counters describing one mining run (the ablation benches' payload)."""
+
+    nodes_expanded: int = 0
+    candidates_examined: int = 0
+    pruned_min_genes: int = 0
+    pruned_p_majority: int = 0
+    pruned_redundant: int = 0
+    genes_pruned_reachability: int = 0
+    coherence_rejections: int = 0
+    clusters_emitted: int = 0
+    max_depth: int = 0
+
+    def as_dict(self) -> Dict[str, int]:
+        return {
+            "nodes_expanded": self.nodes_expanded,
+            "candidates_examined": self.candidates_examined,
+            "pruned_min_genes": self.pruned_min_genes,
+            "pruned_p_majority": self.pruned_p_majority,
+            "pruned_redundant": self.pruned_redundant,
+            "genes_pruned_reachability": self.genes_pruned_reachability,
+            "coherence_rejections": self.coherence_rejections,
+            "clusters_emitted": self.clusters_emitted,
+            "max_depth": self.max_depth,
+        }
+
+
+@dataclass
+class MiningResult:
+    """Clusters plus the statistics of the search that produced them."""
+
+    clusters: List[RegCluster]
+    statistics: SearchStatistics
+    parameters: MiningParameters
+
+    def __len__(self) -> int:
+        return len(self.clusters)
+
+    def __iter__(self):
+        return iter(self.clusters)
+
+    def __getitem__(self, index: int) -> RegCluster:
+        return self.clusters[index]
+
+
+class _SearchLimitReached(Exception):
+    """Internal signal: max_clusters emitted, unwind the recursion."""
+
+
+class RegClusterMiner:
+    """Mines every validated reg-cluster of a matrix (Definition 3.2).
+
+    Parameters
+    ----------
+    matrix:
+        The expression data.
+    params:
+        MinG / MinC / gamma / epsilon bundle.
+    prunings:
+        Lossless-pruning switches, defaults to all on.
+
+    Examples
+    --------
+    >>> from repro.datasets import load_running_example
+    >>> from repro.core import MiningParameters
+    >>> miner = RegClusterMiner(
+    ...     load_running_example(),
+    ...     MiningParameters(min_genes=3, min_conditions=5,
+    ...                      gamma=0.15, epsilon=0.1),
+    ... )
+    >>> result = miner.mine()
+    >>> [c + 1 for c in result.clusters[0].chain]
+    [7, 9, 5, 1, 3]
+    """
+
+    def __init__(
+        self,
+        matrix: ExpressionMatrix,
+        params: MiningParameters,
+        *,
+        prunings: Optional[PruningConfig] = None,
+        thresholds: "Optional[np.ndarray]" = None,
+        tracer: Optional[SearchTrace] = None,
+    ) -> None:
+        self.matrix = matrix
+        self.params = params
+        self.prunings = prunings if prunings is not None else PruningConfig()
+        #: optional search observer reconstructing the Figure 6 tree
+        self.tracer = tracer
+        if params.min_conditions > matrix.n_conditions:
+            raise ValueError(
+                f"min_conditions={params.min_conditions} exceeds the "
+                f"matrix's {matrix.n_conditions} conditions"
+            )
+        # `thresholds` overrides the Eq. 4 default, supporting the
+        # alternative strategies of repro.core.thresholds.
+        self.index = RWaveIndex(matrix, params.gamma, thresholds=thresholds)
+        self._values = matrix.values
+        self._thresholds = self.index.thresholds
+
+    # ------------------------------------------------------------------
+    # Public API
+    # ------------------------------------------------------------------
+
+    def mine(self) -> MiningResult:
+        """Run the depth-first search and return every reg-cluster."""
+        self._stats = SearchStatistics()
+        self._emitted: Set[Tuple[Tuple[int, ...], FrozenSet[int]]] = set()
+        self._clusters: List[RegCluster] = []
+
+        all_genes = np.arange(self.matrix.n_genes, dtype=np.intp)
+        min_c = self.params.min_conditions
+        try:
+            for start in range(self.matrix.n_conditions):
+                if self.prunings.reachability:
+                    p_mask = self.index.max_up[:, start] >= min_c
+                    n_mask = self.index.max_down[:, start] >= min_c
+                    self._stats.genes_pruned_reachability += int(
+                        (~p_mask).sum() + (~n_mask).sum()
+                    )
+                    p_members = all_genes[p_mask]
+                    n_members = all_genes[n_mask]
+                else:
+                    p_members = all_genes
+                    n_members = all_genes
+                self._expand((start,), p_members, n_members)
+        except _SearchLimitReached:
+            pass
+        return MiningResult(
+            clusters=list(self._clusters),
+            statistics=self._stats,
+            parameters=self.params,
+        )
+
+    # ------------------------------------------------------------------
+    # Depth-first search (subroutine MineC^2 of Figure 5)
+    # ------------------------------------------------------------------
+
+    def _expand(
+        self,
+        chain: Tuple[int, ...],
+        p_members: np.ndarray,
+        n_members: np.ndarray,
+    ) -> None:
+        stats = self._stats
+        params = self.params
+        depth = len(chain)
+        stats.nodes_expanded += 1
+        stats.max_depth = max(stats.max_depth, depth)
+
+        if depth >= 2:
+            total = p_members.shape[0] + n_members.shape[0]
+        else:
+            # Orientation is undetermined for a single condition; the
+            # member sets may overlap, count distinct genes.
+            total = int(np.union1d(p_members, n_members).shape[0])
+
+        # Pruning (1): members only shrink along a branch.
+        if total < params.min_genes:
+            if self.prunings.min_genes:
+                stats.pruned_min_genes += 1
+                if self.tracer is not None and depth:
+                    self.tracer.record(chain, "pruned_min_genes")
+                return
+        # Pruning (3a): p-members below MinG/2 can never be a majority in
+        # any valid descendant.
+        if self.prunings.p_majority and 2 * p_members.shape[0] < params.min_genes:
+            stats.pruned_p_majority += 1
+            if self.tracer is not None and depth:
+                self.tracer.record(chain, "pruned_p_majority")
+            return
+        if self.tracer is not None and depth:
+            self.tracer.record(chain, "expanded")
+
+        # Emit (step 3 of Figure 5).
+        if (
+            depth >= params.min_conditions
+            and total >= params.min_genes
+            and is_representative(chain, p_members.shape[0], n_members.shape[0])
+        ):
+            key = (chain, frozenset(map(int, np.concatenate((p_members, n_members)))))
+            if key in self._emitted:
+                if self.prunings.redundancy:
+                    stats.pruned_redundant += 1
+                    if self.tracer is not None:
+                        self.tracer.record(chain, "pruned_redundant")
+                    return
+            else:
+                self._emitted.add(key)
+                if self.tracer is not None:
+                    self.tracer.record(chain, "emitted")
+                self._clusters.append(
+                    RegCluster(
+                        chain=chain,
+                        p_members=tuple(map(int, p_members)),
+                        n_members=tuple(map(int, n_members)),
+                    )
+                )
+                stats.clusters_emitted += 1
+                if (
+                    params.max_clusters is not None
+                    and stats.clusters_emitted >= params.max_clusters
+                ):
+                    raise _SearchLimitReached
+
+        if depth >= self.matrix.n_conditions:
+            return
+
+        for candidate, child_p, child_n in self._candidates(
+            chain, p_members, n_members
+        ):
+            stats.candidates_examined += 1
+            extended = chain + (candidate,)
+            if len(extended) == 2:
+                # The new pair *is* the baseline: every member scores
+                # H = 1, so there is exactly one (trivially coherent)
+                # window.
+                if child_p.shape[0] + child_n.shape[0] > 0:
+                    self._expand(extended, child_p, child_n)
+                continue
+
+            genes = np.concatenate((child_p, child_n))
+            if genes.shape[0] == 0:
+                continue
+            scores = self._step_scores(genes, chain, candidate)
+            windows = coherent_gene_windows(
+                genes, scores, params.epsilon, params.min_genes
+            )
+            if not windows:
+                stats.coherence_rejections += 1
+                if self.tracer is not None:
+                    self.tracer.record(extended, "pruned_coherence")
+                continue
+            for window in windows:
+                in_p = np.isin(window, child_p, assume_unique=True)
+                self._expand(extended, window[in_p], window[~in_p])
+
+    # ------------------------------------------------------------------
+    # Candidate generation (step 4-5 of Figure 5)
+    # ------------------------------------------------------------------
+
+    def _candidates(
+        self,
+        chain: Tuple[int, ...],
+        p_members: np.ndarray,
+        n_members: np.ndarray,
+    ):
+        """Yield ``(condition, child_p, child_n)`` extensions of a chain.
+
+        Candidates are gathered by scanning the RWave models of the
+        p-members (prunings 2 and 3a make scanning n-members
+        unnecessary); each candidate condition must be a regulation
+        successor of the chain's last condition for the p-members and a
+        regulation predecessor for the n-members.
+        """
+        params = self.params
+        values = self._values
+        thresholds = self._thresholds
+        last = chain[-1]
+        depth = len(chain)
+        need = params.min_conditions - depth  # chain still to grow, incl. cand
+
+        p_idx = p_members
+        n_idx = n_members
+        up_ok = (
+            values[p_idx] - values[p_idx, last][:, None]
+            > thresholds[p_idx][:, None]
+        )
+        down_ok = (
+            values[n_idx, last][:, None] - values[n_idx]
+            > thresholds[n_idx][:, None]
+        )
+        if self.prunings.reachability and need > 1:
+            up_ok &= self.index.max_up[p_idx] >= need
+            down_ok &= self.index.max_down[n_idx] >= need
+
+        in_chain = np.zeros(self.matrix.n_conditions, dtype=bool)
+        in_chain[list(chain)] = True
+        support = up_ok.sum(axis=0)
+        support[in_chain] = 0
+
+        min_support = params.min_p_members if self.prunings.p_majority else 1
+        if self.tracer is not None:
+            # Surface the silently-filtered candidate edges so the
+            # rendered tree matches Figure 6's annotated prunings.
+            for condition in np.flatnonzero(
+                (support < min_support) & ~in_chain
+            ):
+                event = (
+                    "pruned_reachability"
+                    if support[condition] == 0
+                    else "pruned_p_majority"
+                )
+                self.tracer.record(chain + (int(condition),), event)
+        for condition in np.flatnonzero(support >= min_support):
+            condition = int(condition)
+            yield (
+                condition,
+                p_idx[up_ok[:, condition]],
+                n_idx[down_ok[:, condition]],
+            )
+
+    # ------------------------------------------------------------------
+    # Coherence scores for one extension step
+    # ------------------------------------------------------------------
+
+    def _step_scores(
+        self, genes: np.ndarray, chain: Tuple[int, ...], candidate: int
+    ) -> np.ndarray:
+        """H(j, c_k1, c_k2, c_km, candidate) for every gene (Eq. 7)."""
+        values = self._values
+        c1, c2, last = chain[0], chain[1], chain[-1]
+        baseline = values[genes, c2] - values[genes, c1]
+        step = values[genes, candidate] - values[genes, last]
+        with np.errstate(divide="ignore", invalid="ignore"):
+            return step / baseline
+
+
+def mine_reg_clusters(
+    matrix: ExpressionMatrix,
+    *,
+    min_genes: int,
+    min_conditions: int,
+    gamma: float,
+    epsilon: float,
+    max_clusters: Optional[int] = None,
+    prunings: Optional[PruningConfig] = None,
+    thresholds: "Optional[np.ndarray]" = None,
+) -> MiningResult:
+    """One-call convenience wrapper around :class:`RegClusterMiner`.
+
+    >>> from repro.datasets import load_running_example
+    >>> result = mine_reg_clusters(load_running_example(), min_genes=3,
+    ...                            min_conditions=5, gamma=0.15, epsilon=0.1)
+    >>> len(result)
+    1
+    """
+    params = MiningParameters(
+        min_genes=min_genes,
+        min_conditions=min_conditions,
+        gamma=gamma,
+        epsilon=epsilon,
+        max_clusters=max_clusters,
+    )
+    miner = RegClusterMiner(
+        matrix, params, prunings=prunings, thresholds=thresholds
+    )
+    return miner.mine()
+

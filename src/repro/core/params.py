@@ -1,0 +1,75 @@
+"""Mining parameters for the reg-cluster algorithm.
+
+The four user-facing knobs come straight from Figure 5 of the paper:
+
+``min_genes`` (MinG)
+    minimum number of genes (p-members plus n-members) in a reported
+    cluster;
+``min_conditions`` (MinC)
+    minimum length of a representative regulation chain;
+``gamma``
+    regulation threshold, a fraction of each gene's expression range
+    (Eq. 4);
+``epsilon``
+    coherence threshold bounding the spread of per-step H scores (Eq. 7).
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, replace
+
+__all__ = ["MiningParameters"]
+
+
+@dataclass(frozen=True)
+class MiningParameters:
+    """Validated parameter bundle for :class:`repro.core.miner.RegClusterMiner`.
+
+    Examples
+    --------
+    >>> p = MiningParameters(min_genes=3, min_conditions=5,
+    ...                      gamma=0.15, epsilon=0.1)
+    >>> p.gamma
+    0.15
+    """
+
+    min_genes: int
+    min_conditions: int
+    gamma: float
+    epsilon: float
+    #: Cap on reported clusters; ``None`` means unbounded.  A safety valve
+    #: for permissive parameter settings on large matrices.
+    max_clusters: "int | None" = None
+
+    def __post_init__(self) -> None:
+        if self.min_genes < 1:
+            raise ValueError(f"min_genes must be >= 1, got {self.min_genes}")
+        if self.min_conditions < 2:
+            raise ValueError(
+                "min_conditions must be >= 2 (a chain needs a baseline "
+                f"condition-pair), got {self.min_conditions}"
+            )
+        if not 0.0 <= self.gamma <= 1.0:
+            raise ValueError(
+                f"gamma is a fraction of the expression range in [0, 1], "
+                f"got {self.gamma}"
+            )
+        if self.epsilon < 0.0:
+            raise ValueError(f"epsilon must be >= 0, got {self.epsilon}")
+        if self.max_clusters is not None and self.max_clusters < 1:
+            raise ValueError(
+                f"max_clusters must be >= 1 or None, got {self.max_clusters}"
+            )
+
+    def with_overrides(self, **kwargs: object) -> "MiningParameters":
+        """Return a copy with some fields replaced (re-validated)."""
+        return replace(self, **kwargs)
+
+    @property
+    def min_p_members(self) -> int:
+        """Smallest p-member count surviving pruning (3a): ``MinG / 2``.
+
+        Evaluated without rounding, i.e. a node is pruned when
+        ``2 * |pX| < MinG``.
+        """
+        return (self.min_genes + 1) // 2

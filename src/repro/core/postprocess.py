@@ -1,0 +1,150 @@
+"""Optional cluster post-processing (merging and filtering).
+
+Section 5.2 of the paper notes its 21 yeast clusters overlap by up to 85%
+and that *"we did not perform any splitting and merging of clusters"*.
+Downstream users usually do want a tidier result list, so this module
+provides the standard post-processing passes as explicit, opt-in
+functions:
+
+* :func:`drop_contained` removes clusters whose cells are a subset of
+  another cluster's;
+* :func:`merge_overlapping` greedily merges cluster pairs whose cell
+  overlap exceeds a threshold — but only when the merged candidate still
+  validates as a reg-cluster (the merge never sacrifices the model
+  guarantees);
+* :func:`top_k` ranks by cell count and keeps the largest k.
+
+All functions are pure: they return new lists and never mutate inputs.
+"""
+
+from __future__ import annotations
+
+from typing import List, Optional, Sequence
+
+import numpy as np
+
+from repro.core.chain import match_chain_members
+from repro.core.cluster import RegCluster
+from repro.core.params import MiningParameters
+from repro.core.regulation import gene_thresholds
+from repro.core.validate import is_valid_reg_cluster
+from repro.matrix.expression import ExpressionMatrix
+
+__all__ = ["drop_contained", "merge_overlapping", "top_k"]
+
+
+def drop_contained(clusters: Sequence[RegCluster]) -> List[RegCluster]:
+    """Remove clusters entirely covered by another cluster's cells."""
+    ranked = sorted(
+        clusters,
+        key=lambda c: (-(c.n_genes * c.n_conditions), c.chain, c.genes),
+    )
+    kept: List[RegCluster] = []
+    kept_cells = []
+    for cluster in ranked:
+        cells = cluster.cells()
+        if not any(cells <= other for other in kept_cells):
+            kept.append(cluster)
+            kept_cells.append(cells)
+    return kept
+
+
+def _try_merge(
+    a: RegCluster,
+    b: RegCluster,
+    matrix: ExpressionMatrix,
+    params: MiningParameters,
+) -> Optional[RegCluster]:
+    """Merge two clusters if a valid reg-cluster covers both.
+
+    The merged chain must be a superset chain containing both chains in
+    compatible order; the simple (and safe) case handled here is one
+    chain being a contiguous or non-contiguous *subsequence* of the
+    other.  The gene set is re-derived from the union against the longer
+    chain, then validated.
+    """
+    longer, shorter = (a, b) if a.n_conditions >= b.n_conditions else (b, a)
+    chain = longer.chain
+    position = {c: i for i, c in enumerate(chain)}
+    last = -1
+    for c in shorter.chain:
+        index = position.get(c)
+        if index is None or index < last:
+            return None  # not an order-compatible subsequence
+        last = index
+
+    candidates = np.asarray(
+        sorted(set(longer.genes) | set(shorter.genes)), dtype=np.intp
+    )
+    thresholds = gene_thresholds(matrix, params.gamma)
+    p_members, n_members = match_chain_members(
+        matrix.values, thresholds, chain, candidates
+    )
+    if len(p_members) + len(n_members) < len(candidates):
+        return None  # some gene does not comply with the longer chain
+    merged = RegCluster(
+        chain=chain,
+        p_members=tuple(int(g) for g in p_members),
+        n_members=tuple(int(g) for g in n_members),
+    )
+    if not is_valid_reg_cluster(matrix, merged, params):
+        return None
+    return merged
+
+
+def merge_overlapping(
+    clusters: Sequence[RegCluster],
+    matrix: ExpressionMatrix,
+    params: MiningParameters,
+    *,
+    min_overlap: float = 0.5,
+    max_passes: int = 10,
+) -> List[RegCluster]:
+    """Greedily merge validating cluster pairs with high cell overlap.
+
+    Pairs are merged only when the union still satisfies Definition 3.2
+    at the given parameters, so the output is a smaller list of equally
+    valid clusters.  Runs to a fixed point (bounded by ``max_passes``).
+    """
+    if not 0.0 < min_overlap <= 1.0:
+        raise ValueError("min_overlap must be in (0, 1]")
+    current = list(clusters)
+    for __ in range(max_passes):
+        merged_any = False
+        result: List[RegCluster] = []
+        used = [False] * len(current)
+        for i, a in enumerate(current):
+            if used[i]:
+                continue
+            merged_cluster = None
+            for j in range(i + 1, len(current)):
+                if used[j]:
+                    continue
+                b = current[j]
+                overlap = max(a.overlap_fraction(b), b.overlap_fraction(a))
+                if overlap < min_overlap:
+                    continue
+                merged_cluster = _try_merge(a, b, matrix, params)
+                if merged_cluster is not None:
+                    used[i] = used[j] = True
+                    result.append(merged_cluster)
+                    merged_any = True
+                    break
+            if not used[i]:
+                used[i] = True
+                result.append(a)
+        current = result
+        if not merged_any:
+            break
+    return drop_contained(current)
+
+
+def top_k(clusters: Sequence[RegCluster], k: int) -> List[RegCluster]:
+    """The k largest clusters by covered cells (deterministic ties)."""
+    if k < 0:
+        raise ValueError("k must be >= 0")
+    ranked = sorted(
+        clusters,
+        key=lambda c: (-(c.n_genes * c.n_conditions), c.chain, c.genes),
+    )
+    return ranked[:k]

@@ -1,0 +1,145 @@
+"""Brute-force reference miner — the test oracle.
+
+A deliberately naive re-implementation of the reg-cluster semantics:
+no RWave index, no pruning, no vectorization.  It enumerates every ordered
+condition chain by recursive extension, re-derives member genes from the
+raw definition at every step, and computes coherence windows with nested
+loops.  Exponential in the number of conditions — usable only on toy
+matrices — but sharing *no* code with :mod:`repro.core.miner`, which makes
+agreement between the two a strong correctness signal (the property tests
+rely on it).
+"""
+
+from __future__ import annotations
+
+from typing import List, Sequence, Set, Tuple
+
+from repro.core.chain import is_representative
+from repro.core.cluster import RegCluster
+from repro.core.params import MiningParameters
+from repro.matrix.expression import ExpressionMatrix
+
+__all__ = ["reference_mine"]
+
+
+def _naive_windows(
+    scored: List[Tuple[float, int, int]], epsilon: float, min_length: int
+) -> List[List[Tuple[float, int, int]]]:
+    """All maximal score-windows, quadratic-time on purpose.
+
+    ``scored`` holds ``(score, gene, sign)`` triples.  A window is a
+    contiguous run of the score-sorted list whose spread is at most
+    epsilon and which no other such run contains.
+    """
+    scored = sorted(scored, key=lambda t: (t[0], t[1]))
+    n = len(scored)
+    runs: List[Tuple[int, int]] = []
+    for start in range(n):
+        end = start
+        for j in range(start, n):
+            if scored[j][0] - scored[start][0] <= epsilon:
+                end = j
+            else:
+                break
+        runs.append((start, end))
+    maximal = [
+        (s, e)
+        for s, e in runs
+        if not any(
+            (s2 <= s and e <= e2) and (s2, e2) != (s, e) for s2, e2 in runs
+        )
+    ]
+    return [
+        scored[s : e + 1] for s, e in maximal if e - s + 1 >= min_length
+    ]
+
+
+def reference_mine(
+    matrix: ExpressionMatrix,
+    params: MiningParameters,
+    *,
+    thresholds: "Sequence[float] | None" = None,
+) -> Set[RegCluster]:
+    """Every validated reg-cluster, found the slow and obvious way.
+
+    Returns a set, because the oracle has no redundancy pruning and may
+    re-derive the same cluster along several branches.  ``thresholds``
+    overrides the Eq. 4 per-gene defaults (mirroring the miner's custom
+    threshold-strategy support).
+    """
+    values = matrix.values
+    n_genes, n_conditions = matrix.shape
+    if thresholds is None:
+        thresholds = [
+            params.gamma * (float(values[g].max()) - float(values[g].min()))
+            for g in range(n_genes)
+        ]
+    else:
+        thresholds = [float(t) for t in thresholds]
+        if len(thresholds) != n_genes:
+            raise ValueError("thresholds must have one entry per gene")
+    found: Set[RegCluster] = set()
+
+    def step_ok(gene: int, sign: int, prev: int, new: int) -> bool:
+        diff = values[gene, new] - values[gene, prev]
+        if sign > 0:
+            return diff > thresholds[gene]
+        return diff < -thresholds[gene]
+
+    def maybe_emit(chain: Tuple[int, ...], members: List[Tuple[int, int]]) -> None:
+        if len(chain) < params.min_conditions:
+            return
+        if len(members) < params.min_genes:
+            return
+        p = sorted(g for g, sign in members if sign > 0)
+        n = sorted(g for g, sign in members if sign < 0)
+        if not is_representative(chain, len(p), len(n)):
+            return
+        found.add(RegCluster(chain=chain, p_members=tuple(p), n_members=tuple(n)))
+
+    def extend(chain: Tuple[int, ...], members: List[Tuple[int, int]]) -> None:
+        maybe_emit(chain, members)
+        if len(chain) == n_conditions:
+            return
+        for cand in range(n_conditions):
+            if cand in chain:
+                continue
+            survivors = [
+                (g, sign)
+                for g, sign in members
+                if step_ok(g, sign, chain[-1], cand)
+            ]
+            if not survivors:
+                continue
+            if len(chain) == 1:
+                extend(chain + (cand,), survivors)
+                continue
+            c1, c2, last = chain[0], chain[1], chain[-1]
+            scored = [
+                (
+                    (values[g, cand] - values[g, last])
+                    / (values[g, c2] - values[g, c1]),
+                    g,
+                    sign,
+                )
+                for g, sign in survivors
+            ]
+            for window in _naive_windows(
+                scored, params.epsilon, params.min_genes
+            ):
+                extend(chain + (cand,), [(g, sign) for _, g, sign in window])
+
+    for start in range(n_conditions):
+        members = [(g, sign) for g in range(n_genes) for sign in (1, -1)]
+        extend((start,), members)
+    return found
+
+
+def reference_mine_list(
+    matrix: ExpressionMatrix, params: MiningParameters
+) -> Sequence[RegCluster]:
+    """Deterministically ordered variant of :func:`reference_mine`."""
+    return sorted(
+        reference_mine(matrix, params),
+        key=lambda c: (c.chain, c.p_members, c.n_members),
+    )

@@ -1,0 +1,320 @@
+"""The RWave^gamma model (paper Definition 3.1 and Lemma 3.1).
+
+For one gene, the model is the list of conditions sorted in non-descending
+order of expression value, decorated with *regulation pointers*.  A pointer
+from tail position ``a`` to head position ``b`` (``a < b``) records a
+*bordering* regulated condition-pair: every condition at position ``<= a``
+differs from every condition at position ``>= b`` by more than the gene's
+regulation threshold, and no other pointer is embedded inside it.  Instead
+of the O(n^2) pairwise regulation table, the model stores O(n) pointers
+from which Lemma 3.1 recovers every regulation predecessor / successor
+with a single binary search.
+
+Construction scans the sorted conditions once: each condition's *closest*
+regulation predecessor spawns a candidate pointer, inserted only when no
+existing pointer is embedded in it.  Because closest-predecessor positions
+are non-decreasing along the scan, the embedding test reduces to comparing
+against the last inserted tail.
+
+The model additionally precomputes, for every position, the length of the
+longest regulation chain that can *start* there (climbing up) or *end*
+there (equivalently: the longest descending chain starting there).  These
+tables implement the paper's MinC pruning (strategy 2).
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import List, Optional, Sequence, Tuple
+
+import numpy as np
+
+from repro.core.regulation import gene_thresholds
+from repro.matrix.expression import ExpressionMatrix
+
+__all__ = ["RegulationPointer", "RWaveModel", "RWaveIndex", "build_rwave"]
+
+
+@dataclass(frozen=True)
+class RegulationPointer:
+    """A bordering regulation pointer between two *positions* in the order.
+
+    ``tail`` and ``head`` are positions (not condition ids); every
+    condition at position ``<= tail`` is a regulation predecessor of every
+    condition at position ``>= head``.
+    """
+
+    tail: int
+    head: int
+
+    def __post_init__(self) -> None:
+        if self.tail >= self.head:
+            raise ValueError(
+                f"pointer tail {self.tail} must precede head {self.head}"
+            )
+
+
+class RWaveModel:
+    """RWave^gamma model of a single gene.
+
+    Parameters
+    ----------
+    row:
+        The gene's expression profile (one value per condition).
+    threshold:
+        The gene's regulation threshold ``gamma_i`` (Eq. 4).
+    gene:
+        Optional gene index carried along for diagnostics.
+    """
+
+    def __init__(
+        self,
+        row: np.ndarray,
+        threshold: float,
+        *,
+        gene: Optional[int] = None,
+    ) -> None:
+        row = np.asarray(row, dtype=np.float64)
+        if row.ndim != 1:
+            raise ValueError("an RWave model is built from a single profile")
+        if threshold < 0:
+            raise ValueError(f"threshold must be >= 0, got {threshold}")
+        self.gene = gene
+        self.threshold = float(threshold)
+        n = row.shape[0]
+        #: condition ids sorted in non-descending order of expression value
+        self.order: np.ndarray = np.argsort(row, kind="stable")
+        #: expression values in sorted order
+        self.sorted_values: np.ndarray = row[self.order]
+        #: position of each condition id in :attr:`order`
+        self.position: np.ndarray = np.empty(n, dtype=np.intp)
+        self.position[self.order] = np.arange(n, dtype=np.intp)
+        self.pointers: Tuple[RegulationPointer, ...] = tuple(
+            self._build_pointers()
+        )
+        self._tails = np.asarray([p.tail for p in self.pointers], dtype=np.intp)
+        self._heads = np.asarray([p.head for p in self.pointers], dtype=np.intp)
+        self.max_chain_up, self.max_chain_down = self._chain_tables()
+
+    # ------------------------------------------------------------------
+    # Construction
+    # ------------------------------------------------------------------
+
+    def _build_pointers(self) -> List[RegulationPointer]:
+        values = self.sorted_values
+        n = values.shape[0]
+        pointers: List[RegulationPointer] = []
+        last_tail = -1
+        for pos in range(n):
+            # Closest regulation predecessor: the largest position q with
+            # values[pos] - values[q] > threshold (strict, Eq. 3).  The
+            # binary search uses the algebraically equivalent cutoff
+            # values[q] < values[pos] - threshold, whose float rounding
+            # can disagree with Eq. 3 in the last ulp — so the candidate
+            # is re-checked with the exact predicate and walked left
+            # until it satisfies it.
+            cutoff = values[pos] - self.threshold
+            q = int(np.searchsorted(values, cutoff, side="left")) - 1
+            while (
+                q + 1 < pos
+                and values[pos] - values[q + 1] > self.threshold
+            ):
+                q += 1
+            while q >= 0 and not values[pos] - values[q] > self.threshold:
+                q -= 1
+            if q < 0:
+                continue
+            if q == last_tail:
+                # An existing pointer with the same tail and an earlier
+                # head is embedded in (q, pos): skip (Definition 3.1 (2)).
+                continue
+            pointers.append(RegulationPointer(tail=q, head=pos))
+            last_tail = q
+        return pointers
+
+    def _chain_tables(self) -> Tuple[np.ndarray, np.ndarray]:
+        """Longest up-chain / down-chain length from every position.
+
+        ``max_chain_up[p]`` is the maximum number of conditions in a
+        regulation chain starting at position ``p`` and climbing towards
+        higher expression values (including ``p`` itself);
+        ``max_chain_down[p]`` is the same for descending chains.  Both are
+        computed greedily — always hop to the nearest reachable position —
+        which is optimal because the tables are monotone in position.
+        """
+        n = self.order.shape[0]
+        up = np.ones(n, dtype=np.intp)
+        down = np.ones(n, dtype=np.intp)
+        tails, heads = self._tails, self._heads
+        if len(tails):
+            # Up: nearest pointer whose tail is at-or-after p; hop to head.
+            for pos in range(n - 1, -1, -1):
+                k = int(np.searchsorted(tails, pos, side="left"))
+                if k < len(tails):
+                    up[pos] = 1 + up[heads[k]]
+            # Down: nearest pointer whose head is at-or-before p; hop to tail.
+            for pos in range(n):
+                k = int(np.searchsorted(heads, pos, side="right")) - 1
+                if k >= 0:
+                    down[pos] = 1 + down[tails[k]]
+        return up, down
+
+    # ------------------------------------------------------------------
+    # Lemma 3.1 queries
+    # ------------------------------------------------------------------
+
+    @property
+    def n_conditions(self) -> int:
+        return self.order.shape[0]
+
+    def predecessor_bound(self, condition: int) -> int:
+        """Largest position whose conditions all precede ``condition``.
+
+        Returns ``-1`` when the condition has no regulation predecessor.
+        Lemma 3.1: follow the nearest pointer *before* the condition; every
+        position up to that pointer's tail is a predecessor.
+        """
+        pos = int(self.position[condition])
+        k = int(np.searchsorted(self._heads, pos, side="right")) - 1
+        return int(self._tails[k]) if k >= 0 else -1
+
+    def successor_bound(self, condition: int) -> int:
+        """Smallest position whose conditions all succeed ``condition``.
+
+        Returns ``n_conditions`` when the condition has no regulation
+        successor.
+        """
+        pos = int(self.position[condition])
+        k = int(np.searchsorted(self._tails, pos, side="left"))
+        return int(self._heads[k]) if k < len(self._tails) else self.n_conditions
+
+    def regulation_predecessors(self, condition: int) -> np.ndarray:
+        """All regulation predecessors of ``condition`` (condition ids).
+
+        The ids are returned in model order (non-descending expression).
+        """
+        bound = self.predecessor_bound(condition)
+        return self.order[: bound + 1].copy()
+
+    def regulation_successors(self, condition: int) -> np.ndarray:
+        """All regulation successors of ``condition`` (condition ids)."""
+        bound = self.successor_bound(condition)
+        return self.order[bound:].copy()
+
+    def is_up_regulated(self, cond_hi: int, cond_lo: int) -> bool:
+        """``Reg(i, cond_hi, cond_lo) == Up`` — direct Eq. 3 check."""
+        pos_hi = int(self.position[cond_hi])
+        pos_lo = int(self.position[cond_lo])
+        diff = self.sorted_values[pos_hi] - self.sorted_values[pos_lo]
+        return diff > self.threshold
+
+    def max_up_from(self, condition: int) -> int:
+        """Longest regulation chain starting at ``condition`` going up."""
+        return int(self.max_chain_up[self.position[condition]])
+
+    def max_down_from(self, condition: int) -> int:
+        """Longest regulation chain starting at ``condition`` going down."""
+        return int(self.max_chain_down[self.position[condition]])
+
+    # ------------------------------------------------------------------
+    # Presentation
+    # ------------------------------------------------------------------
+
+    def render(self, condition_names: Optional[Sequence[str]] = None) -> str:
+        """ASCII rendering in the style of the paper's Figure 3.
+
+        Conditions appear left-to-right in non-descending value order and
+        each pointer is drawn underneath as ``tail --> head``.
+        """
+        if condition_names is None:
+            names = [f"c{j + 1}" for j in range(self.n_conditions)]
+        else:
+            names = list(condition_names)
+        cells = [names[j] for j in self.order]
+        widths = [max(len(c), 5) for c in cells]
+        header = "  ".join(c.center(w) for c, w in zip(cells, widths))
+        values = "  ".join(
+            f"{v:.4g}".center(w) for v, w in zip(self.sorted_values, widths)
+        )
+        lines = [header, values]
+        starts = np.concatenate(([0], np.cumsum(np.asarray(widths) + 2)))
+        for pointer in self.pointers:
+            left = int(starts[pointer.tail] + widths[pointer.tail] // 2)
+            right = int(starts[pointer.head] + widths[pointer.head] // 2)
+            arrow = [" "] * (starts[-1])
+            arrow[left] = "^"
+            for k in range(left + 1, right):
+                arrow[k] = "-"
+            arrow[right - 1] = ">" if right - 1 > left else arrow[right - 1]
+            lines.append("".join(arrow).rstrip())
+        return "\n".join(lines)
+
+    def __repr__(self) -> str:
+        label = f"g{self.gene + 1}" if self.gene is not None else "?"
+        return (
+            f"RWaveModel(gene={label}, threshold={self.threshold:.4g}, "
+            f"pointers={len(self.pointers)})"
+        )
+
+
+def build_rwave(
+    matrix: ExpressionMatrix, gene: "int | str", gamma: float
+) -> RWaveModel:
+    """Build one gene's RWave^gamma model from a matrix (Eq. 4 threshold)."""
+    i = matrix.gene_index(gene)
+    threshold = float(gene_thresholds(matrix, gamma)[i])
+    return RWaveModel(matrix.values[i], threshold, gene=i)
+
+
+class RWaveIndex:
+    """RWave^gamma models of every gene, plus miner-facing lookup arrays.
+
+    The miner needs three bulk views, all shaped ``(n_genes,
+    n_conditions)`` and indexed by condition *id*:
+
+    ``max_up[g, c]``
+        longest regulation chain starting at condition ``c`` climbing up;
+    ``max_down[g, c]``
+        same, descending;
+    and the per-gene thresholds.  They are materialized once here so chain
+    extension reduces to vectorized numpy arithmetic.
+    """
+
+    def __init__(
+        self,
+        matrix: ExpressionMatrix,
+        gamma: float,
+        *,
+        thresholds: Optional[np.ndarray] = None,
+    ) -> None:
+        self.matrix = matrix
+        self.gamma = float(gamma)
+        if thresholds is None:
+            thresholds = gene_thresholds(matrix, gamma)
+        else:
+            thresholds = np.asarray(thresholds, dtype=np.float64)
+            if thresholds.shape != (matrix.n_genes,):
+                raise ValueError(
+                    f"thresholds must have shape ({matrix.n_genes},), got "
+                    f"{thresholds.shape}"
+                )
+            if np.any(thresholds < 0):
+                raise ValueError("thresholds must be non-negative")
+        self.thresholds: np.ndarray = thresholds
+        self.models: Tuple[RWaveModel, ...] = tuple(
+            RWaveModel(matrix.values[i], float(self.thresholds[i]), gene=i)
+            for i in range(matrix.n_genes)
+        )
+        n_genes, n_conditions = matrix.shape
+        self.max_up = np.empty((n_genes, n_conditions), dtype=np.intp)
+        self.max_down = np.empty((n_genes, n_conditions), dtype=np.intp)
+        for i, model in enumerate(self.models):
+            self.max_up[i, model.order] = model.max_chain_up
+            self.max_down[i, model.order] = model.max_chain_down
+
+    def model(self, gene: "int | str") -> RWaveModel:
+        """The RWave model of one gene."""
+        return self.models[self.matrix.gene_index(gene)]
+
+    def __len__(self) -> int:
+        return len(self.models)

@@ -1,0 +1,159 @@
+"""JSON serialization of mining results.
+
+Downstream pipelines (enrichment services, notebooks, dashboards) want
+mined clusters as plain data.  This module converts clusters and whole
+mining results to/from a stable JSON schema.  Names are used when a
+matrix is supplied — making the files self-describing — and integer ids
+otherwise.
+
+Schema (version 1)::
+
+    {
+      "format": "reg-cluster/v1",
+      "parameters": {"min_genes": ..., "min_conditions": ...,
+                     "gamma": ..., "epsilon": ...},
+      "clusters": [
+        {"chain": [...], "p_members": [...], "n_members": [...]},
+        ...
+      ],
+      "statistics": {...}          # optional
+    }
+"""
+
+from __future__ import annotations
+
+import json
+from pathlib import Path
+from typing import Any, Dict, List, Optional, Sequence, Union
+
+from repro.core.cluster import RegCluster
+from repro.core.miner import MiningResult, SearchStatistics
+from repro.core.params import MiningParameters
+from repro.matrix.expression import ExpressionMatrix
+
+__all__ = [
+    "cluster_to_dict",
+    "cluster_from_dict",
+    "result_to_dict",
+    "result_from_dict",
+    "save_result",
+    "load_result",
+]
+
+FORMAT_TAG = "reg-cluster/v1"
+
+
+def cluster_to_dict(
+    cluster: RegCluster, matrix: Optional[ExpressionMatrix] = None
+) -> Dict[str, Any]:
+    """One cluster as a JSON-ready dict (names if a matrix is given)."""
+    if matrix is None:
+        return {
+            "chain": list(cluster.chain),
+            "p_members": list(cluster.p_members),
+            "n_members": list(cluster.n_members),
+        }
+    return {
+        "chain": [matrix.condition_names[c] for c in cluster.chain],
+        "p_members": [matrix.gene_names[g] for g in cluster.p_members],
+        "n_members": [matrix.gene_names[g] for g in cluster.n_members],
+    }
+
+
+def cluster_from_dict(
+    payload: Dict[str, Any], matrix: Optional[ExpressionMatrix] = None
+) -> RegCluster:
+    """Inverse of :func:`cluster_to_dict`.
+
+    Accepts either integer ids or names (the latter require a matrix).
+    """
+    def resolve(keys: Sequence[Any], axis: str) -> List[int]:
+        out: List[int] = []
+        for key in keys:
+            if isinstance(key, int):
+                out.append(key)
+            elif matrix is None:
+                raise ValueError(
+                    f"cluster payload uses names ({key!r}) but no matrix "
+                    f"was supplied to resolve them"
+                )
+            elif axis == "gene":
+                out.append(matrix.gene_index(key))
+            else:
+                out.append(matrix.condition_index(key))
+        return out
+
+    try:
+        chain = resolve(payload["chain"], "condition")
+        p_members = resolve(payload["p_members"], "gene")
+        n_members = resolve(payload.get("n_members", []), "gene")
+    except KeyError as missing:
+        raise ValueError(f"cluster payload missing key {missing}") from None
+    return RegCluster(
+        chain=tuple(chain),
+        p_members=tuple(p_members),
+        n_members=tuple(n_members),
+    )
+
+
+def result_to_dict(
+    result: MiningResult, matrix: Optional[ExpressionMatrix] = None
+) -> Dict[str, Any]:
+    """A whole mining result (parameters, clusters, statistics)."""
+    return {
+        "format": FORMAT_TAG,
+        "parameters": {
+            "min_genes": result.parameters.min_genes,
+            "min_conditions": result.parameters.min_conditions,
+            "gamma": result.parameters.gamma,
+            "epsilon": result.parameters.epsilon,
+            "max_clusters": result.parameters.max_clusters,
+        },
+        "clusters": [
+            cluster_to_dict(cluster, matrix) for cluster in result.clusters
+        ],
+        "statistics": result.statistics.as_dict(),
+    }
+
+
+def result_from_dict(
+    payload: Dict[str, Any], matrix: Optional[ExpressionMatrix] = None
+) -> MiningResult:
+    """Inverse of :func:`result_to_dict`."""
+    if payload.get("format") != FORMAT_TAG:
+        raise ValueError(
+            f"unsupported format {payload.get('format')!r}; "
+            f"expected {FORMAT_TAG!r}"
+        )
+    params = MiningParameters(**payload["parameters"])
+    clusters = [
+        cluster_from_dict(entry, matrix) for entry in payload["clusters"]
+    ]
+    statistics = SearchStatistics()
+    for key, value in payload.get("statistics", {}).items():
+        if hasattr(statistics, key):
+            setattr(statistics, key, int(value))
+    return MiningResult(
+        clusters=clusters, statistics=statistics, parameters=params
+    )
+
+
+def save_result(
+    result: MiningResult,
+    path: Union[str, Path],
+    *,
+    matrix: Optional[ExpressionMatrix] = None,
+    indent: int = 2,
+) -> None:
+    """Write a mining result to a JSON file."""
+    with open(path, "w", encoding="utf-8") as handle:
+        json.dump(result_to_dict(result, matrix), handle, indent=indent)
+        handle.write("\n")
+
+
+def load_result(
+    path: Union[str, Path], *, matrix: Optional[ExpressionMatrix] = None
+) -> MiningResult:
+    """Read a mining result from a JSON file."""
+    with open(path, "r", encoding="utf-8") as handle:
+        return result_from_dict(json.load(handle), matrix)

@@ -1,0 +1,132 @@
+"""Search tracing: reconstruct the paper's Figure 6 enumeration tree.
+
+Figure 6 of the paper draws the depth-first enumeration of representative
+regulation chains for the running example, labelling each pruned edge
+with the pruning strategy that cut it.  :class:`SearchTrace` is an
+optional observer the miner reports every search event to; its
+:meth:`SearchTrace.render` produces the same tree as indented ASCII:
+
+    (root)
+      c2  [expanded]
+        c2 c1  [pruned (1)]
+        c2 c9  [pruned (1)]
+        c2 c10  [expanded]
+          c2 c10 c5  [pruned (4)]
+          c2 c10 c8  [pruned (1)]
+      c3  [pruned (3a)]
+      c7  [expanded]
+        ...
+
+Tracing is off by default (zero overhead); pass a ``SearchTrace`` to
+:class:`repro.core.miner.RegClusterMiner` to enable it.  Intended for
+small matrices — the trace grows with the number of visited nodes.
+"""
+
+from __future__ import annotations
+
+from typing import Dict, List, Optional, Sequence, Tuple
+
+__all__ = ["SearchTrace"]
+
+Chain = Tuple[int, ...]
+
+#: Human-readable labels per event kind, in display priority order.
+_EVENT_LABELS = {
+    "expanded": "expanded",
+    "emitted": "VALIDATED reg-cluster",
+    "pruned_min_genes": "pruned (1) MinG",
+    "pruned_p_majority": "pruned (3a) p-members < MinG/2",
+    "pruned_redundant": "pruned (3b) redundant",
+    "pruned_reachability": "pruned (2) cannot reach MinC",
+    "pruned_coherence": "pruned (4) no coherent window",
+}
+
+
+class SearchTrace:
+    """Records miner search events, keyed by the enumerated chain."""
+
+    def __init__(self) -> None:
+        self._events: Dict[Chain, List[str]] = {}
+        self._order: List[Chain] = []
+
+    # ------------------------------------------------------------------
+    # Recording (called by the miner)
+    # ------------------------------------------------------------------
+
+    def record(self, chain: Sequence[int], event: str) -> None:
+        """Attach one event to a chain node."""
+        if event not in _EVENT_LABELS:
+            raise ValueError(f"unknown trace event {event!r}")
+        key = tuple(int(c) for c in chain)
+        if key not in self._events:
+            self._events[key] = []
+            self._order.append(key)
+        if event not in self._events[key]:
+            self._events[key].append(event)
+
+    # ------------------------------------------------------------------
+    # Queries
+    # ------------------------------------------------------------------
+
+    def events(self, chain: Sequence[int]) -> Tuple[str, ...]:
+        """Events recorded for one chain (empty if never visited)."""
+        return tuple(self._events.get(tuple(int(c) for c in chain), ()))
+
+    def chains(self) -> List[Chain]:
+        """Every traced chain, in first-visit (depth-first) order."""
+        return list(self._order)
+
+    def n_nodes(self) -> int:
+        return len(self._order)
+
+    def pruned_chains(self, strategy: Optional[str] = None) -> List[Chain]:
+        """Chains cut by a pruning (optionally one specific strategy)."""
+        wanted = (
+            [f"pruned_{strategy}"] if strategy is not None
+            else [e for e in _EVENT_LABELS if e.startswith("pruned")]
+        )
+        return [
+            chain
+            for chain in self._order
+            if any(e in self._events[chain] for e in wanted)
+        ]
+
+    def validated_chains(self) -> List[Chain]:
+        """Chains emitted as reg-clusters."""
+        return [
+            chain for chain in self._order
+            if "emitted" in self._events[chain]
+        ]
+
+    # ------------------------------------------------------------------
+    # Rendering
+    # ------------------------------------------------------------------
+
+    def render(
+        self, condition_names: Optional[Sequence[str]] = None
+    ) -> str:
+        """The Figure 6 tree as indented ASCII.
+
+        Nodes appear in depth-first visit order; each line shows the
+        chain (condition names if provided) and its event labels.
+        """
+        def name(condition: int) -> str:
+            if condition_names is not None:
+                return condition_names[condition]
+            return f"c{condition + 1}"
+
+        lines = ["(root)"]
+        for chain in self._order:
+            labels = ", ".join(
+                _EVENT_LABELS[e] for e in self._events[chain]
+            )
+            indent = "  " * len(chain)
+            text = " ".join(name(c) for c in chain)
+            lines.append(f"{indent}{text}  [{labels}]")
+        return "\n".join(lines)
+
+    def __repr__(self) -> str:
+        return (
+            f"SearchTrace(nodes={self.n_nodes()}, "
+            f"validated={len(self.validated_chains())})"
+        )

@@ -1,0 +1,159 @@
+"""Literal Definition 3.2 checker, independent of the miner.
+
+The functions here re-verify a candidate reg-cluster directly against the
+paper's definition — *every* pair of conditions regulated for every member
+gene (not just adjacent pairs), and *every* pair of genes coherent at
+every adjacent step — sharing no code with the search.  Tests use it to
+certify the miner's output; applications can use it to sanity-check
+clusters imported from elsewhere.
+"""
+
+from __future__ import annotations
+
+from typing import List, Sequence
+
+import numpy as np
+
+from repro.core.cluster import RegCluster
+from repro.core.params import MiningParameters
+from repro.core.regulation import gene_thresholds
+from repro.matrix.expression import ExpressionMatrix
+
+__all__ = ["validation_errors", "is_valid_reg_cluster", "check_chain"]
+
+
+def _pairwise_regulated(
+    profile: np.ndarray, threshold: float, *, ascending: bool
+) -> bool:
+    """Is every pair of chain positions regulated in the right direction?
+
+    ``profile`` holds the gene's values in chain order.  Ascending members
+    need ``d[b] - d[a] > threshold`` for every ``a < b``; descending
+    members the mirror image.
+    """
+    diff = profile[None, :] - profile[:, None]  # diff[a, b] = d[b] - d[a]
+    upper = np.triu_indices(len(profile), k=1)
+    steps = diff[upper]
+    if ascending:
+        return bool(np.all(steps > threshold))
+    return bool(np.all(steps < -threshold))
+
+
+def validation_errors(
+    matrix: ExpressionMatrix,
+    cluster: RegCluster,
+    params: MiningParameters,
+    *,
+    atol: float = 1e-9,
+    thresholds: "np.ndarray | None" = None,
+) -> List[str]:
+    """All ways a cluster violates Definition 3.2 (empty list == valid).
+
+    Checks performed, in order:
+
+    * shape: minimum gene / condition counts;
+    * regulation: every member, every *pair* of chain conditions (the
+      paper's "increase or decrease ... across any two conditions ... is
+      significant");
+    * coherence: every pair of members, every adjacent step, H scores
+      within ``epsilon``;
+    * orientation: the stored chain is the representative one.
+    """
+    errors: List[str] = []
+    chain = cluster.chain
+    if cluster.n_conditions < params.min_conditions:
+        errors.append(
+            f"chain has {cluster.n_conditions} conditions, "
+            f"fewer than MinC={params.min_conditions}"
+        )
+    if cluster.n_genes < params.min_genes:
+        errors.append(
+            f"cluster has {cluster.n_genes} genes, "
+            f"fewer than MinG={params.min_genes}"
+        )
+    if cluster.n_conditions < 2:
+        errors.append("chain needs at least two conditions")
+        return errors
+
+    if thresholds is None:
+        thresholds = gene_thresholds(matrix, params.gamma)
+    cond = np.asarray(chain, dtype=np.intp)
+
+    for gene in cluster.p_members:
+        profile = matrix.values[gene][cond]
+        if not _pairwise_regulated(
+            profile, float(thresholds[gene]), ascending=True
+        ):
+            errors.append(
+                f"p-member gene {gene} is not up-regulated across every "
+                f"condition pair of the chain"
+            )
+    for gene in cluster.n_members:
+        profile = matrix.values[gene][cond]
+        if not _pairwise_regulated(
+            profile, float(thresholds[gene]), ascending=False
+        ):
+            errors.append(
+                f"n-member gene {gene} is not down-regulated across every "
+                f"condition pair of the chain"
+            )
+
+    if not errors:
+        # H-score coherence; regulation above guarantees non-degenerate
+        # baselines for every member.
+        members = cluster.genes
+        sub = matrix.values[np.ix_(np.asarray(members, dtype=np.intp), cond)]
+        baselines = sub[:, 1] - sub[:, 0]
+        h = np.diff(sub, axis=1) / baselines[:, None]
+        spread = h.max(axis=0) - h.min(axis=0)
+        bad_steps = np.flatnonzero(spread > params.epsilon + atol)
+        for k in bad_steps:
+            errors.append(
+                f"step {int(k)} ({chain[k]} -> {chain[k + 1]}): H spread "
+                f"{float(spread[k]):.6g} exceeds epsilon={params.epsilon}"
+            )
+
+    n_p, n_n = len(cluster.p_members), len(cluster.n_members)
+    if n_p < n_n or (
+        n_p == n_n and len(chain) >= 2 and chain[0] < chain[-1]
+    ):
+        errors.append(
+            f"chain orientation is not representative "
+            f"(|pX|={n_p}, |nX|={n_n}, chain={chain})"
+        )
+    return errors
+
+
+def is_valid_reg_cluster(
+    matrix: ExpressionMatrix,
+    cluster: RegCluster,
+    params: MiningParameters,
+    *,
+    atol: float = 1e-9,
+) -> bool:
+    """``True`` when :func:`validation_errors` finds nothing."""
+    return not validation_errors(matrix, cluster, params, atol=atol)
+
+
+def check_chain(
+    matrix: ExpressionMatrix,
+    gene: "int | str",
+    chain: Sequence["int | str"],
+    gamma: float,
+) -> str:
+    """Classify one gene against one chain: ``'p'``, ``'n'`` or ``'none'``.
+
+    A small diagnostic helper used by examples and notebook-style
+    exploration; unlike the miner this checks all pairs, not just
+    adjacent ones (they are equivalent — a property the test suite
+    verifies).
+    """
+    i = matrix.gene_index(gene)
+    cond = matrix.condition_indices(chain)
+    profile = matrix.values[i][cond]
+    threshold = float(gene_thresholds(matrix, gamma)[i])
+    if _pairwise_regulated(profile, threshold, ascending=True):
+        return "p"
+    if _pairwise_regulated(profile, threshold, ascending=False):
+        return "n"
+    return "none"

@@ -1,0 +1,99 @@
+"""Sliding-window partition of genes by coherence score (pruning 4).
+
+When the miner extends a chain by one condition, every candidate gene gets
+an H score for the new step (Eq. 7).  Genes sorted by that score are then
+partitioned into *maximal* intervals whose score spread is at most
+``epsilon`` — each interval of at least ``MinG`` genes becomes one child
+branch of the search.  Intervals may overlap, which is why reg-clusters
+themselves may overlap.
+"""
+
+from __future__ import annotations
+
+from typing import List, Tuple
+
+import numpy as np
+
+__all__ = ["maximal_coherent_windows", "coherent_gene_windows"]
+
+
+def maximal_coherent_windows(
+    sorted_scores: np.ndarray, epsilon: float, min_length: int
+) -> List[Tuple[int, int]]:
+    """Maximal windows of width <= epsilon over ascending scores.
+
+    Parameters
+    ----------
+    sorted_scores:
+        H scores in non-descending order.
+    epsilon:
+        Maximum allowed spread ``max - min`` inside one window.
+    min_length:
+        Windows with fewer elements are dropped (pruning 4 / MinG).
+
+    Returns
+    -------
+    List of half-open-free ``(start, end)`` index pairs, *inclusive* on
+    both sides, each maximal: extending the window in either direction
+    would either exceed epsilon or leave the array.
+
+    Notes
+    -----
+    Runs in O(n) with two pointers: the rightmost reachable end for each
+    start is non-decreasing, and a window is maximal exactly when its end
+    strictly advanced past the previous start's end.
+    """
+    scores = np.asarray(sorted_scores, dtype=np.float64)
+    n = scores.shape[0]
+    if min_length < 1:
+        raise ValueError(f"min_length must be >= 1, got {min_length}")
+    if epsilon < 0:
+        raise ValueError(f"epsilon must be >= 0, got {epsilon}")
+    if n and np.any(np.diff(scores) < 0):
+        raise ValueError("scores must be sorted in non-descending order")
+
+    windows: List[Tuple[int, int]] = []
+    end = 0
+    previous_end = -1
+    for start in range(n):
+        if end < start:
+            end = start
+        while end + 1 < n and scores[end + 1] - scores[start] <= epsilon:
+            end += 1
+        if end > previous_end:  # not contained in the previous window
+            if end - start + 1 >= min_length:
+                windows.append((start, end))
+            previous_end = end
+        if end == n - 1:
+            break
+    return windows
+
+
+def coherent_gene_windows(
+    genes: np.ndarray,
+    scores: np.ndarray,
+    epsilon: float,
+    min_length: int,
+) -> List[np.ndarray]:
+    """Partition genes into maximal coherent subsets by H score.
+
+    ``genes`` and ``scores`` are parallel arrays in any order; the result
+    is a list of gene-index arrays, one per maximal window of at least
+    ``min_length`` genes whose scores agree within ``epsilon``.  Genes
+    with non-finite scores are discarded first (they arise only from
+    degenerate baselines, which valid chain members never have).
+
+    Sorting is stable on (score, gene id) so the output is deterministic.
+    """
+    genes = np.asarray(genes, dtype=np.intp)
+    scores = np.asarray(scores, dtype=np.float64)
+    if genes.shape != scores.shape:
+        raise ValueError("genes and scores must be parallel arrays")
+    finite = np.isfinite(scores)
+    genes, scores = genes[finite], scores[finite]
+    order = np.lexsort((genes, scores))
+    genes, scores = genes[order], scores[order]
+    return [
+        genes[start : end + 1]
+        for start, end in maximal_coherent_windows(scores, epsilon, min_length)
+    ]

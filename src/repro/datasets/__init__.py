@@ -1,0 +1,37 @@
+"""Datasets: the paper's running example, synthetic generator, yeast surrogate."""
+
+from repro.datasets.noise import add_dropout, add_gaussian_noise, permute_cells
+from repro.datasets.running_example import (
+    RUNNING_EXAMPLE_VALUES,
+    load_running_example,
+)
+from repro.datasets.synthetic import (
+    SyntheticConfig,
+    SyntheticDataset,
+    make_synthetic_dataset,
+)
+from repro.datasets.yeast import (
+    DEFAULT_MODULES,
+    REPORTED_MODULE_NAMES,
+    YEAST_SHAPE,
+    YeastModule,
+    YeastSurrogate,
+    make_yeast_surrogate,
+)
+
+__all__ = [
+    "add_gaussian_noise",
+    "add_dropout",
+    "permute_cells",
+    "load_running_example",
+    "RUNNING_EXAMPLE_VALUES",
+    "SyntheticConfig",
+    "SyntheticDataset",
+    "make_synthetic_dataset",
+    "YeastModule",
+    "YeastSurrogate",
+    "YEAST_SHAPE",
+    "DEFAULT_MODULES",
+    "REPORTED_MODULE_NAMES",
+    "make_yeast_surrogate",
+]

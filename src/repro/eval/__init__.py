@@ -1,0 +1,47 @@
+"""Evaluation substrate: cluster matching, overlap statistics, GO enrichment."""
+
+from repro.eval.coverage import (
+    CoverageReport,
+    coverage_report,
+    gene_membership_counts,
+)
+from repro.eval.match import (
+    MatchReport,
+    best_match,
+    jaccard_cells,
+    match_report,
+    recovery_score,
+    relevance_score,
+)
+from repro.eval.profiles import render_cluster_profiles
+from repro.eval.significance import (
+    SignificanceReport,
+    empirical_p_value,
+    null_cluster_sizes,
+)
+from repro.eval.overlap import (
+    OverlapSummary,
+    overlap_summary,
+    pairwise_overlap_matrix,
+    select_non_overlapping,
+)
+
+__all__ = [
+    "jaccard_cells",
+    "best_match",
+    "recovery_score",
+    "relevance_score",
+    "MatchReport",
+    "match_report",
+    "pairwise_overlap_matrix",
+    "OverlapSummary",
+    "overlap_summary",
+    "select_non_overlapping",
+    "render_cluster_profiles",
+    "SignificanceReport",
+    "empirical_p_value",
+    "null_cluster_sizes",
+    "CoverageReport",
+    "coverage_report",
+    "gene_membership_counts",
+]

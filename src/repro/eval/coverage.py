@@ -1,0 +1,90 @@
+"""Coverage analysis: how much of the matrix a result explains.
+
+Section 2 of the paper motivates biclustering over projected clustering
+with the observation that *a gene may participate in several biological
+pathways* — i.e. overlapping clusters are a feature.  This module
+quantifies that for a mining result: cell coverage of the whole matrix,
+per-gene cluster membership counts, and the distribution of sharing.
+"""
+
+from __future__ import annotations
+
+from collections import Counter
+from dataclasses import dataclass
+from typing import Dict, Sequence, Tuple
+
+from repro.core.cluster import RegCluster
+from repro.matrix.expression import ExpressionMatrix
+
+__all__ = ["CoverageReport", "coverage_report", "gene_membership_counts"]
+
+
+def gene_membership_counts(
+    clusters: Sequence[RegCluster],
+) -> Dict[int, int]:
+    """How many clusters each gene belongs to (genes in >= 1 cluster)."""
+    counts: Counter = Counter()
+    for cluster in clusters:
+        for gene in cluster.genes:
+            counts[gene] += 1
+    return dict(counts)
+
+
+@dataclass(frozen=True)
+class CoverageReport:
+    """Cell/gene/condition coverage of one result set."""
+
+    n_clusters: int
+    covered_cells: int
+    total_cells: int
+    covered_genes: int
+    total_genes: int
+    covered_conditions: int
+    total_conditions: int
+    #: membership-count histogram: {1: genes in exactly one cluster, ...}
+    membership_histogram: Tuple[Tuple[int, int], ...]
+
+    @property
+    def cell_fraction(self) -> float:
+        return self.covered_cells / self.total_cells if self.total_cells else 0.0
+
+    @property
+    def multi_cluster_genes(self) -> int:
+        """Genes participating in more than one cluster (the paper's
+        multiple-pathway motivation)."""
+        return sum(
+            count for size, count in self.membership_histogram if size > 1
+        )
+
+    def __str__(self) -> str:
+        return (
+            f"{self.n_clusters} clusters cover {self.covered_cells}/"
+            f"{self.total_cells} cells ({self.cell_fraction:.1%}), "
+            f"{self.covered_genes}/{self.total_genes} genes, "
+            f"{self.covered_conditions}/{self.total_conditions} conditions; "
+            f"{self.multi_cluster_genes} genes sit in multiple clusters"
+        )
+
+
+def coverage_report(
+    clusters: Sequence[RegCluster], matrix: ExpressionMatrix
+) -> CoverageReport:
+    """Summarize what a cluster collection covers in a matrix."""
+    cells = set()
+    genes = set()
+    conditions = set()
+    for cluster in clusters:
+        cells |= cluster.cells()
+        genes |= set(cluster.genes)
+        conditions |= set(cluster.chain)
+    histogram = Counter(gene_membership_counts(clusters).values())
+    return CoverageReport(
+        n_clusters=len(clusters),
+        covered_cells=len(cells),
+        total_cells=matrix.n_genes * matrix.n_conditions,
+        covered_genes=len(genes),
+        total_genes=matrix.n_genes,
+        covered_conditions=len(conditions),
+        total_conditions=matrix.n_conditions,
+        membership_histogram=tuple(sorted(histogram.items())),
+    )

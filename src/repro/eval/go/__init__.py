@@ -1,0 +1,38 @@
+"""Simulated Gene Ontology substrate (Table 2's term finder)."""
+
+from repro.eval.go.annotation import AnnotationCorpus, annotate_surrogate
+from repro.eval.go.enrichment import (
+    TermEnrichment,
+    enrich,
+    go_table,
+    top_terms_by_namespace,
+)
+from repro.eval.go.io import (
+    load_annotations,
+    load_ontology,
+    save_annotations,
+    save_ontology,
+)
+from repro.eval.go.ontology import (
+    NAMESPACES,
+    GeneOntology,
+    GOTerm,
+    build_default_ontology,
+)
+
+__all__ = [
+    "GOTerm",
+    "GeneOntology",
+    "NAMESPACES",
+    "build_default_ontology",
+    "AnnotationCorpus",
+    "annotate_surrogate",
+    "TermEnrichment",
+    "enrich",
+    "top_terms_by_namespace",
+    "go_table",
+    "save_ontology",
+    "load_ontology",
+    "save_annotations",
+    "load_annotations",
+]

@@ -1,0 +1,152 @@
+"""On-disk formats for the GO substrate.
+
+Real enrichment pipelines exchange annotations as GAF-style tables and
+ontologies as OBO files.  This module implements compact dialects of
+both, so the simulated corpus can be exported for external tools (or a
+hand-edited corpus imported):
+
+* **annotations**: tab-delimited ``gene<TAB>term_id`` rows (one direct
+  annotation per line; ancestor closure is re-applied on load);
+* **ontology**: an OBO-lite stanza format::
+
+      [Term]
+      id: GO:0000003
+      name: DNA replication
+      namespace: biological_process
+      is_a: GO:0000002
+"""
+
+from __future__ import annotations
+
+from pathlib import Path
+from typing import Dict, FrozenSet, List, Set, Union
+
+from repro.eval.go.annotation import AnnotationCorpus
+from repro.eval.go.ontology import GeneOntology, GOTerm
+
+__all__ = [
+    "save_ontology",
+    "load_ontology",
+    "save_annotations",
+    "load_annotations",
+]
+
+
+def save_ontology(
+    ontology: GeneOntology, path: Union[str, Path]
+) -> None:
+    """Write an ontology in the OBO-lite stanza format."""
+    with open(path, "w", encoding="utf-8") as handle:
+        for term in ontology.terms():
+            handle.write("[Term]\n")
+            handle.write(f"id: {term.term_id}\n")
+            handle.write(f"name: {term.name}\n")
+            handle.write(f"namespace: {term.namespace}\n")
+            for parent in term.parents:
+                handle.write(f"is_a: {parent}\n")
+            handle.write("\n")
+
+
+def load_ontology(path: Union[str, Path]) -> GeneOntology:
+    """Read an OBO-lite file back into a :class:`GeneOntology`."""
+    terms: List[GOTerm] = []
+    current: Dict[str, List[str]] = {}
+
+    def flush() -> None:
+        if not current:
+            return
+        for required in ("id", "name", "namespace"):
+            if required not in current:
+                raise ValueError(
+                    f"[Term] stanza missing '{required}' "
+                    f"(near {current.get('id', ['?'])[0]})"
+                )
+        terms.append(
+            GOTerm(
+                term_id=current["id"][0],
+                name=current["name"][0],
+                namespace=current["namespace"][0],
+                parents=tuple(current.get("is_a", [])),
+            )
+        )
+        current.clear()
+
+    with open(path, "r", encoding="utf-8") as handle:
+        for raw in handle:
+            line = raw.strip()
+            if line == "[Term]":
+                flush()
+                continue
+            if not line:
+                continue
+            if ":" not in line:
+                raise ValueError(f"malformed OBO-lite line: {line!r}")
+            key, __, value = line.partition(":")
+            current.setdefault(key.strip(), []).append(value.strip())
+    flush()
+    if not terms:
+        raise ValueError("OBO-lite file contains no [Term] stanzas")
+    return GeneOntology(terms)
+
+
+def save_annotations(
+    corpus: AnnotationCorpus,
+    path: Union[str, Path],
+    *,
+    direct_only: bool = False,
+) -> None:
+    """Write ``gene<TAB>term`` rows.
+
+    With ``direct_only`` (recommended) each gene's annotation set is
+    reduced to the terms that are not implied by another of its terms;
+    the full upward closure is reconstructed on load.
+    """
+    ontology = corpus.ontology
+    with open(path, "w", encoding="utf-8") as handle:
+        handle.write("gene\tterm\n")
+        for gene in sorted(corpus.population):
+            terms = corpus.annotations.get(gene, frozenset())
+            if direct_only:
+                implied: Set[str] = set()
+                for term_id in terms:
+                    implied |= ontology.ancestors(term_id)
+                terms = frozenset(t for t in terms if t not in implied)
+            for term_id in sorted(terms):
+                handle.write(f"{gene}\t{term_id}\n")
+
+
+def load_annotations(
+    path: Union[str, Path], ontology: GeneOntology
+) -> AnnotationCorpus:
+    """Read ``gene<TAB>term`` rows, closing annotations upward.
+
+    The population is the set of genes appearing in the file.
+    """
+    direct: Dict[int, Set[str]] = {}
+    with open(path, "r", encoding="utf-8") as handle:
+        header = handle.readline()
+        if not header.startswith("gene"):
+            raise ValueError("annotation file missing 'gene\\tterm' header")
+        for lineno, raw in enumerate(handle, start=2):
+            line = raw.rstrip("\n")
+            if not line.strip():
+                continue
+            parts = line.split("\t")
+            if len(parts) != 2:
+                raise ValueError(f"line {lineno}: expected 2 fields")
+            gene_text, term_id = parts
+            if term_id not in ontology:
+                raise ValueError(
+                    f"line {lineno}: unknown GO term {term_id!r}"
+                )
+            direct.setdefault(int(gene_text), set()).add(term_id)
+
+    annotations: Dict[int, FrozenSet[str]] = {
+        gene: ontology.with_ancestors(terms)
+        for gene, terms in direct.items()
+    }
+    return AnnotationCorpus(
+        ontology=ontology,
+        annotations=annotations,
+        population=frozenset(annotations),
+    )

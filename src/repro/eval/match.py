@@ -1,0 +1,113 @@
+"""Matching mined clusters against embedded ground truth.
+
+The synthetic experiments need a way to say "the miner recovered the
+embedded clusters".  We use the standard bicluster match score (Prelic et
+al. style): the Jaccard similarity of the two clusters' cell sets, plus
+recovery / relevance aggregates over whole result collections.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Optional, Sequence, Tuple
+
+from repro.core.cluster import RegCluster
+
+__all__ = [
+    "jaccard_cells",
+    "best_match",
+    "recovery_score",
+    "relevance_score",
+    "MatchReport",
+    "match_report",
+]
+
+
+def jaccard_cells(found: RegCluster, truth: RegCluster) -> float:
+    """Jaccard similarity of the two clusters' (gene, condition) cells."""
+    a, b = found.cells(), truth.cells()
+    if not a and not b:
+        return 1.0
+    union = len(a | b)
+    return len(a & b) / union if union else 0.0
+
+
+def best_match(
+    cluster: RegCluster, pool: Sequence[RegCluster]
+) -> Tuple[Optional[RegCluster], float]:
+    """The pool cluster with the highest cell-Jaccard to ``cluster``."""
+    best: Optional[RegCluster] = None
+    best_score = 0.0
+    for other in pool:
+        score = jaccard_cells(cluster, other)
+        if score > best_score:
+            best, best_score = other, score
+    return best, best_score
+
+
+def recovery_score(
+    found: Sequence[RegCluster], embedded: Sequence[RegCluster]
+) -> float:
+    """How well the found clusters cover the embedded ones (in [0, 1]).
+
+    Average, over the embedded clusters, of the best Jaccard achieved by
+    any found cluster.  1.0 means every embedded cluster was recovered
+    exactly.
+    """
+    if not embedded:
+        return 1.0
+    return sum(best_match(t, found)[1] for t in embedded) / len(embedded)
+
+
+def relevance_score(
+    found: Sequence[RegCluster], embedded: Sequence[RegCluster]
+) -> float:
+    """How much of the found output corresponds to embedded structure.
+
+    Average, over the found clusters, of the best Jaccard achieved by any
+    embedded cluster.  Low relevance means the miner reports spurious
+    clusters.
+    """
+    if not found:
+        return 1.0 if not embedded else 0.0
+    return sum(best_match(f, embedded)[1] for f in found) / len(found)
+
+
+@dataclass(frozen=True)
+class MatchReport:
+    """Summary of a recovery experiment."""
+
+    recovery: float
+    relevance: float
+    n_found: int
+    n_embedded: int
+    #: number of embedded clusters matched with Jaccard >= the threshold
+    n_recovered: int
+    threshold: float
+
+    def __str__(self) -> str:
+        return (
+            f"recovered {self.n_recovered}/{self.n_embedded} embedded "
+            f"clusters (J >= {self.threshold}); recovery={self.recovery:.3f} "
+            f"relevance={self.relevance:.3f} from {self.n_found} found"
+        )
+
+
+def match_report(
+    found: Sequence[RegCluster],
+    embedded: Sequence[RegCluster],
+    *,
+    threshold: float = 0.9,
+) -> MatchReport:
+    """Full recovery/relevance report for a mining run."""
+    n_recovered = sum(
+        1 for t in embedded if best_match(t, found)[1] >= threshold
+    )
+    return MatchReport(
+        recovery=recovery_score(found, embedded),
+        relevance=relevance_score(found, embedded),
+        n_found=len(found),
+        n_embedded=len(embedded),
+        n_recovered=n_recovered,
+        threshold=threshold,
+    )

@@ -1,0 +1,105 @@
+"""ASCII rendering of cluster expression profiles (Figure 8 style).
+
+The paper's Figure 8 plots each cluster's gene profiles over its
+conditions — p-members as solid lines, n-members as dashed lines, with
+the characteristic crossovers of shifting-and-scaling patterns.  Without
+a plotting backend, this module renders the same content as a character
+grid: one column block per condition, ``*`` tracing p-member profiles and
+``o`` tracing n-member profiles.
+"""
+
+from __future__ import annotations
+
+from typing import List
+
+import numpy as np
+
+from repro.core.cluster import RegCluster
+from repro.matrix.expression import ExpressionMatrix
+
+__all__ = ["render_cluster_profiles"]
+
+
+def render_cluster_profiles(
+    cluster: RegCluster,
+    matrix: ExpressionMatrix,
+    *,
+    height: int = 16,
+    column_width: int = 8,
+    normalize: bool = True,
+) -> str:
+    """Draw a cluster's member profiles as an ASCII chart.
+
+    Parameters
+    ----------
+    cluster:
+        The cluster to draw; conditions appear in chain order.
+    matrix:
+        The expression data.
+    height:
+        Number of character rows for the value axis.
+    column_width:
+        Horizontal spacing between conditions.
+    normalize:
+        Per-gene min-max normalization (default) makes the shared
+        shifting-and-scaling *shape* visible regardless of each gene's
+        scale; pass ``False`` to plot raw values.
+    """
+    if height < 2 or column_width < 3:
+        raise ValueError("height >= 2 and column_width >= 3 required")
+    sub = cluster.submatrix(matrix)
+    values = np.array(sub.values, copy=True)
+    # submatrix rows follow cluster.genes (sorted ids); mark p/n per row
+    p_set = set(cluster.p_members)
+    row_is_p = [gene in p_set for gene in cluster.genes]
+
+    if normalize:
+        lo = values.min(axis=1, keepdims=True)
+        hi = values.max(axis=1, keepdims=True)
+        span = np.where(hi - lo == 0, 1.0, hi - lo)
+        values = (values - lo) / span
+    overall_lo = float(values.min())
+    overall_hi = float(values.max())
+    span = overall_hi - overall_lo or 1.0
+
+    n_genes, n_conditions = values.shape
+    width = column_width * (n_conditions - 1) + 1 if n_conditions > 1 else 1
+    grid: List[List[str]] = [[" "] * width for __ in range(height)]
+
+    def to_row(value: float) -> int:
+        frac = (value - overall_lo) / span
+        return int(round((height - 1) * (1.0 - frac)))
+
+    # order matters: draw p-members second so '*' wins contested cells
+    gene_order = [r for r in range(n_genes) if not row_is_p[r]] + [
+        r for r in range(n_genes) if row_is_p[r]
+    ]
+    for gene_row in gene_order:
+        marker = "*" if row_is_p[gene_row] else "o"
+        for k in range(n_conditions):
+            x0 = k * column_width
+            y0 = to_row(values[gene_row, k])
+            grid[y0][x0] = marker
+            if k + 1 < n_conditions:
+                y1 = to_row(values[gene_row, k + 1])
+                for step in range(1, column_width):
+                    x = x0 + step
+                    y = int(round(y0 + (y1 - y0) * step / column_width))
+                    if grid[y][x] == " ":
+                        grid[y][x] = "." if marker == "o" else "-"
+
+    condition_labels = [sub.condition_names[k] for k in range(n_conditions)]
+    label_row = [" "] * (width + column_width)
+    for k, label in enumerate(condition_labels):
+        x = k * column_width
+        for offset, char in enumerate(label[: column_width - 1]):
+            label_row[x + offset] = char
+
+    legend = (
+        f"p-members (*/-): {len(cluster.p_members)}   "
+        f"n-members (o/.): {len(cluster.n_members)}"
+    )
+    lines = ["".join(row).rstrip() for row in grid]
+    lines.append("".join(label_row).rstrip())
+    lines.append(legend)
+    return "\n".join(lines)

@@ -1,0 +1,63 @@
+"""Experiment drivers — one module per paper table/figure.
+
+The benchmark suite (``benchmarks/``) and the ``reg-cluster experiment``
+CLI subcommand are thin wrappers around these drivers; importing them
+directly lets a notebook or downstream pipeline regenerate any paper
+result programmatically:
+
+>>> from repro.experiments import run_figure1
+>>> run_figure1().reg_cluster_groups_all
+True
+"""
+
+from repro.experiments.fig7 import (
+    Figure7Result,
+    PAPER_SWEEPS,
+    QUICK_SWEEPS,
+    run_figure7,
+)
+from repro.experiments.fig8 import (
+    PAPER_YEAST_PARAMETERS,
+    Figure8Cluster,
+    Figure8Result,
+    count_crossovers,
+    run_figure8,
+)
+from repro.experiments.model_comparison import (
+    Figure1Result,
+    Figure2Result,
+    Figure4Result,
+    figure1_patterns,
+    run_figure1,
+    run_figure2,
+    run_figure4,
+)
+from repro.experiments.table2 import (
+    PAPER_TABLE2_TEXT,
+    Table2Result,
+    Table2Row,
+    run_table2,
+)
+
+__all__ = [
+    "run_figure1",
+    "run_figure2",
+    "run_figure4",
+    "run_figure7",
+    "run_figure8",
+    "run_table2",
+    "Figure1Result",
+    "Figure2Result",
+    "Figure4Result",
+    "Figure7Result",
+    "Figure8Result",
+    "Figure8Cluster",
+    "Table2Result",
+    "Table2Row",
+    "figure1_patterns",
+    "count_crossovers",
+    "PAPER_SWEEPS",
+    "QUICK_SWEEPS",
+    "PAPER_YEAST_PARAMETERS",
+    "PAPER_TABLE2_TEXT",
+]

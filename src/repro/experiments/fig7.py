@@ -1,0 +1,102 @@
+"""Experiment driver for Figure 7 — efficiency on synthetic datasets.
+
+Runs the paper's three scalability sweeps (runtime vs ``#g``, ``#cond``
+and ``#clus`` with the other two generator parameters at their defaults)
+and renders the series.  The benchmark in ``benchmarks/`` and the CLI's
+``experiment fig7`` subcommand are both thin wrappers over
+:func:`run_figure7`.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Dict, List, Sequence
+
+from repro.bench.report import ascii_series
+from repro.bench.runner import SweepResult, run_sweep
+from repro.datasets.synthetic import SyntheticConfig
+
+__all__ = ["Figure7Result", "run_figure7", "PAPER_SWEEPS", "QUICK_SWEEPS"]
+
+#: Sweep ranges at the paper's dataset sizes.
+PAPER_SWEEPS: Dict[str, Sequence[int]] = {
+    "n_genes": (1000, 2000, 3000, 4000, 5000),
+    "n_conditions": (20, 25, 30, 35, 40),
+    "n_clusters": (10, 20, 30, 40, 50),
+}
+
+#: Reduced ranges for quick runs / tests.
+QUICK_SWEEPS: Dict[str, Sequence[int]] = {
+    "n_genes": (200, 400, 600),
+    "n_conditions": (12, 16, 20),
+    "n_clusters": (2, 6, 10),
+}
+
+#: Expected curve shapes, straight from the paper's section 5.1.
+EXPECTED_SHAPES = {
+    "n_genes": "slightly more than linear in #g",
+    "n_conditions": "super-linear in #cond (worst of the three)",
+    "n_clusters": "approximately linear in #clus",
+}
+
+
+@dataclass(frozen=True)
+class Figure7Result:
+    """The three sweeps of Figure 7."""
+
+    sweeps: Dict[str, SweepResult]
+
+    def growth_ratio(self, parameter: str) -> float:
+        """Runtime growth normalized by parameter growth (1.0 = linear)."""
+        sweep = self.sweeps[parameter]
+        seconds = sweep.seconds()
+        values = sweep.values()
+        time_ratio = seconds[-1] / max(seconds[0], 1e-9)
+        value_ratio = values[-1] / values[0]
+        return time_ratio / value_ratio
+
+    def render(self) -> str:
+        """All three panels as ASCII bar series."""
+        blocks: List[str] = []
+        for parameter, sweep in self.sweeps.items():
+            blocks.append(
+                ascii_series(
+                    f"Figure 7: average runtime vs {parameter}",
+                    sweep.values(),
+                    sweep.seconds(),
+                    unit="s",
+                )
+            )
+            blocks.append(f"  expected: {EXPECTED_SHAPES[parameter]}")
+            blocks.append("")
+        return "\n".join(blocks).rstrip()
+
+
+def run_figure7(
+    *,
+    scale: str = "paper",
+    base_config: "SyntheticConfig | None" = None,
+    repeats: int = 1,
+) -> Figure7Result:
+    """Run all three Figure 7 sweeps.
+
+    ``scale`` is ``"paper"`` (generator defaults 3000 x 30 x 30) or
+    ``"quick"``; a custom ``base_config`` overrides the center point.
+    """
+    if scale == "paper":
+        sweeps_spec = PAPER_SWEEPS
+        config = base_config if base_config is not None else SyntheticConfig()
+    elif scale == "quick":
+        sweeps_spec = QUICK_SWEEPS
+        config = base_config if base_config is not None else SyntheticConfig(
+            n_genes=400, n_conditions=16, n_clusters=6
+        )
+    else:
+        raise ValueError(f"scale must be 'paper' or 'quick', got {scale!r}")
+
+    sweeps: Dict[str, SweepResult] = {}
+    for parameter, values in sweeps_spec.items():
+        sweeps[parameter] = run_sweep(
+            parameter, values, base_config=config, repeats=repeats
+        )
+    return Figure7Result(sweeps=sweeps)

@@ -1,0 +1,32 @@
+"""Expression-matrix substrate: container, I/O and transforms."""
+
+from repro.matrix.expression import ExpressionMatrix
+from repro.matrix.io import (
+    format_expression_text,
+    impute_missing,
+    load_expression_matrix,
+    parse_expression_text,
+    save_expression_matrix,
+)
+from repro.matrix.summary import MatrixSummary, summarize
+from repro.matrix.transform import (
+    exp_transform,
+    log_transform,
+    rank_transform,
+    standardize_genes,
+)
+
+__all__ = [
+    "ExpressionMatrix",
+    "load_expression_matrix",
+    "save_expression_matrix",
+    "parse_expression_text",
+    "format_expression_text",
+    "impute_missing",
+    "log_transform",
+    "exp_transform",
+    "standardize_genes",
+    "rank_transform",
+    "MatrixSummary",
+    "summarize",
+]

@@ -1,0 +1,253 @@
+"""Expression-matrix container.
+
+The :class:`ExpressionMatrix` is the substrate every other subsystem is
+built on.  It wraps a dense ``float64`` numpy array of shape
+``(n_genes, n_conditions)`` together with gene and condition names, and
+offers the handful of views the reg-cluster machinery needs: row access by
+name or index, projections onto gene/condition subsets, and per-gene
+summary statistics.
+
+The container is deliberately immutable after construction: the mining
+algorithm pre-computes per-gene index structures (see
+:mod:`repro.core.rwave`) that would be invalidated by in-place mutation.
+"""
+
+from __future__ import annotations
+
+from typing import Iterable, Mapping, Optional, Sequence, Tuple, Union
+
+import numpy as np
+
+__all__ = ["ExpressionMatrix"]
+
+GeneKey = Union[int, str]
+ConditionKey = Union[int, str]
+
+
+class ExpressionMatrix:
+    """A genes x conditions matrix of expression levels.
+
+    Parameters
+    ----------
+    values:
+        Anything convertible to a 2-D ``float64`` numpy array with shape
+        ``(n_genes, n_conditions)``.
+    gene_names:
+        Optional sequence of unique gene identifiers.  Defaults to
+        ``g1 .. gN`` (matching the paper's notation).
+    condition_names:
+        Optional sequence of unique condition identifiers.  Defaults to
+        ``c1 .. cM``.
+
+    Raises
+    ------
+    ValueError
+        If the array is not 2-D, contains non-finite entries, or the name
+        sequences do not match the array shape or contain duplicates.
+
+    Examples
+    --------
+    >>> m = ExpressionMatrix([[1.0, 2.0, 3.0], [2.0, 4.0, 6.0]])
+    >>> m.shape
+    (2, 3)
+    >>> m.gene_names[0], m.condition_names[-1]
+    ('g1', 'c3')
+    """
+
+    def __init__(
+        self,
+        values: Union[np.ndarray, Sequence[Sequence[float]]],
+        gene_names: Optional[Sequence[str]] = None,
+        condition_names: Optional[Sequence[str]] = None,
+    ) -> None:
+        array = np.asarray(values, dtype=np.float64)
+        if array.ndim != 2:
+            raise ValueError(
+                f"expression values must be 2-D, got shape {array.shape}"
+            )
+        if array.size and not np.all(np.isfinite(array)):
+            raise ValueError(
+                "expression values must be finite; impute or drop missing "
+                "values first (see repro.matrix.io.impute_missing)"
+            )
+        self._values = array
+        self._values.setflags(write=False)
+        n_genes, n_conditions = array.shape
+
+        self._gene_names = self._checked_names(gene_names, n_genes, "g", "gene")
+        self._condition_names = self._checked_names(
+            condition_names, n_conditions, "c", "condition"
+        )
+        self._gene_index: Mapping[str, int] = {
+            name: i for i, name in enumerate(self._gene_names)
+        }
+        self._condition_index: Mapping[str, int] = {
+            name: j for j, name in enumerate(self._condition_names)
+        }
+
+    @staticmethod
+    def _checked_names(
+        names: Optional[Sequence[str]], count: int, prefix: str, kind: str
+    ) -> Tuple[str, ...]:
+        if names is None:
+            return tuple(f"{prefix}{i + 1}" for i in range(count))
+        names = tuple(str(n) for n in names)
+        if len(names) != count:
+            raise ValueError(
+                f"expected {count} {kind} names, got {len(names)}"
+            )
+        if len(set(names)) != len(names):
+            raise ValueError(f"{kind} names must be unique")
+        return names
+
+    # ------------------------------------------------------------------
+    # Basic accessors
+    # ------------------------------------------------------------------
+
+    @property
+    def values(self) -> np.ndarray:
+        """The underlying (read-only) ``float64`` array."""
+        return self._values
+
+    @property
+    def shape(self) -> Tuple[int, int]:
+        """``(n_genes, n_conditions)``."""
+        return self._values.shape
+
+    @property
+    def n_genes(self) -> int:
+        return self._values.shape[0]
+
+    @property
+    def n_conditions(self) -> int:
+        return self._values.shape[1]
+
+    @property
+    def gene_names(self) -> Tuple[str, ...]:
+        return self._gene_names
+
+    @property
+    def condition_names(self) -> Tuple[str, ...]:
+        return self._condition_names
+
+    def __repr__(self) -> str:
+        return (
+            f"ExpressionMatrix(n_genes={self.n_genes}, "
+            f"n_conditions={self.n_conditions})"
+        )
+
+    def __eq__(self, other: object) -> bool:
+        if not isinstance(other, ExpressionMatrix):
+            return NotImplemented
+        return (
+            self._gene_names == other._gene_names
+            and self._condition_names == other._condition_names
+            and np.array_equal(self._values, other._values)
+        )
+
+    def __hash__(self) -> int:  # pragma: no cover - identity hashing
+        return id(self)
+
+    # ------------------------------------------------------------------
+    # Name <-> index resolution
+    # ------------------------------------------------------------------
+
+    def gene_index(self, gene: GeneKey) -> int:
+        """Resolve a gene name or integer index to an integer index."""
+        if isinstance(gene, (int, np.integer)):
+            index = int(gene)
+            if not -self.n_genes <= index < self.n_genes:
+                raise IndexError(f"gene index {index} out of range")
+            return index % self.n_genes
+        try:
+            return self._gene_index[gene]
+        except KeyError:
+            raise KeyError(f"unknown gene {gene!r}") from None
+
+    def condition_index(self, condition: ConditionKey) -> int:
+        """Resolve a condition name or integer index to an integer index."""
+        if isinstance(condition, (int, np.integer)):
+            index = int(condition)
+            if not -self.n_conditions <= index < self.n_conditions:
+                raise IndexError(f"condition index {index} out of range")
+            return index % self.n_conditions
+        try:
+            return self._condition_index[condition]
+        except KeyError:
+            raise KeyError(f"unknown condition {condition!r}") from None
+
+    def gene_indices(self, genes: Iterable[GeneKey]) -> np.ndarray:
+        """Resolve an iterable of gene keys to an index array."""
+        return np.asarray([self.gene_index(g) for g in genes], dtype=np.intp)
+
+    def condition_indices(self, conditions: Iterable[ConditionKey]) -> np.ndarray:
+        """Resolve an iterable of condition keys to an index array."""
+        return np.asarray(
+            [self.condition_index(c) for c in conditions], dtype=np.intp
+        )
+
+    # ------------------------------------------------------------------
+    # Views
+    # ------------------------------------------------------------------
+
+    def row(self, gene: GeneKey) -> np.ndarray:
+        """Expression profile of one gene across all conditions."""
+        return self._values[self.gene_index(gene)]
+
+    def column(self, condition: ConditionKey) -> np.ndarray:
+        """Expression levels of all genes under one condition."""
+        return self._values[:, self.condition_index(condition)]
+
+    def value(self, gene: GeneKey, condition: ConditionKey) -> float:
+        """Single expression level ``d_{i,c}``."""
+        return float(
+            self._values[self.gene_index(gene), self.condition_index(condition)]
+        )
+
+    def submatrix(
+        self,
+        genes: Optional[Iterable[GeneKey]] = None,
+        conditions: Optional[Iterable[ConditionKey]] = None,
+    ) -> "ExpressionMatrix":
+        """Project onto a subset of genes and/or conditions.
+
+        The order of the returned rows/columns follows the order of the
+        given keys, which makes this suitable for materializing a
+        reg-cluster's submatrix in chain order.
+        """
+        if genes is None:
+            gene_idx = np.arange(self.n_genes, dtype=np.intp)
+        else:
+            gene_idx = self.gene_indices(genes)
+        if conditions is None:
+            cond_idx = np.arange(self.n_conditions, dtype=np.intp)
+        else:
+            cond_idx = self.condition_indices(conditions)
+        return ExpressionMatrix(
+            self._values[np.ix_(gene_idx, cond_idx)],
+            [self._gene_names[i] for i in gene_idx],
+            [self._condition_names[j] for j in cond_idx],
+        )
+
+    # ------------------------------------------------------------------
+    # Per-gene statistics used by the regulation model
+    # ------------------------------------------------------------------
+
+    def gene_ranges(self) -> np.ndarray:
+        """Per-gene expression range ``max_j d_ij - min_j d_ij`` (Eq. 4)."""
+        if self.n_conditions == 0:
+            return np.zeros(self.n_genes)
+        return self._values.max(axis=1) - self._values.min(axis=1)
+
+    def describe(self) -> Mapping[str, float]:
+        """Whole-matrix summary statistics (for dataset reports)."""
+        v = self._values
+        if v.size == 0:
+            return {"min": float("nan"), "max": float("nan"),
+                    "mean": float("nan"), "std": float("nan")}
+        return {
+            "min": float(v.min()),
+            "max": float(v.max()),
+            "mean": float(v.mean()),
+            "std": float(v.std()),
+        }

@@ -1,0 +1,96 @@
+"""Dataset profiling: quick-look statistics before mining.
+
+Choosing mining parameters needs a feel for the data: per-gene dynamic
+ranges (which set the regulation thresholds), per-condition level shifts,
+and how concentrated the expression values are.  ``summarize`` computes a
+compact report; the CLI's ``describe`` subcommand prints it.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import List, Tuple
+
+import numpy as np
+
+from repro.matrix.expression import ExpressionMatrix
+
+__all__ = ["MatrixSummary", "summarize"]
+
+
+def _quantiles(values: np.ndarray) -> Tuple[float, float, float]:
+    q25, q50, q75 = np.quantile(values, [0.25, 0.5, 0.75])
+    return float(q25), float(q50), float(q75)
+
+
+@dataclass(frozen=True)
+class MatrixSummary:
+    """Headline statistics of one expression matrix."""
+
+    n_genes: int
+    n_conditions: int
+    value_min: float
+    value_max: float
+    value_mean: float
+    value_std: float
+    #: quartiles of the per-gene expression ranges (Eq. 4 inputs)
+    gene_range_quartiles: Tuple[float, float, float]
+    #: quartiles of per-condition means (level shifts across conditions)
+    condition_mean_quartiles: Tuple[float, float, float]
+    n_constant_genes: int
+
+    def suggested_gamma_threshold(self, gamma: float) -> float:
+        """Median per-gene regulation threshold at a given gamma."""
+        return gamma * self.gene_range_quartiles[1]
+
+    def render(self) -> str:
+        rows = [
+            ["genes x conditions", f"{self.n_genes} x {self.n_conditions}"],
+            ["value range", f"[{self.value_min:.4g}, {self.value_max:.4g}]"],
+            ["value mean +- std",
+             f"{self.value_mean:.4g} +- {self.value_std:.4g}"],
+            ["gene range quartiles",
+             " / ".join(f"{q:.4g}" for q in self.gene_range_quartiles)],
+            ["condition mean quartiles",
+             " / ".join(f"{q:.4g}" for q in self.condition_mean_quartiles)],
+            ["constant genes", str(self.n_constant_genes)],
+        ]
+        # rendered locally (not via repro.bench) to keep the matrix
+        # substrate free of upward dependencies
+        width = max(len(label) for label, __ in rows)
+        return "\n".join(
+            f"{label.ljust(width)}  {value}" for label, value in rows
+        )
+
+
+def summarize(matrix: ExpressionMatrix) -> MatrixSummary:
+    """Profile a matrix.
+
+    Raises :class:`ValueError` on an empty matrix — there is nothing to
+    summarize and downstream quantiles would be undefined.
+    """
+    values = matrix.values
+    if values.size == 0:
+        raise ValueError("cannot summarize an empty matrix")
+    ranges = matrix.gene_ranges()
+    condition_means = values.mean(axis=0)
+    return MatrixSummary(
+        n_genes=matrix.n_genes,
+        n_conditions=matrix.n_conditions,
+        value_min=float(values.min()),
+        value_max=float(values.max()),
+        value_mean=float(values.mean()),
+        value_std=float(values.std()),
+        gene_range_quartiles=_quantiles(ranges),
+        condition_mean_quartiles=_quantiles(condition_means),
+        n_constant_genes=int(np.sum(ranges == 0)),
+    )
+
+
+def _top_variable_genes(
+    matrix: ExpressionMatrix, count: int
+) -> List[Tuple[str, float]]:
+    """The ``count`` genes with the widest expression ranges."""
+    ranges = matrix.gene_ranges()
+    order = np.argsort(-ranges, kind="stable")[:count]
+    return [(matrix.gene_names[i], float(ranges[i])) for i in order]

@@ -1,0 +1,102 @@
+"""Property-based tests on the baseline models (hypothesis)."""
+
+from __future__ import annotations
+
+import numpy as np
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.baselines.cheng_church import mean_squared_residue
+from repro.baselines.pcluster import max_pscore, pscore
+from repro.baselines.pcluster_fast import gene_pair_mds
+from repro.baselines.tricluster import ratio_range
+
+profiles = st.lists(
+    st.floats(min_value=-50, max_value=50, allow_nan=False, width=32),
+    min_size=2,
+    max_size=10,
+)
+
+pairs = st.tuples(profiles, profiles).filter(
+    lambda pair: len(pair[0]) == len(pair[1])
+)
+
+
+def paired(draw_len=st.integers(min_value=2, max_value=10)):
+    @st.composite
+    def build(draw):
+        n = draw(draw_len)
+        row = st.lists(
+            st.floats(min_value=-50, max_value=50, allow_nan=False,
+                      width=32),
+            min_size=n,
+            max_size=n,
+        )
+        return np.asarray(draw(row)), np.asarray(draw(row))
+    return build()
+
+
+@given(paired())
+@settings(max_examples=200, deadline=None)
+def test_pscore_shift_invariance(pair):
+    """Shifting either profile never changes the pScore structure."""
+    x, y = pair
+    base = max_pscore(np.vstack([x, y]))
+    shifted = max_pscore(np.vstack([x + 7.5, y]))
+    # tolerance: the shift perturbs each subtraction by at most one ulp
+    assert abs(base - shifted) < 1e-9
+
+
+@given(paired())
+@settings(max_examples=200, deadline=None)
+def test_max_pscore_is_difference_range(pair):
+    """The closed form equals the exhaustive 2x2 maximum."""
+    x, y = pair
+    exhaustive = 0.0
+    n = len(x)
+    for a in range(n):
+        for b in range(a + 1, n):
+            exhaustive = max(
+                exhaustive,
+                pscore(np.array([[x[a], x[b]], [y[a], y[b]]])),
+            )
+    assert abs(max_pscore(np.vstack([x, y])) - exhaustive) < 1e-12
+
+
+@given(paired(), st.floats(min_value=0, max_value=20))
+@settings(max_examples=150, deadline=None)
+def test_gene_pair_mds_windows_are_valid_and_maximal(pair, delta):
+    x, y = pair
+    windows = gene_pair_mds(x, y, delta, 2)
+    differences = x - y
+    for window in windows:
+        spread = differences[list(window)]
+        assert spread.max() - spread.min() <= delta
+        outside = [c for c in range(len(x)) if c not in window]
+        for extra in outside:
+            trial = np.append(spread, differences[extra])
+            # adding any outside condition breaks the window
+            assert trial.max() - trial.min() > delta
+
+
+@given(profiles, st.floats(min_value=0.1, max_value=5))
+@settings(max_examples=200, deadline=None)
+def test_ratio_range_scale_invariance(values, factor):
+    """Scaling a profile by a positive constant keeps ratios constant."""
+    x = np.asarray(values)
+    if np.any(x == 0):
+        return
+    assert ratio_range(factor * x, x) < 1e-6
+
+
+@given(paired())
+@settings(max_examples=150, deadline=None)
+def test_msr_shift_invariance(pair):
+    """MSR is invariant under row and column shifts."""
+    x, y = pair
+    block = np.vstack([x, y])
+    shifted = block + 3.0  # global shift
+    row_shifted = block + np.array([[1.0], [-2.0]])
+    base = mean_squared_residue(block)
+    assert abs(mean_squared_residue(shifted) - base) < 1e-8
+    assert abs(mean_squared_residue(row_shifted) - base) < 1e-8

@@ -1,0 +1,101 @@
+"""Unit tests for the full-space clustering baselines."""
+
+from __future__ import annotations
+
+import numpy as np
+import pytest
+
+from repro.baselines.fullspace import (
+    GeneClustering,
+    correlation_distance_matrix,
+    hierarchical_clusters,
+    kmeans_clusters,
+)
+from repro.matrix.expression import ExpressionMatrix
+
+
+def correlated_matrix():
+    rng = np.random.default_rng(7)
+    t = np.linspace(0, 1, 8)
+    family_a = [np.sin(2 * np.pi * t) * s + rng.normal(0, 0.01, 8)
+                for s in (1.0, 2.0, 3.0)]
+    family_b = [t * s + rng.normal(0, 0.01, 8) for s in (1.0, 5.0, 2.0)]
+    return ExpressionMatrix(np.vstack(family_a + family_b))
+
+
+class TestDistance:
+    def test_self_distance_zero(self):
+        m = correlated_matrix()
+        d = correlation_distance_matrix(m)
+        assert np.allclose(np.diag(d), 0.0)
+
+    def test_symmetry_and_range(self):
+        d = correlation_distance_matrix(correlated_matrix())
+        assert np.allclose(d, d.T)
+        assert d.min() >= 0.0 and d.max() <= 2.0
+
+    def test_perfect_correlation(self):
+        base = np.array([1.0, 2.0, 3.0])
+        m = ExpressionMatrix([base, 2.0 * base + 1.0, -base])
+        d = correlation_distance_matrix(m)
+        assert d[0, 1] == pytest.approx(0.0, abs=1e-12)
+        assert d[0, 2] == pytest.approx(2.0, abs=1e-12)
+
+    def test_constant_gene_distance_one(self):
+        m = ExpressionMatrix([[1.0, 2.0, 3.0], [5.0, 5.0, 5.0]])
+        d = correlation_distance_matrix(m)
+        assert d[0, 1] == pytest.approx(1.0)
+
+
+class TestHierarchical:
+    def test_separates_families(self):
+        clustering = hierarchical_clusters(correlated_matrix(), 2)
+        labels = clustering.labels
+        assert labels[0] == labels[1] == labels[2]
+        assert labels[3] == labels[4] == labels[5]
+        assert labels[0] != labels[3]
+
+    def test_n_clusters_bounds(self):
+        m = correlated_matrix()
+        with pytest.raises(ValueError):
+            hierarchical_clusters(m, 0)
+        with pytest.raises(ValueError):
+            hierarchical_clusters(m, 7)
+
+    def test_singleton_clusters(self):
+        m = correlated_matrix()
+        clustering = hierarchical_clusters(m, 6)
+        assert sorted(len(c) for c in clustering.clusters()) == [1] * 6
+
+
+class TestKMeans:
+    def test_partitions_all_genes(self):
+        clustering = kmeans_clusters(correlated_matrix(), 2, seed=0)
+        assert len(clustering.labels) == 6
+        assert sum(len(c) for c in clustering.clusters()) == 6
+
+    def test_deterministic_given_seed(self):
+        m = correlated_matrix()
+        a = kmeans_clusters(m, 3, seed=4)
+        b = kmeans_clusters(m, 3, seed=4)
+        assert a == b
+
+    def test_k_equals_n(self):
+        m = correlated_matrix()
+        clustering = kmeans_clusters(m, 6, seed=1)
+        assert len(set(clustering.labels)) == 6
+
+    def test_bounds(self):
+        with pytest.raises(ValueError):
+            kmeans_clusters(correlated_matrix(), 0)
+
+
+class TestGeneClustering:
+    def test_members_lookup(self):
+        clustering = GeneClustering(labels=(0, 1, 0), n_clusters=2)
+        assert clustering.members(0) == (0, 2)
+        assert clustering.members(1) == (1,)
+
+    def test_empty_clusters_omitted(self):
+        clustering = GeneClustering(labels=(0, 0), n_clusters=3)
+        assert clustering.clusters() == [(0, 1)]

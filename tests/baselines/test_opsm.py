@@ -1,0 +1,70 @@
+"""Unit tests for the OPSM baseline (Ben-Dor et al. — ref [3])."""
+
+from __future__ import annotations
+
+import numpy as np
+import pytest
+
+from repro.baselines.opsm import OPSMMiner, mine_opsm
+from repro.matrix.expression import ExpressionMatrix
+
+
+def planted_opsm_matrix():
+    """20 rows, 8 columns; rows 0-7 increase along columns (2,5,0,7)."""
+    rng = np.random.default_rng(11)
+    values = rng.uniform(0, 10, size=(20, 8))
+    order = [2, 5, 0, 7]
+    for row in range(8):
+        base = np.sort(rng.uniform(0, 10, size=4))
+        for position, column in enumerate(order):
+            values[row, column] = base[position]
+    return ExpressionMatrix(values), tuple(order)
+
+
+class TestMiner:
+    def test_recovers_planted_order(self):
+        matrix, order = planted_opsm_matrix()
+        model = mine_opsm(matrix, model_size=4, beam_width=50)
+        # the planted rows all support the model (possibly among others)
+        assert set(range(8)) <= set(model.rows)
+        assert model.order == order or model.support >= 8
+
+    def test_support_rows_actually_increase(self):
+        matrix, __ = planted_opsm_matrix()
+        model = mine_opsm(matrix, model_size=3, beam_width=30)
+        cols = matrix.values[:, list(model.order)]
+        for row in model.rows:
+            assert np.all(np.diff(cols[row]) > 0)
+
+    def test_model_size_respected(self):
+        matrix, __ = planted_opsm_matrix()
+        for size in (2, 3, 5):
+            model = mine_opsm(matrix, model_size=size, beam_width=20)
+            assert model.size == size
+
+    def test_support_decreases_with_model_size(self):
+        matrix, __ = planted_opsm_matrix()
+        supports = [
+            mine_opsm(matrix, model_size=k, beam_width=50).support
+            for k in (2, 4, 6)
+        ]
+        assert supports[0] >= supports[1] >= supports[2]
+
+    def test_magnitudes_ignored(self):
+        """The OPSM model groups rows whose magnitudes differ wildly —
+        the tendency-model weakness the reg-cluster paper targets."""
+        base = np.array([1.0, 2.0, 3.0, 4.0])
+        matrix = ExpressionMatrix(
+            np.vstack([base, 1000.0 * base, base + 0.001])
+        )
+        model = mine_opsm(matrix, model_size=4, beam_width=10)
+        assert model.support == 3
+
+    def test_parameter_validation(self):
+        matrix = ExpressionMatrix(np.zeros((3, 4)))
+        with pytest.raises(ValueError, match="model_size"):
+            OPSMMiner(matrix, model_size=1)
+        with pytest.raises(ValueError, match="exceeds"):
+            OPSMMiner(matrix, model_size=9)
+        with pytest.raises(ValueError, match="beam_width"):
+            OPSMMiner(matrix, model_size=2, beam_width=0)

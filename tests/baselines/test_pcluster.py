@@ -1,0 +1,120 @@
+"""Unit tests for the pCluster (pure shifting) baseline."""
+
+from __future__ import annotations
+
+import numpy as np
+import pytest
+
+from repro.baselines.pcluster import (
+    PClusterMiner,
+    is_pcluster,
+    max_pscore,
+    mine_pclusters,
+    pscore,
+)
+from repro.matrix.expression import ExpressionMatrix
+
+# Figure 1 of the paper: P1 = P2 - 5 = P3 - 15 = P4 = P5/1.5 = P6/3.
+P1 = np.array([10.0, 14.0, 9.0, 18.0, 25.0])
+PATTERNS = {
+    "P1": P1,
+    "P2": P1 + 5.0,
+    "P3": P1 + 15.0,
+    "P4": P1.copy(),
+    "P5": 1.5 * P1,
+    "P6": 3.0 * P1,
+}
+
+
+class TestPScore:
+    def test_2x2_definition(self):
+        block = np.array([[1.0, 3.0], [2.0, 5.0]])
+        # |(1-3) - (2-5)| = 1
+        assert pscore(block) == pytest.approx(1.0)
+
+    def test_shape_check(self):
+        with pytest.raises(ValueError, match="2x2"):
+            pscore(np.zeros((2, 3)))
+
+    def test_pure_shifting_scores_zero(self):
+        sub = np.vstack([PATTERNS["P1"], PATTERNS["P2"], PATTERNS["P3"]])
+        assert max_pscore(sub) == pytest.approx(0.0)
+
+    def test_scaling_scores_large(self):
+        """Figure 1's scaling family is invisible to the pScore model."""
+        sub = np.vstack([PATTERNS["P1"], PATTERNS["P6"]])
+        assert max_pscore(sub) > 10.0
+
+    def test_max_pscore_equals_exhaustive(self):
+        rng = np.random.default_rng(0)
+        sub = rng.uniform(0, 10, size=(4, 5))
+        worst = 0.0
+        for i in range(4):
+            for j in range(i + 1, 4):
+                for a in range(5):
+                    for b in range(a + 1, 5):
+                        worst = max(
+                            worst,
+                            pscore(sub[np.ix_([i, j], [a, b])]),
+                        )
+        assert max_pscore(sub) == pytest.approx(worst)
+
+    def test_degenerate_shapes_score_zero(self):
+        assert max_pscore(np.zeros((1, 5))) == 0.0
+        assert max_pscore(np.zeros((5, 1))) == 0.0
+
+    def test_is_pcluster(self):
+        sub = np.vstack([PATTERNS["P1"], PATTERNS["P2"]])
+        assert is_pcluster(sub, 0.0)
+        assert not is_pcluster(
+            np.vstack([PATTERNS["P1"], PATTERNS["P5"]]), 1.0
+        )
+        with pytest.raises(ValueError):
+            is_pcluster(sub, -1.0)
+
+
+class TestMiner:
+    def test_finds_planted_shifting_cluster(self):
+        rng = np.random.default_rng(1)
+        values = rng.uniform(0, 100, size=(6, 6))
+        base = np.array([1.0, 9.0, 4.0, 30.0, 12.0, 7.0])
+        values[0] = base
+        values[1] = base + 10.0
+        values[2] = base - 4.0
+        m = ExpressionMatrix(values)
+        clusters = mine_pclusters(m, delta=0.0, min_genes=3, min_conditions=6)
+        assert any(
+            set(c.genes) >= {0, 1, 2} and len(c.conditions) == 6
+            for c in clusters
+        )
+
+    def test_misses_shifting_and_scaling_family(self, tiny_matrix):
+        """g1..g3 of the fixture are affinely related with distinct
+        scalings; the pCluster model cannot group all three."""
+        clusters = mine_pclusters(
+            tiny_matrix, delta=0.5, min_genes=3, min_conditions=4
+        )
+        assert not any(
+            set(c.genes) >= {0, 1, 2} and len(c.conditions) >= 4
+            for c in clusters
+        )
+
+    def test_results_are_maximal(self):
+        base = np.array([0.0, 2.0, 7.0, 5.0])
+        m = ExpressionMatrix([base, base + 1.0, base + 2.0])
+        clusters = mine_pclusters(m, delta=0.0, min_genes=2, min_conditions=2)
+        for a in clusters:
+            for b in clusters:
+                if a is not b:
+                    assert not a.contains(b)
+
+    def test_guardrails(self):
+        m = ExpressionMatrix(np.zeros((2, 25)))
+        with pytest.raises(ValueError, match="exponential"):
+            PClusterMiner(m, delta=0.1)
+        with pytest.raises(ValueError, match="at least 2"):
+            PClusterMiner(
+                ExpressionMatrix(np.zeros((2, 3))), delta=0.1, min_genes=1
+            )
+        with pytest.raises(ValueError, match=">= 0"):
+            PClusterMiner(ExpressionMatrix(np.zeros((2, 3))), delta=-1.0)

@@ -1,0 +1,105 @@
+"""Unit tests for the scalable (MDS seed-and-grow) pCluster miner."""
+
+from __future__ import annotations
+
+import numpy as np
+import pytest
+
+from repro.baselines.pcluster import is_pcluster, mine_pclusters
+from repro.baselines.pcluster_fast import (
+    FastPClusterMiner,
+    gene_pair_mds,
+    mine_pclusters_fast,
+)
+from repro.matrix.expression import ExpressionMatrix
+
+
+class TestGenePairMDS:
+    def test_pure_shifting_pair_spans_everything(self):
+        base = np.array([3.0, 1.0, 7.0, 2.0])
+        assert gene_pair_mds(base, base + 5.0, 0.0, 2) == [(0, 1, 2, 3)]
+
+    def test_windows_split_on_large_spread(self):
+        x = np.array([0.0, 0.1, 5.0, 5.1])
+        y = np.zeros(4)
+        mds = gene_pair_mds(x, y, 0.2, 2)
+        assert sorted(mds) == [(0, 1), (2, 3)]
+
+    def test_min_conditions_filter(self):
+        x = np.array([0.0, 9.0, 18.0])
+        y = np.zeros(3)
+        assert gene_pair_mds(x, y, 0.5, 2) == []
+
+    def test_every_mds_is_delta_valid(self):
+        rng = np.random.default_rng(0)
+        x, y = rng.uniform(0, 10, size=(2, 12))
+        for mds in gene_pair_mds(x, y, 1.0, 2):
+            diffs = x[list(mds)] - y[list(mds)]
+            assert diffs.max() - diffs.min() <= 1.0
+
+
+class TestFastMiner:
+    def planted(self):
+        rng = np.random.default_rng(1)
+        values = rng.uniform(0, 100, size=(12, 25))  # too wide for exact
+        base = rng.uniform(0, 30, size=10)
+        values[2, 5:15] = base
+        values[5, 5:15] = base + 10.0
+        values[8, 5:15] = base - 3.0
+        return ExpressionMatrix(values)
+
+    def test_handles_wide_matrices(self):
+        matrix = self.planted()
+        clusters = mine_pclusters_fast(
+            matrix, delta=1e-9, min_genes=3, min_conditions=10
+        )
+        assert any(
+            set(c.genes) >= {2, 5, 8} and len(c.conditions) == 10
+            for c in clusters
+        )
+
+    def test_all_results_are_valid(self):
+        matrix = self.planted()
+        clusters = mine_pclusters_fast(
+            matrix, delta=2.0, min_genes=2, min_conditions=4
+        )
+        assert clusters
+        for cluster in clusters:
+            assert is_pcluster(cluster.submatrix(matrix), 2.0)
+
+    def test_agrees_with_exact_miner_on_planted_structure(self):
+        """On a small matrix the heuristic finds the same top cluster the
+        exact miner proves maximal."""
+        rng = np.random.default_rng(2)
+        values = rng.uniform(0, 100, size=(6, 6))
+        base = np.array([1.0, 9.0, 4.0, 30.0, 12.0, 7.0])
+        values[0] = base
+        values[1] = base + 10.0
+        values[3] = base - 4.0
+        matrix = ExpressionMatrix(values)
+        exact = mine_pclusters(
+            matrix, delta=1e-9, min_genes=3, min_conditions=6
+        )
+        fast = mine_pclusters_fast(
+            matrix, delta=1e-9, min_genes=3, min_conditions=6
+        )
+        exact_best = {(c.genes, c.conditions) for c in exact}
+        fast_best = {(c.genes, c.conditions) for c in fast}
+        assert exact_best & fast_best
+
+    def test_widening_extends_condition_sets(self):
+        base = np.array([0.0, 5.0, 2.0, 8.0, 1.0])
+        matrix = ExpressionMatrix([base, base + 1.0, base - 2.0])
+        clusters = mine_pclusters_fast(
+            matrix, delta=1e-9, min_genes=3, min_conditions=2
+        )
+        assert any(len(c.conditions) == 5 for c in clusters)
+
+    def test_parameter_validation(self):
+        matrix = ExpressionMatrix(np.zeros((3, 3)))
+        with pytest.raises(ValueError, match="delta"):
+            FastPClusterMiner(matrix, delta=-1.0)
+        with pytest.raises(ValueError, match="at least 2"):
+            FastPClusterMiner(matrix, delta=0.1, min_genes=1)
+        with pytest.raises(ValueError, match="max_seeds"):
+            FastPClusterMiner(matrix, delta=0.1, max_seeds=0)

@@ -1,0 +1,102 @@
+"""Unit tests for the tendency (order-preserving) baseline.
+
+Includes the paper's two arguments against tendency models: the Figure 4
+outlier they wrongly accept, and the section 1.3 regulation-threshold
+inconsistency.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+import pytest
+
+from repro.baselines.tendency import (
+    TendencyMiner,
+    mine_tendency_clusters,
+    supports_order,
+)
+from repro.matrix.expression import ExpressionMatrix
+
+
+class TestSupportsOrder:
+    def test_non_descending(self):
+        profile = np.array([5.0, 1.0, 3.0, 3.0])
+        assert supports_order(profile, [1, 2, 3, 0])
+        assert not supports_order(profile, [0, 1, 2, 3])
+
+    def test_min_difference_strictness(self):
+        profile = np.array([0.0, 1.0, 2.0])
+        assert supports_order(profile, [0, 1, 2])
+        assert not supports_order(profile, [0, 1, 2], min_difference=1.0)
+        assert supports_order(profile, [0, 2], min_difference=1.5)
+
+    def test_short_order(self):
+        assert supports_order(np.array([1.0]), [0])
+
+
+class TestMiner:
+    def test_groups_synchronous_genes(self):
+        values = np.array(
+            [
+                [1.0, 5.0, 3.0, 8.0],
+                [10.0, 50.0, 30.0, 80.0],
+                [0.1, 0.5, 0.3, 0.8],
+                [8.0, 3.0, 5.0, 1.0],
+            ]
+        )
+        m = ExpressionMatrix(values)
+        clusters = mine_tendency_clusters(m, min_genes=3, min_conditions=4)
+        assert any(
+            c.order == (0, 2, 1, 3) and set(c.genes) == {0, 1, 2}
+            for c in clusters
+        )
+
+    def test_figure4_outlier_is_grouped(self, running_example):
+        """On {c2, c4, c8, c10}, the tendency model clusters all three
+        genes together — the false positive reg-cluster avoids."""
+        sub = running_example.submatrix(conditions=["c2", "c10", "c8", "c4"])
+        clusters = mine_tendency_clusters(sub, min_genes=3, min_conditions=4)
+        assert any(
+            set(c.genes) == {0, 1, 2} and len(c.order) == 4 for c in clusters
+        )
+
+    def test_section13_threshold_inconsistency(self):
+        """The sorted g2 values {15, 20, 43, 43.5, 44}: with threshold 0.8
+        the adjacent-difference rule keeps c8-c4 and c4-c6 apart but the
+        regulated pair c6-c8 cannot be expressed."""
+        profile = np.array([15.0, 20.0, 43.0, 43.5, 44.0])
+        m = ExpressionMatrix([profile])
+        clusters = mine_tendency_clusters(
+            m, min_genes=1, min_conditions=2, min_difference=0.8
+        )
+        orders = {c.order for c in clusters}
+        # conditions 2,3,4 (values 43, 43.5, 44) can never chain together
+        assert not any(
+            {2, 3}.issubset(order) or {3, 4}.issubset(order)
+            for order in orders
+        )
+        # yet 2 -> 4 (43 -> 44) differs by 1.0 > 0.8 and is forced into a
+        # *separate* cluster from 0 -> 1 -> 2 chains that include 3
+        assert any(order[-2:] == (2, 4) for order in orders)
+
+    def test_emits_longest_sequences_only(self):
+        m = ExpressionMatrix([[1.0, 2.0, 3.0], [1.0, 2.0, 3.0]])
+        clusters = mine_tendency_clusters(m, min_genes=2, min_conditions=2)
+        # the full order (0,1,2) subsumes its prefixes for the same genes
+        assert (0, 1, 2) in {c.order for c in clusters}
+        assert (0, 1) not in {c.order for c in clusters}
+
+    def test_parameter_validation(self):
+        m = ExpressionMatrix([[1.0, 2.0]])
+        with pytest.raises(ValueError):
+            TendencyMiner(m, min_genes=0)
+        with pytest.raises(ValueError):
+            TendencyMiner(m, min_conditions=1)
+        with pytest.raises(ValueError):
+            TendencyMiner(m, min_difference=-1.0)
+
+    def test_shape_property(self):
+        clusters = mine_tendency_clusters(
+            ExpressionMatrix([[1.0, 2.0, 3.0]]), min_genes=1, min_conditions=3
+        )
+        assert clusters[0].shape == (1, 3)

@@ -1,0 +1,88 @@
+"""Unit tests for the TriCluster-style (pure scaling) baseline."""
+
+from __future__ import annotations
+
+import numpy as np
+import pytest
+
+from repro.baselines.tricluster import (
+    TriClusterMiner,
+    is_scaling_cluster,
+    mine_scaling_clusters,
+    ratio_range,
+)
+from repro.matrix.expression import ExpressionMatrix
+
+BASE = np.array([10.0, 14.0, 9.0, 18.0, 25.0])
+
+
+class TestRatioRange:
+    def test_pure_scaling_is_zero(self):
+        assert ratio_range(3.0 * BASE, BASE) == pytest.approx(0.0)
+
+    def test_negative_scaling_is_zero(self):
+        """A uniformly negative ratio is still a constant ratio."""
+        assert ratio_range(-2.0 * BASE, BASE) == pytest.approx(0.0)
+
+    def test_shifting_breaks_ratios(self):
+        assert ratio_range(BASE + 5.0, BASE) > 0.1
+
+    def test_sign_flip_is_infinite(self):
+        a = np.array([1.0, -1.0])
+        b = np.array([1.0, 1.0])
+        assert ratio_range(a, b) == float("inf")
+
+    def test_zero_denominator_is_infinite(self):
+        assert ratio_range(BASE, np.zeros(5)) == float("inf")
+
+    def test_empty_profiles(self):
+        assert ratio_range(np.array([]), np.array([])) == 0.0
+
+    def test_shape_mismatch(self):
+        with pytest.raises(ValueError):
+            ratio_range(np.zeros(2), np.zeros(3))
+
+
+class TestModelCheck:
+    def test_scaling_family_accepted(self):
+        sub = np.vstack([BASE, 1.5 * BASE, 3.0 * BASE])
+        assert is_scaling_cluster(sub, 0.0)
+
+    def test_figure1_shifting_family_rejected(self):
+        sub = np.vstack([BASE, BASE + 5.0, BASE + 15.0])
+        assert not is_scaling_cluster(sub, 0.1)
+
+    def test_epsilon_validation(self):
+        with pytest.raises(ValueError):
+            is_scaling_cluster(np.zeros((2, 2)), -0.1)
+
+
+class TestMiner:
+    def test_finds_planted_scaling_cluster(self):
+        rng = np.random.default_rng(2)
+        values = rng.uniform(1, 100, size=(6, 5))
+        values[0] = BASE
+        values[1] = 2.0 * BASE
+        values[2] = 0.5 * BASE
+        m = ExpressionMatrix(values)
+        clusters = mine_scaling_clusters(
+            m, epsilon=1e-9, min_genes=3, min_conditions=5
+        )
+        assert any(set(c.genes) >= {0, 1, 2} for c in clusters)
+
+    def test_misses_shifting_and_scaling_family(self, tiny_matrix):
+        clusters = mine_scaling_clusters(
+            tiny_matrix, epsilon=0.05, min_genes=3, min_conditions=4
+        )
+        assert not any(
+            set(c.genes) >= {0, 1, 2} and len(c.conditions) >= 4
+            for c in clusters
+        )
+
+    def test_guardrails(self):
+        with pytest.raises(ValueError, match="exponential"):
+            TriClusterMiner(ExpressionMatrix(np.zeros((2, 25))), epsilon=0.1)
+        with pytest.raises(ValueError, match="at least 2"):
+            TriClusterMiner(
+                ExpressionMatrix(np.zeros((2, 3))), epsilon=0.1, min_genes=0
+            )

@@ -1,0 +1,48 @@
+"""Unit tests for ASCII report rendering."""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.bench.report import ascii_series, ascii_table, format_seconds
+
+
+class TestFormatSeconds:
+    def test_microseconds(self):
+        assert format_seconds(5e-5) == "50us"
+
+    def test_milliseconds(self):
+        assert format_seconds(0.0123) == "12.3ms"
+
+    def test_seconds(self):
+        assert format_seconds(2.5) == "2.50s"
+
+
+class TestTable:
+    def test_alignment_and_rule(self):
+        table = ascii_table(["a", "long header"], [[1, 2], ["xyz", 4]])
+        lines = table.splitlines()
+        assert lines[0].startswith("a")
+        assert set(lines[1]) == {"-"}
+        assert all(len(line) <= len(lines[1]) for line in lines)
+
+    def test_empty_rows(self):
+        table = ascii_table(["x"], [])
+        assert "x" in table
+
+
+class TestSeries:
+    def test_bars_proportional(self):
+        text = ascii_series("runtime", [1, 2], [1.0, 2.0], width=10, unit="s")
+        lines = text.splitlines()
+        assert lines[0] == "runtime"
+        assert lines[1].count("#") == 5
+        assert lines[2].count("#") == 10
+
+    def test_zero_values(self):
+        text = ascii_series("flat", [1], [0.0])
+        assert "#" not in text
+
+    def test_mismatched_lengths(self):
+        with pytest.raises(ValueError, match="parallel"):
+            ascii_series("x", [1, 2], [1.0])

@@ -1,0 +1,58 @@
+"""Unit tests for the benchmark sweep harness."""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.bench.runner import paper_mining_parameters, run_sweep
+from repro.datasets.synthetic import SyntheticConfig
+
+
+class TestPaperParameters:
+    def test_figure7_settings(self):
+        params = paper_mining_parameters(3000)
+        assert params.min_genes == 30
+        assert params.min_conditions == 6
+        assert params.gamma == 0.1
+        assert params.epsilon == 0.01
+
+    def test_small_gene_counts_floor(self):
+        assert paper_mining_parameters(50).min_genes == 2
+
+
+class TestSweep:
+    BASE = SyntheticConfig(
+        n_genes=80, n_conditions=10, n_clusters=2, seed=1
+    )
+
+    def test_sweep_over_genes(self):
+        result = run_sweep("n_genes", [60, 90], base_config=self.BASE)
+        assert result.parameter == "n_genes"
+        assert result.values() == [60, 90]
+        assert all(s > 0 for s in result.seconds())
+        assert all(p.nodes_expanded > 0 for p in result.points)
+
+    def test_sweep_over_conditions(self):
+        result = run_sweep("n_conditions", [8, 10], base_config=self.BASE)
+        assert [p.value for p in result.points] == [8, 10]
+
+    def test_custom_params_factory(self):
+        calls = []
+
+        def factory(config):
+            calls.append(config.n_clusters)
+            return paper_mining_parameters(config.n_genes)
+
+        run_sweep(
+            "n_clusters", [1, 2], base_config=self.BASE,
+            params_factory=factory,
+        )
+        assert calls == [1, 2]
+
+    def test_unknown_parameter(self):
+        with pytest.raises(ValueError, match="parameter"):
+            run_sweep("n_bogus", [1])
+
+    def test_point_str(self):
+        result = run_sweep("n_genes", [60], base_config=self.BASE)
+        assert "n_genes=60" in str(result.points[0])

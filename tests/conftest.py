@@ -1,0 +1,40 @@
+"""Shared fixtures for the test suite."""
+
+from __future__ import annotations
+
+import numpy as np
+import pytest
+
+from repro.core.params import MiningParameters
+from repro.datasets.running_example import load_running_example
+from repro.matrix.expression import ExpressionMatrix
+
+
+@pytest.fixture
+def running_example() -> ExpressionMatrix:
+    """Table 1 of the paper (3 genes x 10 conditions)."""
+    return load_running_example()
+
+
+@pytest.fixture
+def paper_params() -> MiningParameters:
+    """The parameter setting of the paper's worked example (Figure 6)."""
+    return MiningParameters(
+        min_genes=3, min_conditions=5, gamma=0.15, epsilon=0.1
+    )
+
+
+@pytest.fixture
+def tiny_matrix() -> ExpressionMatrix:
+    """A deterministic 6x6 matrix with one planted affine family.
+
+    Genes g1..g3 are affine transforms of one base profile on conditions
+    c1..c4 (g3 negatively); g4..g6 are noise.
+    """
+    base = np.array([0.0, 2.0, 5.0, 9.0])
+    rng = np.random.default_rng(123)
+    values = rng.uniform(0.0, 10.0, size=(6, 6))
+    values[0, :4] = base
+    values[1, :4] = 2.0 * base + 1.0
+    values[2, :4] = -1.5 * base + 20.0
+    return ExpressionMatrix(values)

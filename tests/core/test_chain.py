@@ -1,0 +1,115 @@
+"""Unit tests for regulation chains and the representativeness rule."""
+
+from __future__ import annotations
+
+import numpy as np
+import pytest
+
+from repro.core.chain import (
+    canonical_orientation,
+    gene_matches_chain,
+    invert_chain,
+    is_representative,
+    match_chain_members,
+)
+from repro.core.regulation import gene_thresholds
+
+
+class TestInvert:
+    def test_invert(self):
+        assert invert_chain((6, 8, 4, 0, 2)) == (2, 0, 4, 8, 6)
+
+    def test_involution(self):
+        chain = (3, 1, 4)
+        assert invert_chain(invert_chain(chain)) == chain
+
+
+class TestRepresentative:
+    def test_majority_wins(self):
+        assert is_representative((0, 1, 2), 3, 1)
+        assert not is_representative((0, 1, 2), 1, 3)
+
+    def test_tie_breaks_on_larger_first_condition(self):
+        """Paper prose: the chain starting with the larger condition id is
+        representative on a tie."""
+        assert is_representative((5, 1, 2), 2, 2)
+        assert not is_representative((2, 1, 5), 2, 2)
+
+    def test_exactly_one_orientation_representative(self):
+        chain = (4, 7, 1)
+        for p, n in [(3, 1), (1, 3), (2, 2)]:
+            forward = is_representative(chain, p, n)
+            backward = is_representative(invert_chain(chain), n, p)
+            assert forward != backward
+
+    def test_paper_example(self):
+        """c7 <- c9 <- c5 <- c1 <- c3 with 2 p-members vs 1 n-member."""
+        chain = (6, 8, 4, 0, 2)
+        assert is_representative(chain, 2, 1)
+        assert not is_representative(invert_chain(chain), 1, 2)
+
+    def test_canonical_orientation_flips(self):
+        chain = (0, 1, 2)
+        flipped, p, n = canonical_orientation(chain, 1, 3)
+        assert flipped == (2, 1, 0)
+        assert (p, n) == (3, 1)
+        same, p2, n2 = canonical_orientation(chain, 3, 1)
+        assert same == chain and (p2, n2) == (3, 1)
+
+
+class TestGeneMatching:
+    def test_paper_chain_membership(self, running_example):
+        """g1 and g3 ascend along c7..c3; g2 descends."""
+        chain = running_example.condition_indices(
+            ["c7", "c9", "c5", "c1", "c3"]
+        )
+        thresholds = gene_thresholds(running_example, 0.15)
+        values = running_example.values
+        assert gene_matches_chain(values[0], thresholds[0], chain)
+        assert gene_matches_chain(values[2], thresholds[2], chain)
+        assert not gene_matches_chain(values[1], thresholds[1], chain)
+        inverted = invert_chain(tuple(chain))
+        assert gene_matches_chain(values[1], thresholds[1], inverted)
+
+    def test_single_condition_always_matches(self, running_example):
+        assert gene_matches_chain(running_example.values[0], 4.5, (3,))
+
+    def test_match_chain_members_split(self, running_example):
+        chain = tuple(
+            running_example.condition_indices(["c7", "c9", "c5", "c1", "c3"])
+        )
+        thresholds = gene_thresholds(running_example, 0.15)
+        p, n = match_chain_members(
+            running_example.values,
+            thresholds,
+            chain,
+            np.arange(3, dtype=np.intp),
+        )
+        assert p.tolist() == [0, 2]
+        assert n.tolist() == [1]
+
+    def test_non_members_dropped(self, running_example):
+        # On conditions where g2 is flat-ish it joins neither orientation.
+        chain = tuple(running_example.condition_indices(["c8", "c4"]))
+        thresholds = gene_thresholds(running_example, 0.15)
+        p, n = match_chain_members(
+            running_example.values,
+            thresholds,
+            chain,
+            np.arange(3, dtype=np.intp),
+        )
+        assert 1 not in set(p.tolist()) | set(n.tolist())
+
+    def test_single_condition_chain_returns_all_as_p(self, running_example):
+        thresholds = gene_thresholds(running_example, 0.15)
+        p, n = match_chain_members(
+            running_example.values, thresholds, (0,), np.arange(3)
+        )
+        assert p.tolist() == [0, 1, 2]
+        assert n.size == 0
+
+    def test_threshold_strictness(self):
+        """A step exactly at the threshold does not count as regulated."""
+        row = np.array([0.0, 5.0, 10.0])
+        assert not gene_matches_chain(row, 5.0, (0, 1, 2))
+        assert gene_matches_chain(row, 4.9, (0, 1, 2))

@@ -1,0 +1,120 @@
+"""Unit tests for the RegCluster value object."""
+
+from __future__ import annotations
+
+import numpy as np
+import pytest
+
+from repro.core.cluster import RegCluster, cell_set
+
+
+@pytest.fixture
+def paper_cluster(running_example):
+    """The Figure 2 cluster: chain c7<-c9<-c5<-c1<-c3, p={g1,g3}, n={g2}."""
+    chain = tuple(
+        running_example.condition_indices(["c7", "c9", "c5", "c1", "c3"])
+    )
+    return RegCluster(chain=chain, p_members=(0, 2), n_members=(1,))
+
+
+class TestInvariants:
+    def test_members_sorted_and_deduplicated(self):
+        c = RegCluster(chain=(1, 0), p_members=(5, 3), n_members=(4,))
+        assert c.p_members == (3, 5)
+        assert c.genes == (3, 4, 5)
+
+    def test_duplicate_chain_rejected(self):
+        with pytest.raises(ValueError, match="duplicate"):
+            RegCluster(chain=(1, 1), p_members=(0,))
+
+    def test_overlapping_membership_rejected(self):
+        with pytest.raises(ValueError, match="both"):
+            RegCluster(chain=(0, 1), p_members=(2,), n_members=(2,))
+
+    def test_shape(self, paper_cluster):
+        assert paper_cluster.shape == (3, 5)
+        assert paper_cluster.n_genes == 3
+        assert paper_cluster.n_conditions == 5
+
+    def test_orientation(self, paper_cluster):
+        assert paper_cluster.orientation(0) == 1
+        assert paper_cluster.orientation(1) == -1
+        with pytest.raises(KeyError):
+            paper_cluster.orientation(9)
+
+    def test_inverted_chain(self, paper_cluster):
+        assert paper_cluster.inverted_chain == tuple(
+            reversed(paper_cluster.chain)
+        )
+
+    def test_hashable_value_semantics(self):
+        a = RegCluster(chain=(0, 1), p_members=(1, 2))
+        b = RegCluster(chain=(0, 1), p_members=(2, 1))
+        assert a == b
+        assert len({a, b}) == 1
+
+
+class TestCells:
+    def test_cells(self):
+        c = RegCluster(chain=(3, 1), p_members=(0,), n_members=(2,))
+        assert c.cells() == {(0, 3), (0, 1), (2, 3), (2, 1)}
+
+    def test_overlap_fraction(self):
+        a = RegCluster(chain=(0, 1), p_members=(0, 1))
+        b = RegCluster(chain=(1, 2), p_members=(1, 2))
+        # a covers {0,1}x{0,1}; b covers {1,2}x{1,2}; shared cell: (1,1)
+        assert a.overlap_fraction(b) == pytest.approx(0.25)
+
+    def test_cell_set_union(self):
+        a = RegCluster(chain=(0,), p_members=(0,))
+        b = RegCluster(chain=(1,), p_members=(0,))
+        assert cell_set([a, b]) == {(0, 0), (0, 1)}
+
+
+class TestMaterialization:
+    def test_submatrix_in_chain_order(self, running_example, paper_cluster):
+        sub = paper_cluster.submatrix(running_example)
+        assert sub.condition_names == ("c7", "c9", "c5", "c1", "c3")
+        assert sub.gene_names == ("g1", "g2", "g3")
+        # g1 ascends along the chain
+        assert np.all(np.diff(sub.values[0]) > 0)
+        # g2 descends
+        assert np.all(np.diff(sub.values[1]) < 0)
+
+    def test_h_profiles_identical_across_members(
+        self, running_example, paper_cluster
+    ):
+        profiles = paper_cluster.h_profiles(running_example)
+        assert profiles[0] == pytest.approx([1.0, 0.5, 1.0, 0.5])
+        assert profiles[1] == pytest.approx(profiles[0])
+        assert profiles[2] == pytest.approx(profiles[0])
+
+    def test_affine_fits_signs(self, running_example, paper_cluster):
+        fits = paper_cluster.affine_fits(running_example)
+        assert fits[0].scaling == pytest.approx(1.0)
+        assert fits[2].scaling > 0  # fellow p-member
+        assert fits[1].scaling < 0  # n-member
+        assert fits[1].scaling == pytest.approx(-1.0)
+        assert fits[1].shifting == pytest.approx(30.0)
+
+    def test_affine_fits_custom_reference(self, running_example, paper_cluster):
+        fits = paper_cluster.affine_fits(running_example, reference=2)
+        assert fits[0].scaling == pytest.approx(2.5)
+        assert fits[0].shifting == pytest.approx(-5.0)
+
+    def test_affine_fits_requires_p_member_anchor(self):
+        cluster = RegCluster(chain=(0, 1), p_members=(), n_members=(0, 1))
+        with pytest.raises(ValueError, match="p-members"):
+            cluster.affine_fits(None)  # matrix unused before the raise
+
+
+class TestDescribe:
+    def test_describe_with_matrix(self, running_example, paper_cluster):
+        text = paper_cluster.describe(running_example)
+        assert "c7 <- c9 <- c5 <- c1 <- c3" in text
+        assert "g1, g3" in text
+        assert "g2" in text
+
+    def test_describe_without_matrix(self, paper_cluster):
+        text = str(paper_cluster)
+        assert "3 genes x 5 conditions" in text

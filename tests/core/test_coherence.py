@@ -1,0 +1,182 @@
+"""Unit and property tests for the coherence measurement (Eq. 5-7,
+Lemma 3.2), pinning the paper's worked H-score numbers."""
+
+from __future__ import annotations
+
+import numpy as np
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.core.coherence import (
+    chain_h_profile,
+    coherence_score,
+    fit_affine,
+    is_shifting_and_scaling,
+)
+
+
+class TestPaperScores:
+    """Section 3.2 worked example: H scores on conditions c7,c9,c5,c1,c3."""
+
+    CHAIN = ("c7", "c9", "c5", "c1", "c3")
+
+    @pytest.mark.parametrize("gene", ["g1", "g2", "g3"])
+    def test_figure2_h_scores(self, running_example, gene):
+        baseline = ("c7", "c9")
+        assert coherence_score(
+            running_example, gene, baseline, ("c7", "c9")
+        ) == pytest.approx(1.0)
+        assert coherence_score(
+            running_example, gene, baseline, ("c9", "c5")
+        ) == pytest.approx(0.5)
+        assert coherence_score(
+            running_example, gene, baseline, ("c5", "c1")
+        ) == pytest.approx(1.0)
+        assert coherence_score(
+            running_example, gene, baseline, ("c1", "c3")
+        ) == pytest.approx(0.5)
+
+    @pytest.mark.parametrize("gene", ["g1", "g2", "g3"])
+    def test_chain_h_profile(self, running_example, gene):
+        profile = chain_h_profile(running_example, gene, self.CHAIN)
+        assert profile == pytest.approx([1.0, 0.5, 1.0, 0.5])
+
+    def test_figure4_outlier_scores(self, running_example):
+        """H(1/3, c2,c10, c10,c8) = 0.5263 but H(2, ...) = 4.6."""
+        baseline = ("c2", "c10")
+        step = ("c10", "c8")
+        assert coherence_score(
+            running_example, "g1", baseline, step
+        ) == pytest.approx(0.5263, abs=1e-4)
+        assert coherence_score(
+            running_example, "g3", baseline, step
+        ) == pytest.approx(0.5263, abs=1e-4)
+        assert coherence_score(
+            running_example, "g2", baseline, step
+        ) == pytest.approx(4.6, abs=1e-9)
+
+    def test_figure6_pruned_step_scores(self, running_example):
+        """H(1/3, c2,c10, c10,c5) = 0.5263 while H(2, ...) = 2."""
+        baseline = ("c2", "c10")
+        step = ("c10", "c5")
+        assert coherence_score(
+            running_example, "g1", baseline, step
+        ) == pytest.approx(0.5263, abs=1e-4)
+        assert coherence_score(
+            running_example, "g2", baseline, step
+        ) == pytest.approx(2.0)
+
+    def test_degenerate_baseline_raises(self, running_example):
+        # g1 has equal values on c5 and c8 (both 0)
+        with pytest.raises(ZeroDivisionError):
+            coherence_score(running_example, "g1", ("c5", "c8"), ("c1", "c3"))
+
+    def test_chain_too_short(self, running_example):
+        with pytest.raises(ValueError, match="two conditions"):
+            chain_h_profile(running_example, "g1", ("c1",))
+
+
+class TestLemma32:
+    def test_affine_profiles_are_detected(self):
+        base = np.array([1.0, 4.0, 2.0, 8.0])
+        assert is_shifting_and_scaling(base, 2.5 * base - 5.0)
+        assert is_shifting_and_scaling(base, -2.5 * base + 35.0)
+        assert is_shifting_and_scaling(base, base + 7.0)  # pure shifting
+        assert is_shifting_and_scaling(base, 3.0 * base)  # pure scaling
+
+    def test_non_affine_rejected(self):
+        base = np.array([1.0, 4.0, 2.0, 8.0])
+        assert not is_shifting_and_scaling(base, base**2)
+
+    def test_epsilon_tolerance(self):
+        base = np.array([0.0, 1.0, 2.0, 3.0])
+        noisy = np.array([0.0, 1.0, 2.0, 3.3])
+        assert not is_shifting_and_scaling(base, noisy)
+        assert is_shifting_and_scaling(base, noisy, epsilon=0.5)
+
+    def test_constant_profile_rejected(self):
+        base = np.array([1.0, 2.0, 3.0])
+        assert not is_shifting_and_scaling(base, np.zeros(3))
+
+    def test_short_profiles_trivially_pass(self):
+        assert is_shifting_and_scaling(np.array([1.0]), np.array([5.0]))
+
+    def test_shape_mismatch_raises(self):
+        with pytest.raises(ValueError):
+            is_shifting_and_scaling(np.zeros(3), np.zeros(4))
+
+    @given(
+        st.lists(
+            st.integers(min_value=-200, max_value=200),
+            min_size=2,
+            max_size=10,
+            unique=True,
+        ),
+        st.floats(min_value=0.1, max_value=10),
+        st.floats(min_value=-100, max_value=100),
+        st.booleans(),
+    )
+    @settings(max_examples=200, deadline=None)
+    def test_affine_transform_always_coherent(self, values, s1, s2, negate):
+        """Lemma 3.2 forward direction as a property.
+
+        Values are drawn on a unit-separated grid: the lemma's algebra is
+        exact, but float subtraction of near-identical magnitudes is not,
+        so the property is asserted away from catastrophic cancellation.
+        """
+        base = np.asarray(values, dtype=np.float64) / 4.0
+        scaling = -s1 if negate else s1
+        assert is_shifting_and_scaling(base, scaling * base + s2, rtol=1e-6)
+
+
+class TestAffineFit:
+    def test_paper_figure2_factors(self, running_example):
+        """d1 = 2.5 * d3 - 5 and d2 = -2.5 * d3 + 35 on {c5,c1,c3,c9,c7}."""
+        conditions = ["c5", "c1", "c3", "c9", "c7"]
+        d1 = running_example.submatrix(["g1"], conditions).values[0]
+        d2 = running_example.submatrix(["g2"], conditions).values[0]
+        d3 = running_example.submatrix(["g3"], conditions).values[0]
+
+        fit_13 = fit_affine(d1, d3)
+        assert fit_13.scaling == pytest.approx(2.5)
+        assert fit_13.shifting == pytest.approx(-5.0)
+        assert fit_13.residual == pytest.approx(0.0, abs=1e-9)
+        assert fit_13.is_positive_correlation
+
+        fit_23 = fit_affine(d2, d3)
+        assert fit_23.scaling == pytest.approx(-2.5)
+        assert fit_23.shifting == pytest.approx(35.0)
+        assert not fit_23.is_positive_correlation
+
+        fit_21 = fit_affine(d2, d1)
+        assert fit_21.scaling == pytest.approx(-1.0)
+        assert fit_21.shifting == pytest.approx(30.0)
+
+    def test_figure4_relation(self, running_example):
+        """d3 = 0.4 * d1 + 2 on conditions {c2, c4, c8, c10}."""
+        conditions = ["c2", "c4", "c8", "c10"]
+        d1 = running_example.submatrix(["g1"], conditions).values[0]
+        d3 = running_example.submatrix(["g3"], conditions).values[0]
+        fit = fit_affine(d3, d1)
+        assert fit.scaling == pytest.approx(0.4)
+        assert fit.shifting == pytest.approx(2.0)
+        assert fit.residual == pytest.approx(0.0, abs=1e-9)
+
+    def test_apply_round_trip(self):
+        base = np.array([1.0, 2.0, 5.0])
+        fit = fit_affine(3.0 * base - 1.0, base)
+        assert fit.apply(base) == pytest.approx([2.0, 5.0, 14.0])
+
+    def test_constant_source(self):
+        fit = fit_affine(np.array([1.0, 2.0]), np.array([3.0, 3.0]))
+        assert fit.scaling == 0.0
+        assert fit.shifting == pytest.approx(1.5)
+
+    def test_empty_raises(self):
+        with pytest.raises(ValueError, match="empty"):
+            fit_affine(np.array([]), np.array([]))
+
+    def test_shape_mismatch_raises(self):
+        with pytest.raises(ValueError):
+            fit_affine(np.zeros(2), np.zeros(3))

@@ -1,0 +1,163 @@
+"""Failure-injection and degenerate-input tests across the core stack."""
+
+from __future__ import annotations
+
+import numpy as np
+import pytest
+
+from repro.core.miner import MiningParameters, RegClusterMiner, mine_reg_clusters
+from repro.core.reference import reference_mine
+from repro.core.rwave import RWaveModel, build_rwave
+from repro.core.window import coherent_gene_windows
+from repro.matrix.expression import ExpressionMatrix
+
+
+class TestDegenerateMatrices:
+    def test_all_constant_matrix_yields_nothing(self):
+        m = ExpressionMatrix(np.full((5, 6), 3.0))
+        result = mine_reg_clusters(
+            m, min_genes=2, min_conditions=2, gamma=0.0, epsilon=1.0
+        )
+        assert len(result) == 0
+
+    def test_constant_gene_never_joins_clusters(self):
+        base = np.array([0.0, 5.0, 10.0])
+        m = ExpressionMatrix([base, base + 1.0, np.full(3, 4.0)])
+        result = mine_reg_clusters(
+            m, min_genes=2, min_conditions=3, gamma=0.2, epsilon=0.1
+        )
+        for cluster in result.clusters:
+            assert 2 not in cluster.genes
+
+    def test_two_condition_matrix(self):
+        m = ExpressionMatrix([[0.0, 10.0], [1.0, 9.0], [2.0, 8.0]])
+        result = mine_reg_clusters(
+            m, min_genes=3, min_conditions=2, gamma=0.2, epsilon=5.0
+        )
+        assert len(result) == 1
+        assert result[0].chain == (0, 1)
+
+    def test_single_gene_matrix(self):
+        m = ExpressionMatrix([[0.0, 5.0, 10.0]])
+        result = mine_reg_clusters(
+            m, min_genes=1, min_conditions=3, gamma=0.1, epsilon=0.0
+        )
+        assert len(result) == 1
+        assert result[0].p_members == (0,)
+
+    def test_heavily_tied_values(self):
+        """Ties everywhere: the stable sort and strict inequalities must
+        keep the miner consistent with the oracle."""
+        values = np.array(
+            [
+                [1.0, 1.0, 2.0, 2.0, 3.0],
+                [1.0, 2.0, 2.0, 3.0, 3.0],
+                [3.0, 2.0, 2.0, 1.0, 1.0],
+            ]
+        )
+        m = ExpressionMatrix(values)
+        params = MiningParameters(
+            min_genes=2, min_conditions=2, gamma=0.1, epsilon=0.2
+        )
+        assert set(RegClusterMiner(m, params).mine().clusters) == (
+            reference_mine(m, params)
+        )
+
+    def test_extreme_magnitudes(self):
+        base = np.array([0.0, 1e7, 2e7, 3e7])
+        m = ExpressionMatrix([base, 2.0 * base + 1e6, -base + 5e7])
+        result = mine_reg_clusters(
+            m, min_genes=3, min_conditions=4, gamma=0.2, epsilon=1e-6
+        )
+        assert len(result) == 1
+        assert result[0].n_genes == 3
+
+    def test_tiny_magnitudes(self):
+        base = np.array([0.0, 1e-7, 2e-7, 3e-7])
+        m = ExpressionMatrix([base, 2.0 * base, base + 1e-8])
+        result = mine_reg_clusters(
+            m, min_genes=3, min_conditions=4, gamma=0.2, epsilon=1e-3
+        )
+        assert len(result) == 1
+
+
+class TestRWaveEdges:
+    def test_single_condition_model(self):
+        model = RWaveModel(np.array([5.0]), 1.0)
+        assert model.pointers == ()
+        assert model.max_up_from(0) == 1
+        assert model.regulation_predecessors(0).size == 0
+
+    def test_zero_threshold_all_distinct(self):
+        model = RWaveModel(np.array([3.0, 1.0, 2.0]), 0.0)
+        # every adjacent sorted pair is a bordering pointer
+        assert len(model.pointers) == 2
+        assert model.max_up_from(1) == 3  # 1 -> 2 -> 3
+
+    def test_zero_threshold_with_ties(self):
+        model = RWaveModel(np.array([1.0, 1.0, 2.0]), 0.0)
+        # the tied pair is never regulated (strict inequality)
+        assert model.max_up_from(0) == 2
+        assert model.max_up_from(2) == 1
+
+    def test_huge_threshold_no_pointers(self, running_example):
+        model = build_rwave(running_example, "g1", 1.0)
+        assert model.pointers == ()
+        for c in range(10):
+            assert model.max_up_from(c) == 1
+
+
+class TestWindowEdges:
+    def test_all_identical_scores(self):
+        genes = np.arange(10)
+        scores = np.zeros(10)
+        windows = coherent_gene_windows(genes, scores, 0.0, 5)
+        assert len(windows) == 1
+        assert windows[0].tolist() == list(range(10))
+
+    def test_all_scores_non_finite(self):
+        genes = np.array([0, 1])
+        scores = np.array([np.nan, np.inf])
+        assert coherent_gene_windows(genes, scores, 1.0, 1) == []
+
+
+class TestParameterInteractions:
+    def test_min_conditions_equals_two_baseline_only(self, running_example):
+        """Chains of exactly two conditions have trivially coherent H=1."""
+        result = mine_reg_clusters(
+            running_example,
+            min_genes=3,
+            min_conditions=2,
+            gamma=0.15,
+            epsilon=0.0,
+        )
+        assert result.clusters
+        for cluster in result.clusters:
+            if cluster.n_conditions == 2:
+                # all members regulated on the single pair
+                assert cluster.n_genes >= 3
+
+    def test_epsilon_huge_accepts_any_proportions(self):
+        rng = np.random.default_rng(33)
+        values = rng.uniform(0, 10, size=(4, 4))
+        # force a common ascending chain with regulated steps
+        values[:, 0] = [0.0, 0.0, 0.0, 0.0]
+        values[:, 1] = [3.0, 4.0, 5.0, 6.0]
+        values[:, 2] = [6.0, 9.0, 7.0, 12.0]
+        values[:, 3] = [9.0, 14.0, 9.5, 30.0]
+        m = ExpressionMatrix(values)
+        result = mine_reg_clusters(
+            m, min_genes=4, min_conditions=4, gamma=0.05, epsilon=1e9
+        )
+        assert any(c.n_genes == 4 for c in result.clusters)
+
+    def test_max_clusters_one(self, running_example):
+        result = mine_reg_clusters(
+            running_example,
+            min_genes=2,
+            min_conditions=3,
+            gamma=0.15,
+            epsilon=1.0,
+            max_clusters=1,
+        )
+        assert len(result) == 1

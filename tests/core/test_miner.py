@@ -1,0 +1,183 @@
+"""Unit tests for the reg-cluster miner on crafted inputs."""
+
+from __future__ import annotations
+
+import numpy as np
+import pytest
+
+from repro.core.miner import (
+    MiningParameters,
+    PruningConfig,
+    RegClusterMiner,
+    mine_reg_clusters,
+)
+from repro.core.validate import is_valid_reg_cluster
+from repro.matrix.expression import ExpressionMatrix
+
+
+def affine_family_matrix():
+    """Five genes: four affine transforms of a base on c1..c5 + noise gene.
+
+    The base pattern steps are each > 20% of every member's range, so the
+    family forms a perfect reg-cluster at gamma <= 0.2, epsilon = 0.
+    """
+    base = np.array([0.0, 3.0, 6.0, 9.0, 12.0])
+    rows = [
+        base,  # g1 (identity)
+        2.0 * base + 1.0,  # g2 (shifting and scaling)
+        base + 4.0,  # g3 (pure shifting)
+        -1.0 * base + 12.0,  # g4 (negative correlation)
+        np.array([5.0, 5.1, 4.9, 5.2, 5.0]),  # g5 (flat noise)
+    ]
+    return ExpressionMatrix(np.asarray(rows))
+
+
+class TestCraftedPatterns:
+    def test_family_found_with_negative_member(self):
+        m = affine_family_matrix()
+        result = mine_reg_clusters(
+            m, min_genes=4, min_conditions=5, gamma=0.15, epsilon=0.01
+        )
+        assert len(result) == 1
+        cluster = result[0]
+        assert cluster.p_members == (0, 1, 2)
+        assert cluster.n_members == (3,)
+        assert cluster.chain == (0, 1, 2, 3, 4)
+        assert is_valid_reg_cluster(m, cluster, result.parameters)
+
+    def test_pure_shifting_special_case(self):
+        base = np.array([0.0, 5.0, 10.0])
+        m = ExpressionMatrix([base, base + 3.0, base - 2.0])
+        result = mine_reg_clusters(
+            m, min_genes=3, min_conditions=3, gamma=0.3, epsilon=0.0
+        )
+        assert len(result) == 1
+        assert result[0].n_genes == 3
+
+    def test_pure_scaling_special_case(self):
+        base = np.array([1.0, 5.0, 10.0])
+        m = ExpressionMatrix([base, 3.0 * base, 0.5 * base])
+        result = mine_reg_clusters(
+            m, min_genes=3, min_conditions=3, gamma=0.3, epsilon=0.0
+        )
+        assert len(result) == 1
+
+    def test_regulation_threshold_rejects_small_swings(self):
+        """Genes covarying within a small band are filtered by gamma."""
+        base = np.array([0.0, 0.4, 0.8, 10.0])  # big range, tiny steps
+        m = ExpressionMatrix([base, base, base])
+        result = mine_reg_clusters(
+            m, min_genes=3, min_conditions=4, gamma=0.15, epsilon=0.0
+        )
+        assert len(result) == 0  # c1->c2->c3 steps are below 15% of range
+
+    def test_epsilon_zero_requires_exact_proportions(self):
+        base = np.array([0.0, 3.0, 6.0])
+        near = np.array([0.0, 3.0, 6.2])
+        m = ExpressionMatrix([base, base, near])
+        exact = mine_reg_clusters(
+            m, min_genes=3, min_conditions=3, gamma=0.1, epsilon=0.0
+        )
+        assert len(exact) == 0
+        loose = mine_reg_clusters(
+            m, min_genes=3, min_conditions=3, gamma=0.1, epsilon=0.1
+        )
+        assert len(loose) == 1
+
+    def test_all_n_members_reported_from_other_orientation(self):
+        """A family that descends along c1..c3 is reported ascending."""
+        base = np.array([10.0, 5.0, 0.0])
+        m = ExpressionMatrix([base, base + 1.0, base * 2.0])
+        result = mine_reg_clusters(
+            m, min_genes=3, min_conditions=3, gamma=0.3, epsilon=0.0
+        )
+        assert len(result) == 1
+        assert result[0].chain == (2, 1, 0)
+        assert len(result[0].p_members) == 3
+
+
+class TestRunningExample:
+    def test_figure6_single_cluster(self, running_example, paper_params):
+        result = RegClusterMiner(running_example, paper_params).mine()
+        assert len(result) == 1
+        cluster = result[0]
+        assert [
+            running_example.condition_names[c] for c in cluster.chain
+        ] == ["c7", "c9", "c5", "c1", "c3"]
+        assert cluster.p_members == (0, 2)
+        assert cluster.n_members == (1,)
+
+    def test_figure6_search_statistics(self, running_example, paper_params):
+        """The tree of Figure 6 exercises prunings 1, 3a and 4."""
+        stats = RegClusterMiner(running_example, paper_params).mine().statistics
+        assert stats.clusters_emitted == 1
+        assert stats.max_depth == 5
+        assert stats.pruned_p_majority >= 1  # node c3
+        assert stats.pruned_min_genes >= 1  # e.g. node c2c1
+        assert stats.coherence_rejections >= 1  # node c2c10c5
+
+    def test_output_independent_of_prunings(
+        self, running_example, paper_params
+    ):
+        with_prunings = set(
+            RegClusterMiner(running_example, paper_params).mine().clusters
+        )
+        without = set(
+            RegClusterMiner(
+                running_example, paper_params, prunings=PruningConfig.none()
+            )
+            .mine()
+            .clusters
+        )
+        assert with_prunings == without
+
+
+class TestControls:
+    def test_max_clusters_caps_output(self):
+        base = np.arange(5, dtype=float)
+        rows = [base * s + t for s, t in [(1, 0), (2, 1), (3, -1), (1, 5)]]
+        m = ExpressionMatrix(np.asarray(rows))
+        capped = mine_reg_clusters(
+            m,
+            min_genes=2,
+            min_conditions=3,
+            gamma=0.2,
+            epsilon=0.0,
+            max_clusters=2,
+        )
+        assert len(capped) == 2
+
+    def test_min_conditions_exceeding_matrix_raises(self, running_example):
+        params = MiningParameters(
+            min_genes=2, min_conditions=11, gamma=0.1, epsilon=0.1
+        )
+        with pytest.raises(ValueError, match="exceeds"):
+            RegClusterMiner(running_example, params)
+
+    def test_empty_result_on_impossible_min_genes(self, running_example):
+        result = mine_reg_clusters(
+            running_example,
+            min_genes=10,
+            min_conditions=5,
+            gamma=0.15,
+            epsilon=0.1,
+        )
+        assert len(result) == 0
+
+    def test_result_iteration_and_indexing(self, running_example, paper_params):
+        result = RegClusterMiner(running_example, paper_params).mine()
+        assert list(result)[0] == result[0]
+        assert len(result) == 1
+
+    def test_gamma_zero_still_strict(self):
+        """gamma = 0 requires strictly monotone chains (no equal steps)."""
+        m = ExpressionMatrix([[1.0, 1.0, 2.0], [1.0, 1.0, 2.0]])
+        result = mine_reg_clusters(
+            m, min_genes=2, min_conditions=3, gamma=0.0, epsilon=0.0
+        )
+        assert len(result) == 0
+
+    def test_determinism(self, running_example, paper_params):
+        first = RegClusterMiner(running_example, paper_params).mine().clusters
+        second = RegClusterMiner(running_example, paper_params).mine().clusters
+        assert first == second

@@ -1,0 +1,79 @@
+"""Global invariants of mining results on realistic synthetic data."""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.core.chain import invert_chain
+from repro.core.cluster import RegCluster
+from repro.core.miner import MiningParameters, RegClusterMiner
+from repro.core.validate import validation_errors
+from repro.datasets.synthetic import make_synthetic_dataset
+
+
+@pytest.fixture(scope="module", params=[0, 1, 2])
+def mining_run(request):
+    data = make_synthetic_dataset(
+        n_genes=200,
+        n_conditions=16,
+        n_clusters=3,
+        seed=request.param,
+        gene_fraction=0.05,
+    )
+    params = MiningParameters(
+        min_genes=6, min_conditions=5, gamma=0.1, epsilon=0.05
+    )
+    result = RegClusterMiner(data.matrix, params).mine()
+    return data, params, result
+
+
+class TestResultInvariants:
+    def test_every_cluster_valid(self, mining_run):
+        data, params, result = mining_run
+        for cluster in result.clusters:
+            assert validation_errors(data.matrix, cluster, params) == []
+
+    def test_no_duplicates(self, mining_run):
+        __, __, result = mining_run
+        assert len(result.clusters) == len(set(result.clusters))
+
+    def test_no_cluster_reported_in_both_orientations(self, mining_run):
+        """Each cluster appears once: its inverted twin (chain reversed,
+        p/n swapped) must never also be in the output."""
+        __, __, result = mining_run
+        emitted = set(result.clusters)
+        for cluster in result.clusters:
+            twin = RegCluster(
+                chain=invert_chain(cluster.chain),
+                p_members=cluster.n_members,
+                n_members=cluster.p_members,
+            )
+            assert twin not in emitted
+
+    def test_shapes_respect_parameters(self, mining_run):
+        __, params, result = mining_run
+        for cluster in result.clusters:
+            assert cluster.n_genes >= params.min_genes
+            assert cluster.n_conditions >= params.min_conditions
+            assert len(cluster.p_members) >= len(cluster.n_members)
+
+    def test_statistics_consistency(self, mining_run):
+        __, __, result = mining_run
+        stats = result.statistics
+        assert stats.clusters_emitted == len(result.clusters)
+        assert stats.nodes_expanded >= stats.max_depth
+        assert stats.max_depth >= max(
+            (c.n_conditions for c in result.clusters), default=0
+        )
+
+    def test_p_members_ascend_n_members_descend(self, mining_run):
+        data, __, result = mining_run
+        values = data.matrix.values
+        for cluster in result.clusters:
+            chain = list(cluster.chain)
+            for gene in cluster.p_members:
+                profile = values[gene][chain]
+                assert all(a < b for a, b in zip(profile, profile[1:]))
+            for gene in cluster.n_members:
+                profile = values[gene][chain]
+                assert all(a > b for a, b in zip(profile, profile[1:]))

@@ -1,0 +1,135 @@
+"""Differential testing: optimized miner vs brute-force reference oracle.
+
+The strongest correctness evidence in the suite: on random small matrices
+the RWave-indexed, pruned, vectorized miner must produce *exactly* the
+same cluster set as the naive reference enumerator, and toggling each
+lossless pruning individually must never change the output.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.core.miner import MiningParameters, PruningConfig, RegClusterMiner
+from repro.core.reference import reference_mine, reference_mine_list
+from repro.core.validate import is_valid_reg_cluster
+from repro.matrix.expression import ExpressionMatrix
+
+matrices = st.builds(
+    lambda values: ExpressionMatrix(np.asarray(values, dtype=float)),
+    st.lists(
+        st.lists(
+            st.integers(min_value=0, max_value=20).map(lambda v: v / 2.0),
+            min_size=4,
+            max_size=5,
+        ),
+        min_size=3,
+        max_size=7,
+    ).filter(lambda rows: len({len(r) for r in rows}) == 1),
+)
+
+parameter_sets = st.builds(
+    MiningParameters,
+    min_genes=st.integers(min_value=2, max_value=3),
+    min_conditions=st.integers(min_value=2, max_value=4),
+    gamma=st.sampled_from([0.0, 0.1, 0.25]),
+    epsilon=st.sampled_from([0.0, 0.1, 0.5, 2.0]),
+)
+
+
+@given(matrices, parameter_sets)
+@settings(max_examples=120, deadline=None)
+def test_miner_equals_reference(matrix, params):
+    fast = set(RegClusterMiner(matrix, params).mine().clusters)
+    slow = reference_mine(matrix, params)
+    assert fast == slow
+
+
+@given(matrices, parameter_sets)
+@settings(max_examples=60, deadline=None)
+def test_prunings_are_lossless(matrix, params):
+    expected = set(RegClusterMiner(matrix, params).mine().clusters)
+    for disabled in ["min_genes", "reachability", "p_majority", "redundancy"]:
+        config = PruningConfig(**{disabled: False})
+        got = set(
+            RegClusterMiner(matrix, params, prunings=config).mine().clusters
+        )
+        assert got == expected, f"disabling {disabled} changed the output"
+    none = set(
+        RegClusterMiner(matrix, params, prunings=PruningConfig.none())
+        .mine()
+        .clusters
+    )
+    assert none == expected
+
+
+@given(matrices, parameter_sets)
+@settings(max_examples=60, deadline=None)
+def test_every_output_cluster_is_valid(matrix, params):
+    result = RegClusterMiner(matrix, params).mine()
+    for cluster in result.clusters:
+        assert is_valid_reg_cluster(matrix, cluster, params)
+
+
+@given(matrices, parameter_sets)
+@settings(max_examples=30, deadline=None)
+def test_no_duplicate_clusters(matrix, params):
+    clusters = RegClusterMiner(matrix, params).mine().clusters
+    assert len(clusters) == len(set(clusters))
+
+
+def test_reference_list_is_sorted_and_deterministic():
+    rng = np.random.default_rng(0)
+    matrix = ExpressionMatrix(rng.uniform(0, 10, size=(5, 4)))
+    params = MiningParameters(
+        min_genes=2, min_conditions=2, gamma=0.1, epsilon=0.5
+    )
+    once = reference_mine_list(matrix, params)
+    twice = reference_mine_list(matrix, params)
+    assert list(once) == list(twice)
+    chains = [c.chain for c in once]
+    assert chains == sorted(chains)
+
+
+@pytest.mark.parametrize("seed", range(5))
+def test_agreement_on_matrices_with_planted_structure(seed):
+    """Random matrices rarely contain big clusters; plant one to make the
+    differential test exercise deep chains and the window logic."""
+    rng = np.random.default_rng(seed)
+    values = rng.uniform(0, 10, size=(6, 5))
+    base = np.linspace(0, 12, 5)
+    values[0] = base
+    values[1] = 1.5 * base + 2
+    values[2] = -0.5 * base + 11
+    matrix = ExpressionMatrix(values)
+    params = MiningParameters(
+        min_genes=2, min_conditions=4, gamma=0.15, epsilon=0.05
+    )
+    fast = set(RegClusterMiner(matrix, params).mine().clusters)
+    slow = reference_mine(matrix, params)
+    assert fast == slow
+    assert any(cluster.n_members for cluster in fast)
+
+
+@given(matrices, parameter_sets,
+       st.sampled_from(["closest_pair_average", "normalized_std",
+                        "mean_fraction", "constant"]),
+       st.floats(min_value=0.1, max_value=2.0))
+@settings(max_examples=40, deadline=None)
+def test_miner_equals_reference_with_custom_thresholds(
+    matrix, params, strategy_name, scale
+):
+    """The differential guarantee holds under every threshold strategy."""
+    from repro.core.thresholds import resolve_strategy
+
+    thresholds = resolve_strategy(strategy_name)(matrix, scale)
+    fast = set(
+        RegClusterMiner(matrix, params, thresholds=thresholds)
+        .mine()
+        .clusters
+    )
+    slow = reference_mine(matrix, params, thresholds=thresholds)
+    assert fast == slow

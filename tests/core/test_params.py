@@ -1,0 +1,64 @@
+"""Unit tests for MiningParameters validation."""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.core.params import MiningParameters
+
+
+def make(**overrides):
+    defaults = dict(min_genes=3, min_conditions=5, gamma=0.15, epsilon=0.1)
+    defaults.update(overrides)
+    return MiningParameters(**defaults)
+
+
+class TestValidation:
+    def test_valid_defaults(self):
+        p = make()
+        assert p.min_genes == 3
+        assert p.epsilon == 0.1
+
+    def test_min_genes_lower_bound(self):
+        with pytest.raises(ValueError, match="min_genes"):
+            make(min_genes=0)
+
+    def test_min_conditions_needs_baseline_pair(self):
+        with pytest.raises(ValueError, match="min_conditions"):
+            make(min_conditions=1)
+
+    @pytest.mark.parametrize("gamma", [-0.1, 1.5])
+    def test_gamma_range(self, gamma):
+        with pytest.raises(ValueError, match="gamma"):
+            make(gamma=gamma)
+
+    def test_gamma_boundaries_accepted(self):
+        assert make(gamma=0.0).gamma == 0.0
+        assert make(gamma=1.0).gamma == 1.0
+
+    def test_epsilon_non_negative(self):
+        with pytest.raises(ValueError, match="epsilon"):
+            make(epsilon=-0.01)
+
+    def test_max_clusters_validation(self):
+        with pytest.raises(ValueError, match="max_clusters"):
+            make(max_clusters=0)
+        assert make(max_clusters=5).max_clusters == 5
+
+    def test_frozen(self):
+        with pytest.raises(AttributeError):
+            make().gamma = 0.5
+
+
+class TestDerived:
+    @pytest.mark.parametrize(
+        "min_genes,expected", [(1, 1), (2, 1), (3, 2), (20, 10), (21, 11)]
+    )
+    def test_min_p_members(self, min_genes, expected):
+        assert make(min_genes=min_genes).min_p_members == expected
+
+    def test_with_overrides_revalidates(self):
+        p = make()
+        assert p.with_overrides(gamma=0.5).gamma == 0.5
+        with pytest.raises(ValueError):
+            p.with_overrides(gamma=2.0)

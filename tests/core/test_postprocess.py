@@ -1,0 +1,107 @@
+"""Unit tests for cluster post-processing (merge / filter passes)."""
+
+from __future__ import annotations
+
+import numpy as np
+import pytest
+
+from repro.core.cluster import RegCluster
+from repro.core.miner import MiningParameters, RegClusterMiner
+from repro.core.postprocess import drop_contained, merge_overlapping, top_k
+from repro.core.validate import is_valid_reg_cluster
+from repro.matrix.expression import ExpressionMatrix
+
+
+def family_matrix():
+    """Four affine genes on a 6-condition ramp plus two noise genes."""
+    base = np.array([0.0, 3.0, 6.0, 9.0, 12.0, 15.0])
+    rng = np.random.default_rng(8)
+    rows = [
+        base,
+        2.0 * base + 1.0,
+        0.5 * base + 4.0,
+        -base + 15.0,
+        rng.uniform(0, 15, 6),
+        rng.uniform(0, 15, 6),
+    ]
+    return ExpressionMatrix(np.asarray(rows))
+
+
+class TestDropContained:
+    def test_subset_removed(self):
+        big = RegCluster(chain=(0, 1, 2), p_members=(0, 1, 2))
+        small = RegCluster(chain=(0, 1), p_members=(0, 1))
+        assert drop_contained([small, big]) == [big]
+
+    def test_partial_overlap_kept(self):
+        a = RegCluster(chain=(0, 1), p_members=(0, 1))
+        b = RegCluster(chain=(1, 2), p_members=(1, 2))
+        assert set(drop_contained([a, b])) == {a, b}
+
+    def test_empty(self):
+        assert drop_contained([]) == []
+
+
+class TestTopK:
+    def test_ranking_by_cells(self):
+        big = RegCluster(chain=(0, 1, 2), p_members=(0, 1, 2))
+        small = RegCluster(chain=(3, 4), p_members=(5,))
+        assert top_k([small, big], 1) == [big]
+        assert top_k([small, big], 5) == [big, small]
+
+    def test_negative_k(self):
+        with pytest.raises(ValueError):
+            top_k([], -1)
+
+
+class TestMergeOverlapping:
+    def test_merges_subchain_clusters(self):
+        """Mining a 6-condition family with MinC=5 yields the 6-chain and
+        its 5-chain prefixes; merging collapses them into one cluster."""
+        matrix = family_matrix()
+        params = MiningParameters(
+            min_genes=4, min_conditions=5, gamma=0.15, epsilon=0.01
+        )
+        result = RegClusterMiner(matrix, params).mine()
+        assert len(result) > 1  # overlapping sub-chain clusters exist
+        merged = merge_overlapping(
+            result.clusters, matrix, params, min_overlap=0.5
+        )
+        assert len(merged) < len(result)
+        for cluster in merged:
+            assert is_valid_reg_cluster(matrix, cluster, params)
+        # the full-length cluster survives
+        assert any(c.n_conditions == 6 for c in merged)
+
+    def test_disjoint_clusters_untouched(self):
+        matrix = family_matrix()
+        params = MiningParameters(
+            min_genes=2, min_conditions=2, gamma=0.1, epsilon=0.1
+        )
+        a = RegCluster(chain=(0, 2), p_members=(0, 1))
+        b = RegCluster(chain=(3, 5), p_members=(0, 1))
+        merged = merge_overlapping([a, b], matrix, params)
+        assert set(merged) == {a, b}
+
+    def test_invalid_merge_rejected(self):
+        """Clusters whose union violates coherence are left separate."""
+        base = np.array([0.0, 3.0, 6.0, 9.0])
+        skew = np.array([0.0, 4.0, 8.0, 30.0])
+        matrix = ExpressionMatrix([base, base + 1.0, skew, skew + 1.0])
+        params = MiningParameters(
+            min_genes=2, min_conditions=4, gamma=0.1, epsilon=0.05
+        )
+        a = RegCluster(chain=(0, 1, 2, 3), p_members=(0, 1))
+        b = RegCluster(chain=(0, 1, 2, 3), p_members=(2, 3))
+        assert is_valid_reg_cluster(matrix, a, params)
+        assert is_valid_reg_cluster(matrix, b, params)
+        merged = merge_overlapping([a, b], matrix, params, min_overlap=0.3)
+        assert set(merged) == {a, b}
+
+    def test_min_overlap_validation(self):
+        matrix = family_matrix()
+        params = MiningParameters(
+            min_genes=2, min_conditions=2, gamma=0.1, epsilon=0.1
+        )
+        with pytest.raises(ValueError, match="min_overlap"):
+            merge_overlapping([], matrix, params, min_overlap=0.0)

@@ -1,0 +1,114 @@
+"""Cross-cutting property-based tests (hypothesis) on core value objects."""
+
+from __future__ import annotations
+
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.core.chain import canonical_orientation, invert_chain, is_representative
+from repro.core.cluster import RegCluster
+from repro.core.postprocess import drop_contained, top_k
+from repro.core.serialize import cluster_from_dict, cluster_to_dict
+
+# -- strategies -------------------------------------------------------------
+
+chains = st.lists(
+    st.integers(min_value=0, max_value=15), min_size=1, max_size=6,
+    unique=True,
+).map(tuple)
+
+
+@st.composite
+def clusters(draw):
+    chain = draw(chains)
+    genes = draw(
+        st.lists(
+            st.integers(min_value=0, max_value=30),
+            min_size=1,
+            max_size=8,
+            unique=True,
+        )
+    )
+    split = draw(st.integers(min_value=0, max_value=len(genes)))
+    return RegCluster(
+        chain=chain,
+        p_members=tuple(genes[:split]),
+        n_members=tuple(genes[split:]),
+    )
+
+
+# -- serialization ----------------------------------------------------------
+
+@given(clusters())
+@settings(max_examples=200, deadline=None)
+def test_cluster_serialization_round_trip(cluster):
+    assert cluster_from_dict(cluster_to_dict(cluster)) == cluster
+
+
+@given(clusters())
+@settings(max_examples=100, deadline=None)
+def test_cells_count_is_product(cluster):
+    assert len(cluster.cells()) == cluster.n_genes * cluster.n_conditions
+
+
+@given(clusters())
+@settings(max_examples=100, deadline=None)
+def test_overlap_with_self_is_one(cluster):
+    assert cluster.overlap_fraction(cluster) == 1.0
+
+
+# -- chains -----------------------------------------------------------------
+
+@given(chains, st.integers(min_value=0, max_value=9),
+       st.integers(min_value=0, max_value=9))
+@settings(max_examples=200, deadline=None)
+def test_exactly_one_orientation_representative(chain, p, n):
+    forward = is_representative(chain, p, n)
+    backward = is_representative(invert_chain(chain), n, p)
+    if len(chain) >= 2:
+        assert forward != backward
+    else:
+        # a single-condition chain equals its inversion; both views agree
+        assert forward == (p >= n)
+
+
+@given(chains, st.integers(min_value=0, max_value=9),
+       st.integers(min_value=0, max_value=9))
+@settings(max_examples=100, deadline=None)
+def test_canonical_orientation_is_representative(chain, p, n):
+    oriented, op, on = canonical_orientation(chain, p, n)
+    assert is_representative(oriented, op, on)
+    assert sorted(oriented) == sorted(chain)
+    assert {op, on} == {p, n}
+
+
+# -- post-processing --------------------------------------------------------
+
+@given(st.lists(clusters(), max_size=8))
+@settings(max_examples=100, deadline=None)
+def test_drop_contained_idempotent_and_sound(cluster_list):
+    kept = drop_contained(cluster_list)
+    # idempotent
+    assert drop_contained(kept) == kept
+    # sound: nothing kept is contained in another kept cluster
+    for a in kept:
+        for b in kept:
+            if a is not b:
+                assert not (a.cells() <= b.cells())
+    # complete: everything dropped is contained in something kept
+    for cluster in cluster_list:
+        if cluster not in kept:
+            assert any(cluster.cells() <= k.cells() for k in kept)
+
+
+@given(st.lists(clusters(), max_size=8), st.integers(min_value=0, max_value=10))
+@settings(max_examples=100, deadline=None)
+def test_top_k_returns_largest(cluster_list, k):
+    picked = top_k(cluster_list, k)
+    assert len(picked) == min(k, len(cluster_list))
+    if picked:
+        threshold = min(c.n_genes * c.n_conditions for c in picked)
+        rest = [c for c in cluster_list if c not in picked]
+        assert all(
+            c.n_genes * c.n_conditions <= threshold for c in rest
+        )

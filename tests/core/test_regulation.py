@@ -1,0 +1,93 @@
+"""Unit tests for the regulation measurement (Eq. 3 / Eq. 4)."""
+
+from __future__ import annotations
+
+import numpy as np
+import pytest
+
+from repro.core.regulation import (
+    Regulation,
+    gene_thresholds,
+    regulation,
+    regulation_matrix,
+)
+from repro.matrix.expression import ExpressionMatrix
+
+
+class TestThresholds:
+    def test_paper_values(self, running_example):
+        """gamma = 0.15 gives gamma_1 = gamma_2 = 4.5 and gamma_3 = 1.8."""
+        thresholds = gene_thresholds(running_example, 0.15)
+        assert thresholds.tolist() == pytest.approx([4.5, 4.5, 1.8])
+
+    def test_zero_gamma(self, running_example):
+        assert gene_thresholds(running_example, 0.0).tolist() == [0, 0, 0]
+
+    def test_constant_gene_threshold_zero(self):
+        m = ExpressionMatrix([[3.0, 3.0, 3.0]])
+        assert gene_thresholds(m, 0.5).tolist() == [0.0]
+
+    def test_invalid_gamma(self, running_example):
+        with pytest.raises(ValueError, match="gamma"):
+            gene_thresholds(running_example, 1.2)
+
+
+class TestRegulation:
+    def test_up_regulated(self, running_example):
+        # g1: d(c3) = 15, d(c7) = -15, difference 30 > 4.5
+        assert (
+            regulation(running_example, "g1", "c3", "c7", 0.15)
+            is Regulation.UP
+        )
+
+    def test_down_regulated(self, running_example):
+        assert (
+            regulation(running_example, "g1", "c7", "c3", 0.15)
+            is Regulation.DOWN
+        )
+
+    def test_not_regulated(self, running_example):
+        # g1: d(c1) = 10, d(c4) = 10.5, difference 0.5 < 4.5
+        assert (
+            regulation(running_example, "g1", "c4", "c1", 0.15)
+            is Regulation.NONE
+        )
+
+    def test_strict_inequality_at_threshold(self):
+        m = ExpressionMatrix([[0.0, 5.0, 10.0]])  # range 10
+        # gamma = 0.5 -> threshold 5; difference exactly 5 is NOT regulated
+        assert regulation(m, 0, 1, 0, 0.5) is Regulation.NONE
+        assert regulation(m, 0, 2, 0, 0.5) is Regulation.UP
+
+    def test_threshold_override(self, running_example):
+        assert (
+            regulation(running_example, "g1", "c4", "c1", 0.15, threshold=0.2)
+            is Regulation.UP
+        )
+
+    def test_inverted(self):
+        assert Regulation.UP.inverted() is Regulation.DOWN
+        assert Regulation.DOWN.inverted() is Regulation.UP
+        assert Regulation.NONE.inverted() is Regulation.NONE
+
+
+class TestRegulationMatrix:
+    def test_antisymmetric(self, running_example):
+        table = regulation_matrix(running_example, "g2", 0.15)
+        assert np.array_equal(table, -table.T)
+
+    def test_matches_scalar_calls(self, running_example):
+        table = regulation_matrix(running_example, "g3", 0.15)
+        for a in range(10):
+            for b in range(10):
+                expected = regulation(running_example, "g3", a, b, 0.15)
+                mapping = {
+                    Regulation.UP: 1,
+                    Regulation.DOWN: -1,
+                    Regulation.NONE: 0,
+                }
+                assert table[a, b] == mapping[expected]
+
+    def test_diagonal_zero(self, running_example):
+        table = regulation_matrix(running_example, "g1", 0.15)
+        assert np.all(np.diag(table) == 0)

@@ -1,0 +1,107 @@
+"""Property-based tests for the RWave^gamma model (hypothesis)."""
+
+from __future__ import annotations
+
+import numpy as np
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.core.rwave import RWaveModel
+
+profiles = st.lists(
+    st.floats(min_value=-100, max_value=100, allow_nan=False, width=32),
+    min_size=1,
+    max_size=14,
+)
+gammas = st.floats(min_value=0.0, max_value=1.0)
+
+
+def brute_force_predecessors(row, threshold, condition):
+    return {
+        b
+        for b in range(len(row))
+        if row[condition] - row[b] > threshold
+    }
+
+
+def brute_force_longest_up(row, threshold, condition, _cache=None):
+    if _cache is None:
+        _cache = {}
+    if condition in _cache:
+        return _cache[condition]
+    succs = [
+        b for b in range(len(row)) if row[b] - row[condition] > threshold
+    ]
+    result = 1 + max(
+        (brute_force_longest_up(row, threshold, s, _cache) for s in succs),
+        default=0,
+    )
+    _cache[condition] = result
+    return result
+
+
+@given(profiles, gammas)
+@settings(max_examples=200, deadline=None)
+def test_queries_equal_brute_force(values, gamma):
+    row = np.asarray(values, dtype=np.float64)
+    threshold = gamma * (row.max() - row.min())
+    model = RWaveModel(row, threshold)
+    for condition in range(len(row)):
+        expected = brute_force_predecessors(row, threshold, condition)
+        got = set(model.regulation_predecessors(condition).tolist())
+        assert got == expected
+        expected_succ = {
+            b for b in range(len(row)) if row[b] - row[condition] > threshold
+        }
+        got_succ = set(model.regulation_successors(condition).tolist())
+        assert got_succ == expected_succ
+
+
+@given(profiles, gammas)
+@settings(max_examples=200, deadline=None)
+def test_pointer_invariants(values, gamma):
+    row = np.asarray(values, dtype=np.float64)
+    threshold = gamma * (row.max() - row.min())
+    model = RWaveModel(row, threshold)
+    sorted_values = model.sorted_values
+    previous_tail, previous_head = -1, -1
+    for pointer in model.pointers:
+        # bordering pair is regulated
+        assert (
+            sorted_values[pointer.head] - sorted_values[pointer.tail]
+            > threshold
+        )
+        # pointers are strictly ordered on both endpoints (non-embedded)
+        assert pointer.tail > previous_tail
+        assert pointer.head > previous_head
+        previous_tail, previous_head = pointer.tail, pointer.head
+        # minimality: the tail is the *closest* predecessor of the head
+        if pointer.tail + 1 < pointer.head:
+            assert (
+                sorted_values[pointer.head] - sorted_values[pointer.tail + 1]
+                <= threshold
+            )
+
+
+@given(profiles, gammas)
+@settings(max_examples=100, deadline=None)
+def test_chain_tables_equal_brute_force(values, gamma):
+    row = np.asarray(values, dtype=np.float64)
+    threshold = gamma * (row.max() - row.min())
+    model = RWaveModel(row, threshold)
+    cache = {}
+    for condition in range(len(row)):
+        assert model.max_up_from(condition) == brute_force_longest_up(
+            row, threshold, condition, cache
+        )
+
+
+@given(profiles, gammas)
+@settings(max_examples=100, deadline=None)
+def test_down_table_is_mirrored_up_table(values, gamma):
+    row = np.asarray(values, dtype=np.float64)
+    threshold = gamma * (row.max() - row.min())
+    model = RWaveModel(row, threshold)
+    mirror = RWaveModel(-row, threshold)
+    for condition in range(len(row)):
+        assert model.max_down_from(condition) == mirror.max_up_from(condition)

@@ -1,0 +1,87 @@
+"""Unit tests for JSON serialization of mining results."""
+
+from __future__ import annotations
+
+import json
+
+import pytest
+
+from repro.core.cluster import RegCluster
+from repro.core.miner import RegClusterMiner
+from repro.core.serialize import (
+    cluster_from_dict,
+    cluster_to_dict,
+    load_result,
+    result_from_dict,
+    result_to_dict,
+    save_result,
+)
+
+
+@pytest.fixture
+def mined(running_example, paper_params):
+    return RegClusterMiner(running_example, paper_params).mine()
+
+
+class TestClusterRoundTrip:
+    def test_ids_round_trip(self):
+        cluster = RegCluster(chain=(6, 8, 4), p_members=(0, 2),
+                             n_members=(1,))
+        payload = cluster_to_dict(cluster)
+        assert payload["chain"] == [6, 8, 4]
+        assert cluster_from_dict(payload) == cluster
+
+    def test_names_round_trip(self, running_example):
+        cluster = RegCluster(chain=(6, 8, 4), p_members=(0, 2),
+                             n_members=(1,))
+        payload = cluster_to_dict(cluster, running_example)
+        assert payload["chain"] == ["c7", "c9", "c5"]
+        assert payload["p_members"] == ["g1", "g3"]
+        assert cluster_from_dict(payload, running_example) == cluster
+
+    def test_names_without_matrix_raise(self):
+        with pytest.raises(ValueError, match="names"):
+            cluster_from_dict(
+                {"chain": ["c1"], "p_members": ["g1"], "n_members": []}
+            )
+
+    def test_missing_key_raises(self):
+        with pytest.raises(ValueError, match="missing key"):
+            cluster_from_dict({"chain": [0]})
+
+    def test_n_members_optional(self):
+        cluster = cluster_from_dict({"chain": [0, 1], "p_members": [3]})
+        assert cluster.n_members == ()
+
+
+class TestResultRoundTrip:
+    def test_dict_round_trip(self, mined, running_example):
+        payload = result_to_dict(mined, running_example)
+        assert payload["format"] == "reg-cluster/v1"
+        again = result_from_dict(payload, running_example)
+        assert again.clusters == mined.clusters
+        assert again.parameters == mined.parameters
+        assert (
+            again.statistics.nodes_expanded
+            == mined.statistics.nodes_expanded
+        )
+
+    def test_json_serializable(self, mined):
+        text = json.dumps(result_to_dict(mined))
+        assert "clusters" in text
+
+    def test_file_round_trip(self, mined, running_example, tmp_path):
+        path = tmp_path / "result.json"
+        save_result(mined, path, matrix=running_example)
+        again = load_result(path, matrix=running_example)
+        assert again.clusters == mined.clusters
+
+    def test_wrong_format_rejected(self):
+        with pytest.raises(ValueError, match="unsupported format"):
+            result_from_dict({"format": "other/v9"})
+
+    def test_statistics_ignore_unknown_keys(self, mined):
+        payload = result_to_dict(mined)
+        payload["statistics"]["made_up_counter"] = 5
+        again = result_from_dict(payload)
+        assert not hasattr(again.statistics, "made_up_counter")

@@ -1,0 +1,114 @@
+"""Unit tests for the alternative regulation-threshold strategies."""
+
+from __future__ import annotations
+
+import numpy as np
+import pytest
+
+from repro.core.miner import MiningParameters, RegClusterMiner, mine_reg_clusters
+from repro.core.regulation import gene_thresholds
+from repro.core.thresholds import (
+    closest_pair_average,
+    constant,
+    mean_fraction,
+    normalized_std,
+    range_fraction,
+    resolve_strategy,
+)
+from repro.matrix.expression import ExpressionMatrix
+
+
+class TestStrategies:
+    def test_range_fraction_matches_eq4(self, running_example):
+        assert np.allclose(
+            range_fraction(running_example, 0.15),
+            gene_thresholds(running_example, 0.15),
+        )
+
+    def test_closest_pair_average(self):
+        m = ExpressionMatrix([[0.0, 1.0, 3.0, 10.0]])
+        # sorted gaps: 1, 2, 7 -> mean 10/3
+        assert closest_pair_average(m, 1.0).tolist() == pytest.approx(
+            [10.0 / 3.0]
+        )
+
+    def test_normalized_std(self):
+        m = ExpressionMatrix([[0.0, 2.0], [5.0, 5.0]])
+        out = normalized_std(m, 2.0)
+        assert out[0] == pytest.approx(2.0)
+        assert out[1] == 0.0
+
+    def test_mean_fraction(self):
+        m = ExpressionMatrix([[-4.0, -2.0]])
+        assert mean_fraction(m, 0.5).tolist() == [1.5]
+
+    def test_constant(self):
+        m = ExpressionMatrix([[0.0, 1.0], [2.0, 3.0]])
+        assert constant(m, 7.0).tolist() == [7.0, 7.0]
+
+    def test_negative_scale_rejected(self, running_example):
+        for strategy in (range_fraction, closest_pair_average,
+                         normalized_std, mean_fraction, constant):
+            with pytest.raises(ValueError):
+                strategy(running_example, -0.1)
+
+    def test_resolve_strategy(self):
+        assert resolve_strategy("normalized_std") is normalized_std
+        with pytest.raises(ValueError, match="unknown threshold"):
+            resolve_strategy("bogus")
+
+
+class TestMinerIntegration:
+    def test_custom_thresholds_change_mining(self, running_example):
+        params = MiningParameters(
+            min_genes=3, min_conditions=5, gamma=0.15, epsilon=0.1
+        )
+        default = RegClusterMiner(running_example, params).mine()
+        # an absurdly high constant threshold regulates nothing
+        blocked = RegClusterMiner(
+            running_example,
+            params,
+            thresholds=constant(running_example, 1000.0),
+        ).mine()
+        assert len(default) == 1
+        assert len(blocked) == 0
+
+    def test_explicit_eq4_thresholds_equal_default(self, running_example):
+        params = MiningParameters(
+            min_genes=3, min_conditions=5, gamma=0.15, epsilon=0.1
+        )
+        default = RegClusterMiner(running_example, params).mine().clusters
+        explicit = (
+            RegClusterMiner(
+                running_example,
+                params,
+                thresholds=range_fraction(running_example, 0.15),
+            )
+            .mine()
+            .clusters
+        )
+        assert default == explicit
+
+    def test_wrapper_accepts_thresholds(self, running_example):
+        result = mine_reg_clusters(
+            running_example,
+            min_genes=3,
+            min_conditions=5,
+            gamma=0.15,
+            epsilon=0.1,
+            thresholds=normalized_std(running_example, 0.4),
+        )
+        assert len(result) >= 1
+
+    def test_bad_threshold_shape_rejected(self, running_example):
+        params = MiningParameters(
+            min_genes=3, min_conditions=5, gamma=0.15, epsilon=0.1
+        )
+        with pytest.raises(ValueError, match="shape"):
+            RegClusterMiner(
+                running_example, params, thresholds=np.zeros(5)
+            )
+        with pytest.raises(ValueError, match="non-negative"):
+            RegClusterMiner(
+                running_example, params, thresholds=np.full(3, -1.0)
+            )

@@ -1,0 +1,123 @@
+"""Unit tests for search tracing (the Figure 6 enumeration tree)."""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.core.miner import RegClusterMiner
+from repro.core.trace import SearchTrace
+
+
+@pytest.fixture
+def traced(running_example, paper_params):
+    tracer = SearchTrace()
+    result = RegClusterMiner(
+        running_example, paper_params, tracer=tracer
+    ).mine()
+    return tracer, result
+
+
+def chain_ids(names, matrix):
+    return tuple(matrix.condition_index(n) for n in names)
+
+
+class TestFigure6Tree:
+    """Pins the enumeration tree of the paper's Figure 6."""
+
+    def test_validated_chain(self, traced, running_example):
+        tracer, __ = traced
+        validated = tracer.validated_chains()
+        assert validated == [
+            chain_ids(["c7", "c9", "c5", "c1", "c3"], running_example)
+        ]
+
+    def test_level1_survivors(self, traced, running_example):
+        """Only c2, c3 and c7 reach level 1; the paper prunes the rest."""
+        tracer, __ = traced
+        expanded_level1 = {
+            chain[0]
+            for chain in tracer.chains()
+            if len(chain) == 1 and "expanded" in tracer.events(chain)
+        }
+        assert expanded_level1 == {
+            running_example.condition_index("c2"),
+            running_example.condition_index("c7"),
+        }
+        # c3 is visited but pruned by (3a): its only ascending gene is g2
+        c3 = chain_ids(["c3"], running_example)
+        assert tracer.events(c3) == ("pruned_p_majority",)
+
+    def test_c2_subtree_matches_paper(self, traced, running_example):
+        """Paper: candidates of c2 are c1, c9, c10; c2c1 and c2c9 are
+        pruned, only c2c10 extends, whose children c5 and c8 both fail."""
+        tracer, __ = traced
+        assert "pruned" in tracer.events(
+            chain_ids(["c2", "c1"], running_example)
+        )[0]
+        assert tracer.events(
+            chain_ids(["c2", "c9"], running_example)
+        ) == ("pruned_min_genes",)
+        assert "expanded" in tracer.events(
+            chain_ids(["c2", "c10"], running_example)
+        )
+        # the paper prunes c2c10c5 by coherence (H(2,...) = 2 is the
+        # outlier) and c2c10c8 during the same window step
+        assert tracer.events(
+            chain_ids(["c2", "c10", "c5"], running_example)
+        ) == ("pruned_coherence",)
+        assert tracer.events(
+            chain_ids(["c2", "c10", "c8"], running_example)
+        ) == ("pruned_coherence",)
+
+    def test_c7_path_expands_to_validated_chain(self, traced, running_example):
+        tracer, __ = traced
+        for prefix_len in range(1, 6):
+            prefix = chain_ids(
+                ["c7", "c9", "c5", "c1", "c3"][:prefix_len], running_example
+            )
+            assert "expanded" in tracer.events(prefix)
+
+    def test_c7c10_pruned_by_min_genes(self, traced, running_example):
+        """Paper: 'c7c10 is pruned with strategy (1)'."""
+        tracer, __ = traced
+        assert tracer.events(
+            chain_ids(["c7", "c10"], running_example)
+        ) == ("pruned_min_genes",)
+
+
+class TestTraceMechanics:
+    def test_rendering(self, traced, running_example):
+        tracer, __ = traced
+        text = tracer.render(running_example.condition_names)
+        assert text.startswith("(root)")
+        assert "VALIDATED reg-cluster" in text
+        assert "pruned (4)" in text
+        assert "c7 c9 c5 c1 c3" in text
+
+    def test_render_default_names(self, traced):
+        tracer, __ = traced
+        assert "c7 c9 c5 c1 c3" in tracer.render()
+
+    def test_pruned_chain_query(self, traced):
+        tracer, __ = traced
+        assert tracer.pruned_chains()  # something was pruned
+        assert set(tracer.pruned_chains("coherence")) <= set(
+            tracer.pruned_chains()
+        )
+
+    def test_unknown_event_rejected(self):
+        with pytest.raises(ValueError, match="unknown trace event"):
+            SearchTrace().record((0,), "exploded")
+
+    def test_tracing_does_not_change_output(
+        self, running_example, paper_params
+    ):
+        plain = RegClusterMiner(running_example, paper_params).mine()
+        traced_result = RegClusterMiner(
+            running_example, paper_params, tracer=SearchTrace()
+        ).mine()
+        assert plain.clusters == traced_result.clusters
+
+    def test_repr(self, traced):
+        tracer, __ = traced
+        assert "validated=1" in repr(tracer)

@@ -1,0 +1,120 @@
+"""Unit tests for the independent Definition 3.2 validator."""
+
+from __future__ import annotations
+
+import numpy as np
+import pytest
+
+from repro.core.cluster import RegCluster
+from repro.core.params import MiningParameters
+from repro.core.validate import (
+    check_chain,
+    is_valid_reg_cluster,
+    validation_errors,
+)
+from repro.matrix.expression import ExpressionMatrix
+
+
+@pytest.fixture
+def paper_cluster(running_example):
+    chain = tuple(
+        running_example.condition_indices(["c7", "c9", "c5", "c1", "c3"])
+    )
+    return RegCluster(chain=chain, p_members=(0, 2), n_members=(1,))
+
+
+class TestValidClusters:
+    def test_paper_cluster_is_valid(
+        self, running_example, paper_cluster, paper_params
+    ):
+        assert validation_errors(
+            running_example, paper_cluster, paper_params
+        ) == []
+        assert is_valid_reg_cluster(
+            running_example, paper_cluster, paper_params
+        )
+
+
+class TestViolations:
+    def test_too_few_conditions(self, running_example, paper_params):
+        chain = tuple(running_example.condition_indices(["c7", "c3"]))
+        cluster = RegCluster(chain=chain, p_members=(0, 1, 2))
+        errors = validation_errors(running_example, cluster, paper_params)
+        assert any("fewer than MinC" in e for e in errors)
+
+    def test_too_few_genes(self, running_example, paper_params):
+        chain = tuple(
+            running_example.condition_indices(["c7", "c9", "c5", "c1", "c3"])
+        )
+        cluster = RegCluster(chain=chain, p_members=(0, 2))
+        errors = validation_errors(running_example, cluster, paper_params)
+        assert any("fewer than MinG" in e for e in errors)
+
+    def test_broken_regulation_detected(self, running_example, paper_params):
+        """Figure 4: on {c2, c4, c8, c10} the g2 steps are unregulated."""
+        chain = tuple(
+            running_example.condition_indices(["c2", "c10", "c8", "c4"])
+        )
+        cluster = RegCluster(chain=chain, p_members=(0, 1, 2))
+        params = paper_params.with_overrides(min_conditions=4)
+        errors = validation_errors(running_example, cluster, params)
+        assert any("p-member gene 1" in e for e in errors)
+
+    def test_pairwise_not_just_adjacent(self, paper_params):
+        """A chain whose adjacent steps pass but a wider pair fails cannot
+        occur (steps accumulate) — but a *descending* member placed in
+        p_members must fail every pair."""
+        m = ExpressionMatrix([[10.0, 5.0, 0.0], [0.0, 5.0, 10.0]])
+        cluster = RegCluster(chain=(0, 1, 2), p_members=(0, 1))
+        params = MiningParameters(
+            min_genes=2, min_conditions=3, gamma=0.1, epsilon=1.0
+        )
+        errors = validation_errors(m, cluster, params)
+        assert any("p-member gene 0" in e for e in errors)
+
+    def test_broken_coherence_detected(self):
+        base = np.array([0.0, 3.0, 6.0])
+        skew = np.array([0.0, 3.0, 20.0])
+        m = ExpressionMatrix([base, skew])
+        cluster = RegCluster(chain=(0, 1, 2), p_members=(0, 1))
+        params = MiningParameters(
+            min_genes=2, min_conditions=3, gamma=0.1, epsilon=0.5
+        )
+        errors = validation_errors(m, cluster, params)
+        assert any("H spread" in e for e in errors)
+
+    def test_wrong_orientation_detected(self, running_example, paper_params):
+        """Storing the inverted chain (n-majority) is flagged."""
+        chain = tuple(
+            running_example.condition_indices(["c3", "c1", "c5", "c9", "c7"])
+        )
+        cluster = RegCluster(chain=chain, p_members=(1,), n_members=(0, 2))
+        errors = validation_errors(running_example, cluster, paper_params)
+        assert any("not representative" in e for e in errors)
+
+    def test_n_member_violation_detected(self, running_example, paper_params):
+        chain = tuple(
+            running_example.condition_indices(["c7", "c9", "c5", "c1", "c3"])
+        )
+        # put an ascending gene into the n-members
+        cluster = RegCluster(chain=chain, p_members=(0,), n_members=(1, 2))
+        errors = validation_errors(running_example, cluster, paper_params)
+        assert any("n-member gene 2" in e for e in errors)
+
+    def test_single_condition_chain_rejected(self, running_example, paper_params):
+        cluster = RegCluster(chain=(0,), p_members=(0, 1, 2))
+        errors = validation_errors(running_example, cluster, paper_params)
+        assert any("at least two conditions" in e for e in errors)
+
+
+class TestCheckChain:
+    def test_classifies_members(self, running_example):
+        chain = ["c7", "c9", "c5", "c1", "c3"]
+        assert check_chain(running_example, "g1", chain, 0.15) == "p"
+        assert check_chain(running_example, "g2", chain, 0.15) == "n"
+
+    def test_classifies_non_member(self, running_example):
+        assert (
+            check_chain(running_example, "g2", ["c8", "c4", "c6"], 0.15)
+            == "none"
+        )

@@ -1,0 +1,111 @@
+"""Unit and property tests for the coherence sliding window."""
+
+from __future__ import annotations
+
+import numpy as np
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.core.window import coherent_gene_windows, maximal_coherent_windows
+
+
+class TestMaximalWindows:
+    def test_single_window(self):
+        assert maximal_coherent_windows(
+            np.array([0.0, 0.1, 0.2]), 0.5, 1
+        ) == [(0, 2)]
+
+    def test_two_disjoint_windows(self):
+        scores = np.array([0.0, 0.1, 5.0, 5.05])
+        assert maximal_coherent_windows(scores, 0.2, 1) == [(0, 1), (2, 3)]
+
+    def test_overlapping_windows(self):
+        scores = np.array([0.0, 0.5, 1.0, 1.5])
+        assert maximal_coherent_windows(scores, 1.0, 1) == [
+            (0, 2),
+            (1, 3),
+        ]
+
+    def test_min_length_filters(self):
+        scores = np.array([0.0, 0.1, 5.0])
+        assert maximal_coherent_windows(scores, 0.2, 2) == [(0, 1)]
+
+    def test_empty_input(self):
+        assert maximal_coherent_windows(np.array([]), 0.5, 1) == []
+
+    def test_epsilon_zero_groups_equal_scores(self):
+        scores = np.array([1.0, 1.0, 2.0, 2.0, 2.0])
+        assert maximal_coherent_windows(scores, 0.0, 2) == [(0, 1), (2, 4)]
+
+    def test_unsorted_raises(self):
+        with pytest.raises(ValueError, match="sorted"):
+            maximal_coherent_windows(np.array([1.0, 0.0]), 0.5, 1)
+
+    def test_bad_parameters(self):
+        with pytest.raises(ValueError, match="min_length"):
+            maximal_coherent_windows(np.array([1.0]), 0.5, 0)
+        with pytest.raises(ValueError, match="epsilon"):
+            maximal_coherent_windows(np.array([1.0]), -0.5, 1)
+
+    @given(
+        st.lists(
+            st.floats(min_value=-100, max_value=100, allow_nan=False,
+                      width=32),
+            max_size=30,
+        ),
+        st.floats(min_value=0, max_value=50),
+        st.integers(min_value=1, max_value=5),
+    )
+    @settings(max_examples=200, deadline=None)
+    def test_window_properties(self, values, epsilon, min_length):
+        scores = np.sort(np.asarray(values, dtype=np.float64))
+        windows = maximal_coherent_windows(scores, epsilon, min_length)
+        covered = set()
+        for start, end in windows:
+            assert end - start + 1 >= min_length
+            assert scores[end] - scores[start] <= epsilon
+            # maximality in both directions
+            if start > 0:
+                assert scores[end] - scores[start - 1] > epsilon
+            if end < len(scores) - 1:
+                assert scores[end + 1] - scores[start] > epsilon
+            covered.update(range(start, end + 1))
+        # completeness: any element not covered belongs only to windows
+        # shorter than min_length
+        for index in set(range(len(scores))) - covered:
+            lo = index
+            while lo > 0 and scores[index] - scores[lo - 1] <= epsilon:
+                lo -= 1
+            hi = index
+            while (
+                hi < len(scores) - 1
+                and scores[hi + 1] - scores[lo] <= epsilon
+            ):
+                hi += 1
+            # the largest window this element fits in is too short
+            assert hi - lo + 1 < min_length
+
+
+class TestGeneWindows:
+    def test_partitions_by_score(self):
+        genes = np.array([10, 11, 12, 13])
+        scores = np.array([5.0, 0.0, 5.1, 0.2])
+        windows = coherent_gene_windows(genes, scores, 0.3, 2)
+        assert [w.tolist() for w in windows] == [[11, 13], [10, 12]]
+
+    def test_non_finite_scores_dropped(self):
+        genes = np.array([1, 2, 3])
+        scores = np.array([np.inf, 1.0, 1.1])
+        windows = coherent_gene_windows(genes, scores, 0.5, 2)
+        assert [w.tolist() for w in windows] == [[2, 3]]
+
+    def test_deterministic_tie_order(self):
+        genes = np.array([9, 3, 7])
+        scores = np.array([1.0, 1.0, 1.0])
+        windows = coherent_gene_windows(genes, scores, 0.0, 1)
+        assert windows[0].tolist() == [3, 7, 9]
+
+    def test_shape_mismatch(self):
+        with pytest.raises(ValueError, match="parallel"):
+            coherent_gene_windows(np.array([1]), np.array([1.0, 2.0]), 0.1, 1)

@@ -1,0 +1,32 @@
+"""Pins Table 1 of the paper."""
+
+from __future__ import annotations
+
+from repro.datasets.running_example import (
+    RUNNING_EXAMPLE_VALUES,
+    load_running_example,
+)
+
+
+def test_shape_and_names():
+    m = load_running_example()
+    assert m.shape == (3, 10)
+    assert m.gene_names == ("g1", "g2", "g3")
+    assert m.condition_names == tuple(f"c{j}" for j in range(1, 11))
+
+
+def test_exact_values():
+    m = load_running_example()
+    assert m.values.tolist() == [list(row) for row in RUNNING_EXAMPLE_VALUES]
+
+
+def test_spot_values_from_table1():
+    m = load_running_example()
+    assert m.value("g1", "c2") == -14.5
+    assert m.value("g2", "c4") == 43.5
+    assert m.value("g3", "c2") == -3.8
+    assert m.value("g3", "c6") == 7.8
+
+
+def test_fresh_instance_each_call():
+    assert load_running_example() is not load_running_example()

@@ -1,0 +1,125 @@
+"""Unit and property tests for the section 5 synthetic generator."""
+
+from __future__ import annotations
+
+import numpy as np
+import pytest
+
+from repro.core.miner import MiningParameters, RegClusterMiner
+from repro.core.validate import is_valid_reg_cluster
+from repro.datasets.synthetic import SyntheticConfig, make_synthetic_dataset
+from repro.eval.match import match_report
+
+
+class TestConfigValidation:
+    def test_defaults_match_paper(self):
+        config = SyntheticConfig()
+        assert config.n_genes == 3000
+        assert config.n_conditions == 30
+        assert config.n_clusters == 30
+        assert config.avg_dimensionality == 6
+        assert config.gene_fraction == 0.01
+        assert config.embed_gamma == 0.15
+
+    def test_rejects_bad_fraction(self):
+        with pytest.raises(ValueError, match="gene_fraction"):
+            SyntheticConfig(gene_fraction=0.0)
+
+    def test_rejects_infeasible_gamma_dimensionality(self):
+        with pytest.raises(ValueError, match="gamma"):
+            SyntheticConfig(
+                avg_dimensionality=10,
+                dimensionality_jitter=0,
+                embed_gamma=0.15,
+            )
+
+    def test_rejects_dimensionality_above_conditions(self):
+        with pytest.raises(ValueError, match="exceeds"):
+            SyntheticConfig(n_conditions=4, avg_dimensionality=6)
+
+    def test_rejects_overfull_embedding(self):
+        with pytest.raises(ValueError, match="distinct genes"):
+            make_synthetic_dataset(
+                n_genes=10, n_conditions=12, n_clusters=10, gene_fraction=0.5
+            )
+
+
+class TestGeneration:
+    def test_shape_and_determinism(self):
+        a = make_synthetic_dataset(n_genes=120, n_conditions=15, n_clusters=3,
+                                   seed=9)
+        b = make_synthetic_dataset(n_genes=120, n_conditions=15, n_clusters=3,
+                                   seed=9)
+        assert a.matrix == b.matrix
+        assert a.embedded == b.embedded
+
+    def test_different_seed_differs(self):
+        a = make_synthetic_dataset(n_genes=60, n_conditions=12, n_clusters=2,
+                                   seed=1)
+        b = make_synthetic_dataset(n_genes=60, n_conditions=12, n_clusters=2,
+                                   seed=2)
+        assert a.matrix != b.matrix
+
+    def test_requested_number_of_clusters(self):
+        data = make_synthetic_dataset(n_genes=200, n_conditions=20,
+                                      n_clusters=4, seed=0)
+        assert data.n_embedded == 4
+
+    def test_embedded_gene_sets_are_disjoint(self):
+        data = make_synthetic_dataset(n_genes=300, n_conditions=20,
+                                      n_clusters=6, seed=5)
+        seen = set()
+        for cluster in data.embedded:
+            genes = set(cluster.genes)
+            assert not genes & seen
+            seen |= genes
+
+    def test_embedded_clusters_mix_orientations(self):
+        data = make_synthetic_dataset(n_genes=400, n_conditions=20,
+                                      n_clusters=4, seed=2,
+                                      gene_fraction=0.03)
+        assert all(len(c.p_members) > len(c.n_members) for c in data.embedded)
+        assert any(c.n_members for c in data.embedded)
+
+    @pytest.mark.parametrize("seed", range(4))
+    def test_embedded_clusters_are_valid_reg_clusters(self, seed):
+        """Every embedded cluster satisfies Definition 3.2 at the
+        generator's (gamma=0.15, epsilon=0)."""
+        data = make_synthetic_dataset(
+            n_genes=200, n_conditions=18, n_clusters=4, seed=seed
+        )
+        for cluster in data.embedded:
+            params = MiningParameters(
+                min_genes=len(cluster.genes),
+                min_conditions=len(cluster.chain),
+                gamma=data.config.embed_gamma,
+                epsilon=1e-9,  # allow float rounding only
+            )
+            assert is_valid_reg_cluster(data.matrix, cluster, params)
+
+    def test_background_range(self):
+        data = make_synthetic_dataset(n_genes=50, n_conditions=10,
+                                      n_clusters=0, seed=3)
+        assert data.matrix.values.min() >= 0.0
+        assert data.matrix.values.max() <= 10.0
+
+
+class TestRecovery:
+    def test_miner_recovers_embedded_clusters(self):
+        """End-to-end: the miner finds every sufficiently large embedded
+        cluster at the paper's Figure 7 mining setting."""
+        data = make_synthetic_dataset(
+            n_genes=250,
+            n_conditions=20,
+            n_clusters=4,
+            seed=11,
+            gene_fraction=0.04,  # 10 genes per cluster
+            dimensionality_jitter=0,  # exactly 6 conditions each
+        )
+        params = MiningParameters(
+            min_genes=8, min_conditions=6, gamma=0.1, epsilon=0.01
+        )
+        result = RegClusterMiner(data.matrix, params).mine()
+        report = match_report(result.clusters, data.embedded, threshold=0.99)
+        assert report.n_recovered == 4
+        assert report.relevance > 0.9

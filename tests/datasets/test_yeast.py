@@ -1,0 +1,107 @@
+"""Unit tests for the yeast surrogate dataset."""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.core.miner import MiningParameters
+from repro.core.validate import is_valid_reg_cluster
+from repro.datasets.yeast import (
+    DEFAULT_MODULES,
+    REPORTED_MODULE_NAMES,
+    YEAST_SHAPE,
+    YeastModule,
+    make_yeast_surrogate,
+)
+
+
+@pytest.fixture(scope="module")
+def small_surrogate():
+    """A reduced-shape surrogate so tests stay fast."""
+    return make_yeast_surrogate(shape=(400, 17), seed=7)
+
+
+class TestModulesSpec:
+    def test_default_modules_include_table2_processes(self):
+        processes = {m.process for m in DEFAULT_MODULES}
+        assert "DNA replication" in processes
+        assert "protein biosynthesis" in processes
+        assert "cytoplasm organization and biogenesis" in processes
+
+    def test_reported_names_are_defaults(self):
+        names = {m.name for m in DEFAULT_MODULES}
+        assert set(REPORTED_MODULE_NAMES) <= names
+
+    def test_member_count(self):
+        module = YeastModule(
+            name="x", process="p", function="f", component="c",
+            n_p_members=3, n_n_members=2,
+        )
+        assert module.n_members == 5
+
+
+class TestGeneration:
+    def test_default_shape_is_tavazoie(self):
+        assert YEAST_SHAPE == (2884, 17)
+
+    def test_shape_and_names(self, small_surrogate):
+        assert small_surrogate.matrix.shape == (400, 17)
+        assert small_surrogate.matrix.gene_names[0] == "YGENE0001"
+
+    def test_deterministic(self):
+        a = make_yeast_surrogate(shape=(200, 17), seed=3)
+        b = make_yeast_surrogate(shape=(200, 17), seed=3)
+        assert a.matrix == b.matrix
+        assert a.embedded == b.embedded
+
+    def test_gene_modules_consistent_with_embedded(self, small_surrogate):
+        for module, cluster in zip(
+            small_surrogate.modules, small_surrogate.embedded
+        ):
+            for gene in cluster.genes:
+                assert small_surrogate.gene_modules[gene] == module.name
+
+    def test_module_cluster_lookup(self, small_surrogate):
+        cluster = small_surrogate.module_cluster("dna_replication")
+        assert cluster is small_surrogate.embedded[0]
+        with pytest.raises(KeyError):
+            small_surrogate.module_cluster("nope")
+
+    def test_modules_have_negative_members(self, small_surrogate):
+        assert all(c.n_members for c in small_surrogate.embedded)
+        assert all(
+            len(c.p_members) > len(c.n_members)
+            for c in small_surrogate.embedded
+        )
+
+    def test_embedded_modules_are_valid_reg_clusters(self, small_surrogate):
+        """Every module validates at the paper's yeast mining setting
+        (gamma=0.05, epsilon=1.0) — and even at epsilon ~ 0."""
+        for cluster in small_surrogate.embedded:
+            params = MiningParameters(
+                min_genes=len(cluster.genes),
+                min_conditions=len(cluster.chain),
+                gamma=0.05,
+                epsilon=1e-9,
+            )
+            assert is_valid_reg_cluster(
+                small_surrogate.matrix, cluster, params
+            )
+
+
+class TestValidationErrors:
+    def test_infeasible_gamma(self):
+        with pytest.raises(ValueError, match="infeasible"):
+            make_yeast_surrogate(shape=(100, 17), embed_gamma=0.5)
+
+    def test_too_many_module_genes(self):
+        with pytest.raises(ValueError, match="more genes"):
+            make_yeast_surrogate(shape=(50, 17))
+
+    def test_module_wider_than_matrix(self):
+        wide = YeastModule(
+            name="w", process="p", function="f", component="c",
+            n_conditions=20,
+        )
+        with pytest.raises(ValueError, match="more conditions"):
+            make_yeast_surrogate([wide], shape=(100, 17), embed_gamma=0.04)

@@ -1,0 +1,69 @@
+"""Unit tests for coverage analysis."""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.core.cluster import RegCluster
+from repro.eval.coverage import (
+    coverage_report,
+    gene_membership_counts,
+)
+from repro.matrix.expression import ExpressionMatrix
+
+
+@pytest.fixture
+def matrix():
+    return ExpressionMatrix([[float(i + j) for j in range(4)]
+                             for i in range(5)])
+
+
+def cluster(genes, conditions):
+    return RegCluster(chain=tuple(conditions), p_members=tuple(genes))
+
+
+class TestMembership:
+    def test_counts(self):
+        clusters = [cluster([0, 1], [0]), cluster([1, 2], [1])]
+        assert gene_membership_counts(clusters) == {0: 1, 1: 2, 2: 1}
+
+    def test_empty(self):
+        assert gene_membership_counts([]) == {}
+
+
+class TestCoverageReport:
+    def test_disjoint_clusters(self, matrix):
+        clusters = [cluster([0, 1], [0, 1]), cluster([2, 3], [2, 3])]
+        report = coverage_report(clusters, matrix)
+        assert report.covered_cells == 8
+        assert report.total_cells == 20
+        assert report.cell_fraction == pytest.approx(0.4)
+        assert report.covered_genes == 4
+        assert report.covered_conditions == 4
+        assert report.multi_cluster_genes == 0
+
+    def test_overlapping_clusters_counted_once(self, matrix):
+        clusters = [cluster([0, 1], [0, 1]), cluster([1, 2], [0, 1])]
+        report = coverage_report(clusters, matrix)
+        assert report.covered_cells == 6  # genes {0,1,2} x conditions {0,1}
+        assert report.multi_cluster_genes == 1  # gene 1
+
+    def test_membership_histogram(self, matrix):
+        clusters = [
+            cluster([0], [0]),
+            cluster([0], [1]),
+            cluster([0], [2]),
+            cluster([1], [0]),
+        ]
+        report = coverage_report(clusters, matrix)
+        assert dict(report.membership_histogram) == {1: 1, 3: 1}
+
+    def test_empty_result(self, matrix):
+        report = coverage_report([], matrix)
+        assert report.covered_cells == 0
+        assert report.cell_fraction == 0.0
+        assert "0 clusters" in str(report)
+
+    def test_str(self, matrix):
+        report = coverage_report([cluster([0], [0])], matrix)
+        assert "1 clusters cover 1/20 cells" in str(report)

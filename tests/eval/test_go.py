@@ -1,0 +1,185 @@
+"""Unit tests for the GO ontology / annotation / enrichment substrate."""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.datasets.yeast import make_yeast_surrogate
+from repro.eval.go.annotation import annotate_surrogate
+from repro.eval.go.enrichment import enrich, go_table, top_terms_by_namespace
+from repro.eval.go.ontology import (
+    NAMESPACES,
+    GeneOntology,
+    GOTerm,
+    build_default_ontology,
+)
+
+
+@pytest.fixture(scope="module")
+def surrogate():
+    return make_yeast_surrogate(shape=(400, 17), seed=7)
+
+
+@pytest.fixture(scope="module")
+def corpus(surrogate):
+    return annotate_surrogate(surrogate, seed=1)
+
+
+class TestOntology:
+    def test_default_ontology_has_table2_terms(self):
+        onto = build_default_ontology()
+        for name in [
+            "DNA replication",
+            "DNA-directed DNA polymerase activity",
+            "replication fork",
+            "protein biosynthesis",
+            "structural constituent of ribosome",
+            "cytosolic ribosome",
+            "cytoplasm organization and biogenesis",
+            "helicase activity",
+            "ribonucleoprotein complex",
+        ]:
+            assert onto.find_by_name(name)
+
+    def test_ancestor_closure(self):
+        onto = build_default_ontology()
+        ribo = onto.find_by_name("cytosolic ribosome")
+        ancestors = {onto.term(t).name for t in onto.ancestors(ribo.term_id)}
+        assert "ribosome" in ancestors
+        assert "ribonucleoprotein complex" in ancestors
+        assert "cytoplasm" in ancestors
+        assert "cellular_component" in ancestors
+
+    def test_with_ancestors_closes_upward(self):
+        onto = build_default_ontology()
+        term = onto.find_by_name("DNA replication")
+        closed = onto.with_ancestors([term.term_id])
+        assert term.term_id in closed
+        assert len(closed) >= 3
+
+    def test_cycle_detection(self):
+        with pytest.raises(ValueError, match="cycle"):
+            GeneOntology(
+                [
+                    GOTerm("GO:1", "a", "biological_process", ("GO:2",)),
+                    GOTerm("GO:2", "b", "biological_process", ("GO:1",)),
+                ]
+            )
+
+    def test_unknown_parent(self):
+        with pytest.raises(ValueError, match="unknown parent"):
+            GeneOntology(
+                [GOTerm("GO:1", "a", "biological_process", ("GO:9",))]
+            )
+
+    def test_cross_namespace_parent_rejected(self):
+        with pytest.raises(ValueError, match="crosses"):
+            GeneOntology(
+                [
+                    GOTerm("GO:1", "a", "molecular_function"),
+                    GOTerm("GO:2", "b", "biological_process", ("GO:1",)),
+                ]
+            )
+
+    def test_duplicate_term_rejected(self):
+        with pytest.raises(ValueError, match="duplicate"):
+            GeneOntology(
+                [
+                    GOTerm("GO:1", "a", "biological_process"),
+                    GOTerm("GO:1", "b", "biological_process"),
+                ]
+            )
+
+    def test_unknown_lookups_raise(self):
+        onto = build_default_ontology()
+        with pytest.raises(KeyError):
+            onto.term("GO:9999999")
+        with pytest.raises(KeyError):
+            onto.find_by_name("flux capacitance")
+        with pytest.raises(KeyError):
+            onto.ancestors("GO:9999999")
+
+
+class TestAnnotation:
+    def test_every_gene_annotated(self, surrogate, corpus):
+        assert corpus.population == frozenset(range(400))
+        assert all(
+            corpus.annotations[g] for g in range(surrogate.matrix.n_genes)
+        )
+
+    def test_annotations_are_upward_closed(self, corpus):
+        onto = corpus.ontology
+        for terms in list(corpus.annotations.values())[:50]:
+            assert onto.with_ancestors(terms) == terms
+
+    def test_module_genes_carry_module_terms(self, surrogate):
+        corpus = annotate_surrogate(surrogate, false_negative_rate=0.0,
+                                    seed=2)
+        module = surrogate.modules[0]
+        term = corpus.ontology.find_by_name(module.process).term_id
+        members = surrogate.module_cluster(module.name).genes
+        annotated = corpus.genes_with_term(term)
+        assert set(members) <= annotated
+
+    def test_term_counts_match_genes_with_term(self, corpus):
+        counts = corpus.term_counts()
+        probe = next(iter(counts))
+        assert counts[probe] == len(corpus.genes_with_term(probe))
+
+    def test_false_negative_rate_validation(self, surrogate):
+        with pytest.raises(ValueError):
+            annotate_surrogate(surrogate, false_negative_rate=1.0)
+
+
+class TestEnrichment:
+    def test_module_cluster_highly_enriched(self, surrogate, corpus):
+        module = surrogate.modules[0]
+        cluster = surrogate.module_cluster(module.name)
+        results = enrich(cluster, corpus)
+        assert results
+        top = results[0]
+        assert top.p_value < 1e-8
+        names = {r.name for r in results[:6]}
+        assert module.process in names
+
+    def test_random_gene_set_not_enriched(self, corpus):
+        results = enrich(range(0, 60, 3), corpus)
+        assert all(r.p_value > 1e-8 for r in results)
+
+    def test_top_terms_by_namespace(self, surrogate, corpus):
+        module = surrogate.modules[1]
+        best = top_terms_by_namespace(
+            surrogate.module_cluster(module.name), corpus
+        )
+        assert set(best) == set(NAMESPACES)
+        assert best["biological_process"].name == module.process
+        assert best["molecular_function"].name == module.function
+        assert best["cellular_component"].name == module.component
+
+    def test_empty_cluster(self, corpus):
+        assert enrich([], corpus) == []
+
+    def test_roots_never_reported(self, surrogate, corpus):
+        results = enrich(surrogate.module_cluster("cell_cycle"), corpus)
+        assert all(
+            r.name not in ("biological_process", "molecular_function",
+                           "cellular_component")
+            for r in results
+        )
+
+    def test_go_table_renders(self, surrogate, corpus):
+        clusters = [surrogate.module_cluster(n) for n in
+                    ("dna_replication", "protein_biosynthesis")]
+        table = go_table(clusters, corpus, labels=["c1", "c2"])
+        assert "DNA replication" in table
+        assert "p=" in table
+        assert "Cellular Component" in table
+
+    def test_go_table_label_mismatch(self, corpus):
+        with pytest.raises(ValueError, match="parallel"):
+            go_table([], corpus, labels=["x"])
+
+    def test_p_values_sorted(self, surrogate, corpus):
+        results = enrich(surrogate.module_cluster("stress_response"), corpus)
+        p_values = [r.p_value for r in results]
+        assert p_values == sorted(p_values)

@@ -1,0 +1,103 @@
+"""Unit tests for GO on-disk formats (OBO-lite + annotation tables)."""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.datasets.yeast import make_yeast_surrogate
+from repro.eval.go.annotation import annotate_surrogate
+from repro.eval.go.enrichment import enrich
+from repro.eval.go.io import (
+    load_annotations,
+    load_ontology,
+    save_annotations,
+    save_ontology,
+)
+from repro.eval.go.ontology import build_default_ontology
+
+
+@pytest.fixture(scope="module")
+def corpus():
+    surrogate = make_yeast_surrogate(shape=(200, 17), seed=3)
+    return annotate_surrogate(surrogate, seed=4)
+
+
+class TestOntologyRoundTrip:
+    def test_round_trip_preserves_terms(self, tmp_path):
+        ontology = build_default_ontology()
+        path = tmp_path / "ontology.obo"
+        save_ontology(ontology, path)
+        again = load_ontology(path)
+        assert len(again) == len(ontology)
+        for term in ontology.terms():
+            loaded = again.term(term.term_id)
+            assert loaded.name == term.name
+            assert loaded.namespace == term.namespace
+            assert set(loaded.parents) == set(term.parents)
+            assert again.ancestors(term.term_id) == ontology.ancestors(
+                term.term_id
+            )
+
+    def test_missing_field_rejected(self, tmp_path):
+        path = tmp_path / "bad.obo"
+        path.write_text("[Term]\nid: GO:1\nname: x\n\n")
+        with pytest.raises(ValueError, match="namespace"):
+            load_ontology(path)
+
+    def test_malformed_line_rejected(self, tmp_path):
+        path = tmp_path / "bad.obo"
+        path.write_text("[Term]\nnonsense line without separator\n")
+        with pytest.raises(ValueError, match="malformed"):
+            load_ontology(path)
+
+    def test_empty_file_rejected(self, tmp_path):
+        path = tmp_path / "empty.obo"
+        path.write_text("")
+        with pytest.raises(ValueError, match="no \\[Term\\]"):
+            load_ontology(path)
+
+
+class TestAnnotationRoundTrip:
+    def test_full_round_trip(self, corpus, tmp_path):
+        path = tmp_path / "annotations.tsv"
+        save_annotations(corpus, path)
+        again = load_annotations(path, corpus.ontology)
+        assert again.population == corpus.population
+        assert dict(again.annotations) == dict(corpus.annotations)
+
+    def test_direct_only_reconstructs_closure(self, corpus, tmp_path):
+        path = tmp_path / "direct.tsv"
+        save_annotations(corpus, path, direct_only=True)
+        again = load_annotations(path, corpus.ontology)
+        assert dict(again.annotations) == dict(corpus.annotations)
+        # and the direct file is smaller than the closed one
+        full = tmp_path / "full.tsv"
+        save_annotations(corpus, full)
+        assert path.stat().st_size < full.stat().st_size
+
+    def test_enrichment_identical_after_round_trip(self, corpus, tmp_path):
+        path = tmp_path / "annotations.tsv"
+        save_annotations(corpus, path, direct_only=True)
+        again = load_annotations(path, corpus.ontology)
+        genes = sorted(corpus.population)[:30]
+        before = [(e.term_id, e.p_value) for e in enrich(genes, corpus)]
+        after = [(e.term_id, e.p_value) for e in enrich(genes, again)]
+        assert before == after
+
+    def test_unknown_term_rejected(self, corpus, tmp_path):
+        path = tmp_path / "bad.tsv"
+        path.write_text("gene\tterm\n0\tGO:99999\n")
+        with pytest.raises(ValueError, match="unknown GO term"):
+            load_annotations(path, corpus.ontology)
+
+    def test_missing_header_rejected(self, corpus, tmp_path):
+        path = tmp_path / "bad.tsv"
+        path.write_text("0\tGO:1\n")
+        with pytest.raises(ValueError, match="header"):
+            load_annotations(path, corpus.ontology)
+
+    def test_ragged_row_rejected(self, corpus, tmp_path):
+        path = tmp_path / "bad.tsv"
+        path.write_text("gene\tterm\n0\n")
+        with pytest.raises(ValueError, match="2 fields"):
+            load_annotations(path, corpus.ontology)

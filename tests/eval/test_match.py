@@ -1,0 +1,86 @@
+"""Unit tests for cluster matching / recovery metrics."""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.core.cluster import RegCluster
+from repro.eval.match import (
+    best_match,
+    jaccard_cells,
+    match_report,
+    recovery_score,
+    relevance_score,
+)
+
+
+def cluster(genes, conditions):
+    return RegCluster(chain=tuple(conditions), p_members=tuple(genes))
+
+
+class TestJaccard:
+    def test_identical(self):
+        a = cluster([0, 1], [0, 1])
+        assert jaccard_cells(a, a) == 1.0
+
+    def test_disjoint(self):
+        assert jaccard_cells(cluster([0], [0]), cluster([1], [1])) == 0.0
+
+    def test_partial(self):
+        a = cluster([0, 1], [0, 1])  # 4 cells
+        b = cluster([1, 2], [0, 1])  # 4 cells, 2 shared
+        assert jaccard_cells(a, b) == pytest.approx(2 / 6)
+
+    def test_symmetry(self):
+        a = cluster([0, 1, 2], [0, 1])
+        b = cluster([1], [1, 2])
+        assert jaccard_cells(a, b) == jaccard_cells(b, a)
+
+
+class TestBestMatch:
+    def test_picks_highest(self):
+        target = cluster([0, 1], [0, 1])
+        pool = [cluster([5], [5]), cluster([0, 1], [0, 2]), target]
+        match, score = best_match(target, pool)
+        assert match == target
+        assert score == 1.0
+
+    def test_empty_pool(self):
+        match, score = best_match(cluster([0], [0]), [])
+        assert match is None
+        assert score == 0.0
+
+
+class TestAggregates:
+    def test_perfect_recovery(self):
+        truth = [cluster([0, 1], [0, 1]), cluster([2, 3], [2, 3])]
+        assert recovery_score(truth, truth) == 1.0
+        assert relevance_score(truth, truth) == 1.0
+
+    def test_missing_cluster_halves_recovery(self):
+        truth = [cluster([0, 1], [0, 1]), cluster([2, 3], [2, 3])]
+        found = [truth[0]]
+        assert recovery_score(found, truth) == pytest.approx(0.5)
+        assert relevance_score(found, truth) == 1.0
+
+    def test_spurious_cluster_lowers_relevance(self):
+        truth = [cluster([0, 1], [0, 1])]
+        found = [truth[0], cluster([8, 9], [8, 9])]
+        assert recovery_score(found, truth) == 1.0
+        assert relevance_score(found, truth) == pytest.approx(0.5)
+
+    def test_empty_edge_cases(self):
+        assert recovery_score([], []) == 1.0
+        assert relevance_score([], []) == 1.0
+        assert relevance_score([], [cluster([0], [0])]) == 0.0
+
+
+class TestReport:
+    def test_report_counts_threshold(self):
+        truth = [cluster([0, 1], [0, 1]), cluster([2, 3], [2, 3])]
+        found = [truth[0], cluster([2], [2, 3])]
+        report = match_report(found, truth, threshold=0.9)
+        assert report.n_recovered == 1
+        assert report.n_found == 2
+        assert report.n_embedded == 2
+        assert "1/2" in str(report)

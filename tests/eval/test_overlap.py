@@ -1,0 +1,71 @@
+"""Unit tests for overlap statistics (section 5.2)."""
+
+from __future__ import annotations
+
+import numpy as np
+import pytest
+
+from repro.core.cluster import RegCluster
+from repro.eval.overlap import (
+    overlap_summary,
+    pairwise_overlap_matrix,
+    select_non_overlapping,
+)
+
+
+def cluster(genes, conditions):
+    return RegCluster(chain=tuple(conditions), p_members=tuple(genes))
+
+
+class TestMatrix:
+    def test_diagonal_one(self):
+        clusters = [cluster([0], [0]), cluster([1], [1])]
+        m = pairwise_overlap_matrix(clusters)
+        assert np.allclose(np.diag(m), 1.0)
+
+    def test_asymmetric_denominators(self):
+        big = cluster([0, 1], [0, 1])  # 4 cells
+        small = cluster([0], [0])  # 1 cell, fully inside big
+        m = pairwise_overlap_matrix([big, small])
+        assert m[1, 0] == 1.0  # all of small's cells are in big
+        assert m[0, 1] == pytest.approx(0.25)
+
+
+class TestSummary:
+    def test_empty_and_single(self):
+        assert overlap_summary([]).n_clusters == 0
+        single = overlap_summary([cluster([0], [0])])
+        assert single.max_overlap == 0.0
+
+    def test_range(self):
+        a = cluster([0, 1], [0, 1])
+        b = cluster([1, 2], [0, 1])  # half of a
+        c = cluster([9], [9])  # disjoint
+        summary = overlap_summary([a, b, c])
+        assert summary.min_overlap == 0.0
+        assert summary.max_overlap == pytest.approx(0.5)
+        assert "3 clusters" in str(summary)
+
+
+class TestSelection:
+    def test_picks_disjoint_largest_first(self):
+        big = cluster([0, 1, 2], [0, 1, 2])
+        medium = cluster([5, 6], [5, 6])
+        overlapping = cluster([0, 1], [0, 1])  # inside big
+        picked = select_non_overlapping([overlapping, medium, big], limit=3)
+        assert big in picked
+        assert medium in picked
+        assert overlapping not in picked
+
+    def test_limit(self):
+        clusters = [cluster([i], [i]) for i in range(5)]
+        assert len(select_non_overlapping(clusters, limit=2)) == 2
+        assert select_non_overlapping(clusters, limit=0) == []
+
+    def test_max_overlap_tolerance(self):
+        a = cluster([0, 1, 2, 3], [0, 1, 2, 3])  # 16 cells
+        b = cluster([3, 4, 5, 6], [3, 4, 5, 6])  # shares 1 cell (1/16)
+        strict = select_non_overlapping([a, b], limit=2, max_overlap=0.0)
+        assert len(strict) == 1
+        loose = select_non_overlapping([a, b], limit=2, max_overlap=0.1)
+        assert len(loose) == 2

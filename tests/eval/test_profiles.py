@@ -1,0 +1,60 @@
+"""Unit tests for ASCII profile rendering."""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.core.cluster import RegCluster
+from repro.eval.profiles import render_cluster_profiles
+
+
+@pytest.fixture
+def paper_cluster(running_example):
+    chain = tuple(
+        running_example.condition_indices(["c7", "c9", "c5", "c1", "c3"])
+    )
+    return RegCluster(chain=chain, p_members=(0, 2), n_members=(1,))
+
+
+class TestRendering:
+    def test_contains_markers_and_labels(self, running_example, paper_cluster):
+        art = render_cluster_profiles(paper_cluster, running_example)
+        assert "*" in art  # p-members
+        assert "o" in art  # n-members
+        assert "c7" in art and "c3" in art
+        assert "p-members (*/-): 2" in art
+        assert "n-members (o/.): 1" in art
+
+    def test_normalized_profiles_overlap(self, running_example, paper_cluster):
+        """After per-gene normalization all members trace the same shape:
+        p markers climb from bottom-left to top-right."""
+        art = render_cluster_profiles(
+            paper_cluster, running_example, height=10, column_width=6
+        )
+        rows = art.splitlines()[:-2]  # drop labels + legend
+        first_col = [r[0] if r else " " for r in rows]
+        # p-members start at the chart bottom (low value on c7)
+        assert first_col[-1] == "*"
+        # the n-member starts at the top
+        assert first_col[0] == "o"
+
+    def test_raw_mode(self, running_example, paper_cluster):
+        art = render_cluster_profiles(
+            paper_cluster, running_example, normalize=False
+        )
+        assert "*" in art
+
+    def test_parameter_validation(self, running_example, paper_cluster):
+        with pytest.raises(ValueError):
+            render_cluster_profiles(
+                paper_cluster, running_example, height=1
+            )
+        with pytest.raises(ValueError):
+            render_cluster_profiles(
+                paper_cluster, running_example, column_width=2
+            )
+
+    def test_single_condition_cluster(self, running_example):
+        cluster = RegCluster(chain=(0,), p_members=(0,))
+        art = render_cluster_profiles(cluster, running_example)
+        assert "*" in art

@@ -1,0 +1,74 @@
+"""Unit tests for permutation-based cluster significance."""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.core.miner import MiningParameters, RegClusterMiner
+from repro.datasets.synthetic import make_synthetic_dataset
+from repro.eval.significance import empirical_p_value, null_cluster_sizes
+
+
+@pytest.fixture(scope="module")
+def mined():
+    data = make_synthetic_dataset(
+        n_genes=120, n_conditions=12, n_clusters=1, seed=19,
+        gene_fraction=0.1, dimensionality_jitter=0,
+    )
+    params = MiningParameters(
+        min_genes=8, min_conditions=6, gamma=0.1, epsilon=0.05
+    )
+    result = RegClusterMiner(data.matrix, params).mine()
+    assert result.clusters, "fixture expects the embedded cluster found"
+    return data, params, result
+
+
+class TestNullDistribution:
+    def test_sizes_are_per_replicate(self, mined):
+        data, params, __ = mined
+        sizes = null_cluster_sizes(
+            data.matrix, params, n_permutations=5, seed=1
+        )
+        assert len(sizes) == 5
+        assert all(size >= 0 for size in sizes)
+
+    def test_deterministic_given_seed(self, mined):
+        data, params, __ = mined
+        a = null_cluster_sizes(data.matrix, params, n_permutations=3, seed=2)
+        b = null_cluster_sizes(data.matrix, params, n_permutations=3, seed=2)
+        assert a == b
+
+    def test_validation(self, mined):
+        data, params, __ = mined
+        with pytest.raises(ValueError):
+            null_cluster_sizes(data.matrix, params, n_permutations=0)
+
+
+class TestEmpiricalPValue:
+    def test_real_cluster_is_significant(self, mined):
+        data, params, result = mined
+        biggest = max(
+            result.clusters, key=lambda c: c.n_genes * c.n_conditions
+        )
+        report = empirical_p_value(
+            biggest, data.matrix, params, n_permutations=9, seed=3
+        )
+        # no permuted replicate produces anything as large
+        assert report.p_value == pytest.approx(1 / 10)
+        assert report.observed_area == biggest.n_genes * biggest.n_conditions
+
+    def test_never_reports_zero(self, mined):
+        data, params, result = mined
+        report = empirical_p_value(
+            result.clusters[0], data.matrix, params,
+            n_permutations=4, seed=4,
+        )
+        assert report.p_value > 0.0
+
+    def test_str(self, mined):
+        data, params, result = mined
+        report = empirical_p_value(
+            result.clusters[0], data.matrix, params,
+            n_permutations=3, seed=5,
+        )
+        assert "empirical p" in str(report)

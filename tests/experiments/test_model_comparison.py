@@ -1,0 +1,73 @@
+"""Unit tests for the Figures 1/2/4 experiment drivers."""
+
+from __future__ import annotations
+
+import numpy as np
+
+from repro.experiments.model_comparison import (
+    figure1_patterns,
+    run_figure1,
+    run_figure2,
+    run_figure4,
+)
+
+
+class TestFigure1:
+    def test_pattern_relationships(self):
+        """P1 = P2-5 = P3-15 = P4 = P5/1.5 = P6/3 (the caption's claim)."""
+        m = figure1_patterns()
+        p = {name: m.row(name) for name in m.gene_names}
+        assert np.allclose(p["P1"], p["P2"] - 5.0)
+        assert np.allclose(p["P1"], p["P3"] - 15.0)
+        assert np.allclose(p["P1"], p["P4"])
+        assert np.allclose(p["P1"], p["P5"] / 1.5)
+        assert np.allclose(p["P1"], p["P6"] / 3.0)
+
+    def test_only_reg_cluster_groups_all(self):
+        result = run_figure1()
+        assert result.reg_cluster_groups_all
+        assert not result.shifting_groups_all
+        assert not result.scaling_groups_all
+
+    def test_subfamilies_recognized(self):
+        result = run_figure1()
+        assert result.shifting_groups_subfamily
+        assert result.scaling_groups_subfamily
+
+    def test_render(self):
+        text = run_figure1().render()
+        assert "reg-cluster" in text
+        assert "True" in text and "False" in text
+
+
+class TestFigure2:
+    def test_memberships(self):
+        result = run_figure2()
+        assert result.memberships == {"g1": "p", "g2": "n", "g3": "p"}
+
+    def test_baselines_reject(self):
+        result = run_figure2()
+        assert not result.shifting_accepts
+        assert not result.scaling_accepts
+
+    def test_render(self):
+        assert "g2=n" in run_figure2().render()
+
+
+class TestFigure4:
+    def test_tendency_false_positive(self):
+        assert run_figure4().tendency_groups_all
+
+    def test_reg_cluster_excludes_outlier(self):
+        result = run_figure4()
+        gene_sets = [set(g) for g in result.reg_cluster_gene_sets]
+        assert {0, 2} in gene_sets
+        assert all(1 not in genes for genes in gene_sets)
+
+    def test_pattern_models_find_nothing(self):
+        assert not run_figure4().pattern_models_relate_g1_g3
+
+    def test_render(self):
+        text = run_figure4().render()
+        assert "tendency" in text
+        assert "[[1, 3]]" in text

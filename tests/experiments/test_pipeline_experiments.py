@@ -1,0 +1,100 @@
+"""Unit tests for the Figure 7 / Figure 8 / Table 2 drivers (quick scale)."""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.datasets.synthetic import SyntheticConfig
+from repro.experiments.fig7 import run_figure7
+from repro.experiments.fig8 import (
+    PAPER_YEAST_PARAMETERS,
+    count_crossovers,
+    run_figure8,
+)
+from repro.experiments.table2 import run_table2
+
+import numpy as np
+
+
+@pytest.fixture(scope="module")
+def figure8_quick():
+    return run_figure8(shape=(500, 17))
+
+
+class TestFigure7Driver:
+    def test_quick_scale_produces_three_sweeps(self):
+        tiny = SyntheticConfig(n_genes=120, n_conditions=10, n_clusters=2)
+        result = run_figure7(scale="quick", base_config=tiny)
+        assert set(result.sweeps) == {
+            "n_genes", "n_conditions", "n_clusters",
+        }
+        for sweep in result.sweeps.values():
+            assert all(p.seconds > 0 for p in sweep.points)
+
+    def test_growth_ratio(self):
+        tiny = SyntheticConfig(n_genes=120, n_conditions=10, n_clusters=2)
+        result = run_figure7(scale="quick", base_config=tiny)
+        assert result.growth_ratio("n_genes") > 0
+
+    def test_render(self):
+        tiny = SyntheticConfig(n_genes=100, n_conditions=10, n_clusters=1)
+        text = run_figure7(scale="quick", base_config=tiny).render()
+        assert "runtime vs n_genes" in text
+        assert "expected" in text
+
+    def test_unknown_scale(self):
+        with pytest.raises(ValueError, match="scale"):
+            run_figure7(scale="huge")
+
+
+class TestFigure8Driver:
+    def test_paper_parameters(self):
+        assert PAPER_YEAST_PARAMETERS.min_genes == 20
+        assert PAPER_YEAST_PARAMETERS.gamma == 0.05
+
+    def test_quick_run_structure(self, figure8_quick):
+        run = figure8_quick
+        assert run.n_clusters >= len(run.surrogate.modules)
+        assert len(run.reported) == 3
+        for entry in run.reported:
+            assert entry.cluster.n_members  # negative correlation
+            assert entry.crossovers > 0
+            assert not entry.scaling_model_accepts
+
+    def test_reported_clusters_disjoint(self, figure8_quick):
+        reported = [e.cluster for e in figure8_quick.reported]
+        for a in reported:
+            for b in reported:
+                if a is not b:
+                    assert a.overlap_fraction(b) == 0.0
+
+    def test_render(self, figure8_quick):
+        text = figure8_quick.render()
+        assert "paper: 21 clusters" in text
+        assert "pScore/spread" in text
+
+    def test_count_crossovers(self):
+        crossing = np.array([[0.0, 2.0, 0.0], [1.0, 1.0, 1.0]])
+        assert count_crossovers(crossing) == 2
+        parallel = np.array([[0.0, 1.0, 2.0], [5.0, 6.0, 7.0]])
+        assert count_crossovers(parallel) == 0
+
+
+class TestTable2Driver:
+    def test_rows_match_reported_modules(self, figure8_quick):
+        result = run_table2(figure8_quick)
+        names = [row.module_name for row in result.rows]
+        assert names == [
+            "dna_replication",
+            "protein_biosynthesis",
+            "cytoplasm_organization",
+        ]
+        for row in result.rows:
+            assert row.match_jaccard > 0.5
+            assert all(p < 1e-2 for p in row.p_values())
+
+    def test_render_contains_paper_table(self, figure8_quick):
+        text = run_table2(figure8_quick).render()
+        assert "(paper) c1^2" in text
+        assert "DNA replication" in text
+        assert "measured" in text

@@ -1,0 +1,238 @@
+"""Integration tests for the command-line interface."""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.cli import build_parser, main
+from repro.datasets.running_example import load_running_example
+from repro.matrix.io import save_expression_matrix
+
+
+@pytest.fixture
+def example_file(tmp_path):
+    path = tmp_path / "running.tsv"
+    save_expression_matrix(load_running_example(), path)
+    return str(path)
+
+
+class TestMine:
+    def test_mine_running_example(self, example_file, capsys):
+        code = main(
+            [
+                "mine", example_file,
+                "--min-genes", "3",
+                "--min-conditions", "5",
+                "--gamma", "0.15",
+                "--epsilon", "0.1",
+                "--stats",
+            ]
+        )
+        out = capsys.readouterr().out
+        assert code == 0
+        assert "1 reg-cluster(s)" in out
+        assert "c7 <- c9 <- c5 <- c1 <- c3" in out
+        assert "nodes_expanded" in out
+
+    def test_mine_missing_file(self, capsys):
+        code = main(
+            [
+                "mine", "/nonexistent.tsv",
+                "--min-genes", "3",
+                "--min-conditions", "5",
+                "--gamma", "0.15",
+                "--epsilon", "0.1",
+            ]
+        )
+        assert code == 2
+        assert "error:" in capsys.readouterr().err
+
+    def test_mine_bad_gamma(self, example_file, capsys):
+        code = main(
+            [
+                "mine", example_file,
+                "--min-genes", "3",
+                "--min-conditions", "5",
+                "--gamma", "7",
+                "--epsilon", "0.1",
+            ]
+        )
+        assert code == 2
+
+
+class TestGenerate:
+    def test_generate_synthetic(self, tmp_path, capsys):
+        out_path = tmp_path / "syn.tsv"
+        code = main(
+            [
+                "generate", "synthetic",
+                "--out", str(out_path),
+                "--genes", "50",
+                "--conditions", "10",
+                "--clusters", "1",
+            ]
+        )
+        assert code == 0
+        assert out_path.exists()
+        assert "embedded clusters" in capsys.readouterr().out
+
+    def test_generate_yeast_writes_full_shape(self, tmp_path, capsys):
+        out_path = tmp_path / "yeast.tsv"
+        code = main(["generate", "yeast", "--out", str(out_path)])
+        assert code == 0
+        header, first, *rest = out_path.read_text().splitlines()
+        assert len(header.split("\t")) == 18  # corner + 17 conditions
+        assert len(rest) + 1 == 2884
+
+
+class TestRWave:
+    def test_rwave_by_name(self, example_file, capsys):
+        code = main(
+            ["rwave", example_file, "--gene", "g1", "--gamma", "0.15"]
+        )
+        out = capsys.readouterr().out
+        assert code == 0
+        assert "threshold 4.5" in out
+        assert "c7" in out
+
+    def test_rwave_by_index(self, example_file, capsys):
+        code = main(["rwave", example_file, "--gene", "2", "--gamma", "0.15"])
+        assert code == 0
+        assert "threshold 1.8" in capsys.readouterr().out
+
+    def test_rwave_unknown_gene(self, example_file, capsys):
+        code = main(
+            ["rwave", example_file, "--gene", "gX", "--gamma", "0.15"]
+        )
+        assert code == 2
+
+
+class TestSweep:
+    def test_small_sweep(self, capsys):
+        code = main(
+            [
+                "sweep", "n_genes", "40", "60",
+                "--genes", "40",
+                "--conditions", "8",
+                "--clusters", "1",
+            ]
+        )
+        out = capsys.readouterr().out
+        assert code == 0
+        assert "runtime vs n_genes" in out
+        assert "40" in out and "60" in out
+
+
+class TestParser:
+    def test_requires_subcommand(self):
+        with pytest.raises(SystemExit):
+            build_parser().parse_args([])
+
+    def test_unknown_subcommand(self):
+        with pytest.raises(SystemExit):
+            build_parser().parse_args(["frobnicate"])
+
+
+class TestValidateAndProfile:
+    @pytest.fixture
+    def mined_files(self, example_file, tmp_path):
+        result_path = tmp_path / "result.json"
+        code = main(
+            [
+                "mine", example_file,
+                "--min-genes", "3",
+                "--min-conditions", "5",
+                "--gamma", "0.15",
+                "--epsilon", "0.1",
+                "--output", str(result_path),
+            ]
+        )
+        assert code == 0
+        return example_file, str(result_path)
+
+    def test_validate_clean_result(self, mined_files, capsys):
+        matrix_path, result_path = mined_files
+        code = main(["validate", matrix_path, result_path])
+        assert code == 0
+        assert "1/1 clusters valid" in capsys.readouterr().out
+
+    def test_validate_detects_corruption(self, mined_files, tmp_path, capsys):
+        import json
+
+        matrix_path, result_path = mined_files
+        with open(result_path) as handle:
+            payload = json.load(handle)
+        # swap a p-member for the n-member: the orientation breaks
+        payload["clusters"][0]["p_members"] = ["g2"]
+        payload["clusters"][0]["n_members"] = ["g1", "g3"]
+        corrupt = tmp_path / "corrupt.json"
+        corrupt.write_text(json.dumps(payload))
+        code = main(["validate", matrix_path, str(corrupt)])
+        out = capsys.readouterr().out
+        assert code == 1
+        assert "INVALID" in out
+
+    def test_profile_renders(self, mined_files, capsys):
+        matrix_path, result_path = mined_files
+        code = main(["profile", matrix_path, result_path, "--index", "0"])
+        out = capsys.readouterr().out
+        assert code == 0
+        assert "*" in out and "o" in out
+        assert "p-members (*/-): 2" in out
+
+    def test_profile_index_out_of_range(self, mined_files, capsys):
+        matrix_path, result_path = mined_files
+        code = main(["profile", matrix_path, result_path, "--index", "9"])
+        assert code == 2
+        assert "out of range" in capsys.readouterr().err
+
+
+class TestThresholdStrategyOption:
+    def test_alternative_strategy_runs(self, example_file, capsys):
+        code = main(
+            [
+                "mine", example_file,
+                "--min-genes", "3",
+                "--min-conditions", "5",
+                "--gamma", "0.15",
+                "--epsilon", "0.1",
+                "--threshold-strategy", "normalized_std",
+            ]
+        )
+        assert code == 0
+        assert "reg-cluster(s)" in capsys.readouterr().out
+
+    def test_unknown_strategy_fails_cleanly(self, example_file, capsys):
+        code = main(
+            [
+                "mine", example_file,
+                "--min-genes", "3",
+                "--min-conditions", "5",
+                "--gamma", "0.15",
+                "--epsilon", "0.1",
+                "--threshold-strategy", "bogus",
+            ]
+        )
+        assert code == 2
+        assert "unknown threshold" in capsys.readouterr().err
+
+
+class TestExperimentSubcommand:
+    def test_fig1(self, capsys):
+        assert main(["experiment", "fig1"]) == 0
+        out = capsys.readouterr().out
+        assert "reg-cluster (shifting-and-scaling)" in out
+
+    def test_fig2(self, capsys):
+        assert main(["experiment", "fig2"]) == 0
+        assert "g2=n" in capsys.readouterr().out
+
+    def test_fig4(self, capsys):
+        assert main(["experiment", "fig4"]) == 0
+        assert "tendency" in capsys.readouterr().out
+
+    def test_describe(self, example_file, capsys):
+        assert main(["describe", example_file, "--gamma", "0.15"]) == 0
+        out = capsys.readouterr().out
+        assert "3 x 10" in out
+        assert "median regulation threshold" in out

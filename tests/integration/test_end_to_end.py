@@ -1,0 +1,104 @@
+"""Integration tests spanning the whole pipeline.
+
+generator -> miner -> validator -> matching -> GO enrichment, on small
+instances so they run in seconds.
+"""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.core.miner import MiningParameters, RegClusterMiner
+from repro.core.validate import validation_errors
+from repro.datasets.synthetic import make_synthetic_dataset
+from repro.datasets.yeast import make_yeast_surrogate
+from repro.eval.go.annotation import annotate_surrogate
+from repro.eval.go.enrichment import top_terms_by_namespace
+from repro.eval.match import best_match, match_report
+from repro.eval.overlap import overlap_summary, select_non_overlapping
+from repro.matrix.io import load_expression_matrix, save_expression_matrix
+
+
+class TestSyntheticPipeline:
+    def test_generate_mine_validate_match(self):
+        data = make_synthetic_dataset(
+            n_genes=200,
+            n_conditions=16,
+            n_clusters=3,
+            seed=21,
+            gene_fraction=0.05,
+            dimensionality_jitter=0,
+        )
+        params = MiningParameters(
+            min_genes=8, min_conditions=6, gamma=0.1, epsilon=0.01
+        )
+        result = RegClusterMiner(data.matrix, params).mine()
+
+        # every mined cluster satisfies Definition 3.2 independently
+        for cluster in result.clusters:
+            assert validation_errors(data.matrix, cluster, params) == []
+
+        # every embedded cluster is recovered essentially exactly
+        report = match_report(result.clusters, data.embedded, threshold=0.95)
+        assert report.n_recovered == data.n_embedded
+
+    def test_round_trip_through_disk(self, tmp_path):
+        data = make_synthetic_dataset(
+            n_genes=100, n_conditions=12, n_clusters=2, seed=4,
+            gene_fraction=0.06, dimensionality_jitter=0,
+        )
+        path = tmp_path / "data.tsv"
+        save_expression_matrix(data.matrix, path)
+        loaded = load_expression_matrix(path)
+        params = MiningParameters(
+            min_genes=5, min_conditions=6, gamma=0.1, epsilon=0.05
+        )
+        direct = RegClusterMiner(data.matrix, params).mine().clusters
+        via_disk = RegClusterMiner(loaded, params).mine().clusters
+        assert direct == via_disk
+
+
+class TestYeastPipeline:
+    @pytest.fixture(scope="class")
+    def mined(self):
+        surrogate = make_yeast_surrogate(shape=(500, 17), seed=13)
+        params = MiningParameters(
+            min_genes=20, min_conditions=6, gamma=0.05, epsilon=1.0
+        )
+        result = RegClusterMiner(surrogate.matrix, params).mine()
+        return surrogate, params, result
+
+    def test_modules_recovered(self, mined):
+        surrogate, __, result = mined
+        for truth in surrogate.embedded:
+            __, score = best_match(truth, result.clusters)
+            assert score > 0.6
+
+    def test_clusters_valid_and_mixed_sign(self, mined):
+        surrogate, params, result = mined
+        assert len(result) >= len(surrogate.modules)
+        for cluster in result.clusters:
+            assert validation_errors(surrogate.matrix, cluster, params) == []
+        assert any(c.n_members for c in result.clusters)
+
+    def test_overlap_statistics_and_selection(self, mined):
+        __, __, result = mined
+        summary = overlap_summary(result.clusters)
+        assert 0.0 <= summary.min_overlap <= summary.max_overlap <= 1.0
+        picks = select_non_overlapping(result.clusters, limit=3)
+        assert 1 <= len(picks) <= 3
+        for a in picks:
+            for b in picks:
+                if a is not b:
+                    assert a.overlap_fraction(b) == 0.0
+
+    def test_go_enrichment_of_mined_clusters(self, mined):
+        surrogate, __, result = mined
+        corpus = annotate_surrogate(surrogate, seed=3)
+        module = surrogate.modules[0]
+        truth = surrogate.module_cluster(module.name)
+        found, score = best_match(truth, result.clusters)
+        assert found is not None and score > 0.6
+        best = top_terms_by_namespace(found, corpus)
+        assert best["biological_process"] is not None
+        assert best["biological_process"].p_value < 1e-6

@@ -1,0 +1,132 @@
+"""Unit tests for the ExpressionMatrix container."""
+
+from __future__ import annotations
+
+import numpy as np
+import pytest
+
+from repro.matrix.expression import ExpressionMatrix
+
+
+class TestConstruction:
+    def test_basic_shape_and_defaults(self):
+        m = ExpressionMatrix([[1.0, 2.0], [3.0, 4.0], [5.0, 6.0]])
+        assert m.shape == (3, 2)
+        assert m.n_genes == 3
+        assert m.n_conditions == 2
+        assert m.gene_names == ("g1", "g2", "g3")
+        assert m.condition_names == ("c1", "c2")
+
+    def test_custom_names(self):
+        m = ExpressionMatrix(
+            [[1.0, 2.0]], gene_names=["YAL001C"], condition_names=["heat", "cold"]
+        )
+        assert m.gene_names == ("YAL001C",)
+        assert m.condition_names == ("heat", "cold")
+
+    def test_rejects_non_2d(self):
+        with pytest.raises(ValueError, match="2-D"):
+            ExpressionMatrix([1.0, 2.0, 3.0])
+
+    def test_rejects_nan(self):
+        with pytest.raises(ValueError, match="finite"):
+            ExpressionMatrix([[1.0, float("nan")]])
+
+    def test_rejects_inf(self):
+        with pytest.raises(ValueError, match="finite"):
+            ExpressionMatrix([[1.0, float("inf")]])
+
+    def test_rejects_wrong_name_count(self):
+        with pytest.raises(ValueError, match="gene names"):
+            ExpressionMatrix([[1.0, 2.0]], gene_names=["a", "b"])
+
+    def test_rejects_duplicate_names(self):
+        with pytest.raises(ValueError, match="unique"):
+            ExpressionMatrix(
+                [[1.0, 2.0], [3.0, 4.0]], gene_names=["a", "a"]
+            )
+
+    def test_values_are_read_only(self):
+        m = ExpressionMatrix([[1.0, 2.0]])
+        with pytest.raises(ValueError):
+            m.values[0, 0] = 9.0
+
+    def test_integer_input_coerced_to_float(self):
+        m = ExpressionMatrix([[1, 2], [3, 4]])
+        assert m.values.dtype == np.float64
+
+
+class TestIndexing:
+    def setup_method(self):
+        self.m = ExpressionMatrix(
+            [[1.0, 2.0, 3.0], [4.0, 5.0, 6.0]],
+            gene_names=["a", "b"],
+            condition_names=["x", "y", "z"],
+        )
+
+    def test_gene_index_by_name_and_int(self):
+        assert self.m.gene_index("b") == 1
+        assert self.m.gene_index(0) == 0
+        assert self.m.gene_index(-1) == 1
+
+    def test_condition_index_by_name_and_int(self):
+        assert self.m.condition_index("z") == 2
+        assert self.m.condition_index(-1) == 2
+
+    def test_unknown_gene_raises(self):
+        with pytest.raises(KeyError, match="unknown gene"):
+            self.m.gene_index("nope")
+
+    def test_out_of_range_raises(self):
+        with pytest.raises(IndexError):
+            self.m.gene_index(5)
+        with pytest.raises(IndexError):
+            self.m.condition_index(-4)
+
+    def test_bulk_resolution(self):
+        assert self.m.gene_indices(["b", 0]).tolist() == [1, 0]
+        assert self.m.condition_indices(["z", "x"]).tolist() == [2, 0]
+
+    def test_value_and_row_and_column(self):
+        assert self.m.value("b", "y") == 5.0
+        assert self.m.row("a").tolist() == [1.0, 2.0, 3.0]
+        assert self.m.column("y").tolist() == [2.0, 5.0]
+
+
+class TestSubmatrix:
+    def test_projection_preserves_order(self):
+        m = ExpressionMatrix([[1.0, 2.0, 3.0], [4.0, 5.0, 6.0]])
+        sub = m.submatrix(genes=[1, 0], conditions=["c3", "c1"])
+        assert sub.values.tolist() == [[6.0, 4.0], [3.0, 1.0]]
+        assert sub.gene_names == ("g2", "g1")
+        assert sub.condition_names == ("c3", "c1")
+
+    def test_default_axes(self):
+        m = ExpressionMatrix([[1.0, 2.0], [3.0, 4.0]])
+        assert m.submatrix() == m
+        assert m.submatrix(genes=[0]).shape == (1, 2)
+        assert m.submatrix(conditions=[1]).shape == (2, 1)
+
+
+class TestStatistics:
+    def test_gene_ranges(self):
+        m = ExpressionMatrix([[1.0, 5.0, 3.0], [2.0, 2.0, 2.0]])
+        assert m.gene_ranges().tolist() == [4.0, 0.0]
+
+    def test_describe(self):
+        m = ExpressionMatrix([[0.0, 10.0]])
+        stats = m.describe()
+        assert stats["min"] == 0.0
+        assert stats["max"] == 10.0
+        assert stats["mean"] == 5.0
+
+    def test_equality(self):
+        a = ExpressionMatrix([[1.0, 2.0]])
+        b = ExpressionMatrix([[1.0, 2.0]])
+        c = ExpressionMatrix([[1.0, 3.0]])
+        assert a == b
+        assert a != c
+        assert a != "not a matrix"
+
+    def test_repr(self):
+        assert "n_genes=1" in repr(ExpressionMatrix([[1.0, 2.0]]))

@@ -1,0 +1,112 @@
+"""Unit tests for matrix I/O and missing-value imputation."""
+
+from __future__ import annotations
+
+import numpy as np
+import pytest
+
+from repro.matrix.expression import ExpressionMatrix
+from repro.matrix.io import (
+    format_expression_text,
+    impute_missing,
+    load_expression_matrix,
+    parse_expression_text,
+    save_expression_matrix,
+)
+
+SAMPLE = "gene\tc1\tc2\tc3\ng1\t1.5\t2\t-3\ng2\t0\t4.25\t9\n"
+
+
+class TestParsing:
+    def test_parse_basic(self):
+        m = parse_expression_text(SAMPLE)
+        assert m.shape == (2, 3)
+        assert m.gene_names == ("g1", "g2")
+        assert m.value("g1", "c3") == -3.0
+
+    def test_parse_skips_blank_lines(self):
+        m = parse_expression_text("gene\tc1\n\ng1\t1\n\n")
+        assert m.shape == (1, 1)
+
+    def test_parse_missing_tokens_imputed_with_gene_mean(self):
+        text = "gene\tc1\tc2\tc3\ng1\t1\tNA\t3\n"
+        m = parse_expression_text(text)
+        assert m.value("g1", "c2") == 2.0  # mean of 1 and 3
+
+    def test_parse_empty_raises(self):
+        with pytest.raises(ValueError, match="empty"):
+            parse_expression_text("")
+
+    def test_parse_no_conditions_raises(self):
+        with pytest.raises(ValueError, match="no condition columns"):
+            parse_expression_text("gene\ng1\n")
+
+    def test_parse_ragged_row_raises(self):
+        with pytest.raises(ValueError, match="line 2"):
+            parse_expression_text("gene\tc1\tc2\ng1\t1\n")
+
+    def test_parse_no_rows_raises(self):
+        with pytest.raises(ValueError, match="no gene rows"):
+            parse_expression_text("gene\tc1\tc2\n")
+
+    def test_parse_bad_number_raises(self):
+        with pytest.raises(ValueError):
+            parse_expression_text("gene\tc1\ng1\tabc\n")
+
+
+class TestRoundTrip:
+    def test_format_parse_round_trip(self):
+        m = ExpressionMatrix(
+            [[1.25, -2.0], [0.0, 1e6]],
+            gene_names=["a", "b"],
+            condition_names=["x", "y"],
+        )
+        again = parse_expression_text(format_expression_text(m))
+        assert again == m
+
+    def test_file_round_trip(self, tmp_path):
+        m = ExpressionMatrix([[1.0, 2.0], [3.0, 4.0]])
+        path = tmp_path / "matrix.tsv"
+        save_expression_matrix(m, path)
+        assert load_expression_matrix(path) == m
+
+
+class TestImputation:
+    def test_no_missing_is_identity(self):
+        values = np.array([[1.0, 2.0]])
+        out = impute_missing(values)
+        assert out.tolist() == [[1.0, 2.0]]
+
+    def test_gene_mean(self):
+        values = np.array([[1.0, np.nan, 3.0], [np.nan, np.nan, np.nan]])
+        out = impute_missing(values, strategy="gene_mean")
+        assert out[0, 1] == 2.0
+        # fully-missing gene falls back to the global observed mean
+        assert np.allclose(out[1], 2.0)
+
+    def test_drop(self):
+        values = np.array([[1.0, np.nan], [3.0, 4.0]])
+        out = impute_missing(values, strategy="drop")
+        assert out.tolist() == [[3.0, 4.0]]
+
+    def test_constant(self):
+        values = np.array([[np.nan, 1.0]])
+        out = impute_missing(values, strategy="constant", fill_value=-7.0)
+        assert out.tolist() == [[-7.0, 1.0]]
+
+    def test_constant_requires_fill_value(self):
+        with pytest.raises(ValueError, match="fill_value"):
+            impute_missing(np.array([[np.nan]]), strategy="constant")
+
+    def test_error_strategy(self):
+        with pytest.raises(ValueError, match="missing"):
+            impute_missing(np.array([[np.nan]]), strategy="error")
+
+    def test_unknown_strategy(self):
+        with pytest.raises(ValueError, match="unknown imputation"):
+            impute_missing(np.array([[1.0]]), strategy="bogus")
+
+    def test_input_not_mutated(self):
+        values = np.array([[np.nan, 1.0]])
+        impute_missing(values, strategy="constant", fill_value=0.0)
+        assert np.isnan(values[0, 0])

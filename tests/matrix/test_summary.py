@@ -1,0 +1,52 @@
+"""Unit tests for matrix profiling."""
+
+from __future__ import annotations
+
+import numpy as np
+import pytest
+
+from repro.matrix.expression import ExpressionMatrix
+from repro.matrix.summary import _top_variable_genes, summarize
+
+
+class TestSummarize:
+    def test_basic_statistics(self):
+        m = ExpressionMatrix([[0.0, 10.0], [5.0, 5.0]])
+        s = summarize(m)
+        assert s.n_genes == 2
+        assert s.n_conditions == 2
+        assert s.value_min == 0.0
+        assert s.value_max == 10.0
+        assert s.value_mean == 5.0
+        assert s.n_constant_genes == 1
+
+    def test_gene_range_quartiles(self):
+        values = np.diag([1.0, 2.0, 3.0, 4.0])  # ranges 1..4
+        s = summarize(ExpressionMatrix(values))
+        assert s.gene_range_quartiles[1] == pytest.approx(2.5)
+
+    def test_condition_mean_quartiles(self):
+        m = ExpressionMatrix([[0.0, 2.0, 4.0], [0.0, 2.0, 4.0]])
+        s = summarize(m)
+        assert s.condition_mean_quartiles == (1.0, 2.0, 3.0)
+
+    def test_suggested_threshold(self):
+        m = ExpressionMatrix([[0.0, 10.0]])
+        s = summarize(m)
+        assert s.suggested_gamma_threshold(0.15) == pytest.approx(1.5)
+
+    def test_render(self, running_example):
+        text = summarize(running_example).render()
+        assert "3 x 10" in text
+        assert "constant genes" in text
+
+    def test_empty_matrix_rejected(self):
+        with pytest.raises(ValueError, match="empty"):
+            summarize(ExpressionMatrix(np.zeros((0, 3))))
+
+
+class TestTopVariableGenes:
+    def test_ordering(self, running_example):
+        top = _top_variable_genes(running_example, 2)
+        assert [name for name, __ in top] == ["g1", "g2"]
+        assert top[0][1] == pytest.approx(30.0)

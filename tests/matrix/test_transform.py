@@ -1,0 +1,95 @@
+"""Unit tests for the global transforms of Eq. 1 / Eq. 2."""
+
+from __future__ import annotations
+
+import numpy as np
+import pytest
+
+from repro.baselines.pcluster import max_pscore
+from repro.matrix.expression import ExpressionMatrix
+from repro.matrix.transform import (
+    exp_transform,
+    log_transform,
+    rank_transform,
+    standardize_genes,
+)
+
+
+class TestLogTransform:
+    def test_scaling_becomes_shifting(self):
+        """Eq. 1: log turns d_i = s1 * d_j into a pure shifting pattern."""
+        base = np.array([1.0, 2.0, 4.0, 8.0])
+        m = ExpressionMatrix([base, 3.0 * base])
+        logged = log_transform(m, shift=0.0)
+        assert max_pscore(logged.values) == pytest.approx(0.0, abs=1e-12)
+
+    def test_auto_shift_makes_positive(self):
+        m = ExpressionMatrix([[-5.0, 0.0, 5.0]])
+        logged = log_transform(m)
+        assert np.all(np.isfinite(logged.values))
+
+    def test_explicit_bad_shift_raises(self):
+        m = ExpressionMatrix([[-5.0, 0.0]])
+        with pytest.raises(ValueError, match="log transform undefined"):
+            log_transform(m, shift=1.0)
+
+    def test_shifting_and_scaling_not_linearized(self):
+        """The paper's core point: no global log fixes mixed patterns."""
+        base = np.array([1.0, 2.0, 4.0, 8.0])
+        m = ExpressionMatrix([base, 3.0 * base + 5.0])
+        logged = log_transform(m, shift=0.0)
+        assert max_pscore(logged.values) > 0.05
+
+
+class TestExpTransform:
+    def test_shifting_becomes_scaling(self):
+        """Eq. 2: exp turns d_i = d_j + s2 into a pure scaling pattern."""
+        base = np.array([0.0, 1.0, 2.0])
+        m = ExpressionMatrix([base, base + 3.0])
+        powered = exp_transform(m)
+        ratios = powered.values[1] / powered.values[0]
+        assert np.allclose(ratios, ratios[0])
+
+    def test_overflow_guard(self):
+        m = ExpressionMatrix([[800.0, 1.0]])
+        with pytest.raises(ValueError, match="overflow"):
+            exp_transform(m)
+
+    def test_base_parameter(self):
+        m = ExpressionMatrix([[1.0, 2.0]])
+        powered = exp_transform(m, base=2.0)
+        assert powered.values.tolist() == [[2.0, 4.0]]
+
+
+class TestStandardize:
+    def test_zero_mean_unit_std(self):
+        m = ExpressionMatrix([[1.0, 2.0, 3.0, 4.0]])
+        z = standardize_genes(m)
+        assert z.values.mean() == pytest.approx(0.0, abs=1e-12)
+        assert z.values.std() == pytest.approx(1.0, abs=1e-12)
+
+    def test_constant_gene_maps_to_zeros(self):
+        m = ExpressionMatrix([[5.0, 5.0, 5.0]])
+        z = standardize_genes(m)
+        assert z.values.tolist() == [[0.0, 0.0, 0.0]]
+
+
+class TestRankTransform:
+    def test_simple_ranks(self):
+        m = ExpressionMatrix([[30.0, 10.0, 20.0]])
+        ranks = rank_transform(m)
+        assert ranks.values.tolist() == [[3.0, 1.0, 2.0]]
+
+    def test_ties_get_average_rank(self):
+        m = ExpressionMatrix([[1.0, 1.0, 2.0]])
+        ranks = rank_transform(m)
+        assert ranks.values.tolist() == [[1.5, 1.5, 3.0]]
+
+    def test_matches_scipy(self):
+        from scipy.stats import rankdata
+
+        rng = np.random.default_rng(5)
+        values = rng.integers(0, 5, size=(4, 8)).astype(float)
+        ranks = rank_transform(ExpressionMatrix(values))
+        expected = np.vstack([rankdata(row) for row in values])
+        assert np.allclose(ranks.values, expected)

@@ -1,0 +1,35 @@
+"""Run the doctests embedded in module and function docstrings.
+
+Docstring examples are part of the public documentation; this module
+keeps them honest.  Modules are resolved with importlib because several
+re-export functions whose names shadow the submodule attribute (e.g.
+``repro.core.regulation`` the function vs. the module).
+"""
+
+from __future__ import annotations
+
+import doctest
+import importlib
+
+import pytest
+
+MODULE_NAMES = [
+    "repro",
+    "repro.core.miner",
+    "repro.core.params",
+    "repro.core.regulation",
+    "repro.core.thresholds",
+    "repro.datasets.running_example",
+    "repro.datasets.synthetic",
+    "repro.experiments",
+    "repro.matrix.expression",
+]
+
+
+@pytest.mark.parametrize("module_name", MODULE_NAMES)
+def test_module_doctests(module_name):
+    module = importlib.import_module(module_name)
+    result = doctest.testmod(module, verbose=False)
+    assert result.failed == 0
+    # modules listed here are expected to actually contain examples
+    assert result.attempted > 0, f"{module_name} has no doctests"
