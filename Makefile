@@ -2,7 +2,7 @@
 
 PYTHON ?= python
 
-.PHONY: install test bench bench-quick examples lint clean
+.PHONY: install test bench bench-quick examples lint typecheck clean
 
 install:
 	pip install -e . --no-build-isolation
@@ -22,6 +22,16 @@ examples:
 		$(PYTHON) $$script > /dev/null || exit 1; \
 	done
 	@echo "all examples ran"
+
+lint:
+	PYTHONPATH=src $(PYTHON) -m repro.analysis src/repro tests benchmarks examples
+
+typecheck:
+	@if $(PYTHON) -c "import mypy" 2>/dev/null; then \
+		$(PYTHON) -m mypy; \
+	else \
+		echo "mypy is not installed; skipping (pip install mypy)"; \
+	fi
 
 clean:
 	rm -rf .pytest_cache .benchmarks build dist *.egg-info

@@ -1,0 +1,45 @@
+"""reglint: paper-aware static analysis for the reg-cluster codebase.
+
+The reg-cluster miner's correctness rests on numeric invariants the type
+system cannot see: per-gene regulation thresholds (Eq. 3-4), strict
+monotonicity along chains, and H-score coherence within epsilon
+(Lemma 3.2).  This package provides an AST-based lint framework with a
+rule registry, per-rule severities, line/file suppression comments and a
+CLI entrypoint (``python -m repro.analysis``), plus a runtime-contract
+module (:mod:`repro.analysis.contracts`) asserting the RWave index
+invariants of Lemma 3.1 in debug mode.
+
+See ``docs/static_analysis.md`` for the rule catalog.
+"""
+
+from repro.analysis.framework import (
+    FileContext,
+    Report,
+    Rule,
+    Severity,
+    Violation,
+    all_rules,
+    analyze_file,
+    analyze_paths,
+    get_rule,
+    register_rule,
+)
+from repro.analysis.paper import PaperReferences, load_paper_references
+
+# Importing the rules module registers the built-in rules.
+from repro.analysis import rules as _builtin_rules  # noqa: F401
+
+__all__ = [
+    "FileContext",
+    "Report",
+    "Rule",
+    "Severity",
+    "Violation",
+    "all_rules",
+    "analyze_file",
+    "analyze_paths",
+    "get_rule",
+    "register_rule",
+    "PaperReferences",
+    "load_paper_references",
+]

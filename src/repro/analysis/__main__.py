@@ -1,0 +1,108 @@
+"""CLI driver: ``python -m repro.analysis [paths...]``.
+
+Exit status: 0 when every checked file is clean (INFO findings do not
+gate), 1 when any WARNING/ERROR finding survives suppression, 2 on
+usage errors.
+"""
+
+from __future__ import annotations
+
+import argparse
+import json
+import sys
+from pathlib import Path
+from typing import List, Optional, Sequence
+
+from repro.analysis import all_rules, analyze_paths, load_paper_references
+
+
+def _build_parser() -> argparse.ArgumentParser:
+    parser = argparse.ArgumentParser(
+        prog="python -m repro.analysis",
+        description="reglint: paper-aware static analysis for reg-cluster",
+    )
+    parser.add_argument(
+        "paths",
+        nargs="*",
+        default=["src/repro"],
+        help="files or directories to analyze (default: src/repro)",
+    )
+    parser.add_argument(
+        "--paper",
+        type=Path,
+        default=None,
+        help="explicit PAPER.md path for the cross-reference rule "
+        "(default: walk up from the current directory)",
+    )
+    parser.add_argument(
+        "--select",
+        default=None,
+        metavar="IDS",
+        help="comma-separated rule ids to run (default: all)",
+    )
+    parser.add_argument(
+        "--disable",
+        default=None,
+        metavar="IDS",
+        help="comma-separated rule ids to skip",
+    )
+    parser.add_argument(
+        "--format",
+        choices=("text", "json"),
+        default="text",
+        help="report format (default: text)",
+    )
+    parser.add_argument(
+        "--list-rules",
+        action="store_true",
+        help="print the rule catalog and exit",
+    )
+    return parser
+
+
+def _split_ids(raw: Optional[str]) -> Optional[List[str]]:
+    if raw is None:
+        return None
+    return [part.strip() for part in raw.split(",") if part.strip()]
+
+
+def main(argv: Optional[Sequence[str]] = None) -> int:
+    parser = _build_parser()
+    args = parser.parse_args(argv)
+
+    rule_classes = all_rules()
+    if args.list_rules:
+        for cls in rule_classes:
+            print(f"{cls.id}  [{cls.severity}]  {cls.title}")
+            print(f"       {cls.rationale}")
+        return 0
+
+    selected = _split_ids(args.select)
+    disabled = set(_split_ids(args.disable) or [])
+    known = {cls.id for cls in rule_classes}
+    for requested in (selected or []) + sorted(disabled):
+        if requested not in known:
+            parser.error(f"unknown rule id {requested!r}")
+    rules = [
+        cls()
+        for cls in rule_classes
+        if (selected is None or cls.id in selected) and cls.id not in disabled
+    ]
+
+    paths = [Path(p) for p in args.paths]
+    missing = [p for p in paths if not p.exists()]
+    if missing:
+        parser.error(f"no such path(s): {', '.join(map(str, missing))}")
+
+    references = load_paper_references(args.paper)
+    report = analyze_paths(paths, rules, extra={"paper_references": references})
+
+    if args.format == "json":
+        print(json.dumps(report.to_dict(), indent=2))
+    else:
+        print(report.render())
+    return report.exit_code
+
+
+if __name__ == "__main__":
+    sys.exit(main())

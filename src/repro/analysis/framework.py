@@ -1,0 +1,350 @@
+"""The reglint engine: rules, registry, suppressions, reports.
+
+A *rule* inspects one parsed file (a :class:`FileContext`) and yields
+:class:`Violation` objects.  Rules register themselves by id through
+:func:`register_rule`; the driver (:func:`analyze_paths`) walks the
+requested paths, parses every Python file once, runs each applicable
+rule, filters suppressed findings and aggregates everything into a
+:class:`Report`.
+
+Suppression syntax (matching the established ``# noqa`` idiom but
+namespaced so the two can coexist):
+
+``# reglint: disable=RL101``
+    suppress the named rule(s) on this physical line (comma-separated);
+``# reglint: disable=all``
+    suppress every rule on this line;
+``# reglint: disable-file=RL101``
+    suppress the named rule(s) for the whole file (conventionally placed
+    near the top, honoured anywhere);
+``# reglint: disable-file=all``
+    skip the file entirely.
+"""
+
+from __future__ import annotations
+
+import ast
+import enum
+import re
+import tokenize
+from dataclasses import dataclass, field
+from pathlib import Path
+from typing import Dict, Iterable, Iterator, List, Optional, Sequence, Set, Tuple, Type
+
+__all__ = [
+    "Severity",
+    "Violation",
+    "FileContext",
+    "Rule",
+    "register_rule",
+    "get_rule",
+    "all_rules",
+    "analyze_file",
+    "analyze_paths",
+    "Report",
+]
+
+
+class Severity(enum.IntEnum):
+    """Rule severity; the report's exit code ignores INFO findings."""
+
+    INFO = 10
+    WARNING = 20
+    ERROR = 30
+
+    def __str__(self) -> str:
+        return self.name.lower()
+
+
+@dataclass(frozen=True)
+class Violation:
+    """One finding: a rule fired at a location."""
+
+    rule_id: str
+    path: Path
+    line: int
+    column: int
+    message: str
+    severity: Severity
+
+    def render(self) -> str:
+        """``path:line:col: RULE severity: message`` (editor-clickable)."""
+        return (
+            f"{self.path}:{self.line}:{self.column}: "
+            f"{self.rule_id} {self.severity}: {self.message}"
+        )
+
+
+@dataclass
+class FileContext:
+    """Everything a rule may inspect about one file.
+
+    The tree is parsed once and shared across rules; ``extra`` carries
+    driver-level configuration (e.g. the paper-reference inventory used
+    by the cross-reference rule).
+    """
+
+    path: Path
+    source: str
+    tree: ast.Module
+    extra: Dict[str, object] = field(default_factory=dict)
+
+    @property
+    def posix_path(self) -> str:
+        return self.path.as_posix()
+
+    def is_test_file(self) -> bool:
+        """Heuristic test-file check (tests keep exact-value assertions)."""
+        posix = self.posix_path
+        name = self.path.name
+        return (
+            "/tests/" in posix
+            or posix.startswith("tests/")
+            or name.startswith("test_")
+            or name == "conftest.py"
+        )
+
+    def in_package(self, *fragments: str) -> bool:
+        """Does the file live under any of the given path fragments?"""
+        posix = self.posix_path
+        return any(fragment in posix for fragment in fragments)
+
+
+class Rule:
+    """Base class for reglint rules.
+
+    Subclasses set the class attributes and implement :meth:`check`.
+    ``applies_to`` lets a rule scope itself (e.g. hot-path-only rules,
+    or rules that skip test files).
+    """
+
+    id: str = ""
+    title: str = ""
+    severity: Severity = Severity.ERROR
+    rationale: str = ""
+
+    def applies_to(self, ctx: FileContext) -> bool:
+        return True
+
+    def check(self, ctx: FileContext) -> Iterator[Violation]:
+        raise NotImplementedError
+
+    def violation(
+        self,
+        ctx: FileContext,
+        node: ast.AST,
+        message: str,
+        *,
+        severity: Optional[Severity] = None,
+    ) -> Violation:
+        return Violation(
+            rule_id=self.id,
+            path=ctx.path,
+            line=getattr(node, "lineno", 1),
+            column=getattr(node, "col_offset", 0) + 1,
+            message=message,
+            severity=self.severity if severity is None else severity,
+        )
+
+
+_REGISTRY: Dict[str, Type[Rule]] = {}
+
+
+def register_rule(cls: Type[Rule]) -> Type[Rule]:
+    """Class decorator adding a rule to the global registry."""
+    if not cls.id:
+        raise ValueError(f"rule {cls.__name__} must define a non-empty id")
+    if cls.id in _REGISTRY:
+        raise ValueError(f"duplicate rule id {cls.id!r}")
+    _REGISTRY[cls.id] = cls
+    return cls
+
+
+def get_rule(rule_id: str) -> Type[Rule]:
+    """Look one rule class up by id."""
+    try:
+        return _REGISTRY[rule_id]
+    except KeyError:
+        known = ", ".join(sorted(_REGISTRY))
+        raise KeyError(f"unknown rule {rule_id!r}; known: {known}") from None
+
+
+def all_rules() -> Tuple[Type[Rule], ...]:
+    """Every registered rule class, sorted by id."""
+    return tuple(_REGISTRY[rule_id] for rule_id in sorted(_REGISTRY))
+
+
+# ----------------------------------------------------------------------
+# Suppressions
+# ----------------------------------------------------------------------
+
+_SUPPRESS_RE = re.compile(
+    r"#\s*reglint:\s*(?P<scope>disable(?:-file)?)\s*=\s*(?P<ids>[A-Za-z0-9_,\s]+)"
+)
+
+
+@dataclass(frozen=True)
+class _Suppressions:
+    """Parsed suppression comments of one file."""
+
+    by_line: Dict[int, Set[str]]
+    file_wide: Set[str]
+
+    def hides(self, violation: Violation) -> bool:
+        if "all" in self.file_wide or violation.rule_id in self.file_wide:
+            return True
+        ids = self.by_line.get(violation.line)
+        return ids is not None and ("all" in ids or violation.rule_id in ids)
+
+
+def _parse_suppressions(source: str) -> _Suppressions:
+    """Extract suppression comments via the token stream.
+
+    Tokenizing (rather than regexing raw lines) means a ``# reglint:``
+    sequence inside a string literal is never mistaken for a directive.
+    """
+    by_line: Dict[int, Set[str]] = {}
+    file_wide: Set[str] = set()
+    try:
+        tokens = tokenize.generate_tokens(iter(source.splitlines(True)).__next__)
+        for token in tokens:
+            if token.type != tokenize.COMMENT:
+                continue
+            match = _SUPPRESS_RE.search(token.string)
+            if match is None:
+                continue
+            ids = {part.strip() for part in match.group("ids").split(",")}
+            ids = {part for part in ids if part}
+            if match.group("scope") == "disable-file":
+                file_wide |= ids
+            else:
+                by_line.setdefault(token.start[0], set()).update(ids)
+    except tokenize.TokenError:
+        pass  # the AST parse already succeeded; a trailing-token glitch is benign
+    return _Suppressions(by_line=by_line, file_wide=file_wide)
+
+
+# ----------------------------------------------------------------------
+# Driver
+# ----------------------------------------------------------------------
+
+
+def analyze_file(
+    path: Path,
+    rules: Sequence[Rule],
+    *,
+    extra: Optional[Dict[str, object]] = None,
+) -> List[Violation]:
+    """Run the given rules over one file, honouring suppressions.
+
+    A file that fails to parse yields a single synthetic ``RL000``
+    error so broken files cannot silently pass the gate.
+    """
+    source = path.read_text(encoding="utf-8")
+    try:
+        tree = ast.parse(source, filename=str(path))
+    except SyntaxError as exc:
+        return [
+            Violation(
+                rule_id="RL000",
+                path=path,
+                line=exc.lineno or 1,
+                column=(exc.offset or 0) + 1,
+                message=f"file does not parse: {exc.msg}",
+                severity=Severity.ERROR,
+            )
+        ]
+    ctx = FileContext(path=path, source=source, tree=tree, extra=dict(extra or {}))
+    suppressions = _parse_suppressions(source)
+    if "all" in suppressions.file_wide:
+        return []
+    findings: List[Violation] = []
+    for rule in rules:
+        if not rule.applies_to(ctx):
+            continue
+        for violation in rule.check(ctx):
+            if not suppressions.hides(violation):
+                findings.append(violation)
+    return findings
+
+
+def _iter_python_files(paths: Iterable[Path]) -> Iterator[Path]:
+    seen: Set[Path] = set()
+    for path in paths:
+        if path.is_file():
+            candidates: Iterable[Path] = [path] if path.suffix == ".py" else []
+        else:
+            candidates = sorted(path.rglob("*.py"))
+        for candidate in candidates:
+            if any(
+                part.startswith(".") or part == "__pycache__"
+                for part in candidate.parts
+            ):
+                continue
+            resolved = candidate.resolve()
+            if resolved not in seen:
+                seen.add(resolved)
+                yield candidate
+
+
+@dataclass
+class Report:
+    """Aggregate result of one analysis run."""
+
+    violations: List[Violation]
+    files_checked: int
+
+    @property
+    def exit_code(self) -> int:
+        """0 when clean; 1 when any WARNING-or-worse finding exists."""
+        return (
+            1
+            if any(v.severity >= Severity.WARNING for v in self.violations)
+            else 0
+        )
+
+    def render(self) -> str:
+        lines = [v.render() for v in self.violations]
+        noun = "file" if self.files_checked == 1 else "files"
+        if self.violations:
+            lines.append(
+                f"reglint: {len(self.violations)} finding(s) in "
+                f"{self.files_checked} {noun}"
+            )
+        else:
+            lines.append(f"reglint: {self.files_checked} {noun} clean")
+        return "\n".join(lines)
+
+    def to_dict(self) -> Dict[str, object]:
+        return {
+            "files_checked": self.files_checked,
+            "violations": [
+                {
+                    "rule": v.rule_id,
+                    "path": str(v.path),
+                    "line": v.line,
+                    "column": v.column,
+                    "severity": str(v.severity),
+                    "message": v.message,
+                }
+                for v in self.violations
+            ],
+        }
+
+
+def analyze_paths(
+    paths: Sequence[Path],
+    rules: Optional[Sequence[Rule]] = None,
+    *,
+    extra: Optional[Dict[str, object]] = None,
+) -> Report:
+    """Analyze every Python file under the given paths."""
+    if rules is None:
+        rules = [cls() for cls in all_rules()]
+    violations: List[Violation] = []
+    files_checked = 0
+    for file_path in _iter_python_files(paths):
+        files_checked += 1
+        violations.extend(analyze_file(file_path, rules, extra=extra))
+    violations.sort(key=lambda v: (str(v.path), v.line, v.column, v.rule_id))
+    return Report(violations=violations, files_checked=files_checked)

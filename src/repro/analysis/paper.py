@@ -1,0 +1,140 @@
+"""Paper-reference inventory: what PAPER.md actually defines.
+
+The cross-reference rule (RL201) checks that every equation / lemma /
+definition / figure / table / section a docstring cites really exists in
+the source paper.  This module parses ``PAPER.md`` into that ground
+truth and provides the shared citation scanner both sides use.
+
+Citations come in several shapes — ``Eq. 4``, ``Equation 4``,
+``Eq. 5-7`` (ranges, any dash), ``Figs. 3, 4, 6`` (lists),
+``Lemma 3.2``, ``Definition 3.1``, ``§5.2`` — and all of them are
+normalized to ``(kind, number)`` pairs such as ``("eq", "7")`` or
+``("lemma", "3.2")``.
+"""
+
+from __future__ import annotations
+
+import re
+from pathlib import Path
+from typing import FrozenSet, Iterator, List, Optional, Tuple
+
+__all__ = ["Citation", "PaperReferences", "load_paper_references", "scan_citations"]
+
+Citation = Tuple[str, str]  # (kind, number), e.g. ("eq", "7")
+
+_KIND_ALIASES = {
+    "eq": "eq",
+    "eqs": "eq",
+    "equation": "eq",
+    "equations": "eq",
+    "lemma": "lemma",
+    "lemmas": "lemma",
+    "definition": "definition",
+    "definitions": "definition",
+    "def": "definition",
+    "fig": "figure",
+    "figs": "figure",
+    "figure": "figure",
+    "figures": "figure",
+    "table": "table",
+    "tables": "table",
+    "section": "section",
+    "sections": "section",
+    "§": "section",
+}
+
+# One citation: a kind keyword followed by a number, optionally extended
+# by range/list continuations ("5-7", "3, 4, 6", "3 and 4").
+_CITATION_RE = re.compile(
+    r"(?P<kind>§|\b(?:Eqs?|Equations?|Lemmas?|Definitions?|Figs?|Figures?"
+    r"|Tables?|Sections?)\b)"
+    r"\.?\s*"
+    r"(?P<nums>\d+(?:\.\d+)*"
+    r"(?:\s*(?:[-–—]|,|and|&)\s*\d+(?:\.\d+)*)*)",
+    re.IGNORECASE,
+)
+
+_NUMBER_RE = re.compile(r"\d+(?:\.\d+)*")
+_RANGE_RE = re.compile(r"(\d+)\s*[-–—]\s*(\d+)")
+
+
+def _expand_numbers(nums: str) -> List[str]:
+    """``"5-7"`` -> ["5", "6", "7"]; ``"3, 4.1"`` -> ["3", "4.1"]."""
+    numbers: List[str] = []
+    remainder = nums
+    for match in _RANGE_RE.finditer(nums):
+        lo, hi = int(match.group(1)), int(match.group(2))
+        if lo <= hi <= lo + 50:  # sane range only
+            numbers.extend(str(n) for n in range(lo, hi + 1))
+            remainder = remainder.replace(match.group(0), " ", 1)
+    numbers.extend(_NUMBER_RE.findall(remainder))
+    seen = set()
+    unique: List[str] = []
+    for number in numbers:
+        if number not in seen:
+            seen.add(number)
+            unique.append(number)
+    return unique
+
+
+def scan_citations(text: str) -> Iterator[Citation]:
+    """All normalized ``(kind, number)`` citations appearing in ``text``."""
+    for match in _CITATION_RE.finditer(text):
+        kind = _KIND_ALIASES[match.group("kind").lower().rstrip(".")]
+        for number in _expand_numbers(match.group("nums")):
+            yield (kind, number)
+
+
+class PaperReferences:
+    """The set of citable artifacts the paper defines."""
+
+    def __init__(self, citations: FrozenSet[Citation], source: Optional[Path]):
+        self.citations = citations
+        self.source = source
+
+    def __contains__(self, citation: Citation) -> bool:
+        kind, number = citation
+        if (kind, number) in self.citations:
+            return True
+        # A citation of "Section 5.2" is also satisfied by the paper
+        # defining section 5 with dotted subsections, and vice versa.
+        if kind == "section":
+            major = number.split(".")[0]
+            return (kind, major) in self.citations
+        return False
+
+    def __len__(self) -> int:
+        return len(self.citations)
+
+    def __repr__(self) -> str:
+        return (
+            f"PaperReferences({len(self.citations)} citations "
+            f"from {self.source})"
+        )
+
+
+def _find_paper_md(start: Path) -> Optional[Path]:
+    for directory in [start, *start.parents]:
+        candidate = directory / "PAPER.md"
+        if candidate.is_file():
+            return candidate
+    return None
+
+
+def load_paper_references(
+    paper_path: Optional[Path] = None,
+    *,
+    search_from: Optional[Path] = None,
+) -> PaperReferences:
+    """Parse PAPER.md (explicit path, or found by walking up).
+
+    Returns an empty inventory when no PAPER.md exists — the
+    cross-reference rule treats that as "nothing can be checked" and
+    stays silent rather than flagging every citation in the tree.
+    """
+    if paper_path is None:
+        paper_path = _find_paper_md((search_from or Path.cwd()).resolve())
+    if paper_path is None or not paper_path.is_file():
+        return PaperReferences(frozenset(), None)
+    text = paper_path.read_text(encoding="utf-8")
+    return PaperReferences(frozenset(scan_citations(text)), paper_path)

@@ -10,6 +10,7 @@ timings and search statistics.
 
 from __future__ import annotations
 
+import math
 import time
 from dataclasses import dataclass
 from typing import Callable, List, Optional, Sequence
@@ -85,7 +86,7 @@ def _time_one(
     return SweepPoint(
         parameter="",
         value=0,
-        seconds=sum(timings) / len(timings),
+        seconds=math.fsum(timings) / len(timings),
         n_clusters=len(result),
         nodes_expanded=result.statistics.nodes_expanded,
     )

@@ -22,6 +22,7 @@ from repro.core.miner import (
     SearchStatistics,
     mine_reg_clusters,
 )
+from repro.core.numeric import ZERO_TOL, near_equal, near_zero
 from repro.core.params import MiningParameters
 from repro.core.postprocess import drop_contained, merge_overlapping, top_k
 from repro.core.reference import reference_mine, reference_mine_list
@@ -68,6 +69,10 @@ __all__ = [
     "is_shifting_and_scaling",
     "AffineFit",
     "fit_affine",
+    # numeric tolerance helpers
+    "ZERO_TOL",
+    "near_zero",
+    "near_equal",
     # chains and clusters
     "invert_chain",
     "is_representative",

@@ -18,6 +18,7 @@ from __future__ import annotations
 from typing import Sequence, Tuple
 
 import numpy as np
+from numpy.typing import ArrayLike, NDArray
 
 __all__ = [
     "invert_chain",
@@ -45,10 +46,10 @@ def is_representative(
     """
     if n_p_members != n_n_members:
         return n_p_members > n_n_members
-    chain = tuple(chain)
-    if len(chain) < 2 or chain[0] == chain[-1]:
+    walk = tuple(chain)
+    if len(walk) < 2 or walk[0] == walk[-1]:
         return True
-    return chain[0] > chain[-1]
+    return walk[0] > walk[-1]
 
 
 def canonical_orientation(
@@ -59,14 +60,14 @@ def canonical_orientation(
     Convenience for presenting externally-supplied clusters the same way
     the miner reports them.
     """
-    chain = tuple(chain)
-    if is_representative(chain, n_p_members, n_n_members):
-        return chain, n_p_members, n_n_members
-    return invert_chain(chain), n_n_members, n_p_members
+    walk = tuple(chain)
+    if is_representative(walk, n_p_members, n_n_members):
+        return walk, n_p_members, n_n_members
+    return invert_chain(walk), n_n_members, n_p_members
 
 
 def gene_matches_chain(
-    row: np.ndarray, threshold: float, chain: Sequence[int]
+    row: ArrayLike, threshold: float, chain: Sequence[int]
 ) -> bool:
     """Does one gene comply with a chain as a p-member?
 
@@ -75,19 +76,19 @@ def gene_matches_chain(
     gaps all exceeding the threshold, *every* pair of chain conditions is
     regulated — the model's "any two conditions" requirement.
     """
-    chain = np.asarray(tuple(chain), dtype=np.intp)
-    if chain.shape[0] < 2:
+    walk = np.asarray(tuple(chain), dtype=np.intp)
+    if walk.shape[0] < 2:
         return True
-    steps = np.diff(np.asarray(row, dtype=np.float64)[chain])
+    steps = np.diff(np.asarray(row, dtype=np.float64)[walk])
     return bool(np.all(steps > threshold))
 
 
 def match_chain_members(
-    values: np.ndarray,
-    thresholds: np.ndarray,
+    values: NDArray[np.float64],
+    thresholds: NDArray[np.float64],
     chain: Sequence[int],
-    candidates: np.ndarray,
-) -> Tuple[np.ndarray, np.ndarray]:
+    candidates: ArrayLike,
+) -> Tuple[NDArray[np.intp], NDArray[np.intp]]:
     """Split candidate genes into p-members and n-members of a chain.
 
     Parameters
@@ -108,13 +109,13 @@ def match_chain_members(
         dropped.  For a single-condition chain every candidate is a
         p-member (orientation is undetermined until a second condition).
     """
-    candidates = np.asarray(candidates, dtype=np.intp)
-    chain = np.asarray(tuple(chain), dtype=np.intp)
-    if chain.shape[0] < 2:
-        return candidates.copy(), np.empty(0, dtype=np.intp)
-    sub = values[np.ix_(candidates, chain)]
+    pool = np.asarray(candidates, dtype=np.intp)
+    walk = np.asarray(tuple(chain), dtype=np.intp)
+    if walk.shape[0] < 2:
+        return pool.copy(), np.empty(0, dtype=np.intp)
+    sub = values[np.ix_(pool, walk)]
     steps = np.diff(sub, axis=1)
-    limit = thresholds[candidates][:, None]
+    limit = thresholds[pool][:, None]
     p_mask = np.all(steps > limit, axis=1)
     n_mask = np.all(steps < -limit, axis=1)
-    return candidates[p_mask], candidates[n_mask]
+    return pool[p_mask], pool[n_mask]

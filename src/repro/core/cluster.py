@@ -13,6 +13,7 @@ from dataclasses import dataclass
 from typing import Dict, FrozenSet, Optional, Sequence, Tuple
 
 import numpy as np
+from numpy.typing import NDArray
 
 from repro.core.chain import invert_chain
 from repro.core.coherence import AffineFit, chain_h_profile, fit_affine
@@ -120,7 +121,9 @@ class RegCluster:
         """The cluster's expression submatrix, columns in chain order."""
         return matrix.submatrix(self.genes, self.chain)
 
-    def h_profiles(self, matrix: ExpressionMatrix) -> Dict[int, np.ndarray]:
+    def h_profiles(
+        self, matrix: ExpressionMatrix
+    ) -> Dict[int, NDArray[np.float64]]:
         """Per-gene H-score profiles along the representative chain.
 
         Every member — p or n — is scored on the same chain order: for an

@@ -18,7 +18,9 @@ from dataclasses import dataclass
 from typing import Sequence, Tuple
 
 import numpy as np
+from numpy.typing import ArrayLike, NDArray
 
+from repro.core.numeric import near_zero
 from repro.matrix.expression import ExpressionMatrix
 
 __all__ = [
@@ -53,8 +55,8 @@ def coherence_score(
     c1, c2 = (matrix.condition_index(c) for c in baseline)
     ck, ck1 = (matrix.condition_index(c) for c in step)
     row = matrix.values[i]
-    denominator = row[c2] - row[c1]
-    if denominator == 0.0:
+    denominator = float(row[c2] - row[c1])
+    if near_zero(denominator):
         raise ZeroDivisionError(
             f"baseline pair ({baseline[0]}, {baseline[1]}) has zero "
             f"expression difference for gene index {i}"
@@ -63,13 +65,13 @@ def coherence_score(
 
 
 def coherence_scores(
-    values: np.ndarray,
-    gene_rows: np.ndarray,
+    values: NDArray[np.float64],
+    gene_rows: NDArray[np.intp],
     c1: int,
     c2: int,
     ck: int,
     ck1: int,
-) -> np.ndarray:
+) -> NDArray[np.float64]:
     """Vectorized H scores for many genes at one chain step.
 
     ``values`` is the full data array; ``gene_rows`` the gene indices of
@@ -80,12 +82,14 @@ def coherence_scores(
     rows = values[gene_rows]
     denominator = rows[:, c2] - rows[:, c1]
     with np.errstate(divide="ignore", invalid="ignore"):
-        return (rows[:, ck1] - rows[:, ck]) / denominator
+        return np.asarray(
+            (rows[:, ck1] - rows[:, ck]) / denominator, dtype=np.float64
+        )
 
 
 def chain_h_profile(
     matrix: ExpressionMatrix, gene: "int | str", chain: Sequence["int | str"]
-) -> np.ndarray:
+) -> NDArray[np.float64]:
     """All adjacent-step H scores of one gene along a chain.
 
     For a chain ``(c1, ..., cn)`` returns the ``n - 1`` values
@@ -97,17 +101,17 @@ def chain_h_profile(
     i = matrix.gene_index(gene)
     cond = matrix.condition_indices(chain)
     row = matrix.values[i][cond]
-    denominator = row[1] - row[0]
-    if denominator == 0.0:
+    denominator = float(row[1] - row[0])
+    if near_zero(denominator):
         raise ZeroDivisionError(
             "baseline pair has zero expression difference"
         )
-    return np.diff(row) / denominator
+    return np.asarray(np.diff(row) / denominator, dtype=np.float64)
 
 
 def is_shifting_and_scaling(
-    profile_i: np.ndarray,
-    profile_j: np.ndarray,
+    profile_i: ArrayLike,
+    profile_j: ArrayLike,
     *,
     epsilon: float = 0.0,
     rtol: float = 1e-9,
@@ -123,18 +127,18 @@ def is_shifting_and_scaling(
     Degenerate inputs (constant baseline pair) return ``False``: a
     constant profile cannot witness a scaling relation.
     """
-    profile_i = np.asarray(profile_i, dtype=np.float64)
-    profile_j = np.asarray(profile_j, dtype=np.float64)
-    if profile_i.shape != profile_j.shape or profile_i.ndim != 1:
+    pi = np.asarray(profile_i, dtype=np.float64)
+    pj = np.asarray(profile_j, dtype=np.float64)
+    if pi.shape != pj.shape or pi.ndim != 1:
         raise ValueError("profiles must be 1-D and of equal length")
-    if profile_i.shape[0] < 2:
+    if pi.shape[0] < 2:
         return True
-    order = np.argsort(profile_i, kind="stable")
-    vi = profile_i[order]
-    vj = profile_j[order]
-    base_i = vi[1] - vi[0]
-    base_j = vj[1] - vj[0]
-    if base_i == 0.0 or base_j == 0.0:
+    order = np.argsort(pi, kind="stable")
+    vi = pi[order]
+    vj = pj[order]
+    base_i = float(vi[1] - vi[0])
+    base_j = float(vj[1] - vj[0])
+    if near_zero(base_i) or near_zero(base_j):
         return False
     h_i = np.diff(vi) / base_i
     h_j = np.diff(vj) / base_j
@@ -155,12 +159,16 @@ class AffineFit:
         """``s1 > 0``: the profiles are positively correlated (Eq. 5)."""
         return self.scaling > 0
 
-    def apply(self, profile: np.ndarray) -> np.ndarray:
+    def apply(self, profile: ArrayLike) -> NDArray[np.float64]:
         """Transform a profile by this fit: ``s1 * profile + s2``."""
-        return self.scaling * np.asarray(profile, dtype=np.float64) + self.shifting
+        return np.asarray(
+            self.scaling * np.asarray(profile, dtype=np.float64)
+            + self.shifting,
+            dtype=np.float64,
+        )
 
 
-def fit_affine(target: np.ndarray, source: np.ndarray) -> AffineFit:
+def fit_affine(target: ArrayLike, source: ArrayLike) -> AffineFit:
     """Fit scaling/shifting factors mapping ``source`` onto ``target``.
 
     Used for reporting the per-gene ``s1``/``s2`` factors of a discovered
@@ -168,20 +176,20 @@ def fit_affine(target: np.ndarray, source: np.ndarray) -> AffineFit:
     ``d_1 = 2.5 * d_3 - 5``).  A constant ``source`` yields scaling 0 and
     shifting equal to the mean of ``target``.
     """
-    target = np.asarray(target, dtype=np.float64)
-    source = np.asarray(source, dtype=np.float64)
-    if target.shape != source.shape or target.ndim != 1:
+    t = np.asarray(target, dtype=np.float64)
+    s = np.asarray(source, dtype=np.float64)
+    if t.shape != s.shape or t.ndim != 1:
         raise ValueError("profiles must be 1-D and of equal length")
-    if target.shape[0] == 0:
+    if t.shape[0] == 0:
         raise ValueError("cannot fit an empty profile")
-    source_centered = source - source.mean()
+    source_centered = s - s.mean()
     variance = float(np.dot(source_centered, source_centered))
-    if variance == 0.0:
+    if near_zero(variance):
         scaling = 0.0
     else:
-        scaling = float(np.dot(source_centered, target - target.mean()) / variance)
-    shifting = float(target.mean() - scaling * source.mean())
+        scaling = float(np.dot(source_centered, t - t.mean()) / variance)
+    shifting = float(t.mean() - scaling * s.mean())
     residual = float(
-        np.sqrt(np.mean((target - (scaling * source + shifting)) ** 2))
+        np.sqrt(np.mean((t - (scaling * s + shifting)) ** 2))
     )
     return AffineFit(scaling=scaling, shifting=shifting, residual=residual)

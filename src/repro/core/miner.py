@@ -29,9 +29,10 @@ constraint of the model and cannot be disabled.
 from __future__ import annotations
 
 from dataclasses import dataclass
-from typing import Dict, FrozenSet, List, Optional, Set, Tuple
+from typing import Dict, FrozenSet, Iterator, List, Optional, Set, Tuple
 
 import numpy as np
+from numpy.typing import NDArray
 
 from repro.core.chain import is_representative
 from repro.core.cluster import RegCluster
@@ -108,7 +109,7 @@ class MiningResult:
     def __len__(self) -> int:
         return len(self.clusters)
 
-    def __iter__(self):
+    def __iter__(self) -> Iterator[RegCluster]:
         return iter(self.clusters)
 
     def __getitem__(self, index: int) -> RegCluster:
@@ -151,7 +152,7 @@ class RegClusterMiner:
         params: MiningParameters,
         *,
         prunings: Optional[PruningConfig] = None,
-        thresholds: "Optional[np.ndarray]" = None,
+        thresholds: Optional[NDArray[np.float64]] = None,
         tracer: Optional[SearchTrace] = None,
     ) -> None:
         self.matrix = matrix
@@ -211,8 +212,8 @@ class RegClusterMiner:
     def _expand(
         self,
         chain: Tuple[int, ...],
-        p_members: np.ndarray,
-        n_members: np.ndarray,
+        p_members: NDArray[np.intp],
+        n_members: NDArray[np.intp],
     ) -> None:
         stats = self._stats
         params = self.params
@@ -314,9 +315,9 @@ class RegClusterMiner:
     def _candidates(
         self,
         chain: Tuple[int, ...],
-        p_members: np.ndarray,
-        n_members: np.ndarray,
-    ):
+        p_members: NDArray[np.intp],
+        n_members: NDArray[np.intp],
+    ) -> Iterator[Tuple[int, NDArray[np.intp], NDArray[np.intp]]]:
         """Yield ``(condition, child_p, child_n)`` extensions of a chain.
 
         Candidates are gathered by scanning the RWave models of the
@@ -377,15 +378,18 @@ class RegClusterMiner:
     # ------------------------------------------------------------------
 
     def _step_scores(
-        self, genes: np.ndarray, chain: Tuple[int, ...], candidate: int
-    ) -> np.ndarray:
+        self,
+        genes: NDArray[np.intp],
+        chain: Tuple[int, ...],
+        candidate: int,
+    ) -> NDArray[np.float64]:
         """H(j, c_k1, c_k2, c_km, candidate) for every gene (Eq. 7)."""
         values = self._values
         c1, c2, last = chain[0], chain[1], chain[-1]
         baseline = values[genes, c2] - values[genes, c1]
         step = values[genes, candidate] - values[genes, last]
         with np.errstate(divide="ignore", invalid="ignore"):
-            return step / baseline
+            return np.asarray(step / baseline, dtype=np.float64)
 
 
 def mine_reg_clusters(
@@ -397,7 +401,7 @@ def mine_reg_clusters(
     epsilon: float,
     max_clusters: Optional[int] = None,
     prunings: Optional[PruningConfig] = None,
-    thresholds: "Optional[np.ndarray]" = None,
+    thresholds: Optional[NDArray[np.float64]] = None,
 ) -> MiningResult:
     """One-call convenience wrapper around :class:`RegClusterMiner`.
 

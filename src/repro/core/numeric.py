@@ -1,0 +1,54 @@
+"""Shared numeric tolerance helpers — the float-comparison boundary.
+
+Every degenerate-value guard in the reg-cluster code (zero baselines in
+the H score of Eq. 7, zero variance in the affine fit of Eq. 5) must go
+through this module instead of comparing floats with ``==``.  Exact
+float equality misses values within rounding noise of the sentinel,
+which is precisely the tolerance-handling failure mode
+shifting-and-scaling extractors are most sensitive to.
+
+This is the one module allowed to compare floats exactly; the reglint
+rule RL101 enforces the boundary everywhere else.
+"""
+
+# reglint: disable-file=RL101
+
+from __future__ import annotations
+
+import math
+
+__all__ = ["ZERO_TOL", "near_zero", "near_equal"]
+
+#: Default absolute tolerance for treating a value as zero.  Chosen well
+#: below any meaningful expression-level difference (microarray data
+#: carries 3-4 significant digits) yet far above float64 rounding noise.
+ZERO_TOL: float = 1e-12
+
+def near_zero(x: float, tol: float = ZERO_TOL) -> bool:
+    """Is ``x`` within ``tol`` of zero?
+
+    Used to detect degenerate baselines/variances before dividing.
+    ``tol=0.0`` recovers the exact ``x == 0.0`` test.
+
+    >>> near_zero(0.0)
+    True
+    >>> near_zero(5e-13)
+    True
+    >>> near_zero(1e-6)
+    False
+    """
+    return abs(x) <= tol
+
+
+def near_equal(a: float, b: float, *, rel: float = 1e-9, tol: float = ZERO_TOL) -> bool:
+    """Are two floats equal within relative *and* absolute slack?
+
+    A thin wrapper over :func:`math.isclose` with this package's default
+    absolute floor, so near-zero pairs compare sanely.
+
+    >>> near_equal(1.0, 1.0 + 1e-12)
+    True
+    >>> near_equal(1.0, 1.1)
+    False
+    """
+    return math.isclose(a, b, rel_tol=rel, abs_tol=tol)

@@ -19,7 +19,7 @@ All functions are pure: they return new lists and never mutate inputs.
 
 from __future__ import annotations
 
-from typing import List, Optional, Sequence
+from typing import FrozenSet, List, Optional, Sequence, Tuple
 
 import numpy as np
 
@@ -40,7 +40,7 @@ def drop_contained(clusters: Sequence[RegCluster]) -> List[RegCluster]:
         key=lambda c: (-(c.n_genes * c.n_conditions), c.chain, c.genes),
     )
     kept: List[RegCluster] = []
-    kept_cells = []
+    kept_cells: List[FrozenSet[Tuple[int, int]]] = []
     for cluster in ranked:
         cells = cluster.cells()
         if not any(cells <= other for other in kept_cells):

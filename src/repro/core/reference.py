@@ -19,7 +19,7 @@ from repro.core.cluster import RegCluster
 from repro.core.params import MiningParameters
 from repro.matrix.expression import ExpressionMatrix
 
-__all__ = ["reference_mine"]
+__all__ = ["reference_mine", "reference_mine_list"]
 
 
 def _naive_windows(
@@ -70,21 +70,21 @@ def reference_mine(
     values = matrix.values
     n_genes, n_conditions = matrix.shape
     if thresholds is None:
-        thresholds = [
+        limits = [
             params.gamma * (float(values[g].max()) - float(values[g].min()))
             for g in range(n_genes)
         ]
     else:
-        thresholds = [float(t) for t in thresholds]
-        if len(thresholds) != n_genes:
+        limits = [float(t) for t in thresholds]
+        if len(limits) != n_genes:
             raise ValueError("thresholds must have one entry per gene")
     found: Set[RegCluster] = set()
 
     def step_ok(gene: int, sign: int, prev: int, new: int) -> bool:
-        diff = values[gene, new] - values[gene, prev]
+        diff = float(values[gene, new] - values[gene, prev])
         if sign > 0:
-            return diff > thresholds[gene]
-        return diff < -thresholds[gene]
+            return diff > limits[gene]
+        return diff < -limits[gene]
 
     def maybe_emit(chain: Tuple[int, ...], members: List[Tuple[int, int]]) -> None:
         if len(chain) < params.min_conditions:

@@ -15,6 +15,7 @@ from enum import Enum
 from typing import Optional
 
 import numpy as np
+from numpy.typing import NDArray
 
 from repro.matrix.expression import ExpressionMatrix
 
@@ -37,7 +38,9 @@ class Regulation(Enum):
         return Regulation.NONE
 
 
-def gene_thresholds(matrix: ExpressionMatrix, gamma: float) -> np.ndarray:
+def gene_thresholds(
+    matrix: ExpressionMatrix, gamma: float
+) -> NDArray[np.float64]:
     """Per-gene regulation thresholds ``gamma_i`` (Eq. 4).
 
     ``gamma_i = gamma * (max_j d_ij - min_j d_ij)``.
@@ -53,7 +56,7 @@ def gene_thresholds(matrix: ExpressionMatrix, gamma: float) -> np.ndarray:
     """
     if not 0.0 <= gamma <= 1.0:
         raise ValueError(f"gamma must be within [0, 1], got {gamma}")
-    return gamma * matrix.gene_ranges()
+    return np.asarray(gamma * matrix.gene_ranges(), dtype=np.float64)
 
 
 def regulation(
@@ -74,19 +77,22 @@ def regulation(
     mentions (normalized, average-expression, ...).
     """
     i = matrix.gene_index(gene)
-    if threshold is None:
-        threshold = float(gene_thresholds(matrix, gamma)[i])
+    limit = (
+        float(gene_thresholds(matrix, gamma)[i])
+        if threshold is None
+        else float(threshold)
+    )
     diff = matrix.value(i, cond_a) - matrix.value(i, cond_b)
-    if diff > threshold:
+    if diff > limit:
         return Regulation.UP
-    if diff < -threshold:
+    if diff < -limit:
         return Regulation.DOWN
     return Regulation.NONE
 
 
 def regulation_matrix(
     matrix: ExpressionMatrix, gene: "int | str", gamma: float
-) -> np.ndarray:
+) -> NDArray[np.int8]:
     """Dense pairwise regulation table for one gene.
 
     Entry ``[a, b]`` is ``+1`` if the gene is up-regulated from ``c_b`` to

@@ -28,7 +28,9 @@ from dataclasses import dataclass
 from typing import List, Optional, Sequence, Tuple
 
 import numpy as np
+from numpy.typing import ArrayLike, NDArray
 
+from repro.analysis.contracts import maybe_check_rwave_index
 from repro.core.regulation import gene_thresholds
 from repro.matrix.expression import ExpressionMatrix
 
@@ -69,25 +71,25 @@ class RWaveModel:
 
     def __init__(
         self,
-        row: np.ndarray,
+        row: ArrayLike,
         threshold: float,
         *,
         gene: Optional[int] = None,
     ) -> None:
-        row = np.asarray(row, dtype=np.float64)
-        if row.ndim != 1:
+        profile = np.asarray(row, dtype=np.float64)
+        if profile.ndim != 1:
             raise ValueError("an RWave model is built from a single profile")
         if threshold < 0:
             raise ValueError(f"threshold must be >= 0, got {threshold}")
         self.gene = gene
         self.threshold = float(threshold)
-        n = row.shape[0]
+        n = profile.shape[0]
         #: condition ids sorted in non-descending order of expression value
-        self.order: np.ndarray = np.argsort(row, kind="stable")
+        self.order: NDArray[np.intp] = np.argsort(profile, kind="stable")
         #: expression values in sorted order
-        self.sorted_values: np.ndarray = row[self.order]
+        self.sorted_values: NDArray[np.float64] = profile[self.order]
         #: position of each condition id in :attr:`order`
-        self.position: np.ndarray = np.empty(n, dtype=np.intp)
+        self.position: NDArray[np.intp] = np.empty(n, dtype=np.intp)
         self.position[self.order] = np.arange(n, dtype=np.intp)
         self.pointers: Tuple[RegulationPointer, ...] = tuple(
             self._build_pointers()
@@ -132,7 +134,7 @@ class RWaveModel:
             last_tail = q
         return pointers
 
-    def _chain_tables(self) -> Tuple[np.ndarray, np.ndarray]:
+    def _chain_tables(self) -> Tuple[NDArray[np.intp], NDArray[np.intp]]:
         """Longest up-chain / down-chain length from every position.
 
         ``max_chain_up[p]`` is the maximum number of conditions in a
@@ -188,7 +190,7 @@ class RWaveModel:
         k = int(np.searchsorted(self._tails, pos, side="left"))
         return int(self._heads[k]) if k < len(self._tails) else self.n_conditions
 
-    def regulation_predecessors(self, condition: int) -> np.ndarray:
+    def regulation_predecessors(self, condition: int) -> NDArray[np.intp]:
         """All regulation predecessors of ``condition`` (condition ids).
 
         The ids are returned in model order (non-descending expression).
@@ -196,7 +198,7 @@ class RWaveModel:
         bound = self.predecessor_bound(condition)
         return self.order[: bound + 1].copy()
 
-    def regulation_successors(self, condition: int) -> np.ndarray:
+    def regulation_successors(self, condition: int) -> NDArray[np.intp]:
         """All regulation successors of ``condition`` (condition ids)."""
         bound = self.successor_bound(condition)
         return self.order[bound:].copy()
@@ -205,7 +207,7 @@ class RWaveModel:
         """``Reg(i, cond_hi, cond_lo) == Up`` — direct Eq. 3 check."""
         pos_hi = int(self.position[cond_hi])
         pos_lo = int(self.position[cond_lo])
-        diff = self.sorted_values[pos_hi] - self.sorted_values[pos_lo]
+        diff = float(self.sorted_values[pos_hi] - self.sorted_values[pos_lo])
         return diff > self.threshold
 
     def max_up_from(self, condition: int) -> int:
@@ -285,32 +287,39 @@ class RWaveIndex:
         matrix: ExpressionMatrix,
         gamma: float,
         *,
-        thresholds: Optional[np.ndarray] = None,
+        thresholds: Optional[ArrayLike] = None,
     ) -> None:
         self.matrix = matrix
         self.gamma = float(gamma)
         if thresholds is None:
-            thresholds = gene_thresholds(matrix, gamma)
+            per_gene = gene_thresholds(matrix, gamma)
         else:
-            thresholds = np.asarray(thresholds, dtype=np.float64)
-            if thresholds.shape != (matrix.n_genes,):
+            per_gene = np.asarray(thresholds, dtype=np.float64)
+            if per_gene.shape != (matrix.n_genes,):
                 raise ValueError(
                     f"thresholds must have shape ({matrix.n_genes},), got "
-                    f"{thresholds.shape}"
+                    f"{per_gene.shape}"
                 )
-            if np.any(thresholds < 0):
+            if np.any(per_gene < 0):
                 raise ValueError("thresholds must be non-negative")
-        self.thresholds: np.ndarray = thresholds
+        self.thresholds: NDArray[np.float64] = per_gene
         self.models: Tuple[RWaveModel, ...] = tuple(
             RWaveModel(matrix.values[i], float(self.thresholds[i]), gene=i)
             for i in range(matrix.n_genes)
         )
         n_genes, n_conditions = matrix.shape
-        self.max_up = np.empty((n_genes, n_conditions), dtype=np.intp)
-        self.max_down = np.empty((n_genes, n_conditions), dtype=np.intp)
+        self.max_up: NDArray[np.intp] = np.empty(
+            (n_genes, n_conditions), dtype=np.intp
+        )
+        self.max_down: NDArray[np.intp] = np.empty(
+            (n_genes, n_conditions), dtype=np.intp
+        )
         for i, model in enumerate(self.models):
             self.max_up[i, model.order] = model.max_chain_up
             self.max_down[i, model.order] = model.max_chain_down
+        # Debug-mode Lemma 3.1 invariant checks (repro.analysis.contracts):
+        # a no-op unless contracts are enabled for the process.
+        maybe_check_rwave_index(self)
 
     def model(self, gene: "int | str") -> RWaveModel:
         """The RWave model of one gene."""

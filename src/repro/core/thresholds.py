@@ -17,6 +17,7 @@ from __future__ import annotations
 from typing import Callable, Dict
 
 import numpy as np
+from numpy.typing import NDArray
 
 from repro.matrix.expression import ExpressionMatrix
 
@@ -31,7 +32,7 @@ __all__ = [
 ]
 
 #: A strategy maps (matrix, scale) -> per-gene threshold array.
-ThresholdStrategy = Callable[[ExpressionMatrix, float], np.ndarray]
+ThresholdStrategy = Callable[[ExpressionMatrix, float], NDArray[np.float64]]
 
 
 def _validate_scale(scale: float, *, upper: float = np.inf) -> None:
@@ -41,15 +42,17 @@ def _validate_scale(scale: float, *, upper: float = np.inf) -> None:
         )
 
 
-def range_fraction(matrix: ExpressionMatrix, scale: float) -> np.ndarray:
+def range_fraction(
+    matrix: ExpressionMatrix, scale: float
+) -> NDArray[np.float64]:
     """Eq. 4 (the paper's default): ``scale * (max - min)`` per gene."""
     _validate_scale(scale, upper=1.0)
-    return scale * matrix.gene_ranges()
+    return np.asarray(scale * matrix.gene_ranges(), dtype=np.float64)
 
 
 def closest_pair_average(
     matrix: ExpressionMatrix, scale: float
-) -> np.ndarray:
+) -> NDArray[np.float64]:
     """OP-cluster-style threshold (the paper's reference [18]).
 
     ``scale`` times the average *adjacent* gap of each gene's sorted
@@ -59,22 +62,26 @@ def closest_pair_average(
     _validate_scale(scale)
     values = np.sort(matrix.values, axis=1)
     if matrix.n_conditions < 2:
-        return np.zeros(matrix.n_genes)
+        return np.zeros(matrix.n_genes, dtype=np.float64)
     gaps = np.diff(values, axis=1)
-    return scale * gaps.mean(axis=1)
+    return np.asarray(scale * gaps.mean(axis=1), dtype=np.float64)
 
 
-def normalized_std(matrix: ExpressionMatrix, scale: float) -> np.ndarray:
+def normalized_std(
+    matrix: ExpressionMatrix, scale: float
+) -> NDArray[np.float64]:
     """Normalized threshold (the paper's reference [17]).
 
     ``scale`` standard deviations of each gene's profile; a gene must
     swing by a multiple of its own variability to count as regulated.
     """
     _validate_scale(scale)
-    return scale * matrix.values.std(axis=1)
+    return np.asarray(scale * matrix.values.std(axis=1), dtype=np.float64)
 
 
-def mean_fraction(matrix: ExpressionMatrix, scale: float) -> np.ndarray:
+def mean_fraction(
+    matrix: ExpressionMatrix, scale: float
+) -> NDArray[np.float64]:
     """Average-expression threshold (the paper's reference [5]).
 
     ``scale`` times the absolute mean expression level of each gene —
@@ -82,10 +89,12 @@ def mean_fraction(matrix: ExpressionMatrix, scale: float) -> np.ndarray:
     changes scale with the baseline.
     """
     _validate_scale(scale)
-    return scale * np.abs(matrix.values.mean(axis=1))
+    return np.asarray(
+        scale * np.abs(matrix.values.mean(axis=1)), dtype=np.float64
+    )
 
 
-def constant(matrix: ExpressionMatrix, scale: float) -> np.ndarray:
+def constant(matrix: ExpressionMatrix, scale: float) -> NDArray[np.float64]:
     """A single global threshold for every gene.
 
     The degenerate strategy the paper argues *against* (genes differ in
@@ -93,7 +102,7 @@ def constant(matrix: ExpressionMatrix, scale: float) -> np.ndarray:
     experiments.
     """
     _validate_scale(scale)
-    return np.full(matrix.n_genes, float(scale))
+    return np.full(matrix.n_genes, float(scale), dtype=np.float64)
 
 
 _REGISTRY: Dict[str, ThresholdStrategy] = {

@@ -10,9 +10,10 @@ clusters imported from elsewhere.
 
 from __future__ import annotations
 
-from typing import List, Sequence
+from typing import List, Optional, Sequence
 
 import numpy as np
+from numpy.typing import ArrayLike, NDArray
 
 from repro.core.cluster import RegCluster
 from repro.core.params import MiningParameters
@@ -23,7 +24,7 @@ __all__ = ["validation_errors", "is_valid_reg_cluster", "check_chain"]
 
 
 def _pairwise_regulated(
-    profile: np.ndarray, threshold: float, *, ascending: bool
+    profile: NDArray[np.float64], threshold: float, *, ascending: bool
 ) -> bool:
     """Is every pair of chain positions regulated in the right direction?
 
@@ -45,7 +46,7 @@ def validation_errors(
     params: MiningParameters,
     *,
     atol: float = 1e-9,
-    thresholds: "np.ndarray | None" = None,
+    thresholds: Optional[ArrayLike] = None,
 ) -> List[str]:
     """All ways a cluster violates Definition 3.2 (empty list == valid).
 
@@ -76,13 +77,15 @@ def validation_errors(
         return errors
 
     if thresholds is None:
-        thresholds = gene_thresholds(matrix, params.gamma)
+        per_gene = gene_thresholds(matrix, params.gamma)
+    else:
+        per_gene = np.asarray(thresholds, dtype=np.float64)
     cond = np.asarray(chain, dtype=np.intp)
 
     for gene in cluster.p_members:
         profile = matrix.values[gene][cond]
         if not _pairwise_regulated(
-            profile, float(thresholds[gene]), ascending=True
+            profile, float(per_gene[gene]), ascending=True
         ):
             errors.append(
                 f"p-member gene {gene} is not up-regulated across every "
@@ -91,7 +94,7 @@ def validation_errors(
     for gene in cluster.n_members:
         profile = matrix.values[gene][cond]
         if not _pairwise_regulated(
-            profile, float(thresholds[gene]), ascending=False
+            profile, float(per_gene[gene]), ascending=False
         ):
             errors.append(
                 f"n-member gene {gene} is not down-regulated across every "

@@ -13,12 +13,13 @@ from __future__ import annotations
 from typing import List, Tuple
 
 import numpy as np
+from numpy.typing import ArrayLike, NDArray
 
 __all__ = ["maximal_coherent_windows", "coherent_gene_windows"]
 
 
 def maximal_coherent_windows(
-    sorted_scores: np.ndarray, epsilon: float, min_length: int
+    sorted_scores: ArrayLike, epsilon: float, min_length: int
 ) -> List[Tuple[int, int]]:
     """Maximal windows of width <= epsilon over ascending scores.
 
@@ -70,11 +71,11 @@ def maximal_coherent_windows(
 
 
 def coherent_gene_windows(
-    genes: np.ndarray,
-    scores: np.ndarray,
+    genes: ArrayLike,
+    scores: ArrayLike,
     epsilon: float,
     min_length: int,
-) -> List[np.ndarray]:
+) -> List[NDArray[np.intp]]:
     """Partition genes into maximal coherent subsets by H score.
 
     ``genes`` and ``scores`` are parallel arrays in any order; the result
@@ -85,15 +86,15 @@ def coherent_gene_windows(
 
     Sorting is stable on (score, gene id) so the output is deterministic.
     """
-    genes = np.asarray(genes, dtype=np.intp)
-    scores = np.asarray(scores, dtype=np.float64)
-    if genes.shape != scores.shape:
+    ids = np.asarray(genes, dtype=np.intp)
+    values = np.asarray(scores, dtype=np.float64)
+    if ids.shape != values.shape:
         raise ValueError("genes and scores must be parallel arrays")
-    finite = np.isfinite(scores)
-    genes, scores = genes[finite], scores[finite]
-    order = np.lexsort((genes, scores))
-    genes, scores = genes[order], scores[order]
+    finite = np.isfinite(values)
+    ids, values = ids[finite], values[finite]
+    order = np.lexsort((ids, values))
+    ids, values = ids[order], values[order]
     return [
-        genes[start : end + 1]
-        for start, end in maximal_coherent_windows(scores, epsilon, min_length)
+        ids[start : end + 1]
+        for start, end in maximal_coherent_windows(values, epsilon, min_length)
     ]

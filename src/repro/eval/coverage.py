@@ -52,7 +52,7 @@ class CoverageReport:
     def multi_cluster_genes(self) -> int:
         """Genes participating in more than one cluster (the paper's
         multiple-pathway motivation)."""
-        return sum(
+        return sum(  # reglint: disable=RL104  (integer count, not floats)
             count for size, count in self.membership_histogram if size > 1
         )
 

@@ -8,6 +8,7 @@ recovery / relevance aggregates over whole result collections.
 
 from __future__ import annotations
 
+import math
 from dataclasses import dataclass
 from typing import Optional, Sequence, Tuple
 
@@ -56,7 +57,7 @@ def recovery_score(
     """
     if not embedded:
         return 1.0
-    return sum(best_match(t, found)[1] for t in embedded) / len(embedded)
+    return math.fsum(best_match(t, found)[1] for t in embedded) / len(embedded)
 
 
 def relevance_score(
@@ -70,7 +71,7 @@ def relevance_score(
     """
     if not found:
         return 1.0 if not embedded else 0.0
-    return sum(best_match(f, embedded)[1] for f in found) / len(found)
+    return math.fsum(best_match(f, embedded)[1] for f in found) / len(found)
 
 
 @dataclass(frozen=True)
@@ -100,7 +101,7 @@ def match_report(
     threshold: float = 0.9,
 ) -> MatchReport:
     """Full recovery/relevance report for a mining run."""
-    n_recovered = sum(
+    n_recovered = sum(  # reglint: disable=RL104  (integer count, not floats)
         1 for t in embedded if best_match(t, found)[1] >= threshold
     )
     return MatchReport(

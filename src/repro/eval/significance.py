@@ -95,7 +95,9 @@ def empirical_p_value(
     sizes = null_cluster_sizes(
         matrix, params, n_permutations=n_permutations, seed=seed
     )
-    exceed = sum(1 for size in sizes if size >= observed)
+    exceed = sum(  # reglint: disable=RL104  (integer count, not floats)
+        1 for size in sizes if size >= observed
+    )
     p_value = (1 + exceed) / (1 + len(sizes))
     return SignificanceReport(
         observed_area=observed, null_sizes=tuple(sizes), p_value=p_value

@@ -17,6 +17,7 @@ from __future__ import annotations
 from typing import Iterable, Mapping, Optional, Sequence, Tuple, Union
 
 import numpy as np
+from numpy.typing import ArrayLike, NDArray
 
 __all__ = ["ExpressionMatrix"]
 
@@ -56,7 +57,7 @@ class ExpressionMatrix:
 
     def __init__(
         self,
-        values: Union[np.ndarray, Sequence[Sequence[float]]],
+        values: ArrayLike,
         gene_names: Optional[Sequence[str]] = None,
         condition_names: Optional[Sequence[str]] = None,
     ) -> None:
@@ -91,36 +92,36 @@ class ExpressionMatrix:
     ) -> Tuple[str, ...]:
         if names is None:
             return tuple(f"{prefix}{i + 1}" for i in range(count))
-        names = tuple(str(n) for n in names)
-        if len(names) != count:
+        resolved = tuple(str(n) for n in names)
+        if len(resolved) != count:
             raise ValueError(
-                f"expected {count} {kind} names, got {len(names)}"
+                f"expected {count} {kind} names, got {len(resolved)}"
             )
-        if len(set(names)) != len(names):
+        if len(set(resolved)) != len(resolved):
             raise ValueError(f"{kind} names must be unique")
-        return names
+        return resolved
 
     # ------------------------------------------------------------------
     # Basic accessors
     # ------------------------------------------------------------------
 
     @property
-    def values(self) -> np.ndarray:
+    def values(self) -> NDArray[np.float64]:
         """The underlying (read-only) ``float64`` array."""
         return self._values
 
     @property
     def shape(self) -> Tuple[int, int]:
         """``(n_genes, n_conditions)``."""
-        return self._values.shape
+        return (int(self._values.shape[0]), int(self._values.shape[1]))
 
     @property
     def n_genes(self) -> int:
-        return self._values.shape[0]
+        return int(self._values.shape[0])
 
     @property
     def n_conditions(self) -> int:
-        return self._values.shape[1]
+        return int(self._values.shape[1])
 
     @property
     def gene_names(self) -> Tuple[str, ...]:
@@ -176,11 +177,13 @@ class ExpressionMatrix:
         except KeyError:
             raise KeyError(f"unknown condition {condition!r}") from None
 
-    def gene_indices(self, genes: Iterable[GeneKey]) -> np.ndarray:
+    def gene_indices(self, genes: Iterable[GeneKey]) -> NDArray[np.intp]:
         """Resolve an iterable of gene keys to an index array."""
         return np.asarray([self.gene_index(g) for g in genes], dtype=np.intp)
 
-    def condition_indices(self, conditions: Iterable[ConditionKey]) -> np.ndarray:
+    def condition_indices(
+        self, conditions: Iterable[ConditionKey]
+    ) -> NDArray[np.intp]:
         """Resolve an iterable of condition keys to an index array."""
         return np.asarray(
             [self.condition_index(c) for c in conditions], dtype=np.intp
@@ -190,11 +193,11 @@ class ExpressionMatrix:
     # Views
     # ------------------------------------------------------------------
 
-    def row(self, gene: GeneKey) -> np.ndarray:
+    def row(self, gene: GeneKey) -> NDArray[np.float64]:
         """Expression profile of one gene across all conditions."""
         return self._values[self.gene_index(gene)]
 
-    def column(self, condition: ConditionKey) -> np.ndarray:
+    def column(self, condition: ConditionKey) -> NDArray[np.float64]:
         """Expression levels of all genes under one condition."""
         return self._values[:, self.condition_index(condition)]
 
@@ -233,11 +236,14 @@ class ExpressionMatrix:
     # Per-gene statistics used by the regulation model
     # ------------------------------------------------------------------
 
-    def gene_ranges(self) -> np.ndarray:
+    def gene_ranges(self) -> NDArray[np.float64]:
         """Per-gene expression range ``max_j d_ij - min_j d_ij`` (Eq. 4)."""
         if self.n_conditions == 0:
-            return np.zeros(self.n_genes)
-        return self._values.max(axis=1) - self._values.min(axis=1)
+            return np.zeros(self.n_genes, dtype=np.float64)
+        return np.asarray(
+            self._values.max(axis=1) - self._values.min(axis=1),
+            dtype=np.float64,
+        )
 
     def describe(self) -> Mapping[str, float]:
         """Whole-matrix summary statistics (for dataset reports)."""

@@ -16,6 +16,7 @@ from pathlib import Path
 from typing import List, Optional, Union
 
 import numpy as np
+from numpy.typing import ArrayLike, NDArray
 
 from repro.matrix.expression import ExpressionMatrix
 
@@ -31,10 +32,10 @@ _MISSING_TOKENS = {"", "na", "nan", "null", "?", "-"}
 
 
 def _parse_cell(token: str) -> float:
-    token = token.strip()
-    if token.lower() in _MISSING_TOKENS:
+    stripped = token.strip()
+    if stripped.lower() in _MISSING_TOKENS:
         return float("nan")
-    return float(token)
+    return float(stripped)
 
 
 def parse_expression_text(
@@ -134,11 +135,11 @@ def save_expression_matrix(
 
 
 def impute_missing(
-    values: np.ndarray,
+    values: ArrayLike,
     *,
     strategy: str = "gene_mean",
     fill_value: Optional[float] = None,
-) -> np.ndarray:
+) -> NDArray[np.float64]:
     """Replace NaN entries so the matrix is complete.
 
     Strategies
@@ -156,30 +157,30 @@ def impute_missing(
     """
     if strategy not in ("gene_mean", "drop", "constant", "error"):
         raise ValueError(f"unknown imputation strategy {strategy!r}")
-    values = np.array(values, dtype=np.float64, copy=True)
-    mask = np.isnan(values)
+    data = np.array(values, dtype=np.float64, copy=True)
+    mask = np.isnan(data)
     if not mask.any():
-        return values
+        return data
 
     if strategy == "error":
         raise ValueError(f"matrix contains {int(mask.sum())} missing values")
     if strategy == "drop":
         keep = ~mask.any(axis=1)
-        return values[keep]
+        return np.asarray(data[keep], dtype=np.float64)
     if strategy == "constant":
         if fill_value is None:
             raise ValueError("strategy 'constant' requires fill_value")
-        values[mask] = fill_value
-        return values
+        data[mask] = fill_value
+        return data
     if strategy == "gene_mean":
-        observed = np.where(mask, 0.0, values)
+        observed = np.where(mask, 0.0, data)
         counts = (~mask).sum(axis=1)
         overall = observed.sum() / max(int((~mask).sum()), 1)
         with np.errstate(invalid="ignore"):
             gene_means = np.where(
                 counts > 0, observed.sum(axis=1) / np.maximum(counts, 1), overall
             )
-        fill = np.broadcast_to(gene_means[:, None], values.shape)
-        values[mask] = fill[mask]
-        return values
+        fill = np.broadcast_to(gene_means[:, None], data.shape)
+        data[mask] = fill[mask]
+        return data
     raise AssertionError("unreachable")  # pragma: no cover

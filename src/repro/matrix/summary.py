@@ -12,13 +12,14 @@ from dataclasses import dataclass
 from typing import List, Tuple
 
 import numpy as np
+from numpy.typing import NDArray
 
 from repro.matrix.expression import ExpressionMatrix
 
 __all__ = ["MatrixSummary", "summarize"]
 
 
-def _quantiles(values: np.ndarray) -> Tuple[float, float, float]:
+def _quantiles(values: NDArray[np.float64]) -> Tuple[float, float, float]:
     q25, q50, q75 = np.quantile(values, [0.25, 0.5, 0.75])
     return float(q25), float(q50), float(q75)
 

@@ -1,0 +1,91 @@
+"""CLI exit-status and output contract tests."""
+
+from __future__ import annotations
+
+import json
+import textwrap
+
+import pytest
+
+from repro.analysis.__main__ import main
+
+
+def write(tmp_path, relative, text):
+    path = tmp_path / relative
+    path.parent.mkdir(parents=True, exist_ok=True)
+    path.write_text(textwrap.dedent(text), encoding="utf-8")
+    return path
+
+
+@pytest.fixture
+def clean_file(tmp_path):
+    return write(
+        tmp_path,
+        "src/repro/core/clean.py",
+        "def f(x: float) -> float:\n    return x + 1.0\n",
+    )
+
+
+@pytest.fixture
+def dirty_file(tmp_path):
+    # seeded violation: the pre-fix coherence.py float-equality form
+    return write(
+        tmp_path,
+        "src/repro/core/dirty.py",
+        """
+        def f(denominator: float) -> bool:
+            return denominator == 0.0
+        """,
+    )
+
+
+def test_clean_tree_exits_zero(clean_file, capsys):
+    assert main([str(clean_file), "--select", "RL101,RL102,RL105"]) == 0
+    assert "clean" in capsys.readouterr().out
+
+
+def test_seeded_violation_exits_nonzero(dirty_file, capsys):
+    code = main([str(dirty_file), "--select", "RL101"])
+    out = capsys.readouterr().out
+    assert code == 1
+    assert "RL101" in out
+    assert f"{dirty_file}:3:" in out  # file:line, editor-clickable
+
+
+def test_disable_silences_the_rule(dirty_file):
+    assert main([str(dirty_file), "--select", "RL101", "--disable", "RL101"]) == 0
+
+
+def test_json_format(dirty_file, capsys):
+    code = main([str(dirty_file), "--select", "RL101", "--format", "json"])
+    payload = json.loads(capsys.readouterr().out)
+    assert code == 1
+    assert payload["files_checked"] == 1
+    assert payload["violations"][0]["rule"] == "RL101"
+
+
+def test_unknown_rule_id_is_usage_error(clean_file):
+    with pytest.raises(SystemExit) as excinfo:
+        main([str(clean_file), "--select", "RL999"])
+    assert excinfo.value.code == 2
+
+
+def test_missing_path_is_usage_error(tmp_path):
+    with pytest.raises(SystemExit) as excinfo:
+        main([str(tmp_path / "does-not-exist")])
+    assert excinfo.value.code == 2
+
+
+def test_list_rules(capsys):
+    assert main(["--list-rules"]) == 0
+    out = capsys.readouterr().out
+    for rule_id in ("RL101", "RL102", "RL103", "RL104", "RL105", "RL201"):
+        assert rule_id in out
+
+
+def test_repo_tree_is_clean():
+    """Acceptance gate: reglint exits 0 on the shipped source tree."""
+    import repro
+
+    src_root = repro.__path__[0]
+    assert main([src_root]) == 0

@@ -1,0 +1,169 @@
+"""Engine tests: registry, suppressions, reports, parse failures."""
+
+from __future__ import annotations
+
+import ast
+from pathlib import Path
+
+import pytest
+
+from repro.analysis import (
+    FileContext,
+    Report,
+    Rule,
+    Severity,
+    Violation,
+    all_rules,
+    analyze_file,
+    get_rule,
+    register_rule,
+)
+from repro.analysis.framework import _parse_suppressions
+
+
+def write(tmp_path, relative, text):
+    path = tmp_path / relative
+    path.parent.mkdir(parents=True, exist_ok=True)
+    path.write_text(text, encoding="utf-8")
+    return path
+
+
+class TestRegistry:
+    def test_all_rules_sorted_by_id(self):
+        ids = [cls.id for cls in all_rules()]
+        assert ids == sorted(ids)
+        assert "RL101" in ids and "RL201" in ids
+
+    def test_get_rule_known(self):
+        assert get_rule("RL101").id == "RL101"
+
+    def test_get_rule_unknown_lists_known_ids(self):
+        with pytest.raises(KeyError, match="RL101"):
+            get_rule("RL999")
+
+    def test_register_rejects_empty_id(self):
+        with pytest.raises(ValueError, match="non-empty id"):
+
+            @register_rule
+            class NoId(Rule):
+                pass
+
+    def test_register_rejects_duplicate_id(self):
+        with pytest.raises(ValueError, match="duplicate"):
+
+            @register_rule
+            class Duplicate(Rule):
+                id = "RL101"
+
+
+class TestSuppressions:
+    def test_line_scope(self):
+        parsed = _parse_suppressions("x = 1  # reglint: disable=RL101\n")
+        assert parsed.by_line == {1: {"RL101"}}
+        assert parsed.file_wide == set()
+
+    def test_comma_separated_ids(self):
+        parsed = _parse_suppressions("x = 1  # reglint: disable=RL101, RL104\n")
+        assert parsed.by_line[1] == {"RL101", "RL104"}
+
+    def test_file_scope(self):
+        parsed = _parse_suppressions("# reglint: disable-file=RL101\nx = 1\n")
+        assert parsed.file_wide == {"RL101"}
+
+    def test_directive_inside_string_is_ignored(self):
+        parsed = _parse_suppressions('x = "# reglint: disable=RL101"\n')
+        assert parsed.by_line == {}
+        assert parsed.file_wide == set()
+
+    def _violation(self, line, rule_id="RL101"):
+        return Violation(
+            rule_id=rule_id,
+            path=Path("x.py"),
+            line=line,
+            column=1,
+            message="m",
+            severity=Severity.ERROR,
+        )
+
+    def test_hides_matches_line_and_rule(self):
+        parsed = _parse_suppressions("x = 1  # reglint: disable=RL101\n")
+        assert parsed.hides(self._violation(1))
+        assert not parsed.hides(self._violation(2))
+        assert not parsed.hides(self._violation(1, rule_id="RL102"))
+
+    def test_disable_all_on_line(self):
+        parsed = _parse_suppressions("x = 1  # reglint: disable=all\n")
+        assert parsed.hides(self._violation(1, rule_id="RL105"))
+
+
+class TestAnalyzeFile:
+    def test_syntax_error_becomes_rl000(self, tmp_path):
+        bad = write(tmp_path, "src/repro/core/bad.py", "def broken(:\n")
+        findings = analyze_file(bad, [cls() for cls in all_rules()])
+        assert [f.rule_id for f in findings] == ["RL000"]
+        assert findings[0].severity is Severity.ERROR
+
+    def test_disable_file_all_skips_file(self, tmp_path):
+        source = "# reglint: disable-file=all\nif x == 0.5:\n    pass\n"
+        path = write(tmp_path, "src/repro/core/skipme.py", source)
+        assert analyze_file(path, [get_rule("RL101")()]) == []
+
+    def test_line_suppression_filters_finding(self, tmp_path):
+        source = "if x == 0.5:  # reglint: disable=RL101\n    pass\n"
+        path = write(tmp_path, "src/repro/core/ok.py", source)
+        assert analyze_file(path, [get_rule("RL101")()]) == []
+
+
+class TestReport:
+    def _violation(self, severity):
+        return Violation(
+            rule_id="RL101",
+            path=Path("x.py"),
+            line=1,
+            column=1,
+            message="m",
+            severity=severity,
+        )
+
+    def test_exit_code_clean(self):
+        assert Report(violations=[], files_checked=3).exit_code == 0
+
+    def test_info_does_not_gate(self):
+        report = Report(
+            violations=[self._violation(Severity.INFO)], files_checked=1
+        )
+        assert report.exit_code == 0
+
+    def test_error_gates(self):
+        report = Report(
+            violations=[self._violation(Severity.ERROR)], files_checked=1
+        )
+        assert report.exit_code == 1
+        assert "RL101" in report.render()
+
+    def test_to_dict_roundtrips_fields(self):
+        report = Report(
+            violations=[self._violation(Severity.ERROR)], files_checked=1
+        )
+        payload = report.to_dict()
+        assert payload["files_checked"] == 1
+        assert payload["violations"][0]["rule"] == "RL101"
+        assert payload["violations"][0]["severity"] == "error"
+
+
+class TestFileContext:
+    def _ctx(self, relative):
+        return FileContext(
+            path=Path(relative), source="", tree=ast.parse("")
+        )
+
+    def test_test_files_detected(self):
+        assert self._ctx("tests/core/test_rwave.py").is_test_file()
+        assert self._ctx("pkg/conftest.py").is_test_file()
+        assert self._ctx("test_standalone.py").is_test_file()
+        assert not self._ctx("src/repro/core/miner.py").is_test_file()
+
+    def test_in_package_matches_fragment(self):
+        ctx = self._ctx("src/repro/core/miner.py")
+        assert ctx.in_package("repro/core/")
+        assert not ctx.in_package("repro/eval/")

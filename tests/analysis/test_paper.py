@@ -1,0 +1,84 @@
+"""Citation scanner and PAPER.md inventory tests."""
+
+from __future__ import annotations
+
+from repro.analysis.paper import (
+    PaperReferences,
+    load_paper_references,
+    scan_citations,
+)
+
+
+class TestScanCitations:
+    def test_basic_forms(self):
+        text = "See Eq. 7, Lemma 3.2, Definition 3.1, Fig. 6 and Table 2."
+        found = set(scan_citations(text))
+        assert ("eq", "7") in found
+        assert ("lemma", "3.2") in found
+        assert ("definition", "3.1") in found
+        assert ("figure", "6") in found
+        assert ("table", "2") in found
+
+    def test_long_forms_normalize(self):
+        found = set(scan_citations("Equation 4 and Figure 2 and Section 5.2"))
+        assert found == {("eq", "4"), ("figure", "2"), ("section", "5.2")}
+
+    def test_ranges_expand(self):
+        found = set(scan_citations("Eqs. 3-5"))
+        assert found == {("eq", "3"), ("eq", "4"), ("eq", "5")}
+
+    def test_lists_expand(self):
+        found = set(scan_citations("Figs. 3, 4 and 6"))
+        assert found == {("figure", "3"), ("figure", "4"), ("figure", "6")}
+
+    def test_section_sign(self):
+        assert set(scan_citations("see §5.2")) == {("section", "5.2")}
+
+    def test_plain_prose_yields_nothing(self):
+        assert list(scan_citations("genes and conditions, 42 of them")) == []
+
+
+class TestPaperReferences:
+    def test_membership(self):
+        refs = PaperReferences(frozenset({("eq", "7")}), source=None)
+        assert ("eq", "7") in refs
+        assert ("eq", "8") not in refs
+
+    def test_section_major_fallback(self):
+        refs = PaperReferences(frozenset({("section", "5")}), source=None)
+        assert ("section", "5.2") in refs
+        assert ("section", "6.1") not in refs
+
+    def test_len(self):
+        assert len(PaperReferences(frozenset(), source=None)) == 0
+
+
+class TestLoadPaperReferences:
+    def test_missing_file_gives_empty_inventory(self, tmp_path):
+        refs = load_paper_references(tmp_path / "PAPER.md")
+        assert len(refs) == 0
+        assert refs.source is None
+
+    def test_walk_up_finds_paper(self, tmp_path):
+        (tmp_path / "PAPER.md").write_text("Eq. 1 only.", encoding="utf-8")
+        nested = tmp_path / "src" / "repro"
+        nested.mkdir(parents=True)
+        refs = load_paper_references(search_from=nested)
+        assert ("eq", "1") in refs
+        assert refs.source == tmp_path / "PAPER.md"
+
+    def test_repo_inventory_covers_the_code_citations(self):
+        """The real PAPER.md must satisfy the artifacts the paper defines."""
+        refs = load_paper_references(search_from=None)
+        if len(refs) == 0:  # running outside the repo checkout
+            return
+        for citation in [
+            ("eq", "3"),
+            ("eq", "4"),
+            ("eq", "7"),
+            ("lemma", "3.1"),
+            ("lemma", "3.2"),
+            ("definition", "3.1"),
+            ("definition", "3.2"),
+        ]:
+            assert citation in refs

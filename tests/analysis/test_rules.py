@@ -1,0 +1,307 @@
+"""Per-rule behaviour tests, each against small synthetic files."""
+
+from __future__ import annotations
+
+import textwrap
+
+from repro.analysis import analyze_file, get_rule
+from repro.analysis.paper import load_paper_references
+
+
+def write(tmp_path, relative, text):
+    path = tmp_path / relative
+    path.parent.mkdir(parents=True, exist_ok=True)
+    path.write_text(textwrap.dedent(text), encoding="utf-8")
+    return path
+
+
+def run_rule(rule_id, path, **extra):
+    return analyze_file(path, [get_rule(rule_id)()], extra=extra or None)
+
+
+class TestFloatEquality:
+    def test_flags_the_old_coherence_form(self, tmp_path):
+        """The exact pattern removed from coherence.py must be caught."""
+        path = write(
+            tmp_path,
+            "src/repro/core/coherence.py",
+            """
+            def chain_h_profile(row, c1, c2):
+                denominator = row[c2] - row[c1]
+                if denominator == 0.0:
+                    return None
+                return denominator
+            """,
+        )
+        findings = run_rule("RL101", path)
+        assert [f.rule_id for f in findings] == ["RL101"]
+        assert findings[0].line == 4
+        assert "near_zero" in findings[0].message
+
+    def test_flags_not_equal_too(self, tmp_path):
+        path = write(
+            tmp_path, "src/repro/core/x.py", "ok = value != 1.5\n"
+        )
+        assert len(run_rule("RL101", path)) == 1
+
+    def test_integer_comparison_is_fine(self, tmp_path):
+        path = write(tmp_path, "src/repro/core/x.py", "ok = count == 0\n")
+        assert run_rule("RL101", path) == []
+
+    def test_ordering_comparisons_are_fine(self, tmp_path):
+        path = write(tmp_path, "src/repro/core/x.py", "ok = value > 0.0\n")
+        assert run_rule("RL101", path) == []
+
+    def test_test_files_exempt(self, tmp_path):
+        path = write(
+            tmp_path, "tests/test_values.py", "assert value == 0.5\n"
+        )
+        assert run_rule("RL101", path) == []
+
+    def test_tolerance_module_exempt(self, tmp_path):
+        path = write(
+            tmp_path, "src/repro/core/numeric.py", "ok = x == 0.0\n"
+        )
+        assert run_rule("RL101", path) == []
+
+
+class TestMutableDefault:
+    def test_flags_dict_literal_default(self, tmp_path):
+        path = write(
+            tmp_path,
+            "src/repro/core/x.py",
+            "def f(cache={}):\n    return cache\n",
+        )
+        findings = run_rule("RL102", path)
+        assert len(findings) == 1
+        assert "f()" in findings[0].message
+
+    def test_flags_constructor_call_and_kwonly(self, tmp_path):
+        path = write(
+            tmp_path,
+            "src/repro/core/x.py",
+            "def f(*, items=list()):\n    return items\n",
+        )
+        assert len(run_rule("RL102", path)) == 1
+
+    def test_flags_lambda_default(self, tmp_path):
+        path = write(tmp_path, "src/repro/core/x.py", "f = lambda a=[]: a\n")
+        assert len(run_rule("RL102", path)) == 1
+
+    def test_none_default_is_fine(self, tmp_path):
+        path = write(
+            tmp_path,
+            "src/repro/core/x.py",
+            "def f(cache=None):\n    return cache or {}\n",
+        )
+        assert run_rule("RL102", path) == []
+
+    def test_tuple_default_is_fine(self, tmp_path):
+        path = write(
+            tmp_path,
+            "src/repro/core/x.py",
+            "def f(shape=(1, 2)):\n    return shape\n",
+        )
+        assert run_rule("RL102", path) == []
+
+
+class TestBroadExcept:
+    def test_flags_bare_except(self, tmp_path):
+        path = write(
+            tmp_path,
+            "src/repro/core/x.py",
+            """
+            try:
+                risky()
+            except:
+                pass
+            """,
+        )
+        findings = run_rule("RL103", path)
+        assert len(findings) == 1
+        assert "bare except" in findings[0].message
+
+    def test_flags_broad_exception_in_tuple(self, tmp_path):
+        path = write(
+            tmp_path,
+            "src/repro/core/x.py",
+            """
+            try:
+                risky()
+            except (ValueError, Exception):
+                pass
+            """,
+        )
+        assert len(run_rule("RL103", path)) == 1
+
+    def test_reraise_is_accepted(self, tmp_path):
+        path = write(
+            tmp_path,
+            "src/repro/core/x.py",
+            """
+            try:
+                risky()
+            except Exception as exc:
+                raise RuntimeError("context") from exc
+            """,
+        )
+        assert run_rule("RL103", path) == []
+
+    def test_specific_exception_is_fine(self, tmp_path):
+        path = write(
+            tmp_path,
+            "src/repro/core/x.py",
+            """
+            try:
+                risky()
+            except ValueError:
+                pass
+            """,
+        )
+        assert run_rule("RL103", path) == []
+
+
+class TestFloatAccumulation:
+    def test_flags_sum_on_hot_path(self, tmp_path):
+        path = write(
+            tmp_path,
+            "src/repro/eval/x.py",
+            "total = sum(scores)\n",
+        )
+        findings = run_rule("RL104", path)
+        assert len(findings) == 1
+        assert "fsum" in findings[0].message
+
+    def test_cold_path_not_checked(self, tmp_path):
+        path = write(
+            tmp_path,
+            "src/repro/datasets/x.py",
+            "total = sum(scores)\n",
+        )
+        assert run_rule("RL104", path) == []
+
+    def test_suppression_comment_works(self, tmp_path):
+        path = write(
+            tmp_path,
+            "src/repro/core/x.py",
+            "count = sum(  # reglint: disable=RL104\n    [1, 2]\n)\n",
+        )
+        assert run_rule("RL104", path) == []
+
+    def test_fsum_is_fine(self, tmp_path):
+        path = write(
+            tmp_path,
+            "src/repro/core/x.py",
+            "import math\ntotal = math.fsum(scores)\n",
+        )
+        assert run_rule("RL104", path) == []
+
+
+class TestMissingAnnotations:
+    def test_flags_unannotated_public_function(self, tmp_path):
+        path = write(
+            tmp_path,
+            "src/repro/core/x.py",
+            "def score(values, gamma=0.1):\n    return 0\n",
+        )
+        findings = run_rule("RL105", path)
+        assert len(findings) == 1
+        message = findings[0].message
+        assert "score()" in message
+        for name in ("values", "gamma", "return"):
+            assert name in message
+
+    def test_flags_unannotated_method(self, tmp_path):
+        path = write(
+            tmp_path,
+            "src/repro/core/x.py",
+            """
+            class Miner:
+                def mine(self, matrix):
+                    return matrix
+            """,
+        )
+        findings = run_rule("RL105", path)
+        assert len(findings) == 1
+        assert "Miner.mine()" in findings[0].message
+        assert "self" not in findings[0].message.split(":")[-1]
+
+    def test_private_helpers_skipped(self, tmp_path):
+        path = write(
+            tmp_path,
+            "src/repro/core/x.py",
+            "def _helper(x):\n    return x\n",
+        )
+        assert run_rule("RL105", path) == []
+
+    def test_fully_annotated_is_clean(self, tmp_path):
+        path = write(
+            tmp_path,
+            "src/repro/core/x.py",
+            "def score(values: list, gamma: float = 0.1) -> int:\n"
+            "    return 0\n",
+        )
+        assert run_rule("RL105", path) == []
+
+    def test_outside_core_not_checked(self, tmp_path):
+        path = write(
+            tmp_path,
+            "src/repro/eval/x.py",
+            "def score(values):\n    return 0\n",
+        )
+        assert run_rule("RL105", path) == []
+
+
+PAPER = """
+# The paper
+
+Equation 1 defines things; see also Eq. 2.
+Lemma 3.1 and Definition 3.2 are proved in Section 3.
+Fig. 4 and Table 1 show the results.
+"""
+
+
+class TestPaperReference:
+    def _refs(self, tmp_path):
+        paper = write(tmp_path, "PAPER.md", PAPER)
+        return load_paper_references(paper)
+
+    def test_valid_citations_pass(self, tmp_path):
+        refs = self._refs(tmp_path)
+        path = write(
+            tmp_path,
+            "src/repro/core/x.py",
+            '"""Implements Eq. 2 and Lemma 3.1 (see Fig. 4)."""\n',
+        )
+        assert run_rule("RL201", path, paper_references=refs) == []
+
+    def test_unknown_equation_flagged(self, tmp_path):
+        refs = self._refs(tmp_path)
+        path = write(
+            tmp_path,
+            "src/repro/core/x.py",
+            '"""Implements Eq. 9."""\n',
+        )
+        findings = run_rule("RL201", path, paper_references=refs)
+        assert len(findings) == 1
+        assert "Eq. 9" in findings[0].message
+
+    def test_function_docstring_checked(self, tmp_path):
+        refs = self._refs(tmp_path)
+        path = write(
+            tmp_path,
+            "src/repro/core/x.py",
+            'def f() -> None:\n    """Uses Lemma 9.9."""\n',
+        )
+        findings = run_rule("RL201", path, paper_references=refs)
+        assert len(findings) == 1
+        assert "docstring of f" in findings[0].message
+
+    def test_silent_without_paper(self, tmp_path):
+        empty = load_paper_references(tmp_path / "MISSING.md")
+        path = write(
+            tmp_path,
+            "src/repro/core/x.py",
+            '"""Implements Eq. 999."""\n',
+        )
+        assert run_rule("RL201", path, paper_references=empty) == []

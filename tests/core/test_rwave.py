@@ -148,7 +148,9 @@ class TestChainTables:
         table = regulation_matrix(running_example, gene, 0.15)
         n = running_example.n_conditions
 
-        def longest_up(cond, cache={}):
+        cache = {}
+
+        def longest_up(cond):
             key = (gene, cond)
             if key in cache:
                 return cache[key]

@@ -3,10 +3,18 @@
 from __future__ import annotations
 
 import numpy as np
+import pytest
 from hypothesis import given, settings
 from hypothesis import strategies as st
 
-from repro.core.rwave import RWaveModel
+from repro.analysis.contracts import (
+    ContractViolation,
+    activated,
+    check_rwave_index,
+    check_rwave_model,
+)
+from repro.core.rwave import RWaveIndex, RWaveModel
+from repro.matrix.expression import ExpressionMatrix
 
 profiles = st.lists(
     st.floats(min_value=-100, max_value=100, allow_nan=False, width=32),
@@ -105,3 +113,62 @@ def test_down_table_is_mirrored_up_table(values, gamma):
     mirror = RWaveModel(-row, threshold)
     for condition in range(len(row)):
         assert model.max_down_from(condition) == mirror.max_up_from(condition)
+
+
+@given(profiles, gammas)
+@settings(max_examples=200, deadline=None)
+def test_order_is_sorted_permutation(values, gamma):
+    """Definition 3.1: the model stores a sorted permutation of conditions."""
+    row = np.asarray(values, dtype=np.float64)
+    threshold = gamma * (row.max() - row.min())
+    model = RWaveModel(row, threshold)
+    n = len(row)
+    assert sorted(model.order.tolist()) == list(range(n))
+    assert np.all(np.diff(model.sorted_values) >= 0)
+    assert np.array_equal(model.sorted_values, row[model.order])
+    # position is the inverse permutation of order
+    assert np.all(model.position[model.order] == np.arange(n))
+
+
+@given(profiles, gammas)
+@settings(max_examples=100, deadline=None)
+def test_contracts_accept_every_built_model(values, gamma):
+    """The Lemma 3.1 contract checker passes on any freshly built model."""
+    row = np.asarray(values, dtype=np.float64)
+    threshold = gamma * (row.max() - row.min())
+    check_rwave_model(RWaveModel(row, threshold))
+
+
+@given(
+    st.lists(profiles.filter(lambda p: len(p) >= 2), min_size=1, max_size=4),
+    gammas,
+)
+@settings(max_examples=50, deadline=None)
+def test_contracts_accept_every_built_index(rows, gamma):
+    width = min(len(r) for r in rows)
+    matrix = ExpressionMatrix([r[:width] for r in rows])
+    with activated():
+        index = RWaveIndex(matrix, gamma)  # runs maybe_check_rwave_index
+    check_rwave_index(index)
+
+
+def test_contracts_reject_embedded_pointers():
+    """An embedded pointer pair must trip the Definition 3.1 check."""
+    from repro.core.rwave import RegulationPointer
+
+    model = RWaveModel([1.0, 5.0, 2.0, 9.0], threshold=1.5)
+    # sorted values are [1, 2, 5, 9]; both pointers mark regulated pairs,
+    # but (1, 2) is embedded inside (0, 3).
+    model.pointers = (
+        RegulationPointer(tail=0, head=3),
+        RegulationPointer(tail=1, head=2),
+    )
+    with pytest.raises(ContractViolation):
+        check_rwave_model(model)
+
+
+def test_contracts_reject_unsorted_values():
+    model = RWaveModel([1.0, 5.0, 2.0, 9.0], threshold=1.5)
+    model.sorted_values = model.sorted_values[::-1].copy()
+    with pytest.raises(ContractViolation):
+        check_rwave_model(model)
