@@ -2,7 +2,7 @@
 
 PYTHON ?= python
 
-.PHONY: install test bench bench-quick examples lint typecheck clean
+.PHONY: install test bench bench-quick examples serve-smoke lint typecheck clean
 
 install:
 	pip install -e . --no-build-isolation
@@ -22,6 +22,9 @@ examples:
 		$(PYTHON) $$script > /dev/null || exit 1; \
 	done
 	@echo "all examples ran"
+
+serve-smoke:
+	PYTHONPATH=src $(PYTHON) scripts/serve_smoke.py
 
 lint:
 	PYTHONPATH=src $(PYTHON) -m repro.analysis src/repro tests benchmarks examples

@@ -1,0 +1,99 @@
+"""Service smoke test: boot the daemon, mine over HTTP, diff vs direct.
+
+Exercises the full `reg-cluster serve` stack end to end:
+
+1. start a :class:`repro.service.MiningService` plus HTTP front end on
+   an ephemeral port (worker pool enabled);
+2. submit the paper's running example through the HTTP client;
+3. poll until the job completes;
+4. fetch the result document and require it to be *identical* to a
+   direct in-process :func:`repro.core.miner.mine_reg_clusters` run —
+   the end-to-end form of the shard-merge equivalence guarantee
+   (docs/service.md);
+5. resubmit and require an idempotent answer served from cache.
+
+Exit status 0 on success; prints a unified summary either way.
+Used by ``make serve-smoke`` and the CI ``service-smoke`` job.
+"""
+
+from __future__ import annotations
+
+import json
+import sys
+import tempfile
+import threading
+
+from repro.core.miner import mine_reg_clusters
+from repro.core.serialize import result_to_dict
+from repro.datasets.running_example import load_running_example
+from repro.service import MiningService, ServiceClient, serve
+from repro.service.jobs import parameters_to_dict
+from repro.core.params import MiningParameters
+
+
+def main() -> int:
+    matrix = load_running_example()
+    params = MiningParameters(
+        min_genes=3, min_conditions=5, gamma=0.15, epsilon=0.1
+    )
+
+    with tempfile.TemporaryDirectory(prefix="reg-cluster-smoke-") as store:
+        service = MiningService(store, n_workers=2)
+        server = serve(service)
+        thread = threading.Thread(target=server.serve_forever, daemon=True)
+        thread.start()
+        service.start()
+        host, port = server.server_address[0], server.server_address[1]
+        print(f"smoke: daemon on http://{host}:{port} (store {store})")
+        try:
+            client = ServiceClient(f"http://{host}:{port}")
+            record = client.submit_matrix(matrix, parameters_to_dict(params))
+            print(f"smoke: submitted {record['job_id']} ({record['state']})")
+            done = client.wait(record["job_id"], timeout=120)
+            print(f"smoke: job finished as {done['state']}")
+            if done["state"] != "done":
+                print(f"smoke: FAIL — job ended {done['state']}: "
+                      f"{done.get('error')}")
+                return 1
+            via_http = client.result(record["job_id"])
+
+            direct = result_to_dict(
+                mine_reg_clusters(
+                    matrix,
+                    min_genes=params.min_genes,
+                    min_conditions=params.min_conditions,
+                    gamma=params.gamma,
+                    epsilon=params.epsilon,
+                ),
+                matrix,
+            )
+            if via_http != direct:
+                print("smoke: FAIL — service result differs from direct run")
+                print("--- service ---")
+                print(json.dumps(via_http, indent=2, sort_keys=True))
+                print("--- direct ---")
+                print(json.dumps(direct, indent=2, sort_keys=True))
+                return 1
+            print(
+                f"smoke: result identical to direct mining "
+                f"({len(direct['clusters'])} cluster(s), "
+                f"{direct['statistics']['nodes_expanded']} nodes)"
+            )
+
+            again = client.submit_matrix(matrix, parameters_to_dict(params))
+            if again["job_id"] != record["job_id"] or again["state"] != "done":
+                print("smoke: FAIL — resubmission was not idempotent")
+                return 1
+            print("smoke: resubmission answered idempotently from cache")
+        finally:
+            service.stop()
+            server.shutdown()
+            server.server_close()
+            thread.join(timeout=5)
+
+    print("smoke: OK")
+    return 0
+
+
+if __name__ == "__main__":
+    sys.exit(main())

@@ -18,6 +18,12 @@ Subcommands
     Regenerate one of the paper's tables/figures end to end.
 ``describe``
     Print headline statistics of an expression file.
+``serve``
+    Run the mining daemon (job store + HTTP API, see docs/service.md).
+``submit``
+    Submit a matrix to a running daemon (optionally wait for the result).
+``status``
+    Query a job on a running daemon.
 """
 
 from __future__ import annotations
@@ -29,6 +35,7 @@ from typing import Optional, Sequence
 from repro.bench.report import ascii_series
 from repro.bench.runner import run_sweep
 from repro.core.miner import mine_reg_clusters
+from repro.core.params import MiningParameters
 from repro.core.rwave import build_rwave
 from repro.core.serialize import load_result, save_result
 from repro.core.thresholds import resolve_strategy
@@ -135,7 +142,92 @@ def build_parser() -> argparse.ArgumentParser:
         help="also print the median regulation threshold at this gamma",
     )
 
+    serve = sub.add_parser(
+        "serve", help="run the mining daemon (HTTP API, docs/service.md)"
+    )
+    serve.add_argument("--host", default="127.0.0.1")
+    serve.add_argument(
+        "--port", type=int, default=8765,
+        help="TCP port (0 picks an ephemeral port, printed on startup)",
+    )
+    serve.add_argument(
+        "--store", default=".reg-cluster-service",
+        help="service state directory (jobs, cache, matrices)",
+    )
+    serve.add_argument(
+        "--workers", type=int, default=1,
+        help="worker processes for sharded mining (1 = in-process)",
+    )
+    serve.add_argument(
+        "--cache-bytes", type=int, default=None, metavar="N",
+        help="artifact cache size bound in bytes",
+    )
+    serve.add_argument(
+        "--verbose", action="store_true", help="log every HTTP request"
+    )
+
+    submit = sub.add_parser(
+        "submit", help="submit a matrix to a running daemon"
+    )
+    submit.add_argument("path", help="tab-delimited expression file")
+    submit.add_argument(
+        "--url", default="http://127.0.0.1:8765", help="daemon base URL"
+    )
+    submit.add_argument("--min-genes", type=int, required=True,
+                        metavar="MinG")
+    submit.add_argument("--min-conditions", type=int, required=True,
+                        metavar="MinC")
+    submit.add_argument("--gamma", type=float, required=True,
+                        help="regulation threshold in [0, 1]")
+    submit.add_argument("--epsilon", type=float, required=True,
+                        help="coherence threshold >= 0")
+    submit.add_argument("--max-clusters", type=int, default=None)
+    submit.add_argument(
+        "--wait", action="store_true",
+        help="poll until the job finishes and print the outcome",
+    )
+    submit.add_argument(
+        "--timeout", type=float, default=300.0,
+        help="--wait polling deadline in seconds",
+    )
+    submit.add_argument(
+        "--output", default=None, metavar="RESULT.json",
+        help="with --wait: also write the finished result as JSON",
+    )
+
+    status = sub.add_parser(
+        "status", help="query a job (or list all jobs) on a daemon"
+    )
+    status.add_argument(
+        "job_id", nargs="?", default=None,
+        help="job id; omit to list every job",
+    )
+    status.add_argument(
+        "--url", default="http://127.0.0.1:8765", help="daemon base URL"
+    )
+
     return parser
+
+
+def _validated_parameters(
+    parser: argparse.ArgumentParser, args: argparse.Namespace
+) -> MiningParameters:
+    """Check MinG/MinC/gamma/epsilon bounds before any matrix I/O.
+
+    Bad values become a standard argparse usage error (exit status 2)
+    instead of a mid-run exception after the matrix has been loaded.
+    """
+    try:
+        return MiningParameters(
+            min_genes=args.min_genes,
+            min_conditions=args.min_conditions,
+            gamma=args.gamma,
+            epsilon=args.epsilon,
+            max_clusters=args.max_clusters,
+        )
+    except ValueError as error:
+        parser.error(str(error))
+        raise AssertionError("parser.error always exits")  # pragma: no cover
 
 
 def _cmd_mine(args: argparse.Namespace) -> int:
@@ -298,11 +390,105 @@ def _cmd_experiment(args: argparse.Namespace) -> int:
     return 0
 
 
+def _cmd_serve(args: argparse.Namespace) -> int:
+    from repro.service import DEFAULT_MAX_BYTES, MiningService, serve
+
+    service = MiningService(
+        args.store,
+        n_workers=args.workers,
+        max_cache_bytes=(
+            DEFAULT_MAX_BYTES if args.cache_bytes is None else args.cache_bytes
+        ),
+    )
+    server = serve(service, args.host, args.port, quiet=not args.verbose)
+    host, port = server.server_address[0], server.server_address[1]
+    print(
+        f"serving on http://{host}:{port} "
+        f"(store: {args.store}, workers: {args.workers})"
+    )
+    service.start()
+    try:
+        server.serve_forever()
+    except KeyboardInterrupt:  # pragma: no cover - interactive shutdown
+        pass
+    finally:
+        server.server_close()
+        service.stop()
+    return 0
+
+
+def _cmd_submit(args: argparse.Namespace) -> int:
+    import json as _json
+    from repro.service import ServiceClient, ServiceError
+    from repro.service.jobs import parameters_to_dict
+
+    matrix = load_expression_matrix(args.path)
+    client = ServiceClient(args.url)
+    try:
+        record = client.submit_matrix(
+            matrix, parameters_to_dict(args.parameters)
+        )
+        print(f"job {record['job_id']} {record['state']}")
+        if not args.wait:
+            return 0
+        record = client.wait(record["job_id"], timeout=args.timeout)
+        print(f"job {record['job_id']} {record['state']}")
+        if record["state"] != "done":
+            if record.get("error"):
+                print(f"error: {record['error']}", file=sys.stderr)
+            return 1
+        payload = client.result(record["job_id"])
+    except ServiceError as error:
+        print(f"error: {error.message}", file=sys.stderr)
+        return 2
+    print(f"{len(payload['clusters'])} reg-cluster(s)")
+    if args.output:
+        with open(args.output, "w", encoding="utf-8") as handle:
+            _json.dump(payload, handle, indent=2, sort_keys=True)
+            handle.write("\n")
+        print(f"result written to {args.output}")
+    return 0
+
+
+def _cmd_status(args: argparse.Namespace) -> int:
+    from repro.service import ServiceClient, ServiceError
+
+    client = ServiceClient(args.url)
+    try:
+        if args.job_id is None:
+            records = client.list_jobs()
+            if not records:
+                print("no jobs")
+            for record in records:
+                print(f"{record['job_id']}  {record['state']}")
+            return 0
+        record = client.status(args.job_id)
+    except ServiceError as error:
+        print(f"error: {error.message}", file=sys.stderr)
+        return 2
+    for key in ("job_id", "state", "matrix_digest", "submitted_at",
+                "started_at", "finished_at", "error", "index_cache_hit",
+                "result_cache_hit"):
+        value = record.get(key)
+        if value is not None:
+            print(f"{key}: {value}")
+    for key, value in sorted(record.get("progress", {}).items()):
+        print(f"progress.{key}: {value}")
+    print(f"parameters: {record.get('parameters')}")
+    return 0
+
+
 def main(argv: Optional[Sequence[str]] = None) -> int:
     """Entry point; returns a process exit code."""
-    args = build_parser().parse_args(
-        list(argv) if argv is not None else None
-    )
+    parser = build_parser()
+    args = parser.parse_args(list(argv) if argv is not None else None)
+    if args.command in ("mine", "submit"):
+        # Satellite fix: reject out-of-range MinG/MinC/gamma/epsilon with
+        # a usage error *before* touching the matrix file.
+        try:
+            args.parameters = _validated_parameters(parser, args)
+        except SystemExit as exit_:
+            return exit_.code if isinstance(exit_.code, int) else 2
     handlers = {
         "mine": _cmd_mine,
         "generate": _cmd_generate,
@@ -312,6 +498,9 @@ def main(argv: Optional[Sequence[str]] = None) -> int:
         "profile": _cmd_profile,
         "experiment": _cmd_experiment,
         "describe": _cmd_describe,
+        "serve": _cmd_serve,
+        "submit": _cmd_submit,
+        "status": _cmd_status,
     }
     try:
         return handlers[args.command](args)

@@ -16,7 +16,9 @@ from repro.core.coherence import (
     is_shifting_and_scaling,
 )
 from repro.core.miner import (
+    MiningCancelled,
     MiningResult,
+    ProgressCallback,
     PruningConfig,
     RegClusterMiner,
     SearchStatistics,
@@ -83,6 +85,8 @@ __all__ = [
     "cell_set",
     # mining
     "RegClusterMiner",
+    "MiningCancelled",
+    "ProgressCallback",
     "MiningResult",
     "PruningConfig",
     "SearchStatistics",

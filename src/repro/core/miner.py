@@ -29,7 +29,17 @@ constraint of the model and cannot be disabled.
 from __future__ import annotations
 
 from dataclasses import dataclass
-from typing import Dict, FrozenSet, Iterator, List, Optional, Set, Tuple
+from typing import (
+    Callable,
+    Dict,
+    FrozenSet,
+    Iterator,
+    List,
+    Optional,
+    Sequence,
+    Set,
+    Tuple,
+)
 
 import numpy as np
 from numpy.typing import NDArray
@@ -46,9 +56,34 @@ __all__ = [
     "PruningConfig",
     "SearchStatistics",
     "MiningResult",
+    "MiningCancelled",
+    "ProgressCallback",
     "RegClusterMiner",
     "mine_reg_clusters",
 ]
+
+#: Observer invoked as ``callback(event, nodes_expanded)``; ``event`` uses
+#: the :class:`repro.core.trace.SearchTrace` taxonomy ("expanded",
+#: "emitted", ...).
+ProgressCallback = Callable[[str, int], None]
+
+
+class MiningCancelled(RuntimeError):
+    """Raised by :meth:`RegClusterMiner.mine` when ``should_stop`` fires.
+
+    Cooperative cancellation: the check runs once per expanded search
+    node, so a long-running search stops within one node expansion of the
+    stop signal.  The partial clusters found so far are attached as
+    :attr:`partial_clusters` for diagnostics.
+    """
+
+    def __init__(
+        self, message: str, partial_clusters: Optional[List[RegCluster]] = None
+    ) -> None:
+        super().__init__(message)
+        self.partial_clusters: List[RegCluster] = (
+            partial_clusters if partial_clusters is not None else []
+        )
 
 
 @dataclass(frozen=True)
@@ -154,20 +189,51 @@ class RegClusterMiner:
         prunings: Optional[PruningConfig] = None,
         thresholds: Optional[NDArray[np.float64]] = None,
         tracer: Optional[SearchTrace] = None,
+        index: Optional[RWaveIndex] = None,
+        progress_callback: Optional[ProgressCallback] = None,
+        should_stop: Optional[Callable[[], bool]] = None,
     ) -> None:
         self.matrix = matrix
         self.params = params
         self.prunings = prunings if prunings is not None else PruningConfig()
         #: optional search observer reconstructing the Figure 6 tree
         self.tracer = tracer
+        #: optional per-node observer ``(event, nodes_expanded)``; ``None``
+        #: (the default) adds zero overhead to the search.
+        self.progress_callback = progress_callback
+        #: optional cooperative cancellation probe, polled once per
+        #: expanded node; ``None`` (the default) adds zero overhead.
+        self.should_stop = should_stop
         if params.min_conditions > matrix.n_conditions:
             raise ValueError(
                 f"min_conditions={params.min_conditions} exceeds the "
                 f"matrix's {matrix.n_conditions} conditions"
             )
-        # `thresholds` overrides the Eq. 4 default, supporting the
-        # alternative strategies of repro.core.thresholds.
-        self.index = RWaveIndex(matrix, params.gamma, thresholds=thresholds)
+        if index is not None:
+            # A prebuilt index (e.g. from repro.service.cache) skips the
+            # most expensive part of construction; it must describe the
+            # same data at the same gamma.
+            if index.gamma != params.gamma:
+                raise ValueError(
+                    f"prebuilt index was built at gamma={index.gamma}, "
+                    f"parameters ask for gamma={params.gamma}"
+                )
+            if index.matrix is not matrix and index.matrix != matrix:
+                raise ValueError(
+                    "prebuilt index describes a different expression matrix"
+                )
+            if thresholds is not None and not np.array_equal(
+                np.asarray(thresholds, dtype=np.float64), index.thresholds
+            ):
+                raise ValueError(
+                    "prebuilt index thresholds disagree with the "
+                    "explicitly supplied thresholds"
+                )
+            self.index = index
+        else:
+            # `thresholds` overrides the Eq. 4 default, supporting the
+            # alternative strategies of repro.core.thresholds.
+            self.index = RWaveIndex(matrix, params.gamma, thresholds=thresholds)
         self._values = matrix.values
         self._thresholds = self.index.thresholds
 
@@ -175,16 +241,46 @@ class RegClusterMiner:
     # Public API
     # ------------------------------------------------------------------
 
-    def mine(self) -> MiningResult:
-        """Run the depth-first search and return every reg-cluster."""
+    def mine(
+        self, *, start_conditions: Optional[Sequence[int]] = None
+    ) -> MiningResult:
+        """Run the depth-first search and return every reg-cluster.
+
+        Parameters
+        ----------
+        start_conditions:
+            Restrict the top-level enumeration to these first conditions
+            (the chain prefixes of Fig. 5).  ``None`` enumerates every
+            condition — the full single-process search.  This is the
+            sharding seam used by :mod:`repro.service.executor`: chains
+            starting from different conditions are disjoint, so mining
+            each start separately and concatenating in start order
+            reproduces the full search exactly.
+
+        Raises
+        ------
+        MiningCancelled
+            If the ``should_stop`` probe returns true mid-search.
+        """
         self._stats = SearchStatistics()
         self._emitted: Set[Tuple[Tuple[int, ...], FrozenSet[int]]] = set()
         self._clusters: List[RegCluster] = []
 
+        if start_conditions is None:
+            starts: Sequence[int] = range(self.matrix.n_conditions)
+        else:
+            starts = [int(s) for s in start_conditions]
+            for start in starts:
+                if not 0 <= start < self.matrix.n_conditions:
+                    raise ValueError(
+                        f"start condition {start} out of range for a matrix "
+                        f"with {self.matrix.n_conditions} conditions"
+                    )
+
         all_genes = np.arange(self.matrix.n_genes, dtype=np.intp)
         min_c = self.params.min_conditions
         try:
-            for start in range(self.matrix.n_conditions):
+            for start in starts:
                 if self.prunings.reachability:
                     p_mask = self.index.max_up[:, start] >= min_c
                     n_mask = self.index.max_down[:, start] >= min_c
@@ -220,6 +316,13 @@ class RegClusterMiner:
         depth = len(chain)
         stats.nodes_expanded += 1
         stats.max_depth = max(stats.max_depth, depth)
+        if self.should_stop is not None and self.should_stop():
+            raise MiningCancelled(
+                f"search cancelled after {stats.nodes_expanded} nodes",
+                partial_clusters=list(self._clusters),
+            )
+        if self.progress_callback is not None:
+            self.progress_callback("expanded", stats.nodes_expanded)
 
         if depth >= 2:
             total = p_members.shape[0] + n_members.shape[0]
@@ -270,6 +373,8 @@ class RegClusterMiner:
                     )
                 )
                 stats.clusters_emitted += 1
+                if self.progress_callback is not None:
+                    self.progress_callback("emitted", stats.nodes_expanded)
                 if (
                     params.max_clusters is not None
                     and stats.clusters_emitted >= params.max_clusters

@@ -8,7 +8,7 @@ from repro.matrix.io import (
     parse_expression_text,
     save_expression_matrix,
 )
-from repro.matrix.summary import MatrixSummary, summarize
+from repro.matrix.summary import MatrixSummary, matrix_digest, summarize
 from repro.matrix.transform import (
     exp_transform,
     log_transform,
@@ -28,5 +28,6 @@ __all__ = [
     "standardize_genes",
     "rank_transform",
     "MatrixSummary",
+    "matrix_digest",
     "summarize",
 ]

@@ -8,6 +8,7 @@ compact report; the CLI's ``describe`` subcommand prints it.
 
 from __future__ import annotations
 
+import hashlib
 from dataclasses import dataclass
 from typing import List, Tuple
 
@@ -16,7 +17,41 @@ from numpy.typing import NDArray
 
 from repro.matrix.expression import ExpressionMatrix
 
-__all__ = ["MatrixSummary", "summarize"]
+__all__ = ["MatrixSummary", "matrix_digest", "summarize"]
+
+
+def matrix_digest(matrix: ExpressionMatrix) -> str:
+    """Content hash of a matrix: shape, names and exact float64 values.
+
+    Two matrices share a digest exactly when they are equal as
+    :class:`~repro.matrix.expression.ExpressionMatrix` objects (same
+    names, bit-identical values).  The digest keys the
+    :mod:`repro.service.cache` artifact cache and job identities, and is
+    reported by ``reg-cluster describe``.
+
+    >>> from repro.matrix.expression import ExpressionMatrix
+    >>> m = ExpressionMatrix([[1.0, 2.0], [3.0, 4.0]])
+    >>> matrix_digest(m) == matrix_digest(
+    ...     ExpressionMatrix([[1.0, 2.0], [3.0, 4.0]])
+    ... )
+    True
+    >>> matrix_digest(m) == matrix_digest(
+    ...     ExpressionMatrix([[1.0, 2.0], [3.0, 4.5]])
+    ... )
+    False
+    >>> len(matrix_digest(m)), matrix_digest(m)[:8]
+    (64, 'de4175ba')
+    """
+    hasher = hashlib.sha256()
+    hasher.update(b"reg-cluster-matrix/v1")
+    hasher.update(f"{matrix.n_genes}x{matrix.n_conditions}".encode("ascii"))
+    for names in (matrix.gene_names, matrix.condition_names):
+        for name in names:
+            hasher.update(b"\x00")
+            hasher.update(name.encode("utf-8"))
+        hasher.update(b"\x01")
+    hasher.update(np.ascontiguousarray(matrix.values).tobytes())
+    return hasher.hexdigest()
 
 
 def _quantiles(values: NDArray[np.float64]) -> Tuple[float, float, float]:
@@ -39,6 +74,8 @@ class MatrixSummary:
     #: quartiles of per-condition means (level shifts across conditions)
     condition_mean_quartiles: Tuple[float, float, float]
     n_constant_genes: int
+    #: sha256 content hash (see :func:`matrix_digest`)
+    digest: str = ""
 
     def suggested_gamma_threshold(self, gamma: float) -> float:
         """Median per-gene regulation threshold at a given gamma."""
@@ -56,6 +93,8 @@ class MatrixSummary:
              " / ".join(f"{q:.4g}" for q in self.condition_mean_quartiles)],
             ["constant genes", str(self.n_constant_genes)],
         ]
+        if self.digest:
+            rows.append(["sha256 digest", self.digest])
         # rendered locally (not via repro.bench) to keep the matrix
         # substrate free of upward dependencies
         width = max(len(label) for label, __ in rows)
@@ -85,6 +124,7 @@ def summarize(matrix: ExpressionMatrix) -> MatrixSummary:
         gene_range_quartiles=_quantiles(ranges),
         condition_mean_quartiles=_quantiles(condition_means),
         n_constant_genes=int(np.sum(ranges == 0)),
+        digest=matrix_digest(matrix),
     )
 
 

@@ -1,0 +1,48 @@
+"""repro.service — a job-oriented mining daemon.
+
+The service layer turns the one-shot miner into long-lived
+infrastructure: persistent jobs with deterministic ids
+(:mod:`repro.service.jobs`), a sharded multiprocessing executor whose
+merged output is bit-identical to single-process mining
+(:mod:`repro.service.executor`), an LRU artifact cache for RWave
+indexes and completed results (:mod:`repro.service.cache`), and a
+stdlib JSON-over-HTTP front end (:mod:`repro.service.http`).  See
+``docs/service.md`` for the full tour.
+"""
+
+from repro.service.cache import ArtifactCache, CacheStats, DEFAULT_MAX_BYTES
+from repro.service.executor import merge_shard_results, mine_sharded
+from repro.service.http import (
+    ServiceClient,
+    ServiceError,
+    ServiceHTTPServer,
+    serve,
+)
+from repro.service.jobs import (
+    JobRecord,
+    JobState,
+    JobStore,
+    compute_job_id,
+    parameters_from_dict,
+    parameters_to_dict,
+)
+from repro.service.service import MiningService
+
+__all__ = [
+    "ArtifactCache",
+    "CacheStats",
+    "DEFAULT_MAX_BYTES",
+    "JobRecord",
+    "JobState",
+    "JobStore",
+    "MiningService",
+    "ServiceClient",
+    "ServiceError",
+    "ServiceHTTPServer",
+    "compute_job_id",
+    "merge_shard_results",
+    "mine_sharded",
+    "parameters_from_dict",
+    "parameters_to_dict",
+    "serve",
+]

@@ -1,0 +1,281 @@
+"""On-disk LRU cache for expensive mining artifacts.
+
+Two artifact kinds are memoized:
+
+``index``
+    A pickled :class:`~repro.core.rwave.RWaveIndex`, keyed by matrix
+    content digest + gamma.  Building the index (Definition 3.1 models
+    for every gene plus the max-chain tables) dominates startup cost on
+    large matrices, and the same index serves *every* parameter setting
+    that shares gamma — only MinG/MinC/epsilon change between typical
+    sweep jobs.
+``result``
+    A completed mining result in the ``reg-cluster/v1`` JSON schema,
+    keyed by job id (which already encodes digest + all parameters).
+
+The cache is a directory of artifact files plus a ``manifest.json``
+recording sizes and last-use ordering; total bytes are bounded by
+evicting least-recently-used entries.  Everything is guarded by one
+lock, so HTTP threads and the execution worker can share an instance.
+"""
+
+from __future__ import annotations
+
+import json
+import os
+import pickle
+import threading
+from dataclasses import dataclass
+from pathlib import Path
+from typing import Any, Dict, Optional, Union
+
+from repro.core.rwave import RWaveIndex
+
+__all__ = ["ArtifactCache", "CacheStats", "DEFAULT_MAX_BYTES"]
+
+#: Default size bound: generous for indexes of paper-scale matrices
+#: (the 2884x17 yeast index pickles to a few MB).
+DEFAULT_MAX_BYTES = 256 * 1024 * 1024
+
+
+@dataclass
+class CacheStats:
+    """Hit/miss/store/eviction counters (observable service behaviour)."""
+
+    index_hits: int = 0
+    index_misses: int = 0
+    index_stores: int = 0
+    result_hits: int = 0
+    result_misses: int = 0
+    result_stores: int = 0
+    evictions: int = 0
+
+    def as_dict(self) -> Dict[str, int]:
+        return {
+            "index_hits": self.index_hits,
+            "index_misses": self.index_misses,
+            "index_stores": self.index_stores,
+            "result_hits": self.result_hits,
+            "result_misses": self.result_misses,
+            "result_stores": self.result_stores,
+            "evictions": self.evictions,
+        }
+
+
+@dataclass
+class _ManifestEntry:
+    file: str
+    size: int
+    last_used: int = 0
+
+    def to_dict(self) -> Dict[str, Any]:
+        return {"file": self.file, "size": self.size,
+                "last_used": self.last_used}
+
+
+def _index_key(matrix_digest: str, gamma: float) -> str:
+    return f"index-{matrix_digest}-gamma-{float(gamma)!r}"
+
+
+def _result_key(job_id: str) -> str:
+    return f"result-{job_id}"
+
+
+class ArtifactCache:
+    """LRU-bounded artifact store under one directory.
+
+    Parameters
+    ----------
+    root:
+        Cache directory (created if absent).
+    max_bytes:
+        Total artifact size bound; least-recently-used entries are
+        evicted when an insertion would exceed it.  The entry being
+        inserted is never evicted by its own insertion, so a single
+        oversized artifact still caches (as the sole entry).
+    """
+
+    def __init__(
+        self,
+        root: Union[str, Path],
+        *,
+        max_bytes: int = DEFAULT_MAX_BYTES,
+    ) -> None:
+        if max_bytes < 1:
+            raise ValueError(f"max_bytes must be >= 1, got {max_bytes}")
+        self.root = Path(root)
+        self.root.mkdir(parents=True, exist_ok=True)
+        self.max_bytes = int(max_bytes)
+        self.stats = CacheStats()
+        self._lock = threading.RLock()
+        self._clock = 0
+        self._manifest: Dict[str, _ManifestEntry] = {}
+        self._load_manifest()
+
+    # ------------------------------------------------------------------
+    # Manifest persistence
+    # ------------------------------------------------------------------
+
+    @property
+    def _manifest_path(self) -> Path:
+        return self.root / "manifest.json"
+
+    def _load_manifest(self) -> None:
+        try:
+            payload = json.loads(self._manifest_path.read_text("utf-8"))
+        except (FileNotFoundError, json.JSONDecodeError):
+            return
+        for key, entry in payload.get("entries", {}).items():
+            if (self.root / entry["file"]).exists():
+                self._manifest[key] = _ManifestEntry(
+                    file=entry["file"],
+                    size=int(entry["size"]),
+                    last_used=int(entry.get("last_used", 0)),
+                )
+        if self._manifest:
+            self._clock = max(e.last_used for e in self._manifest.values())
+
+    def _save_manifest(self) -> None:
+        payload = {
+            "entries": {
+                key: entry.to_dict() for key, entry in self._manifest.items()
+            }
+        }
+        tmp = self._manifest_path.with_suffix(".json.tmp")
+        tmp.write_text(json.dumps(payload, sort_keys=True), encoding="utf-8")
+        os.replace(tmp, self._manifest_path)
+
+    # ------------------------------------------------------------------
+    # LRU core
+    # ------------------------------------------------------------------
+
+    def _touch(self, key: str) -> None:
+        self._clock += 1
+        self._manifest[key].last_used = self._clock
+
+    def total_bytes(self) -> int:
+        """Bytes currently accounted to cached artifacts."""
+        with self._lock:
+            return sum(entry.size for entry in self._manifest.values())
+
+    def _evict_for(self, incoming_key: str) -> None:
+        """Drop LRU entries until the bound holds (sparing the newcomer)."""
+        while (
+            sum(e.size for e in self._manifest.values()) > self.max_bytes
+        ):
+            victims = [k for k in self._manifest if k != incoming_key]
+            if not victims:
+                break
+            victim = min(victims, key=lambda k: self._manifest[k].last_used)
+            entry = self._manifest.pop(victim)
+            try:
+                (self.root / entry.file).unlink()
+            except FileNotFoundError:
+                pass
+            self.stats.evictions += 1
+
+    def _store(self, key: str, filename: str, data: bytes) -> None:
+        with self._lock:
+            path = self.root / filename
+            tmp = path.with_suffix(path.suffix + ".tmp")
+            tmp.write_bytes(data)
+            os.replace(tmp, path)
+            self._manifest[key] = _ManifestEntry(file=filename, size=len(data))
+            self._touch(key)
+            self._evict_for(key)
+            self._save_manifest()
+
+    def _load(self, key: str) -> Optional[bytes]:
+        with self._lock:
+            entry = self._manifest.get(key)
+            if entry is None:
+                return None
+            try:
+                data = (self.root / entry.file).read_bytes()
+            except FileNotFoundError:
+                del self._manifest[key]
+                self._save_manifest()
+                return None
+            self._touch(key)
+            self._save_manifest()
+            return data
+
+    def keys(self) -> Dict[str, int]:
+        """Mapping of cached key -> artifact size in bytes."""
+        with self._lock:
+            return {k: e.size for k, e in self._manifest.items()}
+
+    # ------------------------------------------------------------------
+    # RWave indexes
+    # ------------------------------------------------------------------
+
+    def get_index(
+        self, matrix_digest: str, gamma: float
+    ) -> Optional[RWaveIndex]:
+        """A cached index for (digest, gamma), or ``None`` on a miss."""
+        key = _index_key(matrix_digest, gamma)
+        data = self._load(key)
+        if data is None:
+            self.stats.index_misses += 1
+            return None
+        try:
+            index = pickle.loads(data)
+        except (pickle.UnpicklingError, EOFError, AttributeError,
+                ImportError):
+            # A corrupt or stale artifact is a miss, not an error.
+            with self._lock:
+                self._manifest.pop(key, None)
+                self._save_manifest()
+            self.stats.index_misses += 1
+            return None
+        if not isinstance(index, RWaveIndex):
+            self.stats.index_misses += 1
+            return None
+        self.stats.index_hits += 1
+        return index
+
+    def put_index(
+        self, matrix_digest: str, gamma: float, index: RWaveIndex
+    ) -> None:
+        """Memoize a built index under (digest, gamma)."""
+        key = _index_key(matrix_digest, gamma)
+        data = pickle.dumps(index, protocol=pickle.HIGHEST_PROTOCOL)
+        self._store(key, f"{key}.pkl", data)
+        self.stats.index_stores += 1
+
+    # ------------------------------------------------------------------
+    # Completed results
+    # ------------------------------------------------------------------
+
+    def get_result(self, job_id: str) -> Optional[Dict[str, Any]]:
+        """A cached ``reg-cluster/v1`` payload for a job id, or ``None``."""
+        data = self._load(_result_key(job_id))
+        if data is None:
+            self.stats.result_misses += 1
+            return None
+        try:
+            payload = json.loads(data.decode("utf-8"))
+        except (json.JSONDecodeError, UnicodeDecodeError):
+            self.stats.result_misses += 1
+            return None
+        self.stats.result_hits += 1
+        return dict(payload)
+
+    def put_result(self, job_id: str, payload: Dict[str, Any]) -> None:
+        """Memoize a completed result payload under its job id."""
+        key = _result_key(job_id)
+        data = json.dumps(payload, sort_keys=True).encode("utf-8")
+        self._store(key, f"{key}.json", data)
+        self.stats.result_stores += 1
+
+    def drop_result(self, job_id: str) -> None:
+        """Forget a cached result (used when a job record is deleted)."""
+        key = _result_key(job_id)
+        with self._lock:
+            entry = self._manifest.pop(key, None)
+            if entry is not None:
+                try:
+                    (self.root / entry.file).unlink()
+                except FileNotFoundError:
+                    pass
+                self._save_manifest()

@@ -1,0 +1,223 @@
+"""Sharded mining: partition the Fig. 5 search across worker processes.
+
+The top level of the miner's depth-first enumeration iterates over the
+first condition of the representative chain.  Chains starting from
+different conditions are disjoint — every deeper node carries its start
+as the chain prefix — so the search decomposes exactly into one
+independent shard per first condition.  Each shard is mined by
+:meth:`repro.core.miner.RegClusterMiner.mine` with ``start_conditions``
+restricted to that shard, in its own worker process, and the shard
+outputs are merged back deterministically:
+
+1. concatenate shard cluster lists in ascending start order (the same
+   order the single-process loop visits starts), preserving each
+   shard's internal depth-first emission order;
+2. re-run the maximality/redundancy post-processing — the emitted-key
+   deduplication of pruning (3b) — over the merged list, now with the
+   *global* set of emitted keys (a safety net: keys contain the chain,
+   whose first element identifies the shard, so cross-shard duplicates
+   cannot occur by construction);
+3. apply the ``max_clusters`` cap to the merged list, matching the
+   single-process early exit.
+
+Steps 1–3 make the merged output *bit-identical* to single-process
+mining for any worker count — the shard-merge equivalence guarantee the
+test suite asserts.  Search statistics are summed across shards
+(``max_depth`` takes the maximum); they equal the single-process
+counters exactly when ``max_clusters`` is unset (with a cap, the
+single-process search stops mid-enumeration while shards run to
+completion, so merged counters are an upper bound).
+"""
+
+from __future__ import annotations
+
+import multiprocessing
+from dataclasses import fields
+from typing import Callable, Dict, FrozenSet, List, Optional, Sequence, Tuple
+
+from repro.core.cluster import RegCluster
+from repro.core.miner import (
+    MiningCancelled,
+    MiningResult,
+    ProgressCallback,
+    PruningConfig,
+    RegClusterMiner,
+    SearchStatistics,
+)
+from repro.core.params import MiningParameters
+from repro.core.rwave import RWaveIndex
+from repro.matrix.expression import ExpressionMatrix
+
+__all__ = ["mine_sharded", "merge_shard_results", "ShardResult"]
+
+#: One shard's output: (start condition, clusters in DFS order, stats).
+ShardResult = Tuple[int, List[RegCluster], Dict[str, int]]
+
+# ----------------------------------------------------------------------
+# Worker-process side
+# ----------------------------------------------------------------------
+
+#: Per-worker miner, built once by the pool initializer so the RWave
+#: index is constructed (or unpickled) once per process, not per shard.
+_WORKER_MINER: Optional[RegClusterMiner] = None
+
+
+def _init_worker(
+    matrix: ExpressionMatrix,
+    params: MiningParameters,
+    prunings: Optional[PruningConfig],
+    index: Optional[RWaveIndex],
+) -> None:
+    global _WORKER_MINER
+    _WORKER_MINER = RegClusterMiner(
+        matrix, params, prunings=prunings, index=index
+    )
+
+
+def _mine_start(start: int) -> ShardResult:
+    miner = _WORKER_MINER
+    assert miner is not None, "worker pool initializer did not run"
+    result = miner.mine(start_conditions=[start])
+    return start, result.clusters, result.statistics.as_dict()
+
+
+# ----------------------------------------------------------------------
+# Merge
+# ----------------------------------------------------------------------
+
+def merge_shard_results(
+    shards: Sequence[ShardResult], params: MiningParameters
+) -> MiningResult:
+    """Merge per-start shard outputs into one single-process-equivalent
+    result (ordering, global redundancy re-check, ``max_clusters`` cap).
+    """
+    ordered = sorted(shards, key=lambda shard: shard[0])
+    statistics = SearchStatistics()
+    counter_names = [f.name for f in fields(SearchStatistics)]
+    emitted: set[Tuple[Tuple[int, ...], FrozenSet[int]]] = set()
+    clusters: List[RegCluster] = []
+    truncated = False
+    for __, shard_clusters, shard_stats in ordered:
+        for name in counter_names:
+            value = int(shard_stats.get(name, 0))
+            if name == "max_depth":
+                statistics.max_depth = max(statistics.max_depth, value)
+            else:
+                setattr(statistics, name, getattr(statistics, name) + value)
+        if truncated:
+            continue
+        for cluster in shard_clusters:
+            key = (cluster.chain, frozenset(cluster.genes))
+            if key in emitted:
+                # Pruning (3b) re-run globally; a no-op across shards by
+                # construction, but kept so the merged set carries the
+                # same maximality guarantee as one search.
+                continue
+            emitted.add(key)
+            clusters.append(cluster)
+            if (
+                params.max_clusters is not None
+                and len(clusters) >= params.max_clusters
+            ):
+                truncated = True
+                break
+    statistics.clusters_emitted = len(clusters)
+    return MiningResult(
+        clusters=clusters, statistics=statistics, parameters=params
+    )
+
+
+# ----------------------------------------------------------------------
+# Driver
+# ----------------------------------------------------------------------
+
+def _pool_context(
+    start_method: Optional[str],
+) -> multiprocessing.context.BaseContext:
+    if start_method is not None:
+        return multiprocessing.get_context(start_method)
+    # fork shares the parent's page cache with copy-on-write (fast shard
+    # startup); fall back to spawn where fork is unavailable.
+    methods = multiprocessing.get_all_start_methods()
+    return multiprocessing.get_context(
+        "fork" if "fork" in methods else "spawn"
+    )
+
+
+def mine_sharded(
+    matrix: ExpressionMatrix,
+    params: MiningParameters,
+    *,
+    n_workers: int = 1,
+    prunings: Optional[PruningConfig] = None,
+    index: Optional[RWaveIndex] = None,
+    progress_callback: Optional[ProgressCallback] = None,
+    should_stop: Optional[Callable[[], bool]] = None,
+    start_method: Optional[str] = None,
+) -> MiningResult:
+    """Mine a matrix with a sharded worker pool.
+
+    Results are bit-identical to
+    :func:`repro.core.miner.mine_reg_clusters` for any ``n_workers``
+    (see the module docstring for the equivalence argument).
+
+    Parameters
+    ----------
+    n_workers:
+        Worker processes.  ``1`` mines in-process — no pool, and both
+        ``progress_callback`` and ``should_stop`` observe every search
+        node.  With a pool, progress is reported per completed shard and
+        cancellation is honoured between shard completions.
+    index:
+        Optional prebuilt RWave index (e.g. from the artifact cache);
+        shipped to each worker so no process rebuilds it.
+    should_stop:
+        Cooperative cancellation probe; raises
+        :class:`~repro.core.miner.MiningCancelled` when it fires.
+    start_method:
+        ``multiprocessing`` start method override (default: ``fork``
+        where available, else ``spawn``).
+    """
+    if n_workers < 1:
+        raise ValueError(f"n_workers must be >= 1, got {n_workers}")
+    n_workers = min(n_workers, max(1, matrix.n_conditions))
+    if n_workers == 1:
+        miner = RegClusterMiner(
+            matrix,
+            params,
+            prunings=prunings,
+            index=index,
+            progress_callback=progress_callback,
+            should_stop=should_stop,
+        )
+        return miner.mine()
+
+    context = _pool_context(start_method)
+    shards: List[ShardResult] = []
+    nodes_so_far = 0
+    with context.Pool(
+        processes=n_workers,
+        initializer=_init_worker,
+        initargs=(matrix, params, prunings, index),
+    ) as pool:
+        pending = pool.imap_unordered(
+            _mine_start, range(matrix.n_conditions)
+        )
+        for shard in pending:
+            if should_stop is not None and should_stop():
+                pool.terminate()
+                raise MiningCancelled(
+                    f"sharded search cancelled after {len(shards)} of "
+                    f"{matrix.n_conditions} shards"
+                )
+            shards.append(shard)
+            nodes_so_far += int(shard[2].get("nodes_expanded", 0))
+            if progress_callback is not None:
+                progress_callback("expanded", nodes_so_far)
+                if shard[1]:
+                    progress_callback("emitted", nodes_so_far)
+    if should_stop is not None and should_stop():
+        raise MiningCancelled(
+            "sharded search cancelled after the final shard"
+        )
+    return merge_shard_results(shards, params)

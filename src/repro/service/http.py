@@ -1,0 +1,342 @@
+"""JSON-over-HTTP front end for the mining service (stdlib only).
+
+Endpoints
+---------
+``POST /jobs``
+    Submit a job.  Body: ``{"matrix": <matrix>, "parameters":
+    {"min_genes": ..., "min_conditions": ..., "gamma": ...,
+    "epsilon": ..., "max_clusters": ...}}`` where ``<matrix>`` is one of
+
+    * ``{"values": [[...], ...], "gene_names": [...],
+      "condition_names": [...]}`` (names optional) — inline data;
+    * ``{"text": "..."}`` — a tab-delimited expression table;
+    * ``{"path": "..."}`` — a server-side file path.
+
+    Responds ``202`` with ``{"job": {...}}`` (``200`` when the job
+    already exists — submission is idempotent on content + parameters).
+``GET /jobs``
+    ``{"jobs": [{...}, ...]}`` — every job record, oldest first.
+``GET /jobs/<id>``
+    One job record, including live progress counters.
+``GET /jobs/<id>/result``
+    The completed result as a ``reg-cluster/v1`` document
+    (``409`` while the job is not ``done``).
+``DELETE /jobs/<id>``
+    Cancel an active job (cooperative, via the miner's ``should_stop``
+    hook); delete a terminal job's record and cached result.
+
+Errors are JSON: ``{"error": "..."}`` with a 4xx status.  The server is
+a :class:`http.server.ThreadingHTTPServer`; job execution itself stays
+on the service's single background thread, so the HTTP pool only ever
+does cheap store/cache reads.
+
+:class:`ServiceClient` is the matching urllib-based client used by the
+``reg-cluster submit`` / ``status`` CLI subcommands and the smoke test.
+"""
+
+from __future__ import annotations
+
+import json
+import re
+import time
+import urllib.error
+import urllib.request
+from http.server import BaseHTTPRequestHandler, ThreadingHTTPServer
+from typing import Any, Dict, List, Optional, Tuple
+
+from repro.matrix.expression import ExpressionMatrix
+from repro.matrix.io import load_expression_matrix, parse_expression_text
+from repro.service.jobs import ACTIVE_STATES, parameters_from_dict
+from repro.service.service import MiningService
+
+__all__ = [
+    "ServiceHTTPServer",
+    "ServiceClient",
+    "ServiceError",
+    "matrix_from_payload",
+    "serve",
+]
+
+_JOB_PATH = re.compile(r"^/jobs/(?P<job_id>[A-Za-z0-9_-]+)$")
+_RESULT_PATH = re.compile(r"^/jobs/(?P<job_id>[A-Za-z0-9_-]+)/result$")
+
+#: Refuse request bodies beyond this size (64 MiB covers the paper's
+#: yeast matrix inline with two orders of magnitude to spare).
+MAX_BODY_BYTES = 64 * 1024 * 1024
+
+
+class _RequestError(ValueError):
+    """A client error carrying its HTTP status."""
+
+    def __init__(self, status: int, message: str) -> None:
+        super().__init__(message)
+        self.status = status
+
+
+def matrix_from_payload(payload: Any) -> ExpressionMatrix:
+    """Build a matrix from the ``matrix`` member of a POST body."""
+    if not isinstance(payload, dict):
+        raise _RequestError(400, "matrix must be a JSON object")
+    kinds = [k for k in ("values", "text", "path") if k in payload]
+    if len(kinds) != 1:
+        raise _RequestError(
+            400,
+            "matrix must supply exactly one of 'values', 'text', 'path'",
+        )
+    if "values" in payload:
+        return ExpressionMatrix(
+            payload["values"],
+            payload.get("gene_names"),
+            payload.get("condition_names"),
+        )
+    if "text" in payload:
+        return parse_expression_text(payload["text"])
+    return load_expression_matrix(payload["path"])
+
+
+class _Handler(BaseHTTPRequestHandler):
+    """Routes requests to the owning :class:`ServiceHTTPServer`."""
+
+    server: "ServiceHTTPServer"
+    protocol_version = "HTTP/1.1"
+
+    # -- plumbing ------------------------------------------------------
+
+    def log_message(self, format: str, *args: Any) -> None:
+        if not self.server.quiet:  # pragma: no cover - verbose mode
+            BaseHTTPRequestHandler.log_message(self, format, *args)
+
+    def _send_json(self, status: int, payload: Dict[str, Any]) -> None:
+        body = json.dumps(payload).encode("utf-8")
+        self.send_response(status)
+        self.send_header("Content-Type", "application/json")
+        self.send_header("Content-Length", str(len(body)))
+        self.end_headers()
+        self.wfile.write(body)
+
+    def _read_body(self) -> Dict[str, Any]:
+        length = int(self.headers.get("Content-Length") or 0)
+        if length <= 0:
+            raise _RequestError(400, "request body required")
+        if length > MAX_BODY_BYTES:
+            raise _RequestError(413, "request body too large")
+        raw = self.rfile.read(length)
+        try:
+            payload = json.loads(raw.decode("utf-8"))
+        except (json.JSONDecodeError, UnicodeDecodeError):
+            raise _RequestError(400, "request body is not valid JSON")
+        if not isinstance(payload, dict):
+            raise _RequestError(400, "request body must be a JSON object")
+        return payload
+
+    def _dispatch(self, method: str) -> None:
+        service = self.server.service
+        try:
+            if method == "POST" and self.path == "/jobs":
+                self._post_job(service)
+            elif method == "GET" and self.path == "/jobs":
+                self._send_json(
+                    200,
+                    {"jobs": [r.to_dict() for r in service.list_jobs()]},
+                )
+            elif method == "GET" and _RESULT_PATH.match(self.path):
+                match = _RESULT_PATH.match(self.path)
+                assert match is not None
+                self._get_result(service, match.group("job_id"))
+            elif method in ("GET", "DELETE") and _JOB_PATH.match(self.path):
+                match = _JOB_PATH.match(self.path)
+                assert match is not None
+                job_id = match.group("job_id")
+                if method == "GET":
+                    self._send_json(
+                        200, {"job": service.status(job_id).to_dict()}
+                    )
+                else:
+                    self._delete_job(service, job_id)
+            else:
+                raise _RequestError(404, f"no route {method} {self.path}")
+        except _RequestError as error:
+            self._send_json(error.status, {"error": str(error)})
+        except KeyError as error:
+            message = error.args[0] if error.args else str(error)
+            self._send_json(404, {"error": str(message)})
+        except ValueError as error:
+            self._send_json(400, {"error": str(error)})
+
+    # -- handlers ------------------------------------------------------
+
+    def _post_job(self, service: MiningService) -> None:
+        body = self._read_body()
+        if "parameters" not in body or "matrix" not in body:
+            raise _RequestError(
+                400, "body must contain 'matrix' and 'parameters'"
+            )
+        params = parameters_from_dict(body["parameters"])
+        matrix = matrix_from_payload(body["matrix"])
+        record = service.submit(matrix, params)
+        status = 200 if record.started_at is not None else 202
+        self._send_json(status, {"job": record.to_dict()})
+
+    def _get_result(self, service: MiningService, job_id: str) -> None:
+        try:
+            payload = service.result(job_id)
+        except ValueError as error:
+            raise _RequestError(409, str(error)) from None
+        self._send_json(200, payload)
+
+    def _delete_job(self, service: MiningService, job_id: str) -> None:
+        record = service.status(job_id)
+        if record.state in ACTIVE_STATES:
+            updated = service.cancel(job_id)
+            self._send_json(200, {"job": updated.to_dict()})
+        else:
+            service.delete(job_id)
+            self._send_json(200, {"deleted": job_id})
+
+    # -- verbs ---------------------------------------------------------
+
+    def do_GET(self) -> None:  # noqa: N802 (http.server API)
+        self._dispatch("GET")
+
+    def do_POST(self) -> None:  # noqa: N802
+        self._dispatch("POST")
+
+    def do_DELETE(self) -> None:  # noqa: N802
+        self._dispatch("DELETE")
+
+
+class ServiceHTTPServer(ThreadingHTTPServer):
+    """A threading HTTP server bound to one :class:`MiningService`."""
+
+    daemon_threads = True
+
+    def __init__(
+        self,
+        address: Tuple[str, int],
+        service: MiningService,
+        *,
+        quiet: bool = True,
+    ) -> None:
+        super().__init__(address, _Handler)
+        self.service = service
+        self.quiet = quiet
+
+
+def serve(
+    service: MiningService,
+    host: str = "127.0.0.1",
+    port: int = 0,
+    *,
+    quiet: bool = True,
+) -> ServiceHTTPServer:
+    """Bind (but do not run) the HTTP front end; port 0 = ephemeral.
+
+    The caller runs ``server.serve_forever()`` (typically on the main
+    thread) and is responsible for ``service.start()``.
+    """
+    return ServiceHTTPServer((host, port), service, quiet=quiet)
+
+
+class ServiceError(RuntimeError):
+    """An HTTP error reported by the service, with its status code."""
+
+    def __init__(self, status: int, message: str) -> None:
+        super().__init__(f"[{status}] {message}")
+        self.status = status
+        self.message = message
+
+
+class ServiceClient:
+    """Minimal urllib client for the endpoints above."""
+
+    def __init__(self, base_url: str, *, timeout: float = 30.0) -> None:
+        self.base_url = base_url.rstrip("/")
+        self.timeout = timeout
+
+    def _request(
+        self,
+        method: str,
+        path: str,
+        payload: Optional[Dict[str, Any]] = None,
+    ) -> Dict[str, Any]:
+        request = urllib.request.Request(
+            self.base_url + path, method=method
+        )
+        data = None
+        if payload is not None:
+            data = json.dumps(payload).encode("utf-8")
+            request.add_header("Content-Type", "application/json")
+        try:
+            with urllib.request.urlopen(
+                request, data=data, timeout=self.timeout
+            ) as response:
+                return dict(json.loads(response.read().decode("utf-8")))
+        except urllib.error.HTTPError as error:
+            try:
+                message = json.loads(error.read().decode("utf-8")).get(
+                    "error", error.reason
+                )
+            except (json.JSONDecodeError, UnicodeDecodeError):
+                message = str(error.reason)
+            raise ServiceError(error.code, message) from None
+
+    # -- endpoints -----------------------------------------------------
+
+    def submit_matrix(
+        self,
+        matrix: ExpressionMatrix,
+        parameters: Dict[str, Any],
+    ) -> Dict[str, Any]:
+        """Submit inline matrix data; returns the job record dict."""
+        body = {
+            "matrix": {
+                "values": [list(map(float, row)) for row in matrix.values],
+                "gene_names": list(matrix.gene_names),
+                "condition_names": list(matrix.condition_names),
+            },
+            "parameters": parameters,
+        }
+        return dict(self._request("POST", "/jobs", body)["job"])
+
+    def submit_text(
+        self, text: str, parameters: Dict[str, Any]
+    ) -> Dict[str, Any]:
+        """Submit a tab-delimited expression table as text."""
+        body = {"matrix": {"text": text}, "parameters": parameters}
+        return dict(self._request("POST", "/jobs", body)["job"])
+
+    def status(self, job_id: str) -> Dict[str, Any]:
+        return dict(self._request("GET", f"/jobs/{job_id}")["job"])
+
+    def list_jobs(self) -> List[Dict[str, Any]]:
+        return list(self._request("GET", "/jobs")["jobs"])
+
+    def result(self, job_id: str) -> Dict[str, Any]:
+        return self._request("GET", f"/jobs/{job_id}/result")
+
+    def cancel(self, job_id: str) -> Dict[str, Any]:
+        return self._request("DELETE", f"/jobs/{job_id}")
+
+    def wait(
+        self,
+        job_id: str,
+        *,
+        timeout: float = 60.0,
+        poll_interval: float = 0.1,
+    ) -> Dict[str, Any]:
+        """Poll until the job leaves the active states; returns its record.
+
+        Raises :class:`TimeoutError` if it stays active past ``timeout``
+        seconds.
+        """
+        deadline = time.monotonic() + timeout
+        while True:
+            record = self.status(job_id)
+            if record["state"] not in ("submitted", "running"):
+                return record
+            if time.monotonic() >= deadline:
+                raise TimeoutError(
+                    f"job {job_id} still {record['state']} after "
+                    f"{timeout:g}s"
+                )
+            time.sleep(poll_interval)

@@ -1,0 +1,237 @@
+"""The job engine: persistent, deterministic mining jobs.
+
+A *job* is one request to mine a matrix at one parameter setting.  Its
+identity is a pure function of the work — the matrix content digest (see
+:func:`repro.matrix.summary.matrix_digest`) plus the
+:class:`~repro.core.params.MiningParameters` — so resubmitting identical
+work lands on the same job id and can be answered from the completed
+result instead of re-mining.  Worker count is deliberately *excluded*
+from the identity: the sharded executor guarantees results independent
+of it (see :mod:`repro.service.executor`).
+
+Job records move through a small state machine::
+
+    submitted ──> running ──> done
+        │            ├──────> failed
+        └────────────┴──────> cancelled
+
+and are persisted as one JSON file per job (atomic replace), so a
+restarted service sees every job it ever accepted.
+"""
+
+from __future__ import annotations
+
+import hashlib
+import json
+import os
+import re
+import threading
+from dataclasses import asdict, dataclass, field, replace
+from enum import Enum
+from pathlib import Path
+from typing import Any, Dict, List, Optional, Union
+
+from repro.core.params import MiningParameters
+
+__all__ = [
+    "JobState",
+    "ACTIVE_STATES",
+    "TERMINAL_STATES",
+    "JobRecord",
+    "JobStore",
+    "compute_job_id",
+    "parameters_to_dict",
+    "parameters_from_dict",
+]
+
+
+class JobState(str, Enum):
+    """Lifecycle states of a mining job."""
+
+    SUBMITTED = "submitted"
+    RUNNING = "running"
+    DONE = "done"
+    FAILED = "failed"
+    CANCELLED = "cancelled"
+
+
+#: States in which a job still owns (or awaits) compute.
+ACTIVE_STATES = frozenset({JobState.SUBMITTED, JobState.RUNNING})
+#: States a job can never leave.
+TERMINAL_STATES = frozenset({JobState.DONE, JobState.FAILED, JobState.CANCELLED})
+
+_JOB_ID_PATTERN = re.compile(r"^job-[0-9a-f]{16}$")
+
+
+def parameters_to_dict(params: MiningParameters) -> Dict[str, Any]:
+    """The canonical JSON form of a parameter bundle (sorted keys)."""
+    return {
+        "min_genes": params.min_genes,
+        "min_conditions": params.min_conditions,
+        "gamma": params.gamma,
+        "epsilon": params.epsilon,
+        "max_clusters": params.max_clusters,
+    }
+
+
+def parameters_from_dict(payload: Dict[str, Any]) -> MiningParameters:
+    """Inverse of :func:`parameters_to_dict` (re-validated on build)."""
+    known = {"min_genes", "min_conditions", "gamma", "epsilon", "max_clusters"}
+    unknown = set(payload) - known
+    if unknown:
+        raise ValueError(
+            f"unknown mining parameter(s): {', '.join(sorted(unknown))}"
+        )
+    missing = {"min_genes", "min_conditions", "gamma", "epsilon"} - set(payload)
+    if missing:
+        raise ValueError(
+            f"missing mining parameter(s): {', '.join(sorted(missing))}"
+        )
+    return MiningParameters(
+        min_genes=int(payload["min_genes"]),
+        min_conditions=int(payload["min_conditions"]),
+        gamma=float(payload["gamma"]),
+        epsilon=float(payload["epsilon"]),
+        max_clusters=(
+            None if payload.get("max_clusters") is None
+            else int(payload["max_clusters"])
+        ),
+    )
+
+
+def compute_job_id(matrix_digest: str, params: MiningParameters) -> str:
+    """Deterministic job id from (matrix digest, parameters).
+
+    >>> from repro.core.params import MiningParameters
+    >>> p = MiningParameters(min_genes=3, min_conditions=5,
+    ...                      gamma=0.15, epsilon=0.1)
+    >>> compute_job_id("abc123", p) == compute_job_id("abc123", p)
+    True
+    >>> compute_job_id("abc123", p) == compute_job_id(
+    ...     "abc123", p.with_overrides(epsilon=0.2))
+    False
+    >>> compute_job_id("abc123", p).startswith("job-")
+    True
+    """
+    hasher = hashlib.sha256()
+    hasher.update(b"reg-cluster-job/v1")
+    hasher.update(matrix_digest.encode("ascii"))
+    hasher.update(
+        json.dumps(parameters_to_dict(params), sort_keys=True).encode("ascii")
+    )
+    return f"job-{hasher.hexdigest()[:16]}"
+
+
+@dataclass(frozen=True)
+class JobRecord:
+    """One job's persisted metadata (everything but the result payload)."""
+
+    job_id: str
+    state: JobState
+    matrix_digest: str
+    parameters: Dict[str, Any]
+    submitted_at: float
+    started_at: Optional[float] = None
+    finished_at: Optional[float] = None
+    error: Optional[str] = None
+    #: live counters: ``nodes_expanded``, ``clusters_emitted``
+    progress: Dict[str, int] = field(default_factory=dict)
+    #: was the RWave index served from the artifact cache? (``None``
+    #: until the job reaches the index-acquisition step)
+    index_cache_hit: Optional[bool] = None
+    #: was the whole result served from the artifact cache?
+    result_cache_hit: Optional[bool] = None
+
+    def to_dict(self) -> Dict[str, Any]:
+        payload = asdict(self)
+        payload["state"] = self.state.value
+        return payload
+
+    @classmethod
+    def from_dict(cls, payload: Dict[str, Any]) -> "JobRecord":
+        data = dict(payload)
+        data["state"] = JobState(data["state"])
+        return cls(**data)
+
+
+class JobStore:
+    """Crash-safe job-record storage: one JSON file per job.
+
+    Writes go through a temp file + :func:`os.replace`, so a record on
+    disk is always a complete JSON document.  All mutation happens under
+    one lock, making the store safe to share between the HTTP threads
+    and the execution worker.
+    """
+
+    def __init__(self, root: Union[str, Path]) -> None:
+        self.root = Path(root)
+        self.root.mkdir(parents=True, exist_ok=True)
+        self._lock = threading.RLock()
+
+    # ------------------------------------------------------------------
+    # Paths
+    # ------------------------------------------------------------------
+
+    def _path(self, job_id: str) -> Path:
+        if not _JOB_ID_PATTERN.match(job_id):
+            raise KeyError(f"malformed job id {job_id!r}")
+        return self.root / f"{job_id}.json"
+
+    # ------------------------------------------------------------------
+    # CRUD
+    # ------------------------------------------------------------------
+
+    def save(self, record: JobRecord) -> JobRecord:
+        """Persist (create or overwrite) one record atomically."""
+        path = self._path(record.job_id)
+        with self._lock:
+            tmp = path.with_suffix(".json.tmp")
+            tmp.write_text(
+                json.dumps(record.to_dict(), sort_keys=True, indent=2) + "\n",
+                encoding="utf-8",
+            )
+            os.replace(tmp, path)
+        return record
+
+    def exists(self, job_id: str) -> bool:
+        try:
+            return self._path(job_id).exists()
+        except KeyError:
+            return False
+
+    def get(self, job_id: str) -> JobRecord:
+        """Load one record; raises :class:`KeyError` for unknown ids."""
+        path = self._path(job_id)
+        with self._lock:
+            try:
+                payload = json.loads(path.read_text(encoding="utf-8"))
+            except FileNotFoundError:
+                raise KeyError(f"unknown job {job_id!r}") from None
+        return JobRecord.from_dict(payload)
+
+    def update(self, job_id: str, **changes: Any) -> JobRecord:
+        """Read-modify-write one record under the store lock."""
+        with self._lock:
+            record = replace(self.get(job_id), **changes)
+            return self.save(record)
+
+    def delete(self, job_id: str) -> None:
+        """Remove one record; raises :class:`KeyError` for unknown ids."""
+        path = self._path(job_id)
+        with self._lock:
+            try:
+                path.unlink()
+            except FileNotFoundError:
+                raise KeyError(f"unknown job {job_id!r}") from None
+
+    def list_records(self) -> List[JobRecord]:
+        """Every stored record, oldest submission first."""
+        with self._lock:
+            records = [
+                JobRecord.from_dict(
+                    json.loads(path.read_text(encoding="utf-8"))
+                )
+                for path in sorted(self.root.glob("job-*.json"))
+            ]
+        records.sort(key=lambda r: (r.submitted_at, r.job_id))
+        return records

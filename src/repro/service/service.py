@@ -1,0 +1,405 @@
+"""The mining daemon: jobs + cache + sharded executor, wired together.
+
+:class:`MiningService` is the long-lived object behind the HTTP front
+end and the ``reg-cluster serve`` CLI.  It owns
+
+* a :class:`~repro.service.jobs.JobStore` (persistent job records),
+* an :class:`~repro.service.cache.ArtifactCache` (RWave indexes and
+  completed results),
+* a content-addressed matrix store (exact ``.npz`` round-trip, so the
+  digest of a reloaded matrix is bit-identical to the submitted one),
+* one background execution thread draining a FIFO of submitted jobs
+  through :func:`~repro.service.executor.mine_sharded`.
+
+Submission is idempotent: a job's id is a function of (matrix digest,
+parameters), so resubmitting identical work returns the existing record
+— and a completed job is answered straight from the result cache
+without touching the index or the search.  Cancellation is cooperative:
+``DELETE``-ing a running job flips a :class:`threading.Event` that the
+miner's ``should_stop`` hook polls once per search node.
+"""
+
+from __future__ import annotations
+
+import queue
+import threading
+import time
+from pathlib import Path
+from typing import Any, Callable, Dict, List, Optional, Union
+
+import numpy as np
+
+from repro.core.miner import MiningCancelled
+from repro.core.params import MiningParameters
+from repro.core.rwave import RWaveIndex
+from repro.core.serialize import result_to_dict
+from repro.matrix.expression import ExpressionMatrix
+from repro.matrix.summary import matrix_digest
+from repro.service.cache import DEFAULT_MAX_BYTES, ArtifactCache
+from repro.service.executor import mine_sharded
+from repro.service.jobs import (
+    ACTIVE_STATES,
+    JobRecord,
+    JobState,
+    JobStore,
+    compute_job_id,
+    parameters_from_dict,
+    parameters_to_dict,
+)
+
+__all__ = ["MiningService"]
+
+#: Persist live progress counters every this-many search nodes (keeps
+#: the on-disk record fresh without one fsync per node).
+_PROGRESS_PERSIST_EVERY = 2048
+
+
+class MiningService:
+    """Job-oriented mining daemon (see module docstring).
+
+    Parameters
+    ----------
+    store_dir:
+        Root directory for job records, the matrix store and the
+        artifact cache.  Created if absent; a service restarted on the
+        same directory sees all previous jobs and cached artifacts.
+    n_workers:
+        Worker processes per job (see
+        :func:`~repro.service.executor.mine_sharded`).  Results are
+        identical for every value.
+    max_cache_bytes:
+        Artifact-cache size bound.
+    progress_observer:
+        Optional hook ``(job_id, event, nodes_expanded)`` invoked on
+        every progress event of every job — used by tests and by
+        verbose serving.
+    """
+
+    def __init__(
+        self,
+        store_dir: Union[str, Path],
+        *,
+        n_workers: int = 1,
+        max_cache_bytes: int = DEFAULT_MAX_BYTES,
+        start_method: Optional[str] = None,
+        progress_observer: Optional[Callable[[str, str, int], None]] = None,
+    ) -> None:
+        if n_workers < 1:
+            raise ValueError(f"n_workers must be >= 1, got {n_workers}")
+        self.store_dir = Path(store_dir)
+        self.store_dir.mkdir(parents=True, exist_ok=True)
+        self.n_workers = n_workers
+        self.start_method = start_method
+        self.progress_observer = progress_observer
+        self.jobs = JobStore(self.store_dir / "jobs")
+        self.cache = ArtifactCache(
+            self.store_dir / "cache", max_bytes=max_cache_bytes
+        )
+        self._matrix_dir = self.store_dir / "matrices"
+        self._matrix_dir.mkdir(parents=True, exist_ok=True)
+        self._queue: "queue.Queue[Optional[str]]" = queue.Queue()
+        self._cancel_events: Dict[str, threading.Event] = {}
+        self._lock = threading.RLock()
+        self._thread: Optional[threading.Thread] = None
+        self._stop_requested = threading.Event()
+        # Re-enqueue jobs that were submitted (or interrupted while
+        # queued) before a restart, in original submission order.
+        for record in self.jobs.list_records():
+            if record.state is JobState.SUBMITTED:
+                self._queue.put(record.job_id)
+
+    # ------------------------------------------------------------------
+    # Matrix store (content-addressed, exact round-trip)
+    # ------------------------------------------------------------------
+
+    def _matrix_path(self, digest: str) -> Path:
+        return self._matrix_dir / f"{digest}.npz"
+
+    def _save_matrix(self, matrix: ExpressionMatrix, digest: str) -> None:
+        path = self._matrix_path(digest)
+        if path.exists():
+            return
+        tmp = path.with_suffix(".npz.tmp")
+        with open(tmp, "wb") as handle:
+            np.savez(
+                handle,
+                values=matrix.values,
+                gene_names=np.asarray(matrix.gene_names),
+                condition_names=np.asarray(matrix.condition_names),
+            )
+        tmp.replace(path)
+
+    def _load_matrix(self, digest: str) -> ExpressionMatrix:
+        path = self._matrix_path(digest)
+        if not path.exists():
+            raise KeyError(f"no stored matrix with digest {digest}")
+        with np.load(path, allow_pickle=False) as data:
+            matrix = ExpressionMatrix(
+                data["values"],
+                [str(name) for name in data["gene_names"]],
+                [str(name) for name in data["condition_names"]],
+            )
+        return matrix
+
+    # ------------------------------------------------------------------
+    # Public API: submit / status / result / cancel / delete
+    # ------------------------------------------------------------------
+
+    def submit(
+        self, matrix: ExpressionMatrix, params: MiningParameters
+    ) -> JobRecord:
+        """Accept one mining job; idempotent on (matrix, parameters).
+
+        Returns the (new or existing) job record.  A job that
+        previously failed or was cancelled is re-armed and queued again.
+        """
+        digest = matrix_digest(matrix)
+        job_id = compute_job_id(digest, params)
+        with self._lock:
+            if self.jobs.exists(job_id):
+                record = self.jobs.get(job_id)
+                if record.state in ACTIVE_STATES or (
+                    record.state is JobState.DONE
+                ):
+                    return record
+            # New submission (or re-arm after failed/cancelled).
+            self._save_matrix(matrix, digest)
+            record = JobRecord(
+                job_id=job_id,
+                state=JobState.SUBMITTED,
+                matrix_digest=digest,
+                parameters=parameters_to_dict(params),
+                submitted_at=time.time(),
+            )
+            self.jobs.save(record)
+            self._queue.put(job_id)
+        return record
+
+    def status(self, job_id: str) -> JobRecord:
+        """The current record of one job (KeyError if unknown)."""
+        return self.jobs.get(job_id)
+
+    def list_jobs(self) -> List[JobRecord]:
+        """All job records, oldest first."""
+        return self.jobs.list_records()
+
+    def result(self, job_id: str) -> Dict[str, Any]:
+        """The ``reg-cluster/v1`` payload of a completed job.
+
+        Raises :class:`KeyError` for unknown jobs and
+        :class:`ValueError` for jobs that are not ``done``.
+        """
+        record = self.jobs.get(job_id)
+        if record.state is not JobState.DONE:
+            raise ValueError(
+                f"job {job_id} is {record.state.value}, not done"
+            )
+        payload = self.cache.get_result(job_id)
+        if payload is None:
+            raise ValueError(
+                f"result of job {job_id} is no longer cached; resubmit"
+            )
+        return payload
+
+    def cancel(self, job_id: str) -> JobRecord:
+        """Cancel a submitted or running job (no-op on terminal jobs)."""
+        with self._lock:
+            record = self.jobs.get(job_id)
+            if record.state is JobState.SUBMITTED:
+                return self.jobs.update(
+                    job_id,
+                    state=JobState.CANCELLED,
+                    finished_at=time.time(),
+                )
+            if record.state is JobState.RUNNING:
+                event = self._cancel_events.get(job_id)
+                if event is not None:
+                    event.set()
+            return record
+
+    def delete(self, job_id: str) -> None:
+        """Remove a terminal job's record and cached result.
+
+        Raises :class:`ValueError` when the job is still active (cancel
+        it first) and :class:`KeyError` when unknown.
+        """
+        with self._lock:
+            record = self.jobs.get(job_id)
+            if record.state in ACTIVE_STATES:
+                raise ValueError(
+                    f"job {job_id} is {record.state.value}; cancel before "
+                    f"deleting"
+                )
+            self.cache.drop_result(job_id)
+            self.jobs.delete(job_id)
+
+    # ------------------------------------------------------------------
+    # Execution
+    # ------------------------------------------------------------------
+
+    def start(self) -> None:
+        """Start the background execution thread (idempotent)."""
+        with self._lock:
+            if self._thread is not None and self._thread.is_alive():
+                return
+            self._stop_requested.clear()
+            self._thread = threading.Thread(
+                target=self._run_loop,
+                name="reg-cluster-executor",
+                daemon=True,
+            )
+            self._thread.start()
+
+    def stop(self, timeout: Optional[float] = 10.0) -> None:
+        """Stop the execution thread; a running job is cancelled."""
+        with self._lock:
+            thread = self._thread
+            self._stop_requested.set()
+            for event in self._cancel_events.values():
+                event.set()
+            self._queue.put(None)
+        if thread is not None:
+            thread.join(timeout=timeout)
+        with self._lock:
+            self._thread = None
+
+    def run_pending(self) -> int:
+        """Synchronously drain the queue (no thread); returns jobs run.
+
+        Used by tests and one-shot tooling; do not mix with a running
+        background thread.
+        """
+        executed = 0
+        while True:
+            try:
+                job_id = self._queue.get_nowait()
+            except queue.Empty:
+                return executed
+            if job_id is None:
+                continue
+            if self._execute(job_id):
+                executed += 1
+
+    def _run_loop(self) -> None:
+        while not self._stop_requested.is_set():
+            try:
+                job_id = self._queue.get(timeout=0.1)
+            except queue.Empty:
+                continue
+            if job_id is None:
+                continue
+            self._execute(job_id)
+
+    def _execute(self, job_id: str) -> bool:
+        """Run one queued job; ``False`` when it was skipped (e.g. a job
+        cancelled while still queued)."""
+        record = self.jobs.get(job_id)
+        if record.state is not JobState.SUBMITTED:
+            return False  # cancelled (or re-run) while queued
+        cancel_event = threading.Event()
+        with self._lock:
+            self._cancel_events[job_id] = cancel_event
+            if self._stop_requested.is_set():
+                cancel_event.set()
+        self.jobs.update(
+            job_id, state=JobState.RUNNING, started_at=time.time()
+        )
+        try:
+            self._mine_job(job_id, record, cancel_event)
+        except MiningCancelled:
+            self.jobs.update(
+                job_id,
+                state=JobState.CANCELLED,
+                finished_at=time.time(),
+            )
+        except (ValueError, KeyError, OSError, RuntimeError) as error:
+            self.jobs.update(
+                job_id,
+                state=JobState.FAILED,
+                error=f"{type(error).__name__}: {error}",
+                finished_at=time.time(),
+            )
+        finally:
+            with self._lock:
+                self._cancel_events.pop(job_id, None)
+        return True
+
+    def _mine_job(
+        self,
+        job_id: str,
+        record: JobRecord,
+        cancel_event: threading.Event,
+    ) -> None:
+        # 1. Completed-result memoization: identical resubmission after a
+        #    failed/cancelled re-arm, or a deleted record with a live
+        #    cached result, finishes without touching matrix or index.
+        cached = self.cache.get_result(job_id)
+        if cached is not None:
+            statistics = cached.get("statistics", {})
+            self.jobs.update(
+                job_id,
+                state=JobState.DONE,
+                finished_at=time.time(),
+                result_cache_hit=True,
+                progress={
+                    "nodes_expanded": int(
+                        statistics.get("nodes_expanded", 0)
+                    ),
+                    "clusters_emitted": len(cached.get("clusters", [])),
+                },
+            )
+            return
+
+        matrix = self._load_matrix(record.matrix_digest)
+        params = parameters_from_dict(record.parameters)
+
+        # 2. RWave^gamma index: cache hit or build-and-store.
+        index = self.cache.get_index(record.matrix_digest, params.gamma)
+        index_cache_hit = index is not None
+        if index is None:
+            index = RWaveIndex(matrix, params.gamma)
+            self.cache.put_index(record.matrix_digest, params.gamma, index)
+        self.jobs.update(
+            job_id,
+            index_cache_hit=index_cache_hit,
+            result_cache_hit=False,
+        )
+
+        # 3. The sharded search, with live progress and cancellation.
+        progress = {"nodes_expanded": 0, "clusters_emitted": 0}
+
+        def on_progress(event: str, nodes_expanded: int) -> None:
+            progress["nodes_expanded"] = nodes_expanded
+            if event == "emitted":
+                progress["clusters_emitted"] += 1
+            if self.progress_observer is not None:
+                self.progress_observer(job_id, event, nodes_expanded)
+            if nodes_expanded % _PROGRESS_PERSIST_EVERY == 0:
+                self.jobs.update(job_id, progress=dict(progress))
+
+        try:
+            result = mine_sharded(
+                matrix,
+                params,
+                n_workers=self.n_workers,
+                index=index,
+                progress_callback=on_progress,
+                should_stop=cancel_event.is_set,
+                start_method=self.start_method,
+            )
+        except MiningCancelled:
+            # Keep the last observed counters on the cancelled record.
+            self.jobs.update(job_id, progress=dict(progress))
+            raise
+
+        # 4. Persist the result (serialize v1, names included) and close.
+        payload = result_to_dict(result, matrix)
+        self.cache.put_result(job_id, payload)
+        progress["nodes_expanded"] = result.statistics.nodes_expanded
+        progress["clusters_emitted"] = result.statistics.clusters_emitted
+        self.jobs.update(
+            job_id,
+            state=JobState.DONE,
+            finished_at=time.time(),
+            progress=dict(progress),
+        )

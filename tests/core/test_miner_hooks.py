@@ -1,0 +1,135 @@
+"""Tests for the miner's service-facing hooks.
+
+Covers the three seams added for :mod:`repro.service`: the
+``progress_callback`` / ``should_stop`` constructor hooks, the
+``start_conditions`` sharding restriction of :meth:`RegClusterMiner.mine`,
+and the prebuilt-``index`` injection path.
+"""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.core.miner import (
+    MiningCancelled,
+    RegClusterMiner,
+)
+from repro.core.rwave import RWaveIndex
+
+
+class TestProgressCallback:
+    def test_expanded_events_cover_every_node(self, running_example,
+                                              paper_params):
+        events = []
+        result = RegClusterMiner(
+            running_example,
+            paper_params,
+            progress_callback=lambda event, nodes: events.append(
+                (event, nodes)
+            ),
+        ).mine()
+        expanded = [n for e, n in events if e == "expanded"]
+        assert expanded == list(range(1, result.statistics.nodes_expanded + 1))
+
+    def test_emitted_events_match_cluster_count(self, running_example,
+                                                paper_params):
+        events = []
+        result = RegClusterMiner(
+            running_example,
+            paper_params,
+            progress_callback=lambda event, nodes: events.append(event),
+        ).mine()
+        assert events.count("emitted") == len(result.clusters) == 1
+
+    def test_no_callback_no_events(self, running_example, paper_params):
+        # The default path must not require the hook (zero-overhead off).
+        result = RegClusterMiner(running_example, paper_params).mine()
+        assert len(result.clusters) == 1
+
+
+class TestShouldStop:
+    def test_immediate_stop_cancels_with_partial_state(self, running_example,
+                                                       paper_params):
+        with pytest.raises(MiningCancelled) as info:
+            RegClusterMiner(
+                running_example, paper_params, should_stop=lambda: True
+            ).mine()
+        assert "cancelled" in str(info.value)
+        assert info.value.partial_clusters == []
+
+    def test_stop_after_n_nodes(self, running_example, paper_params):
+        # The full search expands 17 nodes; stop partway through.
+        seen = {"nodes": 0}
+
+        def stop() -> bool:
+            seen["nodes"] += 1
+            return seen["nodes"] > 8
+
+        with pytest.raises(MiningCancelled) as info:
+            RegClusterMiner(
+                running_example, paper_params, should_stop=stop
+            ).mine()
+        full = RegClusterMiner(running_example, paper_params).mine()
+        assert "after 9 nodes" in str(info.value)
+        assert seen["nodes"] < full.statistics.nodes_expanded
+
+    def test_partial_clusters_carried_on_late_cancel(self, running_example,
+                                                     paper_params):
+        emitted = {"count": 0}
+
+        def on_progress(event: str, nodes: int) -> None:
+            if event == "emitted":
+                emitted["count"] += 1
+
+        with pytest.raises(MiningCancelled) as info:
+            RegClusterMiner(
+                running_example,
+                paper_params,
+                progress_callback=on_progress,
+                should_stop=lambda: emitted["count"] > 0,
+            ).mine()
+        assert len(info.value.partial_clusters) == 1
+
+
+class TestStartConditions:
+    def test_full_range_default(self, running_example, paper_params):
+        explicit = RegClusterMiner(running_example, paper_params).mine(
+            start_conditions=range(running_example.n_conditions)
+        )
+        default = RegClusterMiner(running_example, paper_params).mine()
+        assert explicit.clusters == default.clusters
+        assert (
+            explicit.statistics.as_dict() == default.statistics.as_dict()
+        )
+
+    def test_out_of_range_start_rejected(self, running_example, paper_params):
+        miner = RegClusterMiner(running_example, paper_params)
+        with pytest.raises(ValueError, match="start"):
+            miner.mine(start_conditions=[running_example.n_conditions])
+        with pytest.raises(ValueError, match="start"):
+            miner.mine(start_conditions=[-1])
+
+
+class TestInjectedIndex:
+    def test_prebuilt_index_gives_identical_result(self, running_example,
+                                                   paper_params):
+        index = RWaveIndex(running_example, paper_params.gamma)
+        with_index = RegClusterMiner(
+            running_example, paper_params, index=index
+        ).mine()
+        without = RegClusterMiner(running_example, paper_params).mine()
+        assert with_index.clusters == without.clusters
+        assert (
+            with_index.statistics.as_dict() == without.statistics.as_dict()
+        )
+
+    def test_gamma_mismatch_rejected(self, running_example, paper_params):
+        index = RWaveIndex(running_example, 0.3)
+        with pytest.raises(ValueError, match="gamma"):
+            RegClusterMiner(running_example, paper_params, index=index)
+
+    def test_matrix_mismatch_rejected(self, running_example, tiny_matrix,
+                                      paper_params):
+        index = RWaveIndex(tiny_matrix, paper_params.gamma)
+        with pytest.raises(ValueError, match="matrix"):
+            RegClusterMiner(running_example, paper_params, index=index)

@@ -8,6 +8,7 @@ import pytest
 
 from repro.core.cluster import RegCluster
 from repro.core.miner import RegClusterMiner
+from repro.core.params import MiningParameters
 from repro.core.serialize import (
     cluster_from_dict,
     cluster_to_dict,
@@ -85,3 +86,65 @@ class TestResultRoundTrip:
         payload["statistics"]["made_up_counter"] = 5
         again = result_from_dict(payload)
         assert not hasattr(again.statistics, "made_up_counter")
+
+
+class TestNamedResultRoundTrip:
+    """Names-on-the-wire round-trips (the service result format)."""
+
+    def test_named_payload_uses_names_throughout(self, mined,
+                                                 running_example):
+        payload = result_to_dict(mined, running_example)
+        (cluster,) = payload["clusters"]
+        assert all(isinstance(c, str) for c in cluster["chain"])
+        assert all(isinstance(g, str) for g in cluster["p_members"])
+        assert all(isinstance(g, str) for g in cluster["n_members"])
+
+    def test_named_file_round_trip(self, mined, running_example, tmp_path):
+        path = tmp_path / "named.json"
+        save_result(mined, path, matrix=running_example)
+        text = path.read_text(encoding="utf-8")
+        assert "g1" in text and "c7" in text
+        again = load_result(path, matrix=running_example)
+        assert again.clusters == mined.clusters
+        assert again.parameters == mined.parameters
+
+    def test_named_payload_needs_matrix_to_load(self, mined,
+                                                running_example):
+        payload = result_to_dict(mined, running_example)
+        with pytest.raises(ValueError, match="names"):
+            result_from_dict(payload)
+
+    def test_mixed_ids_and_names_resolve(self, running_example):
+        cluster = cluster_from_dict(
+            {"chain": ["c7", 8, "c5"], "p_members": [0, "g3"],
+             "n_members": ["g2"]},
+            running_example,
+        )
+        assert cluster.chain == (6, 8, 4)
+        assert cluster.p_members == (0, 2)
+        assert cluster.n_members == (1,)
+
+
+class TestStatisticsBlock:
+    """The optional ``statistics`` member of the v1 schema."""
+
+    def test_all_counters_round_trip(self, mined):
+        payload = result_to_dict(mined)
+        again = result_from_dict(payload)
+        assert again.statistics.as_dict() == mined.statistics.as_dict()
+
+    def test_statistics_block_is_optional(self, mined):
+        payload = result_to_dict(mined)
+        del payload["statistics"]
+        again = result_from_dict(payload)
+        assert again.clusters == mined.clusters
+        assert again.statistics.nodes_expanded == 0
+
+    def test_max_clusters_round_trips_in_parameters(self, running_example):
+        result = RegClusterMiner(
+            running_example,
+            MiningParameters(min_genes=3, min_conditions=5, gamma=0.15,
+                             epsilon=0.1, max_clusters=4),
+        ).mine()
+        again = result_from_dict(result_to_dict(result))
+        assert again.parameters.max_clusters == 4

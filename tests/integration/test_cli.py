@@ -60,6 +60,81 @@ class TestMine:
         assert code == 2
 
 
+class TestUpfrontParameterValidation:
+    """Bad bounds fail as usage errors *before* any matrix I/O."""
+
+    def test_bad_gamma_rejected_before_matrix_load(self, capsys):
+        code = main(
+            [
+                "mine", "/nonexistent.tsv",
+                "--min-genes", "3",
+                "--min-conditions", "5",
+                "--gamma", "7",
+                "--epsilon", "0.1",
+            ]
+        )
+        err = capsys.readouterr().err
+        assert code == 2
+        # The parameter error fires, not the missing-file error.
+        assert "gamma" in err
+        assert "usage:" in err
+        assert "No such file" not in err
+
+    def test_bad_epsilon_rejected(self, example_file, capsys):
+        code = main(
+            [
+                "mine", example_file,
+                "--min-genes", "3",
+                "--min-conditions", "5",
+                "--gamma", "0.15",
+                "--epsilon", "-1",
+            ]
+        )
+        assert code == 2
+        assert "epsilon" in capsys.readouterr().err
+
+    def test_bad_min_conditions_rejected(self, example_file, capsys):
+        code = main(
+            [
+                "mine", example_file,
+                "--min-genes", "3",
+                "--min-conditions", "1",
+                "--gamma", "0.15",
+                "--epsilon", "0.1",
+            ]
+        )
+        assert code == 2
+        assert "min_conditions" in capsys.readouterr().err
+
+    def test_bad_max_clusters_rejected(self, example_file, capsys):
+        code = main(
+            [
+                "mine", example_file,
+                "--min-genes", "3",
+                "--min-conditions", "5",
+                "--gamma", "0.15",
+                "--epsilon", "0.1",
+                "--max-clusters", "0",
+            ]
+        )
+        assert code == 2
+        assert "max_clusters" in capsys.readouterr().err
+
+    def test_submit_validates_before_contacting_server(self, capsys):
+        code = main(
+            [
+                "submit", "/nonexistent.tsv",
+                "--url", "http://127.0.0.1:1",
+                "--min-genes", "0",
+                "--min-conditions", "5",
+                "--gamma", "0.15",
+                "--epsilon", "0.1",
+            ]
+        )
+        assert code == 2
+        assert "min_genes" in capsys.readouterr().err
+
+
 class TestGenerate:
     def test_generate_synthetic(self, tmp_path, capsys):
         out_path = tmp_path / "syn.tsv"
@@ -236,3 +311,82 @@ class TestExperimentSubcommand:
         out = capsys.readouterr().out
         assert "3 x 10" in out
         assert "median regulation threshold" in out
+        assert "sha256 digest" in out
+
+
+class TestServiceSubcommands:
+    @pytest.fixture
+    def daemon(self, tmp_path):
+        """An in-process daemon; yields its base URL."""
+        import threading
+
+        from repro.service import MiningService, serve
+
+        service = MiningService(tmp_path / "store")
+        server = serve(service)
+        thread = threading.Thread(target=server.serve_forever, daemon=True)
+        thread.start()
+        service.start()
+        host, port = server.server_address[0], server.server_address[1]
+        yield f"http://{host}:{port}"
+        service.stop()
+        server.shutdown()
+        server.server_close()
+        thread.join(timeout=5)
+
+    def test_submit_wait_and_status(self, daemon, example_file, tmp_path,
+                                    capsys):
+        result_path = tmp_path / "service-result.json"
+        code = main(
+            [
+                "submit", example_file,
+                "--url", daemon,
+                "--min-genes", "3",
+                "--min-conditions", "5",
+                "--gamma", "0.15",
+                "--epsilon", "0.1",
+                "--wait",
+                "--output", str(result_path),
+            ]
+        )
+        out = capsys.readouterr().out
+        assert code == 0
+        assert "done" in out
+        assert "1 reg-cluster(s)" in out
+        assert result_path.exists()
+
+        import json
+
+        payload = json.loads(result_path.read_text(encoding="utf-8"))
+        assert payload["format"] == "reg-cluster/v1"
+        assert len(payload["clusters"]) == 1
+
+        assert main(["status", "--url", daemon]) == 0
+        listing = capsys.readouterr().out
+        assert "job-" in listing and "done" in listing
+
+        job_id = listing.split()[0]
+        assert main(["status", job_id, "--url", daemon]) == 0
+        detail = capsys.readouterr().out
+        assert f"job_id: {job_id}" in detail
+        assert "state: done" in detail
+        assert "progress.nodes_expanded" in detail
+
+    def test_status_unknown_job(self, daemon, capsys):
+        code = main(["status", "job-" + "0" * 16, "--url", daemon])
+        assert code == 2
+        assert "unknown job" in capsys.readouterr().err
+
+    def test_submit_unreachable_daemon(self, example_file, capsys):
+        code = main(
+            [
+                "submit", example_file,
+                "--url", "http://127.0.0.1:1",
+                "--min-genes", "3",
+                "--min-conditions", "5",
+                "--gamma", "0.15",
+                "--epsilon", "0.1",
+            ]
+        )
+        assert code == 2
+        assert "error:" in capsys.readouterr().err

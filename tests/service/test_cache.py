@@ -1,0 +1,109 @@
+"""Unit tests for the LRU artifact cache."""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.core.rwave import RWaveIndex
+from repro.matrix.summary import matrix_digest
+from repro.service.cache import ArtifactCache
+
+
+@pytest.fixture
+def cache(tmp_path) -> ArtifactCache:
+    return ArtifactCache(tmp_path / "cache")
+
+
+class TestIndexArtifacts:
+    def test_round_trip(self, cache, running_example):
+        digest = matrix_digest(running_example)
+        index = RWaveIndex(running_example, 0.15)
+        assert cache.get_index(digest, 0.15) is None
+        cache.put_index(digest, 0.15, index)
+        again = cache.get_index(digest, 0.15)
+        assert again is not None
+        assert again.gamma == index.gamma
+        assert again.matrix == running_example
+
+    def test_keyed_by_gamma(self, cache, running_example):
+        digest = matrix_digest(running_example)
+        cache.put_index(digest, 0.15, RWaveIndex(running_example, 0.15))
+        assert cache.get_index(digest, 0.3) is None
+
+    def test_corrupt_artifact_is_a_miss(self, cache, running_example):
+        digest = matrix_digest(running_example)
+        cache.put_index(digest, 0.15, RWaveIndex(running_example, 0.15))
+        (entry_name,) = [k for k in cache.keys() if k.startswith("index-")]
+        artifact = next(cache.root.glob("index-*.pkl"))
+        artifact.write_bytes(b"not a pickle")
+        assert cache.get_index(digest, 0.15) is None
+        assert entry_name not in cache.keys()
+
+    def test_stats_track_hits_and_misses(self, cache, running_example):
+        digest = matrix_digest(running_example)
+        cache.get_index(digest, 0.15)
+        cache.put_index(digest, 0.15, RWaveIndex(running_example, 0.15))
+        cache.get_index(digest, 0.15)
+        stats = cache.stats.as_dict()
+        assert stats["index_misses"] == 1
+        assert stats["index_stores"] == 1
+        assert stats["index_hits"] == 1
+
+
+class TestResultArtifacts:
+    def test_round_trip_and_drop(self, cache):
+        payload = {"format": "reg-cluster/v1", "clusters": []}
+        job_id = "job-" + "a" * 16
+        assert cache.get_result(job_id) is None
+        cache.put_result(job_id, payload)
+        assert cache.get_result(job_id) == payload
+        cache.drop_result(job_id)
+        assert cache.get_result(job_id) is None
+
+    def test_drop_unknown_is_a_noop(self, cache):
+        cache.drop_result("job-" + "b" * 16)
+
+
+class TestLRUBound:
+    def test_eviction_drops_least_recently_used(self, tmp_path):
+        cache = ArtifactCache(tmp_path, max_bytes=200)
+        blob = {"data": "x" * 60}  # ~75 serialized bytes
+        cache.put_result("job-" + "1" * 16, blob)
+        cache.put_result("job-" + "2" * 16, blob)
+        # Touch job-1 so job-2 becomes the LRU entry.
+        assert cache.get_result("job-" + "1" * 16) is not None
+        cache.put_result("job-" + "3" * 16, blob)
+        assert cache.get_result("job-" + "1" * 16) is not None
+        assert cache.get_result("job-" + "2" * 16) is None
+        assert cache.get_result("job-" + "3" * 16) is not None
+        assert cache.stats.evictions == 1
+        assert cache.total_bytes() <= 200
+
+    def test_oversized_artifact_still_caches_alone(self, tmp_path):
+        cache = ArtifactCache(tmp_path, max_bytes=10)
+        cache.put_result("job-" + "1" * 16, {"data": "x" * 100})
+        assert cache.get_result("job-" + "1" * 16) is not None
+        assert len(cache.keys()) == 1
+
+    def test_invalid_bound_rejected(self, tmp_path):
+        with pytest.raises(ValueError, match="max_bytes"):
+            ArtifactCache(tmp_path, max_bytes=0)
+
+
+class TestPersistence:
+    def test_manifest_survives_reopen(self, tmp_path, running_example):
+        digest = matrix_digest(running_example)
+        first = ArtifactCache(tmp_path)
+        first.put_index(digest, 0.15, RWaveIndex(running_example, 0.15))
+        first.put_result("job-" + "c" * 16, {"clusters": []})
+        second = ArtifactCache(tmp_path)
+        assert second.get_index(digest, 0.15) is not None
+        assert second.get_result("job-" + "c" * 16) == {"clusters": []}
+
+    def test_missing_file_pruned_from_manifest(self, tmp_path):
+        first = ArtifactCache(tmp_path)
+        first.put_result("job-" + "d" * 16, {"clusters": []})
+        next(tmp_path.glob("result-*.json")).unlink()
+        second = ArtifactCache(tmp_path)
+        assert second.get_result("job-" + "d" * 16) is None
+        assert not second.keys()

@@ -1,0 +1,147 @@
+"""Shard-merge equivalence tests for the sharded executor.
+
+The load-bearing guarantee (see the executor module docstring): for any
+worker count, ``mine_sharded`` output is bit-identical to
+single-process :func:`repro.core.miner.mine_reg_clusters`.
+"""
+
+from __future__ import annotations
+
+import threading
+
+import pytest
+
+from repro.core.miner import MiningCancelled, RegClusterMiner, mine_reg_clusters
+from repro.core.params import MiningParameters
+from repro.datasets.synthetic import make_synthetic_dataset
+from repro.service.executor import merge_shard_results, mine_sharded
+
+
+@pytest.fixture(scope="module")
+def synthetic():
+    return make_synthetic_dataset(
+        n_genes=60, n_conditions=8, n_clusters=2, seed=7
+    ).matrix
+
+
+@pytest.fixture(scope="module")
+def synthetic_params():
+    return MiningParameters(
+        min_genes=3, min_conditions=4, gamma=0.2, epsilon=0.5
+    )
+
+
+def assert_results_identical(sharded, reference):
+    assert sharded.clusters == reference.clusters
+    assert sharded.parameters == reference.parameters
+    assert sharded.statistics.as_dict() == reference.statistics.as_dict()
+
+
+class TestShardMergeEquivalence:
+    @pytest.mark.parametrize("n_workers", [1, 2, 4])
+    def test_running_example(self, running_example, paper_params, n_workers):
+        reference = mine_reg_clusters(
+            running_example,
+            min_genes=paper_params.min_genes,
+            min_conditions=paper_params.min_conditions,
+            gamma=paper_params.gamma,
+            epsilon=paper_params.epsilon,
+        )
+        sharded = mine_sharded(
+            running_example, paper_params, n_workers=n_workers
+        )
+        assert_results_identical(sharded, reference)
+
+    @pytest.mark.parametrize("n_workers", [1, 2, 4])
+    def test_synthetic(self, synthetic, synthetic_params, n_workers):
+        reference = RegClusterMiner(synthetic, synthetic_params).mine()
+        sharded = mine_sharded(synthetic, synthetic_params, n_workers=n_workers)
+        assert_results_identical(sharded, reference)
+        assert reference.clusters  # the comparison is not vacuous
+
+    def test_max_clusters_cap_matches_clusters(self, synthetic,
+                                               synthetic_params):
+        # Permissive setting (280 clusters uncapped) so the cap binds.
+        capped = synthetic_params.with_overrides(
+            min_conditions=3, epsilon=1.0, max_clusters=3
+        )
+        reference = RegClusterMiner(synthetic, capped).mine()
+        sharded = mine_sharded(synthetic, capped, n_workers=2)
+        # Clusters are identical; statistics are an upper bound because
+        # shards run to completion while the capped single-process
+        # search stops early (documented in the executor docstring).
+        assert sharded.clusters == reference.clusters
+        assert len(sharded.clusters) == 3
+        assert (
+            sharded.statistics.nodes_expanded
+            >= reference.statistics.nodes_expanded
+        )
+
+    def test_workers_beyond_conditions_clamped(self, running_example,
+                                               paper_params):
+        sharded = mine_sharded(running_example, paper_params, n_workers=64)
+        reference = RegClusterMiner(running_example, paper_params).mine()
+        assert_results_identical(sharded, reference)
+
+    def test_invalid_worker_count(self, running_example, paper_params):
+        with pytest.raises(ValueError, match="n_workers"):
+            mine_sharded(running_example, paper_params, n_workers=0)
+
+
+class TestManualSharding:
+    def test_start_conditions_partition_the_search(self, running_example,
+                                                   paper_params):
+        reference = RegClusterMiner(running_example, paper_params).mine()
+        shards = []
+        for start in range(running_example.n_conditions):
+            result = RegClusterMiner(running_example, paper_params).mine(
+                start_conditions=[start]
+            )
+            shards.append((start, result.clusters,
+                           result.statistics.as_dict()))
+        merged = merge_shard_results(shards, paper_params)
+        assert_results_identical(merged, reference)
+
+    def test_merge_is_order_insensitive(self, running_example, paper_params):
+        shards = []
+        for start in range(running_example.n_conditions):
+            result = RegClusterMiner(running_example, paper_params).mine(
+                start_conditions=[start]
+            )
+            shards.append((start, result.clusters,
+                           result.statistics.as_dict()))
+        forward = merge_shard_results(shards, paper_params)
+        backward = merge_shard_results(list(reversed(shards)), paper_params)
+        assert forward.clusters == backward.clusters
+        assert (
+            forward.statistics.as_dict() == backward.statistics.as_dict()
+        )
+
+
+class TestHooksThroughTheExecutor:
+    def test_progress_reported_in_pool_mode(self, synthetic, synthetic_params):
+        events = []
+        mine_sharded(
+            synthetic,
+            synthetic_params,
+            n_workers=2,
+            progress_callback=lambda event, nodes: events.append(
+                (event, nodes)
+            ),
+        )
+        expanded = [n for e, n in events if e == "expanded"]
+        assert expanded, "pool mode must report per-shard progress"
+        assert expanded == sorted(expanded)
+        reference = RegClusterMiner(synthetic, synthetic_params).mine()
+        assert expanded[-1] == reference.statistics.nodes_expanded
+
+    def test_cancellation_in_pool_mode(self, synthetic, synthetic_params):
+        flag = threading.Event()
+        flag.set()
+        with pytest.raises(MiningCancelled):
+            mine_sharded(
+                synthetic,
+                synthetic_params,
+                n_workers=2,
+                should_stop=flag.is_set,
+            )

@@ -1,0 +1,184 @@
+"""End-to-end tests of the HTTP front end (server + client)."""
+
+from __future__ import annotations
+
+import threading
+
+import pytest
+
+from repro.core.miner import mine_reg_clusters
+from repro.core.serialize import result_to_dict
+from repro.matrix.io import format_expression_text
+from repro.service.http import ServiceClient, ServiceError, serve
+from repro.service.jobs import parameters_to_dict
+from repro.service.service import MiningService
+
+
+@pytest.fixture
+def stack(tmp_path):
+    """A running service + HTTP server + client on an ephemeral port."""
+    service = MiningService(tmp_path / "store")
+    server = serve(service)
+    thread = threading.Thread(target=server.serve_forever, daemon=True)
+    thread.start()
+    service.start()
+    host, port = server.server_address[0], server.server_address[1]
+    client = ServiceClient(f"http://{host}:{port}")
+    yield service, client
+    service.stop()
+    server.shutdown()
+    server.server_close()
+    thread.join(timeout=5)
+
+
+class TestJobFlow:
+    def test_submit_wait_result(self, stack, running_example, paper_params):
+        _, client = stack
+        record = client.submit_matrix(
+            running_example, parameters_to_dict(paper_params)
+        )
+        assert record["state"] in ("submitted", "running", "done")
+        done = client.wait(record["job_id"], timeout=60)
+        assert done["state"] == "done"
+        reference = mine_reg_clusters(
+            running_example,
+            min_genes=paper_params.min_genes,
+            min_conditions=paper_params.min_conditions,
+            gamma=paper_params.gamma,
+            epsilon=paper_params.epsilon,
+        )
+        assert client.result(record["job_id"]) == result_to_dict(
+            reference, running_example
+        )
+
+    def test_submit_text_payload(self, stack, running_example, paper_params):
+        _, client = stack
+        text = format_expression_text(running_example)
+        record = client.submit_text(text, parameters_to_dict(paper_params))
+        done = client.wait(record["job_id"], timeout=60)
+        assert done["state"] == "done"
+        payload = client.result(record["job_id"])
+        assert len(payload["clusters"]) == 1
+
+    def test_list_jobs(self, stack, running_example, paper_params):
+        _, client = stack
+        record = client.submit_matrix(
+            running_example, parameters_to_dict(paper_params)
+        )
+        client.wait(record["job_id"], timeout=60)
+        jobs = client.list_jobs()
+        assert [j["job_id"] for j in jobs] == [record["job_id"]]
+
+    def test_resubmission_is_idempotent(self, stack, running_example,
+                                        paper_params):
+        _, client = stack
+        first = client.submit_matrix(
+            running_example, parameters_to_dict(paper_params)
+        )
+        client.wait(first["job_id"], timeout=60)
+        again = client.submit_matrix(
+            running_example, parameters_to_dict(paper_params)
+        )
+        assert again["job_id"] == first["job_id"]
+        assert again["state"] == "done"
+
+    def test_delete_terminal_job(self, stack, running_example, paper_params):
+        _, client = stack
+        record = client.submit_matrix(
+            running_example, parameters_to_dict(paper_params)
+        )
+        client.wait(record["job_id"], timeout=60)
+        client.cancel(record["job_id"])  # DELETE on a done job removes it
+        with pytest.raises(ServiceError) as info:
+            client.status(record["job_id"])
+        assert info.value.status == 404
+
+
+class TestErrors:
+    def test_unknown_job_is_404(self, stack):
+        _, client = stack
+        with pytest.raises(ServiceError) as info:
+            client.status("job-" + "0" * 16)
+        assert info.value.status == 404
+        assert "unknown job" in info.value.message
+
+    def test_invalid_parameters_are_400(self, stack, running_example):
+        _, client = stack
+        with pytest.raises(ServiceError) as info:
+            client.submit_matrix(
+                running_example,
+                {"min_genes": 3, "min_conditions": 5, "gamma": 9.0,
+                 "epsilon": 0.1},
+            )
+        assert info.value.status == 400
+        assert "gamma" in info.value.message
+
+    def test_unknown_parameter_key_is_400(self, stack, running_example):
+        _, client = stack
+        with pytest.raises(ServiceError) as info:
+            client.submit_matrix(
+                running_example,
+                {"min_genes": 3, "min_conditions": 5, "gamma": 0.15,
+                 "epsilon": 0.1, "bogus": 1},
+            )
+        assert info.value.status == 400
+        assert "unknown mining parameter" in info.value.message
+
+    def test_result_before_done_is_409(self, tmp_path, running_example,
+                                       paper_params):
+        # A service whose executor never starts: jobs stay submitted.
+        service = MiningService(tmp_path / "store")
+        server = serve(service)
+        thread = threading.Thread(target=server.serve_forever, daemon=True)
+        thread.start()
+        try:
+            host, port = server.server_address[0], server.server_address[1]
+            client = ServiceClient(f"http://{host}:{port}")
+            record = client.submit_matrix(
+                running_example, parameters_to_dict(paper_params)
+            )
+            with pytest.raises(ServiceError) as info:
+                client.result(record["job_id"])
+            assert info.value.status == 409
+            assert "not done" in info.value.message
+        finally:
+            server.shutdown()
+            server.server_close()
+            thread.join(timeout=5)
+
+    def test_unknown_route_is_404(self, stack):
+        _, client = stack
+        with pytest.raises(ServiceError) as info:
+            client._request("GET", "/frobnicate")
+        assert info.value.status == 404
+
+    def test_malformed_body_is_400(self, stack):
+        _, client = stack
+        import json
+        import urllib.request
+
+        request = urllib.request.Request(
+            client.base_url + "/jobs", method="POST",
+            data=b"not json",
+            headers={"Content-Type": "application/json"},
+        )
+        import urllib.error
+        with pytest.raises(urllib.error.HTTPError) as info:
+            urllib.request.urlopen(request, timeout=10)
+        assert info.value.code == 400
+        payload = json.loads(info.value.read().decode("utf-8"))
+        assert "not valid JSON" in payload["error"]
+
+    def test_matrix_payload_must_pick_one_kind(self, stack):
+        _, client = stack
+        with pytest.raises(ServiceError) as info:
+            client._request(
+                "POST", "/jobs",
+                {
+                    "matrix": {"text": "x", "path": "y"},
+                    "parameters": {"min_genes": 3, "min_conditions": 5,
+                                   "gamma": 0.15, "epsilon": 0.1},
+                },
+            )
+        assert info.value.status == 400
+        assert "exactly one" in info.value.message

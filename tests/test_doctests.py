@@ -23,6 +23,7 @@ MODULE_NAMES = [
     "repro.datasets.synthetic",
     "repro.experiments",
     "repro.matrix.expression",
+    "repro.matrix.summary",
 ]
 
 
