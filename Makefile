@@ -2,7 +2,7 @@
 
 PYTHON ?= python
 
-.PHONY: install test bench bench-quick examples serve-smoke lint typecheck clean
+.PHONY: install test bench bench-quick bench-regression examples serve-smoke lint typecheck clean
 
 install:
 	pip install -e . --no-build-isolation
@@ -15,6 +15,17 @@ bench:
 
 bench-quick:
 	REPRO_BENCH_SCALE=quick $(PYTHON) -m pytest benchmarks/ --benchmark-only -s
+
+# Pinned-workload perf snapshots + the regression gate over them
+# (see docs/performance.md).  Measures the legacy per-candidate path
+# (BENCH_baseline.json) and the kernel path (BENCH_kernels.json) fresh
+# on this machine, then gates: the kernel path must not run slower than
+# legacy beyond the tolerance band (tiny cases are overhead-bound, the
+# large Figure 7 points show the speedup).
+bench-regression:
+	PYTHONPATH=src $(PYTHON) -m repro.bench.regression run --legacy --out BENCH_baseline.json
+	PYTHONPATH=src $(PYTHON) -m repro.bench.regression run --out BENCH_kernels.json
+	PYTHONPATH=src $(PYTHON) -m repro.bench.regression compare BENCH_kernels.json BENCH_baseline.json --tolerance 0.5
 
 examples:
 	@for script in examples/*.py; do \

@@ -10,7 +10,11 @@ Exercises the full `reg-cluster serve` stack end to end:
    direct in-process :func:`repro.core.miner.mine_reg_clusters` run —
    the end-to-end form of the shard-merge equivalence guarantee
    (docs/service.md);
-5. resubmit and require an idempotent answer served from cache.
+5. resubmit and require an idempotent answer served from cache;
+6. on a fresh single-worker store, submit the same matrix/gamma twice
+   (different epsilon, so the result cache cannot answer) and require
+   the regulation kernel artifact to be built once and reused — the
+   second job must record a kernel cache hit.
 
 Exit status 0 on success; prints a unified summary either way.
 Used by ``make serve-smoke`` and the CI ``service-smoke`` job.
@@ -27,7 +31,7 @@ from repro.core.miner import mine_reg_clusters
 from repro.core.serialize import result_to_dict
 from repro.datasets.running_example import load_running_example
 from repro.service import MiningService, ServiceClient, serve
-from repro.service.jobs import parameters_to_dict
+from repro.service.jobs import JobState, parameters_to_dict
 from repro.core.params import MiningParameters
 
 
@@ -90,6 +94,48 @@ def main() -> int:
             server.shutdown()
             server.server_close()
             thread.join(timeout=5)
+
+    # Kernel artifact reuse needs the in-process (single-worker) path:
+    # worker pools build kernels in child processes, so nothing reaches
+    # the parent's artifact cache.
+    with tempfile.TemporaryDirectory(prefix="reg-cluster-smoke-") as store:
+        service = MiningService(store, n_workers=1)
+        try:
+            first = service.submit(matrix, params)
+            service.run_pending()
+            first_done = service.status(first.job_id)
+            if first_done.kernel_cache_hit is not False:
+                print("smoke: FAIL — first job should have built the "
+                      f"kernel, recorded {first_done.kernel_cache_hit!r}")
+                return 1
+            if service.cache.stats.kernel_stores != 1:
+                print("smoke: FAIL — kernel artifact was not stored")
+                return 1
+
+            # Same matrix and gamma, different epsilon: new job id, so
+            # the result cache cannot short-circuit the kernel lookup.
+            second = service.submit(
+                matrix, params.with_overrides(epsilon=0.3)
+            )
+            service.run_pending()
+            second_done = service.status(second.job_id)
+            if second_done.state is not JobState.DONE:
+                print(f"smoke: FAIL — second job ended "
+                      f"{second_done.state.value}: {second_done.error}")
+                return 1
+            if second_done.kernel_cache_hit is not True:
+                print("smoke: FAIL — second job rebuilt the kernel")
+                return 1
+            if service.cache.stats.kernel_hits != 1 or (
+                service.cache.stats.kernel_stores != 1
+            ):
+                print("smoke: FAIL — kernel cache counters off: "
+                      f"{service.cache.stats.as_dict()}")
+                return 1
+            print("smoke: kernel artifact built once, second submission "
+                  "served from cache (kernel_cache_hit recorded)")
+        finally:
+            service.stop()
 
     print("smoke: OK")
     return 0

@@ -27,6 +27,7 @@ __all__ = [
     "BroadExceptRule",
     "FloatAccumulationRule",
     "MissingAnnotationsRule",
+    "PerGeneLoopRule",
     "PaperReferenceRule",
 ]
 
@@ -286,6 +287,86 @@ class MissingAnnotationsRule(Rule):
                     f"public function {qualname}() missing annotations "
                     f"for: {', '.join(missing)}",
                 )
+
+
+#: Modules whose search-time code must not loop over genes in Python —
+#: they implement (or feed) the miner's inner loop, where per-gene
+#: Python iteration costs microseconds per element times millions of
+#: elements.  One-time *builders* (kernel packing, RWave model
+#: construction) legitimately chunk by gene and carry line suppressions.
+HOT_LOOP_MODULES = (
+    "repro/core/miner.py",
+    "repro/core/window.py",
+    "repro/core/kernels.py",
+    "repro/core/rwave.py",
+)
+
+
+@register_rule
+class PerGeneLoopRule(Rule):
+    """RL106: Python-level per-gene loop in a mining hot-path module.
+
+    ``for i in range(n_genes)`` (or a comprehension over it) iterates
+    the gene axis in the interpreter; on the hot path the gene axis is
+    the large one (thousands of elements per search node) and must be
+    traversed with vectorized numpy operations instead.  Deliberate
+    one-time builders suppress with ``# reglint: disable=RL106``.
+    """
+
+    id = "RL106"
+    title = "per-gene Python loop on a mining hot path"
+    severity = Severity.ERROR
+    rationale = (
+        "interpreting the gene axis costs microseconds per element; "
+        "hot-path code must vectorize over genes with numpy"
+    )
+
+    #: Identifiers that mark a loop bound as spanning the gene axis.
+    _GENE_COUNT_NAMES = frozenset({"n_genes", "num_genes", "gene_count"})
+
+    def applies_to(self, ctx: FileContext) -> bool:
+        return ctx.in_package(*HOT_LOOP_MODULES) and not ctx.is_test_file()
+
+    @classmethod
+    def _spans_genes(cls, bound: ast.expr) -> bool:
+        """Does a ``range()`` argument reference a gene count?"""
+        for node in ast.walk(bound):
+            if isinstance(node, ast.Name) and node.id in cls._GENE_COUNT_NAMES:
+                return True
+            if (
+                isinstance(node, ast.Attribute)
+                and node.attr in cls._GENE_COUNT_NAMES
+            ):
+                return True
+        return False
+
+    @classmethod
+    def _is_per_gene_range(cls, iterable: ast.expr) -> bool:
+        return (
+            isinstance(iterable, ast.Call)
+            and isinstance(iterable.func, ast.Name)
+            and iterable.func.id == "range"
+            and any(cls._spans_genes(arg) for arg in iterable.args)
+        )
+
+    def check(self, ctx: FileContext) -> Iterator[Violation]:
+        for node in ast.walk(ctx.tree):
+            iterables: List[ast.expr] = []
+            if isinstance(node, (ast.For, ast.AsyncFor)):
+                iterables.append(node.iter)
+            elif isinstance(
+                node, (ast.ListComp, ast.SetComp, ast.DictComp, ast.GeneratorExp)
+            ):
+                iterables.extend(gen.iter for gen in node.generators)
+            for iterable in iterables:
+                if self._is_per_gene_range(iterable):
+                    yield self.violation(
+                        ctx,
+                        iterable,
+                        "Python-level loop over the gene axis on a hot "
+                        "path; vectorize with numpy (or suppress on a "
+                        "one-time builder)",
+                    )
 
 
 _PAPER_CACHE: Dict[Path, PaperReferences] = {}

@@ -1,4 +1,9 @@
-"""Benchmark harness: sweeps and report rendering."""
+"""Benchmark harness: sweeps, report rendering, the regression gate.
+
+The regression gate lives in :mod:`repro.bench.regression`; it is *not*
+re-exported here so that ``python -m repro.bench.regression`` does not
+import the module twice (once via the package, once as ``__main__``).
+"""
 
 from repro.bench.report import ascii_series, ascii_table, format_seconds
 from repro.bench.runner import (

@@ -252,6 +252,8 @@ def _cmd_mine(args: argparse.Namespace) -> int:
     if args.stats:
         for key, value in result.statistics.as_dict().items():
             print(f"  {key}: {value}")
+        for key, seconds in result.statistics.timers.as_dict().items():
+            print(f"  phase.{key}: {seconds:.3f}s")
     if args.output:
         save_result(result, args.output, matrix=matrix)
         print(f"result written to {args.output}")
@@ -468,12 +470,14 @@ def _cmd_status(args: argparse.Namespace) -> int:
         return 2
     for key in ("job_id", "state", "matrix_digest", "submitted_at",
                 "started_at", "finished_at", "error", "index_cache_hit",
-                "result_cache_hit"):
+                "kernel_cache_hit", "result_cache_hit"):
         value = record.get(key)
         if value is not None:
             print(f"{key}: {value}")
     for key, value in sorted(record.get("progress", {}).items()):
         print(f"progress.{key}: {value}")
+    for key, seconds in sorted((record.get("phase_timers") or {}).items()):
+        print(f"phase.{key}: {seconds:.3f}s")
     print(f"parameters: {record.get('parameters')}")
     return 0
 

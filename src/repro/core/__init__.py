@@ -15,9 +15,11 @@ from repro.core.coherence import (
     fit_affine,
     is_shifting_and_scaling,
 )
+from repro.core.kernels import DEFAULT_SLICE_CACHE, RegulationKernel
 from repro.core.miner import (
     MiningCancelled,
     MiningResult,
+    PhaseTimers,
     ProgressCallback,
     PruningConfig,
     RegClusterMiner,
@@ -90,6 +92,9 @@ __all__ = [
     "MiningResult",
     "PruningConfig",
     "SearchStatistics",
+    "PhaseTimers",
+    "RegulationKernel",
+    "DEFAULT_SLICE_CACHE",
     "mine_reg_clusters",
     "maximal_coherent_windows",
     "coherent_gene_windows",

@@ -24,11 +24,29 @@ Pruning strategies (numbers follow the paper):
 Prunings 1-3 are lossless (toggling them changes runtime, never output —
 the ablation benchmark verifies this); pruning 4 *is* the coherence
 constraint of the model and cannot be disabled.
+
+Hot-path layout
+---------------
+The per-node work is backed by the precomputed regulation-pair kernel
+(:mod:`repro.core.kernels`): candidate generation is a masked lookup into
+a dense kernel slice instead of an O(|members| x C) float
+subtract/compare, gene-membership splits go through one reusable boolean
+scratch mask over the full gene axis (no per-node ``np.isin`` /
+``np.union1d`` allocations), and the Eq. 7 baseline ``d_c2 - d_c1`` is
+computed once per depth-2 branch root instead of at every extension.
+``use_kernel=False`` selects the legacy direct-evaluation path — kept
+both as the equivalence oracle for the kernel (the two are proven
+bit-identical in ``tests/core/test_miner_kernel_equivalence.py``) and as
+the measured baseline of ``BENCH_baseline.json``.  Each search phase
+(candidate generation / window partition / emit) is timed into
+:class:`PhaseTimers`, surfaced by ``reg-cluster mine --stats``, the
+service job records and the benchmark-regression suite.
 """
 
 from __future__ import annotations
 
-from dataclasses import dataclass
+from dataclasses import dataclass, field
+from time import perf_counter
 from typing import (
     Callable,
     Dict,
@@ -46,14 +64,16 @@ from numpy.typing import NDArray
 
 from repro.core.chain import is_representative
 from repro.core.cluster import RegCluster
+from repro.core.kernels import RegulationKernel
 from repro.core.params import MiningParameters
 from repro.core.rwave import RWaveIndex
 from repro.core.trace import SearchTrace
-from repro.core.window import coherent_gene_windows
+from repro.core.window import coherent_gene_windows, segmented_maximal_windows
 from repro.matrix.expression import ExpressionMatrix
 
 __all__ = [
     "PruningConfig",
+    "PhaseTimers",
     "SearchStatistics",
     "MiningResult",
     "MiningCancelled",
@@ -106,6 +126,38 @@ class PruningConfig:
 
 
 @dataclass
+class PhaseTimers:
+    """Wall-clock seconds spent in each search phase.
+
+    Kept separate from the integer counters of
+    :class:`SearchStatistics` so result payloads (which must be
+    bit-identical across equivalent runs) can carry the counters without
+    the non-deterministic timings.
+    """
+
+    candidates: float = 0.0  #: candidate generation (step 4-5 of Fig. 5)
+    windows: float = 0.0  #: Eq. 7 scoring + coherent window partition
+    emit: float = 0.0  #: representativeness / redundancy check + emit
+
+    def as_dict(self) -> Dict[str, float]:
+        return {
+            "candidates": self.candidates,
+            "windows": self.windows,
+            "emit": self.emit,
+        }
+
+    def prefixed(self) -> Dict[str, float]:
+        """The timers under ``time_``-prefixed keys (shard transport)."""
+        return {f"time_{key}": value for key, value in self.as_dict().items()}
+
+    def add(self, other: "PhaseTimers") -> None:
+        """Accumulate another run's timers into this one."""
+        self.candidates += other.candidates
+        self.windows += other.windows
+        self.emit += other.emit
+
+
+@dataclass
 class SearchStatistics:
     """Counters describing one mining run (the ablation benches' payload)."""
 
@@ -118,6 +170,11 @@ class SearchStatistics:
     coherence_rejections: int = 0
     clusters_emitted: int = 0
     max_depth: int = 0
+    #: genes whose Eq. 7 score came out non-finite (degenerate baseline
+    #: ``d_c2 - d_c1``) and were dropped before the window partition.
+    degenerate_genes_dropped: int = 0
+    #: per-phase wall-clock timings (not part of :meth:`as_dict`).
+    timers: PhaseTimers = field(default_factory=PhaseTimers)
 
     def as_dict(self) -> Dict[str, int]:
         return {
@@ -130,6 +187,7 @@ class SearchStatistics:
             "coherence_rejections": self.coherence_rejections,
             "clusters_emitted": self.clusters_emitted,
             "max_depth": self.max_depth,
+            "degenerate_genes_dropped": self.degenerate_genes_dropped,
         }
 
 
@@ -155,6 +213,16 @@ class _SearchLimitReached(Exception):
     """Internal signal: max_clusters emitted, unwind the recursion."""
 
 
+#: Histogram resolution of the coherence prefilter in
+#: :meth:`RegClusterMiner._extend_batched`.  Scores beyond
+#: ``min + _BUCKET_CAP * epsilon`` share the top bucket — merging buckets
+#: only relaxes the bound, so clipping never drops a viable candidate.
+#: Kept small: the histograms are rebuilt at every search node, and a
+#: coarse top bucket merely lets a few extra candidates through to the
+#: exact scan.
+_BUCKET_CAP = 255
+
+
 class RegClusterMiner:
     """Mines every validated reg-cluster of a matrix (Definition 3.2).
 
@@ -166,6 +234,11 @@ class RegClusterMiner:
         MinG / MinC / gamma / epsilon bundle.
     prunings:
         Lossless-pruning switches, defaults to all on.
+    use_kernel:
+        Back candidate generation by the precomputed regulation-pair
+        kernel (default).  ``False`` re-derives Eq. 3 from raw values at
+        every node — the legacy hot path, kept as the measured baseline
+        and equivalence oracle; both paths emit bit-identical results.
 
     Examples
     --------
@@ -192,6 +265,7 @@ class RegClusterMiner:
         index: Optional[RWaveIndex] = None,
         progress_callback: Optional[ProgressCallback] = None,
         should_stop: Optional[Callable[[], bool]] = None,
+        use_kernel: bool = True,
     ) -> None:
         self.matrix = matrix
         self.params = params
@@ -236,6 +310,31 @@ class RegClusterMiner:
             self.index = RWaveIndex(matrix, params.gamma, thresholds=thresholds)
         self._values = matrix.values
         self._thresholds = self.index.thresholds
+        #: the packed Eq. 3 relation (built lazily on the index, shared
+        #: by every miner reusing it), or ``None`` on the legacy path.
+        self._kernel: Optional[RegulationKernel] = (
+            self.index.kernel if use_kernel else None
+        )
+        #: reusable boolean scratch over the full gene axis — membership
+        #: splits and distinct-gene counts without per-node allocation.
+        self._scratch: NDArray[np.bool_] = np.zeros(
+            matrix.n_genes, dtype=np.bool_
+        )
+        #: Eq. 7 denominator d_c2 - d_c1 for every gene, refreshed at
+        #: each depth-2 branch root (valid for the whole subtree).
+        self._baseline: NDArray[np.float64] = np.zeros(
+            matrix.n_genes, dtype=np.float64
+        )
+        #: pruning (2) masks ``max_up/max_down >= need`` keyed by the
+        #: remaining chain length, built once per distinct ``need``.
+        self._reach_cache: Dict[
+            int, Tuple[NDArray[np.bool_], NDArray[np.bool_]]
+        ] = {}
+
+    @property
+    def uses_kernel(self) -> bool:
+        """Whether candidate generation runs on the packed kernel."""
+        return self._kernel is not None
 
     # ------------------------------------------------------------------
     # Public API
@@ -280,19 +379,25 @@ class RegClusterMiner:
         all_genes = np.arange(self.matrix.n_genes, dtype=np.intp)
         min_c = self.params.min_conditions
         try:
-            for start in starts:
-                if self.prunings.reachability:
-                    p_mask = self.index.max_up[:, start] >= min_c
-                    n_mask = self.index.max_down[:, start] >= min_c
-                    self._stats.genes_pruned_reachability += int(
-                        (~p_mask).sum() + (~n_mask).sum()
-                    )
-                    p_members = all_genes[p_mask]
-                    n_members = all_genes[n_mask]
-                else:
-                    p_members = all_genes
-                    n_members = all_genes
-                self._expand((start,), p_members, n_members)
+            # Degenerate Eq. 7 baselines divide to inf/NaN (a subnormal
+            # baseline can also overflow the quotient); those scores are
+            # dropped (and counted) explicitly, so the warnings are
+            # silenced once here instead of per extension step.
+            with np.errstate(divide="ignore", invalid="ignore",
+                             over="ignore"):
+                for start in starts:
+                    if self.prunings.reachability:
+                        p_mask = self.index.max_up[:, start] >= min_c
+                        n_mask = self.index.max_down[:, start] >= min_c
+                        self._stats.genes_pruned_reachability += int(
+                            (~p_mask).sum() + (~n_mask).sum()
+                        )
+                        p_members = all_genes[p_mask]
+                        n_members = all_genes[n_mask]
+                    else:
+                        p_members = all_genes
+                        n_members = all_genes
+                    self._expand((start,), p_members, n_members)
         except _SearchLimitReached:
             pass
         return MiningResult(
@@ -305,6 +410,24 @@ class RegClusterMiner:
     # Depth-first search (subroutine MineC^2 of Figure 5)
     # ------------------------------------------------------------------
 
+    def _distinct_members(
+        self,
+        p_members: NDArray[np.intp],
+        n_members: NDArray[np.intp],
+    ) -> int:
+        """Distinct genes across both orientations (depth-1 totals).
+
+        A mask-OR popcount over the reusable gene scratch — replaces the
+        ``np.union1d`` (sort + allocate) the root nodes used to pay.
+        """
+        scratch = self._scratch
+        scratch[p_members] = True
+        scratch[n_members] = True
+        total = int(np.count_nonzero(scratch))
+        scratch[p_members] = False
+        scratch[n_members] = False
+        return total
+
     def _expand(
         self,
         chain: Tuple[int, ...],
@@ -312,6 +435,7 @@ class RegClusterMiner:
         n_members: NDArray[np.intp],
     ) -> None:
         stats = self._stats
+        timers = stats.timers
         params = self.params
         depth = len(chain)
         stats.nodes_expanded += 1
@@ -329,7 +453,7 @@ class RegClusterMiner:
         else:
             # Orientation is undetermined for a single condition; the
             # member sets may overlap, count distinct genes.
-            total = int(np.union1d(p_members, n_members).shape[0])
+            total = self._distinct_members(p_members, n_members)
 
         # Pruning (1): members only shrink along a branch.
         if total < params.min_genes:
@@ -354,13 +478,16 @@ class RegClusterMiner:
             and total >= params.min_genes
             and is_representative(chain, p_members.shape[0], n_members.shape[0])
         ):
+            emit_started = perf_counter()
             key = (chain, frozenset(map(int, np.concatenate((p_members, n_members)))))
             if key in self._emitted:
                 if self.prunings.redundancy:
                     stats.pruned_redundant += 1
                     if self.tracer is not None:
                         self.tracer.record(chain, "pruned_redundant")
+                    timers.emit += perf_counter() - emit_started
                     return
+                timers.emit += perf_counter() - emit_started
             else:
                 self._emitted.add(key)
                 if self.tracer is not None:
@@ -373,6 +500,7 @@ class RegClusterMiner:
                     )
                 )
                 stats.clusters_emitted += 1
+                timers.emit += perf_counter() - emit_started
                 if self.progress_callback is not None:
                     self.progress_callback("emitted", stats.nodes_expanded)
                 if (
@@ -384,9 +512,27 @@ class RegClusterMiner:
         if depth >= self.matrix.n_conditions:
             return
 
-        for candidate, child_p, child_n in self._candidates(
-            chain, p_members, n_members
-        ):
+        if depth == 2:
+            # Eq. 7 baseline d_c2 - d_c1 for the whole branch: every
+            # descendant of this node shares (c1, c2), so the per-gene
+            # denominators are computed once here and gathered per step.
+            np.subtract(
+                self._values[:, chain[1]],
+                self._values[:, chain[0]],
+                out=self._baseline,
+            )
+
+        if self._kernel is not None and depth >= 2:
+            # Kernel hot path: score every candidate extension of this
+            # node in one flat vectorized pass instead of per candidate.
+            self._extend_batched(chain, p_members, n_members)
+            return
+
+        phase_started = perf_counter()
+        candidates = list(self._candidates(chain, p_members, n_members))
+        timers.candidates += perf_counter() - phase_started
+
+        for candidate, child_p, child_n in candidates:
             stats.candidates_examined += 1
             extended = chain + (candidate,)
             if len(extended) == 2:
@@ -397,60 +543,97 @@ class RegClusterMiner:
                     self._expand(extended, child_p, child_n)
                 continue
 
+            phase_started = perf_counter()
             genes = np.concatenate((child_p, child_n))
             if genes.shape[0] == 0:
+                timers.windows += perf_counter() - phase_started
                 continue
             scores = self._step_scores(genes, chain, candidate)
+            finite = np.isfinite(scores)
+            if not finite.all():
+                # Degenerate baseline (possible only for genes that never
+                # complied with the chain's first step — defensive: valid
+                # members always have |d_c2 - d_c1| > gamma_g >= 0).
+                stats.degenerate_genes_dropped += int(
+                    genes.shape[0] - np.count_nonzero(finite)
+                )
+                genes = genes[finite]
+                scores = scores[finite]
             windows = coherent_gene_windows(
                 genes, scores, params.epsilon, params.min_genes
             )
             if not windows:
                 stats.coherence_rejections += 1
+                timers.windows += perf_counter() - phase_started
                 if self.tracer is not None:
                     self.tracer.record(extended, "pruned_coherence")
                 continue
-            for window in windows:
-                in_p = np.isin(window, child_p, assume_unique=True)
+            # Orientation split: one pass over the reusable scratch mask
+            # instead of an O(|window| log |child_p|) np.isin per window.
+            scratch = self._scratch
+            scratch[child_p] = True
+            picks = [scratch[window] for window in windows]
+            scratch[child_p] = False
+            timers.windows += perf_counter() - phase_started
+            for window, in_p in zip(windows, picks):
                 self._expand(extended, window[in_p], window[~in_p])
 
     # ------------------------------------------------------------------
     # Candidate generation (step 4-5 of Figure 5)
     # ------------------------------------------------------------------
 
-    def _candidates(
+    def _candidate_matrix(
         self,
         chain: Tuple[int, ...],
         p_members: NDArray[np.intp],
         n_members: NDArray[np.intp],
-    ) -> Iterator[Tuple[int, NDArray[np.intp], NDArray[np.intp]]]:
-        """Yield ``(condition, child_p, child_n)`` extensions of a chain.
+    ) -> Tuple[
+        NDArray[np.intp], NDArray[np.bool_], NDArray[np.bool_]
+    ]:
+        """Viable extensions of a chain as ``(cands, up_ok, down_ok)``.
 
-        Candidates are gathered by scanning the RWave models of the
-        p-members (prunings 2 and 3a make scanning n-members
-        unnecessary); each candidate condition must be a regulation
-        successor of the chain's last condition for the p-members and a
-        regulation predecessor for the n-members.
+        ``cands`` lists the candidate conditions in ascending order;
+        ``up_ok[i, j]`` marks the i-th p-member complying with the j-th
+        candidate, ``down_ok`` likewise for n-members.  Candidates are
+        gathered by scanning the regulation successors of the chain's
+        last condition for the p-members and its predecessors for the
+        n-members (prunings 2 and 3a make scanning n-members for support
+        unnecessary).  On the kernel path the Eq. 3 tests are masked
+        lookups into the precomputed dense slices; the legacy path
+        derives them from raw values (bit-identical, measured slower).
         """
         params = self.params
-        values = self._values
-        thresholds = self._thresholds
         last = chain[-1]
         depth = len(chain)
         need = params.min_conditions - depth  # chain still to grow, incl. cand
 
         p_idx = p_members
         n_idx = n_members
-        up_ok = (
-            values[p_idx] - values[p_idx, last][:, None]
-            > thresholds[p_idx][:, None]
-        )
-        down_ok = (
-            values[n_idx, last][:, None] - values[n_idx]
-            > thresholds[n_idx][:, None]
-        )
+        kernel = self._kernel
+        if kernel is not None:
+            up_ok = kernel.up_slice(last)[p_idx]
+            down_ok = kernel.down_slice(last)[n_idx]
+        else:
+            values = self._values
+            thresholds = self._thresholds
+            up_ok = (
+                values[p_idx] - values[p_idx, last][:, None]
+                > thresholds[p_idx][:, None]
+            )
+            down_ok = (
+                values[n_idx, last][:, None] - values[n_idx]
+                > thresholds[n_idx][:, None]
+            )
         if self.prunings.reachability and need > 1:
-            up_ok &= self.index.max_up[p_idx] >= need
-            down_ok &= self.index.max_down[n_idx] >= need
+            reach = self._reach_cache.get(need)
+            if reach is None:
+                reach = (
+                    self.index.max_up >= need,
+                    self.index.max_down >= need,
+                )
+                self._reach_cache[need] = reach
+            up_ok &= reach[0][p_idx]
+            down_ok &= reach[1][n_idx]
 
         in_chain = np.zeros(self.matrix.n_conditions, dtype=bool)
         in_chain[list(chain)] = True
@@ -470,13 +653,157 @@ class RegClusterMiner:
                     else "pruned_p_majority"
                 )
                 self.tracer.record(chain + (int(condition),), event)
-        for condition in np.flatnonzero(support >= min_support):
-            condition = int(condition)
+        cands = np.flatnonzero(support >= min_support).astype(
+            np.intp, copy=False
+        )
+        return cands, up_ok[:, cands], down_ok[:, cands]
+
+    def _candidates(
+        self,
+        chain: Tuple[int, ...],
+        p_members: NDArray[np.intp],
+        n_members: NDArray[np.intp],
+    ) -> Iterator[Tuple[int, NDArray[np.intp], NDArray[np.intp]]]:
+        """Yield ``(condition, child_p, child_n)`` extensions of a chain."""
+        cands, up_sel, down_sel = self._candidate_matrix(
+            chain, p_members, n_members
+        )
+        for position, condition in enumerate(cands):
             yield (
-                condition,
-                p_idx[up_ok[:, condition]],
-                n_idx[down_ok[:, condition]],
+                int(condition),
+                p_members[up_sel[:, position]],
+                n_members[down_sel[:, position]],
             )
+
+    def _extend_batched(
+        self,
+        chain: Tuple[int, ...],
+        p_members: NDArray[np.intp],
+        n_members: NDArray[np.intp],
+    ) -> None:
+        """Score and branch every candidate extension in one flat pass.
+
+        The per-candidate legacy loop pays numpy call overhead on tiny
+        arrays tens of thousands of times; this path concatenates every
+        candidate's compliant genes into flat arrays, computes all Eq. 7
+        scores with one vectorized expression, canonicalizes the order
+        with a single (candidate, score, gene) lexsort and partitions all
+        candidates' windows with one segmented scan.  The per-candidate
+        bookkeeping loop then only touches precomputed arrays, so
+        statistics, tracer events and recursion order — and therefore the
+        emitted clusters — are bit-identical to the legacy path.
+        """
+        stats = self._stats
+        timers = stats.timers
+        params = self.params
+        last = chain[-1]
+
+        phase_started = perf_counter()
+        cands, up_sel, down_sel = self._candidate_matrix(
+            chain, p_members, n_members
+        )
+        timers.candidates += perf_counter() - phase_started
+        n_cands = cands.shape[0]
+        if n_cands == 0:
+            return
+
+        phase_started = perf_counter()
+        n_p = p_members.shape[0]
+        members_all = np.concatenate((p_members, n_members))
+        ok_t = np.ascontiguousarray(
+            np.concatenate((up_sel, down_sel), axis=0).T
+        )
+        # nonzero on the (candidate, member) orientation walks candidates
+        # in ascending order, members within each — the flat layout every
+        # later step relies on.
+        cand_pos, mem_pos = np.nonzero(ok_t)
+        raw_counts = np.bincount(cand_pos, minlength=n_cands)
+        genes_flat = members_all[mem_pos]
+        values = self._values
+        scores_flat = (
+            values[genes_flat, cands[cand_pos]] - values[genes_flat, last]
+        ) / self._baseline[genes_flat]
+        finite = np.isfinite(scores_flat)
+        if finite.all():
+            degenerate = None
+        else:
+            # Degenerate baselines (defensive — valid members always have
+            # |d_c2 - d_c1| > gamma_g >= 0); drop and count per candidate.
+            degenerate = np.bincount(cand_pos[~finite], minlength=n_cands)
+            keep = finite
+            cand_pos = cand_pos[keep]
+            mem_pos = mem_pos[keep]
+            genes_flat = genes_flat[keep]
+            scores_flat = scores_flat[keep]
+        epsilon = params.epsilon
+        if epsilon > 0.0 and scores_flat.shape[0]:
+            # Coherence prefilter: a window of spread <= epsilon occupies
+            # at most two adjacent epsilon-wide histogram buckets (four
+            # with the slack of the float bucketing itself), so a
+            # candidate whose best 4-adjacent-bucket count stays below
+            # MinG provably has no valid window — cheaper than sorting
+            # its scores.  The bound is conservative: survivors still go
+            # through the exact segmented scan below.
+            low = scores_flat.min()
+            clipped = np.clip(
+                (scores_flat - low) / epsilon, 0.0, float(_BUCKET_CAP)
+            )
+            key = cand_pos * np.int64(_BUCKET_CAP + 1) + clipped.astype(
+                np.int64
+            )
+            hist = np.bincount(
+                key, minlength=n_cands * (_BUCKET_CAP + 1)
+            ).reshape(n_cands, _BUCKET_CAP + 1)
+            quads = hist[:, :-3] + hist[:, 1:-2] + hist[:, 2:-1] + hist[:, 3:]
+            viable = quads.max(axis=1) >= params.min_genes
+            if not viable.all():
+                flat_keep = viable[cand_pos]
+                cand_pos = cand_pos[flat_keep]
+                mem_pos = mem_pos[flat_keep]
+                genes_flat = genes_flat[flat_keep]
+                scores_flat = scores_flat[flat_keep]
+        counts = np.bincount(cand_pos, minlength=n_cands)
+        # Primary key candidate, then score, then gene id — within each
+        # candidate segment this is exactly the lexsort((ids, values))
+        # order of coherent_gene_windows.
+        order = np.lexsort((genes_flat, scores_flat, cand_pos))
+        genes_sorted = genes_flat[order]
+        scores_sorted = scores_flat[order]
+        in_p_sorted = mem_pos[order] < n_p
+        seg_sorted = cand_pos[order]
+        seg_ends = np.repeat(np.cumsum(counts) - 1, counts)
+        win_starts, win_ends = segmented_maximal_windows(
+            scores_sorted, seg_sorted, seg_ends,
+            params.epsilon, params.min_genes,
+        )
+        win_seg = seg_sorted[win_starts]
+        timers.windows += perf_counter() - phase_started
+
+        n_windows = win_starts.shape[0]
+        cursor = 0
+        for position in range(n_cands):
+            stats.candidates_examined += 1
+            if degenerate is not None and degenerate[position]:
+                stats.degenerate_genes_dropped += int(degenerate[position])
+            if raw_counts[position] == 0:
+                continue
+            first = cursor
+            while cursor < n_windows and win_seg[cursor] == position:
+                cursor += 1
+            if cursor == first:
+                stats.coherence_rejections += 1
+                if self.tracer is not None:
+                    self.tracer.record(
+                        chain + (int(cands[position]),), "pruned_coherence"
+                    )
+                continue
+            extended = chain + (int(cands[position]),)
+            for index in range(first, cursor):
+                start = win_starts[index]
+                end = win_ends[index]
+                window = genes_sorted[start : end + 1]
+                in_p = in_p_sorted[start : end + 1]
+                self._expand(extended, window[in_p], window[~in_p])
 
     # ------------------------------------------------------------------
     # Coherence scores for one extension step
@@ -488,13 +815,18 @@ class RegClusterMiner:
         chain: Tuple[int, ...],
         candidate: int,
     ) -> NDArray[np.float64]:
-        """H(j, c_k1, c_k2, c_km, candidate) for every gene (Eq. 7)."""
+        """H(j, c_k1, c_k2, c_km, candidate) for every gene (Eq. 7).
+
+        The denominator is gathered from the branch-root baseline cache
+        (refreshed on every depth-2 node, see :meth:`_expand`) — the same
+        float subtraction as the direct form, performed once per branch
+        instead of once per extension.
+        """
         values = self._values
-        c1, c2, last = chain[0], chain[1], chain[-1]
-        baseline = values[genes, c2] - values[genes, c1]
+        last = chain[-1]
+        baseline = self._baseline[genes]
         step = values[genes, candidate] - values[genes, last]
-        with np.errstate(divide="ignore", invalid="ignore"):
-            return np.asarray(step / baseline, dtype=np.float64)
+        return np.asarray(step / baseline, dtype=np.float64)
 
 
 def mine_reg_clusters(
@@ -507,6 +839,7 @@ def mine_reg_clusters(
     max_clusters: Optional[int] = None,
     prunings: Optional[PruningConfig] = None,
     thresholds: Optional[NDArray[np.float64]] = None,
+    use_kernel: bool = True,
 ) -> MiningResult:
     """One-call convenience wrapper around :class:`RegClusterMiner`.
 
@@ -524,7 +857,7 @@ def mine_reg_clusters(
         max_clusters=max_clusters,
     )
     miner = RegClusterMiner(
-        matrix, params, prunings=prunings, thresholds=thresholds
+        matrix, params, prunings=prunings, thresholds=thresholds,
+        use_kernel=use_kernel,
     )
     return miner.mine()
-

@@ -31,6 +31,7 @@ import numpy as np
 from numpy.typing import ArrayLike, NDArray
 
 from repro.analysis.contracts import maybe_check_rwave_index
+from repro.core.kernels import RegulationKernel
 from repro.core.regulation import gene_thresholds
 from repro.matrix.expression import ExpressionMatrix
 
@@ -305,7 +306,8 @@ class RWaveIndex:
         self.thresholds: NDArray[np.float64] = per_gene
         self.models: Tuple[RWaveModel, ...] = tuple(
             RWaveModel(matrix.values[i], float(self.thresholds[i]), gene=i)
-            for i in range(matrix.n_genes)
+            # One-time index build, not a search-time loop.
+            for i in range(matrix.n_genes)  # reglint: disable=RL106
         )
         n_genes, n_conditions = matrix.shape
         self.max_up: NDArray[np.intp] = np.empty(
@@ -317,6 +319,7 @@ class RWaveIndex:
         for i, model in enumerate(self.models):
             self.max_up[i, model.order] = model.max_chain_up
             self.max_down[i, model.order] = model.max_chain_down
+        self._kernel: Optional[RegulationKernel] = None
         # Debug-mode Lemma 3.1 invariant checks (repro.analysis.contracts):
         # a no-op unless contracts are enabled for the process.
         maybe_check_rwave_index(self)
@@ -325,5 +328,47 @@ class RWaveIndex:
         """The RWave model of one gene."""
         return self.models[self.matrix.gene_index(gene)]
 
+    @property
+    def kernel(self) -> RegulationKernel:
+        """The packed regulation-pair kernel of this index, built lazily.
+
+        The kernel is derived from the same values and thresholds as the
+        models, so its bits agree with :meth:`RWaveModel.is_up_regulated`
+        everywhere.  Built on first access and shared by every miner that
+        reuses this index; :meth:`attach_kernel` installs a prebuilt one
+        (e.g. from the service artifact cache).
+        """
+        if self._kernel is None:
+            self._kernel = RegulationKernel(
+                self.matrix.values, self.thresholds
+            )
+        return self._kernel
+
+    @property
+    def has_kernel(self) -> bool:
+        """Whether the kernel has already been built (or attached)."""
+        return self._kernel is not None
+
+    def attach_kernel(self, kernel: RegulationKernel) -> None:
+        """Install a prebuilt kernel (must match this index's shape)."""
+        if kernel.shape != self.matrix.shape:
+            raise ValueError(
+                f"kernel shape {kernel.shape} does not match matrix "
+                f"shape {self.matrix.shape}"
+            )
+        self._kernel = kernel
+
     def __len__(self) -> int:
         return len(self.models)
+
+    def __getstate__(self) -> "dict[str, object]":
+        """Pickle without the kernel: it is cached as its own artifact
+        (see :mod:`repro.service.cache`) and rebuilt lazily elsewhere."""
+        state = dict(self.__dict__)
+        state["_kernel"] = None
+        return state
+
+    def __setstate__(self, state: "dict[str, object]") -> None:
+        self.__dict__.update(state)
+        # Indexes pickled before the kernel attribute existed.
+        self.__dict__.setdefault("_kernel", None)

@@ -6,6 +6,17 @@ partitioned into *maximal* intervals whose score spread is at most
 ``epsilon`` — each interval of at least ``MinG`` genes becomes one child
 branch of the search.  Intervals may overlap, which is why reg-clusters
 themselves may overlap.
+
+The window scan is the hottest phase of the search (it runs once per
+examined candidate), so the partition is computed vectorized: one
+:func:`numpy.searchsorted` proposes every window end at once, then a
+fix-up pass re-checks the proposals against the *exact* predicate
+``scores[end] - scores[start] <= epsilon`` — the cutoff ``scores[start] +
+epsilon`` used by the binary search can disagree with the subtraction
+form in the last ulp, and the window boundaries must match the scalar
+definition bit for bit.  The original scalar two-pointer scan is kept as
+:func:`_scan_maximal_windows`, both as the reference the property tests
+compare against and as the fallback for non-finite scores.
 """
 
 from __future__ import annotations
@@ -15,44 +26,18 @@ from typing import List, Tuple
 import numpy as np
 from numpy.typing import ArrayLike, NDArray
 
-__all__ = ["maximal_coherent_windows", "coherent_gene_windows"]
+__all__ = [
+    "maximal_coherent_windows",
+    "coherent_gene_windows",
+    "segmented_maximal_windows",
+]
 
 
-def maximal_coherent_windows(
-    sorted_scores: ArrayLike, epsilon: float, min_length: int
+def _scan_maximal_windows(
+    scores: NDArray[np.float64], epsilon: float, min_length: int
 ) -> List[Tuple[int, int]]:
-    """Maximal windows of width <= epsilon over ascending scores.
-
-    Parameters
-    ----------
-    sorted_scores:
-        H scores in non-descending order.
-    epsilon:
-        Maximum allowed spread ``max - min`` inside one window.
-    min_length:
-        Windows with fewer elements are dropped (pruning 4 / MinG).
-
-    Returns
-    -------
-    List of half-open-free ``(start, end)`` index pairs, *inclusive* on
-    both sides, each maximal: extending the window in either direction
-    would either exceed epsilon or leave the array.
-
-    Notes
-    -----
-    Runs in O(n) with two pointers: the rightmost reachable end for each
-    start is non-decreasing, and a window is maximal exactly when its end
-    strictly advanced past the previous start's end.
-    """
-    scores = np.asarray(sorted_scores, dtype=np.float64)
+    """Reference scalar two-pointer scan (the window definition)."""
     n = scores.shape[0]
-    if min_length < 1:
-        raise ValueError(f"min_length must be >= 1, got {min_length}")
-    if epsilon < 0:
-        raise ValueError(f"epsilon must be >= 0, got {epsilon}")
-    if n and np.any(np.diff(scores) < 0):
-        raise ValueError("scores must be sorted in non-descending order")
-
     windows: List[Tuple[int, int]] = []
     end = 0
     previous_end = -1
@@ -68,6 +53,154 @@ def maximal_coherent_windows(
         if end == n - 1:
             break
     return windows
+
+
+def _vector_maximal_windows(
+    scores: NDArray[np.float64], epsilon: float, min_length: int
+) -> List[Tuple[int, int]]:
+    """Vectorized window scan, bit-identical to the scalar reference.
+
+    For sorted finite scores the reachable end of every start is
+    ``end[s] = max{e : scores[e] - scores[s] <= epsilon}``; IEEE
+    subtraction is monotone, so ``end`` is non-decreasing and a window is
+    maximal exactly where ``end`` strictly advances.  ``searchsorted``
+    proposes the ends; the short correction loops below reconcile the
+    additive cutoff with the exact subtractive predicate (they run zero
+    iterations unless the two round differently).
+    """
+    n = scores.shape[0]
+    starts = np.arange(n, dtype=np.intp)
+    ends = np.searchsorted(scores, scores + epsilon, side="right") - 1
+    np.maximum(ends, starts, out=ends)
+    while True:
+        probe = np.minimum(ends + 1, n - 1)
+        grow = (ends + 1 < n) & (scores[probe] - scores[starts] <= epsilon)
+        if not grow.any():
+            break
+        ends[grow] += 1
+    while True:
+        shrink = (ends > starts) & (scores[ends] - scores[starts] > epsilon)
+        if not shrink.any():
+            break
+        ends[shrink] -= 1
+    maximal = np.flatnonzero(np.diff(ends, prepend=-1) > 0)
+    long_enough = ends[maximal] - maximal + 1 >= min_length
+    return [
+        (int(start), int(ends[start])) for start in maximal[long_enough]
+    ]
+
+
+def segmented_maximal_windows(
+    scores: NDArray[np.float64],
+    seg_ids: NDArray[np.intp],
+    seg_ends: NDArray[np.intp],
+    epsilon: float,
+    min_length: int,
+) -> Tuple[NDArray[np.intp], NDArray[np.intp]]:
+    """Maximal windows over many concatenated sorted score runs at once.
+
+    The miner scores every candidate extension of a search node in one
+    flat array: ``scores`` holds the runs back to back (each run sorted
+    non-descending, all values finite), ``seg_ids`` labels each element
+    with its run (non-decreasing) and ``seg_ends`` gives each element the
+    flat index of its run's last element.  The result is the union of
+    :func:`maximal_coherent_windows` applied to every run separately —
+    two parallel arrays of flat ``(start, end)`` indices, ascending —
+    computed with a fixed number of whole-array operations instead of a
+    Python-level pass per run.
+
+    The binary-search proposal uses per-run offsets to keep the flat key
+    monotone; exactness does not depend on it — the same grow/shrink
+    fix-up loops as :func:`_vector_maximal_windows` re-check every
+    boundary against the exact predicate on the original scores.
+    """
+    n = scores.shape[0]
+    empty = np.empty(0, dtype=np.intp)
+    if n == 0:
+        return empty, empty
+    starts = np.arange(n, dtype=np.intp)
+    # Shift each run into its own disjoint key range so one global
+    # searchsorted respects run boundaries.  Rounding here only degrades
+    # the proposal; the fix-up loops below restore exactness.
+    low = float(scores.min())
+    span = float(scores.max()) - low + epsilon
+    offset = 2.0 * span + 1.0
+    shifted = (scores - low) + seg_ids * offset
+    ends = np.searchsorted(shifted, shifted + epsilon, side="right") - 1
+    np.minimum(ends, seg_ends, out=ends)
+    np.maximum(ends, starts, out=ends)
+    while True:
+        probe = np.minimum(ends + 1, seg_ends)
+        grow = (ends < seg_ends) & (scores[probe] - scores[starts] <= epsilon)
+        if not grow.any():
+            break
+        ends[grow] += 1
+    while True:
+        shrink = (ends > starts) & (scores[ends] - scores[starts] > epsilon)
+        if not shrink.any():
+            break
+        ends[shrink] -= 1
+    # Within one run ends are non-decreasing, so a window is maximal
+    # exactly where its end advances past the previous start's end; run
+    # breaks reset the comparison like previous_end = -1 does in the
+    # scalar scan.
+    prev = np.empty_like(ends)
+    prev[0] = -1
+    prev[1:] = ends[:-1]
+    if n > 1:
+        prev[1:][seg_ids[1:] != seg_ids[:-1]] = -1
+    keep = (ends > prev) & (ends - starts + 1 >= min_length)
+    win_starts = np.flatnonzero(keep).astype(np.intp, copy=False)
+    return win_starts, ends[win_starts]
+
+
+def maximal_coherent_windows(
+    sorted_scores: ArrayLike,
+    epsilon: float,
+    min_length: int,
+    *,
+    assume_sorted: bool = False,
+) -> List[Tuple[int, int]]:
+    """Maximal windows of width <= epsilon over ascending scores.
+
+    Parameters
+    ----------
+    sorted_scores:
+        H scores in non-descending order.
+    epsilon:
+        Maximum allowed spread ``max - min`` inside one window.
+    min_length:
+        Windows with fewer elements are dropped (pruning 4 / MinG).
+    assume_sorted:
+        Skip the sortedness re-validation (for callers that just sorted,
+        like :func:`coherent_gene_windows`).
+
+    Returns
+    -------
+    List of half-open-free ``(start, end)`` index pairs, *inclusive* on
+    both sides, each maximal: extending the window in either direction
+    would either exceed epsilon or leave the array.
+
+    Notes
+    -----
+    The rightmost reachable end for each start is non-decreasing, and a
+    window is maximal exactly when its end strictly advanced past the
+    previous start's end.  Sorted finite scores take the vectorized scan;
+    anything containing NaN/inf falls back to the scalar reference.
+    """
+    scores = np.asarray(sorted_scores, dtype=np.float64)
+    n = scores.shape[0]
+    if min_length < 1:
+        raise ValueError(f"min_length must be >= 1, got {min_length}")
+    if epsilon < 0:
+        raise ValueError(f"epsilon must be >= 0, got {epsilon}")
+    if not assume_sorted and n and np.any(np.diff(scores) < 0):
+        raise ValueError("scores must be sorted in non-descending order")
+    if n == 0:
+        return []
+    if not np.isfinite(scores).all():
+        return _scan_maximal_windows(scores, epsilon, min_length)
+    return _vector_maximal_windows(scores, epsilon, min_length)
 
 
 def coherent_gene_windows(
@@ -91,10 +224,13 @@ def coherent_gene_windows(
     if ids.shape != values.shape:
         raise ValueError("genes and scores must be parallel arrays")
     finite = np.isfinite(values)
-    ids, values = ids[finite], values[finite]
+    if not finite.all():
+        ids, values = ids[finite], values[finite]
     order = np.lexsort((ids, values))
     ids, values = ids[order], values[order]
     return [
         ids[start : end + 1]
-        for start, end in maximal_coherent_windows(values, epsilon, min_length)
+        for start, end in maximal_coherent_windows(
+            values, epsilon, min_length, assume_sorted=True
+        )
     ]

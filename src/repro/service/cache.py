@@ -1,6 +1,6 @@
 """On-disk LRU cache for expensive mining artifacts.
 
-Two artifact kinds are memoized:
+Three artifact kinds are memoized:
 
 ``index``
     A pickled :class:`~repro.core.rwave.RWaveIndex`, keyed by matrix
@@ -9,6 +9,12 @@ Two artifact kinds are memoized:
     large matrices, and the same index serves *every* parameter setting
     that shares gamma — only MinG/MinC/epsilon change between typical
     sweep jobs.
+``kernel``
+    A pickled :class:`~repro.core.kernels.RegulationKernel` — the
+    bit-packed Eq. 3 relation the miner's hot path runs on — keyed the
+    same way as the index (digest + gamma determine it completely).
+    Cached separately from the index so each stays small and evicts
+    independently.
 ``result``
     A completed mining result in the ``reg-cluster/v1`` JSON schema,
     keyed by job id (which already encodes digest + all parameters).
@@ -29,6 +35,7 @@ from dataclasses import dataclass
 from pathlib import Path
 from typing import Any, Dict, Optional, Union
 
+from repro.core.kernels import RegulationKernel
 from repro.core.rwave import RWaveIndex
 
 __all__ = ["ArtifactCache", "CacheStats", "DEFAULT_MAX_BYTES"]
@@ -45,6 +52,9 @@ class CacheStats:
     index_hits: int = 0
     index_misses: int = 0
     index_stores: int = 0
+    kernel_hits: int = 0
+    kernel_misses: int = 0
+    kernel_stores: int = 0
     result_hits: int = 0
     result_misses: int = 0
     result_stores: int = 0
@@ -55,6 +65,9 @@ class CacheStats:
             "index_hits": self.index_hits,
             "index_misses": self.index_misses,
             "index_stores": self.index_stores,
+            "kernel_hits": self.kernel_hits,
+            "kernel_misses": self.kernel_misses,
+            "kernel_stores": self.kernel_stores,
             "result_hits": self.result_hits,
             "result_misses": self.result_misses,
             "result_stores": self.result_stores,
@@ -75,6 +88,10 @@ class _ManifestEntry:
 
 def _index_key(matrix_digest: str, gamma: float) -> str:
     return f"index-{matrix_digest}-gamma-{float(gamma)!r}"
+
+
+def _kernel_key(matrix_digest: str, gamma: float) -> str:
+    return f"kernel-{matrix_digest}-gamma-{float(gamma)!r}"
 
 
 def _result_key(job_id: str) -> str:
@@ -242,6 +259,44 @@ class ArtifactCache:
         data = pickle.dumps(index, protocol=pickle.HIGHEST_PROTOCOL)
         self._store(key, f"{key}.pkl", data)
         self.stats.index_stores += 1
+
+    # ------------------------------------------------------------------
+    # Regulation kernels
+    # ------------------------------------------------------------------
+
+    def get_kernel(
+        self, matrix_digest: str, gamma: float
+    ) -> Optional[RegulationKernel]:
+        """A cached kernel for (digest, gamma), or ``None`` on a miss."""
+        key = _kernel_key(matrix_digest, gamma)
+        data = self._load(key)
+        if data is None:
+            self.stats.kernel_misses += 1
+            return None
+        try:
+            kernel = pickle.loads(data)
+        except (pickle.UnpicklingError, EOFError, AttributeError,
+                ImportError):
+            # A corrupt or stale artifact is a miss, not an error.
+            with self._lock:
+                self._manifest.pop(key, None)
+                self._save_manifest()
+            self.stats.kernel_misses += 1
+            return None
+        if not isinstance(kernel, RegulationKernel):
+            self.stats.kernel_misses += 1
+            return None
+        self.stats.kernel_hits += 1
+        return kernel
+
+    def put_kernel(
+        self, matrix_digest: str, gamma: float, kernel: RegulationKernel
+    ) -> None:
+        """Memoize a built kernel under (digest, gamma)."""
+        key = _kernel_key(matrix_digest, gamma)
+        data = pickle.dumps(kernel, protocol=pickle.HIGHEST_PROTOCOL)
+        self._store(key, f"{key}.pkl", data)
+        self.stats.kernel_stores += 1
 
     # ------------------------------------------------------------------
     # Completed results

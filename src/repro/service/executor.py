@@ -39,6 +39,7 @@ from repro.core.cluster import RegCluster
 from repro.core.miner import (
     MiningCancelled,
     MiningResult,
+    PhaseTimers,
     ProgressCallback,
     PruningConfig,
     RegClusterMiner,
@@ -51,7 +52,10 @@ from repro.matrix.expression import ExpressionMatrix
 __all__ = ["mine_sharded", "merge_shard_results", "ShardResult"]
 
 #: One shard's output: (start condition, clusters in DFS order, stats).
-ShardResult = Tuple[int, List[RegCluster], Dict[str, int]]
+#: The stats mapping carries the integer counters of
+#: :meth:`SearchStatistics.as_dict` plus the ``time_``-prefixed phase
+#: timer floats of :meth:`PhaseTimers.prefixed`.
+ShardResult = Tuple[int, List[RegCluster], Dict[str, float]]
 
 # ----------------------------------------------------------------------
 # Worker-process side
@@ -78,7 +82,9 @@ def _mine_start(start: int) -> ShardResult:
     miner = _WORKER_MINER
     assert miner is not None, "worker pool initializer did not run"
     result = miner.mine(start_conditions=[start])
-    return start, result.clusters, result.statistics.as_dict()
+    stats: Dict[str, float] = dict(result.statistics.as_dict())
+    stats.update(result.statistics.timers.prefixed())
+    return start, result.clusters, stats
 
 
 # ----------------------------------------------------------------------
@@ -93,7 +99,12 @@ def merge_shard_results(
     """
     ordered = sorted(shards, key=lambda shard: shard[0])
     statistics = SearchStatistics()
-    counter_names = [f.name for f in fields(SearchStatistics)]
+    # The ``timers`` field is a dataclass, not a counter — its floats
+    # travel under ``time_``-prefixed keys and are summed separately.
+    counter_names = [
+        f.name for f in fields(SearchStatistics) if f.name != "timers"
+    ]
+    timer_names = [f.name for f in fields(PhaseTimers)]
     emitted: set[Tuple[Tuple[int, ...], FrozenSet[int]]] = set()
     clusters: List[RegCluster] = []
     truncated = False
@@ -104,6 +115,13 @@ def merge_shard_results(
                 statistics.max_depth = max(statistics.max_depth, value)
             else:
                 setattr(statistics, name, getattr(statistics, name) + value)
+        for name in timer_names:
+            setattr(
+                statistics.timers,
+                name,
+                getattr(statistics.timers, name)
+                + float(shard_stats.get(f"time_{name}", 0.0)),
+            )
         if truncated:
             continue
         for cluster in shard_clusters:

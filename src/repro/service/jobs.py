@@ -139,8 +139,14 @@ class JobRecord:
     #: was the RWave index served from the artifact cache? (``None``
     #: until the job reaches the index-acquisition step)
     index_cache_hit: Optional[bool] = None
+    #: was the regulation kernel served from the artifact cache?
+    #: (``None`` until the job reaches the kernel-acquisition step)
+    kernel_cache_hit: Optional[bool] = None
     #: was the whole result served from the artifact cache?
     result_cache_hit: Optional[bool] = None
+    #: wall-clock seconds per search phase (candidates / windows /
+    #: emit), summed across shards; set when the job completes
+    phase_timers: Optional[Dict[str, float]] = None
 
     def to_dict(self) -> Dict[str, Any]:
         payload = asdict(self)

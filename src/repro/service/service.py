@@ -359,9 +359,19 @@ class MiningService:
         if index is None:
             index = RWaveIndex(matrix, params.gamma)
             self.cache.put_index(record.matrix_digest, params.gamma, index)
+
+        # 2b. Regulation kernel: determined by the same (digest, gamma)
+        #     key as the index.  On a hit the kernel is attached so the
+        #     miner skips the packbits build; on a miss the miner builds
+        #     it lazily and it is stored after the search.
+        kernel = self.cache.get_kernel(record.matrix_digest, params.gamma)
+        kernel_cache_hit = kernel is not None
+        if kernel is not None:
+            index.attach_kernel(kernel)
         self.jobs.update(
             job_id,
             index_cache_hit=index_cache_hit,
+            kernel_cache_hit=kernel_cache_hit,
             result_cache_hit=False,
         )
 
@@ -393,6 +403,13 @@ class MiningService:
             raise
 
         # 4. Persist the result (serialize v1, names included) and close.
+        #    A kernel the in-process miner built lazily is memoized for
+        #    the next job on the same (matrix, gamma); worker pools build
+        #    kernels in child processes, so there is nothing to store.
+        if not kernel_cache_hit and index.has_kernel:
+            self.cache.put_kernel(
+                record.matrix_digest, params.gamma, index.kernel
+            )
         payload = result_to_dict(result, matrix)
         self.cache.put_result(job_id, payload)
         progress["nodes_expanded"] = result.statistics.nodes_expanded
@@ -402,4 +419,5 @@ class MiningService:
             state=JobState.DONE,
             finished_at=time.time(),
             progress=dict(progress),
+            phase_timers=result.statistics.timers.as_dict(),
         )

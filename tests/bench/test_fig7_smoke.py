@@ -1,0 +1,77 @@
+"""Smoke coverage for the Figure 7 scalability benchmark path.
+
+``benchmarks/bench_fig7_scalability.py`` is normally executed via
+``pytest --benchmark-only``; these tests exercise the same driver
+(:func:`repro.experiments.fig7.run_figure7`) at a tiny scale so a broken
+sweep surfaces in the tier-1 suite instead of only in a benchmark run,
+and verify that the benchmark file itself still collects.
+"""
+
+from __future__ import annotations
+
+import os
+import subprocess
+import sys
+from pathlib import Path
+
+import pytest
+
+from repro.datasets.synthetic import SyntheticConfig
+from repro.experiments.fig7 import QUICK_SWEEPS, run_figure7
+
+REPO_ROOT = Path(__file__).resolve().parents[2]
+
+
+@pytest.fixture(scope="module")
+def quick_result():
+    tiny = SyntheticConfig(n_genes=80, n_conditions=10, n_clusters=2, seed=1)
+    return run_figure7(scale="quick", base_config=tiny)
+
+
+class TestFigure7Driver:
+    def test_all_three_sweeps_present(self, quick_result):
+        assert set(quick_result.sweeps) == set(QUICK_SWEEPS)
+        for parameter, sweep in quick_result.sweeps.items():
+            assert list(sweep.values()) == list(QUICK_SWEEPS[parameter])
+            assert len(sweep.points) == len(QUICK_SWEEPS[parameter])
+            assert all(p.seconds > 0 for p in sweep.points)
+
+    def test_growth_ratio_defined(self, quick_result):
+        for parameter in quick_result.sweeps:
+            assert quick_result.growth_ratio(parameter) > 0
+
+    def test_render_names_every_panel(self, quick_result):
+        rendered = quick_result.render()
+        for parameter in quick_result.sweeps:
+            assert f"runtime vs {parameter}" in rendered
+
+    def test_unknown_scale_rejected(self):
+        with pytest.raises(ValueError, match="scale"):
+            run_figure7(scale="huge")
+
+
+class TestBenchmarkFileCollects:
+    def test_fig7_benchmark_collects(self):
+        pytest.importorskip("pytest_benchmark")
+        env = dict(os.environ)
+        env["PYTHONPATH"] = os.pathsep.join(
+            [str(REPO_ROOT / "src")]
+            + ([env["PYTHONPATH"]] if env.get("PYTHONPATH") else [])
+        )
+        proc = subprocess.run(
+            [
+                sys.executable,
+                "-m",
+                "pytest",
+                "benchmarks/bench_fig7_scalability.py",
+                "--collect-only",
+                "-q",
+            ],
+            cwd=REPO_ROOT,
+            env=env,
+            capture_output=True,
+            text=True,
+            timeout=120,
+        )
+        assert proc.returncode == 0, proc.stdout + proc.stderr
+        assert "bench_fig7_scalability.py" in proc.stdout

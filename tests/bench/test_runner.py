@@ -56,3 +56,33 @@ class TestSweep:
     def test_point_str(self):
         result = run_sweep("n_genes", [60], base_config=self.BASE)
         assert "n_genes=60" in str(result.points[0])
+
+
+class TestSweepSmoke:
+    """Satellite smoke coverage: tiny sweeps stay well-formed and
+    JSON-serializable (the shape the regression snapshots rely on)."""
+
+    BASE = SyntheticConfig(n_genes=60, n_conditions=8, n_clusters=2, seed=5)
+
+    def test_points_match_values_in_order(self):
+        values = [40, 60, 80]
+        result = run_sweep("n_genes", values, base_config=self.BASE)
+        assert len(result.points) == len(values)
+        assert result.values() == values
+        assert all(p.parameter == "n_genes" for p in result.points)
+
+    def test_points_serialize_to_valid_json(self):
+        import dataclasses
+        import json
+
+        result = run_sweep("n_genes", [40, 60], base_config=self.BASE)
+        payload = json.dumps(
+            {
+                "parameter": result.parameter,
+                "points": [dataclasses.asdict(p) for p in result.points],
+            }
+        )
+        back = json.loads(payload)
+        assert back["parameter"] == "n_genes"
+        assert [p["value"] for p in back["points"]] == [40, 60]
+        assert all(p["seconds"] > 0 for p in back["points"])

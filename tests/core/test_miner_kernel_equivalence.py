@@ -1,0 +1,150 @@
+"""The kernel path's equivalence guarantee, asserted bit for bit.
+
+``RegClusterMiner(use_kernel=True)`` — precomputed regulation kernels,
+batched candidate scoring, bucket prefilter, segmented window scan —
+must produce *exactly* the output of the legacy per-candidate path
+(``use_kernel=False``): the same clusters in the same emission order,
+and the same search statistics.  Every dataset here is pinned (fixed
+seeds), so failures are reproducible.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+import pytest
+
+from repro.core.miner import PruningConfig, RegClusterMiner, mine_reg_clusters
+from repro.core.params import MiningParameters
+from repro.datasets.synthetic import SyntheticConfig, make_synthetic_dataset
+from repro.datasets.yeast import make_yeast_surrogate
+
+
+def mine_both(matrix, params, prunings=None):
+    legacy = RegClusterMiner(
+        matrix, params, prunings=prunings, use_kernel=False
+    )
+    kernelized = RegClusterMiner(
+        matrix, params, prunings=prunings, use_kernel=True
+    )
+    assert not legacy.uses_kernel
+    assert kernelized.uses_kernel
+    return legacy.mine(), kernelized.mine()
+
+
+def assert_identical(legacy, kernelized):
+    """Cluster-by-cluster, field-by-field, order included."""
+    assert len(legacy) == len(kernelized)
+    for a, b in zip(legacy, kernelized):
+        assert a.chain == b.chain
+        assert a.p_members == b.p_members
+        assert a.n_members == b.n_members
+    assert (
+        legacy.statistics.as_dict() == kernelized.statistics.as_dict()
+    )
+
+
+RUNNING_PARAMS = MiningParameters(
+    min_genes=3, min_conditions=5, gamma=0.15, epsilon=0.1
+)
+
+
+class TestRunningExample:
+    def test_identical(self, running_example):
+        assert_identical(*mine_both(running_example, RUNNING_PARAMS))
+
+    def test_identical_with_prunings_off(self, running_example):
+        assert_identical(
+            *mine_both(
+                running_example, RUNNING_PARAMS, prunings=PruningConfig.none()
+            )
+        )
+
+    def test_paper_pinned_cluster_on_kernel_path(self, running_example):
+        result = mine_reg_clusters(
+            running_example,
+            min_genes=3,
+            min_conditions=5,
+            gamma=0.15,
+            epsilon=0.1,
+            use_kernel=True,
+        )
+        assert len(result) == 1
+        assert result[0].chain == (6, 8, 4, 0, 2)
+        assert result[0].p_members == (0, 2)
+        assert result[0].n_members == (1,)
+
+
+class TestYeastSurrogate:
+    def test_identical(self):
+        surrogate = make_yeast_surrogate(shape=(600, 17))
+        params = MiningParameters(
+            min_genes=12, min_conditions=6, gamma=0.12, epsilon=0.02
+        )
+        legacy, kernelized = mine_both(surrogate.matrix, params)
+        assert len(legacy) > 0
+        assert_identical(legacy, kernelized)
+
+
+@pytest.mark.parametrize("seed", [1, 2, 3])
+class TestPinnedSynthetics:
+    @staticmethod
+    def _dataset(seed):
+        config = SyntheticConfig(
+            n_genes=300, n_conditions=12, n_clusters=4, seed=seed
+        )
+        return make_synthetic_dataset(config).matrix
+
+    @staticmethod
+    def _params():
+        # The paper's Figure 7 configuration at 300 genes: MinG = 3,
+        # MinC = 6, gamma = 0.1, epsilon = 0.01.
+        return MiningParameters(
+            min_genes=3, min_conditions=6, gamma=0.1, epsilon=0.01
+        )
+
+    def test_identical(self, seed):
+        legacy, kernelized = mine_both(self._dataset(seed), self._params())
+        assert len(legacy) > 0
+        assert_identical(legacy, kernelized)
+
+    def test_identical_with_prunings_off(self, seed):
+        assert_identical(
+            *mine_both(
+                self._dataset(seed),
+                self._params(),
+                prunings=PruningConfig.none(),
+            )
+        )
+
+
+class TestRandomMatrices:
+    """Unstructured inputs: no planted clusters, lots of short branches."""
+
+    @pytest.mark.parametrize("seed", [11, 12])
+    def test_identical(self, seed):
+        rng = np.random.default_rng(seed)
+        from repro.matrix.expression import ExpressionMatrix
+
+        matrix = ExpressionMatrix(rng.normal(size=(40, 8)) * 5.0)
+        params = MiningParameters(
+            min_genes=4, min_conditions=4, gamma=0.05, epsilon=0.5
+        )
+        assert_identical(*mine_both(matrix, params))
+
+
+class TestMaxClustersCap:
+    def test_identical_truncation(self):
+        config = SyntheticConfig(
+            n_genes=300, n_conditions=12, n_clusters=4, seed=2
+        )
+        matrix = make_synthetic_dataset(config).matrix
+        params = MiningParameters(
+            min_genes=3,
+            min_conditions=6,
+            gamma=0.1,
+            epsilon=0.01,
+            max_clusters=2,
+        )
+        legacy, kernelized = mine_both(matrix, params)
+        assert len(legacy) == 2
+        assert_identical(legacy, kernelized)

@@ -7,7 +7,11 @@ import pytest
 from hypothesis import given, settings
 from hypothesis import strategies as st
 
-from repro.core.window import coherent_gene_windows, maximal_coherent_windows
+from repro.core.window import (
+    coherent_gene_windows,
+    maximal_coherent_windows,
+    segmented_maximal_windows,
+)
 
 
 class TestMaximalWindows:
@@ -109,3 +113,92 @@ class TestGeneWindows:
     def test_shape_mismatch(self):
         with pytest.raises(ValueError, match="parallel"):
             coherent_gene_windows(np.array([1]), np.array([1.0, 2.0]), 0.1, 1)
+
+
+class TestSegmentedWindows:
+    """segmented_maximal_windows == per-run maximal_coherent_windows."""
+
+    @staticmethod
+    def _flatten(runs):
+        """Concatenate sorted runs into (scores, seg_ids, seg_ends)."""
+        scores = np.concatenate(runs) if runs else np.empty(0)
+        seg_ids = np.concatenate(
+            [np.full(len(run), i, dtype=np.intp) for i, run in enumerate(runs)]
+        ) if runs else np.empty(0, dtype=np.intp)
+        ends, offset = [], 0
+        for run in runs:
+            offset += len(run)
+            ends.append(np.full(len(run), offset - 1, dtype=np.intp))
+        seg_ends = np.concatenate(ends) if runs else np.empty(0, dtype=np.intp)
+        return scores.astype(np.float64), seg_ids, seg_ends
+
+    @staticmethod
+    def _reference(runs, epsilon, min_length):
+        expected, offset = [], 0
+        for run in runs:
+            for start, end in maximal_coherent_windows(
+                np.asarray(run, dtype=np.float64), epsilon, min_length
+            ):
+                expected.append((start + offset, end + offset))
+            offset += len(run)
+        return expected
+
+    def _check(self, runs, epsilon, min_length):
+        scores, seg_ids, seg_ends = self._flatten(
+            [np.sort(np.asarray(run, dtype=np.float64)) for run in runs]
+        )
+        starts, ends = segmented_maximal_windows(
+            scores, seg_ids, seg_ends, epsilon, min_length
+        )
+        got = list(zip(starts.tolist(), ends.tolist()))
+        assert got == self._reference(
+            [np.sort(np.asarray(run, dtype=np.float64)) for run in runs],
+            epsilon,
+            min_length,
+        )
+
+    def test_empty(self):
+        starts, ends = segmented_maximal_windows(
+            np.empty(0), np.empty(0, dtype=np.intp),
+            np.empty(0, dtype=np.intp), 0.5, 1
+        )
+        assert starts.size == 0 and ends.size == 0
+
+    def test_single_run_matches_unsegmented(self):
+        self._check([[0.0, 0.1, 0.2, 5.0, 5.05]], 0.2, 1)
+
+    def test_windows_never_cross_run_boundaries(self):
+        # Identical scores in adjacent runs must stay separate windows.
+        self._check([[1.0, 1.1], [1.0, 1.1]], 0.5, 1)
+
+    def test_maximality_resets_at_run_starts(self):
+        # Run 2 starts with a window whose end does not exceed run 1's
+        # last end in flat coordinates; the per-run reset must keep it.
+        self._check([[0.0, 0.1, 0.2, 0.3], [0.0, 0.1]], 0.5, 1)
+
+    def test_min_length_applies_per_run(self):
+        self._check([[0.0, 0.1], [3.0, 3.05, 3.1], [9.0]], 0.2, 2)
+
+    def test_mixed_scales_between_runs(self):
+        self._check(
+            [[-1e6, -1e6 + 0.005], [0.0, 0.004, 0.009], [1e6]], 0.01, 1
+        )
+
+    @given(
+        st.lists(
+            st.lists(
+                st.floats(
+                    min_value=-1e3, max_value=1e3, allow_nan=False, width=32
+                ),
+                min_size=1,
+                max_size=12,
+            ),
+            min_size=1,
+            max_size=6,
+        ),
+        st.floats(min_value=0, max_value=100),
+        st.integers(min_value=1, max_value=4),
+    )
+    @settings(max_examples=200, deadline=None)
+    def test_matches_per_run_reference(self, runs, epsilon, min_length):
+        self._check(runs, epsilon, min_length)

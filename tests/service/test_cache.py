@@ -107,3 +107,54 @@ class TestPersistence:
         second = ArtifactCache(tmp_path)
         assert second.get_result("job-" + "d" * 16) is None
         assert not second.keys()
+
+
+class TestKernelArtifacts:
+    def test_round_trip(self, cache, running_example):
+        digest = matrix_digest(running_example)
+        index = RWaveIndex(running_example, 0.15)
+        kernel = index.kernel
+        assert cache.get_kernel(digest, 0.15) is None
+        cache.put_kernel(digest, 0.15, kernel)
+        again = cache.get_kernel(digest, 0.15)
+        assert again is not None
+        assert again.shape == kernel.shape
+        for last in range(running_example.n_conditions):
+            assert (again.up_slice(last) == kernel.up_slice(last)).all()
+
+    def test_keyed_by_gamma(self, cache, running_example):
+        digest = matrix_digest(running_example)
+        cache.put_kernel(
+            digest, 0.15, RWaveIndex(running_example, 0.15).kernel
+        )
+        assert cache.get_kernel(digest, 0.3) is None
+
+    def test_keyed_apart_from_indexes(self, cache, running_example):
+        digest = matrix_digest(running_example)
+        index = RWaveIndex(running_example, 0.15)
+        cache.put_index(digest, 0.15, index)
+        cache.put_kernel(digest, 0.15, index.kernel)
+        keys = cache.keys()
+        assert any(k.startswith("index-") for k in keys)
+        assert any(k.startswith("kernel-") for k in keys)
+
+    def test_corrupt_artifact_is_a_miss(self, cache, running_example):
+        digest = matrix_digest(running_example)
+        cache.put_kernel(
+            digest, 0.15, RWaveIndex(running_example, 0.15).kernel
+        )
+        next(cache.root.glob("kernel-*.pkl")).write_bytes(b"not a pickle")
+        assert cache.get_kernel(digest, 0.15) is None
+        assert not any(k.startswith("kernel-") for k in cache.keys())
+
+    def test_stats_track_hits_and_misses(self, cache, running_example):
+        digest = matrix_digest(running_example)
+        cache.get_kernel(digest, 0.15)
+        cache.put_kernel(
+            digest, 0.15, RWaveIndex(running_example, 0.15).kernel
+        )
+        cache.get_kernel(digest, 0.15)
+        stats = cache.stats.as_dict()
+        assert stats["kernel_misses"] == 1
+        assert stats["kernel_stores"] == 1
+        assert stats["kernel_hits"] == 1

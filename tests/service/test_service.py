@@ -199,3 +199,50 @@ class TestFailure:
         assert failed.state is JobState.FAILED
         assert failed.error is not None
         assert "digest" in failed.error
+
+
+class TestKernelCache:
+    def test_second_submission_reuses_the_kernel(self, service,
+                                                 running_example,
+                                                 paper_params):
+        first = service.submit(running_example, paper_params)
+        service.run_pending()
+        record = service.status(first.job_id)
+        assert record.kernel_cache_hit is False
+        assert service.cache.stats.kernel_stores == 1
+
+        # Same matrix and gamma, different epsilon: the result cache
+        # cannot answer (new job id) but the kernel artifact must.
+        relaxed = paper_params.with_overrides(epsilon=0.3)
+        second = service.submit(running_example, relaxed)
+        assert second.job_id != first.job_id
+        service.run_pending()
+        done = service.status(second.job_id)
+        assert done.kernel_cache_hit is True
+        assert done.result_cache_hit is False
+        assert service.cache.stats.kernel_hits == 1
+        # The second job attached the cached kernel; nothing was rebuilt
+        # or re-stored.
+        assert service.cache.stats.kernel_stores == 1
+
+    def test_different_gamma_rebuilds_kernel(self, service, running_example,
+                                             paper_params):
+        service.submit(running_example, paper_params)
+        service.run_pending()
+        other = service.submit(
+            running_example, paper_params.with_overrides(gamma=0.3)
+        )
+        service.run_pending()
+        assert service.status(other.job_id).kernel_cache_hit is False
+        assert service.cache.stats.kernel_stores == 2
+
+    def test_completed_job_records_phase_timers(self, service,
+                                                running_example,
+                                                paper_params):
+        record = service.submit(running_example, paper_params)
+        service.run_pending()
+        done = service.status(record.job_id)
+        assert done.state is JobState.DONE
+        assert done.phase_timers is not None
+        assert set(done.phase_timers) == {"candidates", "windows", "emit"}
+        assert all(v >= 0.0 for v in done.phase_timers.values())
