@@ -2,13 +2,25 @@
 
 PYTHON ?= python
 
-.PHONY: install test bench bench-quick bench-regression examples serve-smoke lint typecheck clean
+.PHONY: install test coverage bench bench-quick bench-regression examples serve-smoke chaos-smoke lint typecheck clean
 
 install:
 	pip install -e . --no-build-isolation
 
 test:
 	$(PYTHON) -m pytest tests/
+
+# Line coverage over src/repro with the floor recorded in pyproject.toml
+# ([tool.coverage.report] fail_under); the CI coverage job uploads the
+# HTML report as a workflow artifact.
+coverage:
+	@if $(PYTHON) -c "import pytest_cov" 2>/dev/null; then \
+		PYTHONPATH=src $(PYTHON) -m pytest tests/ --cov=repro --cov-report= \
+		&& $(PYTHON) -m coverage html -d coverage-html \
+		&& $(PYTHON) -m coverage report; \
+	else \
+		echo "pytest-cov is not installed; skipping (pip install pytest-cov)"; \
+	fi
 
 bench:
 	$(PYTHON) -m pytest benchmarks/ --benchmark-only -s
@@ -36,6 +48,12 @@ examples:
 
 serve-smoke:
 	PYTHONPATH=src $(PYTHON) scripts/serve_smoke.py
+
+# Fault-injection counterpart of serve-smoke: SIGKILL a worker mid-job
+# and require a bit-identical recovery, then a clean degraded job and a
+# client that absorbs injected 503s (docs/robustness.md).
+chaos-smoke:
+	PYTHONPATH=src $(PYTHON) scripts/chaos_smoke.py
 
 lint:
 	PYTHONPATH=src $(PYTHON) -m repro.analysis src/repro tests benchmarks examples

@@ -163,6 +163,22 @@ def build_parser() -> argparse.ArgumentParser:
         help="artifact cache size bound in bytes",
     )
     serve.add_argument(
+        "--job-timeout", type=float, default=None, metavar="SECONDS",
+        help="per-job wall-clock budget (default: no timeout); a "
+        "timed-out job keeps its shard checkpoints and resumes on "
+        "resubmission",
+    )
+    serve.add_argument(
+        "--shard-retries", type=int, default=None, metavar="N",
+        help="retry budget per shard before the job degrades "
+        "(default: 2; see docs/robustness.md)",
+    )
+    serve.add_argument(
+        "--faults", default=None, metavar="JSON",
+        help="fault-injection plan as JSON (chaos testing; overrides "
+        "the REPRO_FAULTS environment variable)",
+    )
+    serve.add_argument(
         "--verbose", action="store_true", help="log every HTTP request"
     )
 
@@ -393,14 +409,31 @@ def _cmd_experiment(args: argparse.Namespace) -> int:
 
 
 def _cmd_serve(args: argparse.Namespace) -> int:
-    from repro.service import DEFAULT_MAX_BYTES, MiningService, serve
+    from repro.service import (
+        DEFAULT_MAX_BYTES,
+        FaultPlan,
+        MiningService,
+        RetryPolicy,
+        serve,
+    )
 
+    fault_plan = (
+        FaultPlan.from_json(args.faults) if args.faults is not None else None
+    )
+    retry = (
+        RetryPolicy(max_retries=args.shard_retries)
+        if args.shard_retries is not None
+        else None
+    )
     service = MiningService(
         args.store,
         n_workers=args.workers,
         max_cache_bytes=(
             DEFAULT_MAX_BYTES if args.cache_bytes is None else args.cache_bytes
         ),
+        job_timeout=args.job_timeout,
+        retry=retry,
+        fault_plan=fault_plan,
     )
     server = serve(service, args.host, args.port, quiet=not args.verbose)
     host, port = server.server_address[0], server.server_address[1]
@@ -435,10 +468,16 @@ def _cmd_submit(args: argparse.Namespace) -> int:
             return 0
         record = client.wait(record["job_id"], timeout=args.timeout)
         print(f"job {record['job_id']} {record['state']}")
-        if record["state"] != "done":
+        if record["state"] not in ("done", "degraded"):
             if record.get("error"):
                 print(f"error: {record['error']}", file=sys.stderr)
             return 1
+        if record["state"] == "degraded":
+            print(
+                f"warning: shards {record.get('missing_shards')} lost "
+                f"(result is partial; resubmit to re-mine them)",
+                file=sys.stderr,
+            )
         payload = client.result(record["job_id"])
     except ServiceError as error:
         print(f"error: {error.message}", file=sys.stderr)
@@ -470,7 +509,8 @@ def _cmd_status(args: argparse.Namespace) -> int:
         return 2
     for key in ("job_id", "state", "matrix_digest", "submitted_at",
                 "started_at", "finished_at", "error", "index_cache_hit",
-                "kernel_cache_hit", "result_cache_hit"):
+                "kernel_cache_hit", "result_cache_hit", "missing_shards",
+                "resumed_shards", "shard_failures"):
         value = record.get(key)
         if value is not None:
             print(f"{key}: {value}")

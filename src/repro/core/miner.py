@@ -77,6 +77,7 @@ __all__ = [
     "SearchStatistics",
     "MiningResult",
     "MiningCancelled",
+    "MiningTimeout",
     "ProgressCallback",
     "RegClusterMiner",
     "mine_reg_clusters",
@@ -104,6 +105,18 @@ class MiningCancelled(RuntimeError):
         self.partial_clusters: List[RegCluster] = (
             partial_clusters if partial_clusters is not None else []
         )
+
+
+class MiningTimeout(MiningCancelled):
+    """A cancellation triggered by a wall-clock deadline, not a caller.
+
+    Raised by deadline-aware drivers (``repro.service.executor``) when a
+    per-job timeout fires the cooperative ``should_stop`` probe.  A
+    subclass of :class:`MiningCancelled` so cancellation plumbing (and
+    the attached :attr:`~MiningCancelled.partial_clusters`) is shared,
+    while callers that must treat timeouts differently — the service
+    marks them ``failed``, not ``cancelled`` — can catch it first.
+    """
 
 
 @dataclass(frozen=True)

@@ -5,13 +5,21 @@ infrastructure: persistent jobs with deterministic ids
 (:mod:`repro.service.jobs`), a sharded multiprocessing executor whose
 merged output is bit-identical to single-process mining
 (:mod:`repro.service.executor`), an LRU artifact cache for RWave
-indexes and completed results (:mod:`repro.service.cache`), and a
-stdlib JSON-over-HTTP front end (:mod:`repro.service.http`).  See
-``docs/service.md`` for the full tour.
+indexes and completed results (:mod:`repro.service.cache`), a
+stdlib JSON-over-HTTP front end (:mod:`repro.service.http`), and the
+fault-injection / retry / checkpoint machinery that keeps all of it
+honest under crashes (:mod:`repro.service.resilience`,
+``docs/robustness.md``).  See ``docs/service.md`` for the full tour.
 """
 
 from repro.service.cache import ArtifactCache, CacheStats, DEFAULT_MAX_BYTES
-from repro.service.executor import merge_shard_results, mine_sharded
+from repro.service.executor import (
+    ShardedOutcome,
+    ShardFailure,
+    merge_shard_results,
+    mine_sharded,
+    mine_sharded_outcome,
+)
 from repro.service.http import (
     ServiceClient,
     ServiceError,
@@ -19,6 +27,7 @@ from repro.service.http import (
     serve,
 )
 from repro.service.jobs import (
+    RESULT_STATES,
     JobRecord,
     JobState,
     JobStore,
@@ -26,22 +35,38 @@ from repro.service.jobs import (
     parameters_from_dict,
     parameters_to_dict,
 )
+from repro.service.resilience import (
+    FaultInjected,
+    FaultKind,
+    FaultPlan,
+    FaultSpec,
+    RetryPolicy,
+)
 from repro.service.service import MiningService
 
 __all__ = [
     "ArtifactCache",
     "CacheStats",
     "DEFAULT_MAX_BYTES",
+    "FaultInjected",
+    "FaultKind",
+    "FaultPlan",
+    "FaultSpec",
     "JobRecord",
     "JobState",
     "JobStore",
     "MiningService",
+    "RESULT_STATES",
+    "RetryPolicy",
     "ServiceClient",
     "ServiceError",
     "ServiceHTTPServer",
+    "ShardFailure",
+    "ShardedOutcome",
     "compute_job_id",
     "merge_shard_results",
     "mine_sharded",
+    "mine_sharded_outcome",
     "parameters_from_dict",
     "parameters_to_dict",
     "serve",

@@ -37,6 +37,7 @@ from typing import Any, Dict, Optional, Union
 
 from repro.core.kernels import RegulationKernel
 from repro.core.rwave import RWaveIndex
+from repro.service.resilience import FaultKind, FaultPlan
 
 __all__ = ["ArtifactCache", "CacheStats", "DEFAULT_MAX_BYTES"]
 
@@ -110,6 +111,12 @@ class ArtifactCache:
         evicted when an insertion would exceed it.  The entry being
         inserted is never evicted by its own insertion, so a single
         oversized artifact still caches (as the sole entry).
+    fault_plan:
+        Chaos-testing hook: an active plan with ``cache-write-fail``
+        faults makes :meth:`_store` raise :class:`OSError`, simulating
+        a full or flaky disk.  ``None`` (production) adds no overhead.
+        The service treats cache writes as best-effort, so an injected
+        write failure must never fail a job (``docs/robustness.md``).
     """
 
     def __init__(
@@ -117,12 +124,14 @@ class ArtifactCache:
         root: Union[str, Path],
         *,
         max_bytes: int = DEFAULT_MAX_BYTES,
+        fault_plan: Optional[FaultPlan] = None,
     ) -> None:
         if max_bytes < 1:
             raise ValueError(f"max_bytes must be >= 1, got {max_bytes}")
         self.root = Path(root)
         self.root.mkdir(parents=True, exist_ok=True)
         self.max_bytes = int(max_bytes)
+        self.fault_plan = fault_plan
         self.stats = CacheStats()
         self._lock = threading.RLock()
         self._clock = 0
@@ -192,6 +201,12 @@ class ArtifactCache:
             self.stats.evictions += 1
 
     def _store(self, key: str, filename: str, data: bytes) -> None:
+        if self.fault_plan is not None and self.fault_plan.fire(
+            FaultKind.CACHE_WRITE_FAIL
+        ):
+            raise OSError(
+                f"injected {FaultKind.CACHE_WRITE_FAIL.value} storing {key}"
+            )
         with self._lock:
             path = self.root / filename
             tmp = path.with_suffix(path.suffix + ".tmp")

@@ -27,18 +27,60 @@ test suite asserts.  Search statistics are summed across shards
 counters exactly when ``max_clusters`` is unset (with a cap, the
 single-process search stops mid-enumeration while shards run to
 completion, so merged counters are an upper bound).
+
+Fault tolerance
+---------------
+Shard independence also makes the search *recoverable* — the merge does
+not care how many times a shard was attempted, on which process it
+finally succeeded, or whether it was answered from a checkpoint of an
+earlier daemon run.  :func:`mine_sharded_outcome` layers the recovery
+machinery on top of the plain sharded driver (``docs/robustness.md``):
+
+* **per-shard retry** — a shard whose worker raises (or whose process
+  dies, breaking the pool) is resubmitted up to
+  :attr:`~repro.service.resilience.RetryPolicy.max_retries` times with
+  exponential backoff and deterministic jitter; the pool is rebuilt
+  after a hard worker death;
+* **wall-clock timeout** — a deadline cooperatively cancels the search
+  (:class:`~repro.core.miner.MiningTimeout`), at node granularity
+  in-process and shard granularity under a pool;
+* **checkpoint resume** — already-completed shard results passed via
+  ``completed`` are merged without re-mining, and ``on_shard_complete``
+  fires after every fresh shard so callers (the service's
+  :class:`~repro.service.jobs.JobStore`) can persist incremental
+  progress;
+* **graceful degradation** — shards whose retry budget is exhausted are
+  reported in :attr:`ShardedOutcome.missing_shards` instead of sinking
+  the whole job; the surviving shards still merge deterministically.
+
+Fault *injection* (the chaos harness exercising all of the above) is
+driven by a seeded :class:`~repro.service.resilience.FaultPlan`.
 """
 
 from __future__ import annotations
 
 import multiprocessing
-from dataclasses import fields
-from typing import Callable, Dict, FrozenSet, List, Optional, Sequence, Tuple
+import os
+import time
+from concurrent.futures import FIRST_COMPLETED, Future, ProcessPoolExecutor, wait
+from concurrent.futures.process import BrokenProcessPool
+from dataclasses import dataclass, field, fields
+from typing import (
+    Callable,
+    Dict,
+    FrozenSet,
+    List,
+    Mapping,
+    Optional,
+    Sequence,
+    Tuple,
+)
 
 from repro.core.cluster import RegCluster
 from repro.core.miner import (
     MiningCancelled,
     MiningResult,
+    MiningTimeout,
     PhaseTimers,
     ProgressCallback,
     PruningConfig,
@@ -48,14 +90,78 @@ from repro.core.miner import (
 from repro.core.params import MiningParameters
 from repro.core.rwave import RWaveIndex
 from repro.matrix.expression import ExpressionMatrix
+from repro.service.resilience import FaultInjected, FaultKind, FaultPlan, RetryPolicy
 
-__all__ = ["mine_sharded", "merge_shard_results", "ShardResult"]
+__all__ = [
+    "mine_sharded",
+    "mine_sharded_outcome",
+    "merge_shard_results",
+    "ShardResult",
+    "ShardedOutcome",
+    "ShardFailure",
+]
 
 #: One shard's output: (start condition, clusters in DFS order, stats).
 #: The stats mapping carries the integer counters of
 #: :meth:`SearchStatistics.as_dict` plus the ``time_``-prefixed phase
 #: timer floats of :meth:`PhaseTimers.prefixed`.
 ShardResult = Tuple[int, List[RegCluster], Dict[str, float]]
+
+
+class ShardFailure(RuntimeError):
+    """Raised by strict :func:`mine_sharded` when shards are lost.
+
+    Carries which shards exhausted their retry budget and the last
+    error each one saw, so a caller that *can* live with partial output
+    knows to switch to :func:`mine_sharded_outcome`.
+    """
+
+    def __init__(
+        self, message: str, missing_shards: List[int],
+        shard_errors: Dict[int, str],
+    ) -> None:
+        super().__init__(message)
+        self.missing_shards = missing_shards
+        self.shard_errors = shard_errors
+
+
+@dataclass
+class ShardedOutcome:
+    """What a resilient sharded run actually delivered.
+
+    Attributes
+    ----------
+    result:
+        The merged mining result over every shard that completed.  With
+        no missing shards this is bit-identical to single-process
+        mining; with missing shards it is the deterministic merge of
+        the survivors (each surviving shard's clusters are exactly its
+        fault-free clusters).
+    missing_shards:
+        Start conditions whose shards exhausted the retry budget,
+        ascending.  Empty on a fully successful run.
+    shard_errors:
+        The last error message seen per missing shard.
+    failed_attempts:
+        How many attempts failed per shard (only shards that failed at
+        least once appear; a retried-then-successful shard is counted
+        here too).
+    resumed_shards:
+        Start conditions answered from the caller-provided ``completed``
+        checkpoints instead of being mined, ascending.
+    """
+
+    result: MiningResult
+    missing_shards: List[int] = field(default_factory=list)
+    shard_errors: Dict[int, str] = field(default_factory=dict)
+    failed_attempts: Dict[int, int] = field(default_factory=dict)
+    resumed_shards: List[int] = field(default_factory=list)
+
+    @property
+    def degraded(self) -> bool:
+        """Did the run lose at least one shard?"""
+        return bool(self.missing_shards)
+
 
 # ----------------------------------------------------------------------
 # Worker-process side
@@ -64,6 +170,8 @@ ShardResult = Tuple[int, List[RegCluster], Dict[str, float]]
 #: Per-worker miner, built once by the pool initializer so the RWave
 #: index is constructed (or unpickled) once per process, not per shard.
 _WORKER_MINER: Optional[RegClusterMiner] = None
+#: Per-worker fault plan (chaos testing only; ``None`` in production).
+_WORKER_FAULTS: Optional[FaultPlan] = None
 
 
 def _init_worker(
@@ -71,20 +179,57 @@ def _init_worker(
     params: MiningParameters,
     prunings: Optional[PruningConfig],
     index: Optional[RWaveIndex],
+    fault_plan: Optional[FaultPlan] = None,
 ) -> None:
-    global _WORKER_MINER
+    global _WORKER_MINER, _WORKER_FAULTS
     _WORKER_MINER = RegClusterMiner(
         matrix, params, prunings=prunings, index=index
     )
+    _WORKER_FAULTS = fault_plan
 
 
-def _mine_start(start: int) -> ShardResult:
-    miner = _WORKER_MINER
-    assert miner is not None, "worker pool initializer did not run"
-    result = miner.mine(start_conditions=[start])
+def _shard_result(start: int, result: MiningResult) -> ShardResult:
     stats: Dict[str, float] = dict(result.statistics.as_dict())
     stats.update(result.statistics.timers.prefixed())
     return start, result.clusters, stats
+
+
+def _apply_shard_faults(
+    plan: Optional[FaultPlan], shard: int, attempt: int, *, in_process: bool
+) -> None:
+    """Fire an active fault plan's shard faults for this attempt.
+
+    Delays are applied before crashes so a ``delay-shard`` +
+    ``crash-shard`` combination simulates a hung-then-dead worker.
+    ``kill-worker`` hard-exits the process (breaking a worker pool);
+    mined in-process it downgrades to a clean :class:`FaultInjected`
+    (killing the only process would be un-testable).
+    """
+    if plan is None:
+        return
+    crash: Optional[FaultKind] = None
+    for spec in plan.shard_faults(shard, attempt):
+        if spec.kind is FaultKind.DELAY_SHARD:
+            if spec.delay > 0.0:
+                time.sleep(spec.delay)
+        elif spec.kind is FaultKind.CRASH_SHARD:
+            crash = spec.kind
+        elif spec.kind is FaultKind.KILL_WORKER:
+            if in_process:
+                crash = spec.kind
+            else:  # pragma: no cover - exercised in a child process
+                os._exit(13)
+    if crash is not None:
+        raise FaultInjected(
+            f"injected {crash.value} on shard {shard} (attempt {attempt})"
+        )
+
+
+def _mine_start(start: int, attempt: int = 0) -> ShardResult:
+    miner = _WORKER_MINER
+    assert miner is not None, "worker pool initializer did not run"
+    _apply_shard_faults(_WORKER_FAULTS, start, attempt, in_process=False)
+    return _shard_result(start, miner.mine(start_conditions=[start]))
 
 
 # ----------------------------------------------------------------------
@@ -162,6 +307,373 @@ def _pool_context(
     )
 
 
+class _ShardDriver:
+    """Shared bookkeeping of the resilient in-process and pool drivers."""
+
+    def __init__(
+        self,
+        matrix: ExpressionMatrix,
+        params: MiningParameters,
+        *,
+        retry: Optional[RetryPolicy],
+        timeout: Optional[float],
+        completed: Optional[Mapping[int, ShardResult]],
+        on_shard_complete: Optional[Callable[[ShardResult], None]],
+        progress_callback: Optional[ProgressCallback],
+        should_stop: Optional[Callable[[], bool]],
+    ) -> None:
+        self.params = params
+        self.retry = retry
+        self.max_retries = 0 if retry is None else retry.max_retries
+        self.deadline = (
+            None if timeout is None else time.monotonic() + timeout
+        )
+        self.timeout = timeout
+        self.on_shard_complete = on_shard_complete
+        self.progress_callback = progress_callback
+        self.should_stop = should_stop
+        self.resumed: Dict[int, ShardResult] = {}
+        for start, shard in (completed or {}).items():
+            start = int(start)
+            if not 0 <= start < matrix.n_conditions:
+                raise ValueError(
+                    f"checkpointed shard {start} out of range for a matrix "
+                    f"with {matrix.n_conditions} conditions"
+                )
+            self.resumed[start] = shard
+        self.pending: List[int] = [
+            start
+            for start in range(matrix.n_conditions)
+            if start not in self.resumed
+        ]
+        self.shards: List[ShardResult] = list(self.resumed.values())
+        self.missing: Dict[int, str] = {}
+        self.failed_attempts: Dict[int, int] = {}
+        self.nodes_so_far = sum(
+            int(shard[2].get("nodes_expanded", 0))
+            for shard in self.resumed.values()
+        )
+        self.clusters_so_far = sum(
+            len(shard[1]) for shard in self.resumed.values()
+        )
+
+    # -- shared plumbing ----------------------------------------------
+
+    def partial_clusters(self) -> List[RegCluster]:
+        """Clusters recoverable right now (merged completed shards)."""
+        return merge_shard_results(self.shards, self.params).clusters
+
+    def check_interrupts(self, where: str) -> None:
+        """Raise the appropriate cooperative-cancellation signal."""
+        if self.should_stop is not None and self.should_stop():
+            raise MiningCancelled(
+                f"sharded search cancelled {where}",
+                partial_clusters=self.partial_clusters(),
+            )
+        if self.deadline is not None and time.monotonic() > self.deadline:
+            raise MiningTimeout(
+                f"sharded search exceeded its {self.timeout:g}s budget "
+                f"{where}",
+                partial_clusters=self.partial_clusters(),
+            )
+
+    def record_shard(self, shard: ShardResult) -> None:
+        self.shards.append(shard)
+        self.nodes_so_far += int(shard[2].get("nodes_expanded", 0))
+        self.clusters_so_far += len(shard[1])
+        if self.on_shard_complete is not None:
+            self.on_shard_complete(shard)
+        if self.progress_callback is not None:
+            self.progress_callback("expanded", self.nodes_so_far)
+            if shard[1]:
+                self.progress_callback("emitted", self.nodes_so_far)
+
+    def record_failure(self, start: int, error: BaseException) -> bool:
+        """Count one failed attempt; ``True`` if the shard may retry."""
+        tries = self.failed_attempts.get(start, 0) + 1
+        self.failed_attempts[start] = tries
+        if tries > self.max_retries:
+            self.missing[start] = f"{type(error).__name__}: {error}"
+            return False
+        return True
+
+    def outcome(self) -> ShardedOutcome:
+        return ShardedOutcome(
+            result=merge_shard_results(self.shards, self.params),
+            missing_shards=sorted(self.missing),
+            shard_errors=dict(self.missing),
+            failed_attempts=dict(self.failed_attempts),
+            resumed_shards=sorted(self.resumed),
+        )
+
+
+def _drive_in_process(
+    driver: _ShardDriver,
+    matrix: ExpressionMatrix,
+    params: MiningParameters,
+    prunings: Optional[PruningConfig],
+    index: Optional[RWaveIndex],
+    fault_plan: Optional[FaultPlan],
+) -> ShardedOutcome:
+    """Mine shard-by-shard on the calling thread (``n_workers=1``).
+
+    Progress and cancellation keep node granularity: the miner's own
+    hooks are wrapped to offset node counts by the shards already done
+    (including checkpointed ones), so observers see one monotonically
+    increasing count across the whole job.
+    """
+
+    def probe() -> bool:
+        if driver.should_stop is not None and driver.should_stop():
+            return True
+        return (
+            driver.deadline is not None
+            and time.monotonic() > driver.deadline
+        )
+
+    def on_node(event: str, nodes: int) -> None:
+        if driver.progress_callback is not None:
+            driver.progress_callback(event, driver.nodes_so_far + nodes)
+
+    miner = RegClusterMiner(
+        matrix,
+        params,
+        prunings=prunings,
+        index=index,
+        progress_callback=(
+            on_node if driver.progress_callback is not None else None
+        ),
+        should_stop=probe if (
+            driver.should_stop is not None or driver.deadline is not None
+        ) else None,
+    )
+    for start in driver.pending:
+        # Ascending starts + the merge cap make stopping here exact: the
+        # single-process search would not have visited later starts
+        # either once the cap is reached.
+        if (
+            params.max_clusters is not None
+            and driver.clusters_so_far >= params.max_clusters
+        ):
+            break
+        attempt = 0
+        while True:
+            driver.check_interrupts(f"before shard {start}")
+            try:
+                _apply_shard_faults(
+                    fault_plan, start, attempt, in_process=True
+                )
+                result = miner.mine(start_conditions=[start])
+            except MiningTimeout:
+                raise
+            except MiningCancelled as error:
+                # The miner's probe fired mid-shard: classify it.  An
+                # external stop wins over a deadline that raced it.
+                partials = (
+                    driver.partial_clusters() + error.partial_clusters
+                )
+                if driver.should_stop is not None and driver.should_stop():
+                    raise MiningCancelled(
+                        str(error), partial_clusters=partials
+                    ) from None
+                raise MiningTimeout(
+                    f"shard {start} exceeded the job's "
+                    f"{driver.timeout:g}s budget",
+                    partial_clusters=partials,
+                ) from None
+            except FaultInjected as error:
+                if not driver.record_failure(start, error):
+                    break
+                if driver.retry is not None:
+                    driver.retry.sleep_before_retry(start, attempt)
+                attempt += 1
+                continue
+            driver.record_shard(_shard_result(start, result))
+            break
+    return driver.outcome()
+
+
+def _drive_pool(
+    driver: _ShardDriver,
+    matrix: ExpressionMatrix,
+    params: MiningParameters,
+    prunings: Optional[PruningConfig],
+    index: Optional[RWaveIndex],
+    fault_plan: Optional[FaultPlan],
+    n_workers: int,
+    start_method: Optional[str],
+) -> ShardedOutcome:
+    """Mine shards on a worker pool, surviving worker death.
+
+    A clean shard failure (an exception out of the worker) costs only
+    that shard an attempt.  A hard worker death breaks the whole
+    :class:`~concurrent.futures.ProcessPoolExecutor`; the driver then
+    salvages every future that finished before the break, charges one
+    attempt to every shard that was in flight (the killer cannot be
+    told apart from its victims), rebuilds the pool and resubmits.
+    Cancellation/timeout are honoured between shard completions (a
+    worker cannot be interrupted mid-shard cooperatively).
+    """
+    context = _pool_context(start_method)
+
+    def make_pool() -> ProcessPoolExecutor:
+        return ProcessPoolExecutor(
+            max_workers=n_workers,
+            mp_context=context,
+            initializer=_init_worker,
+            initargs=(matrix, params, prunings, index, fault_plan),
+        )
+
+    ready: List[int] = list(driver.pending)
+    retry_at: Dict[int, float] = {}
+    futures: Dict["Future[ShardResult]", int] = {}
+    pool = make_pool()
+    try:
+        while ready or retry_at or futures:
+            now = time.monotonic()
+            for start in [s for s, at in retry_at.items() if at <= now]:
+                del retry_at[start]
+                ready.append(start)
+            for start in ready:
+                attempt = driver.failed_attempts.get(start, 0)
+                futures[pool.submit(_mine_start, start, attempt)] = start
+            ready.clear()
+            driver.check_interrupts(
+                f"after {len(driver.shards)} of "
+                f"{matrix.n_conditions} shards"
+            )
+            if not futures:
+                # Everything is waiting out a backoff; nap until the
+                # earliest retry is due, staying responsive to stops.
+                time.sleep(
+                    min(0.05, max(0.0, min(retry_at.values()) - now))
+                )
+                continue
+            done, _ = wait(
+                list(futures), timeout=0.05, return_when=FIRST_COMPLETED
+            )
+            broken = False
+            for future in done:
+                start = futures.pop(future)
+                try:
+                    shard = future.result()
+                except BrokenProcessPool as error:
+                    broken = True
+                    if driver.record_failure(start, error):
+                        retry_at[start] = _retry_time(driver, start)
+                except FaultInjected as error:
+                    if driver.record_failure(start, error):
+                        retry_at[start] = _retry_time(driver, start)
+                except Exception as error:  # reglint: disable=RL103
+                    # Any organic worker failure is retried the same
+                    # way as an injected one; an exhausted budget
+                    # surfaces it in the outcome's shard_errors.
+                    if driver.record_failure(start, error):
+                        retry_at[start] = _retry_time(driver, start)
+                else:
+                    driver.record_shard(shard)
+            if broken:
+                # The executor is unusable: salvage finished futures,
+                # charge the in-flight shards one attempt, start over.
+                for future, start in list(futures.items()):
+                    try:
+                        shard = future.result(timeout=0)
+                    except Exception as error:  # reglint: disable=RL103
+                        if driver.record_failure(start, error):
+                            retry_at[start] = _retry_time(driver, start)
+                    else:
+                        driver.record_shard(shard)
+                futures.clear()
+                pool.shutdown(wait=False, cancel_futures=True)
+                pool = make_pool()
+    finally:
+        pool.shutdown(wait=False, cancel_futures=True)
+    return driver.outcome()
+
+
+def _retry_time(driver: _ShardDriver, start: int) -> float:
+    attempt = driver.failed_attempts[start] - 1
+    delay = (
+        0.0 if driver.retry is None
+        else driver.retry.backoff(start, attempt)
+    )
+    return time.monotonic() + delay
+
+
+def mine_sharded_outcome(
+    matrix: ExpressionMatrix,
+    params: MiningParameters,
+    *,
+    n_workers: int = 1,
+    prunings: Optional[PruningConfig] = None,
+    index: Optional[RWaveIndex] = None,
+    progress_callback: Optional[ProgressCallback] = None,
+    should_stop: Optional[Callable[[], bool]] = None,
+    start_method: Optional[str] = None,
+    retry: Optional[RetryPolicy] = None,
+    fault_plan: Optional[FaultPlan] = None,
+    timeout: Optional[float] = None,
+    completed: Optional[Mapping[int, ShardResult]] = None,
+    on_shard_complete: Optional[Callable[[ShardResult], None]] = None,
+) -> ShardedOutcome:
+    """Mine a matrix shard-by-shard with full recovery machinery.
+
+    The degradation-tolerant core of :func:`mine_sharded` — see the
+    module docstring for the recovery semantics.  Returns a
+    :class:`ShardedOutcome`; a run that lost no shards carries a result
+    bit-identical to single-process mining.
+
+    Parameters
+    ----------
+    retry:
+        Per-shard retry budget and backoff.  ``None`` disables retries
+        (any shard failure immediately loses the shard).
+    fault_plan:
+        Chaos-testing fault injection; ``None`` (production) adds zero
+        overhead.
+    timeout:
+        Per-call wall-clock budget in seconds; raises
+        :class:`~repro.core.miner.MiningTimeout` (with partial clusters
+        attached) when exceeded.
+    completed:
+        Already-finished shard results keyed by start condition — the
+        checkpoint-resume seam.  They are merged without re-mining.
+    on_shard_complete:
+        Invoked with every freshly mined :data:`ShardResult` the moment
+        it completes (checkpoint-persistence seam).  Not called for
+        ``completed`` shards.
+
+    Raises
+    ------
+    MiningCancelled
+        When ``should_stop`` fires; partial clusters from completed
+        shards are attached.
+    MiningTimeout
+        When the deadline fires; partial clusters attached likewise.
+    """
+    if n_workers < 1:
+        raise ValueError(f"n_workers must be >= 1, got {n_workers}")
+    n_workers = min(n_workers, max(1, matrix.n_conditions))
+    driver = _ShardDriver(
+        matrix,
+        params,
+        retry=retry,
+        timeout=timeout,
+        completed=completed,
+        on_shard_complete=on_shard_complete,
+        progress_callback=progress_callback,
+        should_stop=should_stop,
+    )
+    if n_workers == 1:
+        return _drive_in_process(
+            driver, matrix, params, prunings, index, fault_plan
+        )
+    return _drive_pool(
+        driver, matrix, params, prunings, index, fault_plan,
+        n_workers, start_method,
+    )
+
+
 def mine_sharded(
     matrix: ExpressionMatrix,
     params: MiningParameters,
@@ -172,8 +684,11 @@ def mine_sharded(
     progress_callback: Optional[ProgressCallback] = None,
     should_stop: Optional[Callable[[], bool]] = None,
     start_method: Optional[str] = None,
+    retry: Optional[RetryPolicy] = None,
+    fault_plan: Optional[FaultPlan] = None,
+    timeout: Optional[float] = None,
 ) -> MiningResult:
-    """Mine a matrix with a sharded worker pool.
+    """Mine a matrix with a sharded worker pool (all-or-nothing).
 
     Results are bit-identical to
     :func:`repro.core.miner.mine_reg_clusters` for any ``n_workers``
@@ -195,11 +710,28 @@ def mine_sharded(
     start_method:
         ``multiprocessing`` start method override (default: ``fork``
         where available, else ``spawn``).
+    retry / fault_plan / timeout:
+        Recovery and chaos knobs shared with
+        :func:`mine_sharded_outcome`.
+
+    Raises
+    ------
+    ShardFailure
+        When any shard exhausts its retry budget — this strict wrapper
+        refuses partial results; callers that accept degraded output
+        use :func:`mine_sharded_outcome`.
     """
     if n_workers < 1:
         raise ValueError(f"n_workers must be >= 1, got {n_workers}")
-    n_workers = min(n_workers, max(1, matrix.n_conditions))
-    if n_workers == 1:
+    if (
+        n_workers == 1
+        and retry is None
+        and fault_plan is None
+        and timeout is None
+    ):
+        # The classic in-process fast path: one full mine() call, exact
+        # single-process semantics (including the max_clusters early
+        # exit and per-node statistics under a cluster cap).
         miner = RegClusterMiner(
             matrix,
             params,
@@ -209,33 +741,28 @@ def mine_sharded(
             should_stop=should_stop,
         )
         return miner.mine()
-
-    context = _pool_context(start_method)
-    shards: List[ShardResult] = []
-    nodes_so_far = 0
-    with context.Pool(
-        processes=n_workers,
-        initializer=_init_worker,
-        initargs=(matrix, params, prunings, index),
-    ) as pool:
-        pending = pool.imap_unordered(
-            _mine_start, range(matrix.n_conditions)
+    outcome = mine_sharded_outcome(
+        matrix,
+        params,
+        n_workers=n_workers,
+        prunings=prunings,
+        index=index,
+        progress_callback=progress_callback,
+        should_stop=should_stop,
+        start_method=start_method,
+        retry=retry,
+        fault_plan=fault_plan,
+        timeout=timeout,
+    )
+    if outcome.missing_shards:
+        details = "; ".join(
+            f"shard {start}: {outcome.shard_errors[start]}"
+            for start in outcome.missing_shards
         )
-        for shard in pending:
-            if should_stop is not None and should_stop():
-                pool.terminate()
-                raise MiningCancelled(
-                    f"sharded search cancelled after {len(shards)} of "
-                    f"{matrix.n_conditions} shards"
-                )
-            shards.append(shard)
-            nodes_so_far += int(shard[2].get("nodes_expanded", 0))
-            if progress_callback is not None:
-                progress_callback("expanded", nodes_so_far)
-                if shard[1]:
-                    progress_callback("emitted", nodes_so_far)
-    if should_stop is not None and should_stop():
-        raise MiningCancelled(
-            "sharded search cancelled after the final shard"
+        raise ShardFailure(
+            f"{len(outcome.missing_shards)} shard(s) exhausted the retry "
+            f"budget: {details}",
+            outcome.missing_shards,
+            outcome.shard_errors,
         )
-    return merge_shard_results(shards, params)
+    return outcome.result

@@ -20,7 +20,9 @@ Endpoints
     One job record, including live progress counters.
 ``GET /jobs/<id>/result``
     The completed result as a ``reg-cluster/v1`` document
-    (``409`` while the job is not ``done``).
+    (``409`` while the job is neither ``done`` nor ``degraded``; a
+    degraded job serves its surviving shards' merged clusters, and its
+    record lists the ``missing_shards``).
 ``DELETE /jobs/<id>``
     Cancel an active job (cooperative, via the miner's ``should_stop``
     hook); delete a terminal job's record and cached result.
@@ -31,7 +33,12 @@ on the service's single background thread, so the HTTP pool only ever
 does cheap store/cache reads.
 
 :class:`ServiceClient` is the matching urllib-based client used by the
-``reg-cluster submit`` / ``status`` CLI subcommands and the smoke test.
+``reg-cluster submit`` / ``status`` CLI subcommands and the smoke
+tests.  The client retries connection failures and 5xx responses with
+exponential backoff (``connect_retries`` attempts), so callers racing a
+daemon that is still binding its socket — or one running under an
+``http-5xx`` chaos fault (``docs/robustness.md``) — see one clean
+answer, not a stack trace.
 """
 
 from __future__ import annotations
@@ -47,6 +54,7 @@ from typing import Any, Dict, List, Optional, Tuple
 from repro.matrix.expression import ExpressionMatrix
 from repro.matrix.io import load_expression_matrix, parse_expression_text
 from repro.service.jobs import ACTIVE_STATES, parameters_from_dict
+from repro.service.resilience import FaultKind, FaultPlan
 from repro.service.service import MiningService
 
 __all__ = [
@@ -131,6 +139,13 @@ class _Handler(BaseHTTPRequestHandler):
 
     def _dispatch(self, method: str) -> None:
         service = self.server.service
+        plan = self.server.fault_plan
+        if plan is not None and plan.fire(FaultKind.HTTP_5XX):
+            self._send_json(
+                503,
+                {"error": f"injected {FaultKind.HTTP_5XX.value} fault"},
+            )
+            return
         try:
             if method == "POST" and self.path == "/jobs":
                 self._post_job(service)
@@ -216,10 +231,17 @@ class ServiceHTTPServer(ThreadingHTTPServer):
         service: MiningService,
         *,
         quiet: bool = True,
+        fault_plan: Optional[FaultPlan] = None,
     ) -> None:
         super().__init__(address, _Handler)
         self.service = service
         self.quiet = quiet
+        # One plan drives the whole stack: unless overridden, the HTTP
+        # layer shares the service's plan, so ``http-5xx`` specs in a
+        # ``REPRO_FAULTS`` plan reach the front end too.
+        self.fault_plan = (
+            fault_plan if fault_plan is not None else service.fault_plan
+        )
 
 
 def serve(
@@ -228,13 +250,17 @@ def serve(
     port: int = 0,
     *,
     quiet: bool = True,
+    fault_plan: Optional[FaultPlan] = None,
 ) -> ServiceHTTPServer:
     """Bind (but do not run) the HTTP front end; port 0 = ephemeral.
 
     The caller runs ``server.serve_forever()`` (typically on the main
-    thread) and is responsible for ``service.start()``.
+    thread) and is responsible for ``service.start()``.  ``fault_plan``
+    overrides the service's plan for the HTTP layer only (chaos tests).
     """
-    return ServiceHTTPServer((host, port), service, quiet=quiet)
+    return ServiceHTTPServer(
+        (host, port), service, quiet=quiet, fault_plan=fault_plan
+    )
 
 
 class ServiceError(RuntimeError):
@@ -247,11 +273,36 @@ class ServiceError(RuntimeError):
 
 
 class ServiceClient:
-    """Minimal urllib client for the endpoints above."""
+    """Minimal urllib client for the endpoints above.
 
-    def __init__(self, base_url: str, *, timeout: float = 30.0) -> None:
+    Transient failures are retried with exponential backoff: connection
+    errors (daemon not yet listening, socket reset) and 5xx responses
+    get up to ``connect_retries`` extra attempts, sleeping
+    ``retry_backoff * 2**attempt`` seconds between them.  4xx responses
+    raise :class:`ServiceError` immediately — they are the caller's
+    fault, and submission is idempotent so retrying them cannot help.
+    """
+
+    def __init__(
+        self,
+        base_url: str,
+        *,
+        timeout: float = 30.0,
+        connect_retries: int = 5,
+        retry_backoff: float = 0.2,
+    ) -> None:
+        if connect_retries < 0:
+            raise ValueError(
+                f"connect_retries must be >= 0, got {connect_retries}"
+            )
+        if retry_backoff < 0.0:
+            raise ValueError(
+                f"retry_backoff must be >= 0, got {retry_backoff}"
+            )
         self.base_url = base_url.rstrip("/")
         self.timeout = timeout
+        self.connect_retries = connect_retries
+        self.retry_backoff = retry_backoff
 
     def _request(
         self,
@@ -259,26 +310,39 @@ class ServiceClient:
         path: str,
         payload: Optional[Dict[str, Any]] = None,
     ) -> Dict[str, Any]:
-        request = urllib.request.Request(
-            self.base_url + path, method=method
-        )
         data = None
-        if payload is not None:
-            data = json.dumps(payload).encode("utf-8")
-            request.add_header("Content-Type", "application/json")
-        try:
-            with urllib.request.urlopen(
-                request, data=data, timeout=self.timeout
-            ) as response:
-                return dict(json.loads(response.read().decode("utf-8")))
-        except urllib.error.HTTPError as error:
+        for attempt in range(self.connect_retries + 1):
+            request = urllib.request.Request(
+                self.base_url + path, method=method
+            )
+            if payload is not None:
+                data = json.dumps(payload).encode("utf-8")
+                request.add_header("Content-Type", "application/json")
             try:
-                message = json.loads(error.read().decode("utf-8")).get(
-                    "error", error.reason
-                )
-            except (json.JSONDecodeError, UnicodeDecodeError):
-                message = str(error.reason)
-            raise ServiceError(error.code, message) from None
+                with urllib.request.urlopen(
+                    request, data=data, timeout=self.timeout
+                ) as response:
+                    return dict(json.loads(response.read().decode("utf-8")))
+            except urllib.error.HTTPError as error:
+                # Before URLError: HTTPError is a URLError subclass.
+                try:
+                    message = json.loads(error.read().decode("utf-8")).get(
+                        "error", error.reason
+                    )
+                except (json.JSONDecodeError, UnicodeDecodeError):
+                    message = str(error.reason)
+                if error.code >= 500 and attempt < self.connect_retries:
+                    time.sleep(self.retry_backoff * (2.0 ** attempt))
+                    continue
+                raise ServiceError(error.code, message) from None
+            except urllib.error.URLError:
+                # Connection refused/reset — typical while the daemon is
+                # still binding its socket after a (re)start.
+                if attempt < self.connect_retries:
+                    time.sleep(self.retry_backoff * (2.0 ** attempt))
+                    continue
+                raise
+        raise AssertionError("unreachable: the retry loop returns or raises")
 
     # -- endpoints -----------------------------------------------------
 

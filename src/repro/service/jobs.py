@@ -12,11 +12,21 @@ of it (see :mod:`repro.service.executor`).
 Job records move through a small state machine::
 
     submitted ──> running ──> done
+        │            ├──────> degraded
         │            ├──────> failed
         └────────────┴──────> cancelled
 
 and are persisted as one JSON file per job (atomic replace), so a
-restarted service sees every job it ever accepted.
+restarted service sees every job it ever accepted.  ``degraded`` is the
+graceful-degradation terminal state (``docs/robustness.md``): the job
+finished with the merged clusters of its surviving shards, and its
+record lists the ``missing_shards`` that exhausted their retry budget.
+
+Beside the records, the store persists **shard checkpoints**: one JSON
+file per completed shard of a running job (:meth:`JobStore.save_shard`).
+A daemon killed mid-job resumes from them — completed shards are merged
+without re-mining (the deterministic shard merge makes the resumed
+result bit-identical to an uninterrupted run).
 """
 
 from __future__ import annotations
@@ -29,20 +39,28 @@ import threading
 from dataclasses import asdict, dataclass, field, replace
 from enum import Enum
 from pathlib import Path
-from typing import Any, Dict, List, Optional, Union
+from typing import Any, Dict, List, Optional, Tuple, Union
 
+from repro.core.cluster import RegCluster
 from repro.core.params import MiningParameters
 
 __all__ = [
     "JobState",
     "ACTIVE_STATES",
     "TERMINAL_STATES",
+    "RESULT_STATES",
     "JobRecord",
     "JobStore",
+    "StoredShard",
     "compute_job_id",
     "parameters_to_dict",
     "parameters_from_dict",
 ]
+
+#: A checkpointed shard: (start condition, clusters, stats) — the same
+#: shape as :data:`repro.service.executor.ShardResult` (kept structural
+#: to avoid a layering cycle).
+StoredShard = Tuple[int, List[RegCluster], Dict[str, float]]
 
 
 class JobState(str, Enum):
@@ -51,6 +69,10 @@ class JobState(str, Enum):
     SUBMITTED = "submitted"
     RUNNING = "running"
     DONE = "done"
+    #: Finished with partial output: the retry budget ran out on at
+    #: least one shard, and the result merges the surviving shards
+    #: (the record's ``missing_shards`` lists the losses).
+    DEGRADED = "degraded"
     FAILED = "failed"
     CANCELLED = "cancelled"
 
@@ -58,7 +80,11 @@ class JobState(str, Enum):
 #: States in which a job still owns (or awaits) compute.
 ACTIVE_STATES = frozenset({JobState.SUBMITTED, JobState.RUNNING})
 #: States a job can never leave.
-TERMINAL_STATES = frozenset({JobState.DONE, JobState.FAILED, JobState.CANCELLED})
+TERMINAL_STATES = frozenset(
+    {JobState.DONE, JobState.DEGRADED, JobState.FAILED, JobState.CANCELLED}
+)
+#: Terminal states whose jobs carry a result payload.
+RESULT_STATES = frozenset({JobState.DONE, JobState.DEGRADED})
 
 _JOB_ID_PATTERN = re.compile(r"^job-[0-9a-f]{16}$")
 
@@ -147,6 +173,15 @@ class JobRecord:
     #: wall-clock seconds per search phase (candidates / windows /
     #: emit), summed across shards; set when the job completes
     phase_timers: Optional[Dict[str, float]] = None
+    #: shards lost to an exhausted retry budget (``degraded`` jobs
+    #: only; the result merges the surviving shards)
+    missing_shards: Optional[List[int]] = None
+    #: shards answered from checkpoints of an earlier (interrupted or
+    #: degraded) run instead of being re-mined
+    resumed_shards: Optional[List[int]] = None
+    #: failed attempts per shard (as ``{"<start>": count}``), recorded
+    #: when any shard needed a retry
+    shard_failures: Optional[Dict[str, int]] = None
 
     def to_dict(self) -> Dict[str, Any]:
         payload = asdict(self)
@@ -241,3 +276,91 @@ class JobStore:
             ]
         records.sort(key=lambda r: (r.submitted_at, r.job_id))
         return records
+
+    # ------------------------------------------------------------------
+    # Shard checkpoints
+    # ------------------------------------------------------------------
+    #
+    # One JSON file per completed shard, written atomically the moment
+    # the shard finishes — never read-modify-write, so a daemon killed
+    # mid-checkpoint loses at most the shard being written.  A corrupt
+    # or half-written file is simply skipped on load (the shard is
+    # re-mined), keeping resume strictly safe.
+
+    def _shards_dir(self, job_id: str) -> Path:
+        if not _JOB_ID_PATTERN.match(job_id):
+            raise KeyError(f"malformed job id {job_id!r}")
+        return self.root / f"{job_id}.shards"
+
+    def save_shard(self, job_id: str, shard: StoredShard) -> None:
+        """Checkpoint one completed shard of a running job."""
+        start, clusters, stats = shard
+        directory = self._shards_dir(job_id)
+        payload = {
+            "start": int(start),
+            "clusters": [
+                {
+                    "chain": list(cluster.chain),
+                    "p_members": list(cluster.p_members),
+                    "n_members": list(cluster.n_members),
+                }
+                for cluster in clusters
+            ],
+            "stats": {key: value for key, value in stats.items()},
+        }
+        with self._lock:
+            directory.mkdir(parents=True, exist_ok=True)
+            path = directory / f"shard-{int(start):04d}.json"
+            tmp = path.with_suffix(".json.tmp")
+            tmp.write_text(
+                json.dumps(payload, sort_keys=True) + "\n", encoding="utf-8"
+            )
+            os.replace(tmp, path)
+
+    def load_shards(self, job_id: str) -> Dict[int, StoredShard]:
+        """Every readable shard checkpoint of a job, keyed by start.
+
+        Unreadable or malformed checkpoint files are skipped — resuming
+        re-mines those shards instead of trusting torn writes.
+        """
+        directory = self._shards_dir(job_id)
+        shards: Dict[int, StoredShard] = {}
+        with self._lock:
+            paths = sorted(directory.glob("shard-*.json"))
+            for path in paths:
+                try:
+                    payload = json.loads(path.read_text(encoding="utf-8"))
+                    start = int(payload["start"])
+                    clusters = [
+                        RegCluster(
+                            chain=tuple(entry["chain"]),
+                            p_members=tuple(entry["p_members"]),
+                            n_members=tuple(entry["n_members"]),
+                        )
+                        for entry in payload["clusters"]
+                    ]
+                    stats = {
+                        str(key): float(value)
+                        for key, value in payload["stats"].items()
+                    }
+                except (json.JSONDecodeError, KeyError, TypeError,
+                        ValueError, OSError):
+                    continue
+                shards[start] = (start, clusters, stats)
+        return shards
+
+    def clear_shards(self, job_id: str) -> None:
+        """Drop every shard checkpoint of a job (no-op when absent)."""
+        directory = self._shards_dir(job_id)
+        with self._lock:
+            if not directory.is_dir():
+                return
+            for path in directory.glob("shard-*.json*"):
+                try:
+                    path.unlink()
+                except FileNotFoundError:
+                    pass
+            try:
+                directory.rmdir()
+            except OSError:
+                pass

@@ -1,0 +1,409 @@
+"""Deterministic fault injection and recovery policies for the service.
+
+The sharded search decomposes into independent per-start shards whose
+merge is proven bit-identical to single-process mining (see
+:mod:`repro.service.executor`).  Independence is exactly what makes
+recovery tractable: a crashed shard can be retried, a killed daemon can
+resume from the shards already finished, and a shard whose retry budget
+is exhausted can be *dropped* — the surviving shards still merge into a
+well-defined (if incomplete) result.  This module supplies the two
+policy objects that machinery runs on:
+
+:class:`FaultPlan`
+    A **deterministic, seeded** fault-injection plan.  Production code
+    never constructs one (the default everywhere is ``None`` — zero
+    overhead); the chaos test-suite and ``make chaos-smoke`` inject
+    worker crashes, artificial shard delays, cache-write failures and
+    HTTP 5xx responses through it.  Shard faults are a pure function of
+    ``(shard, attempt)``, so they reproduce identically inside worker
+    processes regardless of start method, scheduling or retry timing.
+    Plans activate either programmatically (a service/executor argument)
+    or via the ``REPRO_FAULTS`` environment variable (JSON, see
+    :meth:`FaultPlan.from_env` and ``docs/robustness.md``).
+
+:class:`RetryPolicy`
+    Bounded per-shard retries with exponential backoff and
+    deterministic jitter.  The jitter is derived by hashing
+    ``(seed, shard, attempt)`` — no global RNG state, so concurrent
+    shards never perturb each other's delays and a re-run of the same
+    plan sleeps the same amounts.
+"""
+
+from __future__ import annotations
+
+import hashlib
+import json
+import os
+import threading
+import time
+from dataclasses import dataclass
+from enum import Enum
+from typing import Any, Dict, List, Mapping, Optional, Sequence
+
+__all__ = [
+    "FAULTS_ENV_VAR",
+    "FaultKind",
+    "FaultSpec",
+    "FaultPlan",
+    "FaultInjected",
+    "RetryPolicy",
+]
+
+#: Environment variable holding a JSON fault plan (see
+#: :meth:`FaultPlan.from_env`).
+FAULTS_ENV_VAR = "REPRO_FAULTS"
+
+
+class FaultInjected(RuntimeError):
+    """An artificial failure raised by an active :class:`FaultPlan`.
+
+    Deliberately a distinct type: recovery code retries it like any
+    worker failure, while test assertions can tell injected faults from
+    organic bugs.
+    """
+
+
+class FaultKind(str, Enum):
+    """The fault taxonomy (``docs/robustness.md``)."""
+
+    #: Raise :class:`FaultInjected` inside the worker mining the target
+    #: shard — a clean per-shard crash (the shard fails, the pool lives).
+    CRASH_SHARD = "crash-shard"
+    #: ``os._exit`` inside the worker mining the target shard — a hard
+    #: process death that breaks the whole pool (the executor rebuilds
+    #: it).  Downgraded to :attr:`CRASH_SHARD` when mining in-process.
+    KILL_WORKER = "kill-worker"
+    #: Sleep ``delay`` seconds before mining the target shard (hung or
+    #: slow shard; the lever for exercising job timeouts).
+    DELAY_SHARD = "delay-shard"
+    #: Make the artifact cache's next write(s) raise :class:`OSError`
+    #: (disk full / permission flake).
+    CACHE_WRITE_FAIL = "cache-write-fail"
+    #: Make the HTTP front end answer the next request(s) with a 503
+    #: (transient server failure; the client must retry through it).
+    HTTP_5XX = "http-5xx"
+
+
+#: Fault kinds that fire inside shard workers, keyed on (shard, attempt).
+_SHARD_KINDS = frozenset(
+    {FaultKind.CRASH_SHARD, FaultKind.KILL_WORKER, FaultKind.DELAY_SHARD}
+)
+
+
+@dataclass(frozen=True)
+class FaultSpec:
+    """One planned fault.
+
+    Attributes
+    ----------
+    kind:
+        What breaks (:class:`FaultKind`).
+    shard:
+        For shard faults: the target shard (first chain condition), or
+        ``None`` to match every shard.  Ignored by call-counted faults.
+    times:
+        How many times the fault fires.  Shard faults fire on attempts
+        ``0 .. times-1`` of the target shard — so ``times=1`` crashes
+        the first attempt and lets the retry succeed.  Call-counted
+        faults (cache / HTTP) fire on their first ``times`` triggers.
+    delay:
+        Sleep duration in seconds (:attr:`FaultKind.DELAY_SHARD` only).
+    """
+
+    kind: FaultKind
+    shard: Optional[int] = None
+    times: int = 1
+    delay: float = 0.0
+
+    def __post_init__(self) -> None:
+        if self.times < 1:
+            raise ValueError(f"times must be >= 1, got {self.times}")
+        if self.delay < 0.0:
+            raise ValueError(f"delay must be >= 0, got {self.delay}")
+
+    def to_dict(self) -> Dict[str, Any]:
+        payload: Dict[str, Any] = {"kind": self.kind.value}
+        if self.shard is not None:
+            payload["shard"] = self.shard
+        if self.times != 1:
+            payload["times"] = self.times
+        if self.delay:
+            payload["delay"] = self.delay
+        return payload
+
+    @classmethod
+    def from_dict(cls, payload: Mapping[str, Any]) -> "FaultSpec":
+        known = {"kind", "shard", "times", "delay"}
+        unknown = set(payload) - known
+        if unknown:
+            raise ValueError(
+                f"unknown fault field(s): {', '.join(sorted(unknown))}"
+            )
+        if "kind" not in payload:
+            raise ValueError("fault spec requires a 'kind'")
+        try:
+            kind = FaultKind(payload["kind"])
+        except ValueError:
+            valid = ", ".join(k.value for k in FaultKind)
+            raise ValueError(
+                f"unknown fault kind {payload['kind']!r} (one of: {valid})"
+            ) from None
+        shard = payload.get("shard")
+        return cls(
+            kind=kind,
+            shard=None if shard is None else int(shard),
+            times=int(payload.get("times", 1)),
+            delay=float(payload.get("delay", 0.0)),
+        )
+
+
+class FaultPlan:
+    """A seeded, deterministic set of faults to inject.
+
+    Shard faults are stateless — :meth:`shard_faults` is a pure function
+    of ``(shard, attempt)``, so a plan shipped to worker processes (by
+    fork inheritance or pickling) fires identically everywhere.
+    Call-counted faults (cache writes, HTTP responses) consume a
+    thread-safe in-process budget via :meth:`fire`.
+
+    >>> plan = FaultPlan([FaultSpec(FaultKind.CRASH_SHARD, shard=2)])
+    >>> [s.kind.value for s in plan.shard_faults(2, attempt=0)]
+    ['crash-shard']
+    >>> plan.shard_faults(2, attempt=1)  # the retry is allowed through
+    []
+    >>> plan.shard_faults(3, attempt=0)  # other shards untouched
+    []
+    """
+
+    def __init__(
+        self, specs: Sequence[FaultSpec] = (), *, seed: int = 0
+    ) -> None:
+        self.specs: List[FaultSpec] = list(specs)
+        self.seed = int(seed)
+        self._fired: Dict[FaultKind, int] = {}
+        self._lock = threading.Lock()
+
+    # ------------------------------------------------------------------
+    # Shard faults (pure, cross-process)
+    # ------------------------------------------------------------------
+
+    def shard_faults(self, shard: int, attempt: int) -> List[FaultSpec]:
+        """The faults that hit ``shard`` on its ``attempt``-th try."""
+        return [
+            spec
+            for spec in self.specs
+            if spec.kind in _SHARD_KINDS
+            and (spec.shard is None or spec.shard == shard)
+            and attempt < spec.times
+        ]
+
+    def choose_shard(self, n_shards: int) -> int:
+        """A deterministic victim shard derived from the plan's seed.
+
+        Lets chaos harnesses say "kill one seeded-random shard" without
+        hard-coding a shard id:
+
+        >>> FaultPlan(seed=7).choose_shard(10) == \\
+        ...     FaultPlan(seed=7).choose_shard(10)
+        True
+        """
+        if n_shards < 1:
+            raise ValueError(f"n_shards must be >= 1, got {n_shards}")
+        digest = hashlib.sha256(
+            f"fault-plan/{self.seed}".encode("ascii")
+        ).digest()
+        return int.from_bytes(digest[:8], "big") % n_shards
+
+    # ------------------------------------------------------------------
+    # Call-counted faults (in-process)
+    # ------------------------------------------------------------------
+
+    def fire(self, kind: FaultKind) -> bool:
+        """Consume one firing of a call-counted fault.
+
+        Returns ``True`` while the summed ``times`` budget of the
+        plan's specs of this kind is unspent, ``False`` afterwards (and
+        always ``False`` for kinds the plan does not contain).
+        """
+        budget = sum(
+            spec.times for spec in self.specs if spec.kind is kind
+        )
+        if budget == 0:
+            return False
+        with self._lock:
+            fired = self._fired.get(kind, 0)
+            if fired >= budget:
+                return False
+            self._fired[kind] = fired + 1
+            return True
+
+    def fired(self, kind: FaultKind) -> int:
+        """How many times a call-counted fault has fired so far."""
+        with self._lock:
+            return self._fired.get(kind, 0)
+
+    # ------------------------------------------------------------------
+    # Serialization / activation
+    # ------------------------------------------------------------------
+
+    def to_dict(self) -> Dict[str, Any]:
+        return {
+            "seed": self.seed,
+            "faults": [spec.to_dict() for spec in self.specs],
+        }
+
+    def to_json(self) -> str:
+        return json.dumps(self.to_dict(), sort_keys=True)
+
+    @classmethod
+    def from_dict(cls, payload: Any) -> "FaultPlan":
+        """Build a plan from parsed JSON.
+
+        Accepts either the full ``{"seed": ..., "faults": [...]}`` form
+        or a bare fault list.
+        """
+        if isinstance(payload, list):
+            payload = {"faults": payload}
+        if not isinstance(payload, dict):
+            raise ValueError(
+                "fault plan must be a JSON object or a fault list"
+            )
+        unknown = set(payload) - {"seed", "faults"}
+        if unknown:
+            raise ValueError(
+                f"unknown fault-plan field(s): {', '.join(sorted(unknown))}"
+            )
+        faults = payload.get("faults", [])
+        if not isinstance(faults, list):
+            raise ValueError("'faults' must be a list of fault specs")
+        return cls(
+            [FaultSpec.from_dict(spec) for spec in faults],
+            seed=int(payload.get("seed", 0)),
+        )
+
+    @classmethod
+    def from_json(cls, text: str) -> "FaultPlan":
+        try:
+            payload = json.loads(text)
+        except json.JSONDecodeError as error:
+            raise ValueError(f"fault plan is not valid JSON: {error}") from None
+        return cls.from_dict(payload)
+
+    @classmethod
+    def from_env(
+        cls, environ: Optional[Mapping[str, str]] = None
+    ) -> Optional["FaultPlan"]:
+        """The plan named by ``REPRO_FAULTS``, or ``None`` when unset.
+
+        ``REPRO_FAULTS`` holds the JSON of :meth:`to_dict`, e.g.::
+
+            REPRO_FAULTS='{"seed": 7, "faults":
+                [{"kind": "crash-shard", "shard": 2}]}'
+        """
+        env = os.environ if environ is None else environ
+        text = env.get(FAULTS_ENV_VAR, "").strip()
+        if not text:
+            return None
+        return cls.from_json(text)
+
+    # Pickle support: the lock is per-process state, rebuilt on load so
+    # a plan shipped to spawn-context workers arrives intact.
+    def __getstate__(self) -> Dict[str, Any]:
+        return {
+            "specs": self.specs,
+            "seed": self.seed,
+            "fired": dict(self._fired),
+        }
+
+    def __setstate__(self, state: Dict[str, Any]) -> None:
+        self.specs = state["specs"]
+        self.seed = state["seed"]
+        self._fired = dict(state["fired"])
+        self._lock = threading.Lock()
+
+    def __repr__(self) -> str:
+        return f"FaultPlan(specs={self.specs!r}, seed={self.seed})"
+
+
+def _unit_float(seed: int, shard: int, attempt: int) -> float:
+    """A deterministic float in [0, 1) from (seed, shard, attempt)."""
+    digest = hashlib.sha256(
+        f"retry-jitter/{seed}/{shard}/{attempt}".encode("ascii")
+    ).digest()
+    return int.from_bytes(digest[:8], "big") / float(1 << 64)
+
+
+@dataclass(frozen=True)
+class RetryPolicy:
+    """Bounded per-shard retries with deterministic backoff + jitter.
+
+    Attributes
+    ----------
+    max_retries:
+        Extra attempts granted to each shard beyond its first (the
+        *retry budget*).  ``0`` disables retries: any shard failure
+        immediately counts the shard as lost.
+    backoff_base:
+        Delay before the first retry, in seconds.
+    backoff_factor:
+        Multiplier applied per subsequent retry (exponential backoff).
+    backoff_max:
+        Upper bound on the un-jittered delay.
+    jitter:
+        Fractional jitter: the delay is scaled by a deterministic
+        factor in ``[1, 1 + jitter)`` derived from
+        ``(seed, shard, attempt)``, decorrelating concurrent retries
+        without global RNG state.
+    seed:
+        Jitter seed.
+
+    >>> policy = RetryPolicy(max_retries=2, backoff_base=0.1, jitter=0.0)
+    >>> policy.backoff(shard=0, attempt=0)
+    0.1
+    >>> policy.backoff(shard=0, attempt=1)
+    0.2
+    >>> jittered = RetryPolicy(backoff_base=0.1, jitter=0.5)
+    >>> 0.1 <= jittered.backoff(shard=3, attempt=0) < 0.15
+    True
+    >>> jittered.backoff(3, 0) == jittered.backoff(3, 0)  # deterministic
+    True
+    """
+
+    max_retries: int = 2
+    backoff_base: float = 0.05
+    backoff_factor: float = 2.0
+    backoff_max: float = 2.0
+    jitter: float = 0.1
+    seed: int = 0
+
+    def __post_init__(self) -> None:
+        if self.max_retries < 0:
+            raise ValueError(
+                f"max_retries must be >= 0, got {self.max_retries}"
+            )
+        if self.backoff_base < 0.0 or self.backoff_max < 0.0:
+            raise ValueError("backoff durations must be >= 0")
+        if self.backoff_factor < 1.0:
+            raise ValueError(
+                f"backoff_factor must be >= 1, got {self.backoff_factor}"
+            )
+        if self.jitter < 0.0:
+            raise ValueError(f"jitter must be >= 0, got {self.jitter}")
+
+    def backoff(self, shard: int, attempt: int) -> float:
+        """Seconds to wait before retrying ``shard`` after ``attempt``."""
+        raw = min(
+            self.backoff_max,
+            self.backoff_base * self.backoff_factor ** attempt,
+        )
+        if self.jitter <= 0.0:
+            return raw
+        return raw * (1.0 + self.jitter * _unit_float(
+            self.seed, shard, attempt
+        ))
+
+    def sleep_before_retry(self, shard: int, attempt: int) -> None:
+        """Block for the computed backoff (tiny in tests, real in prod)."""
+        delay = self.backoff(shard, attempt)
+        if delay > 0.0:
+            time.sleep(delay)

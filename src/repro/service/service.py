@@ -17,6 +17,34 @@ parameters), so resubmitting identical work returns the existing record
 without touching the index or the search.  Cancellation is cooperative:
 ``DELETE``-ing a running job flips a :class:`threading.Event` that the
 miner's ``should_stop`` hook polls once per search node.
+
+Crash safety and degradation (``docs/robustness.md``)
+-----------------------------------------------------
+Execution runs through :func:`~repro.service.executor
+.mine_sharded_outcome`, which layers recovery over the sharded search:
+
+* every completed shard is **checkpointed** into the
+  :class:`~repro.service.jobs.JobStore` the moment it finishes, and a
+  daemon restarted over the same store re-queues jobs found ``running``
+  (killed mid-flight) — the resumed run merges checkpointed shards
+  without re-mining them, bit-identical to an uninterrupted run;
+* shard failures are **retried** under the service's
+  :class:`~repro.service.resilience.RetryPolicy`; a shard that
+  exhausts the budget does not sink the job — it finishes
+  ``degraded``, carrying the merged clusters of the surviving shards
+  and an explicit ``missing_shards`` list (resubmitting a degraded job
+  resumes its surviving shards and re-mines only the missing ones);
+* an optional **per-job wall-clock timeout** cooperatively cancels
+  runaway searches (the job fails with a timeout error; its
+  checkpoints survive, so a resubmission picks up where it stopped);
+* artifact-cache writes are **best-effort**: a failed write (e.g. disk
+  full) never fails a job — a result that could not be cached is served
+  from an in-process fallback until the daemon exits.
+
+Chaos testing drives all of the above deterministically through a
+seeded :class:`~repro.service.resilience.FaultPlan`, activated per
+service (the ``fault_plan`` argument) or via the ``REPRO_FAULTS``
+environment variable.
 """
 
 from __future__ import annotations
@@ -29,16 +57,17 @@ from typing import Any, Callable, Dict, List, Optional, Union
 
 import numpy as np
 
-from repro.core.miner import MiningCancelled
+from repro.core.miner import MiningCancelled, MiningTimeout
 from repro.core.params import MiningParameters
 from repro.core.rwave import RWaveIndex
 from repro.core.serialize import result_to_dict
 from repro.matrix.expression import ExpressionMatrix
 from repro.matrix.summary import matrix_digest
 from repro.service.cache import DEFAULT_MAX_BYTES, ArtifactCache
-from repro.service.executor import mine_sharded
+from repro.service.executor import ShardResult, mine_sharded_outcome
 from repro.service.jobs import (
     ACTIVE_STATES,
+    RESULT_STATES,
     JobRecord,
     JobState,
     JobStore,
@@ -46,6 +75,7 @@ from repro.service.jobs import (
     parameters_from_dict,
     parameters_to_dict,
 )
+from repro.service.resilience import FaultPlan, RetryPolicy
 
 __all__ = ["MiningService"]
 
@@ -69,6 +99,20 @@ class MiningService:
         identical for every value.
     max_cache_bytes:
         Artifact-cache size bound.
+    job_timeout:
+        Per-job wall-clock budget in seconds; ``None`` (default)
+        disables timeouts.  A timed-out job fails with a timeout error
+        but keeps its shard checkpoints, so resubmitting resumes it.
+    retry:
+        Per-shard :class:`~repro.service.resilience.RetryPolicy`;
+        defaults to the service default (two retries with exponential
+        backoff + jitter).  ``RetryPolicy(max_retries=0)`` disables
+        retries.
+    fault_plan:
+        Chaos-testing :class:`~repro.service.resilience.FaultPlan`;
+        defaults to the plan named by ``REPRO_FAULTS`` (usually unset —
+        no plan, zero overhead).  Shared with the artifact cache so
+        injected cache-write failures are coordinated.
     progress_observer:
         Optional hook ``(job_id, event, nodes_expanded)`` invoked on
         every progress event of every job — used by tests and by
@@ -82,30 +126,53 @@ class MiningService:
         n_workers: int = 1,
         max_cache_bytes: int = DEFAULT_MAX_BYTES,
         start_method: Optional[str] = None,
+        job_timeout: Optional[float] = None,
+        retry: Optional[RetryPolicy] = None,
+        fault_plan: Optional[FaultPlan] = None,
         progress_observer: Optional[Callable[[str, str, int], None]] = None,
     ) -> None:
         if n_workers < 1:
             raise ValueError(f"n_workers must be >= 1, got {n_workers}")
+        if job_timeout is not None and job_timeout <= 0.0:
+            raise ValueError(
+                f"job_timeout must be positive, got {job_timeout}"
+            )
         self.store_dir = Path(store_dir)
         self.store_dir.mkdir(parents=True, exist_ok=True)
         self.n_workers = n_workers
         self.start_method = start_method
+        self.job_timeout = job_timeout
+        self.retry = retry if retry is not None else RetryPolicy()
+        self.fault_plan = (
+            fault_plan if fault_plan is not None else FaultPlan.from_env()
+        )
         self.progress_observer = progress_observer
         self.jobs = JobStore(self.store_dir / "jobs")
         self.cache = ArtifactCache(
-            self.store_dir / "cache", max_bytes=max_cache_bytes
+            self.store_dir / "cache",
+            max_bytes=max_cache_bytes,
+            fault_plan=self.fault_plan,
         )
         self._matrix_dir = self.store_dir / "matrices"
         self._matrix_dir.mkdir(parents=True, exist_ok=True)
         self._queue: "queue.Queue[Optional[str]]" = queue.Queue()
         self._cancel_events: Dict[str, threading.Event] = {}
+        #: results whose cache write failed, served from memory instead
+        #: of failing the job (best-effort cache, docs/robustness.md).
+        self._result_fallback: Dict[str, Dict[str, Any]] = {}
         self._lock = threading.RLock()
         self._thread: Optional[threading.Thread] = None
         self._stop_requested = threading.Event()
-        # Re-enqueue jobs that were submitted (or interrupted while
-        # queued) before a restart, in original submission order.
+        # Crash recovery: re-enqueue jobs that were submitted (or
+        # interrupted while queued) before a restart, in original
+        # submission order — and re-arm jobs a killed daemon left
+        # ``running``; their shard checkpoints make the re-run resume
+        # instead of re-mining.
         for record in self.jobs.list_records():
             if record.state is JobState.SUBMITTED:
+                self._queue.put(record.job_id)
+            elif record.state is JobState.RUNNING:
+                self.jobs.update(record.job_id, state=JobState.SUBMITTED)
                 self._queue.put(record.job_id)
 
     # ------------------------------------------------------------------
@@ -186,15 +253,22 @@ class MiningService:
     def result(self, job_id: str) -> Dict[str, Any]:
         """The ``reg-cluster/v1`` payload of a completed job.
 
-        Raises :class:`KeyError` for unknown jobs and
-        :class:`ValueError` for jobs that are not ``done``.
+        Served for ``done`` jobs and — with the surviving shards'
+        merged clusters — for ``degraded`` ones (the record's
+        ``missing_shards`` says what is absent).  Raises
+        :class:`KeyError` for unknown jobs and :class:`ValueError` for
+        jobs that are not finished with a result.
         """
         record = self.jobs.get(job_id)
-        if record.state is not JobState.DONE:
+        if record.state not in RESULT_STATES:
             raise ValueError(
                 f"job {job_id} is {record.state.value}, not done"
             )
         payload = self.cache.get_result(job_id)
+        if payload is None:
+            # Degraded results and results whose cache write failed
+            # live in the in-process fallback (docs/robustness.md).
+            payload = self._result_fallback.get(job_id)
         if payload is None:
             raise ValueError(
                 f"result of job {job_id} is no longer cached; resubmit"
@@ -231,6 +305,8 @@ class MiningService:
                     f"deleting"
                 )
             self.cache.drop_result(job_id)
+            self.jobs.clear_shards(job_id)
+            self._result_fallback.pop(job_id, None)
             self.jobs.delete(job_id)
 
     # ------------------------------------------------------------------
@@ -306,6 +382,15 @@ class MiningService:
         )
         try:
             self._mine_job(job_id, record, cancel_event)
+        except MiningTimeout as error:
+            # A deadline, not a caller: the job *failed*, but its shard
+            # checkpoints survive, so resubmitting resumes the search.
+            self.jobs.update(
+                job_id,
+                state=JobState.FAILED,
+                error=f"{type(error).__name__}: {error}",
+                finished_at=time.time(),
+            )
         except MiningCancelled:
             self.jobs.update(
                 job_id,
@@ -358,7 +443,12 @@ class MiningService:
         index_cache_hit = index is not None
         if index is None:
             index = RWaveIndex(matrix, params.gamma)
-            self.cache.put_index(record.matrix_digest, params.gamma, index)
+            try:
+                self.cache.put_index(
+                    record.matrix_digest, params.gamma, index
+                )
+            except OSError:
+                pass  # best-effort: the in-memory index still serves
 
         # 2b. Regulation kernel: determined by the same (digest, gamma)
         #     key as the index.  On a hit the kernel is attached so the
@@ -375,7 +465,12 @@ class MiningService:
             result_cache_hit=False,
         )
 
-        # 3. The sharded search, with live progress and cancellation.
+        # 3. The sharded search, with live progress, cancellation,
+        #    checkpoint resume and retry/degradation.  Checkpoints from a
+        #    previous interrupted or degraded run are merged without
+        #    re-mining; every newly completed shard is checkpointed the
+        #    moment it finishes.
+        completed = self.jobs.load_shards(job_id)
         progress = {"nodes_expanded": 0, "clusters_emitted": 0}
 
         def on_progress(event: str, nodes_expanded: int) -> None:
@@ -387,8 +482,14 @@ class MiningService:
             if nodes_expanded % _PROGRESS_PERSIST_EVERY == 0:
                 self.jobs.update(job_id, progress=dict(progress))
 
+        def on_shard_complete(shard: ShardResult) -> None:
+            try:
+                self.jobs.save_shard(job_id, shard)
+            except OSError:
+                pass  # checkpointing is an optimization, never fatal
+
         try:
-            result = mine_sharded(
+            outcome = mine_sharded_outcome(
                 matrix,
                 params,
                 n_workers=self.n_workers,
@@ -396,9 +497,15 @@ class MiningService:
                 progress_callback=on_progress,
                 should_stop=cancel_event.is_set,
                 start_method=self.start_method,
+                retry=self.retry,
+                fault_plan=self.fault_plan,
+                timeout=self.job_timeout,
+                completed=completed,
+                on_shard_complete=on_shard_complete,
             )
         except MiningCancelled:
-            # Keep the last observed counters on the cancelled record.
+            # Keep the last observed counters on the record; shard
+            # checkpoints survive, so a resubmission resumes the search.
             self.jobs.update(job_id, progress=dict(progress))
             raise
 
@@ -406,18 +513,57 @@ class MiningService:
         #    A kernel the in-process miner built lazily is memoized for
         #    the next job on the same (matrix, gamma); worker pools build
         #    kernels in child processes, so there is nothing to store.
+        #    All cache writes are best-effort: a full or flaky disk must
+        #    not fail a job that mined successfully.
         if not kernel_cache_hit and index.has_kernel:
-            self.cache.put_kernel(
-                record.matrix_digest, params.gamma, index.kernel
-            )
+            try:
+                self.cache.put_kernel(
+                    record.matrix_digest, params.gamma, index.kernel
+                )
+            except OSError:
+                pass
+        result = outcome.result
         payload = result_to_dict(result, matrix)
-        self.cache.put_result(job_id, payload)
         progress["nodes_expanded"] = result.statistics.nodes_expanded
         progress["clusters_emitted"] = result.statistics.clusters_emitted
+        shard_failures = (
+            {str(s): n for s, n in sorted(outcome.failed_attempts.items())}
+            or None
+        )
+        if outcome.degraded:
+            # A degraded payload never enters the result cache: an
+            # idempotent resubmission must re-mine the missing shards,
+            # not be answered from a partial payload.  The surviving
+            # shards' checkpoints are kept for exactly that resume.
+            self._result_fallback[job_id] = payload
+            self.jobs.update(
+                job_id,
+                state=JobState.DEGRADED,
+                finished_at=time.time(),
+                progress=dict(progress),
+                phase_timers=result.statistics.timers.as_dict(),
+                missing_shards=outcome.missing_shards,
+                resumed_shards=outcome.resumed_shards or None,
+                shard_failures=shard_failures,
+                error="; ".join(
+                    f"shard {s}: {outcome.shard_errors[s]}"
+                    for s in outcome.missing_shards
+                ),
+            )
+            return
+        try:
+            self.cache.put_result(job_id, payload)
+            self._result_fallback.pop(job_id, None)
+        except OSError:
+            self._result_fallback[job_id] = payload
+        self.jobs.clear_shards(job_id)
         self.jobs.update(
             job_id,
             state=JobState.DONE,
             finished_at=time.time(),
             progress=dict(progress),
             phase_timers=result.statistics.timers.as_dict(),
+            missing_shards=None,
+            resumed_shards=outcome.resumed_shards or None,
+            shard_failures=shard_failures,
         )

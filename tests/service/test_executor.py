@@ -145,3 +145,77 @@ class TestHooksThroughTheExecutor:
                 n_workers=2,
                 should_stop=flag.is_set,
             )
+
+
+class TestFailurePaths:
+    def test_strict_mine_sharded_raises_shard_failure(self, running_example,
+                                                      paper_params):
+        from repro.service.executor import ShardFailure
+        from repro.service.resilience import (
+            FaultKind,
+            FaultPlan,
+            FaultSpec,
+            RetryPolicy,
+        )
+
+        plan = FaultPlan(
+            [FaultSpec(kind=FaultKind.CRASH_SHARD, shard=3, times=10)]
+        )
+        with pytest.raises(ShardFailure) as info:
+            mine_sharded(
+                running_example,
+                paper_params,
+                retry=RetryPolicy(max_retries=0, backoff_base=0.0),
+                fault_plan=plan,
+            )
+        assert info.value.missing_shards == [3]
+        assert "crash-shard" in info.value.shard_errors[3]
+
+    def test_cancellation_carries_partial_clusters(self, synthetic,
+                                                   synthetic_params):
+        # Cancel once the first cluster-bearing shard has finished: the
+        # exception must carry the clusters already merged, so callers
+        # (the service) can persist progress diagnostics.
+        from repro.service.executor import mine_sharded_outcome
+
+        seen = []
+
+        def stop_after_first_cluster() -> bool:
+            return bool(seen)
+
+        with pytest.raises(MiningCancelled) as info:
+            mine_sharded_outcome(
+                synthetic,
+                synthetic_params,
+                on_shard_complete=lambda shard: seen.extend(shard[1]),
+                should_stop=stop_after_first_cluster,
+            )
+        assert info.value.partial_clusters == seen
+        assert seen  # the synthetic dataset yields clusters early
+
+    def test_cancellation_in_pool_mode_carries_partials(self, synthetic,
+                                                        synthetic_params):
+        from repro.service.executor import mine_sharded_outcome
+
+        seen = []
+
+        with pytest.raises(MiningCancelled) as info:
+            mine_sharded_outcome(
+                synthetic,
+                synthetic_params,
+                n_workers=2,
+                on_shard_complete=lambda shard: seen.extend(shard[1]),
+                should_stop=lambda: bool(seen),
+            )
+        assert set(info.value.partial_clusters) >= set(seen)
+
+    def test_fast_path_still_used_without_resilience_options(
+        self, running_example, paper_params
+    ):
+        # n_workers=1 with no retry/faults/timeout takes the classic
+        # single-mine fast path: statistics match even under a binding
+        # max_clusters cap (the capped search stops early).
+        capped = paper_params.with_overrides(max_clusters=1)
+        reference = RegClusterMiner(running_example, capped).mine()
+        sharded = mine_sharded(running_example, capped, n_workers=1)
+        assert_results_identical(sharded, reference)

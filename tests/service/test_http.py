@@ -182,3 +182,118 @@ class TestErrors:
             )
         assert info.value.status == 400
         assert "exactly one" in info.value.message
+
+
+class TestClientRetry:
+    def test_retries_connection_refused_until_the_daemon_is_up(
+        self, tmp_path
+    ):
+        import socket
+        import time
+
+        # Reserve an ephemeral port, then bring the server up on it only
+        # after a delay: the client's first attempts are refused and
+        # must be retried, not surfaced.
+        probe = socket.socket()
+        probe.bind(("127.0.0.1", 0))
+        port = probe.getsockname()[1]
+        probe.close()
+
+        service = MiningService(tmp_path / "store")
+        box = {}
+
+        def late_start():
+            time.sleep(0.3)
+            box["server"] = serve(service, "127.0.0.1", port)
+            box["server"].serve_forever()
+
+        starter = threading.Thread(target=late_start, daemon=True)
+        starter.start()
+        try:
+            client = ServiceClient(
+                f"http://127.0.0.1:{port}",
+                connect_retries=8,
+                retry_backoff=0.1,
+            )
+            assert client.list_jobs() == []
+        finally:
+            if "server" in box:
+                box["server"].shutdown()
+                box["server"].server_close()
+            starter.join(timeout=5)
+            service.stop()
+
+    def test_raises_after_exhausting_connection_retries(self):
+        import socket
+        import urllib.error
+
+        probe = socket.socket()
+        probe.bind(("127.0.0.1", 0))
+        port = probe.getsockname()[1]
+        probe.close()  # nothing listens here
+
+        client = ServiceClient(
+            f"http://127.0.0.1:{port}",
+            connect_retries=1,
+            retry_backoff=0.01,
+        )
+        with pytest.raises(urllib.error.URLError):
+            client.list_jobs()
+
+    def test_4xx_is_never_retried(self, stack):
+        _, client = stack
+        retrying = ServiceClient(
+            client.base_url, connect_retries=5, retry_backoff=0.01
+        )
+        with pytest.raises(ServiceError) as info:
+            retrying.status("job-" + "0" * 16)
+        assert info.value.status == 404
+
+    @pytest.mark.parametrize(
+        "kwargs",
+        [{"connect_retries": -1}, {"retry_backoff": -0.5}],
+    )
+    def test_rejects_invalid_retry_settings(self, kwargs):
+        with pytest.raises(ValueError):
+            ServiceClient("http://127.0.0.1:1", **kwargs)
+
+
+class TestDegradedOverHTTP:
+    def test_degraded_result_is_served_not_409(self, tmp_path,
+                                               running_example,
+                                               paper_params):
+        from repro.service.resilience import (
+            FaultKind,
+            FaultPlan,
+            FaultSpec,
+            RetryPolicy,
+        )
+
+        plan = FaultPlan(
+            [FaultSpec(kind=FaultKind.CRASH_SHARD, shard=6, times=100)]
+        )
+        service = MiningService(
+            tmp_path / "store",
+            retry=RetryPolicy(max_retries=0, backoff_base=0.0),
+            fault_plan=plan,
+        )
+        server = serve(service)
+        thread = threading.Thread(target=server.serve_forever, daemon=True)
+        thread.start()
+        service.start()
+        try:
+            host, port = server.server_address[0], server.server_address[1]
+            client = ServiceClient(f"http://{host}:{port}")
+            record = client.submit_matrix(
+                running_example, parameters_to_dict(paper_params)
+            )
+            done = client.wait(record["job_id"], timeout=60)
+            assert done["state"] == "degraded"
+            assert done["missing_shards"] == [6]
+            payload = client.result(record["job_id"])  # 200, not 409
+            assert "clusters" in payload
+        finally:
+            service.stop()
+            server.shutdown()
+            server.server_close()
+            thread.join(timeout=5)

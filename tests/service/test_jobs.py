@@ -159,3 +159,91 @@ class TestJobStore:
         store.save(later)
         store.save(record)
         assert [r.submitted_at for r in store.list_records()] == [100.0, 200.0]
+
+
+class TestShardCheckpoints:
+    def test_round_trip(self, tmp_path, record):
+        from repro.core.cluster import RegCluster
+
+        store = JobStore(tmp_path)
+        store.save(record)
+        cluster = RegCluster(
+            chain=(3, 5, 1), p_members=(0, 2), n_members=(1,)
+        )
+        shard = (3, [cluster], {"nodes_expanded": 17.0, "candidates": 4.0})
+        store.save_shard(record.job_id, shard)
+        loaded = store.load_shards(record.job_id)
+        assert loaded == {3: shard}
+
+    def test_checkpoints_survive_a_new_store_instance(self, tmp_path,
+                                                      record):
+        # The on-disk layout, not the object, is the source of truth —
+        # exactly what a restarted daemon relies on.
+        first = JobStore(tmp_path)
+        first.save(record)
+        first.save_shard(record.job_id, (0, [], {"nodes_expanded": 1.0}))
+        first.save_shard(record.job_id, (4, [], {"nodes_expanded": 2.0}))
+        second = JobStore(tmp_path)
+        assert sorted(second.load_shards(record.job_id)) == [0, 4]
+
+    def test_corrupt_checkpoint_is_skipped(self, tmp_path, record):
+        store = JobStore(tmp_path)
+        store.save(record)
+        store.save_shard(record.job_id, (1, [], {"nodes_expanded": 5.0}))
+        shards_dir = tmp_path / f"{record.job_id}.shards"
+        (shards_dir / "shard-0002.json").write_text(
+            '{"start": 2, "clusters": [{', encoding="utf-8"
+        )  # torn write
+        (shards_dir / "shard-0003.json").write_text(
+            '{"start": 3}', encoding="utf-8"
+        )  # missing fields
+        loaded = store.load_shards(record.job_id)
+        assert sorted(loaded) == [1]
+
+    def test_clear_shards_removes_the_directory(self, tmp_path, record):
+        store = JobStore(tmp_path)
+        store.save(record)
+        store.save_shard(record.job_id, (0, [], {}))
+        shards_dir = tmp_path / f"{record.job_id}.shards"
+        assert shards_dir.is_dir()
+        store.clear_shards(record.job_id)
+        assert not shards_dir.exists()
+        store.clear_shards(record.job_id)  # idempotent no-op
+
+    def test_load_shards_without_checkpoints_is_empty(self, tmp_path,
+                                                      record):
+        store = JobStore(tmp_path)
+        store.save(record)
+        assert store.load_shards(record.job_id) == {}
+
+    def test_malformed_job_id_is_rejected(self, tmp_path):
+        store = JobStore(tmp_path)
+        with pytest.raises(KeyError, match="malformed"):
+            store.save_shard("../escape", (0, [], {}))
+
+
+class TestDegradedState:
+    def test_degraded_is_terminal_and_carries_a_result(self):
+        from repro.service.jobs import RESULT_STATES
+
+        assert JobState.DEGRADED in TERMINAL_STATES
+        assert JobState.DEGRADED not in ACTIVE_STATES
+        assert RESULT_STATES == {JobState.DONE, JobState.DEGRADED}
+
+    def test_record_round_trips_resilience_fields(self, tmp_path, record):
+        from dataclasses import replace
+
+        store = JobStore(tmp_path)
+        degraded = replace(
+            record,
+            state=JobState.DEGRADED,
+            missing_shards=[2, 7],
+            resumed_shards=[0, 1],
+            shard_failures={"2": 3, "7": 3},
+        )
+        store.save(degraded)
+        loaded = store.get(record.job_id)
+        assert loaded.state is JobState.DEGRADED
+        assert loaded.missing_shards == [2, 7]
+        assert loaded.resumed_shards == [0, 1]
+        assert loaded.shard_failures == {"2": 3, "7": 3}

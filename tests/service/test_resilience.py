@@ -1,0 +1,176 @@
+"""Unit tests for the fault-injection and retry policy objects."""
+
+from __future__ import annotations
+
+import pickle
+
+import pytest
+
+from repro.service.resilience import (
+    FAULTS_ENV_VAR,
+    FaultKind,
+    FaultPlan,
+    FaultSpec,
+    RetryPolicy,
+)
+
+
+class TestFaultSpec:
+    def test_round_trip(self):
+        spec = FaultSpec(
+            kind=FaultKind.DELAY_SHARD, shard=3, times=2, delay=0.5
+        )
+        assert FaultSpec.from_dict(spec.to_dict()) == spec
+
+    def test_defaults_round_trip_compactly(self):
+        spec = FaultSpec(kind=FaultKind.CRASH_SHARD)
+        assert spec.to_dict() == {"kind": "crash-shard"}
+        assert FaultSpec.from_dict({"kind": "crash-shard"}) == spec
+
+    def test_rejects_unknown_kind(self):
+        with pytest.raises(ValueError, match="unknown fault kind"):
+            FaultSpec.from_dict({"kind": "meteor-strike"})
+
+    def test_rejects_unknown_field(self):
+        with pytest.raises(ValueError, match="unknown fault field"):
+            FaultSpec.from_dict({"kind": "crash-shard", "sharrd": 1})
+
+    @pytest.mark.parametrize(
+        "kwargs", [{"times": 0}, {"times": -1}, {"delay": -0.1}]
+    )
+    def test_rejects_invalid_values(self, kwargs):
+        with pytest.raises(ValueError):
+            FaultSpec(kind=FaultKind.CRASH_SHARD, **kwargs)
+
+
+class TestFaultPlanShardFaults:
+    def test_matches_target_shard_within_budget(self):
+        plan = FaultPlan(
+            [FaultSpec(kind=FaultKind.CRASH_SHARD, shard=2, times=2)]
+        )
+        assert plan.shard_faults(2, attempt=0)
+        assert plan.shard_faults(2, attempt=1)
+        assert plan.shard_faults(2, attempt=2) == []
+        assert plan.shard_faults(1, attempt=0) == []
+
+    def test_wildcard_shard_matches_everything(self):
+        plan = FaultPlan([FaultSpec(kind=FaultKind.KILL_WORKER)])
+        assert plan.shard_faults(0, attempt=0)
+        assert plan.shard_faults(99, attempt=0)
+        assert plan.shard_faults(0, attempt=1) == []
+
+    def test_is_pure_across_pickling(self):
+        # The worker-side plan must fire identically to the parent's.
+        plan = FaultPlan(
+            [FaultSpec(kind=FaultKind.CRASH_SHARD, shard=4)], seed=9
+        )
+        clone = pickle.loads(pickle.dumps(plan))
+        for shard in range(8):
+            for attempt in range(3):
+                assert plan.shard_faults(shard, attempt) == clone.shard_faults(
+                    shard, attempt
+                )
+
+    def test_choose_shard_is_deterministic_and_in_range(self):
+        for seed in range(20):
+            victim = FaultPlan(seed=seed).choose_shard(10)
+            assert 0 <= victim < 10
+            assert victim == FaultPlan(seed=seed).choose_shard(10)
+
+    def test_choose_shard_rejects_empty(self):
+        with pytest.raises(ValueError, match="n_shards"):
+            FaultPlan().choose_shard(0)
+
+
+class TestFaultPlanCallCounted:
+    def test_fire_consumes_the_budget(self):
+        plan = FaultPlan([FaultSpec(kind=FaultKind.HTTP_5XX, times=2)])
+        assert plan.fire(FaultKind.HTTP_5XX) is True
+        assert plan.fire(FaultKind.HTTP_5XX) is True
+        assert plan.fire(FaultKind.HTTP_5XX) is False
+        assert plan.fired(FaultKind.HTTP_5XX) == 2
+
+    def test_absent_kind_never_fires(self):
+        plan = FaultPlan([FaultSpec(kind=FaultKind.CRASH_SHARD)])
+        assert plan.fire(FaultKind.CACHE_WRITE_FAIL) is False
+        assert plan.fired(FaultKind.CACHE_WRITE_FAIL) == 0
+
+
+class TestFaultPlanSerialization:
+    def test_json_round_trip(self):
+        plan = FaultPlan(
+            [
+                FaultSpec(kind=FaultKind.KILL_WORKER, shard=1),
+                FaultSpec(kind=FaultKind.HTTP_5XX, times=3),
+            ],
+            seed=42,
+        )
+        loaded = FaultPlan.from_json(plan.to_json())
+        assert loaded.specs == plan.specs
+        assert loaded.seed == plan.seed
+
+    def test_accepts_bare_fault_list(self):
+        plan = FaultPlan.from_json('[{"kind": "crash-shard", "shard": 2}]')
+        assert plan.specs == [FaultSpec(kind=FaultKind.CRASH_SHARD, shard=2)]
+        assert plan.seed == 0
+
+    def test_rejects_malformed_json(self):
+        with pytest.raises(ValueError, match="not valid JSON"):
+            FaultPlan.from_json("{nope")
+
+    def test_rejects_unknown_plan_field(self):
+        with pytest.raises(ValueError, match="unknown fault-plan field"):
+            FaultPlan.from_dict({"seeds": 1, "faults": []})
+
+    def test_from_env_unset_means_no_plan(self):
+        assert FaultPlan.from_env({}) is None
+        assert FaultPlan.from_env({FAULTS_ENV_VAR: "   "}) is None
+
+    def test_from_env_parses_the_variable(self):
+        env = {
+            FAULTS_ENV_VAR: '{"seed": 5, "faults": '
+            '[{"kind": "cache-write-fail"}]}'
+        }
+        plan = FaultPlan.from_env(env)
+        assert plan is not None
+        assert plan.seed == 5
+        assert plan.specs == [FaultSpec(kind=FaultKind.CACHE_WRITE_FAIL)]
+
+
+class TestRetryPolicy:
+    def test_backoff_grows_exponentially_and_caps(self):
+        policy = RetryPolicy(
+            max_retries=5,
+            backoff_base=0.1,
+            backoff_factor=2.0,
+            backoff_max=0.3,
+            jitter=0.0,
+        )
+        assert policy.backoff(0, 0) == pytest.approx(0.1)
+        assert policy.backoff(0, 1) == pytest.approx(0.2)
+        assert policy.backoff(0, 2) == pytest.approx(0.3)  # capped
+        assert policy.backoff(0, 9) == pytest.approx(0.3)
+
+    def test_jitter_is_deterministic_and_bounded(self):
+        policy = RetryPolicy(backoff_base=1.0, backoff_max=10.0, jitter=0.25)
+        seen = set()
+        for shard in range(6):
+            delay = policy.backoff(shard, 0)
+            assert 1.0 <= delay < 1.25
+            assert delay == policy.backoff(shard, 0)
+            seen.add(delay)
+        assert len(seen) > 1  # jitter actually decorrelates shards
+
+    @pytest.mark.parametrize(
+        "kwargs",
+        [
+            {"max_retries": -1},
+            {"backoff_base": -0.1},
+            {"backoff_max": -1.0},
+            {"backoff_factor": 0.5},
+            {"jitter": -0.1},
+        ],
+    )
+    def test_rejects_invalid_values(self, kwargs):
+        with pytest.raises(ValueError):
+            RetryPolicy(**kwargs)

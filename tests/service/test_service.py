@@ -246,3 +246,39 @@ class TestKernelCache:
         assert done.phase_timers is not None
         assert set(done.phase_timers) == {"candidates", "windows", "emit"}
         assert all(v >= 0.0 for v in done.phase_timers.values())
+
+
+class TestResilienceConfig:
+    def test_invalid_job_timeout_rejected(self, tmp_path):
+        with pytest.raises(ValueError, match="job_timeout"):
+            MiningService(tmp_path / "store", job_timeout=0.0)
+
+    def test_delete_clears_checkpoints_and_fallback(self, tmp_path,
+                                                    running_example,
+                                                    paper_params):
+        from repro.service.resilience import (
+            FaultKind,
+            FaultPlan,
+            FaultSpec,
+            RetryPolicy,
+        )
+
+        plan = FaultPlan(
+            [FaultSpec(kind=FaultKind.CRASH_SHARD, shard=6, times=100)]
+        )
+        service = MiningService(
+            tmp_path / "store",
+            retry=RetryPolicy(max_retries=0, backoff_base=0.0),
+            fault_plan=plan,
+        )
+        record = service.submit(running_example, paper_params)
+        service.run_pending()
+        assert service.status(record.job_id).state is JobState.DEGRADED
+        assert service.jobs.load_shards(record.job_id)  # survivors kept
+        assert service.result(record.job_id) is not None
+
+        service.delete(record.job_id)
+        assert service.jobs.load_shards(record.job_id) == {}
+        assert record.job_id not in service._result_fallback
+        with pytest.raises(KeyError):
+            service.status(record.job_id)
