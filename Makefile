@@ -2,7 +2,7 @@
 
 PYTHON ?= python
 
-.PHONY: install test coverage bench bench-quick bench-regression examples serve-smoke chaos-smoke lint typecheck clean
+.PHONY: install test coverage bench bench-quick bench-regression examples serve-smoke chaos-smoke trace-smoke lint typecheck clean
 
 install:
 	pip install -e . --no-build-isolation
@@ -54,6 +54,12 @@ serve-smoke:
 # client that absorbs injected 503s (docs/robustness.md).
 chaos-smoke:
 	PYTHONPATH=src $(PYTHON) scripts/chaos_smoke.py
+
+# Observability counterpart of serve-smoke: trace a multi-process mine
+# through the CLI and the daemon, then require the shard spans of every
+# worker to stitch under a single job root (docs/observability.md).
+trace-smoke:
+	PYTHONPATH=src $(PYTHON) scripts/trace_smoke.py
 
 lint:
 	PYTHONPATH=src $(PYTHON) -m repro.analysis src/repro tests benchmarks examples

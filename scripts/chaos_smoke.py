@@ -9,15 +9,19 @@ The fault-injection counterpart of ``scripts/serve_smoke.py``
    Submit the paper's running example over HTTP and require the job to
    finish ``done`` with a result *identical* to a direct in-process
    :func:`repro.core.miner.mine_reg_clusters` run — the retry must heal
-   the crash without a trace in the output.
+   the crash without a trace in the output — and the retry to show up
+   in ``GET /metrics`` (``repro_shard_retries_total``).
 2. **Graceful degradation.**  Re-mine with the retry budget set to
    zero and a shard that always crashes: the job must finish
    ``degraded`` (not ``failed``), listing exactly the killed shard in
-   ``missing_shards``, and its payload must equal the direct run minus
-   that shard's clusters.
+   ``missing_shards``, its payload must equal the direct run minus
+   that shard's clusters, and the degraded gauge / lost-shard and
+   fault counters must all move.
 3. **HTTP 5xx + client retry.**  Serve under an ``http-5xx`` fault and
    require the stock :class:`~repro.service.ServiceClient` to absorb
-   the injected 503s transparently.
+   the injected 503s transparently — while ``/healthz`` and
+   ``/metrics``, which answer *before* fault injection, stay usable
+   throughout the chaos.
 
 Exit status 0 on success; prints a unified summary either way.
 Used by ``make chaos-smoke`` and the CI ``chaos-smoke`` job.
@@ -28,6 +32,7 @@ from __future__ import annotations
 import sys
 import tempfile
 import threading
+import time
 
 from repro.core.miner import mine_reg_clusters
 from repro.core.params import MiningParameters
@@ -43,6 +48,18 @@ from repro.service import (
     serve,
 )
 from repro.service.jobs import JobState, parameters_to_dict
+
+
+def _wait_healthy(client: ServiceClient, timeout: float = 30.0) -> dict:
+    """Poll ``GET /healthz`` until the daemon reports itself ready."""
+    deadline = time.monotonic() + timeout
+    while True:
+        health = client.health()
+        if health.get("status") == "ok" and health.get("executor_alive"):
+            return health
+        if time.monotonic() >= deadline:
+            raise TimeoutError(f"daemon never became healthy: {health}")
+        time.sleep(0.05)
 
 
 def _direct_payload(matrix, params):
@@ -84,6 +101,7 @@ def _phase_crash_recovery(matrix, params, direct) -> int:
         host, port = server.server_address[0], server.server_address[1]
         try:
             client = ServiceClient(f"http://{host}:{port}")
+            _wait_healthy(client)
             record = client.submit_matrix(matrix, parameters_to_dict(params))
             done = client.wait(record["job_id"], timeout=180)
             if done["state"] != "done":
@@ -99,10 +117,28 @@ def _phase_crash_recovery(matrix, params, direct) -> int:
                 print("chaos: FAIL — recovered result differs from direct "
                       "mining")
                 return 1
+            # A SIGKILLed worker fails every shard it had in flight, so
+            # one kill can surface as several retried attempts.
+            metrics = client.metrics()
+            retries = next(
+                (
+                    float(line.rsplit(" ", 1)[1])
+                    for line in metrics.splitlines()
+                    if line.startswith("repro_shard_retries_total ")
+                ),
+                0.0,
+            )
+            if retries < 1:
+                print("chaos: FAIL — /metrics did not count the shard retry")
+                return 1
+            if 'repro_jobs_current{state="done"} 1' not in metrics:
+                print("chaos: FAIL — done gauge did not move after recovery")
+                return 1
             print(
                 f"chaos: worker killed and retried "
                 f"(failures: {done['shard_failures']}); result identical "
-                f"to direct mining ({len(direct['clusters'])} cluster(s))"
+                f"to direct mining ({len(direct['clusters'])} cluster(s)); "
+                f"retry visible in /metrics"
             )
         finally:
             service.stop()
@@ -159,10 +195,20 @@ def _phase_degraded(matrix, params, direct) -> int:
                 print("chaos: FAIL — degraded payload dropped clusters of "
                       "surviving shards")
                 return 1
+            metrics = service.metrics.render()
+            for needle in (
+                'repro_jobs_current{state="degraded"} 1',
+                "repro_shards_lost_total 1",
+                'repro_faults_injected_total{kind="crash-shard"} 1',
+            ):
+                if needle not in metrics:
+                    print(f"chaos: FAIL — metrics missing {needle!r}")
+                    return 1
             print(
                 f"chaos: job degraded cleanly — missing_shards=[{victim}], "
                 f"{len(payload['clusters'])}/{len(direct['clusters'])} "
-                f"cluster(s) survived"
+                f"cluster(s) survived; degraded gauge, lost-shard and "
+                f"fault counters all moved"
             )
         finally:
             service.stop()
@@ -185,6 +231,13 @@ def _phase_http_5xx(matrix, params, direct) -> int:
                 connect_retries=4,
                 retry_backoff=0.05,
             )
+            # The probes answer before fault injection: chaos must never
+            # blind /healthz or /metrics (docs/observability.md).
+            _wait_healthy(client)
+            if plan.fired(FaultKind.HTTP_5XX) != 0:
+                print("chaos: FAIL — healthz consumed an injected 503; "
+                      "probes must answer before fault injection")
+                return 1
             record = client.submit_matrix(matrix, parameters_to_dict(params))
             done = client.wait(record["job_id"], timeout=180)
             if done["state"] != "done":
@@ -198,8 +251,14 @@ def _phase_http_5xx(matrix, params, direct) -> int:
                 print("chaos: FAIL — injected 503s never fired "
                       f"({plan.fired(FaultKind.HTTP_5XX)} of 2)")
                 return 1
-            print("chaos: client absorbed both injected 503s; result "
-                  "identical to direct mining")
+            if (
+                'repro_faults_injected_total{kind="http-5xx"} 2'
+                not in client.metrics()
+            ):
+                print("chaos: FAIL — /metrics did not count the 503 faults")
+                return 1
+            print("chaos: client absorbed both injected 503s (counted in "
+                  "/metrics); probes answered through the chaos")
         finally:
             service.stop()
             server.shutdown()

@@ -4,8 +4,12 @@ Exercises the full `reg-cluster serve` stack end to end:
 
 1. start a :class:`repro.service.MiningService` plus HTTP front end on
    an ephemeral port (worker pool enabled);
-2. submit the paper's running example through the HTTP client;
-3. poll until the job completes;
+2. poll ``GET /healthz`` until the daemon reports itself ready
+   (``executor_alive``) — the readiness handshake every deployment of
+   the service should use (docs/observability.md);
+3. submit the paper's running example through the HTTP client, poll
+   until the job completes, and require ``GET /metrics`` to expose the
+   finished job in valid Prometheus text (>= 10 metric families);
 4. fetch the result document and require it to be *identical* to a
    direct in-process :func:`repro.core.miner.mine_reg_clusters` run —
    the end-to-end form of the shard-merge equivalence guarantee
@@ -26,6 +30,7 @@ import json
 import sys
 import tempfile
 import threading
+import time
 
 from repro.core.miner import mine_reg_clusters
 from repro.core.serialize import result_to_dict
@@ -33,6 +38,18 @@ from repro.datasets.running_example import load_running_example
 from repro.service import MiningService, ServiceClient, serve
 from repro.service.jobs import JobState, parameters_to_dict
 from repro.core.params import MiningParameters
+
+
+def wait_healthy(client: ServiceClient, timeout: float = 30.0) -> dict:
+    """Poll ``GET /healthz`` until the daemon reports itself ready."""
+    deadline = time.monotonic() + timeout
+    while True:
+        health = client.health()
+        if health.get("status") == "ok" and health.get("executor_alive"):
+            return health
+        if time.monotonic() >= deadline:
+            raise TimeoutError(f"daemon never became healthy: {health}")
+        time.sleep(0.05)
 
 
 def main() -> int:
@@ -51,6 +68,13 @@ def main() -> int:
         print(f"smoke: daemon on http://{host}:{port} (store {store})")
         try:
             client = ServiceClient(f"http://{host}:{port}")
+            health = wait_healthy(client)
+            if health["n_workers"] != 2:
+                print(f"smoke: FAIL — healthz reports n_workers="
+                      f"{health['n_workers']}, expected 2")
+                return 1
+            print(f"smoke: daemon healthy (uptime "
+                  f"{health['uptime_seconds']:.1f}s)")
             record = client.submit_matrix(matrix, parameters_to_dict(params))
             print(f"smoke: submitted {record['job_id']} ({record['state']})")
             done = client.wait(record["job_id"], timeout=120)
@@ -89,6 +113,22 @@ def main() -> int:
                 print("smoke: FAIL — resubmission was not idempotent")
                 return 1
             print("smoke: resubmission answered idempotently from cache")
+
+            metrics = client.metrics()
+            families = [
+                line for line in metrics.splitlines()
+                if line.startswith("# TYPE ")
+            ]
+            if len(families) < 10:
+                print(f"smoke: FAIL — /metrics exposes only "
+                      f"{len(families)} families (< 10)")
+                return 1
+            if 'repro_jobs_total{state="done"} 1' not in metrics:
+                print("smoke: FAIL — /metrics does not show the finished "
+                      "job")
+                return 1
+            print(f"smoke: /metrics exposes {len(families)} Prometheus "
+                  f"families; finished job counted")
         finally:
             service.stop()
             server.shutdown()

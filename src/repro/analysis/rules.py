@@ -28,6 +28,7 @@ __all__ = [
     "FloatAccumulationRule",
     "MissingAnnotationsRule",
     "PerGeneLoopRule",
+    "PrintCallRule",
     "PaperReferenceRule",
 ]
 
@@ -367,6 +368,54 @@ class PerGeneLoopRule(Rule):
                         "path; vectorize with numpy (or suppress on a "
                         "one-time builder)",
                     )
+
+
+#: Modules whose *job* is writing to stdout: the CLI front-ends.
+_PRINT_ALLOWED_NAMES = frozenset({"cli.py", "__main__.py"})
+
+
+@register_rule
+class PrintCallRule(Rule):
+    """RL107: bare ``print()`` in library code.
+
+    Library and service modules must emit events through
+    :mod:`repro.obs.log` (structured, level-filtered, capturable) —
+    a stray ``print`` bypasses the logging configuration, corrupts
+    piped CLI output, and is invisible to the daemon's JSON log
+    stream.  Only the CLI front-ends (``cli.py``, ``__main__.py``)
+    own stdout; deliberate report writers suppress with
+    ``# reglint: disable=RL107`` (or ``disable-file`` for a module
+    whose whole purpose is console output, like the bench reporter).
+    """
+
+    id = "RL107"
+    title = "bare print() in library code"
+    severity = Severity.ERROR
+    rationale = (
+        "library output must go through repro.obs.log so the daemon's "
+        "structured log stream sees it; only CLI entry points own stdout"
+    )
+
+    def applies_to(self, ctx: FileContext) -> bool:
+        if ctx.is_test_file():
+            return False
+        if ctx.path.name in _PRINT_ALLOWED_NAMES:
+            return False
+        return ctx.in_package("repro/")
+
+    def check(self, ctx: FileContext) -> Iterator[Violation]:
+        for node in ast.walk(ctx.tree):
+            if (
+                isinstance(node, ast.Call)
+                and isinstance(node.func, ast.Name)
+                and node.func.id == "print"
+            ):
+                yield self.violation(
+                    ctx,
+                    node,
+                    "bare print() in library code; use repro.obs.log "
+                    "(get_logger) or move the output to a CLI entry point",
+                )
 
 
 _PAPER_CACHE: Dict[Path, PaperReferences] = {}

@@ -32,6 +32,9 @@ compare against committed numbers: its perf-smoke job runs *both* paths
 fresh at ``--scale smoke`` and gates on their ratio.  See
 ``docs/performance.md``.
 """
+# This module doubles as a console entry point (python -m
+# repro.bench.regression); its report output legitimately owns stdout.
+# reglint: disable-file=RL107
 
 from __future__ import annotations
 

@@ -24,6 +24,9 @@ Subcommands
     Submit a matrix to a running daemon (optionally wait for the result).
 ``status``
     Query a job on a running daemon.
+``trace``
+    Inspect span traces written by ``mine --trace`` or ``serve
+    --trace-dir`` (see docs/observability.md).
 """
 
 from __future__ import annotations
@@ -80,6 +83,16 @@ def build_parser() -> argparse.ArgumentParser:
         "--threshold-strategy", default="range_fraction",
         help="per-gene threshold strategy (range_fraction, "
         "closest_pair_average, normalized_std, mean_fraction, constant)",
+    )
+    mine.add_argument(
+        "--workers", type=int, default=1, metavar="N",
+        help="mine shards on N worker processes (results are identical "
+        "for every value; see docs/service.md)",
+    )
+    mine.add_argument(
+        "--trace", default=None, metavar="TRACE.jsonl",
+        help="write a span trace of the run (inspect with "
+        "'reg-cluster trace summary'; see docs/observability.md)",
     )
 
     generate = sub.add_parser("generate", help="write a dataset to disk")
@@ -179,7 +192,17 @@ def build_parser() -> argparse.ArgumentParser:
         "the REPRO_FAULTS environment variable)",
     )
     serve.add_argument(
-        "--verbose", action="store_true", help="log every HTTP request"
+        "--trace-dir", default=None, metavar="DIR",
+        help="write a span trace per executed job to DIR "
+        "(docs/observability.md)",
+    )
+    serve.add_argument(
+        "--log-json", action="store_true",
+        help="emit structured JSON-lines logs on stderr",
+    )
+    serve.add_argument(
+        "--verbose", action="store_true",
+        help="log every HTTP request (text logs unless --log-json)",
     )
 
     submit = sub.add_parser(
@@ -221,6 +244,24 @@ def build_parser() -> argparse.ArgumentParser:
     status.add_argument(
         "--url", default="http://127.0.0.1:8765", help="daemon base URL"
     )
+    status.add_argument(
+        "--stats", action="store_true",
+        help="also print the search statistics of a finished job "
+        "(including degraded jobs, whose record lists missing_shards)",
+    )
+
+    trace = sub.add_parser(
+        "trace", help="inspect span traces (docs/observability.md)"
+    )
+    trace_sub = trace.add_subparsers(dest="trace_command", required=True)
+    trace_summary = trace_sub.add_parser(
+        "summary",
+        help="per-phase / per-shard wall-clock breakdown of a trace file",
+    )
+    trace_summary.add_argument(
+        "path", help="trace JSONL file (from mine --trace or serve "
+        "--trace-dir)",
+    )
 
     return parser
 
@@ -247,20 +288,27 @@ def _validated_parameters(
 
 
 def _cmd_mine(args: argparse.Namespace) -> int:
+    if args.workers < 1:
+        raise ValueError(f"--workers must be >= 1, got {args.workers}")
     matrix = load_expression_matrix(args.path)
     thresholds = None
     if args.threshold_strategy != "range_fraction":
         strategy = resolve_strategy(args.threshold_strategy)
         thresholds = strategy(matrix, args.gamma)
-    result = mine_reg_clusters(
-        matrix,
-        min_genes=args.min_genes,
-        min_conditions=args.min_conditions,
-        gamma=args.gamma,
-        epsilon=args.epsilon,
-        max_clusters=args.max_clusters,
-        thresholds=thresholds,
-    )
+    if args.workers > 1 or args.trace:
+        result = _mine_sharded_cli(args, matrix, thresholds)
+        if result is None:
+            return 1
+    else:
+        result = mine_reg_clusters(
+            matrix,
+            min_genes=args.min_genes,
+            min_conditions=args.min_conditions,
+            gamma=args.gamma,
+            epsilon=args.epsilon,
+            max_clusters=args.max_clusters,
+            thresholds=thresholds,
+        )
     print(f"{len(result)} reg-cluster(s)")
     for index, cluster in enumerate(result, start=1):
         print(f"[{index}]")
@@ -274,6 +322,62 @@ def _cmd_mine(args: argparse.Namespace) -> int:
         save_result(result, args.output, matrix=matrix)
         print(f"result written to {args.output}")
     return 0
+
+
+def _mine_sharded_cli(
+    args: argparse.Namespace,
+    matrix: "ExpressionMatrix",
+    thresholds: "Optional[NDArray[np.float64]]",
+) -> "Optional[MiningResult]":
+    """The ``mine --workers/--trace`` path: sharded, optionally traced.
+
+    Returns ``None`` (after reporting) when shards were lost — the
+    degraded payload is not printed as if it were complete.
+    """
+    from repro.core.rwave import RWaveIndex
+    from repro.obs.trace import NULL_TRACER, Tracer
+    from repro.service.executor import mine_sharded_outcome
+
+    params: MiningParameters = args.parameters
+    index = RWaveIndex(matrix, params.gamma, thresholds=thresholds)
+    tracer = (
+        Tracer(args.trace, overwrite=True) if args.trace else NULL_TRACER
+    )
+    root = tracer.span(
+        "job",
+        attributes={
+            "source": args.path,
+            "n_workers": args.workers,
+            "n_genes": matrix.n_genes,
+            "n_conditions": matrix.n_conditions,
+        },
+    )
+    try:
+        outcome = mine_sharded_outcome(
+            matrix,
+            params,
+            n_workers=args.workers,
+            index=index,
+            tracer=tracer,
+            trace_parent=root.context,
+        )
+        root.set_attributes(outcome.result.statistics.timers.prefixed())
+        root.set_attribute(
+            "outcome", "degraded" if outcome.degraded else "ok"
+        )
+    finally:
+        root.end()
+        tracer.close()
+    if args.trace:
+        print(f"trace written to {args.trace}")
+    if outcome.missing_shards:
+        print(
+            f"error: shards {outcome.missing_shards} were lost; "
+            f"partial result withheld",
+            file=sys.stderr,
+        )
+        return None
+    return outcome.result
 
 
 def _cmd_validate(args: argparse.Namespace) -> int:
@@ -417,6 +521,8 @@ def _cmd_serve(args: argparse.Namespace) -> int:
         serve,
     )
 
+    from repro.obs.log import configure_logging
+
     fault_plan = (
         FaultPlan.from_json(args.faults) if args.faults is not None else None
     )
@@ -425,6 +531,13 @@ def _cmd_serve(args: argparse.Namespace) -> int:
         if args.shard_retries is not None
         else None
     )
+    # --log-json always configures structured logs; plain --verbose gets
+    # the human-readable text format instead.  Neither flag leaves the
+    # default NullHandler in place (daemon events stay silent).
+    if args.log_json:
+        configure_logging(fmt="json")
+    elif args.verbose:
+        configure_logging(fmt="text")
     service = MiningService(
         args.store,
         n_workers=args.workers,
@@ -434,6 +547,7 @@ def _cmd_serve(args: argparse.Namespace) -> int:
         job_timeout=args.job_timeout,
         retry=retry,
         fault_plan=fault_plan,
+        trace_dir=args.trace_dir,
     )
     server = serve(service, args.host, args.port, quiet=not args.verbose)
     host, port = server.server_address[0], server.server_address[1]
@@ -519,6 +633,26 @@ def _cmd_status(args: argparse.Namespace) -> int:
     for key, seconds in sorted((record.get("phase_timers") or {}).items()):
         print(f"phase.{key}: {seconds:.3f}s")
     print(f"parameters: {record.get('parameters')}")
+    if args.stats and record["state"] in ("done", "degraded"):
+        # Degraded jobs have a (partial) payload too — its statistics
+        # plus the missing_shards line above tell the whole story.
+        try:
+            payload = client.result(args.job_id)
+        except ServiceError as error:
+            print(f"error: {error.message}", file=sys.stderr)
+            return 2
+        for key, value in sorted(payload.get("statistics", {}).items()):
+            print(f"statistics.{key}: {value}")
+    return 0
+
+
+def _cmd_trace(args: argparse.Namespace) -> int:
+    from repro.obs.trace import load_spans, summarize_trace
+
+    # Unknown subcommands cannot reach here (argparse enforces the
+    # choices), so this dispatch has exactly one arm for now.
+    assert args.trace_command == "summary"
+    print(summarize_trace(load_spans(args.path)))
     return 0
 
 
@@ -545,6 +679,7 @@ def main(argv: Optional[Sequence[str]] = None) -> int:
         "serve": _cmd_serve,
         "submit": _cmd_submit,
         "status": _cmd_status,
+        "trace": _cmd_trace,
     }
     try:
         return handlers[args.command](args)

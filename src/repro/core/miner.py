@@ -70,6 +70,7 @@ from repro.core.rwave import RWaveIndex
 from repro.core.trace import SearchTrace
 from repro.core.window import coherent_gene_windows, segmented_maximal_windows
 from repro.matrix.expression import ExpressionMatrix
+from repro.obs.trace import Tracer
 
 __all__ = [
     "PruningConfig",
@@ -279,12 +280,18 @@ class RegClusterMiner:
         progress_callback: Optional[ProgressCallback] = None,
         should_stop: Optional[Callable[[], bool]] = None,
         use_kernel: bool = True,
+        span_tracer: Optional[Tracer] = None,
     ) -> None:
         self.matrix = matrix
         self.params = params
         self.prunings = prunings if prunings is not None else PruningConfig()
         #: optional search observer reconstructing the Figure 6 tree
         self.tracer = tracer
+        #: optional :mod:`repro.obs` tracer wrapping each :meth:`mine`
+        #: call in one span (never per-node; ``None`` adds a single
+        #: ``is None`` check per call).  Distinct from ``tracer``, the
+        #: Figure 6 search-tree observer.
+        self.span_tracer = span_tracer
         #: optional per-node observer ``(event, nodes_expanded)``; ``None``
         #: (the default) adds zero overhead to the search.
         self.progress_callback = progress_callback
@@ -374,6 +381,32 @@ class RegClusterMiner:
         MiningCancelled
             If the ``should_stop`` probe returns true mid-search.
         """
+        if self.span_tracer is None:
+            return self._run_search(start_conditions)
+        with self.span_tracer.span(
+            "miner.mine",
+            attributes={
+                "n_genes": self.matrix.n_genes,
+                "n_conditions": self.matrix.n_conditions,
+                "n_starts": (
+                    self.matrix.n_conditions
+                    if start_conditions is None else len(start_conditions)
+                ),
+            },
+        ) as span:
+            result = self._run_search(start_conditions)
+            span.set_attributes(
+                {
+                    "nodes_expanded": result.statistics.nodes_expanded,
+                    "clusters_emitted": result.statistics.clusters_emitted,
+                }
+            )
+            span.set_attributes(result.statistics.timers.prefixed())
+            return result
+
+    def _run_search(
+        self, start_conditions: Optional[Sequence[int]]
+    ) -> MiningResult:
         self._stats = SearchStatistics()
         self._emitted: Set[Tuple[Tuple[int, ...], FrozenSet[int]]] = set()
         self._clusters: List[RegCluster] = []

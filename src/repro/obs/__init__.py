@@ -1,0 +1,68 @@
+"""repro.obs — tracing, metrics, and structured logging (stdlib only).
+
+Three pillars, each usable on its own:
+
+- :mod:`repro.obs.trace` — nested spans with monotonic durations,
+  written to a JSONL sink; span contexts propagate across process
+  boundaries so sharded jobs stitch into one trace.
+- :mod:`repro.obs.metrics` — process-wide counters / gauges /
+  histograms rendered in the Prometheus text exposition format.
+- :mod:`repro.obs.log` — JSON-lines structured logging on the stdlib
+  ``logging`` stack, silent until explicitly configured.
+
+See ``docs/observability.md`` for the span model, metric catalogue,
+and endpoint contracts.
+"""
+
+from repro.obs.log import (
+    JsonFormatter,
+    StructuredLogger,
+    TextFormatter,
+    configure_logging,
+    get_logger,
+    reset_logging,
+)
+from repro.obs.metrics import (
+    DEFAULT_BUCKETS,
+    Counter,
+    Gauge,
+    Histogram,
+    MetricsRegistry,
+    render_family,
+)
+from repro.obs.trace import (
+    NULL_TRACER,
+    NullTracer,
+    Span,
+    SpanContext,
+    Tracer,
+    TraceWorkerConfig,
+    load_spans,
+    summarize_trace,
+)
+
+__all__ = [
+    # trace
+    "Span",
+    "SpanContext",
+    "Tracer",
+    "NullTracer",
+    "NULL_TRACER",
+    "TraceWorkerConfig",
+    "load_spans",
+    "summarize_trace",
+    # metrics
+    "Counter",
+    "Gauge",
+    "Histogram",
+    "MetricsRegistry",
+    "render_family",
+    "DEFAULT_BUCKETS",
+    # log
+    "StructuredLogger",
+    "JsonFormatter",
+    "TextFormatter",
+    "get_logger",
+    "configure_logging",
+    "reset_logging",
+]

@@ -1,0 +1,207 @@
+"""Structured JSON-lines logging on top of the stdlib ``logging`` stack.
+
+Modules obtain a :class:`StructuredLogger` via :func:`get_logger` and
+emit *events* with flat key-value fields::
+
+    _LOG = get_logger("repro.service.executor")
+    _LOG.warning("shard.failed", shard=3, attempt=1, error="boom")
+
+Nothing is printed until :func:`configure_logging` installs a handler
+on the ``repro`` root logger — until then events cost one
+``isEnabledFor`` check (the ``repro`` logger carries a
+``NullHandler`` so the stdlib "no handler" fallback never fires).
+``configure_logging`` is idempotent: it replaces any handler it
+installed earlier, so repeated CLI invocations in one process do not
+stack handlers.
+"""
+
+from __future__ import annotations
+
+import io
+import json
+import logging
+import sys
+import time
+import traceback
+from typing import IO, Any, Dict, Optional
+
+__all__ = [
+    "JsonFormatter",
+    "TextFormatter",
+    "StructuredLogger",
+    "get_logger",
+    "configure_logging",
+    "reset_logging",
+]
+
+ROOT_LOGGER_NAME = "repro"
+
+#: Marker attribute tagging handlers installed by :func:`configure_logging`.
+_HANDLER_TAG = "_repro_obs_handler"
+
+_LEVELS: Dict[str, int] = {
+    "debug": logging.DEBUG,
+    "info": logging.INFO,
+    "warning": logging.WARNING,
+    "error": logging.ERROR,
+}
+
+# Keep plain `import repro.obs.log` side-effect free apart from this:
+# without a NullHandler the stdlib lastResort handler would echo every
+# warning+ record to stderr even in processes that never opted in.
+logging.getLogger(ROOT_LOGGER_NAME).addHandler(logging.NullHandler())
+
+
+def _record_fields(record: logging.LogRecord) -> Dict[str, Any]:
+    fields = getattr(record, "repro_fields", None)
+    if isinstance(fields, dict):
+        return fields
+    return {}
+
+
+def _iso_utc(created: float) -> str:
+    base = time.strftime("%Y-%m-%dT%H:%M:%S", time.gmtime(created))
+    millis = int((created - int(created)) * 1000)
+    return f"{base}.{millis:03d}Z"
+
+
+class JsonFormatter(logging.Formatter):
+    """One JSON object per record: ts, level, logger, event, fields."""
+
+    def format(self, record: logging.LogRecord) -> str:
+        payload: Dict[str, Any] = {
+            "ts": _iso_utc(record.created),
+            "level": record.levelname.lower(),
+            "logger": record.name,
+            "event": record.getMessage(),
+        }
+        for key, value in _record_fields(record).items():
+            if key not in payload:
+                payload[key] = value
+        if record.exc_info and record.exc_info[0] is not None:
+            payload["exc"] = "".join(
+                traceback.format_exception(*record.exc_info)
+            ).rstrip("\n")
+        return json.dumps(payload, sort_keys=False, default=str)
+
+
+class TextFormatter(logging.Formatter):
+    """Human-oriented single line: ``ts level logger event k=v ...``."""
+
+    def format(self, record: logging.LogRecord) -> str:
+        parts = [
+            _iso_utc(record.created),
+            record.levelname.lower(),
+            record.name,
+            record.getMessage(),
+        ]
+        for key, value in _record_fields(record).items():
+            parts.append(f"{key}={value}")
+        line = " ".join(str(part) for part in parts)
+        if record.exc_info and record.exc_info[0] is not None:
+            line += "\n" + "".join(
+                traceback.format_exception(*record.exc_info)
+            ).rstrip("\n")
+        return line
+
+
+class StructuredLogger:
+    """Thin event-plus-fields facade over a stdlib logger."""
+
+    def __init__(self, logger: logging.Logger) -> None:
+        self._logger = logger
+
+    @property
+    def name(self) -> str:
+        return self._logger.name
+
+    def _emit(
+        self,
+        level: int,
+        event: str,
+        fields: Dict[str, Any],
+        exc_info: bool,
+    ) -> None:
+        if not self._logger.isEnabledFor(level):
+            return
+        self._logger.log(
+            level,
+            event,
+            exc_info=exc_info,
+            extra={"repro_fields": fields},
+        )
+
+    def debug(self, event: str, **fields: Any) -> None:
+        self._emit(logging.DEBUG, event, fields, False)
+
+    def info(self, event: str, **fields: Any) -> None:
+        self._emit(logging.INFO, event, fields, False)
+
+    def warning(self, event: str, **fields: Any) -> None:
+        self._emit(logging.WARNING, event, fields, False)
+
+    def error(self, event: str, *, exc_info: bool = False,
+              **fields: Any) -> None:
+        self._emit(logging.ERROR, event, fields, exc_info)
+
+
+def get_logger(name: str) -> StructuredLogger:
+    """The structured logger for ``name`` (child of ``repro``)."""
+    if name != ROOT_LOGGER_NAME and not name.startswith(
+        ROOT_LOGGER_NAME + "."
+    ):
+        name = f"{ROOT_LOGGER_NAME}.{name}"
+    return StructuredLogger(logging.getLogger(name))
+
+
+def configure_logging(
+    *,
+    stream: Optional[IO[str]] = None,
+    level: str = "info",
+    fmt: str = "json",
+    logger_name: str = ROOT_LOGGER_NAME,
+) -> logging.Handler:
+    """Install (or replace) the repro log handler and return it.
+
+    ``fmt`` is ``"json"`` or ``"text"``; ``level`` one of debug /
+    info / warning / error.  Events propagate to ``logger_name`` only
+    — the stdlib root logger is left alone.
+    """
+    try:
+        level_no = _LEVELS[level.lower()]
+    except KeyError:
+        raise ValueError(
+            f"unknown log level {level!r}; choose from {sorted(_LEVELS)}"
+        ) from None
+    if fmt == "json":
+        formatter: logging.Formatter = JsonFormatter()
+    elif fmt == "text":
+        formatter = TextFormatter()
+    else:
+        raise ValueError(f"unknown log format {fmt!r}; choose json or text")
+
+    logger = logging.getLogger(logger_name)
+    reset_logging(logger_name=logger_name)
+    handler = logging.StreamHandler(
+        stream if stream is not None else sys.stderr
+    )
+    handler.setFormatter(formatter)
+    setattr(handler, _HANDLER_TAG, True)
+    logger.addHandler(handler)
+    logger.setLevel(level_no)
+    logger.propagate = False
+    return handler
+
+
+def reset_logging(*, logger_name: str = ROOT_LOGGER_NAME) -> None:
+    """Remove handlers previously installed by :func:`configure_logging`."""
+    logger = logging.getLogger(logger_name)
+    for handler in list(logger.handlers):
+        if getattr(handler, _HANDLER_TAG, False):
+            logger.removeHandler(handler)
+            try:
+                handler.close()
+            except (OSError, ValueError, io.UnsupportedOperation):
+                pass
+    logger.propagate = True
+    logger.setLevel(logging.NOTSET)

@@ -1,0 +1,436 @@
+"""Process-wide metrics with Prometheus text exposition (stdlib only).
+
+A :class:`MetricsRegistry` owns named metric families — counters,
+gauges and histograms, optionally labelled — and renders them in the
+Prometheus text exposition format (version 0.0.4) for the service's
+``GET /metrics`` endpoint.  Registration is idempotent: asking for an
+already-registered family with the same type and labels returns the
+existing instrument, so independent modules can share families without
+threading instrument objects around.
+
+Pull-time *collectors* cover state that already has an owner with its
+own counters (the :class:`~repro.service.cache.CacheStats` of the
+artifact cache, say): a collector is a zero-argument callable returning
+pre-rendered exposition text, invoked at every :meth:`render`.  The
+:func:`render_family` helper formats such a family correctly.
+
+All updates are lock-guarded and O(1); an un-scraped registry costs a
+dictionary entry per family and nothing per request.
+"""
+
+from __future__ import annotations
+
+import bisect
+import math
+import threading
+from typing import Callable, Dict, List, Mapping, Optional, Sequence, Tuple
+
+__all__ = [
+    "Counter",
+    "Gauge",
+    "Histogram",
+    "MetricsRegistry",
+    "render_family",
+    "DEFAULT_BUCKETS",
+]
+
+#: Default histogram bucket upper bounds (seconds-flavoured, matching
+#: the HTTP and job-duration use cases).  ``+Inf`` is implicit.
+DEFAULT_BUCKETS: Tuple[float, ...] = (
+    0.005, 0.01, 0.025, 0.05, 0.1, 0.25, 0.5, 1.0, 2.5, 5.0, 10.0, 30.0,
+)
+
+_NAME_OK = frozenset(
+    "abcdefghijklmnopqrstuvwxyzABCDEFGHIJKLMNOPQRSTUVWXYZ0123456789_:"
+)
+
+
+def _check_name(name: str) -> str:
+    if not name or name[0].isdigit() or not set(name) <= _NAME_OK:
+        raise ValueError(f"invalid metric name {name!r}")
+    return name
+
+
+def _escape_label(value: str) -> str:
+    return (
+        value.replace("\\", "\\\\").replace('"', '\\"').replace("\n", "\\n")
+    )
+
+
+def _format_value(value: float) -> str:
+    if math.isinf(value):
+        return "+Inf" if value > 0 else "-Inf"
+    if float(value).is_integer() and abs(value) < 1e15:
+        return str(int(value))
+    return repr(float(value))
+
+
+def _format_labels(labels: Mapping[str, str]) -> str:
+    if not labels:
+        return ""
+    inner = ",".join(
+        f'{key}="{_escape_label(str(labels[key]))}"'
+        for key in sorted(labels)
+    )
+    return "{" + inner + "}"
+
+
+def render_family(
+    name: str,
+    kind: str,
+    help_text: str,
+    samples: Sequence[Tuple[Mapping[str, str], float]],
+    *,
+    suffix: str = "",
+) -> str:
+    """Render one exposition family (used by pull-time collectors).
+
+    >>> print(render_family("x_total", "counter", "an example",
+    ...                     [({"k": "a"}, 1.0)]), end="")
+    # HELP x_total an example
+    # TYPE x_total counter
+    x_total{k="a"} 1
+    """
+    lines = [f"# HELP {name} {help_text}", f"# TYPE {name} {kind}"]
+    for labels, value in samples:
+        lines.append(
+            f"{name}{suffix}{_format_labels(labels)} {_format_value(value)}"
+        )
+    return "\n".join(lines) + "\n"
+
+
+class _Metric:
+    """Common family machinery: label children, locking, rendering."""
+
+    kind = "untyped"
+
+    def __init__(
+        self, name: str, help_text: str, labelnames: Sequence[str]
+    ) -> None:
+        self.name = _check_name(name)
+        self.help_text = help_text
+        self.labelnames: Tuple[str, ...] = tuple(labelnames)
+        for label in self.labelnames:
+            _check_name(label)
+        self._lock = threading.Lock()
+        self._children: Dict[Tuple[str, ...], "_Metric"] = {}
+
+    def labels(self, **labels: str) -> "_Metric":
+        """The child instrument for one label combination (created on
+        first use)."""
+        if set(labels) != set(self.labelnames):
+            raise ValueError(
+                f"metric {self.name} takes labels {self.labelnames}, "
+                f"got {tuple(sorted(labels))}"
+            )
+        key = tuple(str(labels[name]) for name in self.labelnames)
+        with self._lock:
+            child = self._children.get(key)
+            if child is None:
+                child = type(self)(self.name, self.help_text, ())
+                self._children[key] = child
+            return child
+
+    def _self_child(self) -> "_Metric":
+        if self.labelnames:
+            raise ValueError(
+                f"metric {self.name} is labelled {self.labelnames}; "
+                f"call .labels(...) first"
+            )
+        return self
+
+    def _samples(self) -> List[str]:
+        raise NotImplementedError
+
+    def _child_rows(self) -> List[Tuple[Dict[str, str], "_Metric"]]:
+        """(labels, child) pairs — the family itself when unlabelled."""
+        if not self.labelnames:
+            return [({}, self)]
+        with self._lock:
+            return [
+                (dict(zip(self.labelnames, key)), child)
+                for key, child in sorted(self._children.items())
+            ]
+
+    def render(self) -> str:
+        lines = [
+            f"# HELP {self.name} {self.help_text}",
+            f"# TYPE {self.name} {self.kind}",
+        ]
+        for labels, child in self._child_rows():
+            lines.extend(child._render_samples(labels))
+        return "\n".join(lines) + "\n"
+
+    def _render_samples(self, labels: Mapping[str, str]) -> List[str]:
+        raise NotImplementedError
+
+
+class Counter(_Metric):
+    """A monotonically increasing count."""
+
+    kind = "counter"
+
+    def __init__(
+        self,
+        name: str,
+        help_text: str,
+        labelnames: Sequence[str] = (),
+    ) -> None:
+        super().__init__(name, help_text, labelnames)
+        self._value = 0.0
+
+    def labels(self, **labels: str) -> "Counter":
+        child = super().labels(**labels)
+        assert isinstance(child, Counter)
+        return child
+
+    def inc(self, amount: float = 1.0) -> None:
+        if amount < 0:
+            raise ValueError(f"counters only go up, got inc({amount})")
+        child = self._self_child()
+        assert isinstance(child, Counter)
+        with child._lock:
+            child._value += amount
+
+    @property
+    def value(self) -> float:
+        child = self._self_child()
+        assert isinstance(child, Counter)
+        with child._lock:
+            return child._value
+
+    def _render_samples(self, labels: Mapping[str, str]) -> List[str]:
+        with self._lock:
+            value = self._value
+        return [f"{self.name}{_format_labels(labels)} {_format_value(value)}"]
+
+
+class Gauge(_Metric):
+    """A value that can go up and down."""
+
+    kind = "gauge"
+
+    def __init__(
+        self,
+        name: str,
+        help_text: str,
+        labelnames: Sequence[str] = (),
+    ) -> None:
+        super().__init__(name, help_text, labelnames)
+        self._value = 0.0
+
+    def labels(self, **labels: str) -> "Gauge":
+        child = super().labels(**labels)
+        assert isinstance(child, Gauge)
+        return child
+
+    def inc(self, amount: float = 1.0) -> None:
+        child = self._self_child()
+        assert isinstance(child, Gauge)
+        with child._lock:
+            child._value += amount
+
+    def dec(self, amount: float = 1.0) -> None:
+        self.inc(-amount)
+
+    def set(self, value: float) -> None:
+        child = self._self_child()
+        assert isinstance(child, Gauge)
+        with child._lock:
+            child._value = float(value)
+
+    @property
+    def value(self) -> float:
+        child = self._self_child()
+        assert isinstance(child, Gauge)
+        with child._lock:
+            return child._value
+
+    def _render_samples(self, labels: Mapping[str, str]) -> List[str]:
+        with self._lock:
+            value = self._value
+        return [f"{self.name}{_format_labels(labels)} {_format_value(value)}"]
+
+
+class Histogram(_Metric):
+    """Observations bucketed by upper bound (cumulative, plus sum/count)."""
+
+    kind = "histogram"
+
+    def __init__(
+        self,
+        name: str,
+        help_text: str,
+        labelnames: Sequence[str] = (),
+        buckets: Sequence[float] = DEFAULT_BUCKETS,
+    ) -> None:
+        super().__init__(name, help_text, labelnames)
+        bounds = sorted(float(b) for b in buckets)
+        if not bounds:
+            raise ValueError("histogram needs at least one bucket bound")
+        if bounds and math.isinf(bounds[-1]):
+            bounds = bounds[:-1]
+        self.bounds: Tuple[float, ...] = tuple(bounds)
+        self._bucket_counts = [0] * len(self.bounds)
+        self._sum = 0.0
+        self._count = 0
+
+    def labels(self, **labels: str) -> "Histogram":
+        child = super().labels(**labels)
+        assert isinstance(child, Histogram)
+        if child.bounds != self.bounds:
+            child.bounds = self.bounds
+            child._bucket_counts = [0] * len(self.bounds)
+        return child
+
+    def observe(self, value: float) -> None:
+        child = self._self_child()
+        assert isinstance(child, Histogram)
+        with child._lock:
+            child._sum += value
+            child._count += 1
+            index = bisect.bisect_left(child.bounds, value)
+            if index < len(child._bucket_counts):
+                child._bucket_counts[index] += 1
+
+    @property
+    def count(self) -> int:
+        child = self._self_child()
+        assert isinstance(child, Histogram)
+        with child._lock:
+            return child._count
+
+    @property
+    def sum(self) -> float:
+        child = self._self_child()
+        assert isinstance(child, Histogram)
+        with child._lock:
+            return child._sum
+
+    def _render_samples(self, labels: Mapping[str, str]) -> List[str]:
+        with self._lock:
+            counts = list(self._bucket_counts)
+            total = self._count
+            acc = self._sum
+        lines: List[str] = []
+        cumulative = 0
+        for bound, count in zip(self.bounds, counts):
+            cumulative += count
+            bucket_labels = dict(labels)
+            bucket_labels["le"] = _format_value(bound)
+            lines.append(
+                f"{self.name}_bucket{_format_labels(bucket_labels)} "
+                f"{cumulative}"
+            )
+        inf_labels = dict(labels)
+        inf_labels["le"] = "+Inf"
+        lines.append(
+            f"{self.name}_bucket{_format_labels(inf_labels)} {total}"
+        )
+        lines.append(
+            f"{self.name}_sum{_format_labels(labels)} {_format_value(acc)}"
+        )
+        lines.append(f"{self.name}_count{_format_labels(labels)} {total}")
+        return lines
+
+
+class MetricsRegistry:
+    """A named set of metric families plus pull-time collectors.
+
+    >>> registry = MetricsRegistry()
+    >>> jobs = registry.counter("jobs_total", "jobs", labelnames=("state",))
+    >>> jobs.labels(state="done").inc()
+    >>> print(registry.render(), end="")
+    # HELP jobs_total jobs
+    # TYPE jobs_total counter
+    jobs_total{state="done"} 1
+    """
+
+    def __init__(self) -> None:
+        self._lock = threading.Lock()
+        self._metrics: Dict[str, _Metric] = {}
+        self._collectors: List[Callable[[], str]] = []
+
+    def _register(self, metric_type: type, name: str, help_text: str,
+                  labelnames: Sequence[str],
+                  buckets: Optional[Sequence[float]] = None) -> _Metric:
+        with self._lock:
+            existing = self._metrics.get(name)
+            if existing is not None:
+                if (
+                    type(existing) is not metric_type
+                    or existing.labelnames != tuple(labelnames)
+                ):
+                    raise ValueError(
+                        f"metric {name!r} already registered as "
+                        f"{existing.kind}{existing.labelnames}"
+                    )
+                return existing
+            if metric_type is Histogram:
+                metric: _Metric = Histogram(
+                    name, help_text, labelnames,
+                    buckets if buckets is not None else DEFAULT_BUCKETS,
+                )
+            elif metric_type is Gauge:
+                metric = Gauge(name, help_text, labelnames)
+            else:
+                metric = Counter(name, help_text, labelnames)
+            self._metrics[name] = metric
+            return metric
+
+    def counter(
+        self, name: str, help_text: str, labelnames: Sequence[str] = ()
+    ) -> Counter:
+        """Get or create a counter family (idempotent)."""
+        metric = self._register(Counter, name, help_text, labelnames)
+        assert isinstance(metric, Counter)
+        return metric
+
+    def gauge(
+        self, name: str, help_text: str, labelnames: Sequence[str] = ()
+    ) -> Gauge:
+        """Get or create a gauge family (idempotent)."""
+        metric = self._register(Gauge, name, help_text, labelnames)
+        assert isinstance(metric, Gauge)
+        return metric
+
+    def histogram(
+        self,
+        name: str,
+        help_text: str,
+        labelnames: Sequence[str] = (),
+        buckets: Sequence[float] = DEFAULT_BUCKETS,
+    ) -> Histogram:
+        """Get or create a histogram family (idempotent)."""
+        metric = self._register(
+            Histogram, name, help_text, labelnames, buckets
+        )
+        assert isinstance(metric, Histogram)
+        return metric
+
+    def register_collector(self, collector: Callable[[], str]) -> None:
+        """Add a pull-time source of pre-rendered exposition text.
+
+        Collector output must be complete families (use
+        :func:`render_family`) whose names do not collide with
+        registered metrics.  A collector that raises is skipped — a
+        broken stats source must not take ``/metrics`` down.
+        """
+        with self._lock:
+            self._collectors.append(collector)
+
+    def render(self) -> str:
+        """The full Prometheus text exposition of this registry."""
+        with self._lock:
+            metrics = [self._metrics[k] for k in sorted(self._metrics)]
+            collectors = list(self._collectors)
+        parts = [metric.render() for metric in metrics]
+        for collector in collectors:
+            try:
+                text = collector()
+            except Exception:  # reglint: disable=RL103
+                # Scrapes must survive a broken stats source.
+                continue
+            if text:
+                parts.append(text if text.endswith("\n") else text + "\n")
+        return "".join(parts)

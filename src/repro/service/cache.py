@@ -33,7 +33,7 @@ import pickle
 import threading
 from dataclasses import dataclass
 from pathlib import Path
-from typing import Any, Dict, Optional, Union
+from typing import Any, Callable, Dict, Optional, Union
 
 from repro.core.kernels import RegulationKernel
 from repro.core.rwave import RWaveIndex
@@ -125,6 +125,7 @@ class ArtifactCache:
         *,
         max_bytes: int = DEFAULT_MAX_BYTES,
         fault_plan: Optional[FaultPlan] = None,
+        fault_observer: Optional[Callable[[FaultKind], None]] = None,
     ) -> None:
         if max_bytes < 1:
             raise ValueError(f"max_bytes must be >= 1, got {max_bytes}")
@@ -132,6 +133,9 @@ class ArtifactCache:
         self.root.mkdir(parents=True, exist_ok=True)
         self.max_bytes = int(max_bytes)
         self.fault_plan = fault_plan
+        #: notified with the :class:`FaultKind` of every fault this
+        #: cache fires (metrics seam; the injected error still raises).
+        self.fault_observer = fault_observer
         self.stats = CacheStats()
         self._lock = threading.RLock()
         self._clock = 0
@@ -204,6 +208,8 @@ class ArtifactCache:
         if self.fault_plan is not None and self.fault_plan.fire(
             FaultKind.CACHE_WRITE_FAIL
         ):
+            if self.fault_observer is not None:
+                self.fault_observer(FaultKind.CACHE_WRITE_FAIL)
             raise OSError(
                 f"injected {FaultKind.CACHE_WRITE_FAIL.value} storing {key}"
             )

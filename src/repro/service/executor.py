@@ -90,7 +90,17 @@ from repro.core.miner import (
 from repro.core.params import MiningParameters
 from repro.core.rwave import RWaveIndex
 from repro.matrix.expression import ExpressionMatrix
+from repro.obs.log import get_logger
+from repro.obs.trace import (
+    NULL_TRACER,
+    Span,
+    SpanContext,
+    Tracer,
+    TraceWorkerConfig,
+)
 from repro.service.resilience import FaultInjected, FaultKind, FaultPlan, RetryPolicy
+
+_LOG = get_logger("repro.service.executor")
 
 __all__ = [
     "mine_sharded",
@@ -149,6 +159,12 @@ class ShardedOutcome:
     resumed_shards:
         Start conditions answered from the caller-provided ``completed``
         checkpoints instead of being mined, ascending.
+    fault_injections:
+        Injected faults observed by the driver, counted per
+        :class:`~repro.service.resilience.FaultKind` value.  Only
+        faults that surface as a catchable :class:`FaultInjected`
+        appear (a hard ``kill-worker`` manifests as a broken pool and
+        cannot be attributed).
     """
 
     result: MiningResult
@@ -156,6 +172,7 @@ class ShardedOutcome:
     shard_errors: Dict[int, str] = field(default_factory=dict)
     failed_attempts: Dict[int, int] = field(default_factory=dict)
     resumed_shards: List[int] = field(default_factory=list)
+    fault_injections: Dict[str, int] = field(default_factory=dict)
 
     @property
     def degraded(self) -> bool:
@@ -172,6 +189,10 @@ class ShardedOutcome:
 _WORKER_MINER: Optional[RegClusterMiner] = None
 #: Per-worker fault plan (chaos testing only; ``None`` in production).
 _WORKER_FAULTS: Optional[FaultPlan] = None
+#: Per-worker trace hand-off (``None`` when the job is untraced).
+_WORKER_TRACE: Optional[TraceWorkerConfig] = None
+#: Lazily built worker-side tracer appending to the shared trace file.
+_WORKER_TRACER: Optional[Tracer] = None
 
 
 def _init_worker(
@@ -180,12 +201,25 @@ def _init_worker(
     prunings: Optional[PruningConfig],
     index: Optional[RWaveIndex],
     fault_plan: Optional[FaultPlan] = None,
+    trace_config: Optional[TraceWorkerConfig] = None,
 ) -> None:
-    global _WORKER_MINER, _WORKER_FAULTS
+    global _WORKER_MINER, _WORKER_FAULTS, _WORKER_TRACE, _WORKER_TRACER
     _WORKER_MINER = RegClusterMiner(
         matrix, params, prunings=prunings, index=index
     )
     _WORKER_FAULTS = fault_plan
+    _WORKER_TRACE = trace_config
+    _WORKER_TRACER = None
+
+
+def _worker_tracer() -> Tuple[Tracer, Optional[SpanContext]]:
+    """The worker's tracer and the parent context to stitch under."""
+    global _WORKER_TRACER
+    if _WORKER_TRACE is None:
+        return NULL_TRACER, None
+    if _WORKER_TRACER is None:
+        _WORKER_TRACER = _WORKER_TRACE.tracer()
+    return _WORKER_TRACER, _WORKER_TRACE.parent
 
 
 def _shard_result(start: int, result: MiningResult) -> ShardResult:
@@ -221,15 +255,40 @@ def _apply_shard_faults(
                 os._exit(13)
     if crash is not None:
         raise FaultInjected(
-            f"injected {crash.value} on shard {shard} (attempt {attempt})"
+            f"injected {crash.value} on shard {shard} (attempt {attempt})",
+            kind=crash,
         )
+
+
+def _annotate_shard_span(span: Span, shard: ShardResult) -> None:
+    """Stamp a successful shard attempt's span with its statistics."""
+    __, clusters, stats = shard
+    span.set_attributes(
+        {
+            "outcome": "ok",
+            "nodes_expanded": int(stats.get("nodes_expanded", 0)),
+            "clusters_emitted": len(clusters),
+        }
+    )
+    span.set_attributes(
+        {key: value for key, value in stats.items()
+         if key.startswith("time_")}
+    )
 
 
 def _mine_start(start: int, attempt: int = 0) -> ShardResult:
     miner = _WORKER_MINER
     assert miner is not None, "worker pool initializer did not run"
-    _apply_shard_faults(_WORKER_FAULTS, start, attempt, in_process=False)
-    return _shard_result(start, miner.mine(start_conditions=[start]))
+    tracer, parent = _worker_tracer()
+    with tracer.span(
+        "shard",
+        parent=parent,
+        attributes={"shard": start, "attempt": attempt},
+    ) as span:
+        _apply_shard_faults(_WORKER_FAULTS, start, attempt, in_process=False)
+        shard = _shard_result(start, miner.mine(start_conditions=[start]))
+        _annotate_shard_span(span, shard)
+        return shard
 
 
 # ----------------------------------------------------------------------
@@ -321,6 +380,8 @@ class _ShardDriver:
         on_shard_complete: Optional[Callable[[ShardResult], None]],
         progress_callback: Optional[ProgressCallback],
         should_stop: Optional[Callable[[], bool]],
+        tracer: Optional[Tracer] = None,
+        trace_parent: Optional[SpanContext] = None,
     ) -> None:
         self.params = params
         self.retry = retry
@@ -332,6 +393,9 @@ class _ShardDriver:
         self.on_shard_complete = on_shard_complete
         self.progress_callback = progress_callback
         self.should_stop = should_stop
+        self.tracer = tracer if tracer is not None else NULL_TRACER
+        self.trace_parent = trace_parent
+        self.fault_injections: Dict[str, int] = {}
         self.resumed: Dict[int, ShardResult] = {}
         for start, shard in (completed or {}).items():
             start = int(start)
@@ -356,6 +420,21 @@ class _ShardDriver:
         self.clusters_so_far = sum(
             len(shard[1]) for shard in self.resumed.values()
         )
+        for start in sorted(self.resumed):
+            __, clusters, stats = self.resumed[start]
+            span = self.tracer.span(
+                "shard.resumed",
+                parent=self.trace_parent,
+                attributes={
+                    "shard": start,
+                    "outcome": "resumed",
+                    "nodes_expanded": int(stats.get("nodes_expanded", 0)),
+                    "clusters_emitted": len(clusters),
+                    **{key: value for key, value in stats.items()
+                       if key.startswith("time_")},
+                },
+            )
+            span.end()
 
     # -- shared plumbing ----------------------------------------------
 
@@ -382,7 +461,12 @@ class _ShardDriver:
         self.nodes_so_far += int(shard[2].get("nodes_expanded", 0))
         self.clusters_so_far += len(shard[1])
         if self.on_shard_complete is not None:
-            self.on_shard_complete(shard)
+            with self.tracer.span(
+                "checkpoint",
+                parent=self.trace_parent,
+                attributes={"shard": shard[0]},
+            ):
+                self.on_shard_complete(shard)
         if self.progress_callback is not None:
             self.progress_callback("expanded", self.nodes_so_far)
             if shard[1]:
@@ -392,10 +476,33 @@ class _ShardDriver:
         """Count one failed attempt; ``True`` if the shard may retry."""
         tries = self.failed_attempts.get(start, 0) + 1
         self.failed_attempts[start] = tries
-        if tries > self.max_retries:
+        kind = getattr(error, "kind", None)
+        if isinstance(kind, FaultKind):
+            self.fault_injections[kind.value] = (
+                self.fault_injections.get(kind.value, 0) + 1
+            )
+        will_retry = tries <= self.max_retries
+        if will_retry:
+            _LOG.warning(
+                "shard.failed",
+                shard=start,
+                attempt=tries - 1,
+                error=f"{type(error).__name__}: {error}",
+                will_retry=True,
+                backoff_s=(
+                    0.0 if self.retry is None
+                    else self.retry.backoff(start, tries - 1)
+                ),
+            )
+        else:
             self.missing[start] = f"{type(error).__name__}: {error}"
-            return False
-        return True
+            _LOG.error(
+                "shard.lost",
+                shard=start,
+                attempts=tries,
+                error=self.missing[start],
+            )
+        return will_retry
 
     def outcome(self) -> ShardedOutcome:
         return ShardedOutcome(
@@ -404,6 +511,7 @@ class _ShardDriver:
             shard_errors=dict(self.missing),
             failed_attempts=dict(self.failed_attempts),
             resumed_shards=sorted(self.resumed),
+            fault_injections=dict(self.fault_injections),
         )
 
 
@@ -460,10 +568,17 @@ def _drive_in_process(
         while True:
             driver.check_interrupts(f"before shard {start}")
             try:
-                _apply_shard_faults(
-                    fault_plan, start, attempt, in_process=True
-                )
-                result = miner.mine(start_conditions=[start])
+                with driver.tracer.span(
+                    "shard",
+                    parent=driver.trace_parent,
+                    attributes={"shard": start, "attempt": attempt},
+                ) as span:
+                    _apply_shard_faults(
+                        fault_plan, start, attempt, in_process=True
+                    )
+                    result = miner.mine(start_conditions=[start])
+                    shard = _shard_result(start, result)
+                    _annotate_shard_span(span, shard)
             except MiningTimeout:
                 raise
             except MiningCancelled as error:
@@ -488,7 +603,7 @@ def _drive_in_process(
                     driver.retry.sleep_before_retry(start, attempt)
                 attempt += 1
                 continue
-            driver.record_shard(_shard_result(start, result))
+            driver.record_shard(shard)
             break
     return driver.outcome()
 
@@ -515,13 +630,19 @@ def _drive_pool(
     worker cannot be interrupted mid-shard cooperatively).
     """
     context = _pool_context(start_method)
+    trace_config = (
+        None if driver.trace_parent is None
+        else driver.tracer.worker_config(driver.trace_parent)
+    )
 
     def make_pool() -> ProcessPoolExecutor:
         return ProcessPoolExecutor(
             max_workers=n_workers,
             mp_context=context,
             initializer=_init_worker,
-            initargs=(matrix, params, prunings, index, fault_plan),
+            initargs=(
+                matrix, params, prunings, index, fault_plan, trace_config,
+            ),
         )
 
     ready: List[int] = list(driver.pending)
@@ -584,6 +705,11 @@ def _drive_pool(
                     else:
                         driver.record_shard(shard)
                 futures.clear()
+                _LOG.warning(
+                    "pool.rebuild",
+                    completed_shards=len(driver.shards),
+                    pending_retries=len(retry_at),
+                )
                 pool.shutdown(wait=False, cancel_futures=True)
                 pool = make_pool()
     finally:
@@ -615,6 +741,8 @@ def mine_sharded_outcome(
     timeout: Optional[float] = None,
     completed: Optional[Mapping[int, ShardResult]] = None,
     on_shard_complete: Optional[Callable[[ShardResult], None]] = None,
+    tracer: Optional[Tracer] = None,
+    trace_parent: Optional[SpanContext] = None,
 ) -> ShardedOutcome:
     """Mine a matrix shard-by-shard with full recovery machinery.
 
@@ -642,6 +770,11 @@ def mine_sharded_outcome(
         Invoked with every freshly mined :data:`ShardResult` the moment
         it completes (checkpoint-persistence seam).  Not called for
         ``completed`` shards.
+    tracer / trace_parent:
+        Optional :class:`~repro.obs.trace.Tracer` plus the span context
+        to stitch shard spans under (typically the caller's "mine"
+        span).  Worker processes join the same trace file; untraced
+        runs pay only a null-tracer check per shard.
 
     Raises
     ------
@@ -663,6 +796,8 @@ def mine_sharded_outcome(
         on_shard_complete=on_shard_complete,
         progress_callback=progress_callback,
         should_stop=should_stop,
+        tracer=tracer,
+        trace_parent=trace_parent,
     )
     if n_workers == 1:
         return _drive_in_process(

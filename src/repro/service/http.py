@@ -26,11 +26,22 @@ Endpoints
 ``DELETE /jobs/<id>``
     Cancel an active job (cooperative, via the miner's ``should_stop``
     hook); delete a terminal job's record and cached result.
+``GET /healthz``
+    Liveness: ``{"status": "ok", ...}`` with uptime, queue depth and
+    per-state job counts (``docs/observability.md``).
+``GET /metrics``
+    The service's :class:`~repro.obs.metrics.MetricsRegistry` in
+    Prometheus text exposition format.
+
+``/healthz`` and ``/metrics`` are answered before fault injection —
+observability must stay up while chaos is running.
 
 Errors are JSON: ``{"error": "..."}`` with a 4xx status.  The server is
 a :class:`http.server.ThreadingHTTPServer`; job execution itself stays
 on the service's single background thread, so the HTTP pool only ever
-does cheap store/cache reads.
+does cheap store/cache reads.  Every request is counted and timed into
+the service registry, and — unless ``quiet`` — emitted as a structured
+``http.access`` log event.
 
 :class:`ServiceClient` is the matching urllib-based client used by the
 ``reg-cluster submit`` / ``status`` CLI subcommands and the smoke
@@ -53,9 +64,12 @@ from typing import Any, Dict, List, Optional, Tuple
 
 from repro.matrix.expression import ExpressionMatrix
 from repro.matrix.io import load_expression_matrix, parse_expression_text
+from repro.obs.log import get_logger
 from repro.service.jobs import ACTIVE_STATES, parameters_from_dict
 from repro.service.resilience import FaultKind, FaultPlan
 from repro.service.service import MiningService
+
+_LOG = get_logger("repro.service.http")
 
 __all__ = [
     "ServiceHTTPServer",
@@ -110,9 +124,18 @@ class _Handler(BaseHTTPRequestHandler):
 
     # -- plumbing ------------------------------------------------------
 
+    def log_request(self, code: Any = "-", size: Any = "-") -> None:
+        # The stock per-response line is replaced by the timed
+        # ``http.access`` event that ``_dispatch`` emits.
+        pass
+
     def log_message(self, format: str, *args: Any) -> None:
-        if not self.server.quiet:  # pragma: no cover - verbose mode
-            BaseHTTPRequestHandler.log_message(self, format, *args)
+        if not self.server.quiet:
+            _LOG.info(
+                "http.server",
+                message=format % args,
+                client=self.client_address[0],
+            )
 
     def _send_json(self, status: int, payload: Dict[str, Any]) -> None:
         body = json.dumps(payload).encode("utf-8")
@@ -121,6 +144,18 @@ class _Handler(BaseHTTPRequestHandler):
         self.send_header("Content-Length", str(len(body)))
         self.end_headers()
         self.wfile.write(body)
+        self._status = status
+
+    def _send_metrics(self, service: MiningService) -> None:
+        body = service.metrics.render().encode("utf-8")
+        self.send_response(200)
+        self.send_header(
+            "Content-Type", "text/plain; version=0.0.4; charset=utf-8"
+        )
+        self.send_header("Content-Length", str(len(body)))
+        self.end_headers()
+        self.wfile.write(body)
+        self._status = 200
 
     def _read_body(self) -> Dict[str, Any]:
         length = int(self.headers.get("Content-Length") or 0)
@@ -139,8 +174,45 @@ class _Handler(BaseHTTPRequestHandler):
 
     def _dispatch(self, method: str) -> None:
         service = self.server.service
+        started = time.perf_counter()
+        #: last status actually written; 500 if the handler died before
+        #: sending anything (the connection just drops in that case).
+        self._status = 500
+        try:
+            self._route(method, service)
+        finally:
+            elapsed = time.perf_counter() - started
+            self.server.observe_request(method, self._status, elapsed)
+            if not self.server.quiet:
+                _LOG.info(
+                    "http.access",
+                    method=method,
+                    path=self.path,
+                    status=self._status,
+                    duration_ms=round(elapsed * 1000.0, 3),
+                    client=self.client_address[0],
+                )
+
+    def _route(self, method: str, service: MiningService) -> None:
+        # Observability endpoints answer before fault injection: chaos
+        # must not blind the probes watching it.
+        if method == "GET" and self.path == "/healthz":
+            self._send_json(200, service.health())
+            return
+        if method == "GET" and self.path == "/metrics":
+            self._send_metrics(service)
+            return
         plan = self.server.fault_plan
         if plan is not None and plan.fire(FaultKind.HTTP_5XX):
+            service.metrics.counter(
+                "repro_faults_injected_total",
+                "Chaos faults that actually fired, by kind.",
+                labelnames=("kind",),
+            ).labels(kind=FaultKind.HTTP_5XX.value).inc()
+            _LOG.warning(
+                "fault.injected", kind=FaultKind.HTTP_5XX.value,
+                path=self.path,
+            )
             self._send_json(
                 503,
                 {"error": f"injected {FaultKind.HTTP_5XX.value} fault"},
@@ -242,6 +314,23 @@ class ServiceHTTPServer(ThreadingHTTPServer):
         self.fault_plan = (
             fault_plan if fault_plan is not None else service.fault_plan
         )
+        self._m_requests = service.metrics.counter(
+            "repro_http_requests_total",
+            "HTTP requests served, by method and status.",
+            labelnames=("method", "status"),
+        )
+        self._m_latency = service.metrics.histogram(
+            "repro_http_request_seconds",
+            "HTTP request latency in seconds, by method.",
+            labelnames=("method",),
+        )
+
+    def observe_request(
+        self, method: str, status: int, elapsed: float
+    ) -> None:
+        """Count and time one finished request (called per dispatch)."""
+        self._m_requests.labels(method=method, status=str(status)).inc()
+        self._m_latency.labels(method=method).observe(elapsed)
 
 
 def serve(
@@ -368,6 +457,30 @@ class ServiceClient:
         """Submit a tab-delimited expression table as text."""
         body = {"matrix": {"text": text}, "parameters": parameters}
         return dict(self._request("POST", "/jobs", body)["job"])
+
+    def health(self) -> Dict[str, Any]:
+        """The ``GET /healthz`` liveness payload (retries like any
+        request, so it doubles as a readiness poll after a daemon
+        start)."""
+        return self._request("GET", "/healthz")
+
+    def metrics(self) -> str:
+        """The raw ``GET /metrics`` Prometheus text exposition."""
+        for attempt in range(self.connect_retries + 1):
+            try:
+                with urllib.request.urlopen(
+                    urllib.request.Request(
+                        self.base_url + "/metrics", method="GET"
+                    ),
+                    timeout=self.timeout,
+                ) as response:
+                    return str(response.read().decode("utf-8"))
+            except urllib.error.URLError:
+                if attempt < self.connect_retries:
+                    time.sleep(self.retry_backoff * (2.0 ** attempt))
+                    continue
+                raise
+        raise AssertionError("unreachable: the retry loop returns or raises")
 
     def status(self, job_id: str) -> Dict[str, Any]:
         return dict(self._request("GET", f"/jobs/{job_id}")["job"])

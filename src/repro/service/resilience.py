@@ -38,7 +38,7 @@ import threading
 import time
 from dataclasses import dataclass
 from enum import Enum
-from typing import Any, Dict, List, Mapping, Optional, Sequence
+from typing import Any, Dict, List, Mapping, Optional, Sequence, Tuple
 
 __all__ = [
     "FAULTS_ENV_VAR",
@@ -59,8 +59,21 @@ class FaultInjected(RuntimeError):
 
     Deliberately a distinct type: recovery code retries it like any
     worker failure, while test assertions can tell injected faults from
-    organic bugs.
+    organic bugs.  Carries the :class:`FaultKind` that fired so the
+    retry layer can count injections per kind; ``__reduce__`` keeps the
+    kind attached when the exception crosses a process-pool boundary
+    (default exception pickling would re-construct with the message
+    only).
     """
+
+    def __init__(self, message: str, kind: Optional["FaultKind"] = None):
+        super().__init__(message)
+        self.kind = kind
+
+    def __reduce__(
+        self,
+    ) -> Tuple[type, Tuple[str, Optional["FaultKind"]]]:
+        return (FaultInjected, (str(self), self.kind))
 
 
 class FaultKind(str, Enum):

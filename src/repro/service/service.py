@@ -63,11 +63,15 @@ from repro.core.rwave import RWaveIndex
 from repro.core.serialize import result_to_dict
 from repro.matrix.expression import ExpressionMatrix
 from repro.matrix.summary import matrix_digest
+from repro.obs.log import get_logger
+from repro.obs.metrics import MetricsRegistry, render_family
+from repro.obs.trace import NULL_TRACER, Span, Tracer
 from repro.service.cache import DEFAULT_MAX_BYTES, ArtifactCache
 from repro.service.executor import ShardResult, mine_sharded_outcome
 from repro.service.jobs import (
     ACTIVE_STATES,
     RESULT_STATES,
+    TERMINAL_STATES,
     JobRecord,
     JobState,
     JobStore,
@@ -75,9 +79,11 @@ from repro.service.jobs import (
     parameters_from_dict,
     parameters_to_dict,
 )
-from repro.service.resilience import FaultPlan, RetryPolicy
+from repro.service.resilience import FaultKind, FaultPlan, RetryPolicy
 
 __all__ = ["MiningService"]
+
+_LOG = get_logger("repro.service.daemon")
 
 #: Persist live progress counters every this-many search nodes (keeps
 #: the on-disk record fresh without one fsync per node).
@@ -117,6 +123,16 @@ class MiningService:
         Optional hook ``(job_id, event, nodes_expanded)`` invoked on
         every progress event of every job — used by tests and by
         verbose serving.
+    metrics:
+        The :class:`~repro.obs.metrics.MetricsRegistry` to publish
+        into; a private registry is created when omitted.  The HTTP
+        layer renders it at ``GET /metrics``
+        (``docs/observability.md``).
+    trace_dir:
+        When set, every executed job writes a stitched span trace to
+        ``<trace_dir>/<job_id>.trace.jsonl`` (re-running a job
+        replaces its file).  ``None`` (default) disables tracing at
+        null-tracer cost.
     """
 
     def __init__(
@@ -130,6 +146,8 @@ class MiningService:
         retry: Optional[RetryPolicy] = None,
         fault_plan: Optional[FaultPlan] = None,
         progress_observer: Optional[Callable[[str, str, int], None]] = None,
+        metrics: Optional[MetricsRegistry] = None,
+        trace_dir: Optional[Union[str, Path]] = None,
     ) -> None:
         if n_workers < 1:
             raise ValueError(f"n_workers must be >= 1, got {n_workers}")
@@ -147,12 +165,18 @@ class MiningService:
             fault_plan if fault_plan is not None else FaultPlan.from_env()
         )
         self.progress_observer = progress_observer
+        self.metrics = metrics if metrics is not None else MetricsRegistry()
+        self.trace_dir = None if trace_dir is None else Path(trace_dir)
+        self._started_monotonic = time.monotonic()
+        self._register_metrics()
         self.jobs = JobStore(self.store_dir / "jobs")
         self.cache = ArtifactCache(
             self.store_dir / "cache",
             max_bytes=max_cache_bytes,
             fault_plan=self.fault_plan,
+            fault_observer=self._observe_fault,
         )
+        self.metrics.register_collector(self._collect_cache_metrics)
         self._matrix_dir = self.store_dir / "matrices"
         self._matrix_dir.mkdir(parents=True, exist_ok=True)
         self._queue: "queue.Queue[Optional[str]]" = queue.Queue()
@@ -174,6 +198,143 @@ class MiningService:
             elif record.state is JobState.RUNNING:
                 self.jobs.update(record.job_id, state=JobState.SUBMITTED)
                 self._queue.put(record.job_id)
+                _LOG.info("job.rearmed", job_id=record.job_id)
+        for record in self.jobs.list_records():
+            self._m_jobs_current.labels(state=record.state.value).inc()
+
+    # ------------------------------------------------------------------
+    # Observability (docs/observability.md)
+    # ------------------------------------------------------------------
+
+    def _register_metrics(self) -> None:
+        registry = self.metrics
+        self._m_submitted = registry.counter(
+            "repro_jobs_submitted_total",
+            "Jobs accepted by submit(), including idempotent re-arms.",
+        )
+        self._m_jobs_total = registry.counter(
+            "repro_jobs_total",
+            "Jobs that reached a terminal state, by state.",
+            labelnames=("state",),
+        )
+        self._m_jobs_current = registry.gauge(
+            "repro_jobs_current",
+            "Jobs currently in each lifecycle state.",
+            labelnames=("state",),
+        )
+        self._m_job_seconds = registry.histogram(
+            "repro_job_seconds",
+            "Wall-clock seconds from job start to terminal state.",
+        )
+        self._m_timeouts = registry.counter(
+            "repro_job_timeouts_total",
+            "Jobs failed by the per-job wall-clock budget.",
+        )
+        self._m_nodes = registry.counter(
+            "repro_mining_nodes_expanded_total",
+            "Search nodes expanded across all jobs.",
+        )
+        self._m_clusters = registry.counter(
+            "repro_mining_clusters_emitted_total",
+            "Reg-clusters emitted across all jobs.",
+        )
+        self._m_retries = registry.counter(
+            "repro_shard_retries_total",
+            "Shard attempts that failed and were retried.",
+        )
+        self._m_lost = registry.counter(
+            "repro_shards_lost_total",
+            "Shards that exhausted their retry budget (degradation).",
+        )
+        self._m_resumed = registry.counter(
+            "repro_shards_resumed_total",
+            "Shards answered from checkpoints instead of re-mining.",
+        )
+        self._m_faults = registry.counter(
+            "repro_faults_injected_total",
+            "Chaos faults that actually fired, by kind.",
+            labelnames=("kind",),
+        )
+
+    def _collect_cache_metrics(self) -> str:
+        stats = self.cache.stats
+        samples = []
+        for artifact in ("index", "kernel", "result"):
+            for event in ("hit", "miss", "store"):
+                samples.append((
+                    {"artifact": artifact, "event": event},
+                    float(getattr(stats, f"{artifact}_{event}s"
+                                  if event != "miss"
+                                  else f"{artifact}_misses")),
+                ))
+        text = render_family(
+            "repro_cache_events_total", "counter",
+            "Artifact-cache lookups and stores, by artifact and event.",
+            samples,
+        )
+        text += render_family(
+            "repro_cache_evictions_total", "counter",
+            "Artifact-cache LRU evictions.",
+            [({}, float(stats.evictions))],
+        )
+        text += render_family(
+            "repro_cache_bytes", "gauge",
+            "Bytes currently held by the artifact cache.",
+            [({}, float(self.cache.total_bytes()))],
+        )
+        return text
+
+    def _observe_fault(self, kind: FaultKind) -> None:
+        self._m_faults.labels(kind=kind.value).inc()
+        _LOG.warning("fault.injected", kind=kind.value)
+
+    def _transition(
+        self, job_id: str, state: JobState, **changes: Any
+    ) -> JobRecord:
+        """State-changing :meth:`JobStore.update` with gauge/counter/log
+        maintenance — the single seam every lifecycle change goes
+        through."""
+        previous = self.jobs.get(job_id).state
+        record = self.jobs.update(job_id, state=state, **changes)
+        if previous is not state:
+            self._m_jobs_current.labels(state=previous.value).dec()
+            self._m_jobs_current.labels(state=state.value).inc()
+        if state in TERMINAL_STATES:
+            self._m_jobs_total.labels(state=state.value).inc()
+            if record.started_at is not None and record.finished_at is not None:
+                self._m_job_seconds.observe(
+                    max(0.0, record.finished_at - record.started_at)
+                )
+        _LOG.info(
+            "job.state",
+            job_id=job_id,
+            state=state.value,
+            previous=previous.value,
+            **({"error": record.error} if record.error else {}),
+        )
+        return record
+
+    def health(self) -> Dict[str, Any]:
+        """The ``GET /healthz`` liveness payload."""
+        with self._lock:
+            thread = self._thread
+            executor_alive = thread is not None and thread.is_alive()
+        jobs = {
+            state.value: int(
+                self._m_jobs_current.labels(state=state.value).value
+            )
+            for state in JobState
+        }
+        return {
+            "status": "ok",
+            "uptime_seconds": round(
+                time.monotonic() - self._started_monotonic, 3
+            ),
+            "n_workers": self.n_workers,
+            "executor_alive": executor_alive,
+            "queue_size": self._queue.qsize(),
+            "jobs": jobs,
+        }
 
     # ------------------------------------------------------------------
     # Matrix store (content-addressed, exact round-trip)
@@ -223,12 +384,14 @@ class MiningService:
         digest = matrix_digest(matrix)
         job_id = compute_job_id(digest, params)
         with self._lock:
+            previous: Optional[JobState] = None
             if self.jobs.exists(job_id):
                 record = self.jobs.get(job_id)
                 if record.state in ACTIVE_STATES or (
                     record.state is JobState.DONE
                 ):
                     return record
+                previous = record.state
             # New submission (or re-arm after failed/cancelled).
             self._save_matrix(matrix, digest)
             record = JobRecord(
@@ -240,6 +403,16 @@ class MiningService:
             )
             self.jobs.save(record)
             self._queue.put(job_id)
+            self._m_submitted.inc()
+            if previous is not None:
+                self._m_jobs_current.labels(state=previous.value).dec()
+            self._m_jobs_current.labels(state=JobState.SUBMITTED.value).inc()
+            _LOG.info(
+                "job.submitted",
+                job_id=job_id,
+                matrix_digest=digest,
+                rearmed=previous.value if previous is not None else None,
+            )
         return record
 
     def status(self, job_id: str) -> JobRecord:
@@ -280,9 +453,9 @@ class MiningService:
         with self._lock:
             record = self.jobs.get(job_id)
             if record.state is JobState.SUBMITTED:
-                return self.jobs.update(
+                return self._transition(
                     job_id,
-                    state=JobState.CANCELLED,
+                    JobState.CANCELLED,
                     finished_at=time.time(),
                 )
             if record.state is JobState.RUNNING:
@@ -308,6 +481,8 @@ class MiningService:
             self.jobs.clear_shards(job_id)
             self._result_fallback.pop(job_id, None)
             self.jobs.delete(job_id)
+            self._m_jobs_current.labels(state=record.state.value).dec()
+            _LOG.info("job.deleted", job_id=job_id)
 
     # ------------------------------------------------------------------
     # Execution
@@ -377,30 +552,29 @@ class MiningService:
             self._cancel_events[job_id] = cancel_event
             if self._stop_requested.is_set():
                 cancel_event.set()
-        self.jobs.update(
-            job_id, state=JobState.RUNNING, started_at=time.time()
-        )
+        self._transition(job_id, JobState.RUNNING, started_at=time.time())
         try:
             self._mine_job(job_id, record, cancel_event)
         except MiningTimeout as error:
             # A deadline, not a caller: the job *failed*, but its shard
             # checkpoints survive, so resubmitting resumes the search.
-            self.jobs.update(
+            self._m_timeouts.inc()
+            self._transition(
                 job_id,
-                state=JobState.FAILED,
+                JobState.FAILED,
                 error=f"{type(error).__name__}: {error}",
                 finished_at=time.time(),
             )
         except MiningCancelled:
-            self.jobs.update(
+            self._transition(
                 job_id,
-                state=JobState.CANCELLED,
+                JobState.CANCELLED,
                 finished_at=time.time(),
             )
         except (ValueError, KeyError, OSError, RuntimeError) as error:
-            self.jobs.update(
+            self._transition(
                 job_id,
-                state=JobState.FAILED,
+                JobState.FAILED,
                 error=f"{type(error).__name__}: {error}",
                 finished_at=time.time(),
             )
@@ -409,11 +583,51 @@ class MiningService:
                 self._cancel_events.pop(job_id, None)
         return True
 
+    def _job_tracer(self, job_id: str) -> Tracer:
+        if self.trace_dir is None:
+            return NULL_TRACER
+        return Tracer(
+            self.trace_dir / f"{job_id}.trace.jsonl", overwrite=True
+        )
+
     def _mine_job(
         self,
         job_id: str,
         record: JobRecord,
         cancel_event: threading.Event,
+    ) -> None:
+        tracer = self._job_tracer(job_id)
+        root = tracer.span(
+            "job",
+            attributes={
+                "job_id": job_id,
+                "matrix_digest": record.matrix_digest,
+                "n_workers": self.n_workers,
+            },
+        )
+        try:
+            self._mine_job_traced(
+                job_id, record, cancel_event, tracer, root
+            )
+        except BaseException as error:
+            root.set_attributes(
+                {
+                    "outcome": "failed",
+                    "error": f"{type(error).__name__}: {error}",
+                }
+            )
+            raise
+        finally:
+            root.end()
+            tracer.close()
+
+    def _mine_job_traced(
+        self,
+        job_id: str,
+        record: JobRecord,
+        cancel_event: threading.Event,
+        tracer: Tracer,
+        root: Span,
     ) -> None:
         # 1. Completed-result memoization: identical resubmission after a
         #    failed/cancelled re-arm, or a deleted record with a live
@@ -421,9 +635,10 @@ class MiningService:
         cached = self.cache.get_result(job_id)
         if cached is not None:
             statistics = cached.get("statistics", {})
-            self.jobs.update(
+            root.set_attribute("outcome", "cached")
+            self._transition(
                 job_id,
-                state=JobState.DONE,
+                JobState.DONE,
                 finished_at=time.time(),
                 result_cache_hit=True,
                 progress={
@@ -435,29 +650,36 @@ class MiningService:
             )
             return
 
-        matrix = self._load_matrix(record.matrix_digest)
+        with tracer.span("matrix.load", parent=root):
+            matrix = self._load_matrix(record.matrix_digest)
         params = parameters_from_dict(record.parameters)
 
         # 2. RWave^gamma index: cache hit or build-and-store.
-        index = self.cache.get_index(record.matrix_digest, params.gamma)
-        index_cache_hit = index is not None
-        if index is None:
-            index = RWaveIndex(matrix, params.gamma)
-            try:
-                self.cache.put_index(
-                    record.matrix_digest, params.gamma, index
-                )
-            except OSError:
-                pass  # best-effort: the in-memory index still serves
+        with tracer.span("index", parent=root) as index_span:
+            index = self.cache.get_index(record.matrix_digest, params.gamma)
+            index_cache_hit = index is not None
+            if index is None:
+                index = RWaveIndex(matrix, params.gamma)
+                try:
+                    self.cache.put_index(
+                        record.matrix_digest, params.gamma, index
+                    )
+                except OSError:
+                    pass  # best-effort: the in-memory index still serves
+            index_span.set_attribute("cache_hit", index_cache_hit)
 
         # 2b. Regulation kernel: determined by the same (digest, gamma)
         #     key as the index.  On a hit the kernel is attached so the
         #     miner skips the packbits build; on a miss the miner builds
         #     it lazily and it is stored after the search.
-        kernel = self.cache.get_kernel(record.matrix_digest, params.gamma)
-        kernel_cache_hit = kernel is not None
-        if kernel is not None:
-            index.attach_kernel(kernel)
+        with tracer.span("kernel", parent=root) as kernel_span:
+            kernel = self.cache.get_kernel(
+                record.matrix_digest, params.gamma
+            )
+            kernel_cache_hit = kernel is not None
+            if kernel is not None:
+                index.attach_kernel(kernel)
+            kernel_span.set_attribute("cache_hit", kernel_cache_hit)
         self.jobs.update(
             job_id,
             index_cache_hit=index_cache_hit,
@@ -472,11 +694,24 @@ class MiningService:
         #    moment it finishes.
         completed = self.jobs.load_shards(job_id)
         progress = {"nodes_expanded": 0, "clusters_emitted": 0}
+        # Checkpointed nodes were already counted by the run that mined
+        # them (when it shared this process), so the counter tracks the
+        # delta past the resumed offset only.
+        nodes_counted = {
+            "value": sum(
+                int(shard[2].get("nodes_expanded", 0))
+                for shard in completed.values()
+            )
+        }
 
         def on_progress(event: str, nodes_expanded: int) -> None:
             progress["nodes_expanded"] = nodes_expanded
             if event == "emitted":
                 progress["clusters_emitted"] += 1
+            delta = nodes_expanded - nodes_counted["value"]
+            if delta > 0:
+                self._m_nodes.inc(delta)
+                nodes_counted["value"] = nodes_expanded
             if self.progress_observer is not None:
                 self.progress_observer(job_id, event, nodes_expanded)
             if nodes_expanded % _PROGRESS_PERSIST_EVERY == 0:
@@ -488,6 +723,7 @@ class MiningService:
             except OSError:
                 pass  # checkpointing is an optimization, never fatal
 
+        mine_span = tracer.span("mine", parent=root)
         try:
             outcome = mine_sharded_outcome(
                 matrix,
@@ -502,12 +738,44 @@ class MiningService:
                 timeout=self.job_timeout,
                 completed=completed,
                 on_shard_complete=on_shard_complete,
+                tracer=tracer,
+                trace_parent=mine_span.context,
             )
-        except MiningCancelled:
+        except MiningCancelled as error:
             # Keep the last observed counters on the record; shard
             # checkpoints survive, so a resubmission resumes the search.
+            mine_span.set_attributes(
+                {"outcome": "failed", "error": type(error).__name__}
+            )
+            mine_span.end()
             self.jobs.update(job_id, progress=dict(progress))
             raise
+        self._m_retries.inc(
+            max(
+                0,
+                sum(outcome.failed_attempts.values())
+                - len(outcome.missing_shards),
+            )
+        )
+        self._m_lost.inc(len(outcome.missing_shards))
+        self._m_resumed.inc(len(outcome.resumed_shards))
+        for kind, count in outcome.fault_injections.items():
+            self._m_faults.labels(kind=kind).inc(count)
+        mine_span.set_attributes(
+            {
+                "outcome": "degraded" if outcome.degraded else "ok",
+                "nodes_expanded": outcome.result.statistics.nodes_expanded,
+                "clusters_emitted": (
+                    outcome.result.statistics.clusters_emitted
+                ),
+                "missing_shards": list(outcome.missing_shards),
+                "resumed_shards": list(outcome.resumed_shards),
+            }
+        )
+        mine_span.set_attributes(
+            outcome.result.statistics.timers.prefixed()
+        )
+        mine_span.end()
 
         # 4. Persist the result (serialize v1, names included) and close.
         #    A kernel the in-process miner built lazily is memoized for
@@ -526,19 +794,31 @@ class MiningService:
         payload = result_to_dict(result, matrix)
         progress["nodes_expanded"] = result.statistics.nodes_expanded
         progress["clusters_emitted"] = result.statistics.clusters_emitted
+        self._m_clusters.inc(result.statistics.clusters_emitted)
         shard_failures = (
             {str(s): n for s, n in sorted(outcome.failed_attempts.items())}
             or None
         )
+        root.set_attributes(result.statistics.timers.prefixed())
         if outcome.degraded:
             # A degraded payload never enters the result cache: an
             # idempotent resubmission must re-mine the missing shards,
             # not be answered from a partial payload.  The surviving
             # shards' checkpoints are kept for exactly that resume.
             self._result_fallback[job_id] = payload
-            self.jobs.update(
+            root.set_attribute("outcome", "degraded")
+            _LOG.warning(
+                "job.degraded",
+                job_id=job_id,
+                missing_shards=outcome.missing_shards,
+                shard_errors={
+                    str(s): outcome.shard_errors[s]
+                    for s in outcome.missing_shards
+                },
+            )
+            self._transition(
                 job_id,
-                state=JobState.DEGRADED,
+                JobState.DEGRADED,
                 finished_at=time.time(),
                 progress=dict(progress),
                 phase_timers=result.statistics.timers.as_dict(),
@@ -551,15 +831,17 @@ class MiningService:
                 ),
             )
             return
-        try:
-            self.cache.put_result(job_id, payload)
-            self._result_fallback.pop(job_id, None)
-        except OSError:
-            self._result_fallback[job_id] = payload
-        self.jobs.clear_shards(job_id)
-        self.jobs.update(
+        with tracer.span("result.persist", parent=root):
+            try:
+                self.cache.put_result(job_id, payload)
+                self._result_fallback.pop(job_id, None)
+            except OSError:
+                self._result_fallback[job_id] = payload
+            self.jobs.clear_shards(job_id)
+        root.set_attribute("outcome", "done")
+        self._transition(
             job_id,
-            state=JobState.DONE,
+            JobState.DONE,
             finished_at=time.time(),
             progress=dict(progress),
             phase_timers=result.statistics.timers.as_dict(),

@@ -261,6 +261,62 @@ Fig. 4 and Table 1 show the results.
 """
 
 
+class TestPrintCall:
+    def test_flags_print_in_library_code(self, tmp_path):
+        path = write(
+            tmp_path,
+            "src/repro/service/executor.py",
+            """
+            def drive(shard):
+                print("mining shard", shard)
+            """,
+        )
+        findings = run_rule("RL107", path)
+        assert [f.rule_id for f in findings] == ["RL107"]
+        assert "repro.obs.log" in findings[0].message
+
+    def test_cli_owns_stdout(self, tmp_path):
+        path = write(
+            tmp_path, "src/repro/cli.py", 'print("1 reg-cluster(s)")\n'
+        )
+        assert run_rule("RL107", path) == []
+
+    def test_module_main_owns_stdout(self, tmp_path):
+        path = write(
+            tmp_path, "src/repro/analysis/__main__.py", 'print("findings")\n'
+        )
+        assert run_rule("RL107", path) == []
+
+    def test_test_files_exempt(self, tmp_path):
+        path = write(
+            tmp_path, "tests/test_debug.py", 'print("debugging")\n'
+        )
+        assert run_rule("RL107", path) == []
+
+    def test_files_outside_repro_exempt(self, tmp_path):
+        path = write(tmp_path, "scripts/tool.py", 'print("ok")\n')
+        assert run_rule("RL107", path) == []
+
+    def test_shadowed_or_method_print_is_fine(self, tmp_path):
+        path = write(
+            tmp_path,
+            "src/repro/service/x.py",
+            """
+            def report(writer):
+                writer.print("not the builtin")
+            """,
+        )
+        assert run_rule("RL107", path) == []
+
+    def test_line_suppression_honoured(self, tmp_path):
+        path = write(
+            tmp_path,
+            "src/repro/bench/report.py",
+            'print("table")  # reglint: disable=RL107\n',
+        )
+        assert run_rule("RL107", path) == []
+
+
 class TestPaperReference:
     def _refs(self, tmp_path):
         paper = write(tmp_path, "PAPER.md", PAPER)

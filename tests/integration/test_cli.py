@@ -372,6 +372,48 @@ class TestServiceSubcommands:
         assert "state: done" in detail
         assert "progress.nodes_expanded" in detail
 
+    def test_status_stats_prints_statistics(self, daemon, example_file,
+                                            capsys):
+        assert main(
+            [
+                "submit", example_file,
+                "--url", daemon,
+                "--min-genes", "3",
+                "--min-conditions", "5",
+                "--gamma", "0.15",
+                "--epsilon", "0.1",
+                "--wait",
+            ]
+        ) == 0
+        listing = capsys.readouterr().out
+        job_id = next(
+            token for token in listing.split() if token.startswith("job-")
+        )
+        assert main(["status", job_id, "--url", daemon, "--stats"]) == 0
+        detail = capsys.readouterr().out
+        assert "statistics.nodes_expanded: 17" in detail
+        assert "statistics.clusters_emitted: 1" in detail
+
+    def test_status_without_stats_omits_statistics(self, daemon,
+                                                   example_file, capsys):
+        assert main(
+            [
+                "submit", example_file,
+                "--url", daemon,
+                "--min-genes", "3",
+                "--min-conditions", "5",
+                "--gamma", "0.15",
+                "--epsilon", "0.1",
+                "--wait",
+            ]
+        ) == 0
+        listing = capsys.readouterr().out
+        job_id = next(
+            token for token in listing.split() if token.startswith("job-")
+        )
+        assert main(["status", job_id, "--url", daemon]) == 0
+        assert "statistics." not in capsys.readouterr().out
+
     def test_status_unknown_job(self, daemon, capsys):
         code = main(["status", "job-" + "0" * 16, "--url", daemon])
         assert code == 2
@@ -389,4 +431,60 @@ class TestServiceSubcommands:
             ]
         )
         assert code == 2
+
+
+class TestTracedMine:
+    def _mine(self, example_file, extra):
+        return main(
+            [
+                "mine", example_file,
+                "--min-genes", "3",
+                "--min-conditions", "5",
+                "--gamma", "0.15",
+                "--epsilon", "0.1",
+                *extra,
+            ]
+        )
+
+    def test_workers_matches_single_process(self, example_file, capsys):
+        assert self._mine(example_file, []) == 0
+        direct = capsys.readouterr().out
+        assert self._mine(example_file, ["--workers", "4"]) == 0
+        sharded = capsys.readouterr().out
+        assert direct == sharded
+
+    def test_trace_writes_spans_and_summary_renders(
+        self, example_file, tmp_path, capsys
+    ):
+        trace_path = tmp_path / "mine.trace.jsonl"
+        assert self._mine(
+            example_file, ["--workers", "2", "--trace", str(trace_path)]
+        ) == 0
+        out = capsys.readouterr().out
+        assert "1 reg-cluster(s)" in out
+        assert f"trace written to {trace_path}" in out
+
+        assert main(["trace", "summary", str(trace_path)]) == 0
+        summary = capsys.readouterr().out
+        assert "root: job" in summary
+        assert "phases (summed over shards)" in summary
+        # One row per start condition of the running example.
+        assert "    9  " in summary
+
+    def test_zero_workers_rejected(self, example_file, capsys):
+        assert self._mine(example_file, ["--workers", "0"]) == 2
+        assert "--workers" in capsys.readouterr().err
+
+
+class TestTraceSummaryCommand:
+    def test_missing_file_fails_cleanly(self, tmp_path, capsys):
+        code = main(["trace", "summary", str(tmp_path / "absent.jsonl")])
+        assert code == 2
         assert "error:" in capsys.readouterr().err
+
+    def test_empty_trace_fails_cleanly(self, tmp_path, capsys):
+        path = tmp_path / "empty.jsonl"
+        path.write_text("")
+        assert main(["trace", "summary", str(path)]) == 2
+        err = capsys.readouterr().err
+        assert "error:" in err and "no spans" in err

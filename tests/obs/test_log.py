@@ -1,0 +1,129 @@
+"""Unit tests for repro.obs.log: JSON/text formats, configuration."""
+
+from __future__ import annotations
+
+import io
+import json
+import logging
+
+import pytest
+
+from repro.obs.log import (
+    ROOT_LOGGER_NAME,
+    configure_logging,
+    get_logger,
+    reset_logging,
+)
+
+
+@pytest.fixture(autouse=True)
+def clean_logging():
+    """Leave the process-wide repro logger as we found it."""
+    yield
+    reset_logging()
+
+
+def _configured(fmt="json", level="info"):
+    stream = io.StringIO()
+    configure_logging(stream=stream, fmt=fmt, level=level)
+    return stream
+
+
+class TestJsonFormat:
+    def test_event_and_fields(self):
+        stream = _configured()
+        get_logger("repro.service.daemon").info(
+            "job.state", job_id="job-1", state="running"
+        )
+        payload = json.loads(stream.getvalue())
+        assert payload["level"] == "info"
+        assert payload["logger"] == "repro.service.daemon"
+        assert payload["event"] == "job.state"
+        assert payload["job_id"] == "job-1"
+        assert payload["state"] == "running"
+        assert payload["ts"].endswith("Z") and "T" in payload["ts"]
+
+    def test_reserved_keys_not_clobbered(self):
+        stream = _configured()
+        get_logger("repro.x").info("evt", level="sneaky", logger="fake")
+        payload = json.loads(stream.getvalue())
+        assert payload["level"] == "info"
+        assert payload["logger"] == "repro.x"
+        assert payload["event"] == "evt"
+
+    def test_exc_info_attached(self):
+        stream = _configured()
+        try:
+            raise RuntimeError("boom")
+        except RuntimeError:
+            get_logger("repro.x").error("failed", exc_info=True)
+        payload = json.loads(stream.getvalue())
+        assert "RuntimeError: boom" in payload["exc"]
+
+    def test_non_serializable_fields_stringified(self):
+        stream = _configured()
+        get_logger("repro.x").info("evt", path=object())
+        assert json.loads(stream.getvalue())["event"] == "evt"
+
+
+class TestTextFormat:
+    def test_single_line_key_values(self):
+        stream = _configured(fmt="text")
+        get_logger("repro.service.http").info(
+            "http.access", method="GET", status=200
+        )
+        line = stream.getvalue().strip()
+        assert "info repro.service.http http.access" in line
+        assert "method=GET" in line and "status=200" in line
+
+
+class TestConfiguration:
+    def test_silent_until_configured(self, capsys):
+        get_logger("repro.quiet").warning("nobody.listens")
+        captured = capsys.readouterr()
+        assert captured.out == "" and captured.err == ""
+
+    def test_level_filtering(self):
+        stream = _configured(level="warning")
+        log = get_logger("repro.x")
+        log.info("dropped")
+        log.warning("kept")
+        lines = stream.getvalue().splitlines()
+        assert len(lines) == 1
+        assert json.loads(lines[0])["event"] == "kept"
+
+    def test_reconfigure_replaces_handler(self):
+        first = io.StringIO()
+        second = io.StringIO()
+        configure_logging(stream=first)
+        configure_logging(stream=second)
+        get_logger("repro.x").info("once")
+        assert first.getvalue() == ""
+        assert "once" in second.getvalue()
+
+    def test_reset_removes_only_our_handler(self):
+        logger = logging.getLogger(ROOT_LOGGER_NAME)
+        foreign = logging.NullHandler()
+        logger.addHandler(foreign)
+        try:
+            configure_logging(stream=io.StringIO())
+            reset_logging()
+            assert foreign in logger.handlers
+            assert all(
+                not getattr(h, "_repro_obs_handler", False)
+                for h in logger.handlers
+            )
+        finally:
+            logger.removeHandler(foreign)
+
+    def test_unknown_level_rejected(self):
+        with pytest.raises(ValueError, match="unknown log level"):
+            configure_logging(stream=io.StringIO(), level="loud")
+
+    def test_unknown_format_rejected(self):
+        with pytest.raises(ValueError, match="unknown log format"):
+            configure_logging(stream=io.StringIO(), fmt="xml")
+
+    def test_get_logger_prefixes_repro(self):
+        assert get_logger("service.http").name == "repro.service.http"
+        assert get_logger("repro.core").name == "repro.core"

@@ -1,0 +1,150 @@
+"""Unit tests for repro.obs.metrics: instruments and Prometheus text."""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.obs.metrics import MetricsRegistry, render_family
+
+
+@pytest.fixture
+def registry():
+    return MetricsRegistry()
+
+
+class TestCounter:
+    def test_inc_and_render(self, registry):
+        counter = registry.counter("repro_events_total", "Events.")
+        counter.inc()
+        counter.inc(2)
+        text = registry.render()
+        assert "# HELP repro_events_total Events." in text
+        assert "# TYPE repro_events_total counter" in text
+        assert "repro_events_total 3" in text
+        assert counter.value == 3.0
+
+    def test_negative_increment_rejected(self, registry):
+        counter = registry.counter("repro_x_total", "X.")
+        with pytest.raises(ValueError, match="only go up"):
+            counter.inc(-1)
+
+    def test_labels(self, registry):
+        counter = registry.counter(
+            "repro_jobs_total", "Jobs.", labelnames=("state",)
+        )
+        counter.labels(state="done").inc()
+        counter.labels(state="done").inc()
+        counter.labels(state="failed").inc()
+        text = registry.render()
+        assert 'repro_jobs_total{state="done"} 2' in text
+        assert 'repro_jobs_total{state="failed"} 1' in text
+
+    def test_wrong_labelnames_rejected(self, registry):
+        counter = registry.counter("repro_l_total", "L.", labelnames=("a",))
+        with pytest.raises(ValueError):
+            counter.labels(b="x")
+
+    def test_label_values_escaped(self, registry):
+        counter = registry.counter("repro_e_total", "E.", labelnames=("p",))
+        counter.labels(p='a"b\\c\nd').inc()
+        text = registry.render()
+        assert 'p="a\\"b\\\\c\\nd"' in text
+
+
+class TestGauge:
+    def test_set_inc_dec(self, registry):
+        gauge = registry.gauge("repro_queue", "Queue depth.")
+        gauge.set(5)
+        gauge.inc()
+        gauge.dec(2)
+        assert gauge.value == 4.0
+        assert "repro_queue 4" in registry.render()
+
+    def test_gauge_may_go_negative(self, registry):
+        gauge = registry.gauge("repro_g", "G.")
+        gauge.dec(3)
+        assert gauge.value == -3.0
+
+
+class TestHistogram:
+    def test_cumulative_buckets(self, registry):
+        hist = registry.histogram(
+            "repro_lat_seconds", "Latency.", buckets=(0.025, 0.05, 5.0)
+        )
+        for value in (0.02, 3.0, 100.0, 0.025):
+            hist.observe(value)
+        text = registry.render()
+        # le is inclusive: the 0.025 observation lands in the first bucket.
+        assert 'repro_lat_seconds_bucket{le="0.025"} 2' in text
+        assert 'repro_lat_seconds_bucket{le="0.05"} 2' in text
+        assert 'repro_lat_seconds_bucket{le="5"} 3' in text
+        assert 'repro_lat_seconds_bucket{le="+Inf"} 4' in text
+        assert "repro_lat_seconds_count 4" in text
+        assert hist.count == 4
+        assert hist.sum == pytest.approx(103.045)
+
+    def test_labeled_histogram(self, registry):
+        hist = registry.histogram(
+            "repro_req_seconds", "Latency.", labelnames=("method",),
+            buckets=(1.0,),
+        )
+        hist.labels(method="GET").observe(0.5)
+        text = registry.render()
+        assert 'repro_req_seconds_bucket{le="1",method="GET"} 1' in text
+        assert 'repro_req_seconds_count{method="GET"} 1' in text
+
+
+class TestRegistry:
+    def test_registration_is_idempotent(self, registry):
+        first = registry.counter("repro_a_total", "A.")
+        second = registry.counter("repro_a_total", "A but reworded.")
+        assert first is second
+
+    def test_kind_conflict_rejected(self, registry):
+        registry.counter("repro_b", "B.")
+        with pytest.raises(ValueError):
+            registry.gauge("repro_b", "B.")
+
+    def test_labelname_conflict_rejected(self, registry):
+        registry.counter("repro_c_total", "C.", labelnames=("x",))
+        with pytest.raises(ValueError):
+            registry.counter("repro_c_total", "C.", labelnames=("y",))
+
+    def test_invalid_metric_name_rejected(self, registry):
+        with pytest.raises(ValueError):
+            registry.counter("0bad-name", "Bad.")
+
+    def test_families_render_sorted_by_name(self, registry):
+        registry.counter("repro_zz_total", "Z.").inc()
+        registry.counter("repro_aa_total", "A.").inc()
+        text = registry.render()
+        assert text.index("repro_aa_total") < text.index("repro_zz_total")
+
+    def test_collector_output_included(self, registry):
+        registry.register_collector(
+            lambda: render_family(
+                "repro_custom", "gauge", "Custom.", [({}, 7.0)]
+            )
+        )
+        assert "repro_custom 7" in registry.render()
+
+    def test_broken_collector_does_not_break_render(self, registry):
+        def broken() -> str:
+            raise RuntimeError("stats source died")
+
+        registry.register_collector(broken)
+        registry.counter("repro_ok_total", "OK.").inc()
+        assert "repro_ok_total 1" in registry.render()
+
+
+class TestRenderFamily:
+    def test_renders_help_type_and_samples(self):
+        text = render_family(
+            "repro_things", "counter", "Things.",
+            [({"kind": "a"}, 1.0), ({}, 2.5)],
+        )
+        lines = text.splitlines()
+        assert lines[0] == "# HELP repro_things Things."
+        assert lines[1] == "# TYPE repro_things counter"
+        assert 'repro_things{kind="a"} 1' in lines
+        assert "repro_things 2.5" in lines
