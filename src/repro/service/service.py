@@ -347,15 +347,24 @@ class MiningService:
         path = self._matrix_path(digest)
         if path.exists():
             return
-        tmp = path.with_suffix(".npz.tmp")
-        with open(tmp, "wb") as handle:
-            np.savez(
-                handle,
-                values=matrix.values,
-                gene_names=np.asarray(matrix.gene_names),
-                condition_names=np.asarray(matrix.condition_names),
-            )
-        tmp.replace(path)
+        # Runs outside the service lock (see submit), so identical
+        # submissions can race here.  The tmp name must be per-writer:
+        # with a shared name, the loser's replace() finds its tmp file
+        # already renamed away.  Racing writers produce byte-identical
+        # content (the path is content-addressed), so whichever
+        # replace() lands last is equally correct.
+        tmp = path.with_suffix(f".npz.{threading.get_ident()}.tmp")
+        try:
+            with open(tmp, "wb") as handle:
+                np.savez(
+                    handle,
+                    values=matrix.values,
+                    gene_names=np.asarray(matrix.gene_names),
+                    condition_names=np.asarray(matrix.condition_names),
+                )
+            tmp.replace(path)
+        finally:
+            tmp.unlink(missing_ok=True)
 
     def _load_matrix(self, digest: str) -> ExpressionMatrix:
         path = self._matrix_path(digest)
@@ -383,6 +392,13 @@ class MiningService:
         """
         digest = matrix_digest(matrix)
         job_id = compute_job_id(digest, params)
+        # Persist the matrix before taking the service lock: the .npz
+        # write is the slowest part of a submission, and holding the
+        # lock across it stalls every handler thread (status, health)
+        # behind disk I/O (reglint RL303).  The store is
+        # content-addressed and atomic, so writing outside the critical
+        # section is idempotent even when submissions race.
+        self._save_matrix(matrix, digest)
         with self._lock:
             previous: Optional[JobState] = None
             if self.jobs.exists(job_id):
@@ -393,7 +409,6 @@ class MiningService:
                     return record
                 previous = record.state
             # New submission (or re-arm after failed/cancelled).
-            self._save_matrix(matrix, digest)
             record = JobRecord(
                 job_id=job_id,
                 state=JobState.SUBMITTED,
@@ -440,8 +455,11 @@ class MiningService:
         payload = self.cache.get_result(job_id)
         if payload is None:
             # Degraded results and results whose cache write failed
-            # live in the in-process fallback (docs/robustness.md).
-            payload = self._result_fallback.get(job_id)
+            # live in the in-process fallback (docs/robustness.md);
+            # it is mutated on the executor thread, so read under the
+            # same lock that guards those writes.
+            with self._lock:
+                payload = self._result_fallback.get(job_id)
         if payload is None:
             raise ValueError(
                 f"result of job {job_id} is no longer cached; resubmit"
@@ -805,7 +823,10 @@ class MiningService:
             # idempotent resubmission must re-mine the missing shards,
             # not be answered from a partial payload.  The surviving
             # shards' checkpoints are kept for exactly that resume.
-            self._result_fallback[job_id] = payload
+            # The fallback dict is shared with handler threads
+            # (result()) and delete(); every mutation holds the lock.
+            with self._lock:
+                self._result_fallback[job_id] = payload
             root.set_attribute("outcome", "degraded")
             _LOG.warning(
                 "job.degraded",
@@ -834,9 +855,11 @@ class MiningService:
         with tracer.span("result.persist", parent=root):
             try:
                 self.cache.put_result(job_id, payload)
-                self._result_fallback.pop(job_id, None)
+                with self._lock:
+                    self._result_fallback.pop(job_id, None)
             except OSError:
-                self._result_fallback[job_id] = payload
+                with self._lock:
+                    self._result_fallback[job_id] = payload
             self.jobs.clear_shards(job_id)
         root.set_attribute("outcome", "done")
         self._transition(
