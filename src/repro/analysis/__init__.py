@@ -9,11 +9,20 @@ CLI entrypoint (``python -m repro.analysis``), plus a runtime-contract
 module (:mod:`repro.analysis.contracts`) asserting the RWave index
 invariants of Lemma 3.1 in debug mode.
 
+Since the service layer grew thread, fork and checkpoint boundaries,
+reglint is a *two-phase* analyzer: file-local rules (RL1xx/RL2xx) run
+per file, and whole-program rules (RL3xx — concurrency, fork/pickle
+safety, resource hygiene, API drift) run over a project index built
+from every parsed file (:mod:`repro.analysis.project`).  Findings can
+be emitted as SARIF (:mod:`repro.analysis.sarif`) and gated against a
+committed baseline (:mod:`repro.analysis.baseline`).
+
 See ``docs/static_analysis.md`` for the rule catalog.
 """
 
 from repro.analysis.framework import (
     FileContext,
+    ProjectRule,
     Report,
     Rule,
     Severity,
@@ -25,12 +34,18 @@ from repro.analysis.framework import (
     register_rule,
 )
 from repro.analysis.paper import PaperReferences, load_paper_references
+from repro.analysis.project import ProjectIndex
 
-# Importing the rules module registers the built-in rules.
+# Importing the rule modules registers the built-in rules.
 from repro.analysis import rules as _builtin_rules  # noqa: F401
+from repro.analysis import concurrency as _concurrency_rules  # noqa: F401
+from repro.analysis import forksafety as _forksafety_rules  # noqa: F401
+from repro.analysis import hygiene as _hygiene_rules  # noqa: F401
 
 __all__ = [
     "FileContext",
+    "ProjectIndex",
+    "ProjectRule",
     "Report",
     "Rule",
     "Severity",

@@ -1,8 +1,18 @@
 """CLI driver: ``python -m repro.analysis [paths...]``.
 
 Exit status: 0 when every checked file is clean (INFO findings do not
-gate), 1 when any WARNING/ERROR finding survives suppression, 2 on
-usage errors.
+gate, baselined findings do not gate), 1 when any WARNING/ERROR finding
+survives suppression and baseline, 2 on usage errors.
+
+Two-phase operation: file-local rules (RL1xx/RL2xx) always run; the
+whole-program rules (RL3xx) run only under ``--whole-program`` or when
+explicitly named via ``--select``, so the default invocation (and
+``make lint``) stays fast and file-local.
+
+A ``reglint-baseline.json`` in the current directory is picked up
+automatically (override with ``--baseline``, disable with
+``--no-baseline``); see ``docs/static_analysis.md`` for the baseline
+and SARIF workflow.
 """
 
 from __future__ import annotations
@@ -14,6 +24,15 @@ from pathlib import Path
 from typing import List, Optional, Sequence
 
 from repro.analysis import all_rules, analyze_paths, load_paper_references
+from repro.analysis.baseline import (
+    DEFAULT_BASELINE_NAME,
+    apply_baseline,
+    build_baseline,
+    load_baseline,
+    write_baseline,
+)
+from repro.analysis.framework import ProjectRule
+from repro.analysis.sarif import render_sarif
 
 
 def _build_parser() -> argparse.ArgumentParser:
@@ -38,7 +57,8 @@ def _build_parser() -> argparse.ArgumentParser:
         "--select",
         default=None,
         metavar="IDS",
-        help="comma-separated rule ids to run (default: all)",
+        help="comma-separated rule ids to run (default: all file-local "
+        "rules; naming an RL3xx rule implies its whole-program phase)",
     )
     parser.add_argument(
         "--disable",
@@ -47,10 +67,44 @@ def _build_parser() -> argparse.ArgumentParser:
         help="comma-separated rule ids to skip",
     )
     parser.add_argument(
+        "--whole-program",
+        action="store_true",
+        help="also run the whole-program (RL3xx) rules over a project "
+        "index built from every analyzed file",
+    )
+    parser.add_argument(
         "--format",
-        choices=("text", "json"),
+        choices=("text", "json", "sarif"),
         default="text",
         help="report format (default: text)",
+    )
+    parser.add_argument(
+        "--baseline",
+        type=Path,
+        default=None,
+        metavar="PATH",
+        help=f"baseline file of accepted findings (default: "
+        f"./{DEFAULT_BASELINE_NAME} when present); only findings not in "
+        f"the baseline gate",
+    )
+    parser.add_argument(
+        "--no-baseline",
+        action="store_true",
+        help="ignore any baseline file, report and gate on everything",
+    )
+    parser.add_argument(
+        "--update-baseline",
+        action="store_true",
+        help="rewrite the baseline file from the current findings "
+        "(deterministic: digest-keyed, sorted) and exit 0",
+    )
+    parser.add_argument(
+        "--cache",
+        type=Path,
+        default=None,
+        metavar="PATH",
+        help="incremental-analysis cache file; file-local results are "
+        "reused for files whose content digest is unchanged",
     )
     parser.add_argument(
         "--list-rules",
@@ -66,15 +120,20 @@ def _split_ids(raw: Optional[str]) -> Optional[List[str]]:
     return [part.strip() for part in raw.split(",") if part.strip()]
 
 
+def _list_rules() -> None:
+    for cls in all_rules():
+        phase = "whole-program" if issubclass(cls, ProjectRule) else "file-local"
+        print(f"{cls.id}  [{cls.severity}]  ({phase})  {cls.title}")
+        print(f"       {cls.rationale}")
+
+
 def main(argv: Optional[Sequence[str]] = None) -> int:
     parser = _build_parser()
     args = parser.parse_args(argv)
 
     rule_classes = all_rules()
     if args.list_rules:
-        for cls in rule_classes:
-            print(f"{cls.id}  [{cls.severity}]  {cls.title}")
-            print(f"       {cls.rationale}")
+        _list_rules()
         return 0
 
     selected = _split_ids(args.select)
@@ -83,25 +142,72 @@ def main(argv: Optional[Sequence[str]] = None) -> int:
     for requested in (selected or []) + sorted(disabled):
         if requested not in known:
             parser.error(f"unknown rule id {requested!r}")
-    rules = [
-        cls()
-        for cls in rule_classes
-        if (selected is None or cls.id in selected) and cls.id not in disabled
-    ]
+    rules = []
+    for cls in rule_classes:
+        if cls.id in disabled:
+            continue
+        if selected is not None:
+            if cls.id in selected:
+                rules.append(cls())
+            continue
+        # Default rule set: every file-local rule; project rules only
+        # when the whole-program phase was requested.
+        if issubclass(cls, ProjectRule) and not args.whole_program:
+            continue
+        rules.append(cls())
 
     paths = [Path(p) for p in args.paths]
     missing = [p for p in paths if not p.exists()]
     if missing:
         parser.error(f"no such path(s): {', '.join(map(str, missing))}")
+    if args.baseline is not None and args.no_baseline:
+        parser.error("--baseline and --no-baseline are mutually exclusive")
 
     references = load_paper_references(args.paper)
-    report = analyze_paths(paths, rules, extra={"paper_references": references})
+    report = analyze_paths(
+        paths,
+        rules,
+        extra={"paper_references": references},
+        cache_path=args.cache,
+    )
+
+    baseline_path = args.baseline
+    if baseline_path is None and not args.no_baseline:
+        default = Path(DEFAULT_BASELINE_NAME)
+        if default.is_file():
+            baseline_path = default
+
+    if args.update_baseline:
+        target = baseline_path or Path(DEFAULT_BASELINE_NAME)
+        write_baseline(build_baseline(report.violations), target)
+        print(
+            f"reglint: wrote {len(report.violations)} finding(s) to {target}"
+        )
+        return 0
+
+    baseline = None
+    if baseline_path is not None and not args.no_baseline:
+        try:
+            baseline = load_baseline(baseline_path)
+        except (OSError, ValueError) as exc:
+            parser.error(f"cannot load baseline: {exc}")
+    baselined = apply_baseline(report, baseline)
 
     if args.format == "json":
-        print(json.dumps(report.to_dict(), indent=2))
+        payload = report.to_dict()
+        payload["fresh"] = len(baselined.fresh)
+        payload["baselined"] = len(baselined.baselined)
+        print(json.dumps(payload, indent=2))
+    elif args.format == "sarif":
+        document = render_sarif(
+            report,
+            [type(rule) for rule in rules],
+            baselined=baselined if baseline is not None else None,
+        )
+        print(json.dumps(document, indent=2))
     else:
-        print(report.render())
-    return report.exit_code
+        print(baselined.render())
+    return baselined.exit_code
 
 
 if __name__ == "__main__":

@@ -1,0 +1,209 @@
+"""Baseline mechanism: gate on regressions, not on history.
+
+Turning whole-program rules on over an existing codebase surfaces
+findings that are deliberate (``JobStore`` holds its lock across the
+checkpoint write *because* the lock exists to serialize exactly that
+I/O).  Rather than suppressing each in source, a committed
+``reglint-baseline.json`` records the accepted findings; CI then fails
+only when a *new* finding appears.
+
+Fingerprints are content-keyed, not line-keyed: a finding is identified
+by its rule id, file path, message, the text of the source line it
+points at, and an ordinal (the N-th identical finding in the file).
+Inserting code above a baselined finding moves its line number but not
+its fingerprint, so it still matches; changing the offending line (or
+the rule's message for it) invalidates the entry and the gate fires.
+
+``--update-baseline`` rewrites the file deterministically — entries
+sorted by digest, stable JSON — so regeneration produces clean diffs.
+"""
+
+from __future__ import annotations
+
+import hashlib
+import json
+from collections import Counter
+from dataclasses import dataclass
+from pathlib import Path
+from typing import Dict, List, Optional, Sequence, Tuple
+
+from repro.analysis.framework import Report, Severity, Violation
+
+__all__ = [
+    "Baseline",
+    "BaselinedReport",
+    "apply_baseline",
+    "build_baseline",
+    "fingerprint",
+    "load_baseline",
+    "write_baseline",
+    "DEFAULT_BASELINE_NAME",
+]
+
+DEFAULT_BASELINE_NAME = "reglint-baseline.json"
+_BASELINE_VERSION = 1
+
+
+class _SourceLines:
+    """Lazy per-file source-line lookup for fingerprinting."""
+
+    def __init__(self) -> None:
+        self._cache: Dict[Path, List[str]] = {}
+
+    def line(self, path: Path, lineno: int) -> str:
+        lines = self._cache.get(path)
+        if lines is None:
+            try:
+                lines = path.read_text(encoding="utf-8").splitlines()
+            except OSError:
+                lines = []
+            self._cache[path] = lines
+        if 1 <= lineno <= len(lines):
+            return lines[lineno - 1].strip()
+        return ""
+
+
+def fingerprint(
+    violation: Violation, source_line: str, ordinal: int
+) -> str:
+    """Stable identity of one finding (line-number independent)."""
+    hasher = hashlib.sha256()
+    for part in (
+        violation.rule_id,
+        violation.path.as_posix(),
+        violation.message,
+        source_line,
+        str(ordinal),
+    ):
+        hasher.update(part.encode("utf-8"))
+        hasher.update(b"\x00")
+    return hasher.hexdigest()
+
+
+def _fingerprints(
+    violations: Sequence[Violation],
+) -> List[Tuple[Violation, str]]:
+    """Fingerprint every violation, assigning ordinals to duplicates.
+
+    Ordinals are per (rule, path, message, source-line) group in
+    line order, so two identical findings in one file keep distinct,
+    stable identities.
+    """
+    sources = _SourceLines()
+    counters: Counter = Counter()
+    out: List[Tuple[Violation, str]] = []
+    for violation in sorted(
+        violations, key=lambda v: (v.path.as_posix(), v.line, v.column, v.rule_id)
+    ):
+        line_text = sources.line(violation.path, violation.line)
+        group = (
+            violation.rule_id,
+            violation.path.as_posix(),
+            violation.message,
+            line_text,
+        )
+        ordinal = counters[group]
+        counters[group] += 1
+        out.append((violation, fingerprint(violation, line_text, ordinal)))
+    return out
+
+
+@dataclass(frozen=True)
+class Baseline:
+    """The accepted-findings set: digest -> descriptive entry."""
+
+    entries: Dict[str, Dict[str, object]]
+
+    def __contains__(self, digest: str) -> bool:
+        return digest in self.entries
+
+    def __len__(self) -> int:
+        return len(self.entries)
+
+
+def load_baseline(path: Path) -> Baseline:
+    """Read a baseline file; raises ``ValueError`` on malformed input
+    (a typo'd baseline silently matching nothing would defeat the
+    gate)."""
+    payload = json.loads(path.read_text(encoding="utf-8"))
+    if (
+        not isinstance(payload, dict)
+        or payload.get("version") != _BASELINE_VERSION
+        or not isinstance(payload.get("findings"), dict)
+    ):
+        raise ValueError(f"{path}: not a reglint baseline (version "
+                         f"{_BASELINE_VERSION}) file")
+    return Baseline(entries=dict(payload["findings"]))
+
+
+def build_baseline(violations: Sequence[Violation]) -> Baseline:
+    entries: Dict[str, Dict[str, object]] = {}
+    for violation, digest in _fingerprints(violations):
+        entries[digest] = {
+            "rule": violation.rule_id,
+            "path": violation.path.as_posix(),
+            "severity": str(violation.severity),
+            "message": violation.message,
+        }
+    return Baseline(entries=entries)
+
+
+def write_baseline(baseline: Baseline, path: Path) -> None:
+    """Serialize deterministically: sorted digests, stable key order."""
+    payload = {
+        "version": _BASELINE_VERSION,
+        "findings": {
+            digest: baseline.entries[digest]
+            for digest in sorted(baseline.entries)
+        },
+    }
+    path.write_text(
+        json.dumps(payload, indent=2, sort_keys=True) + "\n", encoding="utf-8"
+    )
+
+
+@dataclass
+class BaselinedReport:
+    """A report split into fresh findings and baselined ones."""
+
+    report: Report
+    fresh: List[Violation]
+    baselined: List[Violation]
+
+    @property
+    def exit_code(self) -> int:
+        """Gate only on fresh WARNING-or-worse findings."""
+        return (
+            1
+            if any(v.severity >= Severity.WARNING for v in self.fresh)
+            else 0
+        )
+
+    def render(self) -> str:
+        lines = [v.render() for v in self.fresh]
+        noun = "file" if self.report.files_checked == 1 else "files"
+        summary = (
+            f"reglint: {len(self.fresh)} finding(s) in "
+            f"{self.report.files_checked} {noun}"
+            if self.fresh
+            else f"reglint: {self.report.files_checked} {noun} clean"
+        )
+        if self.baselined:
+            summary += f" ({len(self.baselined)} baselined finding(s) hidden)"
+        lines.append(summary)
+        return "\n".join(lines)
+
+
+def apply_baseline(
+    report: Report, baseline: Optional[Baseline]
+) -> BaselinedReport:
+    if baseline is None:
+        return BaselinedReport(
+            report=report, fresh=list(report.violations), baselined=[]
+        )
+    fresh: List[Violation] = []
+    matched: List[Violation] = []
+    for violation, digest in _fingerprints(report.violations):
+        (matched if digest in baseline else fresh).append(violation)
+    fresh.sort(key=lambda v: (str(v.path), v.line, v.column, v.rule_id))
+    return BaselinedReport(report=report, fresh=fresh, baselined=matched)

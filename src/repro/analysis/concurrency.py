@@ -1,0 +1,275 @@
+"""RL30x: whole-program concurrency-safety rules.
+
+The service layer shares mutable objects across thread boundaries:
+HTTP handler threads (``ThreadingHTTPServer``), the executor loop
+thread inside :class:`~repro.service.service.MiningService`, and the
+main thread.  Each shared class owns a lock; these rules enforce the
+discipline documented in ``docs/robustness.md`` ("Concurrency model"):
+
+``RL301``
+    an attribute that the class itself treats as lock-guarded (accessed
+    under ``with self._lock:`` somewhere) is mutated on a path where the
+    lock is not held — the classic lost-update / torn-read race;
+``RL302``
+    two locks are acquired in opposite orders on different code paths —
+    the precondition for an ABBA deadlock;
+``RL303``
+    a blocking operation (sleep, network, file I/O) executes while a
+    lock is held, stalling every thread contending for it.
+
+All three work on the :class:`~repro.analysis.project.ProjectIndex`
+guarded-by inference: a helper called *only* from locked regions counts
+as running under the lock, and attributes whose value is itself a
+self-synchronizing object (a project class owning its own lock, a
+``queue.Queue``, a ``threading.Event``) are exempt from RL301 — calling
+``self.jobs.update(...)`` is safe because ``JobStore`` locks
+internally.
+"""
+
+from __future__ import annotations
+
+import ast
+from typing import Dict, Iterator, List, Set, Tuple
+
+from repro.analysis.framework import ProjectRule, Severity, Violation, register_rule
+from repro.analysis.project import (
+    AttributeAccess,
+    ClassInfo,
+    FunctionInfo,
+    LockId,
+    ProjectIndex,
+)
+
+__all__ = [
+    "UnlockedSharedMutationRule",
+    "LockOrderInversionRule",
+    "BlockingCallUnderLockRule",
+]
+
+#: Dotted callee suffixes that block the calling thread.
+_BLOCKING_CALLS = frozenset(
+    {
+        "time.sleep",
+        "sleep",
+        "urllib.request.urlopen",
+        "urlopen",
+        "socket.create_connection",
+        "subprocess.run",
+        "subprocess.check_call",
+        "subprocess.check_output",
+        "subprocess.Popen",
+    }
+)
+
+#: Method names that perform file I/O when called on paths/arrays.
+_BLOCKING_METHODS = frozenset(
+    {
+        "read_text",
+        "write_text",
+        "read_bytes",
+        "write_bytes",
+        "unlink",
+        "replace",
+        "rename",
+        "savez",
+        "savez_compressed",
+    }
+)
+
+#: Method names that are blocking only on file-ish receivers (``replace``
+#: and friends exist on ``str`` too; ``join`` on ``str`` and on threads).
+_RECEIVER_HINTS = ("path", "tmp", "file", "dir", "root", "os", "np", "numpy")
+
+
+def _is_blocking_call(raw: str, resolved: str) -> bool:
+    if raw == "open" or resolved == "open":
+        return True
+    if raw in _BLOCKING_CALLS or resolved in _BLOCKING_CALLS:
+        return True
+    if "." not in raw or raw.startswith("?."):
+        # A bare name never method-matches (a local function called
+        # ``save`` is not I/O), nor does an unresolvable receiver such
+        # as a string literal (``", ".join(...)``).
+        return False
+    receiver, tail = raw.rsplit(".", 1)
+    if tail == "join":
+        # Joining a thread while holding a lock the thread needs is a
+        # deadlock; joining a string is not.
+        return any(k in receiver.lower() for k in ("thread", "worker", "proc"))
+    if tail in ("replace", "rename", "unlink"):
+        # Present on str too — require a path-shaped receiver.
+        return any(k in receiver.lower() for k in _RECEIVER_HINTS)
+    return tail in _BLOCKING_METHODS
+
+
+def _function_has_direct_blocking_call(info: FunctionInfo) -> bool:
+    return any(
+        _is_blocking_call(site.raw, site.resolved or "") for site in info.calls
+    )
+
+
+def _lock_label(lock: LockId) -> str:
+    owner, attr = lock
+    return f"{owner.rsplit('.', 1)[-1]}.{attr}"
+
+
+@register_rule
+class UnlockedSharedMutationRule(ProjectRule):
+    id = "RL301"
+    title = "Lock-guarded attribute mutated without the owning lock held"
+    severity = Severity.ERROR
+    rationale = (
+        "When a class accesses an attribute under `with self._lock:` in one "
+        "method, every mutation of that attribute must hold the same lock; "
+        "an unlocked write on a handler- or executor-thread path is a data "
+        "race (lost updates, torn reads)."
+    )
+
+    #: mutation kinds RL301 cares about (reads stay unflagged: callers
+    #: may tolerate stale reads, and flagging them would drown the gate)
+    _MUTATION_KINDS = frozenset({"write", "mutcall"})
+
+    def check_project(self, project: ProjectIndex) -> Iterator[Violation]:
+        for cls_info in project.iter_service_classes():
+            for lock_attr in sorted(cls_info.lock_attrs):
+                guarded = project.guarded_attrs(cls_info, lock_attr)
+                if not guarded:
+                    continue
+                lock_id: LockId = (cls_info.qualname, lock_attr)
+                yield from self._check_class(project, cls_info, lock_id, guarded)
+
+    def _check_class(
+        self,
+        project: ProjectIndex,
+        cls_info: ClassInfo,
+        lock_id: LockId,
+        guarded: Set[str],
+    ) -> Iterator[Violation]:
+        for method in cls_info.methods.values():
+            if method.is_lifecycle or method.qualname in project.init_only:
+                continue
+            for access in method.self_accesses:
+                if (
+                    access.kind not in self._MUTATION_KINDS
+                    or access.attr not in guarded
+                ):
+                    continue
+                if lock_id in project.effective_locks(method, access.locks):
+                    continue
+                if project.is_self_synchronizing(cls_info, access.attr):
+                    continue
+                contexts = project.boundary.describe(method.qualname)
+                verb = (
+                    f"mutated via .{access.via}()"
+                    if access.kind == "mutcall"
+                    else "assigned"
+                )
+                yield self.project_violation(
+                    method.path,
+                    access.node,
+                    f"{cls_info.name}.{access.attr} is guarded by "
+                    f"{_lock_label(lock_id)} elsewhere but {verb} in "
+                    f"{method.name}() without the lock held "
+                    f"(runs on: {contexts})",
+                )
+
+
+@register_rule
+class LockOrderInversionRule(ProjectRule):
+    id = "RL302"
+    title = "Inconsistent lock-acquisition order across code paths"
+    severity = Severity.ERROR
+    rationale = (
+        "If one path acquires lock A then B while another acquires B then A, "
+        "two threads can each hold one lock and wait forever for the other "
+        "(ABBA deadlock). All paths must order shared locks consistently."
+    )
+
+    def check_project(self, project: ProjectIndex) -> Iterator[Violation]:
+        # Ordered pairs (outer, inner) -> acquisition sites proving them.
+        pairs: Dict[
+            Tuple[LockId, LockId], List[Tuple[FunctionInfo, ast.AST]]
+        ] = {}
+        for info in project.functions.values():
+            if project.modules[info.module].is_test:
+                continue
+            for lock, held, node in info.acquisitions:
+                for outer in set(held) | info.always_held:
+                    if outer != lock:
+                        pairs.setdefault((outer, lock), []).append((info, node))
+            # One-hop propagation: calling a function that acquires lock
+            # B while holding lock A establishes the order A -> B.
+            for site in info.calls:
+                callee = project.functions.get(site.resolved or "")
+                if callee is None:
+                    continue
+                held_here = set(site.locks) | info.always_held
+                for inner_lock, inner_held, _ in callee.acquisitions:
+                    if inner_held:
+                        continue  # nested orders counted at the callee
+                    for outer in held_here:
+                        if outer != inner_lock:
+                            pairs.setdefault(
+                                (outer, inner_lock), []
+                            ).append((info, site.node))
+        for (outer, inner), sites in sorted(
+            pairs.items(), key=lambda kv: (kv[0][0], kv[0][1])
+        ):
+            if (inner, outer) not in pairs or (outer, inner) < (inner, outer):
+                continue
+            # Report the inverted direction once per proving site.
+            for info, node in sites:
+                other = pairs[(inner, outer)][0][0]
+                yield self.project_violation(
+                    info.path,
+                    node,
+                    f"lock order {_lock_label(outer)} -> {_lock_label(inner)} "
+                    f"here conflicts with the opposite order in "
+                    f"{other.qualname} (ABBA deadlock risk)",
+                )
+
+
+@register_rule
+class BlockingCallUnderLockRule(ProjectRule):
+    id = "RL303"
+    title = "Blocking call while holding a lock"
+    severity = Severity.WARNING
+    rationale = (
+        "sleep(), network requests, and file I/O inside a `with lock:` block "
+        "stall every thread contending for the lock (handler threads block "
+        "behind a disk write). Move the slow work outside the critical "
+        "section, or keep it only where the lock exists to serialize that "
+        "exact I/O."
+    )
+
+    def check_project(self, project: ProjectIndex) -> Iterator[Violation]:
+        for info in project.functions.values():
+            if project.modules[info.module].is_test:
+                continue
+            for site in info.calls:
+                if not site.locks:
+                    continue
+                resolved = site.resolved or ""
+                if _is_blocking_call(site.raw, resolved):
+                    yield self.project_violation(
+                        info.path,
+                        site.node,
+                        f"blocking call {site.raw}() inside a `with "
+                        f"{_lock_label(sorted(site.locks)[0])}:` block in "
+                        f"{info.qualname}",
+                    )
+                    continue
+                # One hop through the call graph: a helper that performs
+                # file I/O, invoked with the lock held.
+                callee = project.functions.get(resolved)
+                if callee is not None and _function_has_direct_blocking_call(
+                    callee
+                ):
+                    yield self.project_violation(
+                        info.path,
+                        site.node,
+                        f"call to {callee.qualname}() (performs blocking "
+                        f"I/O) inside a `with "
+                        f"{_lock_label(sorted(site.locks)[0])}:` block in "
+                        f"{info.qualname}",
+                    )

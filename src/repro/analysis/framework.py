@@ -25,17 +25,34 @@ from __future__ import annotations
 
 import ast
 import enum
+import hashlib
+import json
 import re
 import tokenize
 from dataclasses import dataclass, field
 from pathlib import Path
-from typing import Dict, Iterable, Iterator, List, Optional, Sequence, Set, Tuple, Type
+from typing import (
+    TYPE_CHECKING,
+    Dict,
+    Iterable,
+    Iterator,
+    List,
+    Optional,
+    Sequence,
+    Set,
+    Tuple,
+    Type,
+)
+
+if TYPE_CHECKING:  # pragma: no cover - import cycle guard
+    from repro.analysis.project import ProjectIndex
 
 __all__ = [
     "Severity",
     "Violation",
     "FileContext",
     "Rule",
+    "ProjectRule",
     "register_rule",
     "get_rule",
     "all_rules",
@@ -147,6 +164,47 @@ class Rule:
         )
 
 
+class ProjectRule(Rule):
+    """Base class for whole-program (phase 2) rules.
+
+    File-local rules see one :class:`FileContext` at a time; project
+    rules instead receive the :class:`~repro.analysis.project
+    .ProjectIndex` built over *every* parsed file of the run and may
+    reason across modules (call graph, lock regions, thread/process
+    boundaries).  They are excluded from default runs — the driver only
+    instantiates them under ``--whole-program`` or when explicitly
+    selected — so plain ``make lint`` stays file-local and fast.
+
+    Per-line and per-file ``# reglint: disable=...`` suppressions are
+    honoured for project findings exactly as for file-local ones: the
+    driver keeps each file's suppression table and filters phase-2
+    findings against the table of the file they land in.
+    """
+
+    def check(self, ctx: FileContext) -> Iterator[Violation]:
+        return iter(())
+
+    def check_project(self, project: "ProjectIndex") -> Iterator[Violation]:
+        raise NotImplementedError
+
+    def project_violation(
+        self,
+        path: Path,
+        node: ast.AST,
+        message: str,
+        *,
+        severity: Optional[Severity] = None,
+    ) -> Violation:
+        return Violation(
+            rule_id=self.id,
+            path=path,
+            line=getattr(node, "lineno", 1),
+            column=getattr(node, "col_offset", 0) + 1,
+            message=message,
+            severity=self.severity if severity is None else severity,
+        )
+
+
 _REGISTRY: Dict[str, Type[Rule]] = {}
 
 
@@ -229,33 +287,22 @@ def _parse_suppressions(source: str) -> _Suppressions:
 # ----------------------------------------------------------------------
 
 
-def analyze_file(
-    path: Path,
-    rules: Sequence[Rule],
-    *,
-    extra: Optional[Dict[str, object]] = None,
-) -> List[Violation]:
-    """Run the given rules over one file, honouring suppressions.
+def _parse_error(path: Path, exc: SyntaxError) -> Violation:
+    return Violation(
+        rule_id="RL000",
+        path=path,
+        line=exc.lineno or 1,
+        column=(exc.offset or 0) + 1,
+        message=f"file does not parse: {exc.msg}",
+        severity=Severity.ERROR,
+    )
 
-    A file that fails to parse yields a single synthetic ``RL000``
-    error so broken files cannot silently pass the gate.
-    """
-    source = path.read_text(encoding="utf-8")
-    try:
-        tree = ast.parse(source, filename=str(path))
-    except SyntaxError as exc:
-        return [
-            Violation(
-                rule_id="RL000",
-                path=path,
-                line=exc.lineno or 1,
-                column=(exc.offset or 0) + 1,
-                message=f"file does not parse: {exc.msg}",
-                severity=Severity.ERROR,
-            )
-        ]
-    ctx = FileContext(path=path, source=source, tree=tree, extra=dict(extra or {}))
-    suppressions = _parse_suppressions(source)
+
+def _run_file_rules(
+    ctx: FileContext,
+    suppressions: _Suppressions,
+    rules: Sequence[Rule],
+) -> List[Violation]:
     if "all" in suppressions.file_wide:
         return []
     findings: List[Violation] = []
@@ -266,6 +313,27 @@ def analyze_file(
             if not suppressions.hides(violation):
                 findings.append(violation)
     return findings
+
+
+def analyze_file(
+    path: Path,
+    rules: Sequence[Rule],
+    *,
+    extra: Optional[Dict[str, object]] = None,
+) -> List[Violation]:
+    """Run the given file-local rules over one file, honouring
+    suppressions.
+
+    A file that fails to parse yields a single synthetic ``RL000``
+    error so broken files cannot silently pass the gate.
+    """
+    source = path.read_text(encoding="utf-8")
+    try:
+        tree = ast.parse(source, filename=str(path))
+    except SyntaxError as exc:
+        return [_parse_error(path, exc)]
+    ctx = FileContext(path=path, source=source, tree=tree, extra=dict(extra or {}))
+    return _run_file_rules(ctx, _parse_suppressions(source), rules)
 
 
 def _iter_python_files(paths: Iterable[Path]) -> Iterator[Path]:
@@ -332,19 +400,172 @@ class Report:
         }
 
 
+# ----------------------------------------------------------------------
+# Incremental cache
+# ----------------------------------------------------------------------
+
+_CACHE_VERSION = 1
+
+
+def _rules_signature(
+    rules: Sequence[Rule], extra: Optional[Dict[str, object]]
+) -> str:
+    """Digest identifying the file-local rule set and its inputs.
+
+    The paper-reference inventory is part of the signature: editing
+    PAPER.md must invalidate cached RL201 results even though the
+    source files themselves are unchanged.
+    """
+    hasher = hashlib.sha256()
+    hasher.update(",".join(sorted(rule.id for rule in rules)).encode())
+    references = (extra or {}).get("paper_references")
+    citations = getattr(references, "citations", None)
+    if citations is not None:
+        hasher.update(repr(sorted(map(str, citations))).encode())
+    return hasher.hexdigest()
+
+
+def _load_cache(cache_path: Path) -> Dict[str, Dict[str, object]]:
+    try:
+        payload = json.loads(cache_path.read_text(encoding="utf-8"))
+    except (OSError, ValueError):
+        return {}
+    if not isinstance(payload, dict) or payload.get("version") != _CACHE_VERSION:
+        return {}
+    entries = payload.get("entries")
+    return entries if isinstance(entries, dict) else {}
+
+
+def _cached_violations(
+    entry: Optional[Dict[str, object]], digest: str, signature: str, path: Path
+) -> Optional[List[Violation]]:
+    if (
+        not isinstance(entry, dict)
+        or entry.get("digest") != digest
+        or entry.get("rules") != signature
+    ):
+        return None
+    try:
+        return [
+            Violation(
+                rule_id=str(raw["rule"]),
+                path=path,
+                line=int(raw["line"]),
+                column=int(raw["column"]),
+                message=str(raw["message"]),
+                severity=Severity[str(raw["severity"]).upper()],
+            )
+            for raw in entry.get("violations", [])
+        ]
+    except (KeyError, TypeError, ValueError):
+        return None
+
+
+def _encode_violations(violations: Sequence[Violation]) -> List[Dict[str, object]]:
+    return [
+        {
+            "rule": v.rule_id,
+            "line": v.line,
+            "column": v.column,
+            "message": v.message,
+            "severity": str(v.severity),
+        }
+        for v in violations
+    ]
+
+
 def analyze_paths(
     paths: Sequence[Path],
     rules: Optional[Sequence[Rule]] = None,
     *,
     extra: Optional[Dict[str, object]] = None,
+    cache_path: Optional[Path] = None,
 ) -> Report:
-    """Analyze every Python file under the given paths."""
+    """Analyze every Python file under the given paths.
+
+    File-local rules run first (phase 1); when the rule list contains
+    :class:`ProjectRule` instances, a :class:`~repro.analysis.project
+    .ProjectIndex` is built over every successfully parsed file and the
+    project rules run over it (phase 2), with each finding filtered
+    against the suppression table of the file it lands in.
+
+    ``cache_path`` enables incremental analysis: file-local results are
+    keyed on the file's content digest plus the rule-set signature, so
+    unchanged files skip parsing and checking entirely.  (Phase 2 is
+    never cached — its findings depend on *other* files — but it is
+    only requested by the slower ``lint-full`` entry points.)
+    """
     if rules is None:
         rules = [cls() for cls in all_rules()]
+    file_rules = [rule for rule in rules if not isinstance(rule, ProjectRule)]
+    project_rules = [rule for rule in rules if isinstance(rule, ProjectRule)]
+
+    cache = _load_cache(cache_path) if cache_path is not None else {}
+    fresh_cache: Dict[str, Dict[str, object]] = {}
+    signature = _rules_signature(file_rules, extra)
+
     violations: List[Violation] = []
+    contexts: Dict[Path, FileContext] = {}
+    suppression_tables: Dict[str, _Suppressions] = {}
     files_checked = 0
     for file_path in _iter_python_files(paths):
         files_checked += 1
-        violations.extend(analyze_file(file_path, rules, extra=extra))
+        source = file_path.read_text(encoding="utf-8")
+        digest = hashlib.sha256(source.encode("utf-8")).hexdigest()
+        key = file_path.resolve().as_posix()
+        cached = _cached_violations(cache.get(key), digest, signature, file_path)
+        if cached is not None and not project_rules:
+            violations.extend(cached)
+            fresh_cache[key] = cache[key]
+            continue
+        try:
+            tree = ast.parse(source, filename=str(file_path))
+        except SyntaxError as exc:
+            file_findings = [_parse_error(file_path, exc)]
+            violations.extend(file_findings)
+            fresh_cache[key] = {
+                "digest": digest,
+                "rules": signature,
+                "violations": _encode_violations(file_findings),
+            }
+            continue
+        ctx = FileContext(
+            path=file_path, source=source, tree=tree, extra=dict(extra or {})
+        )
+        suppressions = _parse_suppressions(source)
+        if "all" not in suppressions.file_wide:
+            contexts[file_path] = ctx
+            suppression_tables[ctx.posix_path] = suppressions
+        if cached is not None:
+            file_findings = cached
+        else:
+            file_findings = _run_file_rules(ctx, suppressions, file_rules)
+        violations.extend(file_findings)
+        fresh_cache[key] = {
+            "digest": digest,
+            "rules": signature,
+            "violations": _encode_violations(file_findings),
+        }
+
+    if project_rules and contexts:
+        from repro.analysis.project import ProjectIndex
+
+        index = ProjectIndex.build(contexts)
+        for rule in project_rules:
+            for violation in rule.check_project(index):
+                table = suppression_tables.get(violation.path.as_posix())
+                if table is None or not table.hides(violation):
+                    violations.append(violation)
+
+    if cache_path is not None:
+        payload = {"version": _CACHE_VERSION, "entries": fresh_cache}
+        try:
+            cache_path.write_text(
+                json.dumps(payload, sort_keys=True), encoding="utf-8"
+            )
+        except OSError:  # reglint: disable=RL321
+            pass  # best-effort cache, not a checkpoint: losing it only
+            # costs a re-analysis on the next run
+
     violations.sort(key=lambda v: (str(v.path), v.line, v.column, v.rule_id))
     return Report(violations=violations, files_checked=files_checked)

@@ -1,0 +1,337 @@
+"""RL32x resource/exception hygiene and RL33x API-drift rules.
+
+The retry and checkpoint paths added in PR 4 re-enter the same code
+many times; a file handle leaked once per retry exhausts descriptors,
+and an exception swallowed between a checkpoint write and its atomic
+rename leaves a torn checkpoint that the next resume trusts.  RL330
+extends RL201's paper-aware spirit to the service API: a public
+function whose docstring documents parameters its signature no longer
+has is actively misleading callers.
+
+These rules run in the whole-program phase because their exemptions
+need the project index: a ``self._stream = open(...)`` assignment is
+fine when the owning class manages the handle's lifecycle (defines
+``close``/``__exit__``/``__del__`` — the :class:`~repro.obs.trace
+.Tracer` pattern), which only the class inventory can establish.
+"""
+
+from __future__ import annotations
+
+import ast
+import re
+from pathlib import Path
+from typing import Iterator, List, Optional, Set
+
+from repro.analysis.framework import ProjectRule, Severity, Violation, register_rule
+from repro.analysis.project import ClassInfo, FunctionInfo, ProjectIndex
+
+__all__ = [
+    "UnmanagedResourceRule",
+    "SwallowedCheckpointErrorRule",
+    "DocstringSignatureDriftRule",
+]
+
+_OPENERS = frozenset({"open", "socket.socket", "socket.create_connection"})
+
+
+def _is_opener(call: ast.Call) -> bool:
+    func = call.func
+    if isinstance(func, ast.Name):
+        return func.id in _OPENERS
+    if isinstance(func, ast.Attribute):
+        if func.attr == "open":  # Path(...).open(), self.path.open()
+            return True
+        base = func.value
+        if isinstance(base, ast.Name):
+            return f"{base.id}.{func.attr}" in _OPENERS
+    return False
+
+
+def _finally_closes(node: ast.AST, name: str) -> bool:
+    """Does any ``finally`` (or ``with``-suite) under ``node`` close
+    ``name``?"""
+    for inner in ast.walk(node):
+        if not isinstance(inner, ast.Try):
+            continue
+        for stmt in ast.walk(ast.Module(body=inner.finalbody, type_ignores=[])):
+            if (
+                isinstance(stmt, ast.Call)
+                and isinstance(stmt.func, ast.Attribute)
+                and stmt.func.attr == "close"
+            ):
+                target = stmt.func.value
+                if isinstance(target, ast.Name) and target.id == name:
+                    return True
+    return False
+
+
+@register_rule
+class UnmanagedResourceRule(ProjectRule):
+    id = "RL320"
+    title = "File/socket opened without with/finally on its lifetime"
+    severity = Severity.WARNING
+    rationale = (
+        "On retry and checkpoint paths the same code runs many times; a "
+        "handle opened without `with` (or a finally-close) leaks once per "
+        "attempt until the process hits EMFILE. Classes that own a handle "
+        "for their lifetime are exempt when they define close()/__exit__()."
+    )
+
+    def check_project(self, project: ProjectIndex) -> Iterator[Violation]:
+        for info in project.functions.values():
+            if project.modules[info.module].is_test:
+                continue
+            yield from self._check_function(project, info)
+
+    def _owner_manages_lifecycle(
+        self, project: ProjectIndex, info: FunctionInfo
+    ) -> bool:
+        if info.class_name is None:
+            return False
+        cls_info = project.classes.get(f"{info.module}.{info.class_name}")
+        if cls_info is None:
+            return False
+        return bool(
+            {"close", "__exit__", "__del__", "shutdown", "stop"}
+            & set(cls_info.methods)
+        )
+
+    def _check_function(
+        self, project: ProjectIndex, info: FunctionInfo
+    ) -> Iterator[Violation]:
+        func_node = info.node
+        with_items: Set[int] = {
+            id(item.context_expr)
+            for inner in ast.walk(func_node)
+            if isinstance(inner, (ast.With, ast.AsyncWith))
+            for item in inner.items
+        }
+        for stmt in ast.walk(func_node):
+            if not isinstance(stmt, ast.Assign) or not isinstance(
+                stmt.value, ast.Call
+            ):
+                continue
+            if not _is_opener(stmt.value) or id(stmt.value) in with_items:
+                continue
+            target = stmt.targets[0]
+            if isinstance(target, ast.Name):
+                if _finally_closes(func_node, target.id):
+                    continue
+                yield self.project_violation(
+                    info.path,
+                    stmt,
+                    f"{target.id} = open(...) in {info.qualname}() without "
+                    f"`with` or a finally-close; the handle leaks on every "
+                    f"exception/retry",
+                )
+            elif isinstance(target, ast.Attribute):
+                # self._stream = open(...): ownership transfer is fine
+                # when the class manages the handle's lifecycle.
+                if self._owner_manages_lifecycle(project, info):
+                    continue
+                yield self.project_violation(
+                    info.path,
+                    stmt,
+                    f"handle stored on {ast.unparse(target)} in "
+                    f"{info.qualname}() but the owning class defines no "
+                    f"close()/__exit__() to release it",
+                )
+
+
+@register_rule
+class SwallowedCheckpointErrorRule(ProjectRule):
+    id = "RL321"
+    title = "Checkpoint write/rename failure silently swallowed"
+    severity = Severity.WARNING
+    rationale = (
+        "A bare `except: pass` around a checkpoint's write/fsync/rename "
+        "hides torn or missing checkpoints until a resume trusts them; "
+        "failures there must at least be logged or counted."
+    )
+
+    _ATOMIC_TAILS = frozenset({"replace", "rename", "fsync", "write_text", "write_bytes"})
+
+    def check_project(self, project: ProjectIndex) -> Iterator[Violation]:
+        for info in project.functions.values():
+            if project.modules[info.module].is_test:
+                continue
+            for stmt in ast.walk(info.node):
+                if not isinstance(stmt, ast.Try):
+                    continue
+                has_atomic_write = any(
+                    isinstance(inner, ast.Call)
+                    and isinstance(inner.func, ast.Attribute)
+                    and inner.func.attr in self._ATOMIC_TAILS
+                    for body_stmt in stmt.body
+                    for inner in ast.walk(body_stmt)
+                )
+                if not has_atomic_write:
+                    continue
+                for handler in stmt.handlers:
+                    if all(
+                        isinstance(h, ast.Pass)
+                        or (
+                            isinstance(h, ast.Expr)
+                            and isinstance(h.value, ast.Constant)
+                        )
+                        for h in handler.body
+                    ):
+                        yield self.project_violation(
+                            info.path,
+                            handler,
+                            f"exception around a checkpoint write/rename in "
+                            f"{info.qualname}() is swallowed with `pass`; "
+                            f"log or count the failure so torn checkpoints "
+                            f"are visible",
+                        )
+
+
+# ----------------------------------------------------------------------
+# RL330: docstring / signature drift
+# ----------------------------------------------------------------------
+
+_SECTION_RE = re.compile(r"^\s*Parameters\s*$")
+_UNDERLINE_RE = re.compile(r"^\s*-{3,}\s*$")
+_PARAM_LINE_RE = re.compile(
+    r"^(?P<names>\*{0,2}[A-Za-z_][\w]*(?:\s*[/,]\s*\*{0,2}[A-Za-z_][\w]*)*)\s*(?::.*)?$"
+)
+
+
+def documented_params(docstring: Optional[str]) -> List[str]:
+    """Parameter names listed in a numpy-style ``Parameters`` section.
+
+    Handles combined entries (``retry / fault_plan : ...``) and star
+    forms (``*args``, ``**kwargs``).
+    """
+    if not docstring:
+        return []
+    lines = docstring.splitlines()
+    names: List[str] = []
+    in_section = False
+    section_indent = 0
+    for idx, line in enumerate(lines):
+        if _SECTION_RE.match(line) and idx + 1 < len(lines) and _UNDERLINE_RE.match(
+            lines[idx + 1]
+        ):
+            in_section = True
+            section_indent = len(line) - len(line.lstrip())
+            continue
+        if not in_section or _UNDERLINE_RE.match(line):
+            continue
+        stripped = line.strip()
+        if not stripped:
+            continue
+        indent = len(line) - len(line.lstrip())
+        if indent < section_indent:
+            break  # dedented out of the docstring body entirely
+        if indent > section_indent:
+            continue  # description line under a parameter entry
+        if stripped.endswith(":") and ":" not in stripped[:-1] and " " not in stripped[:-1]:
+            break  # a new section header like "Returns" (rare style)
+        if _SECTION_RE.match(line) is None and stripped in (
+            "Returns",
+            "Yields",
+            "Raises",
+            "Notes",
+            "Examples",
+            "Attributes",
+            "See Also",
+        ):
+            break
+        match = _PARAM_LINE_RE.match(stripped)
+        if match is None:
+            continue
+        for part in re.split(r"[/,]", match.group("names")):
+            name = part.strip().lstrip("*")
+            if name:
+                names.append(name)
+    return names
+
+
+def _signature_params(node: ast.AST) -> Set[str]:
+    args = node.args  # type: ignore[attr-defined]
+    names = {
+        arg.arg
+        for arg in [*args.posonlyargs, *args.args, *args.kwonlyargs]
+        if arg.arg not in ("self", "cls")
+    }
+    if args.vararg is not None:
+        names.add(args.vararg.arg)
+    if args.kwarg is not None:
+        names.add(args.kwarg.arg)
+    return names
+
+
+@register_rule
+class DocstringSignatureDriftRule(ProjectRule):
+    id = "RL330"
+    title = "Docstring documents parameters the signature does not have"
+    severity = Severity.WARNING
+    rationale = (
+        "A Parameters section naming arguments that were renamed or removed "
+        "actively misleads API users; the docstring is the service's public "
+        "contract (extending RL201's cross-reference discipline to the API)."
+    )
+
+    def check_project(self, project: ProjectIndex) -> Iterator[Violation]:
+        for info in project.functions.values():
+            if project.modules[info.module].is_test:
+                continue
+            if info.name.startswith("_") and info.name != "__init__":
+                continue
+            if info.name == "__init__":
+                continue  # checked through the class docstring below
+            node = info.node
+            docstring = ast.get_docstring(node)  # type: ignore[arg-type]
+            yield from self._compare(
+                project, info.path, node, info.qualname, docstring,
+                _signature_params(node),
+            )
+        for cls_info in project.classes.values():
+            if project.modules[cls_info.module].is_test:
+                continue
+            if cls_info.name.startswith("_"):
+                continue
+            docstring = ast.get_docstring(cls_info.node)
+            accepted = self._constructor_params(cls_info)
+            if accepted is None:
+                continue
+            yield from self._compare(
+                project, cls_info.path, cls_info.node, cls_info.qualname,
+                docstring, accepted,
+            )
+
+    def _constructor_params(self, cls_info: ClassInfo) -> Optional[Set[str]]:
+        init = cls_info.methods.get("__init__")
+        if init is not None:
+            return _signature_params(init.node)
+        if cls_info.is_dataclass:
+            return set(cls_info.field_names())
+        return None  # inherited constructor: signature unknown, stay silent
+
+    def _compare(
+        self,
+        project: ProjectIndex,
+        path: Path,
+        node: ast.AST,
+        qualname: str,
+        docstring: Optional[str],
+        accepted: Set[str],
+    ) -> Iterator[Violation]:
+        documented = documented_params(docstring)
+        if not documented:
+            return
+        # **kwargs forwards anything; the doc may legitimately describe
+        # options the signature cannot enumerate.
+        if any(name.startswith("kw") or name == "kwargs" for name in accepted):
+            return
+        ghosts = [name for name in documented if name not in accepted]
+        if ghosts:
+            yield self.project_violation(
+                path,
+                node,
+                f"docstring of {qualname} documents parameter(s) "
+                f"{', '.join(sorted(set(ghosts)))} not present in the "
+                f"signature ({', '.join(sorted(accepted)) or 'no parameters'})",
+            )
+

@@ -1,0 +1,121 @@
+"""SARIF 2.1.0 output for reglint.
+
+SARIF (Static Analysis Results Interchange Format) is the lingua
+franca code-scanning UIs ingest; emitting it lets the ``reglint-full``
+CI job upload findings as an artifact that GitHub's code-scanning view
+(or any SARIF viewer) renders in place.
+
+The document is the minimal valid subset: one run, the tool's rule
+catalog under ``tool.driver.rules``, one ``result`` per finding with a
+``physicalLocation``.  When a baseline was applied, every result
+carries ``baselineState`` (``new`` for fresh findings, ``unchanged``
+for baselined ones) so viewers can fold the accepted set away.
+"""
+
+from __future__ import annotations
+
+from typing import Dict, List, Optional, Sequence, Type
+
+from repro.analysis.baseline import BaselinedReport
+from repro.analysis.framework import Report, Rule, Severity, Violation
+
+__all__ = ["render_sarif"]
+
+_SARIF_VERSION = "2.1.0"
+_SARIF_SCHEMA = (
+    "https://raw.githubusercontent.com/oasis-tcs/sarif-spec/master/"
+    "Schemata/sarif-schema-2.1.0.json"
+)
+
+_LEVELS = {
+    Severity.INFO: "note",
+    Severity.WARNING: "warning",
+    Severity.ERROR: "error",
+}
+
+
+def _rule_descriptor(cls: Type[Rule]) -> Dict[str, object]:
+    return {
+        "id": cls.id,
+        "name": cls.__name__,
+        "shortDescription": {"text": cls.title},
+        "fullDescription": {"text": cls.rationale},
+        "defaultConfiguration": {"level": _LEVELS[cls.severity]},
+    }
+
+
+def _result(
+    violation: Violation,
+    baseline_state: Optional[str],
+    rule_indices: Dict[str, int],
+) -> Dict[str, object]:
+    result: Dict[str, object] = {
+        "ruleId": violation.rule_id,
+        "level": _LEVELS[violation.severity],
+        "message": {"text": violation.message},
+        "locations": [
+            {
+                "physicalLocation": {
+                    "artifactLocation": {
+                        "uri": violation.path.as_posix(),
+                        "uriBaseId": "SRCROOT",
+                    },
+                    "region": {
+                        "startLine": violation.line,
+                        "startColumn": violation.column,
+                    },
+                }
+            }
+        ],
+    }
+    if violation.rule_id in rule_indices:
+        result["ruleIndex"] = rule_indices[violation.rule_id]
+    if baseline_state is not None:
+        result["baselineState"] = baseline_state
+    return result
+
+
+def render_sarif(
+    report: Report,
+    rules: Sequence[Type[Rule]],
+    *,
+    baselined: Optional[BaselinedReport] = None,
+) -> Dict[str, object]:
+    """The SARIF document as a plain dict (caller json-serializes)."""
+    ordered_rules = sorted(rules, key=lambda c: c.id)
+    rule_indices = {cls.id: idx for idx, cls in enumerate(ordered_rules)}
+    results: List[Dict[str, object]] = []
+    if baselined is not None:
+        for violation in baselined.fresh:
+            results.append(_result(violation, "new", rule_indices))
+        for violation in baselined.baselined:
+            results.append(_result(violation, "unchanged", rule_indices))
+    else:
+        for violation in report.violations:
+            results.append(_result(violation, None, rule_indices))
+    results.sort(
+        key=lambda r: (
+            r["locations"][0]["physicalLocation"]["artifactLocation"]["uri"],  # type: ignore[index]
+            r["locations"][0]["physicalLocation"]["region"]["startLine"],  # type: ignore[index]
+            r["ruleId"],
+        )
+    )
+    return {
+        "version": _SARIF_VERSION,
+        "$schema": _SARIF_SCHEMA,
+        "runs": [
+            {
+                "tool": {
+                    "driver": {
+                        "name": "reglint",
+                        "informationUri": "docs/static_analysis.md",
+                        "rules": [
+                            _rule_descriptor(cls) for cls in ordered_rules
+                        ],
+                    }
+                },
+                "columnKind": "unicodeCodePoints",
+                "results": results,
+            }
+        ],
+    }

@@ -277,8 +277,12 @@ class Tracer:
             if self._stream is None:
                 assert self._path is not None
                 # One append-mode write per span: O_APPEND makes each
-                # line atomic w.r.t. the other worker processes.
-                self._stream = open(self._path, "a", encoding="utf-8")
+                # line atomic w.r.t. the other worker processes.  The
+                # lazy open must happen under the tracer lock (it is
+                # the write it guards), so RL303 is suppressed here.
+                self._stream = open(  # reglint: disable=RL303
+                    self._path, "a", encoding="utf-8"
+                )
                 self._owns_stream = True
             self._stream.write(line + "\n")
             self._stream.flush()

@@ -29,6 +29,12 @@ without re-mining (the deterministic shard merge makes the resumed
 result bit-identical to an uninterrupted run).
 """
 
+# The store's lock exists precisely to serialize record/checkpoint file
+# I/O against concurrent readers; RL303's blocking-I/O-under-lock
+# warning is this class's design, not a defect (docs/robustness.md,
+# "Concurrency model").
+# reglint: disable-file=RL303
+
 from __future__ import annotations
 
 import hashlib

@@ -1,0 +1,9 @@
+"""Deliberately defective scratch package for the reglint negative path.
+
+This package is NOT importable production code: it exists so the CI
+``reglint-full`` job (and ``test_negative_path.py``) can prove the
+whole-program analyzer still *fails* on a seeded concurrency defect —
+a green gate that can no longer go red is no gate at all.
+
+Do not "fix" the race in ``store.py``; it is the test payload.
+"""

@@ -1,0 +1,18 @@
+"""Seeded defect: ``evict`` mutates lock-guarded state without the lock."""
+
+import threading
+
+
+class RacyStore:
+    def __init__(self):
+        self._lock = threading.Lock()
+        self.entries = {}
+
+    def put(self, key, value):
+        with self._lock:
+            self.entries[key] = value
+
+    def evict(self, key):
+        # RL301 must fire here: ``entries`` is guarded (see put) but
+        # this mutation runs outside the lock.
+        self.entries.pop(key, None)

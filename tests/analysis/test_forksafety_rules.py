@@ -1,0 +1,164 @@
+"""RL31x fork/pickle safety rule tests."""
+
+from __future__ import annotations
+
+import textwrap
+
+from repro.analysis.forksafety import (
+    PostForkGlobalMutationRule,
+    UnpicklableCaptureRule,
+)
+from repro.analysis.framework import analyze_paths
+
+
+def write_tree(tmp_path, files):
+    for relative, text in files.items():
+        path = tmp_path / relative
+        path.parent.mkdir(parents=True, exist_ok=True)
+        path.write_text(textwrap.dedent(text), encoding="utf-8")
+    return tmp_path
+
+
+def run_rules(tmp_path, *rules):
+    report = analyze_paths([tmp_path], list(rules))
+    return report.violations
+
+
+def test_rl310_flags_lock_holding_capture(tmp_path):
+    write_tree(
+        tmp_path,
+        {
+            "work.py": """
+                import threading
+                from concurrent.futures import ProcessPoolExecutor
+
+                class Plan:
+                    def __init__(self):
+                        self._lock = threading.Lock()
+                        self.steps = []
+
+                def _run(plan):
+                    return plan.steps
+
+                def drive():
+                    plan = Plan()
+                    pool = ProcessPoolExecutor()
+                    return pool.submit(_run, plan)
+            """,
+        },
+    )
+    violations = run_rules(tmp_path, UnpicklableCaptureRule())
+    assert len(violations) == 1
+    assert violations[0].rule_id == "RL310"
+    assert "Plan" in violations[0].message
+    assert "_lock" in violations[0].message
+
+
+def test_rl310_getstate_setstate_trusted(tmp_path):
+    write_tree(
+        tmp_path,
+        {
+            "work.py": """
+                import threading
+                from concurrent.futures import ProcessPoolExecutor
+
+                class Plan:
+                    def __init__(self):
+                        self._lock = threading.Lock()
+                        self.steps = []
+
+                    def __getstate__(self):
+                        state = self.__dict__.copy()
+                        del state["_lock"]
+                        return state
+
+                    def __setstate__(self, state):
+                        self.__dict__.update(state)
+                        self._lock = threading.Lock()
+
+                def _run(plan):
+                    return plan.steps
+
+                def drive():
+                    plan = Plan()
+                    pool = ProcessPoolExecutor()
+                    return pool.submit(_run, plan)
+            """,
+        },
+    )
+    assert run_rules(tmp_path, UnpicklableCaptureRule()) == []
+
+
+def test_rl310_plain_values_are_clean(tmp_path):
+    write_tree(
+        tmp_path,
+        {
+            "work.py": """
+                from concurrent.futures import ProcessPoolExecutor
+
+                def _run(start, width):
+                    return start + width
+
+                def drive(starts):
+                    pool = ProcessPoolExecutor()
+                    return [pool.submit(_run, s, 4) for s in starts]
+            """,
+        },
+    )
+    assert run_rules(tmp_path, UnpicklableCaptureRule()) == []
+
+
+def test_rl311_flags_driver_side_global_write(tmp_path):
+    write_tree(
+        tmp_path,
+        {
+            "work.py": """
+                from concurrent.futures import ProcessPoolExecutor
+
+                _CONFIG = None
+
+                def configure(value):
+                    global _CONFIG
+                    _CONFIG = value
+
+                def _mine(start):
+                    return (_CONFIG, start)
+
+                def drive(starts):
+                    configure({"width": 4})
+                    pool = ProcessPoolExecutor()
+                    return [pool.submit(_mine, s) for s in starts]
+            """,
+        },
+    )
+    violations = run_rules(tmp_path, PostForkGlobalMutationRule())
+    assert len(violations) == 1
+    assert violations[0].rule_id == "RL311"
+    assert "_CONFIG" in violations[0].message
+
+
+def test_rl311_initializer_propagation_is_clean(tmp_path):
+    write_tree(
+        tmp_path,
+        {
+            "work.py": """
+                from concurrent.futures import ProcessPoolExecutor
+
+                _CONFIG = None
+
+                def _init(value):
+                    global _CONFIG
+                    _CONFIG = value
+
+                def _mine(start):
+                    return (_CONFIG, start)
+
+                def drive(starts):
+                    pool = ProcessPoolExecutor(initializer=_init, initargs=({},))
+                    return [pool.submit(_mine, s) for s in starts]
+            """,
+        },
+    )
+    # _init runs worker-side (it is the pool initializer), so the global
+    # it writes genuinely reaches the workers — no violation.
+    assert run_rules(tmp_path, PostForkGlobalMutationRule()) == []

@@ -1,0 +1,246 @@
+"""RL32x/RL33x resource, exception and API-drift rule tests."""
+
+from __future__ import annotations
+
+import textwrap
+
+from repro.analysis.framework import analyze_paths
+from repro.analysis.hygiene import (
+    DocstringSignatureDriftRule,
+    SwallowedCheckpointErrorRule,
+    UnmanagedResourceRule,
+    documented_params,
+)
+
+
+def write_tree(tmp_path, files):
+    for relative, text in files.items():
+        path = tmp_path / relative
+        path.parent.mkdir(parents=True, exist_ok=True)
+        path.write_text(textwrap.dedent(text), encoding="utf-8")
+    return tmp_path
+
+
+def run_rules(tmp_path, *rules):
+    report = analyze_paths([tmp_path], list(rules))
+    return report.violations
+
+
+# ---------------------------------------------------------------- RL320
+
+
+def test_rl320_flags_leaked_handle(tmp_path):
+    write_tree(
+        tmp_path,
+        {
+            "io_mod.py": """
+                def read_header(path):
+                    handle = open(path)
+                    return handle.readline()
+            """,
+        },
+    )
+    violations = run_rules(tmp_path, UnmanagedResourceRule())
+    assert len(violations) == 1
+    assert violations[0].rule_id == "RL320"
+
+
+def test_rl320_with_and_finally_are_clean(tmp_path):
+    write_tree(
+        tmp_path,
+        {
+            "io_mod.py": """
+                def read_all(path):
+                    with open(path) as handle:
+                        return handle.read()
+
+                def read_guarded(path):
+                    handle = open(path)
+                    try:
+                        return handle.read()
+                    finally:
+                        handle.close()
+            """,
+        },
+    )
+    assert run_rules(tmp_path, UnmanagedResourceRule()) == []
+
+
+def test_rl320_class_owned_handle_with_close_is_clean(tmp_path):
+    write_tree(
+        tmp_path,
+        {
+            "sink.py": """
+                class Sink:
+                    def __init__(self, path):
+                        self._stream = open(path, "a")
+
+                    def close(self):
+                        self._stream.close()
+            """,
+        },
+    )
+    # The class owns the handle and exposes close() — lifetime is
+    # managed by the owner, not the opening statement.
+    assert run_rules(tmp_path, UnmanagedResourceRule()) == []
+
+
+# ---------------------------------------------------------------- RL321
+
+
+def test_rl321_flags_swallowed_atomic_write_error(tmp_path):
+    write_tree(
+        tmp_path,
+        {
+            "ckpt.py": """
+                import os
+
+                def checkpoint(tmp, final, data):
+                    try:
+                        tmp.write_text(data)
+                        os.replace(tmp, final)
+                    except OSError:
+                        pass
+            """,
+        },
+    )
+    violations = run_rules(tmp_path, SwallowedCheckpointErrorRule())
+    assert len(violations) == 1
+    assert violations[0].rule_id == "RL321"
+
+
+def test_rl321_logged_handler_is_clean(tmp_path):
+    write_tree(
+        tmp_path,
+        {
+            "ckpt.py": """
+                import logging
+                import os
+
+                log = logging.getLogger(__name__)
+
+                def checkpoint(tmp, final, data):
+                    try:
+                        tmp.write_text(data)
+                        os.replace(tmp, final)
+                    except OSError:
+                        log.warning("checkpoint failed")
+            """,
+        },
+    )
+    assert run_rules(tmp_path, SwallowedCheckpointErrorRule()) == []
+
+
+# ---------------------------------------------------------------- RL330
+
+
+def test_rl330_flags_signature_drift(tmp_path):
+    write_tree(
+        tmp_path,
+        {
+            "api.py": '''
+                def mine(matrix, gamma, min_rows):
+                    """Mine patterns.
+
+                    Parameters
+                    ----------
+                    matrix : ndarray
+                        Expression matrix.
+                    gamma : float
+                        Coherence threshold.
+                    min_cols : int
+                        Minimum column count.
+                    """
+                    return matrix
+            ''',
+        },
+    )
+    violations = run_rules(tmp_path, DocstringSignatureDriftRule())
+    assert len(violations) == 1
+    assert violations[0].rule_id == "RL330"
+    assert "min_cols" in violations[0].message
+    assert "min_rows" in violations[0].message
+
+
+def test_rl330_matching_docstring_is_clean(tmp_path):
+    write_tree(
+        tmp_path,
+        {
+            "api.py": '''
+                def mine(matrix, gamma):
+                    """Mine patterns.
+
+                    Parameters
+                    ----------
+                    matrix : ndarray
+                        Expression matrix.
+                    gamma : float
+                        Coherence threshold.
+                    """
+                    return matrix
+            ''',
+        },
+    )
+    assert run_rules(tmp_path, DocstringSignatureDriftRule()) == []
+
+
+def test_rl330_class_docstring_checked_against_init(tmp_path):
+    write_tree(
+        tmp_path,
+        {
+            "api.py": '''
+                class Miner:
+                    """Pattern miner.
+
+                    Parameters
+                    ----------
+                    gamma : float
+                        Coherence threshold.
+                    depth : int
+                        Search depth.
+                    """
+
+                    def __init__(self, gamma, width):
+                        self.gamma = gamma
+                        self.width = width
+            ''',
+        },
+    )
+    violations = run_rules(tmp_path, DocstringSignatureDriftRule())
+    assert len(violations) == 1
+    assert "depth" in violations[0].message
+
+
+def test_rl330_kwargs_signatures_skipped(tmp_path):
+    write_tree(
+        tmp_path,
+        {
+            "api.py": '''
+                def passthrough(**kwargs):
+                    """Forward options.
+
+                    Parameters
+                    ----------
+                    anything : object
+                        Forwarded verbatim.
+                    """
+                    return kwargs
+            ''',
+        },
+    )
+    assert run_rules(tmp_path, DocstringSignatureDriftRule()) == []
+
+
+def test_documented_params_parses_combined_and_star_names():
+    doc = """Summary.
+
+    Parameters
+    ----------
+    alpha / beta : float
+        Shared description.
+    *args
+        Extra positionals.
+    **kwargs : dict
+        Extra options.
+    """
+    assert set(documented_params(doc)) == {"alpha", "beta", "args", "kwargs"}

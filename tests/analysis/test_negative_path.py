@@ -1,0 +1,47 @@
+"""Negative path: the analyzer must still FAIL on a seeded defect.
+
+The gate's value is its ability to go red.  These tests copy the
+committed ``fixtures/racy_service`` package into a scratch directory
+(the RL3xx rules deliberately skip modules under ``tests/``, so it
+cannot be analyzed in place) and assert the whole-program run exits 1
+with the expected finding.  CI runs the same copy-then-analyze dance
+in its ``reglint-full`` job.
+"""
+
+from __future__ import annotations
+
+import shutil
+from pathlib import Path
+
+from repro.analysis.__main__ import main
+
+FIXTURE = Path(__file__).parent / "fixtures" / "racy_service"
+
+
+def scratch_copy(tmp_path):
+    target = tmp_path / "racy_service"
+    shutil.copytree(FIXTURE, target)
+    return target
+
+
+def test_seeded_race_fails_the_gate(tmp_path, capsys):
+    target = scratch_copy(tmp_path)
+    code = main([str(target), "--select", "RL301", "--no-baseline"])
+    out = capsys.readouterr().out
+    assert code == 1
+    assert "RL301" in out
+    assert "evict" in out
+    assert "entries" in out
+
+
+def test_seeded_race_is_invisible_to_file_local_default(tmp_path):
+    # Confirms the defect genuinely needs the whole-program phase —
+    # i.e. the negative path exercises this PR's analyzer, not RL1xx.
+    target = scratch_copy(tmp_path)
+    assert main([str(target)]) == 0
+
+
+def test_fixture_is_skipped_in_place():
+    # Analyzed where it lives (under tests/), the rules skip it, so the
+    # committed fixture cannot poison the real repo-tree gate.
+    assert main([str(FIXTURE), "--select", "RL301", "--no-baseline"]) == 0

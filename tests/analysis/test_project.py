@@ -1,0 +1,269 @@
+"""Project-index (phase 1) construction tests.
+
+Builds a synthetic mini-package in ``tmp_path`` — a lock-owning store,
+an HTTP handler, a pool driver using ``functools.partial``, decorated
+methods, re-exported names — and checks the symbol tables, call graph,
+boundary map and lock inference that the RL3xx rules rely on.
+"""
+
+from __future__ import annotations
+
+import ast
+import textwrap
+
+import pytest
+
+from repro.analysis.framework import FileContext
+from repro.analysis.project import (
+    BACKGROUND_THREAD,
+    HANDLER_THREAD,
+    WORKER_PROCESS,
+    ProjectIndex,
+    module_name_for,
+)
+
+
+def build_index(tmp_path, files):
+    for relative, text in files.items():
+        path = tmp_path / relative
+        path.parent.mkdir(parents=True, exist_ok=True)
+        path.write_text(textwrap.dedent(text), encoding="utf-8")
+    contexts = {}
+    for path in sorted(tmp_path.rglob("*.py")):
+        source = path.read_text(encoding="utf-8")
+        contexts[path] = FileContext(
+            path=path, source=source, tree=ast.parse(source)
+        )
+    return ProjectIndex.build(contexts)
+
+
+MINI_PACKAGE = {
+    "pkg/__init__.py": """
+        from pkg.store import Store
+    """,
+    "pkg/store.py": """
+        import threading
+
+        class Store:
+            def __init__(self):
+                self._lock = threading.Lock()
+                self.items = {}
+
+            def put(self, key, value):
+                with self._lock:
+                    self.items[key] = value
+
+            def _drop_oldest(self):
+                self.items.popitem()
+
+            def trim(self):
+                with self._lock:
+                    self._drop_oldest()
+    """,
+    "pkg/decor.py": """
+        import functools
+
+        def logged(fn):
+            @functools.wraps(fn)
+            def wrapper(*args, **kwargs):
+                return fn(*args, **kwargs)
+            return wrapper
+
+        class Engine:
+            @logged
+            def run(self):
+                return self.helper()
+
+            @property
+            def size(self):
+                return 0
+
+            def helper(self):
+                return 1
+    """,
+    "pkg/web.py": """
+        from http.server import BaseHTTPRequestHandler
+
+        from pkg import Store
+
+        STORE = Store()
+
+        class Handler(BaseHTTPRequestHandler):
+            def do_GET(self):
+                self._answer()
+
+            def _answer(self):
+                STORE.put("seen", 1)
+    """,
+    "pkg/work.py": """
+        import functools
+        import threading
+        from concurrent.futures import ProcessPoolExecutor
+
+        _WORKER_STATE = None
+
+        def _init(state):
+            global _WORKER_STATE
+            _WORKER_STATE = state
+
+        def _mine(start):
+            return (_WORKER_STATE, start)
+
+        def drive(starts):
+            pool = ProcessPoolExecutor(initializer=_init, initargs=(1,))
+            futures = [
+                pool.submit(functools.partial(_mine, start)) for start in starts
+            ]
+            return futures
+
+        def spin():
+            thread = threading.Thread(target=_loop)
+            thread.start()
+
+        def _loop():
+            pass
+    """,
+}
+
+
+@pytest.fixture
+def index(tmp_path):
+    return build_index(tmp_path, MINI_PACKAGE)
+
+
+def test_module_name_walks_packages(tmp_path):
+    build_index(tmp_path, MINI_PACKAGE)
+    assert module_name_for(tmp_path / "pkg" / "store.py") == "pkg.store"
+    assert module_name_for(tmp_path / "pkg" / "__init__.py") == "pkg"
+
+
+def test_symbol_tables(index):
+    store_mod = index.modules["pkg.store"]
+    assert "Store" in store_mod.classes
+    assert set(store_mod.classes["Store"].methods) == {
+        "__init__",
+        "put",
+        "_drop_oldest",
+        "trim",
+    }
+    work_mod = index.modules["pkg.work"]
+    assert "_WORKER_STATE" in work_mod.globals
+    assert "drive" in work_mod.functions
+
+
+def test_class_attribute_inventory_and_locks(index):
+    store = index.classes["pkg.store.Store"]
+    assert store.lock_attrs == {"_lock"}
+    assert "items" in store.attributes
+
+
+def test_call_graph_self_dispatch(index):
+    assert "pkg.store.Store._drop_oldest" in index.call_graph[
+        "pkg.store.Store.trim"
+    ]
+
+
+def test_call_graph_decorated_methods(index):
+    # Decorated methods are indexed and their self-calls resolve.
+    assert "pkg.decor.Engine.run" in index.functions
+    assert index.functions["pkg.decor.Engine.run"].decorators == ["logged"]
+    assert "pkg.decor.Engine.helper" in index.call_graph["pkg.decor.Engine.run"]
+    assert "pkg.decor.Engine.size" in index.functions  # @property too
+
+
+def test_reexported_name_resolves(index):
+    # pkg.web imports Store from pkg (a re-export of pkg.store.Store).
+    assert (
+        index.resolve_qualified("pkg.Store") == "pkg.store.Store"
+    )
+    web = index.modules["pkg.web"]
+    assert index.resolve_qualified(web.resolve_local("Store")) == (
+        "pkg.store.Store"
+    )
+
+
+def test_boundary_handler_threads(index):
+    contexts = index.boundary.contexts
+    assert HANDLER_THREAD in contexts["pkg.web.Handler.do_GET"]
+    # Reachability: the private helper runs on the handler thread too.
+    assert HANDLER_THREAD in contexts["pkg.web.Handler._answer"]
+    # ...and so does the store method it calls.
+    assert HANDLER_THREAD in contexts["pkg.store.Store.put"]
+
+
+def test_boundary_worker_process_via_partial_submit(index):
+    contexts = index.boundary.contexts
+    # pool.submit(functools.partial(_mine, start)) unwraps to _mine.
+    assert WORKER_PROCESS in contexts["pkg.work._mine"]
+    # The ProcessPoolExecutor initializer is worker-side as well.
+    assert WORKER_PROCESS in contexts["pkg.work._init"]
+    submissions = index.boundary.submissions
+    assert any(s.target == "pkg.work._mine" for s in submissions)
+    assert any(s.target == "pkg.work._init" for s in submissions)
+
+
+def test_boundary_background_thread(index):
+    assert BACKGROUND_THREAD in index.boundary.contexts["pkg.work._loop"]
+
+
+def test_lock_regions_and_interlocked_closure(index):
+    put = index.functions["pkg.store.Store.put"]
+    assert [lock for lock, _, _ in put.acquisitions] == [
+        ("pkg.store.Store", "_lock")
+    ]
+    # _drop_oldest is called only from trim's locked region, so the
+    # fixpoint proves the lock is always held inside it.
+    drop = index.functions["pkg.store.Store._drop_oldest"]
+    assert ("pkg.store.Store", "_lock") in drop.always_held
+
+
+def test_guarded_attrs(index):
+    store = index.classes["pkg.store.Store"]
+    assert index.guarded_attrs(store, "_lock") == {"items"}
+
+
+def test_nested_defs_are_indexed(tmp_path):
+    index = build_index(
+        tmp_path,
+        {
+            "solo.py": """
+                from concurrent.futures import ProcessPoolExecutor
+
+                def _boot():
+                    pass
+
+                def outer():
+                    def make_pool():
+                        return ProcessPoolExecutor(initializer=_boot)
+                    return make_pool()
+            """,
+        },
+    )
+    assert "solo.outer.<locals>.make_pool" in index.functions
+    assert WORKER_PROCESS in index.boundary.contexts["solo._boot"]
+
+
+def test_init_only_helpers(tmp_path):
+    index = build_index(
+        tmp_path,
+        {
+            "svc.py": """
+                import threading
+
+                class Service:
+                    def __init__(self):
+                        self._lock = threading.Lock()
+                        self.table = {}
+                        self._load()
+
+                    def _load(self):
+                        self.table = {"a": 1}
+
+                    def mutate(self):
+                        with self._lock:
+                            self.table["b"] = 2
+            """,
+        },
+    )
+    assert "svc.Service._load" in index.init_only
+    assert "svc.Service.mutate" not in index.init_only

@@ -1,0 +1,88 @@
+"""SARIF 2.1.0 output structure tests."""
+
+from __future__ import annotations
+
+import json
+
+from repro.analysis.__main__ import main
+from repro.analysis.framework import Report, Severity, Violation
+from repro.analysis.sarif import render_sarif
+
+RACY = """\
+import threading
+
+class Store:
+    def __init__(self):
+        self._lock = threading.Lock()
+        self.items = {}
+
+    def put(self, key, value):
+        with self._lock:
+            self.items[key] = value
+
+    def forget(self, key):
+        self.items.pop(key, None)
+"""
+
+
+def test_cli_sarif_output_is_valid(tmp_path, capsys):
+    target = tmp_path / "store.py"
+    target.write_text(RACY, encoding="utf-8")
+    code = main([str(target), "--select", "RL301", "--format", "sarif"])
+    assert code == 1
+    payload = json.loads(capsys.readouterr().out)
+    assert payload["version"] == "2.1.0"
+    assert "sarif-schema-2.1.0" in payload["$schema"]
+    run = payload["runs"][0]
+    driver = run["tool"]["driver"]
+    assert driver["name"] == "reglint"
+    rule_ids = [rule["id"] for rule in driver["rules"]]
+    assert "RL301" in rule_ids
+    results = run["results"]
+    assert results, "expected at least one result"
+    result = results[0]
+    assert result["ruleId"] == "RL301"
+    assert result["level"] == "error"
+    location = result["locations"][0]["physicalLocation"]
+    assert location["artifactLocation"]["uri"].endswith("store.py")
+    assert location["region"]["startLine"] >= 1
+    # ruleIndex must point at the right descriptor.
+    assert driver["rules"][result["ruleIndex"]]["id"] == "RL301"
+
+
+def test_sarif_baseline_states(tmp_path, capsys):
+    target = tmp_path / "store.py"
+    target.write_text(RACY, encoding="utf-8")
+    baseline_path = tmp_path / "baseline.json"
+    assert (
+        main(
+            [str(target), "--select", "RL301", "--baseline",
+             str(baseline_path), "--update-baseline"]
+        )
+        == 0
+    )
+    capsys.readouterr()
+    code = main(
+        [str(target), "--select", "RL301", "--baseline",
+         str(baseline_path), "--format", "sarif"]
+    )
+    assert code == 0
+    payload = json.loads(capsys.readouterr().out)
+    states = [r["baselineState"] for r in payload["runs"][0]["results"]]
+    assert states and all(state == "unchanged" for state in states)
+
+
+def test_render_sarif_without_baseline_marks_new():
+    violation = Violation(
+        rule_id="RL999",
+        path=__import__("pathlib").Path("x.py"),
+        line=3,
+        column=1,
+        message="synthetic",
+        severity=Severity.WARNING,
+    )
+    report = Report(violations=[violation], files_checked=1)
+    payload = render_sarif(report, [])
+    result = payload["runs"][0]["results"][0]
+    assert result["level"] == "warning"
+    assert "baselineState" not in result
