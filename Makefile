@@ -2,7 +2,7 @@
 
 PYTHON ?= python
 
-.PHONY: install test coverage bench bench-quick bench-regression examples serve-smoke chaos-smoke trace-smoke lint typecheck clean
+.PHONY: install test coverage bench bench-quick bench-regression examples serve-smoke chaos-smoke trace-smoke lint lint-full typecheck clean
 
 install:
 	pip install -e . --no-build-isolation
@@ -63,6 +63,14 @@ trace-smoke:
 
 lint:
 	PYTHONPATH=src $(PYTHON) -m repro.analysis src/repro tests benchmarks examples
+
+# Whole-program phase on top of the file-local rules: cross-module
+# concurrency/fork-safety/hygiene analysis over src/repro, gated
+# against the committed reglint-baseline.json (fails only on NEW
+# findings — see docs/static_analysis.md).  Kept separate from `lint`
+# so the fast default loop is unchanged.
+lint-full:
+	PYTHONPATH=src $(PYTHON) -m repro.analysis --whole-program src/repro
 
 typecheck:
 	@if $(PYTHON) -c "import mypy" 2>/dev/null; then \
