@@ -2,7 +2,7 @@
 
 PYTHON ?= python
 
-.PHONY: install test coverage bench bench-quick bench-regression examples serve-smoke chaos-smoke trace-smoke lint lint-full typecheck clean
+.PHONY: install test coverage bench bench-quick bench-regression examples serve-smoke chaos-smoke trace-smoke fleet-smoke lint lint-full typecheck clean
 
 install:
 	pip install -e . --no-build-isolation
@@ -60,6 +60,13 @@ chaos-smoke:
 # worker to stitch under a single job root (docs/observability.md).
 trace-smoke:
 	PYTHONPATH=src $(PYTHON) scripts/trace_smoke.py
+
+# Distributed counterpart of chaos-smoke: a coordinator plus two worker
+# node processes, one SIGKILLed while it holds a shard lease — the
+# reclaim must re-queue its shards and the job must finish bit-identical
+# with a single stitched trace (docs/distributed.md).
+fleet-smoke:
+	PYTHONPATH=src $(PYTHON) scripts/fleet_smoke.py
 
 lint:
 	PYTHONPATH=src $(PYTHON) -m repro.analysis src/repro tests benchmarks examples

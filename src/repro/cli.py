@@ -19,7 +19,12 @@ Subcommands
 ``describe``
     Print headline statistics of an expression file.
 ``serve``
-    Run the mining daemon (job store + HTTP API, see docs/service.md).
+    Run the mining daemon (job store + HTTP API, see docs/service.md);
+    with ``--fleet`` it coordinates a multi-node work queue
+    (docs/distributed.md).
+``node``
+    Run a fleet worker node that leases shards from a ``--fleet``
+    coordinator and mines them locally (docs/distributed.md).
 ``submit``
     Submit a matrix to a running daemon (optionally wait for the result).
 ``status``
@@ -203,6 +208,61 @@ def build_parser() -> argparse.ArgumentParser:
     serve.add_argument(
         "--verbose", action="store_true",
         help="log every HTTP request (text logs unless --log-json)",
+    )
+    serve.add_argument(
+        "--fleet", action="store_true",
+        help="act as a fleet coordinator: worker nodes (reg-cluster "
+        "node) can lease shards over /fleet/... (docs/distributed.md)",
+    )
+    serve.add_argument(
+        "--lease-ttl", type=float, default=None, metavar="SECONDS",
+        help="with --fleet: shard-lease TTL; un-heartbeated leases "
+        "past it are reclaimed and re-queued (default: 30)",
+    )
+    serve.add_argument(
+        "--fleet-no-local", action="store_true",
+        help="with --fleet: never mine shards on the coordinator "
+        "itself, leave all mining to the nodes",
+    )
+
+    node = sub.add_parser(
+        "node",
+        help="run a fleet worker node against a --fleet coordinator "
+        "(docs/distributed.md)",
+    )
+    node.add_argument(
+        "--coordinator", required=True, metavar="URL",
+        help="base URL of the coordinator daemon (reg-cluster serve "
+        "--fleet)",
+    )
+    node.add_argument(
+        "--workers", type=int, default=1,
+        help="worker processes for mining one lease (1 = in-process)",
+    )
+    node.add_argument(
+        "--node-id", default=None, metavar="ID",
+        help="stable node identity (default: <hostname>-<pid>)",
+    )
+    node.add_argument(
+        "--cache-dir", default=None, metavar="DIR",
+        help="node-local artifact cache directory (default: "
+        ".reg-cluster-node-<pid>)",
+    )
+    node.add_argument(
+        "--poll-interval", type=float, default=0.2, metavar="SECONDS",
+        help="sleep between empty lease polls",
+    )
+    node.add_argument(
+        "--max-shards", type=int, default=None, metavar="N",
+        help="shards requested per lease (capped by the coordinator)",
+    )
+    node.add_argument(
+        "--log-json", action="store_true",
+        help="emit structured JSON-lines logs on stderr",
+    )
+    node.add_argument(
+        "--verbose", action="store_true",
+        help="log lease/heartbeat traffic (text logs unless --log-json)",
     )
 
     submit = sub.add_parser(
@@ -538,6 +598,16 @@ def _cmd_serve(args: argparse.Namespace) -> int:
         configure_logging(fmt="json")
     elif args.verbose:
         configure_logging(fmt="text")
+    fleet_kwargs = {}
+    if args.fleet:
+        fleet_kwargs["fleet"] = True
+        fleet_kwargs["fleet_local"] = not args.fleet_no_local
+        if args.lease_ttl is not None:
+            fleet_kwargs["lease_ttl"] = args.lease_ttl
+    elif args.lease_ttl is not None or args.fleet_no_local:
+        raise ValueError(
+            "--lease-ttl/--fleet-no-local require --fleet"
+        )
     service = MiningService(
         args.store,
         n_workers=args.workers,
@@ -548,12 +618,14 @@ def _cmd_serve(args: argparse.Namespace) -> int:
         retry=retry,
         fault_plan=fault_plan,
         trace_dir=args.trace_dir,
+        **fleet_kwargs,
     )
     server = serve(service, args.host, args.port, quiet=not args.verbose)
     host, port = server.server_address[0], server.server_address[1]
     print(
         f"serving on http://{host}:{port} "
-        f"(store: {args.store}, workers: {args.workers})"
+        f"(store: {args.store}, workers: {args.workers}"
+        f"{', fleet coordinator' if args.fleet else ''})"
     )
     service.start()
     try:
@@ -563,6 +635,37 @@ def _cmd_serve(args: argparse.Namespace) -> int:
     finally:
         server.server_close()
         service.stop()
+    return 0
+
+
+def _cmd_node(args: argparse.Namespace) -> int:
+    from repro.obs.log import configure_logging
+    from repro.service.fleet import DEFAULT_LEASE_SHARDS, FleetNode
+
+    if args.log_json:
+        configure_logging(fmt="json")
+    elif args.verbose:
+        configure_logging(fmt="text")
+    node = FleetNode(
+        args.coordinator,
+        node_id=args.node_id,
+        workers=args.workers,
+        cache_dir=args.cache_dir,
+        poll_interval=args.poll_interval,
+        max_lease_shards=(
+            DEFAULT_LEASE_SHARDS
+            if args.max_shards is None
+            else args.max_shards
+        ),
+    )
+    print(
+        f"node {node.node_id} polling {args.coordinator} "
+        f"(workers: {args.workers}, cache: {node.cache_dir})"
+    )
+    try:
+        node.run()
+    except KeyboardInterrupt:  # pragma: no cover - interactive shutdown
+        pass
     return 0
 
 
@@ -633,6 +736,18 @@ def _cmd_status(args: argparse.Namespace) -> int:
     for key, seconds in sorted((record.get("phase_timers") or {}).items()):
         print(f"phase.{key}: {seconds:.3f}s")
     print(f"parameters: {record.get('parameters')}")
+    if args.stats:
+        # Per-shard provenance: which node (or "local"/"checkpoint")
+        # mined each shard, and in how many attempts — populated for
+        # fleet and non-fleet jobs alike (docs/distributed.md).
+        provenance = record.get("shard_provenance") or {}
+        for shard, info in sorted(
+            provenance.items(), key=lambda item: int(item[0])
+        ):
+            print(
+                f"shard.{shard}: node={info.get('node')} "
+                f"attempts={info.get('attempts')}"
+            )
     if args.stats and record["state"] in ("done", "degraded"):
         # Degraded jobs have a (partial) payload too — its statistics
         # plus the missing_shards line above tell the whole story.
@@ -677,6 +792,7 @@ def main(argv: Optional[Sequence[str]] = None) -> int:
         "experiment": _cmd_experiment,
         "describe": _cmd_describe,
         "serve": _cmd_serve,
+        "node": _cmd_node,
         "submit": _cmd_submit,
         "status": _cmd_status,
         "trace": _cmd_trace,

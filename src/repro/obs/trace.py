@@ -271,8 +271,24 @@ class Tracer:
         context = parent.context if isinstance(parent, Span) else parent
         return TraceWorkerConfig(path=str(self._path), parent=context)
 
+    def emit(self, payload: Mapping[str, Any]) -> None:
+        """Append one already-serialized span dict to the sink.
+
+        The cross-*node* stitching seam: a fleet node ships the span
+        dicts of its remotely mined shards back in the ``complete``
+        payload, and the coordinator emits them into the job's trace
+        file verbatim — same trace_id, same parent ids, so
+        :func:`load_spans` sees one stitched trace.  The payload must
+        already carry ``span_id`` (and normally ``trace_id`` /
+        ``parent_id``); no validation beyond JSON-serializability is
+        applied.
+        """
+        self._write_line(json.dumps(dict(payload), sort_keys=True))
+
     def _record(self, span: Span) -> None:
-        line = json.dumps(span.to_dict(), sort_keys=True)
+        self._write_line(json.dumps(span.to_dict(), sort_keys=True))
+
+    def _write_line(self, line: str) -> None:
         with self._lock:
             if self._stream is None:
                 assert self._path is not None
@@ -331,6 +347,9 @@ class NullTracer(Tracer):
         self, parent: Union[Span, SpanContext]
     ) -> Optional[TraceWorkerConfig]:
         return None
+
+    def emit(self, payload: Mapping[str, Any]) -> None:
+        pass
 
     def _record(self, span: Span) -> None:
         pass

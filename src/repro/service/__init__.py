@@ -6,10 +6,13 @@ infrastructure: persistent jobs with deterministic ids
 merged output is bit-identical to single-process mining
 (:mod:`repro.service.executor`), an LRU artifact cache for RWave
 indexes and completed results (:mod:`repro.service.cache`), a
-stdlib JSON-over-HTTP front end (:mod:`repro.service.http`), and the
+stdlib JSON-over-HTTP front end (:mod:`repro.service.http`), the
 fault-injection / retry / checkpoint machinery that keeps all of it
 honest under crashes (:mod:`repro.service.resilience`,
-``docs/robustness.md``).  See ``docs/service.md`` for the full tour.
+``docs/robustness.md``), and a distributed work-queue fleet that
+stretches the shard decomposition across machines
+(:mod:`repro.service.fleet`, ``docs/distributed.md``).  See
+``docs/service.md`` for the full tour.
 """
 
 from repro.service.cache import ArtifactCache, CacheStats, DEFAULT_MAX_BYTES
@@ -19,6 +22,13 @@ from repro.service.executor import (
     merge_shard_results,
     mine_sharded,
     mine_sharded_outcome,
+)
+from repro.service.fleet import (
+    FleetNode,
+    FleetState,
+    ShardLease,
+    shard_from_wire,
+    shard_to_wire,
 )
 from repro.service.http import (
     ServiceClient,
@@ -52,6 +62,8 @@ __all__ = [
     "FaultKind",
     "FaultPlan",
     "FaultSpec",
+    "FleetNode",
+    "FleetState",
     "JobRecord",
     "JobState",
     "JobStore",
@@ -62,6 +74,7 @@ __all__ = [
     "ServiceError",
     "ServiceHTTPServer",
     "ShardFailure",
+    "ShardLease",
     "ShardedOutcome",
     "compute_job_id",
     "merge_shard_results",
@@ -70,4 +83,6 @@ __all__ = [
     "parameters_from_dict",
     "parameters_to_dict",
     "serve",
+    "shard_from_wire",
+    "shard_to_wire",
 ]

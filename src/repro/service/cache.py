@@ -39,13 +39,18 @@ import pickle
 import threading
 from dataclasses import dataclass
 from pathlib import Path
-from typing import Any, Callable, Dict, Optional, Union
+from typing import Any, Callable, Dict, List, Optional, Union
 
 from repro.core.kernels import RegulationKernel
 from repro.core.rwave import RWaveIndex
 from repro.service.resilience import FaultKind, FaultPlan
 
-__all__ = ["ArtifactCache", "CacheStats", "DEFAULT_MAX_BYTES"]
+__all__ = [
+    "ArtifactCache",
+    "CacheStats",
+    "DEFAULT_MAX_BYTES",
+    "kernel_cache_key",
+]
 
 #: Default size bound: generous for indexes of paper-scale matrices
 #: (the 2884x17 yeast index pickles to a few MB).
@@ -99,6 +104,13 @@ def _index_key(matrix_digest: str, gamma: float) -> str:
 
 def _kernel_key(matrix_digest: str, gamma: float) -> str:
     return f"kernel-{matrix_digest}-gamma-{float(gamma)!r}"
+
+
+def kernel_cache_key(matrix_digest: str, gamma: float) -> str:
+    """The cache key of a kernel artifact — doubles as the fleet's
+    shard-affinity token: a node advertising this key already built
+    the (matrix, gamma) kernel (docs/distributed.md)."""
+    return _kernel_key(matrix_digest, gamma)
 
 
 def _result_key(job_id: str) -> str:
@@ -335,6 +347,42 @@ class ArtifactCache:
         data = pickle.dumps(kernel, protocol=pickle.HIGHEST_PROTOCOL)
         self._store(key, f"{key}.pkl", data)
         self._bump("kernel_stores")
+
+    def get_kernel_bytes(
+        self, matrix_digest: str, gamma: float
+    ) -> Optional[bytes]:
+        """The raw pickled kernel artifact, or ``None`` on a miss.
+
+        The fleet artifact-exchange seam: the coordinator serves this
+        verbatim over ``GET /artifacts/kernel/...`` and a node stores
+        it straight into its own cache via :meth:`put_kernel_bytes` —
+        no unpickle/re-pickle round trip on either side
+        (docs/distributed.md).  Counted as a kernel hit/miss like
+        :meth:`get_kernel`.
+        """
+        data = self._load(_kernel_key(matrix_digest, gamma))
+        self._bump("kernel_misses" if data is None else "kernel_hits")
+        return data
+
+    def put_kernel_bytes(
+        self, matrix_digest: str, gamma: float, data: bytes
+    ) -> None:
+        """Store an already-pickled kernel artifact under (digest, gamma)."""
+        key = _kernel_key(matrix_digest, gamma)
+        self._store(key, f"{key}.pkl", data)
+        self._bump("kernel_stores")
+
+    def kernel_keys(self) -> List[str]:
+        """Cache keys of every kernel artifact currently held.
+
+        The fleet node advertises these in its lease requests so the
+        coordinator can route shards of the same (matrix, gamma) back
+        to it — the shard-affinity seam (docs/distributed.md).
+        """
+        with self._lock:
+            return sorted(
+                key for key in self._manifest if key.startswith("kernel-")
+            )
 
     # ------------------------------------------------------------------
     # Completed results

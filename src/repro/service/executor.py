@@ -106,6 +106,7 @@ __all__ = [
     "mine_sharded",
     "mine_sharded_outcome",
     "merge_shard_results",
+    "make_local_shard_miner",
     "ShardResult",
     "ShardedOutcome",
     "ShardFailure",
@@ -291,6 +292,57 @@ def _mine_start(start: int, attempt: int = 0) -> ShardResult:
         return shard
 
 
+def make_local_shard_miner(
+    matrix: ExpressionMatrix,
+    params: MiningParameters,
+    *,
+    prunings: Optional[PruningConfig] = None,
+    index: Optional[RWaveIndex] = None,
+    fault_plan: Optional[FaultPlan] = None,
+    should_stop: Optional[Callable[[], bool]] = None,
+    tracer: Optional[Tracer] = None,
+    trace_parent: Optional[SpanContext] = None,
+) -> Callable[[int, int], ShardResult]:
+    """A ``(shard, attempt) -> ShardResult`` closure mining in-process.
+
+    The fleet coordinator's local-mining seam
+    (:mod:`repro.service.fleet`): one miner is built lazily on the
+    first call (so a job fully served by remote nodes never pays for
+    it) and reused across shards, exactly like a pool worker.  Each
+    call mines one shard under a ``shard`` span tagged
+    ``node="local"``, applying the fault plan's shard faults with
+    in-process semantics (``kill-worker`` downgrades to a clean
+    failure — there is no worker process to kill).
+    """
+    active_tracer = tracer if tracer is not None else NULL_TRACER
+    box: Dict[str, RegClusterMiner] = {}
+
+    def mine_one(shard: int, attempt: int) -> ShardResult:
+        miner = box.get("miner")
+        if miner is None:
+            miner = RegClusterMiner(
+                matrix,
+                params,
+                prunings=prunings,
+                index=index,
+                should_stop=should_stop,
+            )
+            box["miner"] = miner
+        with active_tracer.span(
+            "shard",
+            parent=trace_parent,
+            attributes={"shard": shard, "attempt": attempt,
+                        "node": "local"},
+        ) as span:
+            _apply_shard_faults(fault_plan, shard, attempt, in_process=True)
+            result = miner.mine(start_conditions=[shard])
+            out = _shard_result(shard, result)
+            _annotate_shard_span(span, out)
+            return out
+
+    return mine_one
+
+
 # ----------------------------------------------------------------------
 # Merge
 # ----------------------------------------------------------------------
@@ -382,6 +434,7 @@ class _ShardDriver:
         should_stop: Optional[Callable[[], bool]],
         tracer: Optional[Tracer] = None,
         trace_parent: Optional[SpanContext] = None,
+        shards: Optional[Sequence[int]] = None,
     ) -> None:
         self.params = params
         self.retry = retry
@@ -396,6 +449,19 @@ class _ShardDriver:
         self.tracer = tracer if tracer is not None else NULL_TRACER
         self.trace_parent = trace_parent
         self.fault_injections: Dict[str, int] = {}
+        # The shard universe: every first-chain-condition by default, or
+        # an explicit subset (the fleet node mines only its leased
+        # shards — see repro.service.fleet).
+        if shards is None:
+            universe = list(range(matrix.n_conditions))
+        else:
+            universe = sorted({int(start) for start in shards})
+        for start in universe:
+            if not 0 <= start < matrix.n_conditions:
+                raise ValueError(
+                    f"shard {start} out of range for a matrix with "
+                    f"{matrix.n_conditions} conditions"
+                )
         self.resumed: Dict[int, ShardResult] = {}
         for start, shard in (completed or {}).items():
             start = int(start)
@@ -404,11 +470,11 @@ class _ShardDriver:
                     f"checkpointed shard {start} out of range for a matrix "
                     f"with {matrix.n_conditions} conditions"
                 )
+            if shards is not None and start not in universe:
+                continue  # a checkpoint outside the leased subset
             self.resumed[start] = shard
         self.pending: List[int] = [
-            start
-            for start in range(matrix.n_conditions)
-            if start not in self.resumed
+            start for start in universe if start not in self.resumed
         ]
         self.shards: List[ShardResult] = list(self.resumed.values())
         self.missing: Dict[int, str] = {}
@@ -743,6 +809,7 @@ def mine_sharded_outcome(
     on_shard_complete: Optional[Callable[[ShardResult], None]] = None,
     tracer: Optional[Tracer] = None,
     trace_parent: Optional[SpanContext] = None,
+    shards: Optional[Sequence[int]] = None,
 ) -> ShardedOutcome:
     """Mine a matrix shard-by-shard with full recovery machinery.
 
@@ -775,6 +842,12 @@ def mine_sharded_outcome(
         to stitch shard spans under (typically the caller's "mine"
         span).  Worker processes join the same trace file; untraced
         runs pay only a null-tracer check per shard.
+    shards:
+        Restrict the run to this subset of start conditions instead of
+        mining every first chain condition.  The merged result then
+        covers exactly those shards — the fleet node's way of mining
+        only its leased shards (:mod:`repro.service.fleet`).  ``None``
+        (default) mines the full universe.
 
     Raises
     ------
@@ -786,7 +859,10 @@ def mine_sharded_outcome(
     """
     if n_workers < 1:
         raise ValueError(f"n_workers must be >= 1, got {n_workers}")
-    n_workers = min(n_workers, max(1, matrix.n_conditions))
+    universe_size = (
+        matrix.n_conditions if shards is None else len(set(shards))
+    )
+    n_workers = min(n_workers, max(1, universe_size))
     driver = _ShardDriver(
         matrix,
         params,
@@ -798,6 +874,7 @@ def mine_sharded_outcome(
         should_stop=should_stop,
         tracer=tracer,
         trace_parent=trace_parent,
+        shards=shards,
     )
     if n_workers == 1:
         return _drive_in_process(

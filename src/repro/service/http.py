@@ -33,6 +33,29 @@ Endpoints
     The service's :class:`~repro.obs.metrics.MetricsRegistry` in
     Prometheus text exposition format.
 
+Fleet endpoints (``404`` unless the daemon runs with ``--fleet``; see
+``docs/distributed.md`` for the full protocol):
+
+``POST /fleet/lease``
+    Body ``{"node_id": ..., "kernels": [...], "max_shards": ...}``;
+    responds ``{"lease": {...}}`` with a shard lease, or
+    ``{"lease": null}`` when the queue is idle.
+``POST /fleet/complete``
+    One shard result (or failure report) under a lease; responds
+    ``{"accepted": bool, ...}`` — late/duplicate completions are
+    rejected idempotently, never erred.
+``POST /fleet/heartbeat``
+    Node liveness beacon; extends the node's leases.
+``GET /fleet/status``
+    The coordinator's queue/node snapshot.
+``GET /artifacts/matrix/<digest>``
+    Content-addressed matrix fetch: the stored ``.npz`` bytes of the
+    matrix whose :func:`~repro.matrix.summary.matrix_digest` is
+    ``<digest>``.
+``GET /artifacts/kernel/<digest>/<gamma>``
+    The cached pickled RWave^gamma kernel for (matrix, gamma), ``404``
+    when not (yet) built.
+
 ``/healthz`` and ``/metrics`` are answered before fault injection —
 observability must stay up while chaos is running.
 
@@ -81,6 +104,12 @@ __all__ = [
 
 _JOB_PATH = re.compile(r"^/jobs/(?P<job_id>[A-Za-z0-9_-]+)$")
 _RESULT_PATH = re.compile(r"^/jobs/(?P<job_id>[A-Za-z0-9_-]+)/result$")
+_MATRIX_ARTIFACT_PATH = re.compile(
+    r"^/artifacts/matrix/(?P<digest>[0-9a-f]{64})$"
+)
+_KERNEL_ARTIFACT_PATH = re.compile(
+    r"^/artifacts/kernel/(?P<digest>[0-9a-f]{64})/(?P<gamma>[0-9.eE+-]+)$"
+)
 
 #: Refuse request bodies beyond this size (64 MiB covers the paper's
 #: yeast matrix inline with two orders of magnitude to spare).
@@ -141,6 +170,19 @@ class _Handler(BaseHTTPRequestHandler):
         body = json.dumps(payload).encode("utf-8")
         self.send_response(status)
         self.send_header("Content-Type", "application/json")
+        self.send_header("Content-Length", str(len(body)))
+        self.end_headers()
+        self.wfile.write(body)
+        self._status = status
+
+    def _send_bytes(
+        self,
+        status: int,
+        body: bytes,
+        content_type: str = "application/octet-stream",
+    ) -> None:
+        self.send_response(status)
+        self.send_header("Content-Type", content_type)
         self.send_header("Content-Length", str(len(body)))
         self.end_headers()
         self.wfile.write(body)
@@ -219,7 +261,25 @@ class _Handler(BaseHTTPRequestHandler):
             )
             return
         try:
-            if method == "POST" and self.path == "/jobs":
+            if method == "POST" and self.path == "/fleet/lease":
+                self._fleet_lease(service)
+            elif method == "POST" and self.path == "/fleet/complete":
+                self._fleet_complete(service)
+            elif method == "POST" and self.path == "/fleet/heartbeat":
+                self._fleet_heartbeat(service)
+            elif method == "GET" and self.path == "/fleet/status":
+                self._send_json(200, self._fleet(service).snapshot())
+            elif method == "GET" and _MATRIX_ARTIFACT_PATH.match(self.path):
+                match = _MATRIX_ARTIFACT_PATH.match(self.path)
+                assert match is not None
+                self._get_matrix_artifact(service, match.group("digest"))
+            elif method == "GET" and _KERNEL_ARTIFACT_PATH.match(self.path):
+                match = _KERNEL_ARTIFACT_PATH.match(self.path)
+                assert match is not None
+                self._get_kernel_artifact(
+                    service, match.group("digest"), match.group("gamma")
+                )
+            elif method == "POST" and self.path == "/jobs":
                 self._post_job(service)
             elif method == "GET" and self.path == "/jobs":
                 self._send_json(
@@ -249,6 +309,73 @@ class _Handler(BaseHTTPRequestHandler):
             self._send_json(404, {"error": str(message)})
         except ValueError as error:
             self._send_json(400, {"error": str(error)})
+
+    # -- fleet handlers ------------------------------------------------
+
+    def _fleet(self, service: MiningService) -> Any:
+        fleet = service.fleet
+        if fleet is None:
+            raise _RequestError(
+                404, "fleet mode is disabled on this daemon (use --fleet)"
+            )
+        return fleet
+
+    def _fleet_lease(self, service: MiningService) -> None:
+        fleet = self._fleet(service)
+        body = self._read_body()
+        node_id = str(body.get("node_id") or "")
+        if not node_id:
+            raise _RequestError(400, "lease request must name a node_id")
+        kernels = body.get("kernels") or []
+        if not isinstance(kernels, list):
+            raise _RequestError(400, "kernels must be a list of cache keys")
+        max_shards = body.get("max_shards")
+        lease = fleet.lease(
+            node_id,
+            kernels=[str(key) for key in kernels],
+            max_shards=None if max_shards is None else int(max_shards),
+        )
+        self._send_json(200, {"lease": lease})
+
+    def _fleet_complete(self, service: MiningService) -> None:
+        fleet = self._fleet(service)
+        self._send_json(200, fleet.complete(self._read_body()))
+
+    def _fleet_heartbeat(self, service: MiningService) -> None:
+        fleet = self._fleet(service)
+        body = self._read_body()
+        node_id = str(body.get("node_id") or "")
+        if not node_id:
+            raise _RequestError(400, "heartbeat must name a node_id")
+        kernels = body.get("kernels") or []
+        if not isinstance(kernels, list):
+            raise _RequestError(400, "kernels must be a list of cache keys")
+        self._send_json(
+            200,
+            fleet.heartbeat(node_id, kernels=[str(k) for k in kernels]),
+        )
+
+    def _get_matrix_artifact(
+        self, service: MiningService, digest: str
+    ) -> None:
+        data = service.matrix_artifact_bytes(digest)
+        if data is None:
+            raise _RequestError(404, f"no stored matrix with digest {digest}")
+        self._send_bytes(200, data)
+
+    def _get_kernel_artifact(
+        self, service: MiningService, digest: str, gamma: str
+    ) -> None:
+        try:
+            gamma_value = float(gamma)
+        except ValueError:
+            raise _RequestError(400, f"bad gamma {gamma!r}") from None
+        data = service.kernel_artifact_bytes(digest, gamma_value)
+        if data is None:
+            raise _RequestError(
+                404, f"no cached kernel for {digest} at gamma={gamma}"
+            )
+        self._send_bytes(200, data)
 
     # -- handlers ------------------------------------------------------
 
@@ -365,11 +492,15 @@ class ServiceClient:
     """Minimal urllib client for the endpoints above.
 
     Transient failures are retried with exponential backoff: connection
-    errors (daemon not yet listening, socket reset) and 5xx responses
-    get up to ``connect_retries`` extra attempts, sleeping
-    ``retry_backoff * 2**attempt`` seconds between them.  4xx responses
-    raise :class:`ServiceError` immediately — they are the caller's
-    fault, and submission is idempotent so retrying them cannot help.
+    errors (daemon not yet listening — ``URLError``), mid-request
+    socket resets (``ConnectionResetError``, which covers
+    ``http.client.RemoteDisconnected`` — typical when a threading
+    server drops a keep-alive connection under load or restart) and
+    5xx responses get up to ``connect_retries`` extra attempts,
+    sleeping ``retry_backoff * 2**attempt`` seconds between them.  4xx
+    responses raise :class:`ServiceError` immediately — they are the
+    caller's fault, and submission is idempotent so retrying them
+    cannot help.
     """
 
     def __init__(
@@ -431,6 +562,46 @@ class ServiceClient:
                     time.sleep(self.retry_backoff * (2.0 ** attempt))
                     continue
                 raise
+            except ConnectionResetError:
+                # Raised *outside* urllib's URLError wrapping when an
+                # established connection dies mid-request (includes
+                # http.client.RemoteDisconnected, its subclass) — e.g.
+                # the server dropped a keep-alive socket between our
+                # send and its response.  Just as transient as a
+                # refused connect, so it gets the same backoff.
+                if attempt < self.connect_retries:
+                    time.sleep(self.retry_backoff * (2.0 ** attempt))
+                    continue
+                raise
+        raise AssertionError("unreachable: the retry loop returns or raises")
+
+    def _request_bytes(self, path: str) -> bytes:
+        """GET a binary artifact with the same retry policy as JSON."""
+        for attempt in range(self.connect_retries + 1):
+            try:
+                with urllib.request.urlopen(
+                    urllib.request.Request(
+                        self.base_url + path, method="GET"
+                    ),
+                    timeout=self.timeout,
+                ) as response:
+                    return bytes(response.read())
+            except urllib.error.HTTPError as error:
+                try:
+                    message = json.loads(error.read().decode("utf-8")).get(
+                        "error", error.reason
+                    )
+                except (json.JSONDecodeError, UnicodeDecodeError):
+                    message = str(error.reason)
+                if error.code >= 500 and attempt < self.connect_retries:
+                    time.sleep(self.retry_backoff * (2.0 ** attempt))
+                    continue
+                raise ServiceError(error.code, message) from None
+            except (urllib.error.URLError, ConnectionResetError):
+                if attempt < self.connect_retries:
+                    time.sleep(self.retry_backoff * (2.0 ** attempt))
+                    continue
+                raise
         raise AssertionError("unreachable: the retry loop returns or raises")
 
     # -- endpoints -----------------------------------------------------
@@ -475,7 +646,9 @@ class ServiceClient:
                     timeout=self.timeout,
                 ) as response:
                     return str(response.read().decode("utf-8"))
-            except urllib.error.URLError:
+            except (urllib.error.URLError, ConnectionResetError):
+                # ConnectionResetError covers RemoteDisconnected: a
+                # dropped keep-alive socket mid-scrape retries too.
                 if attempt < self.connect_retries:
                     time.sleep(self.retry_backoff * (2.0 ** attempt))
                     continue
@@ -517,3 +690,59 @@ class ServiceClient:
                     f"{timeout:g}s"
                 )
             time.sleep(poll_interval)
+
+    # -- fleet endpoints (docs/distributed.md) -------------------------
+
+    def fleet_lease(
+        self,
+        node_id: str,
+        *,
+        kernels: Optional[List[str]] = None,
+        max_shards: Optional[int] = None,
+    ) -> Optional[Dict[str, Any]]:
+        """Request a shard lease; ``None`` when the queue is idle.
+
+        ``kernels`` advertises the node's cached kernel artifacts for
+        affinity routing.
+        """
+        body: Dict[str, Any] = {
+            "node_id": node_id,
+            "kernels": list(kernels or []),
+        }
+        if max_shards is not None:
+            body["max_shards"] = int(max_shards)
+        lease = self._request("POST", "/fleet/lease", body).get("lease")
+        return None if lease is None else dict(lease)
+
+    def fleet_complete(self, payload: Dict[str, Any]) -> Dict[str, Any]:
+        """Report one shard completion (or failure) under a lease."""
+        return self._request("POST", "/fleet/complete", dict(payload))
+
+    def fleet_heartbeat(
+        self, node_id: str, *, kernels: Optional[List[str]] = None
+    ) -> Dict[str, Any]:
+        """Beacon node liveness; extends the node's active leases."""
+        return self._request(
+            "POST",
+            "/fleet/heartbeat",
+            {"node_id": node_id, "kernels": list(kernels or [])},
+        )
+
+    def fleet_status(self) -> Dict[str, Any]:
+        """The coordinator's queue/node snapshot."""
+        return self._request("GET", "/fleet/status")
+
+    def fetch_matrix(self, digest: str) -> bytes:
+        """The stored ``.npz`` bytes of the matrix with this digest."""
+        return self._request_bytes(f"/artifacts/matrix/{digest}")
+
+    def fetch_kernel(self, digest: str, gamma: float) -> Optional[bytes]:
+        """The pickled kernel for (digest, gamma); ``None`` if unbuilt."""
+        try:
+            return self._request_bytes(
+                f"/artifacts/kernel/{digest}/{float(gamma)!r}"
+            )
+        except ServiceError as error:
+            if error.status == 404:
+                return None
+            raise

@@ -188,6 +188,12 @@ class JobRecord:
     #: failed attempts per shard (as ``{"<start>": count}``), recorded
     #: when any shard needed a retry
     shard_failures: Optional[Dict[str, int]] = None
+    #: who mined each shard (``{"<start>": {"node": <node id,
+    #: "local", or "checkpoint">, "attempts": total attempts}}``) —
+    #: set when the job finishes with a result; fleet jobs name the
+    #: worker node, local jobs say ``local``, resumed shards say
+    #: ``checkpoint`` (docs/distributed.md)
+    shard_provenance: Optional[Dict[str, Any]] = None
 
     def to_dict(self) -> Dict[str, Any]:
         payload = asdict(self)

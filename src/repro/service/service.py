@@ -67,7 +67,12 @@ from repro.obs.log import get_logger
 from repro.obs.metrics import MetricsRegistry, render_family
 from repro.obs.trace import NULL_TRACER, Span, Tracer
 from repro.service.cache import DEFAULT_MAX_BYTES, ArtifactCache
-from repro.service.executor import ShardResult, mine_sharded_outcome
+from repro.service.executor import (
+    ShardResult,
+    make_local_shard_miner,
+    mine_sharded_outcome,
+)
+from repro.service.fleet import DEFAULT_LEASE_TTL, FleetState
 from repro.service.jobs import (
     ACTIVE_STATES,
     RESULT_STATES,
@@ -133,6 +138,21 @@ class MiningService:
         ``<trace_dir>/<job_id>.trace.jsonl`` (re-running a job
         replaces its file).  ``None`` (default) disables tracing at
         null-tracer cost.
+    fleet:
+        Enable the distributed work queue: jobs are driven through
+        :class:`~repro.service.fleet.FleetState` and worker nodes
+        (``reg-cluster node``) can lease shards over the
+        ``/fleet/...`` endpoints (``docs/distributed.md``).  Off by
+        default — a non-fleet daemon mines exactly as before.
+    lease_ttl:
+        Fleet shard-lease time-to-live in seconds; an un-heartbeated
+        lease past its TTL is reclaimed and its shards re-queued.
+    fleet_local:
+        When fleet mode is on, also mine unleased shards on the
+        coordinator itself (default).  Turning this off leaves all
+        mining to the nodes — useful for tests and dedicated
+        coordinators, but a node-less fleet then only finishes jobs
+        via the per-job timeout.
     """
 
     def __init__(
@@ -148,6 +168,9 @@ class MiningService:
         progress_observer: Optional[Callable[[str, str, int], None]] = None,
         metrics: Optional[MetricsRegistry] = None,
         trace_dir: Optional[Union[str, Path]] = None,
+        fleet: bool = False,
+        lease_ttl: float = DEFAULT_LEASE_TTL,
+        fleet_local: bool = True,
     ) -> None:
         if n_workers < 1:
             raise ValueError(f"n_workers must be >= 1, got {n_workers}")
@@ -177,6 +200,16 @@ class MiningService:
             fault_observer=self._observe_fault,
         )
         self.metrics.register_collector(self._collect_cache_metrics)
+        #: the distributed work queue, or ``None`` on a non-fleet daemon
+        #: (docs/distributed.md)
+        self.fleet: Optional[FleetState] = None
+        if fleet:
+            self.fleet = FleetState(
+                lease_ttl=lease_ttl,
+                retry=self.retry,
+                local_mining=fleet_local,
+            )
+            self.metrics.register_collector(self._collect_fleet_metrics)
         self._matrix_dir = self.store_dir / "matrices"
         self._matrix_dir.mkdir(parents=True, exist_ok=True)
         self._queue: "queue.Queue[Optional[str]]" = queue.Queue()
@@ -284,6 +317,70 @@ class MiningService:
         )
         return text
 
+    def _collect_fleet_metrics(self) -> str:
+        """The ``repro_fleet_*`` families (docs/distributed.md)."""
+        assert self.fleet is not None
+        snap = self.fleet.metrics_snapshot()
+        text = render_family(
+            "repro_fleet_queue_depth", "gauge",
+            "Shards waiting to be leased, across all active jobs.",
+            [({}, float(snap["queue_depth"]))],
+        )
+        text += render_family(
+            "repro_fleet_nodes_active", "gauge",
+            "Worker nodes heard from within the last lease TTL.",
+            [({}, float(snap["nodes_active"]))],
+        )
+        text += render_family(
+            "repro_fleet_leases_granted_total", "counter",
+            "Shard leases granted to worker nodes.",
+            [({}, float(snap["leases_granted"]))],
+        )
+        text += render_family(
+            "repro_fleet_leases_expired_total", "counter",
+            "Leases that outlived their TTL without a heartbeat.",
+            [({}, float(snap["leases_expired"]))],
+        )
+        text += render_family(
+            "repro_fleet_leases_reclaimed_total", "counter",
+            "Shards reclaimed from expired leases and re-queued.",
+            [({}, float(snap["shards_reclaimed"]))],
+        )
+        text += render_family(
+            "repro_fleet_affinity_total", "counter",
+            "Lease grants by kernel-affinity outcome.",
+            [
+                ({"outcome": "hit"}, float(snap["affinity_hits"])),
+                ({"outcome": "miss"}, float(snap["affinity_misses"])),
+            ],
+        )
+        text += render_family(
+            "repro_fleet_shards_completed_total", "counter",
+            "Shards completed through the fleet queue, by source.",
+            [
+                ({"source": source}, float(count))
+                for source, count in sorted(
+                    snap["shards_completed"].items()
+                )
+            ],
+        )
+        text += render_family(
+            "repro_fleet_completions_rejected_total", "counter",
+            "Late or duplicate completions rejected idempotently.",
+            [
+                ({"reason": reason}, float(count))
+                for reason, count in sorted(
+                    snap["completions_rejected"].items()
+                )
+            ],
+        )
+        text += render_family(
+            "repro_fleet_heartbeats_total", "counter",
+            "Node heartbeats received.",
+            [({}, float(snap["heartbeats"]))],
+        )
+        return text
+
     def _observe_fault(self, kind: FaultKind) -> None:
         self._m_faults.labels(kind=kind.value).inc()
         _LOG.warning("fault.injected", kind=kind.value)
@@ -325,7 +422,7 @@ class MiningService:
             )
             for state in JobState
         }
-        return {
+        payload = {
             "status": "ok",
             "uptime_seconds": round(
                 time.monotonic() - self._started_monotonic, 3
@@ -335,6 +432,9 @@ class MiningService:
             "queue_size": self._queue.qsize(),
             "jobs": jobs,
         }
+        if self.fleet is not None:
+            payload["fleet"] = self.fleet.snapshot()
+        return payload
 
     # ------------------------------------------------------------------
     # Matrix store (content-addressed, exact round-trip)
@@ -377,6 +477,29 @@ class MiningService:
                 [str(name) for name in data["condition_names"]],
             )
         return matrix
+
+    # ------------------------------------------------------------------
+    # Fleet artifact exchange (content-addressed; docs/distributed.md)
+    # ------------------------------------------------------------------
+
+    def matrix_artifact_bytes(self, digest: str) -> Optional[bytes]:
+        """The stored ``.npz`` bytes for a matrix digest, or ``None``.
+
+        Served verbatim over ``GET /artifacts/matrix/<digest>`` — the
+        node re-hashes the reloaded matrix, so a corrupted transfer is
+        rejected there, not silently mined.
+        """
+        path = self._matrix_path(digest)
+        try:
+            return path.read_bytes()
+        except OSError:
+            return None
+
+    def kernel_artifact_bytes(
+        self, digest: str, gamma: float
+    ) -> Optional[bytes]:
+        """The cached pickled kernel for (digest, gamma), or ``None``."""
+        return self.cache.get_kernel_bytes(digest, gamma)
 
     # ------------------------------------------------------------------
     # Public API: submit / status / result / cancel / delete
@@ -742,23 +865,57 @@ class MiningService:
                 pass  # checkpointing is an optimization, never fatal
 
         mine_span = tracer.span("mine", parent=root)
+        shard_provenance: Optional[Dict[str, Any]] = None
         try:
-            outcome = mine_sharded_outcome(
-                matrix,
-                params,
-                n_workers=self.n_workers,
-                index=index,
-                progress_callback=on_progress,
-                should_stop=cancel_event.is_set,
-                start_method=self.start_method,
-                retry=self.retry,
-                fault_plan=self.fault_plan,
-                timeout=self.job_timeout,
-                completed=completed,
-                on_shard_complete=on_shard_complete,
-                tracer=tracer,
-                trace_parent=mine_span.context,
-            )
+            if self.fleet is not None:
+                # Fleet mode: the job is driven through the work queue —
+                # nodes lease shards over HTTP while (optionally) the
+                # coordinator mines unleased shards itself.  Remote and
+                # local results land in the same checkpoints and the
+                # same merge, so the outcome is bit-identical to the
+                # non-fleet path below.
+                local_mine = None
+                if self.fleet.local_mining:
+                    local_mine = make_local_shard_miner(
+                        matrix,
+                        params,
+                        index=index,
+                        fault_plan=self.fault_plan,
+                        should_stop=cancel_event.is_set,
+                        tracer=tracer,
+                        trace_parent=mine_span.context,
+                    )
+                outcome, shard_provenance = self.fleet.run_job(
+                    job_id,
+                    matrix,
+                    params,
+                    matrix_digest=record.matrix_digest,
+                    completed=completed,
+                    on_shard_complete=on_shard_complete,
+                    progress_callback=on_progress,
+                    should_stop=cancel_event.is_set,
+                    timeout=self.job_timeout,
+                    tracer=tracer,
+                    trace_parent=mine_span.context,
+                    local_mine=local_mine,
+                )
+            else:
+                outcome = mine_sharded_outcome(
+                    matrix,
+                    params,
+                    n_workers=self.n_workers,
+                    index=index,
+                    progress_callback=on_progress,
+                    should_stop=cancel_event.is_set,
+                    start_method=self.start_method,
+                    retry=self.retry,
+                    fault_plan=self.fault_plan,
+                    timeout=self.job_timeout,
+                    completed=completed,
+                    on_shard_complete=on_shard_complete,
+                    tracer=tracer,
+                    trace_parent=mine_span.context,
+                )
         except MiningCancelled as error:
             # Keep the last observed counters on the record; shard
             # checkpoints survive, so a resubmission resumes the search.
@@ -817,6 +974,30 @@ class MiningService:
             {str(s): n for s, n in sorted(outcome.failed_attempts.items())}
             or None
         )
+        if shard_provenance is None:
+            # Non-fleet path: synthesize the same per-shard provenance
+            # the fleet reports, so ``status --stats`` answers "who
+            # mined shard N, in how many attempts" uniformly.
+            resumed = set(outcome.resumed_shards)
+            missing = set(outcome.missing_shards)
+            shard_provenance = {}
+            for start in range(matrix.n_conditions):
+                if start in resumed:
+                    shard_provenance[str(start)] = {
+                        "node": "checkpoint", "attempts": 0,
+                    }
+                elif start in missing:
+                    shard_provenance[str(start)] = {
+                        "node": None,
+                        "attempts": outcome.failed_attempts.get(start, 0),
+                    }
+                else:
+                    shard_provenance[str(start)] = {
+                        "node": "local",
+                        "attempts": (
+                            outcome.failed_attempts.get(start, 0) + 1
+                        ),
+                    }
         root.set_attributes(result.statistics.timers.prefixed())
         if outcome.degraded:
             # A degraded payload never enters the result cache: an
@@ -846,6 +1027,7 @@ class MiningService:
                 missing_shards=outcome.missing_shards,
                 resumed_shards=outcome.resumed_shards or None,
                 shard_failures=shard_failures,
+                shard_provenance=shard_provenance,
                 error="; ".join(
                     f"shard {s}: {outcome.shard_errors[s]}"
                     for s in outcome.missing_shards
@@ -871,4 +1053,5 @@ class MiningService:
             missing_shards=None,
             resumed_shards=outcome.resumed_shards or None,
             shard_failures=shard_failures,
+            shard_provenance=shard_provenance,
         )

@@ -257,6 +257,74 @@ class TestClientRetry:
         with pytest.raises(ValueError):
             ServiceClient("http://127.0.0.1:1", **kwargs)
 
+    def test_retries_connection_reset_mid_request(self, stack, monkeypatch):
+        # A reset on an *established* connection surfaces outside
+        # urllib's URLError wrapping — as ConnectionResetError or its
+        # subclass http.client.RemoteDisconnected (a keep-alive socket
+        # the server dropped between requests).  The client must retry
+        # it like any transient failure, not crash the caller.
+        import http.client
+        import urllib.request
+
+        _, client = stack
+        real_urlopen = urllib.request.urlopen
+        calls = {"n": 0}
+
+        def flaky(request, **kwargs):
+            calls["n"] += 1
+            if calls["n"] == 1:
+                raise http.client.RemoteDisconnected(
+                    "Remote end closed connection without response"
+                )
+            if calls["n"] == 2:
+                raise ConnectionResetError(104, "Connection reset by peer")
+            return real_urlopen(request, **kwargs)
+
+        monkeypatch.setattr(urllib.request, "urlopen", flaky)
+        retrying = ServiceClient(
+            client.base_url, connect_retries=3, retry_backoff=0.01
+        )
+        assert retrying.list_jobs() == []
+        assert calls["n"] == 3
+
+    def test_metrics_scrape_retries_connection_reset(
+        self, stack, monkeypatch
+    ):
+        import http.client
+        import urllib.request
+
+        _, client = stack
+        real_urlopen = urllib.request.urlopen
+        calls = {"n": 0}
+
+        def flaky(request, **kwargs):
+            calls["n"] += 1
+            if calls["n"] == 1:
+                raise http.client.RemoteDisconnected(
+                    "Remote end closed connection without response"
+                )
+            return real_urlopen(request, **kwargs)
+
+        monkeypatch.setattr(urllib.request, "urlopen", flaky)
+        retrying = ServiceClient(
+            client.base_url, connect_retries=2, retry_backoff=0.01
+        )
+        assert "repro_http_requests_total" in retrying.metrics()
+        assert calls["n"] == 2
+
+    def test_connection_reset_exhausts_to_the_caller(self, monkeypatch):
+        import urllib.request
+
+        def always_reset(request, **kwargs):
+            raise ConnectionResetError(104, "Connection reset by peer")
+
+        monkeypatch.setattr(urllib.request, "urlopen", always_reset)
+        client = ServiceClient(
+            "http://127.0.0.1:1", connect_retries=1, retry_backoff=0.01
+        )
+        with pytest.raises(ConnectionResetError):
+            client.list_jobs()
+
 
 class TestDegradedOverHTTP:
     def test_degraded_result_is_served_not_409(self, tmp_path,
