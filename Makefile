@@ -2,7 +2,7 @@
 
 PYTHON ?= python
 
-.PHONY: install test coverage bench bench-quick bench-regression examples serve-smoke chaos-smoke trace-smoke fleet-smoke lint lint-full typecheck clean
+.PHONY: install test coverage bench bench-quick bench-regression examples serve-smoke chaos-smoke trace-smoke fleet-smoke load-smoke lint lint-full typecheck clean
 
 install:
 	pip install -e . --no-build-isolation
@@ -67,6 +67,16 @@ trace-smoke:
 # with a single stitched trace (docs/distributed.md).
 fleet-smoke:
 	PYTHONPATH=src $(PYTHON) scripts/fleet_smoke.py
+
+# Load counterpart of serve-smoke: a concurrent submission storm
+# against the selector front door, gating the server-side p99 against
+# LOAD_thresholds.json and requiring zero dropped accepted jobs plus
+# crisp 429/Retry-After shedding under overload (docs/service.md).
+# Laptop-sized by default; CI scales it up (LOAD_CLIENTS=1000).
+LOAD_CLIENTS ?= 32
+LOAD_DURATION ?= 3
+load-smoke:
+	PYTHONPATH=src LOAD_CLIENTS=$(LOAD_CLIENTS) LOAD_DURATION=$(LOAD_DURATION) $(PYTHON) scripts/load_smoke.py
 
 lint:
 	PYTHONPATH=src $(PYTHON) -m repro.analysis src/repro tests benchmarks examples

@@ -1,0 +1,364 @@
+"""Load smoke test: concurrent submission storm against the front door.
+
+Drives the selector-based HTTP front end with many concurrent client
+threads (``LOAD_CLIENTS``, default 32 for laptops; CI runs 1000) for
+``LOAD_DURATION`` seconds and asserts the two properties admission
+control promises (docs/service.md):
+
+1. **Bounded tail latency** — the server-side p99 of
+   ``repro_http_request_seconds`` (service time, long-poll park
+   excluded) must stay under the committed threshold in
+   ``LOAD_thresholds.json``.  The full latency summary is written as
+   JSON (``LOAD_SUMMARY``, default ``load-summary.json``) and uploaded
+   as a CI artifact, so regressions come with the evidence attached.
+2. **Zero dropped accepted jobs** — every job id returned by a
+   successful submission must reach a result state.  Sheds (429) are
+   fine — that is the design — but an *accepted* job that vanishes is
+   a bug.
+
+A second mini-phase boots a deliberately tiny server (one worker,
+depth-1 queue) and requires overload to surface as typed
+:class:`ServiceBusy` errors carrying ``Retry-After``, with the
+``repro_http_shed_total`` counter visible in ``/metrics`` — the
+degrade-by-refusal contract, end to end.
+
+Environment knobs: ``LOAD_CLIENTS``, ``LOAD_DURATION`` (seconds),
+``LOAD_SUMMARY``, ``LOAD_THRESHOLDS``.  Exit status 0 on success.
+Used by ``make load-smoke`` and the CI ``load-smoke`` job.
+"""
+
+from __future__ import annotations
+
+import json
+import os
+import sys
+import tempfile
+import threading
+import time
+from typing import Any, Dict, List
+
+from repro.core.params import MiningParameters
+from repro.matrix.expression import ExpressionMatrix
+from repro.service import MiningService, ServiceBusy, ServiceClient, serve
+from repro.service.jobs import parameters_to_dict
+
+CLIENTS = int(os.environ.get("LOAD_CLIENTS", "32"))
+DURATION = float(os.environ.get("LOAD_DURATION", "3"))
+SUMMARY_PATH = os.environ.get("LOAD_SUMMARY", "load-summary.json")
+THRESHOLDS_PATH = os.environ.get("LOAD_THRESHOLDS", "LOAD_thresholds.json")
+
+#: Distinct tiny matrices shared by all clients: submissions dedupe
+#: onto this many jobs (idempotent by content + parameters), so the
+#: storm exercises the front door, not the miner.
+N_MATRICES = 8
+
+PARAMS = MiningParameters(
+    min_genes=2, min_conditions=3, gamma=0.3, epsilon=0.5
+)
+
+PRIORITIES = ("high", "normal", "low")
+
+
+def _matrix(index: int) -> ExpressionMatrix:
+    """A deterministic 6x6 matrix, distinct per index."""
+    values = [
+        [((row * 7 + col * 3 + index) % 11) + index * 0.125
+         for col in range(6)]
+        for row in range(6)
+    ]
+    return ExpressionMatrix(values)
+
+
+class _Tally:
+    """Cross-thread counters for the storm phase."""
+
+    def __init__(self) -> None:
+        self.lock = threading.Lock()
+        self.latencies: List[float] = []
+        self.submissions = 0
+        self.requests = 0
+        self.busy_retries_exhausted = 0
+        self.errors: List[str] = []
+        self.job_ids: set = set()
+        self.in_flight = 0
+        self.peak_in_flight = 0
+
+    def enter(self) -> None:
+        with self.lock:
+            self.in_flight += 1
+            self.peak_in_flight = max(self.peak_in_flight, self.in_flight)
+
+    def leave(self) -> None:
+        with self.lock:
+            self.in_flight -= 1
+
+
+def _storm_client(
+    index: int, base_url: str, barrier: threading.Barrier, tally: _Tally,
+    deadline_box: Dict[str, float],
+) -> None:
+    client = ServiceClient(
+        base_url,
+        connect_retries=8,
+        retry_backoff=0.05,
+        tenant=f"team-{index % 4}",
+    )
+    matrices = [_matrix(k) for k in range(N_MATRICES)]
+    barrier.wait()
+    if "deadline" not in deadline_box:  # first thread through sets it
+        deadline_box.setdefault("deadline", time.monotonic() + DURATION)
+    deadline = deadline_box["deadline"]
+    iteration = 0
+    while time.monotonic() < deadline:
+        matrix = matrices[(index + iteration) % N_MATRICES]
+        priority = PRIORITIES[iteration % len(PRIORITIES)]
+        try:
+            tally.enter()
+            started = time.monotonic()
+            record = client.submit_matrix(
+                matrix, parameters_to_dict(PARAMS), priority=priority
+            )
+            elapsed = time.monotonic() - started
+            with tally.lock:
+                tally.submissions += 1
+                tally.requests += 1
+                tally.latencies.append(elapsed)
+                tally.job_ids.add(record["job_id"])
+        except ServiceBusy:
+            with tally.lock:
+                tally.busy_retries_exhausted += 1
+        except Exception as error:  # noqa: BLE001 — summarized below
+            with tally.lock:
+                tally.errors.append(f"submit: {error!r}")
+            return
+        finally:
+            tally.leave()
+        try:
+            tally.enter()
+            started = time.monotonic()
+            client.status(record["job_id"])
+            elapsed = time.monotonic() - started
+            with tally.lock:
+                tally.requests += 1
+                tally.latencies.append(elapsed)
+        except ServiceBusy:
+            with tally.lock:
+                tally.busy_retries_exhausted += 1
+        except Exception as error:  # noqa: BLE001
+            with tally.lock:
+                tally.errors.append(f"status: {error!r}")
+            return
+        finally:
+            tally.leave()
+        iteration += 1
+
+
+def _percentile(values: List[float], q: float) -> float:
+    if not values:
+        return float("nan")
+    ordered = sorted(values)
+    rank = min(len(ordered) - 1, max(0, int(q * len(ordered)) - 1))
+    return ordered[rank]
+
+
+def storm_phase() -> Dict[str, Any]:
+    """Phase 1: the submission storm; returns the latency summary."""
+    with tempfile.TemporaryDirectory(prefix="reg-cluster-load-") as store:
+        service = MiningService(store)
+        server = serve(
+            service,
+            max_connections=max(2048, 2 * CLIENTS),
+            queue_depth=max(512, CLIENTS),
+            http_workers=16,
+        )
+        thread = threading.Thread(target=server.serve_forever, daemon=True)
+        thread.start()
+        service.start()
+        host, port = server.server_address[0], server.server_address[1]
+        base_url = f"http://{host}:{port}"
+        print(f"load: daemon on {base_url}, {CLIENTS} clients, "
+              f"{DURATION:g}s storm")
+        tally = _Tally()
+        barrier = threading.Barrier(CLIENTS)
+        deadline_box: Dict[str, float] = {}
+        try:
+            threads = [
+                threading.Thread(
+                    target=_storm_client,
+                    args=(i, base_url, barrier, tally, deadline_box),
+                    daemon=True,
+                )
+                for i in range(CLIENTS)
+            ]
+            for worker in threads:
+                worker.start()
+            for worker in threads:
+                worker.join(timeout=DURATION + 120.0)
+            alive = sum(1 for worker in threads if worker.is_alive())
+            if alive:
+                print(f"load: FAIL — {alive} client thread(s) hung")
+                return {"failed": True}
+            if tally.errors:
+                print(f"load: FAIL — {len(tally.errors)} client error(s), "
+                      f"first: {tally.errors[0]}")
+                return {"failed": True}
+
+            # Zero dropped accepted jobs: every accepted id must reach
+            # a result state.
+            waiter = ServiceClient(base_url, connect_retries=8)
+            dropped = []
+            for job_id in sorted(tally.job_ids):
+                record = waiter.wait(job_id, timeout=120.0)
+                if record["state"] not in ("done", "degraded"):
+                    dropped.append((job_id, record["state"]))
+            if dropped:
+                print(f"load: FAIL — accepted jobs dropped: {dropped}")
+                return {"failed": True}
+
+            # Server-side latency: the p99 the threshold file gates.
+            latency = service.metrics.histogram(
+                "repro_http_request_seconds",
+                "HTTP request latency in seconds, by method "
+                "(long-poll park time excluded).",
+                labelnames=("method",),
+            )
+            server_p50 = max(
+                latency.labels(method=m).quantile(0.5)
+                for m in ("GET", "POST")
+            )
+            server_p99 = max(
+                latency.labels(method=m).quantile(0.99)
+                for m in ("GET", "POST")
+            )
+            metrics_text = service.metrics.render()
+            shed_lines = [
+                line for line in metrics_text.splitlines()
+                if line.startswith("repro_http_shed_total")
+            ]
+            summary = {
+                "clients": CLIENTS,
+                "duration_seconds": DURATION,
+                "requests_total": tally.requests,
+                "submissions_total": tally.submissions,
+                "distinct_jobs": len(tally.job_ids),
+                "jobs_all_finished": True,
+                "peak_in_flight": tally.peak_in_flight,
+                "busy_after_retries": tally.busy_retries_exhausted,
+                "client": {
+                    "p50_seconds": _percentile(tally.latencies, 0.50),
+                    "p95_seconds": _percentile(tally.latencies, 0.95),
+                    "p99_seconds": _percentile(tally.latencies, 0.99),
+                },
+                "server": {
+                    "p50_seconds": server_p50,
+                    "p99_seconds": server_p99,
+                },
+                "sheds": shed_lines,
+            }
+            print(f"load: {tally.requests} requests from {CLIENTS} "
+                  f"clients (peak in-flight {tally.peak_in_flight}), "
+                  f"{len(tally.job_ids)} distinct jobs all finished")
+            print(f"load: server p50 {server_p50 * 1000:.1f}ms, "
+                  f"p99 {server_p99 * 1000:.1f}ms; client p99 "
+                  f"{summary['client']['p99_seconds'] * 1000:.1f}ms")
+            return summary
+        finally:
+            service.stop()
+            server.shutdown()
+            server.server_close()
+            thread.join(timeout=5)
+
+
+def overload_phase() -> bool:
+    """Phase 2: a tiny server must refuse crisply, not collapse."""
+    with tempfile.TemporaryDirectory(prefix="reg-cluster-load-") as store:
+        service = MiningService(store)  # never started: long-polls park
+        server = serve(service, http_workers=1, queue_depth=1)
+        thread = threading.Thread(target=server.serve_forever, daemon=True)
+        thread.start()
+        host, port = server.server_address[0], server.server_address[1]
+        base_url = f"http://{host}:{port}"
+        try:
+            client = ServiceClient(base_url, connect_retries=8)
+            record = client.submit_matrix(
+                _matrix(0), parameters_to_dict(PARAMS)
+            )
+            job_id = record["job_id"]
+            impatient = ServiceClient(base_url, connect_retries=0)
+
+            parked: List[Any] = []
+
+            def park(wait_s: float) -> None:
+                try:
+                    parked.append(
+                        impatient.wait_for_change(job_id, wait=wait_s)
+                    )
+                except ServiceBusy:
+                    parked.append(None)
+
+            first = threading.Thread(target=park, args=(2.0,), daemon=True)
+            first.start()
+            time.sleep(0.3)
+            second = threading.Thread(target=park, args=(0.5,), daemon=True)
+            second.start()
+            time.sleep(0.2)
+            try:
+                impatient.status(job_id)
+            except ServiceBusy as busy:
+                if busy.retry_after < 1.0:
+                    print(f"load: FAIL — Retry-After hint "
+                          f"{busy.retry_after}, expected >= 1")
+                    return False
+                print(f"load: overload surfaced as ServiceBusy "
+                      f"(retry after {busy.retry_after:g}s)")
+            else:
+                print("load: FAIL — full queue did not shed with 429")
+                return False
+            first.join(timeout=10)
+            second.join(timeout=10)
+            text = ServiceClient(base_url).metrics()
+            if "repro_http_shed_total" not in text:
+                print("load: FAIL — shed counter missing from /metrics")
+                return False
+            print("load: shed counter visible in /metrics")
+            return True
+        finally:
+            service.stop()
+            server.shutdown()
+            server.server_close()
+            thread.join(timeout=5)
+
+
+def main() -> int:
+    summary = storm_phase()
+    if summary.get("failed"):
+        return 1
+    if not overload_phase():
+        return 1
+
+    with open(SUMMARY_PATH, "w", encoding="utf-8") as handle:
+        json.dump(summary, handle, indent=2, sort_keys=True)
+        handle.write("\n")
+    print(f"load: summary written to {SUMMARY_PATH}")
+
+    try:
+        with open(THRESHOLDS_PATH, encoding="utf-8") as handle:
+            thresholds = json.load(handle)
+    except FileNotFoundError:
+        print(f"load: FAIL — threshold file {THRESHOLDS_PATH} missing "
+              f"(commit one; the CI gate needs it)")
+        return 1
+    ceiling = float(thresholds["server_p99_seconds"])
+    p99 = summary["server"]["p99_seconds"]
+    if not p99 <= ceiling:
+        print(f"load: FAIL — server p99 {p99:.3f}s exceeds the committed "
+              f"threshold {ceiling:.3f}s ({THRESHOLDS_PATH})")
+        return 1
+    print(f"load: p99 {p99 * 1000:.1f}ms within threshold "
+          f"{ceiling * 1000:.0f}ms")
+    print("load: OK")
+    return 0
+
+
+if __name__ == "__main__":
+    sys.exit(main())

@@ -224,6 +224,34 @@ def build_parser() -> argparse.ArgumentParser:
         help="with --fleet: never mine shards on the coordinator "
         "itself, leave all mining to the nodes",
     )
+    serve.add_argument(
+        "--max-connections", type=int, default=None, metavar="N",
+        help="concurrent HTTP connections before accept-time shedding "
+        "with 429 (default: 512; docs/service.md)",
+    )
+    serve.add_argument(
+        "--queue-depth", type=int, default=None, metavar="N",
+        help="parsed requests waiting for an HTTP worker before "
+        "shedding with 429 + Retry-After (default: 256)",
+    )
+    serve.add_argument(
+        "--http-workers", type=int, default=None, metavar="N",
+        help="HTTP worker threads behind the event loop (default: 8)",
+    )
+    serve.add_argument(
+        "--tenant-rate", type=float, default=None, metavar="R",
+        help="per-tenant token-bucket refill rate in requests/second "
+        "keyed on X-Repro-Tenant (default: no rate limiting)",
+    )
+    serve.add_argument(
+        "--tenant-burst", type=float, default=None, metavar="B",
+        help="with --tenant-rate: bucket capacity (default: 2x rate)",
+    )
+    serve.add_argument(
+        "--tenant-quota", type=int, default=None, metavar="N",
+        help="max in-flight requests per tenant; excess sheds with "
+        "429 (default: no quota)",
+    )
 
     node = sub.add_parser(
         "node",
@@ -282,8 +310,18 @@ def build_parser() -> argparse.ArgumentParser:
                         help="coherence threshold >= 0")
     submit.add_argument("--max-clusters", type=int, default=None)
     submit.add_argument(
+        "--priority", choices=["high", "normal", "low"], default=None,
+        help="executor priority class (weighted-fair dequeue; "
+        "default: normal)",
+    )
+    submit.add_argument(
+        "--tenant", default=None, metavar="NAME",
+        help="tenant tag sent as X-Repro-Tenant for the daemon's "
+        "admission accounting",
+    )
+    submit.add_argument(
         "--wait", action="store_true",
-        help="poll until the job finishes and print the outcome",
+        help="long-poll until the job finishes and print the outcome",
     )
     submit.add_argument(
         "--timeout", type=float, default=300.0,
@@ -620,7 +658,15 @@ def _cmd_serve(args: argparse.Namespace) -> int:
         trace_dir=args.trace_dir,
         **fleet_kwargs,
     )
-    server = serve(service, args.host, args.port, quiet=not args.verbose)
+    server = serve(
+        service, args.host, args.port, quiet=not args.verbose,
+        max_connections=args.max_connections,
+        queue_depth=args.queue_depth,
+        http_workers=args.http_workers,
+        tenant_rate=args.tenant_rate,
+        tenant_burst=args.tenant_burst,
+        tenant_quota=args.tenant_quota,
+    )
     host, port = server.server_address[0], server.server_address[1]
     print(
         f"serving on http://{host}:{port} "
@@ -675,10 +721,12 @@ def _cmd_submit(args: argparse.Namespace) -> int:
     from repro.service.jobs import parameters_to_dict
 
     matrix = load_expression_matrix(args.path)
-    client = ServiceClient(args.url)
+    client = ServiceClient(args.url, tenant=args.tenant)
     try:
         record = client.submit_matrix(
-            matrix, parameters_to_dict(args.parameters)
+            matrix,
+            parameters_to_dict(args.parameters),
+            priority=args.priority,
         )
         print(f"job {record['job_id']} {record['state']}")
         if not args.wait:
@@ -724,10 +772,10 @@ def _cmd_status(args: argparse.Namespace) -> int:
     except ServiceError as error:
         print(f"error: {error.message}", file=sys.stderr)
         return 2
-    for key in ("job_id", "state", "matrix_digest", "submitted_at",
-                "started_at", "finished_at", "error", "index_cache_hit",
-                "kernel_cache_hit", "result_cache_hit", "missing_shards",
-                "resumed_shards", "shard_failures"):
+    for key in ("job_id", "state", "priority", "tenant", "matrix_digest",
+                "submitted_at", "started_at", "finished_at", "error",
+                "index_cache_hit", "kernel_cache_hit", "result_cache_hit",
+                "missing_shards", "resumed_shards", "shard_failures"):
         value = record.get(key)
         if value is not None:
             print(f"{key}: {value}")

@@ -307,6 +307,37 @@ class Histogram(_Metric):
         with child._lock:
             return child._sum
 
+    def quantile(self, q: float) -> float:
+        """Estimate the ``q``-quantile (0..1) from the bucket counts.
+
+        Linear interpolation inside the winning bucket, the standard
+        Prometheus ``histogram_quantile`` estimate: exact only at
+        bucket bounds, but plenty for p50/p99 dashboards and the load
+        harness.  Returns ``nan`` with no observations; the top bound
+        when the quantile lands in the ``+Inf`` bucket (the estimate
+        cannot exceed the largest finite bound).
+        """
+        if not 0.0 <= q <= 1.0:
+            raise ValueError(f"quantile must be in [0, 1], got {q}")
+        child = self._self_child()
+        assert isinstance(child, Histogram)
+        with child._lock:
+            counts = list(child._bucket_counts)
+            total = child._count
+        if total == 0:
+            return math.nan
+        rank = q * total
+        cumulative = 0
+        for index, count in enumerate(counts):
+            previous = cumulative
+            cumulative += count
+            if cumulative >= rank and count > 0:
+                lower = 0.0 if index == 0 else child.bounds[index - 1]
+                upper = child.bounds[index]
+                fraction = (rank - previous) / count
+                return lower + (upper - lower) * min(1.0, fraction)
+        return child.bounds[-1]
+
     def _render_samples(self, labels: Mapping[str, str]) -> List[str]:
         with self._lock:
             counts = list(self._bucket_counts)

@@ -30,7 +30,9 @@ from repro.service.fleet import (
     shard_from_wire,
     shard_to_wire,
 )
+from repro.service.frontdoor import FrontDoorServer
 from repro.service.http import (
+    ServiceBusy,
     ServiceClient,
     ServiceError,
     ServiceHTTPServer,
@@ -64,12 +66,14 @@ __all__ = [
     "FaultSpec",
     "FleetNode",
     "FleetState",
+    "FrontDoorServer",
     "JobRecord",
     "JobState",
     "JobStore",
     "MiningService",
     "RESULT_STATES",
     "RetryPolicy",
+    "ServiceBusy",
     "ServiceClient",
     "ServiceError",
     "ServiceHTTPServer",

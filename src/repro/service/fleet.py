@@ -994,18 +994,20 @@ class FleetNode:
     ) -> None:
         if workers < 1:
             raise ValueError(f"workers must be >= 1, got {workers}")
-        if client is None:
-            # Imported here: http.py imports service.py which imports
-            # this module, so a module-level import would be a cycle.
-            from repro.service.http import ServiceClient
-
-            client = ServiceClient(coordinator_url)
-        self.client = client
         self.node_id = (
             node_id
             if node_id is not None
             else f"{socket.gethostname()}-{os.getpid()}"
         )
+        if client is None:
+            # Imported here: http.py imports service.py which imports
+            # this module, so a module-level import would be a cycle.
+            from repro.service.http import ServiceClient
+
+            # The node's id doubles as its tenant tag, so coordinator
+            # admission metrics attribute fleet traffic per node.
+            client = ServiceClient(coordinator_url, tenant=self.node_id)
+        self.client = client
         self.workers = workers
         self.cache_dir = (
             Path(cache_dir)

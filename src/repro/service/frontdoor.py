@@ -1,0 +1,743 @@
+"""Selector-based HTTP front door with admission control.
+
+The daemon's old front end was a ``ThreadingHTTPServer`` — one OS
+thread per connection, unbounded accept, no backpressure.  This module
+replaces it with the classic single-loop design:
+
+* one **event loop** (the thread that calls :meth:`serve_forever`)
+  owns every socket: it accepts, reads, incrementally parses HTTP/1.1,
+  and writes responses, all non-blocking under one
+  :class:`selectors.DefaultSelector`;
+* fully-parsed requests are handed to a small **bounded worker pool**
+  that runs :class:`~repro.service.router.ServiceRouter` (store reads,
+  submissions, long-polls) and posts finished responses back to the
+  loop over a self-pipe;
+* **admission control** happens in the loop, before any work is
+  queued: a connection cap (shed at accept), a bounded request queue
+  (shed on overflow), and optional per-tenant token-bucket rate limits
+  and in-flight quotas keyed on the ``X-Repro-Tenant`` header.  Shed
+  requests get ``429`` with a ``Retry-After`` hint instead of a thread
+  pile-up — under overload the daemon degrades by refusing crisply,
+  not by collapsing.
+
+``/healthz`` and ``/metrics`` are answered inline by the loop itself —
+never queued, never shed, never faulted — so observability stays up
+exactly when admission control is busiest.  Internal cluster traffic
+(``/fleet/*``, ``/artifacts/*``) bypasses tenant accounting but still
+rides the bounded queue.
+
+The public surface matches the old server where callers touched it:
+``serve()`` returns an object with ``serve_forever()`` /
+``shutdown()`` / ``server_close()`` / ``server_address``, and the
+``repro_http_requests_total`` / ``repro_http_request_seconds``
+families keep their names and labels.  New families are documented in
+``docs/observability.md``.
+"""
+
+from __future__ import annotations
+
+import math
+import queue
+import selectors
+import socket
+import threading
+import time
+from collections import deque
+from http.client import responses as _STATUS_REASONS
+from typing import Any, Deque, Dict, List, Optional, Tuple
+
+from repro.obs.log import get_logger
+from repro.service.resilience import FaultPlan
+from repro.service.router import (
+    MAX_BODY_BYTES,
+    Request,
+    Response,
+    ServiceRouter,
+)
+from repro.service.service import MiningService
+
+_LOG = get_logger("repro.service.http")
+
+__all__ = [
+    "FrontDoorServer",
+    "TokenBucket",
+    "DEFAULT_MAX_CONNECTIONS",
+    "DEFAULT_QUEUE_DEPTH",
+    "DEFAULT_HTTP_WORKERS",
+]
+
+#: Concurrent connections before accept-time shedding.
+DEFAULT_MAX_CONNECTIONS = 512
+
+#: Parsed requests waiting for a worker before queue shedding.
+DEFAULT_QUEUE_DEPTH = 256
+
+#: Worker threads running the router (store reads + long-poll parks).
+DEFAULT_HTTP_WORKERS = 8
+
+#: Refuse request heads (request line + headers) beyond this size.
+MAX_HEAD_BYTES = 64 * 1024
+
+#: Paths served inline by the event loop (never queued or shed).
+_INLINE_PATHS = frozenset({"/healthz", "/metrics"})
+
+#: Path prefixes exempt from tenant rate limits and quotas: cluster
+#: traffic (fleet nodes, artifact pulls) is not billable user load.
+_INTERNAL_PREFIXES = ("/fleet/", "/artifacts/")
+
+_CANNED_429_BODY = b'{"error": "connection limit reached"}'
+_CANNED_429 = (
+    b"HTTP/1.1 429 Too Many Requests\r\n"
+    b"Content-Type: application/json\r\n"
+    b"Retry-After: 1\r\n"
+    b"Content-Length: " + str(len(_CANNED_429_BODY)).encode("ascii")
+    + b"\r\n"
+    b"Connection: close\r\n"
+    b"\r\n" + _CANNED_429_BODY
+)
+
+
+class TokenBucket:
+    """A token bucket: ``rate`` tokens/second, ``burst`` capacity.
+
+    Used per tenant by the front door; only ever touched from the
+    event-loop thread, so it carries no lock.
+    """
+
+    def __init__(self, rate: float, burst: float) -> None:
+        if rate <= 0.0:
+            raise ValueError(f"rate must be > 0, got {rate}")
+        if burst < 1.0:
+            raise ValueError(f"burst must be >= 1, got {burst}")
+        self.rate = float(rate)
+        self.burst = float(burst)
+        self.tokens = float(burst)
+        self._stamp = time.monotonic()
+
+    def try_take(self) -> bool:
+        """Take one token if available (refilling lazily)."""
+        now = time.monotonic()
+        self.tokens = min(
+            self.burst, self.tokens + (now - self._stamp) * self.rate
+        )
+        self._stamp = now
+        if self.tokens >= 1.0:
+            self.tokens -= 1.0
+            return True
+        return False
+
+    def retry_after(self) -> float:
+        """Seconds until the next token exists (0 when one does)."""
+        if self.tokens >= 1.0:
+            return 0.0
+        return (1.0 - self.tokens) / self.rate
+
+
+class _Connection:
+    """Per-socket parse/write state, owned by the event loop."""
+
+    __slots__ = (
+        "sock",
+        "address",
+        "inbuf",
+        "outbuf",
+        "busy",
+        "close_after_flush",
+    )
+
+    def __init__(self, sock: socket.socket, address: Tuple[str, int]):
+        self.sock = sock
+        self.address = address
+        self.inbuf = bytearray()
+        self.outbuf = bytearray()
+        #: a request from this connection is queued or executing; no
+        #: further pipelined requests are parsed until it flushes
+        self.busy = False
+        self.close_after_flush = False
+
+
+class _Task:
+    """One admitted request travelling loop -> worker -> loop."""
+
+    __slots__ = ("conn", "request", "started", "tenant", "quota_held")
+
+    def __init__(
+        self,
+        conn: _Connection,
+        request: Request,
+        started: float,
+        tenant: Optional[str],
+        quota_held: bool,
+    ) -> None:
+        self.conn = conn
+        self.request = request
+        self.started = started
+        #: tenant billed for this request (None = internal traffic)
+        self.tenant = tenant
+        #: True when this request holds one in-flight quota slot
+        self.quota_held = quota_held
+
+
+class FrontDoorServer:
+    """The selector-based HTTP front end bound to one service.
+
+    Drop-in for the old ``ServiceHTTPServer`` where callers touched
+    it: construct, run :meth:`serve_forever` on a thread, stop with
+    :meth:`shutdown` + :meth:`server_close`.
+    """
+
+    def __init__(
+        self,
+        address: Tuple[str, int],
+        service: MiningService,
+        *,
+        quiet: bool = True,
+        fault_plan: Optional[FaultPlan] = None,
+        max_connections: int = DEFAULT_MAX_CONNECTIONS,
+        queue_depth: int = DEFAULT_QUEUE_DEPTH,
+        http_workers: int = DEFAULT_HTTP_WORKERS,
+        tenant_rate: Optional[float] = None,
+        tenant_burst: Optional[float] = None,
+        tenant_quota: Optional[int] = None,
+    ) -> None:
+        if max_connections < 1:
+            raise ValueError(
+                f"max_connections must be >= 1, got {max_connections}"
+            )
+        if queue_depth < 1:
+            raise ValueError(f"queue_depth must be >= 1, got {queue_depth}")
+        if http_workers < 1:
+            raise ValueError(
+                f"http_workers must be >= 1, got {http_workers}"
+            )
+        if tenant_rate is not None and tenant_rate <= 0.0:
+            raise ValueError(f"tenant_rate must be > 0, got {tenant_rate}")
+        if tenant_quota is not None and tenant_quota < 1:
+            raise ValueError(
+                f"tenant_quota must be >= 1, got {tenant_quota}"
+            )
+        self.service = service
+        self.quiet = quiet
+        self.fault_plan = (
+            fault_plan if fault_plan is not None else service.fault_plan
+        )
+        self.router = ServiceRouter(service, fault_plan=self.fault_plan)
+        self.max_connections = max_connections
+        self.queue_depth = queue_depth
+        self.http_workers = http_workers
+        self.tenant_rate = tenant_rate
+        self.tenant_burst = (
+            float(tenant_burst)
+            if tenant_burst is not None
+            else (max(1.0, 2.0 * tenant_rate) if tenant_rate else None)
+        )
+        self.tenant_quota = tenant_quota
+
+        # -- sockets / loop state (loop thread only, after bind) ------
+        self._listener = socket.create_server(
+            address, backlog=min(1024, max_connections)
+        )
+        self._listener.setblocking(False)
+        self.server_address: Tuple[str, int] = self._listener.getsockname()[
+            :2
+        ]
+        self._selector = selectors.DefaultSelector()
+        self._wake_recv, self._wake_send = socket.socketpair()
+        self._wake_recv.setblocking(False)
+        self._wake_send.setblocking(False)
+        self._connections: Dict[int, _Connection] = {}
+        self._tasks: "queue.Queue[Optional[_Task]]" = queue.Queue(
+            maxsize=queue_depth
+        )
+        self._done: Deque[Tuple[_Task, Response]] = deque()
+        self._buckets: Dict[str, TokenBucket] = {}
+        self._inflight: Dict[str, int] = {}
+        self._workers: List[threading.Thread] = []
+        self._shutdown_requested = threading.Event()
+        self._loop_done = threading.Event()
+        self._loop_done.set()
+        self._closed = False
+
+        # -- metrics (names pinned by tests and dashboards) -----------
+        metrics = service.metrics
+        self._m_requests = metrics.counter(
+            "repro_http_requests_total",
+            "HTTP requests served, by method and status.",
+            labelnames=("method", "status"),
+        )
+        self._m_latency = metrics.histogram(
+            "repro_http_request_seconds",
+            "HTTP request latency in seconds, by method "
+            "(long-poll park time excluded).",
+            labelnames=("method",),
+        )
+        self._m_connections = metrics.gauge(
+            "repro_http_connections_current",
+            "Open HTTP connections right now.",
+        )
+        self._m_queue_depth = metrics.gauge(
+            "repro_http_queue_depth",
+            "Parsed requests waiting for a worker right now.",
+        )
+        self._m_shed = metrics.counter(
+            "repro_http_shed_total",
+            "Requests shed by admission control, by reason "
+            "(connections, queue, rate, quota).",
+            labelnames=("reason",),
+        )
+        self._m_admitted = metrics.counter(
+            "repro_http_admitted_total",
+            "Requests admitted past tenant accounting, by tenant.",
+            labelnames=("tenant",),
+        )
+        self._m_longpoll = metrics.histogram(
+            "repro_http_longpoll_wait_seconds",
+            "Seconds long-poll requests spent parked before answering.",
+        )
+
+    # -- lifecycle -----------------------------------------------------
+
+    def serve_forever(self, poll_interval: float = 0.5) -> None:
+        """Run the event loop until :meth:`shutdown` (blocking)."""
+        self._loop_done.clear()
+        self._start_workers()
+        self._selector.register(self._listener, selectors.EVENT_READ, None)
+        self._selector.register(
+            self._wake_recv, selectors.EVENT_READ, "wake"
+        )
+        try:
+            while not self._shutdown_requested.is_set():
+                events = self._selector.select(timeout=poll_interval)
+                for key, mask in events:
+                    if key.fileobj is self._listener:
+                        self._accept()
+                    elif key.data == "wake":
+                        self._drain_wake()
+                    else:
+                        conn = key.data
+                        assert isinstance(conn, _Connection)
+                        if mask & selectors.EVENT_READ:
+                            self._readable(conn)
+                        if mask & selectors.EVENT_WRITE:
+                            self._writable(conn)
+                self._drain_done()
+        finally:
+            for key in list(self._selector.get_map().values()):
+                try:
+                    self._selector.unregister(key.fileobj)
+                except (KeyError, ValueError):
+                    pass
+            self._loop_done.set()
+
+    def shutdown(self) -> None:
+        """Stop the loop; blocks until :meth:`serve_forever` returns."""
+        self._shutdown_requested.set()
+        self._wake()
+        self._loop_done.wait()
+        for _ in self._workers:
+            try:
+                self._tasks.put_nowait(None)
+            except queue.Full:  # workers will see the event instead
+                break
+
+    def server_close(self) -> None:
+        """Release sockets (call after :meth:`shutdown`)."""
+        if self._closed:
+            return
+        self._closed = True
+        self._shutdown_requested.set()
+        for conn in list(self._connections.values()):
+            try:
+                conn.sock.close()
+            except OSError:
+                pass
+        self._connections.clear()
+        for sock in (self._listener, self._wake_recv, self._wake_send):
+            try:
+                sock.close()
+            except OSError:
+                pass
+        self._selector.close()
+
+    def _start_workers(self) -> None:
+        if self._workers:
+            return
+        for index in range(self.http_workers):
+            worker = threading.Thread(
+                target=self._worker_loop,
+                name=f"repro-http-worker-{index}",
+                daemon=True,
+            )
+            worker.start()
+            self._workers.append(worker)
+
+    # -- event-loop internals (loop thread only) -----------------------
+
+    def _wake(self) -> None:
+        try:
+            self._wake_send.send(b"x")
+        except (OSError, ValueError):
+            pass
+
+    def _drain_wake(self) -> None:
+        try:
+            while self._wake_recv.recv(4096):
+                pass
+        except (BlockingIOError, OSError):
+            pass
+
+    def _accept(self) -> None:
+        for _ in range(64):  # drain a burst per loop turn, then yield
+            try:
+                sock, address = self._listener.accept()
+            except (BlockingIOError, OSError):
+                return
+            if len(self._connections) >= self.max_connections:
+                self._m_shed.labels(reason="connections").inc()
+                if not self.quiet:
+                    _LOG.warning(
+                        "http.shed", reason="connections",
+                        client=address[0],
+                    )
+                try:
+                    sock.setblocking(False)
+                    sock.send(_CANNED_429)
+                except OSError:
+                    pass
+                try:
+                    sock.close()
+                except OSError:
+                    pass
+                continue
+            sock.setblocking(False)
+            conn = _Connection(sock, address)
+            self._connections[sock.fileno()] = conn
+            self._m_connections.set(float(len(self._connections)))
+            self._selector.register(sock, selectors.EVENT_READ, conn)
+
+    def _close_connection(self, conn: _Connection) -> None:
+        try:
+            self._selector.unregister(conn.sock)
+        except (KeyError, ValueError):
+            pass
+        self._connections.pop(conn.sock.fileno(), None)
+        self._m_connections.set(float(len(self._connections)))
+        try:
+            conn.sock.close()
+        except OSError:
+            pass
+
+    def _readable(self, conn: _Connection) -> None:
+        try:
+            chunk = conn.sock.recv(65536)
+        except BlockingIOError:
+            return
+        except (ConnectionResetError, OSError):
+            self._close_connection(conn)
+            return
+        if not chunk:
+            self._close_connection(conn)
+            return
+        conn.inbuf.extend(chunk)
+        if conn.busy:
+            # A response is in flight; pipelined bytes wait in the
+            # buffer, but a client streaming unbounded data while we
+            # are not parsing gets cut off.
+            if len(conn.inbuf) > MAX_HEAD_BYTES + MAX_BODY_BYTES:
+                self._close_connection(conn)
+            return
+        self._try_parse(conn)
+
+    def _writable(self, conn: _Connection) -> None:
+        if conn.outbuf:
+            try:
+                sent = conn.sock.send(bytes(conn.outbuf))
+            except BlockingIOError:
+                return
+            except (BrokenPipeError, ConnectionResetError, OSError):
+                self._close_connection(conn)
+                return
+            del conn.outbuf[:sent]
+        if conn.outbuf:
+            return
+        if conn.close_after_flush:
+            self._close_connection(conn)
+            return
+        # Response flushed: back to reading, and serve any pipelined
+        # request already sitting in the buffer.
+        conn.busy = False
+        try:
+            self._selector.modify(conn.sock, selectors.EVENT_READ, conn)
+        except (KeyError, ValueError):
+            return
+        self._try_parse(conn)
+
+    def _try_parse(self, conn: _Connection) -> None:
+        """Parse at most one request off the buffer and dispatch it."""
+        head_end = conn.inbuf.find(b"\r\n\r\n")
+        if head_end < 0:
+            if len(conn.inbuf) > MAX_HEAD_BYTES:
+                self._respond_error(
+                    conn, None, 431, "request header too large", close=True
+                )
+            return
+        head = bytes(conn.inbuf[:head_end]).decode("latin-1")
+        lines = head.split("\r\n")
+        parts = lines[0].split(" ")
+        if len(parts) != 3 or not parts[2].startswith("HTTP/1."):
+            self._respond_error(conn, None, 400, "bad request line",
+                                close=True)
+            return
+        method, target, _version = parts
+        if method not in ("GET", "POST", "DELETE"):
+            self._respond_error(
+                conn, None, 405, f"method {method} not allowed", close=True
+            )
+            return
+        headers: Dict[str, str] = {}
+        for line in lines[1:]:
+            name, sep, value = line.partition(":")
+            if sep:
+                headers[name.strip().lower()] = value.strip()
+        try:
+            length = int(headers.get("content-length") or 0)
+        except ValueError:
+            self._respond_error(conn, None, 400, "bad Content-Length",
+                                close=True)
+            return
+        if length > MAX_BODY_BYTES:
+            self._respond_error(
+                conn, method, 413, "request body too large", close=True
+            )
+            return
+        body_start = head_end + 4
+        if len(conn.inbuf) - body_start < length:
+            return  # body still arriving
+        body = bytes(conn.inbuf[body_start:body_start + length])
+        del conn.inbuf[:body_start + length]
+        request = Request(
+            method=method, target=target, headers=headers, body=body
+        )
+        if headers.get("connection", "").lower() == "close":
+            conn.close_after_flush = True
+        conn.busy = True
+        self._admit(conn, request)
+
+    def _admit(self, conn: _Connection, request: Request) -> None:
+        """Run admission control; queue, answer inline, or shed."""
+        started = time.perf_counter()
+        path = request.path
+        if request.method == "GET" and path in _INLINE_PATHS:
+            # Observability is answered by the loop itself: never
+            # queued behind user work, never shed, never faulted.
+            response = self.router.handle(request)
+            self._finish(
+                _Task(conn, request, started, None, False), response
+            )
+            return
+        tenant: Optional[str] = None
+        quota_held = False
+        if not path.startswith(_INTERNAL_PREFIXES):
+            tenant = request.tenant
+            if self.tenant_rate is not None:
+                bucket = self._buckets.get(tenant)
+                if bucket is None:
+                    assert self.tenant_burst is not None
+                    bucket = TokenBucket(self.tenant_rate, self.tenant_burst)
+                    self._buckets[tenant] = bucket
+                if not bucket.try_take():
+                    self._shed(
+                        conn, request, "rate",
+                        retry_after=bucket.retry_after(),
+                    )
+                    return
+            if self.tenant_quota is not None:
+                held = self._inflight.get(tenant, 0)
+                if held >= self.tenant_quota:
+                    self._shed(conn, request, "quota", retry_after=1.0)
+                    return
+                self._inflight[tenant] = held + 1
+                quota_held = True
+            self._m_admitted.labels(tenant=tenant).inc()
+        task = _Task(conn, request, started, tenant, quota_held)
+        try:
+            self._tasks.put_nowait(task)
+        except queue.Full:
+            self._release_quota(task)
+            self._shed(conn, request, "queue", retry_after=1.0)
+            return
+        self._m_queue_depth.set(float(self._tasks.qsize()))
+
+    def _release_quota(self, task: _Task) -> None:
+        if not task.quota_held or task.tenant is None:
+            return
+        held = self._inflight.get(task.tenant, 0)
+        if held <= 1:
+            self._inflight.pop(task.tenant, None)
+        else:
+            self._inflight[task.tenant] = held - 1
+
+    def _shed(
+        self,
+        conn: _Connection,
+        request: Request,
+        reason: str,
+        *,
+        retry_after: float,
+    ) -> None:
+        self._m_shed.labels(reason=reason).inc()
+        if not self.quiet:
+            _LOG.warning(
+                "http.shed", reason=reason, method=request.method,
+                path=request.path, client=conn.address[0],
+            )
+        response = Response.json(
+            429,
+            {"error": f"shed: {reason} limit reached", "reason": reason},
+        )
+        response.headers["Retry-After"] = str(
+            max(1, int(math.ceil(retry_after)))
+        )
+        self._finish(
+            _Task(conn, request, time.perf_counter(), None, False),
+            response,
+        )
+
+    def _respond_error(
+        self,
+        conn: _Connection,
+        method: Optional[str],
+        status: int,
+        message: str,
+        *,
+        close: bool = False,
+    ) -> None:
+        if close:
+            conn.close_after_flush = True
+        conn.busy = True
+        request = Request(method=method or "GET", target="*")
+        self._finish(
+            _Task(conn, request, time.perf_counter(), None, False),
+            Response.json(status, {"error": message}),
+            count=method is not None,
+        )
+
+    def _finish(
+        self, task: _Task, response: Response, *, count: bool = True
+    ) -> None:
+        """Serialize a response onto its connection (loop thread)."""
+        self._release_quota(task)
+        conn = task.conn
+        if conn.sock.fileno() < 0:
+            return  # client went away while the request was in flight
+        elapsed = time.perf_counter() - task.started
+        if count:
+            self._observe(task.request.method, response, elapsed)
+            if not self.quiet:
+                _LOG.info(
+                    "http.access",
+                    method=task.request.method,
+                    path=task.request.path,
+                    status=response.status,
+                    duration_ms=round(elapsed * 1000.0, 3),
+                    client=conn.address[0],
+                )
+        conn.outbuf.extend(self._serialize(response, conn))
+        try:
+            self._selector.modify(
+                conn.sock,
+                selectors.EVENT_READ | selectors.EVENT_WRITE,
+                conn,
+            )
+        except (KeyError, ValueError):
+            return
+        self._writable(conn)
+
+    def _observe(
+        self, method: str, response: Response, elapsed: float
+    ) -> None:
+        self._m_requests.labels(
+            method=method, status=str(response.status)
+        ).inc()
+        # Long-poll park time is the *requested* wait, not service
+        # latency; excluding it keeps the p99 gate meaningful.
+        self._m_latency.labels(method=method).observe(
+            max(0.0, elapsed - response.waited)
+        )
+        if response.waited > 0.0:
+            self._m_longpoll.observe(response.waited)
+
+    def _serialize(self, response: Response, conn: _Connection) -> bytes:
+        reason = _STATUS_REASONS.get(response.status, "Unknown")
+        lines = [
+            f"HTTP/1.1 {response.status} {reason}",
+            f"Content-Type: {response.content_type}",
+            f"Content-Length: {len(response.body)}",
+        ]
+        for name, value in response.headers.items():
+            lines.append(f"{name}: {value}")
+        lines.append(
+            "Connection: close" if conn.close_after_flush
+            else "Connection: keep-alive"
+        )
+        head = "\r\n".join(lines) + "\r\n\r\n"
+        return head.encode("latin-1") + response.body
+
+    def _drain_done(self) -> None:
+        while True:
+            try:
+                task, response = self._done.popleft()
+            except IndexError:
+                return
+            self._finish(task, response)
+
+    # -- worker pool ---------------------------------------------------
+
+    def _worker_loop(self) -> None:
+        while True:
+            try:
+                task = self._tasks.get(timeout=0.5)
+            except queue.Empty:
+                if self._shutdown_requested.is_set():
+                    return
+                continue
+            if task is None:
+                return
+            self._m_queue_depth.set(float(self._tasks.qsize()))
+            try:
+                response = self.router.handle(task.request)
+            except Exception as error:  # reglint: disable=RL103
+                # Last-ditch 500: a router bug must answer the client
+                # and keep the worker alive, not kill the pool.
+                _LOG.error(
+                    "http.worker.error",
+                    error=repr(error),
+                    path=task.request.path,
+                )
+                response = Response.json(
+                    500, {"error": f"internal error: {error}"}
+                )
+            self._done.append((task, response))
+            self._wake()
+
+    # -- compatibility -------------------------------------------------
+
+    def observe_request(
+        self, method: str, status: int, elapsed: float
+    ) -> None:
+        """Count and time one finished request (kept for the old
+        ``ServiceHTTPServer`` surface; the loop calls ``_observe``)."""
+        self._m_requests.labels(method=method, status=str(status)).inc()
+        self._m_latency.labels(method=method).observe(elapsed)
+
+    def fileno(self) -> int:
+        return self._listener.fileno()
+
+    def admission_snapshot(self) -> Dict[str, Any]:
+        """Admission state for debugging (loop-thread values, racy)."""
+        return {
+            "connections": len(self._connections),
+            "queue_depth": self._tasks.qsize(),
+            "inflight": dict(self._inflight),
+            "tenants_seen": sorted(self._buckets),
+        }

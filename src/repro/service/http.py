@@ -12,23 +12,33 @@ Endpoints
     * ``{"text": "..."}`` — a tab-delimited expression table;
     * ``{"path": "..."}`` — a server-side file path.
 
-    Responds ``202`` with ``{"job": {...}}`` (``200`` when the job
-    already exists — submission is idempotent on content + parameters).
+    The body may also carry ``"priority"`` (``high`` / ``normal`` /
+    ``low`` — weighted-fair executor share, ``docs/service.md``), and
+    an ``X-Repro-Tenant`` header tags the job's tenant for admission
+    accounting.  Responds ``202`` with ``{"job": {...}}`` (``200``
+    when the job already exists — submission is idempotent on
+    content + parameters).
 ``GET /jobs``
     ``{"jobs": [{...}, ...]}`` — every job record, oldest first.
 ``GET /jobs/<id>``
-    One job record, including live progress counters.
+    One job record, including live progress counters.  With
+    ``?wait=<s>`` the request long-polls: it answers as soon as the
+    job's state changes (from ``&state=<seen>``, or from its current
+    state), or after ``wait`` seconds (capped server-side), whichever
+    comes first — replacing tight status polling.
 ``GET /jobs/<id>/result``
     The completed result as a ``reg-cluster/v1`` document
     (``409`` while the job is neither ``done`` nor ``degraded``; a
     degraded job serves its surviving shards' merged clusters, and its
-    record lists the ``missing_shards``).
+    record lists the ``missing_shards``).  ``?offset=<n>&limit=<n>``
+    pages the ``clusters`` list and adds a ``page`` descriptor with
+    ``next_offset`` for cursoring large clusterings.
 ``DELETE /jobs/<id>``
     Cancel an active job (cooperative, via the miner's ``should_stop``
     hook); delete a terminal job's record and cached result.
 ``GET /healthz``
-    Liveness: ``{"status": "ok", ...}`` with uptime, queue depth and
-    per-state job counts (``docs/observability.md``).
+    Liveness: ``{"status": "ok", ...}`` with uptime, per-priority
+    queue depths and per-state job counts (``docs/observability.md``).
 ``GET /metrics``
     The service's :class:`~repro.obs.metrics.MetricsRegistry` in
     Prometheus text exposition format.
@@ -56,408 +66,67 @@ Fleet endpoints (``404`` unless the daemon runs with ``--fleet``; see
     The cached pickled RWave^gamma kernel for (matrix, gamma), ``404``
     when not (yet) built.
 
-``/healthz`` and ``/metrics`` are answered before fault injection —
-observability must stay up while chaos is running.
+``/healthz`` and ``/metrics`` are answered inline by the event loop,
+before fault injection and outside admission control — observability
+must stay up while chaos or overload is running.
 
-Errors are JSON: ``{"error": "..."}`` with a 4xx status.  The server is
-a :class:`http.server.ThreadingHTTPServer`; job execution itself stays
-on the service's single background thread, so the HTTP pool only ever
-does cheap store/cache reads.  Every request is counted and timed into
-the service registry, and — unless ``quiet`` — emitted as a structured
-``http.access`` log event.
+Errors are JSON: ``{"error": "..."}`` with a 4xx status.  Requests
+shed by admission control get ``429`` with a ``Retry-After`` header
+(``docs/service.md``).
+
+The server is the selector-based
+:class:`~repro.service.frontdoor.FrontDoorServer` — a non-blocking
+accept/parse event loop feeding a bounded worker pool, with
+connection/queue caps and optional per-tenant token-bucket rate
+limits and in-flight quotas.  Job execution itself stays on the
+service's single background thread, so the HTTP workers only ever do
+cheap store/cache reads (and long-poll parks).  Every request is
+counted and timed into the service registry, and — unless ``quiet`` —
+emitted as a structured ``http.access`` log event.
 
 :class:`ServiceClient` is the matching urllib-based client used by the
 ``reg-cluster submit`` / ``status`` CLI subcommands and the smoke
 tests.  The client retries connection failures and 5xx responses with
-exponential backoff (``connect_retries`` attempts), so callers racing a
-daemon that is still binding its socket — or one running under an
+exponential backoff (``connect_retries`` attempts), so callers racing
+a daemon that is still binding its socket — or one running under an
 ``http-5xx`` chaos fault (``docs/robustness.md``) — see one clean
-answer, not a stack trace.
+answer, not a stack trace.  A ``429`` shed is retried honoring the
+server's ``Retry-After`` hint; when retries run out it surfaces as
+:class:`ServiceBusy` (a :class:`ServiceError` subclass carrying
+``retry_after``), so callers can tell "you are the problem" (4xx)
+from "come back later" apart.
 """
 
 from __future__ import annotations
 
 import json
-import re
 import time
 import urllib.error
 import urllib.request
-from http.server import BaseHTTPRequestHandler, ThreadingHTTPServer
 from typing import Any, Dict, List, Optional, Tuple
 
 from repro.matrix.expression import ExpressionMatrix
-from repro.matrix.io import load_expression_matrix, parse_expression_text
-from repro.obs.log import get_logger
-from repro.service.jobs import ACTIVE_STATES, parameters_from_dict
-from repro.service.resilience import FaultKind, FaultPlan
+from repro.service.frontdoor import FrontDoorServer
+from repro.service.resilience import FaultPlan
+from repro.service.router import (  # noqa: F401 — re-exported surface
+    MAX_BODY_BYTES,
+    RequestError as _RequestError,
+    matrix_from_payload,
+)
 from repro.service.service import MiningService
-
-_LOG = get_logger("repro.service.http")
 
 __all__ = [
     "ServiceHTTPServer",
     "ServiceClient",
     "ServiceError",
+    "ServiceBusy",
     "matrix_from_payload",
     "serve",
 ]
 
-_JOB_PATH = re.compile(r"^/jobs/(?P<job_id>[A-Za-z0-9_-]+)$")
-_RESULT_PATH = re.compile(r"^/jobs/(?P<job_id>[A-Za-z0-9_-]+)/result$")
-_MATRIX_ARTIFACT_PATH = re.compile(
-    r"^/artifacts/matrix/(?P<digest>[0-9a-f]{64})$"
-)
-_KERNEL_ARTIFACT_PATH = re.compile(
-    r"^/artifacts/kernel/(?P<digest>[0-9a-f]{64})/(?P<gamma>[0-9.eE+-]+)$"
-)
-
-#: Refuse request bodies beyond this size (64 MiB covers the paper's
-#: yeast matrix inline with two orders of magnitude to spare).
-MAX_BODY_BYTES = 64 * 1024 * 1024
-
-
-class _RequestError(ValueError):
-    """A client error carrying its HTTP status."""
-
-    def __init__(self, status: int, message: str) -> None:
-        super().__init__(message)
-        self.status = status
-
-
-def matrix_from_payload(payload: Any) -> ExpressionMatrix:
-    """Build a matrix from the ``matrix`` member of a POST body."""
-    if not isinstance(payload, dict):
-        raise _RequestError(400, "matrix must be a JSON object")
-    kinds = [k for k in ("values", "text", "path") if k in payload]
-    if len(kinds) != 1:
-        raise _RequestError(
-            400,
-            "matrix must supply exactly one of 'values', 'text', 'path'",
-        )
-    if "values" in payload:
-        return ExpressionMatrix(
-            payload["values"],
-            payload.get("gene_names"),
-            payload.get("condition_names"),
-        )
-    if "text" in payload:
-        return parse_expression_text(payload["text"])
-    return load_expression_matrix(payload["path"])
-
-
-class _Handler(BaseHTTPRequestHandler):
-    """Routes requests to the owning :class:`ServiceHTTPServer`."""
-
-    server: "ServiceHTTPServer"
-    protocol_version = "HTTP/1.1"
-
-    # -- plumbing ------------------------------------------------------
-
-    def log_request(self, code: Any = "-", size: Any = "-") -> None:
-        # The stock per-response line is replaced by the timed
-        # ``http.access`` event that ``_dispatch`` emits.
-        pass
-
-    def log_message(self, format: str, *args: Any) -> None:
-        if not self.server.quiet:
-            _LOG.info(
-                "http.server",
-                message=format % args,
-                client=self.client_address[0],
-            )
-
-    def _send_json(self, status: int, payload: Dict[str, Any]) -> None:
-        body = json.dumps(payload).encode("utf-8")
-        self.send_response(status)
-        self.send_header("Content-Type", "application/json")
-        self.send_header("Content-Length", str(len(body)))
-        self.end_headers()
-        self.wfile.write(body)
-        self._status = status
-
-    def _send_bytes(
-        self,
-        status: int,
-        body: bytes,
-        content_type: str = "application/octet-stream",
-    ) -> None:
-        self.send_response(status)
-        self.send_header("Content-Type", content_type)
-        self.send_header("Content-Length", str(len(body)))
-        self.end_headers()
-        self.wfile.write(body)
-        self._status = status
-
-    def _send_metrics(self, service: MiningService) -> None:
-        body = service.metrics.render().encode("utf-8")
-        self.send_response(200)
-        self.send_header(
-            "Content-Type", "text/plain; version=0.0.4; charset=utf-8"
-        )
-        self.send_header("Content-Length", str(len(body)))
-        self.end_headers()
-        self.wfile.write(body)
-        self._status = 200
-
-    def _read_body(self) -> Dict[str, Any]:
-        length = int(self.headers.get("Content-Length") or 0)
-        if length <= 0:
-            raise _RequestError(400, "request body required")
-        if length > MAX_BODY_BYTES:
-            raise _RequestError(413, "request body too large")
-        raw = self.rfile.read(length)
-        try:
-            payload = json.loads(raw.decode("utf-8"))
-        except (json.JSONDecodeError, UnicodeDecodeError):
-            raise _RequestError(400, "request body is not valid JSON")
-        if not isinstance(payload, dict):
-            raise _RequestError(400, "request body must be a JSON object")
-        return payload
-
-    def _dispatch(self, method: str) -> None:
-        service = self.server.service
-        started = time.perf_counter()
-        #: last status actually written; 500 if the handler died before
-        #: sending anything (the connection just drops in that case).
-        self._status = 500
-        try:
-            self._route(method, service)
-        finally:
-            elapsed = time.perf_counter() - started
-            self.server.observe_request(method, self._status, elapsed)
-            if not self.server.quiet:
-                _LOG.info(
-                    "http.access",
-                    method=method,
-                    path=self.path,
-                    status=self._status,
-                    duration_ms=round(elapsed * 1000.0, 3),
-                    client=self.client_address[0],
-                )
-
-    def _route(self, method: str, service: MiningService) -> None:
-        # Observability endpoints answer before fault injection: chaos
-        # must not blind the probes watching it.
-        if method == "GET" and self.path == "/healthz":
-            self._send_json(200, service.health())
-            return
-        if method == "GET" and self.path == "/metrics":
-            self._send_metrics(service)
-            return
-        plan = self.server.fault_plan
-        if plan is not None and plan.fire(FaultKind.HTTP_5XX):
-            service.metrics.counter(
-                "repro_faults_injected_total",
-                "Chaos faults that actually fired, by kind.",
-                labelnames=("kind",),
-            ).labels(kind=FaultKind.HTTP_5XX.value).inc()
-            _LOG.warning(
-                "fault.injected", kind=FaultKind.HTTP_5XX.value,
-                path=self.path,
-            )
-            self._send_json(
-                503,
-                {"error": f"injected {FaultKind.HTTP_5XX.value} fault"},
-            )
-            return
-        try:
-            if method == "POST" and self.path == "/fleet/lease":
-                self._fleet_lease(service)
-            elif method == "POST" and self.path == "/fleet/complete":
-                self._fleet_complete(service)
-            elif method == "POST" and self.path == "/fleet/heartbeat":
-                self._fleet_heartbeat(service)
-            elif method == "GET" and self.path == "/fleet/status":
-                self._send_json(200, self._fleet(service).snapshot())
-            elif method == "GET" and _MATRIX_ARTIFACT_PATH.match(self.path):
-                match = _MATRIX_ARTIFACT_PATH.match(self.path)
-                assert match is not None
-                self._get_matrix_artifact(service, match.group("digest"))
-            elif method == "GET" and _KERNEL_ARTIFACT_PATH.match(self.path):
-                match = _KERNEL_ARTIFACT_PATH.match(self.path)
-                assert match is not None
-                self._get_kernel_artifact(
-                    service, match.group("digest"), match.group("gamma")
-                )
-            elif method == "POST" and self.path == "/jobs":
-                self._post_job(service)
-            elif method == "GET" and self.path == "/jobs":
-                self._send_json(
-                    200,
-                    {"jobs": [r.to_dict() for r in service.list_jobs()]},
-                )
-            elif method == "GET" and _RESULT_PATH.match(self.path):
-                match = _RESULT_PATH.match(self.path)
-                assert match is not None
-                self._get_result(service, match.group("job_id"))
-            elif method in ("GET", "DELETE") and _JOB_PATH.match(self.path):
-                match = _JOB_PATH.match(self.path)
-                assert match is not None
-                job_id = match.group("job_id")
-                if method == "GET":
-                    self._send_json(
-                        200, {"job": service.status(job_id).to_dict()}
-                    )
-                else:
-                    self._delete_job(service, job_id)
-            else:
-                raise _RequestError(404, f"no route {method} {self.path}")
-        except _RequestError as error:
-            self._send_json(error.status, {"error": str(error)})
-        except KeyError as error:
-            message = error.args[0] if error.args else str(error)
-            self._send_json(404, {"error": str(message)})
-        except ValueError as error:
-            self._send_json(400, {"error": str(error)})
-
-    # -- fleet handlers ------------------------------------------------
-
-    def _fleet(self, service: MiningService) -> Any:
-        fleet = service.fleet
-        if fleet is None:
-            raise _RequestError(
-                404, "fleet mode is disabled on this daemon (use --fleet)"
-            )
-        return fleet
-
-    def _fleet_lease(self, service: MiningService) -> None:
-        fleet = self._fleet(service)
-        body = self._read_body()
-        node_id = str(body.get("node_id") or "")
-        if not node_id:
-            raise _RequestError(400, "lease request must name a node_id")
-        kernels = body.get("kernels") or []
-        if not isinstance(kernels, list):
-            raise _RequestError(400, "kernels must be a list of cache keys")
-        max_shards = body.get("max_shards")
-        lease = fleet.lease(
-            node_id,
-            kernels=[str(key) for key in kernels],
-            max_shards=None if max_shards is None else int(max_shards),
-        )
-        self._send_json(200, {"lease": lease})
-
-    def _fleet_complete(self, service: MiningService) -> None:
-        fleet = self._fleet(service)
-        self._send_json(200, fleet.complete(self._read_body()))
-
-    def _fleet_heartbeat(self, service: MiningService) -> None:
-        fleet = self._fleet(service)
-        body = self._read_body()
-        node_id = str(body.get("node_id") or "")
-        if not node_id:
-            raise _RequestError(400, "heartbeat must name a node_id")
-        kernels = body.get("kernels") or []
-        if not isinstance(kernels, list):
-            raise _RequestError(400, "kernels must be a list of cache keys")
-        self._send_json(
-            200,
-            fleet.heartbeat(node_id, kernels=[str(k) for k in kernels]),
-        )
-
-    def _get_matrix_artifact(
-        self, service: MiningService, digest: str
-    ) -> None:
-        data = service.matrix_artifact_bytes(digest)
-        if data is None:
-            raise _RequestError(404, f"no stored matrix with digest {digest}")
-        self._send_bytes(200, data)
-
-    def _get_kernel_artifact(
-        self, service: MiningService, digest: str, gamma: str
-    ) -> None:
-        try:
-            gamma_value = float(gamma)
-        except ValueError:
-            raise _RequestError(400, f"bad gamma {gamma!r}") from None
-        data = service.kernel_artifact_bytes(digest, gamma_value)
-        if data is None:
-            raise _RequestError(
-                404, f"no cached kernel for {digest} at gamma={gamma}"
-            )
-        self._send_bytes(200, data)
-
-    # -- handlers ------------------------------------------------------
-
-    def _post_job(self, service: MiningService) -> None:
-        body = self._read_body()
-        if "parameters" not in body or "matrix" not in body:
-            raise _RequestError(
-                400, "body must contain 'matrix' and 'parameters'"
-            )
-        params = parameters_from_dict(body["parameters"])
-        matrix = matrix_from_payload(body["matrix"])
-        record = service.submit(matrix, params)
-        status = 200 if record.started_at is not None else 202
-        self._send_json(status, {"job": record.to_dict()})
-
-    def _get_result(self, service: MiningService, job_id: str) -> None:
-        try:
-            payload = service.result(job_id)
-        except ValueError as error:
-            raise _RequestError(409, str(error)) from None
-        self._send_json(200, payload)
-
-    def _delete_job(self, service: MiningService, job_id: str) -> None:
-        record = service.status(job_id)
-        if record.state in ACTIVE_STATES:
-            updated = service.cancel(job_id)
-            self._send_json(200, {"job": updated.to_dict()})
-        else:
-            service.delete(job_id)
-            self._send_json(200, {"deleted": job_id})
-
-    # -- verbs ---------------------------------------------------------
-
-    def do_GET(self) -> None:  # noqa: N802 (http.server API)
-        self._dispatch("GET")
-
-    def do_POST(self) -> None:  # noqa: N802
-        self._dispatch("POST")
-
-    def do_DELETE(self) -> None:  # noqa: N802
-        self._dispatch("DELETE")
-
-
-class ServiceHTTPServer(ThreadingHTTPServer):
-    """A threading HTTP server bound to one :class:`MiningService`."""
-
-    daemon_threads = True
-
-    def __init__(
-        self,
-        address: Tuple[str, int],
-        service: MiningService,
-        *,
-        quiet: bool = True,
-        fault_plan: Optional[FaultPlan] = None,
-    ) -> None:
-        super().__init__(address, _Handler)
-        self.service = service
-        self.quiet = quiet
-        # One plan drives the whole stack: unless overridden, the HTTP
-        # layer shares the service's plan, so ``http-5xx`` specs in a
-        # ``REPRO_FAULTS`` plan reach the front end too.
-        self.fault_plan = (
-            fault_plan if fault_plan is not None else service.fault_plan
-        )
-        self._m_requests = service.metrics.counter(
-            "repro_http_requests_total",
-            "HTTP requests served, by method and status.",
-            labelnames=("method", "status"),
-        )
-        self._m_latency = service.metrics.histogram(
-            "repro_http_request_seconds",
-            "HTTP request latency in seconds, by method.",
-            labelnames=("method",),
-        )
-
-    def observe_request(
-        self, method: str, status: int, elapsed: float
-    ) -> None:
-        """Count and time one finished request (called per dispatch)."""
-        self._m_requests.labels(method=method, status=str(status)).inc()
-        self._m_latency.labels(method=method).observe(elapsed)
+#: The selector-based front door, under the name the rest of the code
+#: base (and downstream users) imported the threading server as.
+ServiceHTTPServer = FrontDoorServer
 
 
 def serve(
@@ -467,15 +136,38 @@ def serve(
     *,
     quiet: bool = True,
     fault_plan: Optional[FaultPlan] = None,
-) -> ServiceHTTPServer:
+    max_connections: Optional[int] = None,
+    queue_depth: Optional[int] = None,
+    http_workers: Optional[int] = None,
+    tenant_rate: Optional[float] = None,
+    tenant_burst: Optional[float] = None,
+    tenant_quota: Optional[int] = None,
+) -> FrontDoorServer:
     """Bind (but do not run) the HTTP front end; port 0 = ephemeral.
 
     The caller runs ``server.serve_forever()`` (typically on the main
     thread) and is responsible for ``service.start()``.  ``fault_plan``
     overrides the service's plan for the HTTP layer only (chaos tests).
+    Admission knobs default to the front door's generous limits;
+    tenant rate/quota accounting stays off unless configured
+    (``docs/service.md``).
     """
-    return ServiceHTTPServer(
-        (host, port), service, quiet=quiet, fault_plan=fault_plan
+    options: Dict[str, Any] = {}
+    if max_connections is not None:
+        options["max_connections"] = max_connections
+    if queue_depth is not None:
+        options["queue_depth"] = queue_depth
+    if http_workers is not None:
+        options["http_workers"] = http_workers
+    if tenant_rate is not None:
+        options["tenant_rate"] = tenant_rate
+    if tenant_burst is not None:
+        options["tenant_burst"] = tenant_burst
+    if tenant_quota is not None:
+        options["tenant_quota"] = tenant_quota
+    return FrontDoorServer(
+        (host, port), service, quiet=quiet, fault_plan=fault_plan,
+        **options,
     )
 
 
@@ -488,19 +180,39 @@ class ServiceError(RuntimeError):
         self.message = message
 
 
+class ServiceBusy(ServiceError):
+    """A 429 shed by admission control that survived client retries.
+
+    ``retry_after`` carries the server's ``Retry-After`` hint in
+    seconds (the last one seen), so callers can back off precisely
+    instead of guessing.
+    """
+
+    def __init__(
+        self, message: str, *, retry_after: float = 1.0
+    ) -> None:
+        super().__init__(429, message)
+        self.retry_after = retry_after
+
+
 class ServiceClient:
     """Minimal urllib client for the endpoints above.
 
     Transient failures are retried with exponential backoff: connection
     errors (daemon not yet listening — ``URLError``), mid-request
     socket resets (``ConnectionResetError``, which covers
-    ``http.client.RemoteDisconnected`` — typical when a threading
-    server drops a keep-alive connection under load or restart) and
-    5xx responses get up to ``connect_retries`` extra attempts,
-    sleeping ``retry_backoff * 2**attempt`` seconds between them.  4xx
-    responses raise :class:`ServiceError` immediately — they are the
-    caller's fault, and submission is idempotent so retrying them
-    cannot help.
+    ``http.client.RemoteDisconnected`` — typical when a server drops a
+    keep-alive connection under load or restart) and 5xx responses get
+    up to ``connect_retries`` extra attempts, sleeping
+    ``retry_backoff * 2**attempt`` seconds between them.  A ``429``
+    shed retries too, but honors the server's ``Retry-After`` hint
+    when it is longer than the backoff, and exhausting retries raises
+    :class:`ServiceBusy`.  Other 4xx responses raise
+    :class:`ServiceError` immediately — they are the caller's fault,
+    and submission is idempotent so retrying them cannot help.
+
+    ``tenant`` stamps every request with an ``X-Repro-Tenant`` header
+    for the server's per-tenant admission accounting.
     """
 
     def __init__(
@@ -510,6 +222,7 @@ class ServiceClient:
         timeout: float = 30.0,
         connect_retries: int = 5,
         retry_backoff: float = 0.2,
+        tenant: Optional[str] = None,
     ) -> None:
         if connect_retries < 0:
             raise ValueError(
@@ -523,34 +236,72 @@ class ServiceClient:
         self.timeout = timeout
         self.connect_retries = connect_retries
         self.retry_backoff = retry_backoff
+        self.tenant = tenant
+
+    def _build(self, method: str, path: str) -> urllib.request.Request:
+        request = urllib.request.Request(
+            self.base_url + path, method=method
+        )
+        if self.tenant:
+            request.add_header("X-Repro-Tenant", self.tenant)
+        return request
+
+    @staticmethod
+    def _http_error_details(
+        error: urllib.error.HTTPError,
+    ) -> Tuple[str, float]:
+        """(message, retry_after_seconds) from an error response."""
+        try:
+            message = json.loads(error.read().decode("utf-8")).get(
+                "error", error.reason
+            )
+        except (json.JSONDecodeError, UnicodeDecodeError):
+            message = str(error.reason)
+        try:
+            retry_after = float(error.headers.get("Retry-After") or 1.0)
+        except (TypeError, ValueError):
+            retry_after = 1.0
+        return str(message), max(0.0, retry_after)
 
     def _request(
         self,
         method: str,
         path: str,
         payload: Optional[Dict[str, Any]] = None,
+        *,
+        timeout: Optional[float] = None,
     ) -> Dict[str, Any]:
         data = None
         for attempt in range(self.connect_retries + 1):
-            request = urllib.request.Request(
-                self.base_url + path, method=method
-            )
+            request = self._build(method, path)
             if payload is not None:
                 data = json.dumps(payload).encode("utf-8")
                 request.add_header("Content-Type", "application/json")
             try:
                 with urllib.request.urlopen(
-                    request, data=data, timeout=self.timeout
+                    request,
+                    data=data,
+                    timeout=self.timeout if timeout is None else timeout,
                 ) as response:
                     return dict(json.loads(response.read().decode("utf-8")))
             except urllib.error.HTTPError as error:
                 # Before URLError: HTTPError is a URLError subclass.
-                try:
-                    message = json.loads(error.read().decode("utf-8")).get(
-                        "error", error.reason
-                    )
-                except (json.JSONDecodeError, UnicodeDecodeError):
-                    message = str(error.reason)
+                message, retry_after = self._http_error_details(error)
+                if error.code == 429:
+                    # Shed by admission control: honor the server's
+                    # Retry-After hint (but never sleep less than the
+                    # regular backoff would).
+                    if attempt < self.connect_retries:
+                        time.sleep(
+                            max(
+                                retry_after,
+                                self.retry_backoff * (2.0 ** attempt),
+                            )
+                        )
+                        continue
+                    raise ServiceBusy(
+                        message, retry_after=retry_after
+                    ) from None
                 if error.code >= 500 and attempt < self.connect_retries:
                     time.sleep(self.retry_backoff * (2.0 ** attempt))
                     continue
@@ -580,19 +331,23 @@ class ServiceClient:
         for attempt in range(self.connect_retries + 1):
             try:
                 with urllib.request.urlopen(
-                    urllib.request.Request(
-                        self.base_url + path, method="GET"
-                    ),
-                    timeout=self.timeout,
+                    self._build("GET", path), timeout=self.timeout
                 ) as response:
                     return bytes(response.read())
             except urllib.error.HTTPError as error:
-                try:
-                    message = json.loads(error.read().decode("utf-8")).get(
-                        "error", error.reason
-                    )
-                except (json.JSONDecodeError, UnicodeDecodeError):
-                    message = str(error.reason)
+                message, retry_after = self._http_error_details(error)
+                if error.code == 429:
+                    if attempt < self.connect_retries:
+                        time.sleep(
+                            max(
+                                retry_after,
+                                self.retry_backoff * (2.0 ** attempt),
+                            )
+                        )
+                        continue
+                    raise ServiceBusy(
+                        message, retry_after=retry_after
+                    ) from None
                 if error.code >= 500 and attempt < self.connect_retries:
                     time.sleep(self.retry_backoff * (2.0 ** attempt))
                     continue
@@ -610,9 +365,11 @@ class ServiceClient:
         self,
         matrix: ExpressionMatrix,
         parameters: Dict[str, Any],
+        *,
+        priority: Optional[str] = None,
     ) -> Dict[str, Any]:
         """Submit inline matrix data; returns the job record dict."""
-        body = {
+        body: Dict[str, Any] = {
             "matrix": {
                 "values": [list(map(float, row)) for row in matrix.values],
                 "gene_names": list(matrix.gene_names),
@@ -620,13 +377,24 @@ class ServiceClient:
             },
             "parameters": parameters,
         }
+        if priority is not None:
+            body["priority"] = priority
         return dict(self._request("POST", "/jobs", body)["job"])
 
     def submit_text(
-        self, text: str, parameters: Dict[str, Any]
+        self,
+        text: str,
+        parameters: Dict[str, Any],
+        *,
+        priority: Optional[str] = None,
     ) -> Dict[str, Any]:
         """Submit a tab-delimited expression table as text."""
-        body = {"matrix": {"text": text}, "parameters": parameters}
+        body: Dict[str, Any] = {
+            "matrix": {"text": text},
+            "parameters": parameters,
+        }
+        if priority is not None:
+            body["priority"] = priority
         return dict(self._request("POST", "/jobs", body)["job"])
 
     def health(self) -> Dict[str, Any]:
@@ -640,10 +408,7 @@ class ServiceClient:
         for attempt in range(self.connect_retries + 1):
             try:
                 with urllib.request.urlopen(
-                    urllib.request.Request(
-                        self.base_url + "/metrics", method="GET"
-                    ),
-                    timeout=self.timeout,
+                    self._build("GET", "/metrics"), timeout=self.timeout
                 ) as response:
                     return str(response.read().decode("utf-8"))
             except (urllib.error.URLError, ConnectionResetError):
@@ -658,11 +423,48 @@ class ServiceClient:
     def status(self, job_id: str) -> Dict[str, Any]:
         return dict(self._request("GET", f"/jobs/{job_id}")["job"])
 
+    def wait_for_change(
+        self,
+        job_id: str,
+        *,
+        wait: float,
+        seen_state: Optional[str] = None,
+    ) -> Dict[str, Any]:
+        """Long-poll one record: ``GET /jobs/<id>?wait=<s>``.
+
+        Answers as soon as the state differs from ``seen_state`` (or
+        from its state at request time), or after ``wait`` seconds
+        (server-capped), whichever is first.
+        """
+        query = f"/jobs/{job_id}?wait={wait:g}"
+        if seen_state is not None:
+            query += f"&state={seen_state}"
+        # The HTTP timeout must outlast the requested park time.
+        return dict(
+            self._request(
+                "GET", query, timeout=self.timeout + wait
+            )["job"]
+        )
+
     def list_jobs(self) -> List[Dict[str, Any]]:
         return list(self._request("GET", "/jobs")["jobs"])
 
     def result(self, job_id: str) -> Dict[str, Any]:
         return self._request("GET", f"/jobs/{job_id}/result")
+
+    def result_page(
+        self,
+        job_id: str,
+        *,
+        offset: int = 0,
+        limit: Optional[int] = None,
+    ) -> Dict[str, Any]:
+        """One page of the result's ``clusters`` plus a ``page``
+        descriptor (``next_offset`` is ``None`` on the last page)."""
+        query = f"/jobs/{job_id}/result?offset={int(offset)}"
+        if limit is not None:
+            query += f"&limit={int(limit)}"
+        return self._request("GET", query)
 
     def cancel(self, job_id: str) -> Dict[str, Any]:
         return self._request("DELETE", f"/jobs/{job_id}")
@@ -674,22 +476,36 @@ class ServiceClient:
         timeout: float = 60.0,
         poll_interval: float = 0.1,
     ) -> Dict[str, Any]:
-        """Poll until the job leaves the active states; returns its record.
+        """Wait until the job leaves the active states; returns its
+        record.
 
-        Raises :class:`TimeoutError` if it stays active past ``timeout``
-        seconds.
+        Uses server-side long-polling (``?wait=``), so state changes
+        answer immediately instead of on the next poll tick;
+        ``poll_interval`` survives as the pause between long-poll
+        rounds for very long waits.  Raises :class:`TimeoutError` if
+        the job stays active past ``timeout`` seconds.
         """
         deadline = time.monotonic() + timeout
+        record = self.status(job_id)
         while True:
-            record = self.status(job_id)
             if record["state"] not in ("submitted", "running"):
                 return record
-            if time.monotonic() >= deadline:
+            remaining = deadline - time.monotonic()
+            if remaining <= 0.0:
                 raise TimeoutError(
                     f"job {job_id} still {record['state']} after "
                     f"{timeout:g}s"
                 )
-            time.sleep(poll_interval)
+            record = self.wait_for_change(
+                job_id,
+                wait=min(remaining, 30.0),
+                seen_state=str(record["state"]),
+            )
+            if (
+                record["state"] in ("submitted", "running")
+                and poll_interval > 0.0
+            ):
+                time.sleep(min(poll_interval, 0.05))
 
     # -- fleet endpoints (docs/distributed.md) -------------------------
 

@@ -194,6 +194,15 @@ class JobRecord:
     #: worker node, local jobs say ``local``, resumed shards say
     #: ``checkpoint`` (docs/distributed.md)
     shard_provenance: Optional[Dict[str, Any]] = None
+    #: scheduling class (``high`` / ``normal`` / ``low``) — weighted-
+    #: fair dequeue into the executor (docs/service.md).  Excluded from
+    #: the job identity: resubmitting at a different priority re-ranks
+    #: the same job, it does not fork a new one.
+    priority: str = "normal"
+    #: the ``X-Repro-Tenant`` this job was submitted under (``None``
+    #: for direct/in-process submissions) — admission accounting only,
+    #: never part of the job identity
+    tenant: Optional[str] = None
 
     def to_dict(self) -> Dict[str, Any]:
         payload = asdict(self)

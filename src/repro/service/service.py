@@ -85,8 +85,14 @@ from repro.service.jobs import (
     parameters_to_dict,
 )
 from repro.service.resilience import FaultKind, FaultPlan, RetryPolicy
+from repro.service.scheduling import FairJobQueue, normalize_priority
 
-__all__ = ["MiningService"]
+__all__ = ["MiningService", "MAX_LONGPOLL_SECONDS"]
+
+#: Server-side cap on one long-poll wait (``GET /jobs/<id>?wait=``) —
+#: a front-door worker parks for at most this long before answering
+#: with the current record (clients simply poll again).
+MAX_LONGPOLL_SECONDS = 30.0
 
 _LOG = get_logger("repro.service.daemon")
 
@@ -212,7 +218,12 @@ class MiningService:
             self.metrics.register_collector(self._collect_fleet_metrics)
         self._matrix_dir = self.store_dir / "matrices"
         self._matrix_dir.mkdir(parents=True, exist_ok=True)
-        self._queue: "queue.Queue[Optional[str]]" = queue.Queue()
+        #: weighted-fair submission queue: high/normal/low classes
+        #: share the executor 4:2:1 under contention (docs/service.md)
+        self._queue = FairJobQueue()
+        #: notified on every job state change — the seam long-poll
+        #: status requests (``GET /jobs/<id>?wait=``) block on
+        self._state_cond = threading.Condition()
         self._cancel_events: Dict[str, threading.Event] = {}
         #: results whose cache write failed, served from memory instead
         #: of failing the job (best-effort cache, docs/robustness.md).
@@ -227,10 +238,10 @@ class MiningService:
         # instead of re-mining.
         for record in self.jobs.list_records():
             if record.state is JobState.SUBMITTED:
-                self._queue.put(record.job_id)
+                self._queue.put(record.job_id, priority=record.priority)
             elif record.state is JobState.RUNNING:
                 self.jobs.update(record.job_id, state=JobState.SUBMITTED)
-                self._queue.put(record.job_id)
+                self._queue.put(record.job_id, priority=record.priority)
                 _LOG.info("job.rearmed", job_id=record.job_id)
         for record in self.jobs.list_records():
             self._m_jobs_current.labels(state=record.state.value).inc()
@@ -409,6 +420,9 @@ class MiningService:
             previous=previous.value,
             **({"error": record.error} if record.error else {}),
         )
+        # Wake every parked long-poll: the record just changed.
+        with self._state_cond:
+            self._state_cond.notify_all()
         return record
 
     def health(self) -> Dict[str, Any]:
@@ -430,6 +444,7 @@ class MiningService:
             "n_workers": self.n_workers,
             "executor_alive": executor_alive,
             "queue_size": self._queue.qsize(),
+            "queue_depths": self._queue.depths(),
             "jobs": jobs,
         }
         if self.fleet is not None:
@@ -506,13 +521,23 @@ class MiningService:
     # ------------------------------------------------------------------
 
     def submit(
-        self, matrix: ExpressionMatrix, params: MiningParameters
+        self,
+        matrix: ExpressionMatrix,
+        params: MiningParameters,
+        *,
+        priority: Optional[str] = None,
+        tenant: Optional[str] = None,
     ) -> JobRecord:
         """Accept one mining job; idempotent on (matrix, parameters).
 
         Returns the (new or existing) job record.  A job that
         previously failed or was cancelled is re-armed and queued again.
+        ``priority`` picks the scheduling class (``high`` / ``normal``
+        / ``low``; weighted-fair dequeue, docs/service.md) and
+        ``tenant`` tags the record with the submitting tenant — neither
+        is part of the job identity.
         """
+        chosen_priority = normalize_priority(priority)
         digest = matrix_digest(matrix)
         job_id = compute_job_id(digest, params)
         # Persist the matrix before taking the service lock: the .npz
@@ -538,9 +563,11 @@ class MiningService:
                 matrix_digest=digest,
                 parameters=parameters_to_dict(params),
                 submitted_at=time.time(),
+                priority=chosen_priority,
+                tenant=tenant,
             )
             self.jobs.save(record)
-            self._queue.put(job_id)
+            self._queue.put(job_id, priority=chosen_priority)
             self._m_submitted.inc()
             if previous is not None:
                 self._m_jobs_current.labels(state=previous.value).dec()
@@ -551,6 +578,9 @@ class MiningService:
                 matrix_digest=digest,
                 rearmed=previous.value if previous is not None else None,
             )
+        # A (re-)submission is a state change too: wake long-polls.
+        with self._state_cond:
+            self._state_cond.notify_all()
         return record
 
     def status(self, job_id: str) -> JobRecord:
@@ -588,6 +618,79 @@ class MiningService:
                 f"result of job {job_id} is no longer cached; resubmit"
             )
         return payload
+
+    def result_page(
+        self, job_id: str, *, offset: int = 0, limit: Optional[int] = None
+    ) -> Dict[str, Any]:
+        """One page of a completed result's clusters.
+
+        Pagination keeps huge clusterings streamable: the payload is
+        the ordinary ``reg-cluster/v1`` document with ``clusters``
+        sliced to ``[offset, offset + limit)`` plus a ``page`` member
+        (``offset`` / ``limit`` / ``total_clusters`` / ``next_offset``,
+        the latter ``None`` on the last page).  ``limit=None`` returns
+        everything from ``offset`` on.
+        """
+        if offset < 0:
+            raise ValueError(f"offset must be >= 0, got {offset}")
+        if limit is not None and limit < 1:
+            raise ValueError(f"limit must be >= 1, got {limit}")
+        payload = dict(self.result(job_id))
+        clusters = payload.get("clusters", [])
+        total = len(clusters)
+        end = total if limit is None else min(total, offset + limit)
+        payload["clusters"] = clusters[offset:end]
+        payload["page"] = {
+            "offset": offset,
+            "limit": limit,
+            "total_clusters": total,
+            "next_offset": end if end < total else None,
+        }
+        return payload
+
+    def wait_for_change(
+        self,
+        job_id: str,
+        *,
+        seen_state: Optional[JobState] = None,
+        timeout: float = 0.0,
+    ) -> JobRecord:
+        """Long-poll one job: block until its state leaves ``seen_state``.
+
+        Returns the current record as soon as the state differs from
+        ``seen_state`` (default: the state at call time), immediately
+        for terminal states (they never change again), and after
+        ``timeout`` seconds — capped at :data:`MAX_LONGPOLL_SECONDS` —
+        otherwise.  A daemon shutting down mid-wait wakes every waiter
+        and answers with the record as-is, so parked clients get a
+        clean response instead of a dropped socket
+        (``docs/service.md``).
+        """
+        record = self.jobs.get(job_id)
+        baseline = record.state if seen_state is None else seen_state
+        budget = max(0.0, min(float(timeout), MAX_LONGPOLL_SECONDS))
+        deadline = time.monotonic() + budget
+        with self._state_cond:
+            while (
+                record.state is baseline
+                and record.state not in TERMINAL_STATES
+                and not self._stop_requested.is_set()
+            ):
+                remaining = deadline - time.monotonic()
+                if remaining <= 0.0:
+                    break
+                self._state_cond.wait(remaining)
+                # Store read under the condition so a notify between
+                # check and wait cannot be lost; the record file read
+                # is the price of one wake-up, not per-request work.
+                record = self.jobs.get(job_id)  # reglint: disable=RL303
+        return record
+
+    def interrupt_waits(self) -> None:
+        """Wake every parked :meth:`wait_for_change` (front-door
+        shutdown path); waiters answer with the current record."""
+        with self._state_cond:
+            self._state_cond.notify_all()
 
     def cancel(self, job_id: str) -> JobRecord:
         """Cancel a submitted or running job (no-op on terminal jobs)."""
@@ -650,6 +753,10 @@ class MiningService:
             for event in self._cancel_events.values():
                 event.set()
             self._queue.put(None)
+        # Long-polls must not outlive the daemon: wake them all so the
+        # front door answers with the current record instead of holding
+        # parked connections open (docs/service.md).
+        self.interrupt_waits()
         if thread is not None:
             thread.join(timeout=timeout)
         with self._lock:

@@ -1,0 +1,530 @@
+"""Tests of the selector front door: admission, fairness, long-poll.
+
+The wire-compatibility surface (old routes against the new server) is
+covered by ``test_http.py`` running unchanged; this file tests what is
+*new*: the weighted-fair queue, token buckets, per-tenant quotas,
+queue/connection shedding, long-poll semantics, result pagination, and
+the typed :class:`ServiceBusy` client error.
+"""
+
+from __future__ import annotations
+
+import queue as queue_module
+import socket
+import threading
+import time
+
+import pytest
+
+from repro.service.frontdoor import TokenBucket
+from repro.service.http import (
+    ServiceBusy,
+    ServiceClient,
+    ServiceError,
+    serve,
+)
+from repro.service.jobs import parameters_to_dict
+from repro.service.scheduling import FairJobQueue, normalize_priority
+from repro.service.service import MiningService
+
+
+@pytest.fixture
+def stack(tmp_path):
+    """A running service + front door + client on an ephemeral port."""
+    service = MiningService(tmp_path / "store")
+    server = serve(service)
+    thread = threading.Thread(target=server.serve_forever, daemon=True)
+    thread.start()
+    service.start()
+    host, port = server.server_address[0], server.server_address[1]
+    client = ServiceClient(f"http://{host}:{port}")
+    yield service, client
+    service.stop()
+    server.shutdown()
+    server.server_close()
+    thread.join(timeout=5)
+
+
+@pytest.fixture
+def idle_stack(tmp_path, request):
+    """Front door over a service that is *not* started.
+
+    Submitted jobs stay ``submitted`` forever, which makes long-poll
+    and quota-holding behaviour deterministic.  Parametrize server
+    options via ``request.param`` (a dict of ``serve`` kwargs).
+    """
+    options = getattr(request, "param", {})
+    service = MiningService(tmp_path / "store")
+    server = serve(service, **options)
+    thread = threading.Thread(target=server.serve_forever, daemon=True)
+    thread.start()
+    host, port = server.server_address[0], server.server_address[1]
+    client = ServiceClient(f"http://{host}:{port}")
+    yield service, server, client
+    service.stop()
+    server.shutdown()
+    server.server_close()
+    thread.join(timeout=5)
+
+
+class TestNormalizePriority:
+    def test_default_and_case(self):
+        assert normalize_priority(None) == "normal"
+        assert normalize_priority("HIGH") == "high"
+        assert normalize_priority(" low ") == "low"
+
+    def test_unknown_rejected(self):
+        with pytest.raises(ValueError, match="unknown priority"):
+            normalize_priority("urgent")
+
+
+class TestFairJobQueue:
+    def test_single_class_is_fifo(self):
+        q = FairJobQueue()
+        for item in ("a", "b", "c"):
+            q.put(item, "low")
+        assert [q.get_nowait() for _ in range(3)] == ["a", "b", "c"]
+
+    def test_weighted_shares_under_contention(self):
+        # 4:2:1 — in one full schedule rotation every class is served.
+        q = FairJobQueue()
+        for index in range(8):
+            q.put(f"h{index}", "high")
+            q.put(f"n{index}", "normal")
+            q.put(f"l{index}", "low")
+        first_seven = [q.get_nowait() for _ in range(7)]
+        highs = sum(1 for item in first_seven if item.startswith("h"))
+        normals = sum(1 for item in first_seven if item.startswith("n"))
+        lows = sum(1 for item in first_seven if item.startswith("l"))
+        assert (highs, normals, lows) == (4, 2, 1)
+
+    def test_low_never_starved(self):
+        q = FairJobQueue()
+        for index in range(100):
+            q.put(f"h{index}", "high")
+        q.put("the-low-one", "low")
+        drained = [q.get_nowait() for _ in range(10)]
+        assert "the-low-one" in drained
+
+    def test_wake_token_served_first(self):
+        q = FairJobQueue()
+        q.put("job", "high")
+        q.put(None)
+        assert q.get_nowait() is None
+        assert q.get_nowait() == "job"
+
+    def test_get_timeout_raises_empty(self):
+        q = FairJobQueue()
+        started = time.monotonic()
+        with pytest.raises(queue_module.Empty):
+            q.get(timeout=0.05)
+        assert time.monotonic() - started < 2.0
+
+    def test_depths_and_qsize(self):
+        q = FairJobQueue()
+        q.put("a", "high")
+        q.put("b", "low")
+        q.put(None)
+        assert q.qsize() == 2
+        assert q.depths() == {"high": 1, "normal": 0, "low": 1}
+
+    def test_bad_weights_rejected(self):
+        with pytest.raises(ValueError, match="unknown priority class"):
+            FairJobQueue({"urgent": 1})
+        with pytest.raises(ValueError, match="positive weight"):
+            FairJobQueue({"high": 0, "normal": 0, "low": 0})
+
+
+class TestTokenBucket:
+    def test_burst_then_refusal(self):
+        bucket = TokenBucket(rate=100.0, burst=3.0)
+        assert [bucket.try_take() for _ in range(3)] == [True] * 3
+        # Immediately after draining the burst the next take fails
+        # (rate 100/s cannot mint a token in nanoseconds) ...
+        assert bucket.retry_after() >= 0.0
+
+    def test_refill_over_time(self):
+        bucket = TokenBucket(rate=50.0, burst=1.0)
+        assert bucket.try_take()
+        deadline = time.monotonic() + 2.0
+        while not bucket.try_take():
+            assert time.monotonic() < deadline, "bucket never refilled"
+            time.sleep(0.005)
+
+    def test_validation(self):
+        with pytest.raises(ValueError, match="rate"):
+            TokenBucket(rate=0.0, burst=1.0)
+        with pytest.raises(ValueError, match="burst"):
+            TokenBucket(rate=1.0, burst=0.5)
+
+
+class TestLongPoll:
+    def test_returns_early_on_state_change(
+        self, stack, running_example, paper_params
+    ):
+        _, client = stack
+        record = client.submit_matrix(
+            running_example, parameters_to_dict(paper_params)
+        )
+        deadline = time.monotonic() + 30.0
+        state = record["state"]
+        # Each long-poll answers on the next transition; the job walks
+        # submitted -> running -> done long before the 25s of requested
+        # wait would elapse.
+        while state not in ("done", "failed") and time.monotonic() < deadline:
+            updated = client.wait_for_change(
+                record["job_id"], wait=25.0, seen_state=state
+            )
+            assert updated["state"] != state or updated["state"] in (
+                "done", "failed",
+            )
+            state = updated["state"]
+        assert state == "done"
+
+    def test_times_out_cleanly(self, idle_stack, tiny_matrix, paper_params):
+        _, _, client = idle_stack
+        record = client.submit_matrix(
+            tiny_matrix, parameters_to_dict(paper_params)
+        )
+        started = time.monotonic()
+        unchanged = client.wait_for_change(record["job_id"], wait=0.3)
+        elapsed = time.monotonic() - started
+        assert unchanged["state"] == "submitted"
+        assert 0.25 <= elapsed < 5.0
+
+    def test_terminal_state_answers_immediately(
+        self, stack, running_example, paper_params
+    ):
+        _, client = stack
+        record = client.submit_matrix(
+            running_example, parameters_to_dict(paper_params)
+        )
+        client.wait(record["job_id"], timeout=60)
+        started = time.monotonic()
+        done = client.wait_for_change(record["job_id"], wait=10.0)
+        assert done["state"] == "done"
+        assert time.monotonic() - started < 5.0
+
+    def test_survives_shutdown_mid_wait(
+        self, idle_stack, tiny_matrix, paper_params
+    ):
+        service, _, client = idle_stack
+        record = client.submit_matrix(
+            tiny_matrix, parameters_to_dict(paper_params)
+        )
+        box = {}
+
+        def waiter():
+            box["record"] = client.wait_for_change(
+                record["job_id"], wait=20.0
+            )
+
+        thread = threading.Thread(target=waiter)
+        thread.start()
+        time.sleep(0.3)  # let the long-poll park server-side
+        started = time.monotonic()
+        service.stop()
+        thread.join(timeout=5)
+        assert not thread.is_alive(), "long-poll hung through shutdown"
+        assert time.monotonic() - started < 5.0
+        assert box["record"]["state"] == "submitted"
+
+    def test_bad_wait_values_rejected(
+        self, idle_stack, tiny_matrix, paper_params
+    ):
+        _, _, client = idle_stack
+        record = client.submit_matrix(
+            tiny_matrix, parameters_to_dict(paper_params)
+        )
+        with pytest.raises(ServiceError) as info:
+            client._request(
+                "GET", f"/jobs/{record['job_id']}?wait=banana"
+            )
+        assert info.value.status == 400
+        with pytest.raises(ServiceError) as info:
+            client._request(
+                "GET", f"/jobs/{record['job_id']}?wait=1&state=bogus"
+            )
+        assert info.value.status == 400
+
+
+class TestPriorities:
+    def test_priority_rides_the_wire(
+        self, idle_stack, tiny_matrix, paper_params
+    ):
+        _, _, client = idle_stack
+        record = client.submit_matrix(
+            tiny_matrix, parameters_to_dict(paper_params), priority="high"
+        )
+        assert record["priority"] == "high"
+        assert client.status(record["job_id"])["priority"] == "high"
+
+    def test_bad_priority_is_400(
+        self, idle_stack, tiny_matrix, paper_params
+    ):
+        _, _, client = idle_stack
+        with pytest.raises(ServiceError) as info:
+            client.submit_matrix(
+                tiny_matrix,
+                parameters_to_dict(paper_params),
+                priority="urgent",
+            )
+        assert info.value.status == 400
+        assert "unknown priority" in info.value.message
+
+
+class TestPagination:
+    def test_page_and_full_document(
+        self, stack, running_example, paper_params
+    ):
+        _, client = stack
+        record = client.submit_matrix(
+            running_example, parameters_to_dict(paper_params)
+        )
+        client.wait(record["job_id"], timeout=60)
+        full = client.result(record["job_id"])
+        assert "page" not in full  # unpaged result is byte-identical
+        total = len(full["clusters"])
+        assert total >= 1
+        page = client.result_page(record["job_id"], offset=0, limit=1)
+        assert len(page["clusters"]) == 1
+        assert page["clusters"][0] == full["clusters"][0]
+        assert page["page"]["total_clusters"] == total
+        assert page["page"]["offset"] == 0
+        expected_next = 1 if total > 1 else None
+        assert page["page"]["next_offset"] == expected_next
+        # Walk every page and reassemble the full clusters list.
+        clusters, offset = [], 0
+        while offset is not None:
+            chunk = client.result_page(
+                record["job_id"], offset=offset, limit=1
+            )
+            clusters.extend(chunk["clusters"])
+            offset = chunk["page"]["next_offset"]
+        assert clusters == full["clusters"]
+
+    def test_bad_page_values_rejected(
+        self, stack, running_example, paper_params
+    ):
+        _, client = stack
+        record = client.submit_matrix(
+            running_example, parameters_to_dict(paper_params)
+        )
+        client.wait(record["job_id"], timeout=60)
+        with pytest.raises(ServiceError) as info:
+            client.result_page(record["job_id"], offset=-1)
+        assert info.value.status == 400
+        with pytest.raises(ServiceError) as info:
+            client.result_page(record["job_id"], offset=0, limit=0)
+        assert info.value.status == 400
+
+
+@pytest.mark.parametrize(
+    "idle_stack", [{"tenant_quota": 1, "http_workers": 4}], indirect=True
+)
+class TestTenantQuota:
+    def test_exhaustion_and_refill_under_concurrency(
+        self, idle_stack, tiny_matrix, paper_params
+    ):
+        service, _, client = idle_stack
+        record = client.submit_matrix(
+            tiny_matrix, parameters_to_dict(paper_params)
+        )
+        job_id = record["job_id"]
+        impatient = ServiceClient(client.base_url, connect_retries=0)
+
+        # One long-poll holds the single quota slot ...
+        box = {}
+
+        def holder():
+            box["r"] = impatient.wait_for_change(job_id, wait=2.0)
+
+        thread = threading.Thread(target=holder)
+        thread.start()
+        time.sleep(0.3)
+        # ... so a concurrent same-tenant request sheds as ServiceBusy.
+        with pytest.raises(ServiceBusy) as info:
+            impatient.status(job_id)
+        assert info.value.status == 429
+        assert info.value.retry_after >= 1.0
+        assert isinstance(info.value, ServiceError)
+        # A *different* tenant is not affected by this tenant's quota.
+        other = ServiceClient(
+            client.base_url, connect_retries=0, tenant="other-team"
+        )
+        assert other.status(job_id)["job_id"] == job_id
+        thread.join(timeout=10)
+        # Slot released: the same tenant is admitted again (refill).
+        assert impatient.status(job_id)["job_id"] == job_id
+
+    def test_concurrent_submitters_all_finish_with_retries(
+        self, idle_stack, tiny_matrix, paper_params
+    ):
+        _, server, client = idle_stack
+        record = client.submit_matrix(
+            tiny_matrix, parameters_to_dict(paper_params)
+        )
+        job_id = record["job_id"]
+        # Clients with retry budget: sheds are retried with the
+        # server's Retry-After honored, so all eventually succeed.
+        results, errors = [], []
+
+        def poller(index):
+            patient = ServiceClient(
+                client.base_url, connect_retries=6, retry_backoff=0.05
+            )
+            try:
+                results.append(patient.status(job_id)["state"])
+            # Collect rather than raise: a failure in a poller thread
+            # must fail the assertion below, not vanish with the thread.
+            except Exception as error:  # reglint: disable=RL103
+                errors.append(error)
+
+        threads = [
+            threading.Thread(target=poller, args=(i,)) for i in range(8)
+        ]
+        for thread in threads:
+            thread.start()
+        for thread in threads:
+            thread.join(timeout=30)
+        assert errors == []
+        assert results == ["submitted"] * 8
+        shed = server.service.metrics.render()
+        assert "repro_http_shed_total" in shed
+
+
+@pytest.mark.parametrize(
+    "idle_stack",
+    [{"tenant_rate": 2.0, "tenant_burst": 1.0}],
+    indirect=True,
+)
+class TestTenantRateLimit:
+    def test_burst_then_shed_then_refill(
+        self, idle_stack, tiny_matrix, paper_params
+    ):
+        _, _, client = idle_stack
+        impatient = ServiceClient(
+            client.base_url, connect_retries=0, tenant="acme"
+        )
+        record = impatient.submit_matrix(
+            tiny_matrix, parameters_to_dict(paper_params)
+        )
+        job_id = record["job_id"]
+        # The 1-token burst is spent on the submit, and at 2 tokens/s
+        # no new token exists milliseconds later ...
+        with pytest.raises(ServiceBusy) as info:
+            impatient.status(job_id)
+        assert info.value.retry_after >= 1.0
+        # ... but an unrelated tenant has its own bucket ...
+        other = ServiceClient(
+            client.base_url, connect_retries=0, tenant="zenith"
+        )
+        assert other.status(job_id)["state"] == "submitted"
+        # ... and at 2 tokens/second the bucket soon refills.
+        deadline = time.monotonic() + 5.0
+        while True:
+            try:
+                assert impatient.status(job_id)["state"] == "submitted"
+                break
+            except ServiceBusy:
+                assert time.monotonic() < deadline, "bucket never refilled"
+                time.sleep(0.1)
+
+    def test_healthz_and_metrics_exempt(self, idle_stack):
+        _, _, client = idle_stack
+        impatient = ServiceClient(client.base_url, connect_retries=0)
+        # Far more scrapes than the 2-token bucket would admit: the
+        # observability plane bypasses admission control entirely.
+        for _ in range(10):
+            assert impatient.health()["status"] == "ok"
+            assert "repro_http_requests_total" in impatient.metrics()
+
+
+@pytest.mark.parametrize(
+    "idle_stack",
+    [{"http_workers": 1, "queue_depth": 1}],
+    indirect=True,
+)
+class TestQueueShed:
+    def test_full_queue_sheds_with_retry_after(
+        self, idle_stack, tiny_matrix, paper_params
+    ):
+        _, _, client = idle_stack
+        record = client.submit_matrix(
+            tiny_matrix, parameters_to_dict(paper_params)
+        )
+        job_id = record["job_id"]
+        impatient = ServiceClient(client.base_url, connect_retries=0)
+
+        # Park the only worker in a long-poll, then fill the depth-1
+        # queue with a second long-poll; the next request must shed.
+        parked = []
+
+        def park(wait_s):
+            try:
+                parked.append(
+                    impatient.wait_for_change(job_id, wait=wait_s)
+                )
+            except ServiceBusy:
+                parked.append(None)
+
+        first = threading.Thread(target=park, args=(2.0,))
+        first.start()
+        time.sleep(0.3)
+        second = threading.Thread(target=park, args=(0.5,))
+        second.start()
+        time.sleep(0.2)
+        with pytest.raises(ServiceBusy) as info:
+            impatient.status(job_id)
+        assert info.value.status == 429
+        assert "queue" in str(info.value)
+        first.join(timeout=10)
+        second.join(timeout=10)
+
+
+class TestConnectionCap:
+    def test_excess_connection_gets_canned_429(self, tmp_path):
+        service = MiningService(tmp_path / "store")
+        server = serve(service, max_connections=1)
+        thread = threading.Thread(target=server.serve_forever, daemon=True)
+        thread.start()
+        host, port = server.server_address[0], server.server_address[1]
+        try:
+            holder = socket.create_connection((host, port), timeout=5)
+            time.sleep(0.3)  # let the loop register the connection
+            extra = socket.create_connection((host, port), timeout=5)
+            extra.settimeout(5)
+            data = extra.recv(4096)
+            assert b"429" in data.split(b"\r\n", 1)[0]
+            assert b"Retry-After" in data
+            holder.close()
+            extra.close()
+        finally:
+            server.shutdown()
+            server.server_close()
+            thread.join(timeout=5)
+            service.stop()
+
+    def test_shed_counter_visible_in_metrics(self, tmp_path):
+        service = MiningService(tmp_path / "store")
+        server = serve(service, max_connections=1)
+        thread = threading.Thread(target=server.serve_forever, daemon=True)
+        thread.start()
+        host, port = server.server_address[0], server.server_address[1]
+        try:
+            holder = socket.create_connection((host, port), timeout=5)
+            time.sleep(0.3)
+            extra = socket.create_connection((host, port), timeout=5)
+            extra.settimeout(5)
+            extra.recv(4096)
+            extra.close()
+            holder.close()
+            time.sleep(0.3)  # free the slot before scraping
+            client = ServiceClient(f"http://{host}:{port}")
+            text = client.metrics()
+            assert 'repro_http_shed_total{reason="connections"}' in text
+        finally:
+            server.shutdown()
+            server.server_close()
+            thread.join(timeout=5)
+            service.stop()
