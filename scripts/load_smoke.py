@@ -125,8 +125,12 @@ def _storm_client(
                 tally.latencies.append(elapsed)
                 tally.job_ids.add(record["job_id"])
         except ServiceBusy:
+            # No job id to poll this round — on the first iteration
+            # `record` is unbound, and later it would be stale.
             with tally.lock:
                 tally.busy_retries_exhausted += 1
+            iteration += 1
+            continue
         except Exception as error:  # noqa: BLE001 — summarized below
             with tally.lock:
                 tally.errors.append(f"submit: {error!r}")

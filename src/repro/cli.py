@@ -252,6 +252,11 @@ def build_parser() -> argparse.ArgumentParser:
         help="max in-flight requests per tenant; excess sheds with "
         "429 (default: no quota)",
     )
+    serve.add_argument(
+        "--idle-timeout", type=float, default=None, metavar="S",
+        help="close connections idle for S seconds with no request in "
+        "flight (default: 60; 0 disables the sweep)",
+    )
 
     node = sub.add_parser(
         "node",
@@ -666,6 +671,7 @@ def _cmd_serve(args: argparse.Namespace) -> int:
         tenant_rate=args.tenant_rate,
         tenant_burst=args.tenant_burst,
         tenant_quota=args.tenant_quota,
+        idle_timeout=args.idle_timeout,
     )
     host, port = server.server_address[0], server.server_address[1]
     print(

@@ -42,7 +42,7 @@ import selectors
 import socket
 import threading
 import time
-from collections import deque
+from collections import OrderedDict, deque
 from http.client import responses as _STATUS_REASONS
 from typing import Any, Deque, Dict, List, Optional, Tuple
 
@@ -64,6 +64,7 @@ __all__ = [
     "DEFAULT_MAX_CONNECTIONS",
     "DEFAULT_QUEUE_DEPTH",
     "DEFAULT_HTTP_WORKERS",
+    "DEFAULT_IDLE_TIMEOUT",
 ]
 
 #: Concurrent connections before accept-time shedding.
@@ -75,8 +76,28 @@ DEFAULT_QUEUE_DEPTH = 256
 #: Worker threads running the router (store reads + long-poll parks).
 DEFAULT_HTTP_WORKERS = 8
 
+#: Close connections with no progress toward a complete request for
+#: this many seconds — a socket that connects and never speaks (or
+#: trickles a header byte at a time) must not hold a connection slot
+#: until ``max_connections`` is exhausted.
+DEFAULT_IDLE_TIMEOUT = 60.0
+
 #: Refuse request heads (request line + headers) beyond this size.
 MAX_HEAD_BYTES = 64 * 1024
+
+#: Token buckets kept live at once; beyond this the least-recently
+#: used bucket is dropped (its tenant starts a fresh burst on return —
+#: bounded memory beats perfect enforcement against a client minting
+#: random ``X-Repro-Tenant`` values).
+MAX_TRACKED_TENANTS = 1024
+
+#: Distinct tenant label values on ``repro_http_admitted_total``;
+#: tenants beyond this collapse into the ``other`` label so a header
+#: storm cannot grow Prometheus cardinality without bound.
+MAX_TENANT_LABELS = 256
+
+#: Tenant names are truncated to this many characters for accounting.
+MAX_TENANT_NAME_CHARS = 64
 
 #: Paths served inline by the event loop (never queued or shed).
 _INLINE_PATHS = frozenset({"/healthz", "/metrics"})
@@ -143,6 +164,8 @@ class _Connection:
         "outbuf",
         "busy",
         "close_after_flush",
+        "last_activity",
+        "interest",
     )
 
     def __init__(self, sock: socket.socket, address: Tuple[str, int]):
@@ -154,6 +177,11 @@ class _Connection:
         #: further pipelined requests are parsed until it flushes
         self.busy = False
         self.close_after_flush = False
+        #: last byte received from or flushed to the client — the
+        #: idle sweep reaps connections this stamp has gone stale on
+        self.last_activity = time.monotonic()
+        #: selector event mask currently registered for this socket
+        self.interest = selectors.EVENT_READ
 
 
 class _Task:
@@ -199,6 +227,7 @@ class FrontDoorServer:
         tenant_rate: Optional[float] = None,
         tenant_burst: Optional[float] = None,
         tenant_quota: Optional[int] = None,
+        idle_timeout: Optional[float] = DEFAULT_IDLE_TIMEOUT,
     ) -> None:
         if max_connections < 1:
             raise ValueError(
@@ -216,6 +245,10 @@ class FrontDoorServer:
             raise ValueError(
                 f"tenant_quota must be >= 1, got {tenant_quota}"
             )
+        if idle_timeout is not None and idle_timeout <= 0.0:
+            raise ValueError(
+                f"idle_timeout must be > 0 or None, got {idle_timeout}"
+            )
         self.service = service
         self.quiet = quiet
         self.fault_plan = (
@@ -232,6 +265,7 @@ class FrontDoorServer:
             else (max(1.0, 2.0 * tenant_rate) if tenant_rate else None)
         )
         self.tenant_quota = tenant_quota
+        self.idle_timeout = idle_timeout
 
         # -- sockets / loop state (loop thread only, after bind) ------
         self._listener = socket.create_server(
@@ -250,8 +284,12 @@ class FrontDoorServer:
             maxsize=queue_depth
         )
         self._done: Deque[Tuple[_Task, Response]] = deque()
-        self._buckets: Dict[str, TokenBucket] = {}
+        self._buckets: "OrderedDict[str, TokenBucket]" = OrderedDict()
+        # _inflight needs no cap of its own: entries are deleted when
+        # a tenant's count hits zero, and the sum of counts is bounded
+        # by queue_depth + http_workers requests in flight.
         self._inflight: Dict[str, int] = {}
+        self._metric_tenants: set = set()
         self._workers: List[threading.Thread] = []
         self._shutdown_requested = threading.Event()
         self._loop_done = threading.Event()
@@ -294,6 +332,10 @@ class FrontDoorServer:
             "repro_http_longpoll_wait_seconds",
             "Seconds long-poll requests spent parked before answering.",
         )
+        self._m_idle_closed = metrics.counter(
+            "repro_http_idle_closed_total",
+            "Connections closed by the idle-timeout sweep.",
+        )
 
     # -- lifecycle -----------------------------------------------------
 
@@ -305,22 +347,41 @@ class FrontDoorServer:
         self._selector.register(
             self._wake_recv, selectors.EVENT_READ, "wake"
         )
+        last_sweep = time.monotonic()
         try:
             while not self._shutdown_requested.is_set():
                 events = self._selector.select(timeout=poll_interval)
                 for key, mask in events:
-                    if key.fileobj is self._listener:
-                        self._accept()
-                    elif key.data == "wake":
-                        self._drain_wake()
-                    else:
-                        conn = key.data
-                        assert isinstance(conn, _Connection)
-                        if mask & selectors.EVENT_READ:
-                            self._readable(conn)
-                        if mask & selectors.EVENT_WRITE:
-                            self._writable(conn)
+                    try:
+                        if key.fileobj is self._listener:
+                            self._accept()
+                        elif key.data == "wake":
+                            self._drain_wake()
+                        else:
+                            conn = key.data
+                            assert isinstance(conn, _Connection)
+                            if mask & selectors.EVENT_READ:
+                                self._readable(conn)
+                            if (mask & selectors.EVENT_WRITE
+                                    and conn.sock.fileno() >= 0):
+                                self._writable(conn)
+                    except Exception as error:  # reglint: disable=RL103
+                        # One broken connection must not take down the
+                        # loop (and with it every other connection);
+                        # listener/wake faults still propagate.
+                        if not isinstance(key.data, _Connection):
+                            raise
+                        _LOG.error(
+                            "http.loop.error",
+                            error=repr(error),
+                            client=key.data.address[0],
+                        )
+                        self._close_connection(key.data)
                 self._drain_done()
+                now = time.monotonic()
+                if now - last_sweep >= 1.0:
+                    last_sweep = now
+                    self._sweep_idle(now)
         finally:
             for key in list(self._selector.get_map().values()):
                 try:
@@ -439,6 +500,7 @@ class FrontDoorServer:
             self._close_connection(conn)
             return
         conn.inbuf.extend(chunk)
+        conn.last_activity = time.monotonic()
         if conn.busy:
             # A response is in flight; pipelined bytes wait in the
             # buffer, but a client streaming unbounded data while we
@@ -446,54 +508,104 @@ class FrontDoorServer:
             if len(conn.inbuf) > MAX_HEAD_BYTES + MAX_BODY_BYTES:
                 self._close_connection(conn)
             return
-        self._try_parse(conn)
+        self._pump(conn)
 
     def _writable(self, conn: _Connection) -> None:
-        if conn.outbuf:
-            try:
-                sent = conn.sock.send(bytes(conn.outbuf))
-            except BlockingIOError:
-                return
-            except (BrokenPipeError, ConnectionResetError, OSError):
-                self._close_connection(conn)
-                return
-            del conn.outbuf[:sent]
-        if conn.outbuf:
+        self._pump(conn)
+
+    def _set_interest(self, conn: _Connection, events: int) -> None:
+        if conn.interest == events:
             return
-        if conn.close_after_flush:
-            self._close_connection(conn)
-            return
-        # Response flushed: back to reading, and serve any pipelined
-        # request already sitting in the buffer.
-        conn.busy = False
         try:
-            self._selector.modify(conn.sock, selectors.EVENT_READ, conn)
+            self._selector.modify(conn.sock, events, conn)
         except (KeyError, ValueError):
             return
-        self._try_parse(conn)
+        conn.interest = events
 
-    def _try_parse(self, conn: _Connection) -> None:
-        """Parse at most one request off the buffer and dispatch it."""
+    def _pump(self, conn: _Connection) -> None:
+        """Flush output, then parse pipelined requests — iteratively.
+
+        This loop is the only driver of the flush -> parse-next cycle.
+        Keeping it flat (instead of ``_writable`` and the parser
+        calling each other) bounds stack depth at O(1) no matter how
+        many pipelined requests one client crams into a single buffer
+        — the recursive formulation let ~250 tiny pipelined requests
+        raise ``RecursionError`` on the event-loop thread.
+        """
+        while True:
+            if conn.sock.fileno() < 0:
+                return  # closed while a response was in flight
+            if conn.outbuf:
+                try:
+                    sent = conn.sock.send(bytes(conn.outbuf))
+                except BlockingIOError:
+                    self._set_interest(
+                        conn,
+                        selectors.EVENT_READ | selectors.EVENT_WRITE,
+                    )
+                    return
+                except (BrokenPipeError, ConnectionResetError, OSError):
+                    self._close_connection(conn)
+                    return
+                if sent <= 0:
+                    self._set_interest(
+                        conn,
+                        selectors.EVENT_READ | selectors.EVENT_WRITE,
+                    )
+                    return
+                conn.last_activity = time.monotonic()
+                del conn.outbuf[:sent]
+                if conn.outbuf:
+                    self._set_interest(
+                        conn,
+                        selectors.EVENT_READ | selectors.EVENT_WRITE,
+                    )
+                    return
+                if conn.close_after_flush:
+                    self._close_connection(conn)
+                    return
+                # Response fully flushed: the connection is free for
+                # the next (possibly already-buffered) request.
+                conn.busy = False
+            if conn.busy:
+                # Request in flight with a worker (e.g. a parked
+                # long-poll); its response arrives via _drain_done.
+                self._set_interest(conn, selectors.EVENT_READ)
+                return
+            if not self._parse_one(conn):
+                self._set_interest(conn, selectors.EVENT_READ)
+                return
+            # _parse_one dispatched one request: either it queued to a
+            # worker (busy, no output yet) or was answered in-line
+            # (outbuf filled) — loop to park or flush accordingly.
+
+    def _parse_one(self, conn: _Connection) -> bool:
+        """Parse at most one request off the buffer and dispatch it.
+
+        Returns True when a request (or an error response to one) was
+        dispatched, False when the buffer holds no complete request.
+        """
         head_end = conn.inbuf.find(b"\r\n\r\n")
         if head_end < 0:
             if len(conn.inbuf) > MAX_HEAD_BYTES:
                 self._respond_error(
                     conn, None, 431, "request header too large", close=True
                 )
-            return
+                return True
+            return False
         head = bytes(conn.inbuf[:head_end]).decode("latin-1")
         lines = head.split("\r\n")
         parts = lines[0].split(" ")
         if len(parts) != 3 or not parts[2].startswith("HTTP/1."):
             self._respond_error(conn, None, 400, "bad request line",
                                 close=True)
-            return
+            return True
         method, target, _version = parts
         if method not in ("GET", "POST", "DELETE"):
             self._respond_error(
                 conn, None, 405, f"method {method} not allowed", close=True
             )
-            return
+            return True
         headers: Dict[str, str] = {}
         for line in lines[1:]:
             name, sep, value = line.partition(":")
@@ -502,17 +614,21 @@ class FrontDoorServer:
         try:
             length = int(headers.get("content-length") or 0)
         except ValueError:
+            length = -1
+        if length < 0:
+            # A negative Content-Length would under-consume the buffer
+            # below and desync the next pipelined request.
             self._respond_error(conn, None, 400, "bad Content-Length",
                                 close=True)
-            return
+            return True
         if length > MAX_BODY_BYTES:
             self._respond_error(
                 conn, method, 413, "request body too large", close=True
             )
-            return
+            return True
         body_start = head_end + 4
         if len(conn.inbuf) - body_start < length:
-            return  # body still arriving
+            return False  # body still arriving
         body = bytes(conn.inbuf[body_start:body_start + length])
         del conn.inbuf[:body_start + length]
         request = Request(
@@ -522,6 +638,31 @@ class FrontDoorServer:
             conn.close_after_flush = True
         conn.busy = True
         self._admit(conn, request)
+        return True
+
+    def _sweep_idle(self, now: float) -> None:
+        """Close connections idle past the timeout (slowloris guard).
+
+        A connection counts as idle while it is the *client's* turn to
+        talk: no request in flight and no unflushed response, or a
+        response the client has stopped draining.  Requests parked on
+        workers (long-polls) are exempt — their clock is the requested
+        wait, not the idle timeout.
+        """
+        if self.idle_timeout is None:
+            return
+        cutoff = now - self.idle_timeout
+        for conn in list(self._connections.values()):
+            if conn.busy and not conn.outbuf:
+                continue  # waiting on a worker, not on the client
+            if conn.last_activity < cutoff:
+                self._m_idle_closed.inc()
+                if not self.quiet:
+                    _LOG.warning(
+                        "http.idle_close", client=conn.address[0],
+                        idle_seconds=round(now - conn.last_activity, 1),
+                    )
+                self._close_connection(conn)
 
     def _admit(self, conn: _Connection, request: Request) -> None:
         """Run admission control; queue, answer inline, or shed."""
@@ -538,13 +679,17 @@ class FrontDoorServer:
         tenant: Optional[str] = None
         quota_held = False
         if not path.startswith(_INTERNAL_PREFIXES):
-            tenant = request.tenant
+            tenant = request.tenant[:MAX_TENANT_NAME_CHARS]
             if self.tenant_rate is not None:
                 bucket = self._buckets.get(tenant)
                 if bucket is None:
                     assert self.tenant_burst is not None
                     bucket = TokenBucket(self.tenant_rate, self.tenant_burst)
                     self._buckets[tenant] = bucket
+                else:
+                    self._buckets.move_to_end(tenant)
+                while len(self._buckets) > MAX_TRACKED_TENANTS:
+                    self._buckets.popitem(last=False)
                 if not bucket.try_take():
                     self._shed(
                         conn, request, "rate",
@@ -558,7 +703,7 @@ class FrontDoorServer:
                     return
                 self._inflight[tenant] = held + 1
                 quota_held = True
-            self._m_admitted.labels(tenant=tenant).inc()
+            self._m_admitted.labels(tenant=self._tenant_label(tenant)).inc()
         task = _Task(conn, request, started, tenant, quota_held)
         try:
             self._tasks.put_nowait(task)
@@ -567,6 +712,15 @@ class FrontDoorServer:
             self._shed(conn, request, "queue", retry_after=1.0)
             return
         self._m_queue_depth.set(float(self._tasks.qsize()))
+
+    def _tenant_label(self, tenant: str) -> str:
+        """The metric label for a tenant, capping label cardinality."""
+        if tenant in self._metric_tenants:
+            return tenant
+        if len(self._metric_tenants) < MAX_TENANT_LABELS:
+            self._metric_tenants.add(tenant)
+            return tenant
+        return "other"
 
     def _release_quota(self, task: _Task) -> None:
         if not task.quota_held or task.tenant is None:
@@ -642,16 +796,9 @@ class FrontDoorServer:
                     duration_ms=round(elapsed * 1000.0, 3),
                     client=conn.address[0],
                 )
+        # Only buffer the bytes here — the caller's _pump drives the
+        # actual flush, keeping the flush -> parse cycle iterative.
         conn.outbuf.extend(self._serialize(response, conn))
-        try:
-            self._selector.modify(
-                conn.sock,
-                selectors.EVENT_READ | selectors.EVENT_WRITE,
-                conn,
-            )
-        except (KeyError, ValueError):
-            return
-        self._writable(conn)
 
     def _observe(
         self, method: str, response: Response, elapsed: float
@@ -690,6 +837,7 @@ class FrontDoorServer:
             except IndexError:
                 return
             self._finish(task, response)
+            self._pump(task.conn)
 
     # -- worker pool ---------------------------------------------------
 

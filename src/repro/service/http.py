@@ -142,6 +142,7 @@ def serve(
     tenant_rate: Optional[float] = None,
     tenant_burst: Optional[float] = None,
     tenant_quota: Optional[int] = None,
+    idle_timeout: Optional[float] = None,
 ) -> FrontDoorServer:
     """Bind (but do not run) the HTTP front end; port 0 = ephemeral.
 
@@ -165,6 +166,11 @@ def serve(
         options["tenant_burst"] = tenant_burst
     if tenant_quota is not None:
         options["tenant_quota"] = tenant_quota
+    if idle_timeout is not None:
+        # 0 (or negative) from the CLI means "disable the sweep".
+        options["idle_timeout"] = (
+            idle_timeout if idle_timeout > 0 else None
+        )
     return FrontDoorServer(
         (host, port), service, quiet=quiet, fault_plan=fault_plan,
         **options,

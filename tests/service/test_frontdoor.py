@@ -16,6 +16,7 @@ import time
 
 import pytest
 
+from repro.service import frontdoor
 from repro.service.frontdoor import TokenBucket
 from repro.service.http import (
     ServiceBusy,
@@ -480,6 +481,144 @@ class TestQueueShed:
         assert "queue" in str(info.value)
         first.join(timeout=10)
         second.join(timeout=10)
+
+
+class TestPipelining:
+    def test_deep_pipeline_served_iteratively(self, idle_stack):
+        """Hundreds of pipelined requests in one buffer must not blow
+        the event-loop stack (the old recursive flush -> parse cycle
+        raised RecursionError and killed the whole server)."""
+        _, server, _ = idle_stack
+        host, port = server.server_address[0], server.server_address[1]
+        n = 400
+        sock = socket.create_connection((host, port), timeout=10)
+        try:
+            sock.sendall(b"GET /healthz HTTP/1.1\r\n\r\n" * n)
+            sock.settimeout(10)
+            received = bytearray()
+            while received.count(b"HTTP/1.1 200") < n:
+                chunk = sock.recv(65536)
+                assert chunk, (
+                    f"connection closed after "
+                    f"{received.count(b'HTTP/1.1 200')}/{n} responses"
+                )
+                received.extend(chunk)
+        finally:
+            sock.close()
+        # The loop survived: a fresh request still gets answered.
+        probe = ServiceClient(f"http://{host}:{port}", connect_retries=2)
+        assert probe.health()["status"] == "ok"
+
+    def test_negative_content_length_rejected(self, idle_stack):
+        """Content-Length: -5 must 400 and close, not desync the
+        buffer into mis-parsing the trailing head bytes."""
+        _, server, _ = idle_stack
+        host, port = server.server_address[0], server.server_address[1]
+        sock = socket.create_connection((host, port), timeout=10)
+        try:
+            sock.sendall(
+                b"POST /jobs HTTP/1.1\r\nContent-Length: -5\r\n\r\n"
+            )
+            sock.settimeout(10)
+            data = sock.recv(65536)
+            assert b" 400 " in data.split(b"\r\n", 1)[0]
+            assert b"Connection: close" in data
+        finally:
+            sock.close()
+        probe = ServiceClient(f"http://{host}:{port}", connect_retries=2)
+        assert probe.health()["status"] == "ok"
+
+
+@pytest.mark.parametrize(
+    "idle_stack", [{"idle_timeout": 0.5}], indirect=True
+)
+class TestIdleTimeout:
+    def test_silent_connection_is_reaped(self, idle_stack):
+        _, server, client = idle_stack
+        host, port = server.server_address[0], server.server_address[1]
+        sock = socket.create_connection((host, port), timeout=10)
+        try:
+            sock.settimeout(10)
+            # Never send a request: the sweep (1s cadence) must close
+            # the socket instead of letting it hold a slot forever.
+            assert sock.recv(4096) == b""
+        finally:
+            sock.close()
+        assert "repro_http_idle_closed_total 1" in client.metrics()
+
+    def test_longpoll_outlives_idle_timeout(
+        self, idle_stack, tiny_matrix, paper_params
+    ):
+        # A parked long-poll is waiting on the *server*, not the
+        # client — it must not be reaped as idle mid-wait.
+        _, _, client = idle_stack
+        record = client.submit_matrix(
+            tiny_matrix, parameters_to_dict(paper_params)
+        )
+        unchanged = client.wait_for_change(record["job_id"], wait=2.0)
+        assert unchanged["state"] == "submitted"
+
+
+class TestTenantStateBounds:
+    def test_bucket_lru_and_label_cardinality_capped(
+        self, tmp_path, monkeypatch
+    ):
+        monkeypatch.setattr(frontdoor, "MAX_TRACKED_TENANTS", 4)
+        monkeypatch.setattr(frontdoor, "MAX_TENANT_LABELS", 3)
+        service = MiningService(tmp_path / "store")
+        server = serve(service, tenant_rate=1000.0)
+        thread = threading.Thread(target=server.serve_forever, daemon=True)
+        thread.start()
+        host, port = server.server_address[0], server.server_address[1]
+        try:
+            for index in range(10):
+                tenant_client = ServiceClient(
+                    f"http://{host}:{port}",
+                    connect_retries=2,
+                    tenant=f"tenant-{index}",
+                )
+                assert tenant_client.list_jobs() == []
+            snapshot = server.admission_snapshot()
+            # Random tenant names must not grow bucket state ...
+            assert len(snapshot["tenants_seen"]) <= 4
+            # ... nor metric label cardinality: the overflow tenants
+            # all collapse into the "other" label.
+            text = service.metrics.render()
+            admits = [
+                line for line in text.splitlines()
+                if line.startswith("repro_http_admitted_total{")
+            ]
+            assert len(admits) <= 4  # 3 tracked + "other"
+            assert any('tenant="other"' in line for line in admits)
+        finally:
+            server.shutdown()
+            server.server_close()
+            thread.join(timeout=5)
+            service.stop()
+
+    def test_tenant_name_truncated_for_accounting(self, tmp_path):
+        service = MiningService(tmp_path / "store")
+        server = serve(service, tenant_rate=1000.0)
+        thread = threading.Thread(target=server.serve_forever, daemon=True)
+        thread.start()
+        host, port = server.server_address[0], server.server_address[1]
+        try:
+            long_name = "t" * 500
+            tenant_client = ServiceClient(
+                f"http://{host}:{port}", connect_retries=2,
+                tenant=long_name,
+            )
+            assert tenant_client.list_jobs() == []
+            snapshot = server.admission_snapshot()
+            assert all(
+                len(name) <= frontdoor.MAX_TENANT_NAME_CHARS
+                for name in snapshot["tenants_seen"]
+            )
+        finally:
+            server.shutdown()
+            server.server_close()
+            thread.join(timeout=5)
+            service.stop()
 
 
 class TestConnectionCap:
