@@ -2,7 +2,7 @@
 
 PYTHON ?= python
 
-.PHONY: install test coverage bench bench-quick bench-regression examples serve-smoke chaos-smoke trace-smoke fleet-smoke load-smoke lint lint-full typecheck clean
+.PHONY: install test coverage bench bench-quick bench-regression examples serve-smoke chaos-smoke trace-smoke fleet-smoke load-smoke incremental-smoke lint lint-full typecheck clean
 
 install:
 	pip install -e . --no-build-isolation
@@ -38,6 +38,7 @@ bench-regression:
 	PYTHONPATH=src $(PYTHON) -m repro.bench.regression run --legacy --out BENCH_baseline.json
 	PYTHONPATH=src $(PYTHON) -m repro.bench.regression run --out BENCH_kernels.json
 	PYTHONPATH=src $(PYTHON) -m repro.bench.regression compare BENCH_kernels.json BENCH_baseline.json --tolerance 0.5
+	PYTHONPATH=src $(PYTHON) -m repro.bench.regression incremental --out BENCH_incremental.json
 
 examples:
 	@for script in examples/*.py; do \
@@ -77,6 +78,14 @@ LOAD_CLIENTS ?= 32
 LOAD_DURATION ?= 3
 load-smoke:
 	PYTHONPATH=src LOAD_CLIENTS=$(LOAD_CLIENTS) LOAD_DURATION=$(LOAD_DURATION) $(PYTHON) scripts/load_smoke.py
+
+# Delta-aware counterpart of serve-smoke: mine a base matrix, append
+# three in-range conditions, and require the revision job to reuse at
+# least the planner's clean-shard fraction while staying bit-identical
+# to a from-scratch mine — then a 2x2 sweep that must build exactly one
+# cold kernel per gamma (docs/incremental.md).
+incremental-smoke:
+	PYTHONPATH=src $(PYTHON) scripts/incremental_smoke.py
 
 lint:
 	PYTHONPATH=src $(PYTHON) -m repro.analysis src/repro tests benchmarks examples

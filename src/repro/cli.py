@@ -27,6 +27,10 @@ Subcommands
     coordinator and mines them locally (docs/distributed.md).
 ``submit``
     Submit a matrix to a running daemon (optionally wait for the result).
+``evolve``
+    Evolve a stored matrix on a running daemon by one typed delta
+    (append conditions/genes, drop genes) and mine the child
+    incrementally (docs/incremental.md).
 ``status``
     Query a job on a running daemon.
 ``trace``
@@ -335,6 +339,60 @@ def build_parser() -> argparse.ArgumentParser:
     submit.add_argument(
         "--output", default=None, metavar="RESULT.json",
         help="with --wait: also write the finished result as JSON",
+    )
+
+    evolve = sub.add_parser(
+        "evolve",
+        help="evolve a stored matrix by one delta and mine the child "
+        "incrementally (docs/incremental.md)",
+    )
+    evolve.add_argument(
+        "parent_digest",
+        help="content digest of the stored parent matrix (64 hex chars; "
+        "shown as matrix_digest by 'reg-cluster status')",
+    )
+    delta_group = evolve.add_mutually_exclusive_group(required=True)
+    delta_group.add_argument(
+        "--append-conditions", default=None, metavar="FILE",
+        help="tab-delimited file of the NEW conditions only: rows are "
+        "the parent's genes (same order), columns the new conditions",
+    )
+    delta_group.add_argument(
+        "--append-genes", default=None, metavar="FILE",
+        help="tab-delimited file of the NEW genes only: rows are the "
+        "new genes, columns the parent's conditions (same order)",
+    )
+    delta_group.add_argument(
+        "--drop-genes", nargs="+", default=None, metavar="GENE",
+        help="gene names to retire from the parent matrix",
+    )
+    evolve.add_argument(
+        "--url", default="http://127.0.0.1:8765", help="daemon base URL"
+    )
+    evolve.add_argument("--min-genes", type=int, required=True,
+                        metavar="MinG")
+    evolve.add_argument("--min-conditions", type=int, required=True,
+                        metavar="MinC")
+    evolve.add_argument("--gamma", type=float, required=True,
+                        help="regulation threshold in [0, 1]")
+    evolve.add_argument("--epsilon", type=float, required=True,
+                        help="coherence threshold >= 0")
+    evolve.add_argument("--max-clusters", type=int, default=None)
+    evolve.add_argument(
+        "--priority", choices=["high", "normal", "low"], default=None,
+        help="executor priority class (default: normal)",
+    )
+    evolve.add_argument(
+        "--tenant", default=None, metavar="NAME",
+        help="tenant tag sent as X-Repro-Tenant",
+    )
+    evolve.add_argument(
+        "--wait", action="store_true",
+        help="long-poll until the revision job finishes",
+    )
+    evolve.add_argument(
+        "--timeout", type=float, default=300.0,
+        help="--wait polling deadline in seconds",
     )
 
     status = sub.add_parser(
@@ -762,6 +820,69 @@ def _cmd_submit(args: argparse.Namespace) -> int:
     return 0
 
 
+def _cmd_evolve(args: argparse.Namespace) -> int:
+    from repro.service import ServiceClient, ServiceError
+    from repro.service.jobs import parameters_to_dict
+
+    if args.append_conditions is not None:
+        # The file holds only the NEW columns, rows = parent genes; the
+        # wire form is one row per new condition (docs/incremental.md).
+        block = load_expression_matrix(args.append_conditions)
+        delta = {
+            "kind": "append_conditions",
+            "names": list(block.condition_names),
+            "values": [
+                [float(v) for v in row] for row in block.values.T
+            ],
+        }
+    elif args.append_genes is not None:
+        block = load_expression_matrix(args.append_genes)
+        delta = {
+            "kind": "append_genes",
+            "names": list(block.gene_names),
+            "values": [
+                [float(v) for v in row] for row in block.values
+            ],
+        }
+    else:
+        delta = {"kind": "drop_genes", "genes": list(args.drop_genes)}
+    client = ServiceClient(args.url, tenant=args.tenant)
+    try:
+        envelope = client.submit_revision(
+            args.parent_digest,
+            delta,
+            parameters_to_dict(args.parameters),
+            priority=args.priority,
+        )
+        revision = envelope["revision"]
+        record = envelope["job"]
+        print(
+            f"revision {revision['parent_digest'][:12]}... "
+            f"--{delta['kind']}--> {revision['child_digest'][:12]}..."
+        )
+        print(f"job {record['job_id']} {record['state']}")
+        if not args.wait:
+            return 0
+        record = client.wait(record["job_id"], timeout=args.timeout)
+        print(f"job {record['job_id']} {record['state']}")
+        if record["state"] not in ("done", "degraded"):
+            if record.get("error"):
+                print(f"error: {record['error']}", file=sys.stderr)
+            return 1
+        reused = record.get("reused_shards") or []
+        print(
+            f"reused {len(reused)} shard(s) from parent job "
+            f"{record.get('revision_parent')}"
+            if reused
+            else "no shards reused (delta dirtied every shard, or the "
+            "parent job was unavailable)"
+        )
+    except ServiceError as error:
+        print(f"error: {error.message}", file=sys.stderr)
+        return 2
+    return 0
+
+
 def _cmd_status(args: argparse.Namespace) -> int:
     from repro.service import ServiceClient, ServiceError
 
@@ -781,7 +902,9 @@ def _cmd_status(args: argparse.Namespace) -> int:
     for key in ("job_id", "state", "priority", "tenant", "matrix_digest",
                 "submitted_at", "started_at", "finished_at", "error",
                 "index_cache_hit", "kernel_cache_hit", "result_cache_hit",
-                "missing_shards", "resumed_shards", "shard_failures"):
+                "missing_shards", "resumed_shards", "reused_shards",
+                "shard_failures", "revision_parent", "kernel_build",
+                "sweep_id"):
         value = record.get(key)
         if value is not None:
             print(f"{key}: {value}")
@@ -791,10 +914,27 @@ def _cmd_status(args: argparse.Namespace) -> int:
         print(f"phase.{key}: {seconds:.3f}s")
     print(f"parameters: {record.get('parameters')}")
     if args.stats:
-        # Per-shard provenance: which node (or "local"/"checkpoint")
-        # mined each shard, and in how many attempts — populated for
-        # fleet and non-fleet jobs alike (docs/distributed.md).
+        # Incremental reuse breakdown (docs/incremental.md): how many
+        # shards were stitched from the parent job vs actually mined,
+        # and whether the kernel came from cache, a delta update, or a
+        # cold build.
+        reused = record.get("reused_shards") or []
         provenance = record.get("shard_provenance") or {}
+        if record.get("revision_parent") or reused:
+            mined = sum(
+                1
+                for info in provenance.values()
+                if info.get("node") not in (None, "parent")
+            )
+            print(f"reuse.shards_reused: {len(reused)}")
+            print(f"reuse.shards_mined: {mined}")
+            print(f"reuse.parent_job: {record.get('revision_parent')}")
+        if record.get("kernel_build") is not None:
+            print(f"reuse.kernel_build: {record['kernel_build']}")
+        # Per-shard provenance: which node (or "local"/"checkpoint"/
+        # "parent") mined each shard, and in how many attempts —
+        # populated for fleet and non-fleet jobs alike
+        # (docs/distributed.md).
         for shard, info in sorted(
             provenance.items(), key=lambda item: int(item[0])
         ):
@@ -829,7 +969,7 @@ def main(argv: Optional[Sequence[str]] = None) -> int:
     """Entry point; returns a process exit code."""
     parser = build_parser()
     args = parser.parse_args(list(argv) if argv is not None else None)
-    if args.command in ("mine", "submit"):
+    if args.command in ("mine", "submit", "evolve"):
         # Satellite fix: reject out-of-range MinG/MinC/gamma/epsilon with
         # a usage error *before* touching the matrix file.
         try:
@@ -848,6 +988,7 @@ def main(argv: Optional[Sequence[str]] = None) -> int:
         "serve": _cmd_serve,
         "node": _cmd_node,
         "submit": _cmd_submit,
+        "evolve": _cmd_evolve,
         "status": _cmd_status,
         "trace": _cmd_trace,
     }

@@ -101,6 +101,85 @@ class RegulationKernel:
         self._up_cache: "OrderedDict[int, NDArray[np.bool_]]" = OrderedDict()
         self._down_cache: "OrderedDict[int, NDArray[np.bool_]]" = OrderedDict()
 
+    @classmethod
+    def from_packed(
+        cls,
+        packed: NDArray[np.uint8],
+        *,
+        n_conditions: int,
+        slice_cache: int = DEFAULT_SLICE_CACHE,
+    ) -> "RegulationKernel":
+        """Wrap an already-packed relation tensor into a kernel.
+
+        The delta-update seam (:mod:`repro.incremental.update`): a
+        revision job reuses the unchanged planes of its parent's kernel
+        and packs only the new/changed ones, then assembles the result
+        here without re-deriving any bit.  The caller guarantees the
+        bits correspond to Eq. 3 over some ``(values, thresholds)``
+        pair — the incremental equivalence suite proves the assembled
+        tensor byte-identical to a cold :meth:`_pack` build.
+        """
+        if n_conditions < 0:
+            raise ValueError(
+                f"n_conditions must be >= 0, got {n_conditions}"
+            )
+        if slice_cache < 0:
+            raise ValueError(f"slice_cache must be >= 0, got {slice_cache}")
+        tensor = np.ascontiguousarray(packed, dtype=np.uint8)
+        expected_width = (n_conditions + 7) // 8
+        if (
+            tensor.ndim != 3
+            or tensor.shape[1] != n_conditions
+            or tensor.shape[2] != expected_width
+        ):
+            raise ValueError(
+                f"packed tensor must have shape (G, {n_conditions}, "
+                f"{expected_width}), got {tensor.shape}"
+            )
+        kernel = cls.__new__(cls)
+        kernel.n_genes = int(tensor.shape[0])
+        kernel.n_conditions = int(n_conditions)
+        kernel.slice_cache = int(slice_cache)
+        kernel._packed = tensor
+        kernel._up_cache = OrderedDict()
+        kernel._down_cache = OrderedDict()
+        return kernel
+
+    @classmethod
+    def pack_planes(
+        cls, values: ArrayLike, thresholds: ArrayLike
+    ) -> NDArray[np.uint8]:
+        """Pack the Eq. 3 relation of the given gene rows (no kernel).
+
+        Public wrapper over :meth:`_pack` for incremental updates that
+        build the planes of *new* genes only and splice them next to
+        reused parent planes (:func:`repro.incremental.update
+        .update_kernel`).
+        """
+        data = np.ascontiguousarray(values, dtype=np.float64)
+        if data.ndim != 2:
+            raise ValueError(
+                f"values must be a 2-D matrix, got shape {data.shape}"
+            )
+        per_gene = np.asarray(thresholds, dtype=np.float64)
+        if per_gene.shape != (data.shape[0],):
+            raise ValueError(
+                f"thresholds must have shape ({data.shape[0]},), got "
+                f"{per_gene.shape}"
+            )
+        if np.any(per_gene < 0):
+            raise ValueError("thresholds must be non-negative")
+        return cls._pack(data, per_gene)
+
+    @property
+    def packed(self) -> NDArray[np.uint8]:
+        """The packed relation tensor ``(G, C, ceil(C/8))`` (read-only).
+
+        Shared with the kernel — callers must not mutate it.  Exposed
+        for delta-updates that reuse unchanged planes verbatim.
+        """
+        return self._packed
+
     @staticmethod
     def _pack(
         values: NDArray[np.float64], thresholds: NDArray[np.float64]

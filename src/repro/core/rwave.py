@@ -324,6 +324,57 @@ class RWaveIndex:
         # a no-op unless contracts are enabled for the process.
         maybe_check_rwave_index(self)
 
+    @classmethod
+    def from_parts(
+        cls,
+        matrix: ExpressionMatrix,
+        gamma: float,
+        *,
+        thresholds: ArrayLike,
+        models: Sequence[RWaveModel],
+        max_up: ArrayLike,
+        max_down: ArrayLike,
+    ) -> "RWaveIndex":
+        """Assemble an index from prebuilt per-gene models.
+
+        The delta-update seam (:mod:`repro.incremental.update`): a
+        revision that appends or drops genes leaves the surviving
+        genes' rows — and therefore their models and max-chain tables —
+        untouched, so an updated index splices them in verbatim instead
+        of re-sorting every gene.  The caller guarantees the parts
+        belong to ``(matrix, gamma)``; the same debug-mode Lemma 3.1
+        contract hook as the cold constructor re-checks them when
+        contracts are enabled.
+        """
+        index = cls.__new__(cls)
+        index.matrix = matrix
+        index.gamma = float(gamma)
+        per_gene = np.asarray(thresholds, dtype=np.float64)
+        if per_gene.shape != (matrix.n_genes,):
+            raise ValueError(
+                f"thresholds must have shape ({matrix.n_genes},), got "
+                f"{per_gene.shape}"
+            )
+        if np.any(per_gene < 0):
+            raise ValueError("thresholds must be non-negative")
+        index.thresholds = per_gene
+        index.models = tuple(models)
+        if len(index.models) != matrix.n_genes:
+            raise ValueError(
+                f"expected {matrix.n_genes} models, got {len(index.models)}"
+            )
+        shape = (matrix.n_genes, matrix.n_conditions)
+        index.max_up = np.asarray(max_up, dtype=np.intp)
+        index.max_down = np.asarray(max_down, dtype=np.intp)
+        if index.max_up.shape != shape or index.max_down.shape != shape:
+            raise ValueError(
+                f"max-chain tables must have shape {shape}, got "
+                f"{index.max_up.shape} / {index.max_down.shape}"
+            )
+        index._kernel = None
+        maybe_check_rwave_index(index)
+        return index
+
     def model(self, gene: "int | str") -> RWaveModel:
         """The RWave model of one gene."""
         return self.models[self.matrix.gene_index(gene)]

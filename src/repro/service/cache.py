@@ -36,10 +36,11 @@ from __future__ import annotations
 import json
 import os
 import pickle
+import re
 import threading
 from dataclasses import dataclass
 from pathlib import Path
-from typing import Any, Callable, Dict, List, Optional, Union
+from typing import Any, Callable, Dict, List, Optional, Set, Union
 
 from repro.core.kernels import RegulationKernel
 from repro.core.rwave import RWaveIndex
@@ -92,10 +93,29 @@ class _ManifestEntry:
     file: str
     size: int
     last_used: int = 0
+    #: the parent matrix digest a delta-updated artifact was derived
+    #: from (``None`` for cold-built artifacts) — lineage provenance,
+    #: surfaced through :meth:`ArtifactCache.derived_from`
+    parent_digest: Optional[str] = None
 
     def to_dict(self) -> Dict[str, Any]:
-        return {"file": self.file, "size": self.size,
-                "last_used": self.last_used}
+        payload: Dict[str, Any] = {
+            "file": self.file,
+            "size": self.size,
+            "last_used": self.last_used,
+        }
+        if self.parent_digest is not None:
+            payload["parent_digest"] = self.parent_digest
+        return payload
+
+
+#: Index/kernel keys embed the matrix digest; results do not.
+_ARTIFACT_KEY = re.compile(r"^(?:index|kernel)-([0-9a-f]{64})-gamma-")
+
+
+def _key_digest(key: str) -> Optional[str]:
+    match = _ARTIFACT_KEY.match(key)
+    return match.group(1) if match else None
 
 
 def _index_key(matrix_digest: str, gamma: float) -> str:
@@ -158,7 +178,17 @@ class ArtifactCache:
         self._lock = threading.RLock()
         self._clock = 0
         self._manifest: Dict[str, _ManifestEntry] = {}
-        self._load_manifest()
+        #: secondary indexes over the manifest — matrix digest -> keys
+        #: of its index/kernel artifacts, and parent digest -> keys of
+        #: artifacts delta-derived from it.  Maintained on every
+        #: insert/evict/drop so lineage lookups never scan the manifest.
+        self._by_digest: Dict[str, Set[str]] = {}
+        self._by_parent: Dict[str, Set[str]] = {}
+        # Construction is single-threaded, but the index helpers are
+        # shared with locked paths — hold the (reentrant) lock so every
+        # mutation of the secondary indexes is under it.
+        with self._lock:
+            self._load_manifest()
 
     # ------------------------------------------------------------------
     # Manifest persistence
@@ -175,11 +205,14 @@ class ArtifactCache:
             return
         for key, entry in payload.get("entries", {}).items():
             if (self.root / entry["file"]).exists():
+                parent = entry.get("parent_digest")
                 self._manifest[key] = _ManifestEntry(
                     file=entry["file"],
                     size=int(entry["size"]),
                     last_used=int(entry.get("last_used", 0)),
+                    parent_digest=None if parent is None else str(parent),
                 )
+                self._index_entry(key)
         if self._manifest:
             self._clock = max(e.last_used for e in self._manifest.values())
 
@@ -192,6 +225,58 @@ class ArtifactCache:
         tmp = self._manifest_path.with_suffix(".json.tmp")
         tmp.write_text(json.dumps(payload, sort_keys=True), encoding="utf-8")
         os.replace(tmp, self._manifest_path)
+
+    # ------------------------------------------------------------------
+    # Secondary indexes (matrix digest / parent digest -> keys)
+    # ------------------------------------------------------------------
+
+    def _index_entry(self, key: str) -> None:
+        """Register one manifest entry in the digest/parent indexes."""
+        digest = _key_digest(key)
+        if digest is not None:
+            self._by_digest.setdefault(digest, set()).add(key)
+        parent = self._manifest[key].parent_digest
+        if parent is not None:
+            self._by_parent.setdefault(parent, set()).add(key)
+
+    def _unindex_entry(self, key: str, entry: _ManifestEntry) -> None:
+        """Drop one (removed) manifest entry from the secondary indexes."""
+        digest = _key_digest(key)
+        if digest is not None:
+            bucket = self._by_digest.get(digest)
+            if bucket is not None:
+                bucket.discard(key)
+                if not bucket:
+                    del self._by_digest[digest]
+        if entry.parent_digest is not None:
+            bucket = self._by_parent.get(entry.parent_digest)
+            if bucket is not None:
+                bucket.discard(key)
+                if not bucket:
+                    del self._by_parent[entry.parent_digest]
+
+    def _forget(self, key: str) -> Optional[_ManifestEntry]:
+        """Remove one key from manifest + indexes (file left to caller)."""
+        entry = self._manifest.pop(key, None)
+        if entry is not None:
+            self._unindex_entry(key, entry)
+        return entry
+
+    def artifacts_for_digest(self, matrix_digest: str) -> List[str]:
+        """Cached index/kernel keys of one matrix (no manifest scan)."""
+        with self._lock:
+            return sorted(self._by_digest.get(matrix_digest, ()))
+
+    def derived_from(self, parent_digest: str) -> List[str]:
+        """Keys of artifacts delta-derived from ``parent_digest``.
+
+        Children are self-contained: the parent artifact is only an
+        input at *build* time, so evicting a parent never invalidates
+        the artifacts derived from it — this lookup exists for
+        provenance and cache-warming decisions, not liveness.
+        """
+        with self._lock:
+            return sorted(self._by_parent.get(parent_digest, ()))
 
     # ------------------------------------------------------------------
     # LRU core
@@ -226,14 +311,23 @@ class ArtifactCache:
             if not victims:
                 break
             victim = min(victims, key=lambda k: self._manifest[k].last_used)
-            entry = self._manifest.pop(victim)
+            entry = self._forget(victim)
+            if entry is None:
+                continue
             try:
                 (self.root / entry.file).unlink()
             except FileNotFoundError:
                 pass
             self.stats.evictions += 1
 
-    def _store(self, key: str, filename: str, data: bytes) -> None:
+    def _store(
+        self,
+        key: str,
+        filename: str,
+        data: bytes,
+        *,
+        parent_digest: Optional[str] = None,
+    ) -> None:
         if self.fault_plan is not None and self.fault_plan.fire(
             FaultKind.CACHE_WRITE_FAIL
         ):
@@ -247,7 +341,11 @@ class ArtifactCache:
             tmp = path.with_suffix(path.suffix + ".tmp")
             tmp.write_bytes(data)
             os.replace(tmp, path)
-            self._manifest[key] = _ManifestEntry(file=filename, size=len(data))
+            self._forget(key)
+            self._manifest[key] = _ManifestEntry(
+                file=filename, size=len(data), parent_digest=parent_digest
+            )
+            self._index_entry(key)
             self._touch(key)
             self._evict_for(key)
             self._save_manifest()
@@ -260,7 +358,7 @@ class ArtifactCache:
             try:
                 data = (self.root / entry.file).read_bytes()
             except FileNotFoundError:
-                del self._manifest[key]
+                self._forget(key)
                 self._save_manifest()
                 return None
             self._touch(key)
@@ -291,7 +389,7 @@ class ArtifactCache:
                 ImportError):
             # A corrupt or stale artifact is a miss, not an error.
             with self._lock:
-                self._manifest.pop(key, None)
+                self._forget(key)
                 self._save_manifest()
             self._bump("index_misses")
             return None
@@ -302,12 +400,21 @@ class ArtifactCache:
         return index
 
     def put_index(
-        self, matrix_digest: str, gamma: float, index: RWaveIndex
+        self,
+        matrix_digest: str,
+        gamma: float,
+        index: RWaveIndex,
+        *,
+        parent_digest: Optional[str] = None,
     ) -> None:
-        """Memoize a built index under (digest, gamma)."""
+        """Memoize a built index under (digest, gamma).
+
+        ``parent_digest`` records lineage when the index was
+        delta-updated from another matrix's index (docs/incremental.md).
+        """
         key = _index_key(matrix_digest, gamma)
         data = pickle.dumps(index, protocol=pickle.HIGHEST_PROTOCOL)
-        self._store(key, f"{key}.pkl", data)
+        self._store(key, f"{key}.pkl", data, parent_digest=parent_digest)
         self._bump("index_stores")
 
     # ------------------------------------------------------------------
@@ -329,7 +436,7 @@ class ArtifactCache:
                 ImportError):
             # A corrupt or stale artifact is a miss, not an error.
             with self._lock:
-                self._manifest.pop(key, None)
+                self._forget(key)
                 self._save_manifest()
             self._bump("kernel_misses")
             return None
@@ -340,12 +447,21 @@ class ArtifactCache:
         return kernel
 
     def put_kernel(
-        self, matrix_digest: str, gamma: float, kernel: RegulationKernel
+        self,
+        matrix_digest: str,
+        gamma: float,
+        kernel: RegulationKernel,
+        *,
+        parent_digest: Optional[str] = None,
     ) -> None:
-        """Memoize a built kernel under (digest, gamma)."""
+        """Memoize a built kernel under (digest, gamma).
+
+        ``parent_digest`` records lineage when the kernel was
+        delta-updated from another matrix's kernel (docs/incremental.md).
+        """
         key = _kernel_key(matrix_digest, gamma)
         data = pickle.dumps(kernel, protocol=pickle.HIGHEST_PROTOCOL)
-        self._store(key, f"{key}.pkl", data)
+        self._store(key, f"{key}.pkl", data, parent_digest=parent_digest)
         self._bump("kernel_stores")
 
     def get_kernel_bytes(
@@ -411,9 +527,18 @@ class ArtifactCache:
 
     def drop_result(self, job_id: str) -> None:
         """Forget a cached result (used when a job record is deleted)."""
-        key = _result_key(job_id)
+        self.drop_artifact(_result_key(job_id))
+
+    def drop_artifact(self, key: str) -> None:
+        """Evict one artifact by cache key (no-op when absent).
+
+        Safe on any key — including a parent whose delta-derived
+        children are still cached: children are self-contained
+        (:meth:`derived_from`), so dropping the parent only costs the
+        next revision a cold build, never correctness.
+        """
         with self._lock:
-            entry = self._manifest.pop(key, None)
+            entry = self._forget(key)
             if entry is not None:
                 try:
                     (self.root / entry.file).unlink()

@@ -435,6 +435,7 @@ class _ShardDriver:
         tracer: Optional[Tracer] = None,
         trace_parent: Optional[SpanContext] = None,
         shards: Optional[Sequence[int]] = None,
+        completed_origin: Optional[Mapping[int, str]] = None,
     ) -> None:
         self.params = params
         self.retry = retry
@@ -486,14 +487,21 @@ class _ShardDriver:
         self.clusters_so_far = sum(
             len(shard[1]) for shard in self.resumed.values()
         )
+        origins = dict(completed_origin or {})
         for start in sorted(self.resumed):
             __, clusters, stats = self.resumed[start]
+            # Shards handed in from a *parent* job's result (revision
+            # stitching, docs/incremental.md) trace as "shard.reused"
+            # with their origin; ordinary checkpoints of this job keep
+            # tracing as "shard.resumed".
+            origin = origins.get(start)
             span = self.tracer.span(
-                "shard.resumed",
+                "shard.reused" if origin is not None else "shard.resumed",
                 parent=self.trace_parent,
                 attributes={
                     "shard": start,
-                    "outcome": "resumed",
+                    "outcome": "reused" if origin is not None else "resumed",
+                    **({"origin": origin} if origin is not None else {}),
                     "nodes_expanded": int(stats.get("nodes_expanded", 0)),
                     "clusters_emitted": len(clusters),
                     **{key: value for key, value in stats.items()
@@ -810,6 +818,7 @@ def mine_sharded_outcome(
     tracer: Optional[Tracer] = None,
     trace_parent: Optional[SpanContext] = None,
     shards: Optional[Sequence[int]] = None,
+    completed_origin: Optional[Mapping[int, str]] = None,
 ) -> ShardedOutcome:
     """Mine a matrix shard-by-shard with full recovery machinery.
 
@@ -833,6 +842,11 @@ def mine_sharded_outcome(
     completed:
         Already-finished shard results keyed by start condition — the
         checkpoint-resume seam.  They are merged without re-mining.
+    completed_origin:
+        Optional provenance per ``completed`` shard (e.g. ``"parent"``
+        for shards stitched from a revision's parent job).  Shards with
+        an origin trace as ``shard.reused`` instead of
+        ``shard.resumed`` (docs/incremental.md).
     on_shard_complete:
         Invoked with every freshly mined :data:`ShardResult` the moment
         it completes (checkpoint-persistence seam).  Not called for
@@ -875,6 +889,7 @@ def mine_sharded_outcome(
         tracer=tracer,
         trace_parent=trace_parent,
         shards=shards,
+        completed_origin=completed_origin,
     )
     if n_workers == 1:
         return _drive_in_process(

@@ -43,6 +43,21 @@ Endpoints
     The service's :class:`~repro.obs.metrics.MetricsRegistry` in
     Prometheus text exposition format.
 
+Incremental endpoints (``docs/incremental.md``):
+
+``POST /matrices/<digest>/revisions``
+    Record a typed delta (``append_conditions`` / ``append_genes`` /
+    ``drop_genes``) against a stored matrix and submit the delta-aware
+    child job.  Body: ``{"delta": {...}, "parameters": {...}}``;
+    responds ``{"revision": {...}, "job": {...}}``.
+``POST /sweeps``
+    Submit a gamma/epsilon grid over one matrix as a batch.  Body:
+    ``{"matrix": <matrix>, "parameters": {...}, "gammas": [...],
+    "epsilons": [...]}``; responds ``202`` with ``{"sweep": {...}}``.
+``GET /sweeps`` / ``GET /sweeps/<id>`` / ``GET /sweeps/<id>/results``
+    List batches, one batch's per-point states, or per-point results
+    (``null`` for unfinished points).
+
 Fleet endpoints (``404`` unless the daemon runs with ``--fleet``; see
 ``docs/distributed.md`` for the full protocol):
 
@@ -512,6 +527,69 @@ class ServiceClient:
                 and poll_interval > 0.0
             ):
                 time.sleep(min(poll_interval, 0.05))
+
+    # -- incremental endpoints (docs/incremental.md) -------------------
+
+    def submit_revision(
+        self,
+        parent_digest: str,
+        delta: Dict[str, Any],
+        parameters: Dict[str, Any],
+        *,
+        priority: Optional[str] = None,
+    ) -> Dict[str, Any]:
+        """Evolve a stored matrix by one typed delta and mine the child.
+
+        ``delta`` is the JSON delta form (``{"kind":
+        "append_conditions" | "append_genes" | "drop_genes", ...}``,
+        see ``docs/incremental.md``).  Returns ``{"revision": {...},
+        "job": {...}}``.
+        """
+        body: Dict[str, Any] = {
+            "delta": dict(delta),
+            "parameters": parameters,
+        }
+        if priority is not None:
+            body["priority"] = priority
+        return self._request(
+            "POST", f"/matrices/{parent_digest}/revisions", body
+        )
+
+    def submit_sweep(
+        self,
+        matrix: ExpressionMatrix,
+        parameters: Dict[str, Any],
+        *,
+        gammas: List[float],
+        epsilons: List[float],
+        priority: Optional[str] = None,
+    ) -> Dict[str, Any]:
+        """Submit a gamma/epsilon grid batch; returns the sweep dict."""
+        body: Dict[str, Any] = {
+            "matrix": {
+                "values": [list(map(float, row)) for row in matrix.values],
+                "gene_names": list(matrix.gene_names),
+                "condition_names": list(matrix.condition_names),
+            },
+            "parameters": parameters,
+            "gammas": [float(g) for g in gammas],
+            "epsilons": [float(e) for e in epsilons],
+        }
+        if priority is not None:
+            body["priority"] = priority
+        return dict(self._request("POST", "/sweeps", body)["sweep"])
+
+    def sweep_status(self, sweep_id: str) -> Dict[str, Any]:
+        """The per-point state envelope of one sweep batch."""
+        return self._request("GET", f"/sweeps/{sweep_id}")
+
+    def sweep_results(self, sweep_id: str) -> Dict[str, Any]:
+        """Per-point results (``None`` for unfinished points)."""
+        return self._request("GET", f"/sweeps/{sweep_id}/results")
+
+    def list_sweeps(self) -> List[Dict[str, Any]]:
+        """Every recorded sweep batch, oldest first."""
+        return list(self._request("GET", "/sweeps")["sweeps"])
 
     # -- fleet endpoints (docs/distributed.md) -------------------------
 

@@ -203,6 +203,20 @@ class JobRecord:
     #: for direct/in-process submissions) — admission accounting only,
     #: never part of the job identity
     tenant: Optional[str] = None
+    #: shards stitched verbatim from the parent job of a matrix
+    #: revision instead of being mined (``None`` for ordinary jobs;
+    #: docs/incremental.md)
+    reused_shards: Optional[List[int]] = None
+    #: the parent job a revision job reused shards from (``None`` for
+    #: ordinary jobs or when the parent offered nothing to reuse)
+    revision_parent: Optional[str] = None
+    #: how this job's kernel was obtained: ``cached`` (artifact cache),
+    #: ``delta`` (incrementally updated from the parent's kernel), or
+    #: ``cold`` (packed from scratch); ``None`` until acquisition
+    kernel_build: Optional[str] = None
+    #: the sweep batch this job was submitted under (``None`` for
+    #: individually submitted jobs)
+    sweep_id: Optional[str] = None
 
     def to_dict(self) -> Dict[str, Any]:
         payload = asdict(self)

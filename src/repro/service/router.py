@@ -28,6 +28,11 @@ Routes (see ``docs/service.md`` for payloads):
 * ``POST /fleet/lease|complete|heartbeat``, ``GET /fleet/status``,
   ``GET /artifacts/...`` — the distributed work queue
   (``docs/distributed.md``; 404 unless the daemon runs ``--fleet``).
+* ``POST /matrices/<digest>/revisions`` — record a typed delta against
+  a stored matrix and submit the delta-aware child job
+  (``docs/incremental.md``).
+* ``POST /sweeps``, ``GET /sweeps[/<id>[/results]]`` — batched
+  gamma/epsilon parameter sweeps over one matrix.
 """
 
 from __future__ import annotations
@@ -39,6 +44,7 @@ import urllib.parse
 from dataclasses import dataclass, field
 from typing import Any, Dict, Optional
 
+from repro.incremental.delta import delta_from_dict
 from repro.matrix.expression import ExpressionMatrix
 from repro.matrix.io import load_expression_matrix, parse_expression_text
 from repro.obs.log import get_logger
@@ -64,6 +70,13 @@ _MATRIX_ARTIFACT_PATH = re.compile(
 )
 _KERNEL_ARTIFACT_PATH = re.compile(
     r"^/artifacts/kernel/(?P<digest>[0-9a-f]{64})/(?P<gamma>[0-9.eE+-]+)$"
+)
+_REVISION_PATH = re.compile(
+    r"^/matrices/(?P<digest>[0-9a-f]{64})/revisions$"
+)
+_SWEEP_PATH = re.compile(r"^/sweeps/(?P<sweep_id>sweep-[0-9a-f]{16})$")
+_SWEEP_RESULTS_PATH = re.compile(
+    r"^/sweeps/(?P<sweep_id>sweep-[0-9a-f]{16})/results$"
 )
 
 #: Refuse request bodies beyond this size (64 MiB covers the paper's
@@ -249,6 +262,31 @@ class ServiceRouter:
             return self._get_kernel_artifact(
                 service, match.group("digest"), match.group("gamma")
             )
+        match = _REVISION_PATH.match(path)
+        if method == "POST" and match:
+            return self._post_revision(request, service, match.group("digest"))
+        if method == "POST" and path == "/sweeps":
+            return self._post_sweep(request, service)
+        if method == "GET" and path == "/sweeps":
+            return Response.json(
+                200,
+                {
+                    "sweeps": [
+                        batch.to_dict()
+                        for batch in service.sweeps.list_sweeps()
+                    ]
+                },
+            )
+        match = _SWEEP_RESULTS_PATH.match(path)
+        if method == "GET" and match:
+            return Response.json(
+                200, service.sweep_results(match.group("sweep_id"))
+            )
+        match = _SWEEP_PATH.match(path)
+        if method == "GET" and match:
+            return Response.json(
+                200, service.sweep_status(match.group("sweep_id"))
+            )
         if method == "POST" and path == "/jobs":
             return self._post_job(request, service)
         if method == "GET" and path == "/jobs":
@@ -353,6 +391,65 @@ class ServiceRouter:
         )
         status = 200 if record.started_at is not None else 202
         return Response.json(status, {"job": record.to_dict()})
+
+    # -- incremental handlers (docs/incremental.md) --------------------
+
+    def _post_revision(
+        self, request: Request, service: MiningService, digest: str
+    ) -> Response:
+        body = self._read_body(request)
+        if "delta" not in body or "parameters" not in body:
+            raise RequestError(
+                400, "body must contain 'delta' and 'parameters'"
+            )
+        params = parameters_from_dict(body["parameters"])
+        try:
+            delta = delta_from_dict(body["delta"])
+        except ValueError as error:
+            raise RequestError(400, str(error)) from None
+        priority = body.get("priority")
+        if priority is not None and not isinstance(priority, str):
+            raise RequestError(400, "priority must be a string")
+        tenant = request.headers.get("x-repro-tenant", "").strip() or None
+        revision, record = service.submit_revision(
+            digest, delta, params, priority=priority, tenant=tenant
+        )
+        status = 200 if record.started_at is not None else 202
+        return Response.json(
+            status,
+            {"revision": revision.to_dict(), "job": record.to_dict()},
+        )
+
+    def _post_sweep(
+        self, request: Request, service: MiningService
+    ) -> Response:
+        body = self._read_body(request)
+        for key in ("matrix", "parameters", "gammas", "epsilons"):
+            if key not in body:
+                raise RequestError(
+                    400,
+                    "body must contain 'matrix', 'parameters', "
+                    "'gammas' and 'epsilons'",
+                )
+        params = parameters_from_dict(body["parameters"])
+        matrix = matrix_from_payload(body["matrix"])
+        gammas = body["gammas"]
+        epsilons = body["epsilons"]
+        if not isinstance(gammas, list) or not isinstance(epsilons, list):
+            raise RequestError(400, "gammas and epsilons must be lists")
+        priority = body.get("priority")
+        if priority is not None and not isinstance(priority, str):
+            raise RequestError(400, "priority must be a string")
+        tenant = request.headers.get("x-repro-tenant", "").strip() or None
+        batch = service.submit_sweep(
+            matrix,
+            params,
+            gammas=gammas,
+            epsilons=epsilons,
+            priority=priority,
+            tenant=tenant,
+        )
+        return Response.json(202, {"sweep": batch.to_dict()})
 
     def _get_job(
         self, request: Request, service: MiningService, job_id: str

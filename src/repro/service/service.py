@@ -57,10 +57,27 @@ from typing import Any, Callable, Dict, List, Optional, Union
 
 import numpy as np
 
+from repro.core.cluster import RegCluster
 from repro.core.miner import MiningCancelled, MiningTimeout
 from repro.core.params import MiningParameters
 from repro.core.rwave import RWaveIndex
-from repro.core.serialize import result_to_dict
+from repro.core.serialize import cluster_from_dict, cluster_to_dict, result_to_dict
+from repro.incremental.delta import (
+    MatrixDelta,
+    MatrixRevision,
+    apply_delta,
+    delta_to_dict,
+)
+from repro.incremental.lineage import RevisionStore
+from repro.incremental.planner import DirtyShardPlanner
+from repro.incremental.sweep import (
+    SweepBatch,
+    SweepPoint,
+    SweepStore,
+    compute_sweep_id,
+    expand_grid,
+)
+from repro.incremental.update import update_index, update_kernel
 from repro.matrix.expression import ExpressionMatrix
 from repro.matrix.summary import matrix_digest
 from repro.obs.log import get_logger
@@ -80,6 +97,7 @@ from repro.service.jobs import (
     JobRecord,
     JobState,
     JobStore,
+    StoredShard,
     compute_job_id,
     parameters_from_dict,
     parameters_to_dict,
@@ -218,6 +236,15 @@ class MiningService:
             self.metrics.register_collector(self._collect_fleet_metrics)
         self._matrix_dir = self.store_dir / "matrices"
         self._matrix_dir.mkdir(parents=True, exist_ok=True)
+        #: matrix lineage: one revision record per evolved matrix, so
+        #: any job on a child digest becomes delta-aware
+        #: (docs/incremental.md)
+        self.revisions = RevisionStore(self.store_dir / "revisions")
+        #: submitted parameter-sweep batches (grid -> ordinary job ids)
+        self.sweeps = SweepStore(self.store_dir / "sweeps")
+        #: maps a delta to the shards it can influence; stateless, one
+        #: shared instance
+        self.planner = DirtyShardPlanner()
         #: weighted-fair submission queue: high/normal/low classes
         #: share the executor 4:2:1 under contention (docs/service.md)
         self._queue = FairJobQueue()
@@ -298,6 +325,32 @@ class MiningService:
             "repro_faults_injected_total",
             "Chaos faults that actually fired, by kind.",
             labelnames=("kind",),
+        )
+        self._m_inc_revisions = registry.counter(
+            "repro_incremental_revisions_total",
+            "Matrix revisions accepted, by delta kind.",
+            labelnames=("delta",),
+        )
+        self._m_inc_shards = registry.counter(
+            "repro_incremental_shards_total",
+            "Revision-job shards by source: stitched from the parent "
+            "job (reused) or re-mined (mined).",
+            labelnames=("source",),
+        )
+        self._m_inc_kernel_builds = registry.counter(
+            "repro_incremental_kernel_builds_total",
+            "Kernel acquisitions by mode: artifact-cache hit (cached), "
+            "delta-updated from the parent matrix's kernel (delta), or "
+            "packed from scratch (cold).",
+            labelnames=("mode",),
+        )
+        self._m_inc_sweeps = registry.counter(
+            "repro_incremental_sweeps_total",
+            "Parameter-sweep batches accepted.",
+        )
+        self._m_inc_sweep_points = registry.counter(
+            "repro_incremental_sweep_points_total",
+            "Grid points submitted across all sweep batches.",
         )
 
     def _collect_cache_metrics(self) -> str:
@@ -582,6 +635,162 @@ class MiningService:
         with self._state_cond:
             self._state_cond.notify_all()
         return record
+
+    def submit_revision(
+        self,
+        parent_digest: str,
+        delta: MatrixDelta,
+        params: MiningParameters,
+        *,
+        priority: Optional[str] = None,
+        tenant: Optional[str] = None,
+    ) -> "tuple[MatrixRevision, JobRecord]":
+        """Evolve a stored matrix by one delta and mine the child.
+
+        The child matrix is derived by applying ``delta`` to the stored
+        parent, persisted content-addressed, and the lineage edge is
+        recorded — then the child is submitted as an ordinary job.  The
+        executor consults the lineage store when it picks the job up,
+        so the job delta-updates the parent's index/kernel artifacts
+        and stitches clean shards from the parent's result instead of
+        re-mining them (docs/incremental.md).
+
+        Raises :class:`KeyError` when ``parent_digest`` is not stored
+        and :class:`ValueError` when the delta does not fit the parent.
+        """
+        parent_matrix = self._load_matrix(parent_digest)
+        child_matrix = apply_delta(parent_matrix, delta)
+        child_digest = matrix_digest(child_matrix)
+        revision = MatrixRevision(
+            parent_digest=parent_digest,
+            child_digest=child_digest,
+            delta=delta_to_dict(delta),
+            created_at=time.time(),
+        )
+        self.revisions.save(revision)
+        self._m_inc_revisions.labels(delta=delta.kind).inc()
+        _LOG.info(
+            "revision.accepted",
+            parent_digest=parent_digest,
+            child_digest=child_digest,
+            delta=delta.kind,
+        )
+        record = self.submit(
+            child_matrix, params, priority=priority, tenant=tenant
+        )
+        return revision, record
+
+    def submit_sweep(
+        self,
+        matrix: ExpressionMatrix,
+        base_params: MiningParameters,
+        gammas: List[float],
+        epsilons: List[float],
+        *,
+        priority: Optional[str] = None,
+        tenant: Optional[str] = None,
+    ) -> SweepBatch:
+        """Submit a gamma/epsilon grid over one matrix as a batch.
+
+        Every grid point becomes an ordinary job (idempotent ids, fair
+        queueing, caching — nothing sweep-specific downstream).  Points
+        are enqueued gamma-major, so each distinct ``(matrix, gamma)``
+        kernel is packed exactly once and every later point of that
+        gamma is served from the artifact cache — asserted via the
+        ``repro_incremental_kernel_builds_total`` metric family.
+        """
+        grid = expand_grid(gammas, epsilons)
+        digest = matrix_digest(matrix)
+        base = parameters_to_dict(base_params)
+        sweep_id = compute_sweep_id(digest, base, gammas, epsilons)
+        points = []
+        for gamma, epsilon in grid:  # reglint: disable=RL106
+            point_params = base_params.with_overrides(
+                gamma=gamma, epsilon=epsilon
+            )
+            record = self.submit(
+                matrix, point_params, priority=priority, tenant=tenant
+            )
+            # Tag the job with its (latest) batch — outside the job
+            # identity, like priority/tenant.
+            self.jobs.update(record.job_id, sweep_id=sweep_id)
+            points.append(
+                SweepPoint(
+                    gamma=gamma, epsilon=epsilon, job_id=record.job_id
+                )
+            )
+        batch = SweepBatch(
+            sweep_id=sweep_id,
+            matrix_digest=digest,
+            base_parameters=base,
+            points=tuple(points),
+            created_at=time.time(),
+        )
+        self.sweeps.save(batch)
+        self._m_inc_sweeps.inc()
+        self._m_inc_sweep_points.inc(len(points))
+        _LOG.info(
+            "sweep.accepted",
+            sweep_id=sweep_id,
+            matrix_digest=digest,
+            points=len(points),
+        )
+        return batch
+
+    def sweep_status(self, sweep_id: str) -> Dict[str, Any]:
+        """The status envelope of one sweep batch.
+
+        Raises :class:`KeyError` for unknown sweep ids.
+        """
+        batch = self.sweeps.get(sweep_id)
+        if batch is None:
+            raise KeyError(f"unknown sweep {sweep_id!r}")
+        points = []
+        counts: Dict[str, int] = {}
+        finished = True
+        for point in batch.points:  # reglint: disable=RL106
+            try:
+                state = self.jobs.get(point.job_id).state
+            except KeyError:
+                # The job record was deleted out from under the batch.
+                state = None
+            label = state.value if state is not None else "unknown"
+            counts[label] = counts.get(label, 0) + 1
+            if state is None or state not in TERMINAL_STATES:
+                finished = False
+            entry = point.to_dict()
+            entry["state"] = label
+            points.append(entry)
+        return {
+            "sweep_id": batch.sweep_id,
+            "matrix_digest": batch.matrix_digest,
+            "base_parameters": dict(batch.base_parameters),
+            "created_at": batch.created_at,
+            "points": points,
+            "counts": counts,
+            "finished": finished,
+        }
+
+    def sweep_results(self, sweep_id: str) -> Dict[str, Any]:
+        """Per-point results of one sweep batch.
+
+        Points whose jobs have not (yet) produced a result carry
+        ``"result": None`` next to their current state, so a partial
+        sweep is streamable without special cases.  Raises
+        :class:`KeyError` for unknown sweep ids.
+        """
+        envelope = self.sweep_status(sweep_id)
+        for entry in envelope["points"]:  # reglint: disable=RL106
+            payload: Optional[Dict[str, Any]] = None
+            if entry["state"] in (
+                JobState.DONE.value, JobState.DEGRADED.value
+            ):
+                try:
+                    payload = self.result(entry["job_id"])
+                except (KeyError, ValueError):
+                    payload = None
+            entry["result"] = payload
+        return envelope
 
     def status(self, job_id: str) -> JobRecord:
         """The current record of one job (KeyError if unknown)."""
@@ -869,6 +1078,104 @@ class MiningService:
             root.end()
             tracer.close()
 
+    # ------------------------------------------------------------------
+    # Revision-aware execution (docs/incremental.md)
+    # ------------------------------------------------------------------
+
+    def _revision_context(
+        self, record: JobRecord
+    ) -> Optional["tuple[MatrixRevision, ExpressionMatrix, MatrixDelta]"]:
+        """The lineage of a job's matrix, or ``None`` for root matrices.
+
+        A revision whose parent matrix is no longer stored (or whose
+        stored delta fails validation) answers ``None`` — the job then
+        mines from scratch, which is always correct.
+        """
+        revision = self.revisions.get(record.matrix_digest)
+        if revision is None:
+            return None
+        try:
+            parent_matrix = self._load_matrix(revision.parent_digest)
+            delta = revision.typed_delta()
+        except (KeyError, ValueError, OSError):
+            return None
+        return revision, parent_matrix, delta
+
+    def _parent_reusable_shards(
+        self,
+        revision: MatrixRevision,
+        parent_matrix: ExpressionMatrix,
+        child_matrix: ExpressionMatrix,
+        params: MiningParameters,
+        clean_shards: "tuple[int, ...]",
+    ) -> "tuple[str, Dict[int, StoredShard]]":
+        """Clean shards recoverable from the parent's job, per source.
+
+        A ``done`` parent serves from its cached result payload (the
+        deterministic shard merge groups back exactly by first chain
+        condition); a ``degraded`` parent serves from its surviving
+        shard checkpoints, so its *missing* shards are mined — never
+        trusted.  Cluster gene/condition membership is remapped by
+        *name* into the child matrix, which keeps ids correct across
+        ``drop_genes`` for free.  Anything unreadable simply drops out
+        of the reuse set: re-mining is always sound.
+        """
+        parent_job_id = compute_job_id(revision.parent_digest, params)
+        reusable: Dict[int, StoredShard] = {}
+        try:
+            parent_record = self.jobs.get(parent_job_id)
+        except KeyError:
+            return parent_job_id, reusable
+        clean = set(clean_shards)
+        if parent_record.state is JobState.DONE:
+            payload = self.cache.get_result(parent_job_id)
+            if payload is None:
+                with self._lock:
+                    payload = self._result_fallback.get(parent_job_id)
+            if payload is None:
+                return parent_job_id, reusable
+            clusters = payload.get("clusters", [])
+            if (
+                params.max_clusters is not None
+                and len(clusters) >= params.max_clusters
+            ):
+                # The payload may have been truncated by max_clusters:
+                # per-shard grouping could silently miss clusters, so
+                # nothing is reused (correctness over reuse).
+                return parent_job_id, reusable
+            grouped: Dict[int, List[RegCluster]] = {}
+            try:
+                for entry in clusters:  # reglint: disable=RL106
+                    cluster = cluster_from_dict(entry, matrix=child_matrix)
+                    grouped.setdefault(cluster.chain[0], []).append(cluster)
+            except (KeyError, TypeError, ValueError):
+                return parent_job_id, reusable
+            for start in sorted(clean):  # reglint: disable=RL106
+                # Reused-from-payload shards carry no per-shard search
+                # statistics (the payload merges them); clusters are
+                # identical to re-mining, statistics are not claimed.
+                reusable[start] = (start, grouped.get(start, []), {})
+            return parent_job_id, reusable
+        if parent_record.state is JobState.DEGRADED:
+            missing = set(parent_record.missing_shards or [])
+            checkpoints = self.jobs.load_shards(parent_job_id)
+            for start, shard in sorted(checkpoints.items()):  # reglint: disable=RL106
+                if start not in clean or start in missing:
+                    continue
+                __, clusters, stats = shard
+                try:
+                    remapped = [
+                        cluster_from_dict(
+                            cluster_to_dict(cluster, parent_matrix),
+                            matrix=child_matrix,
+                        )
+                        for cluster in clusters
+                    ]
+                except (IndexError, KeyError, TypeError, ValueError):
+                    continue
+                reusable[start] = (start, remapped, dict(stats))
+        return parent_job_id, reusable
+
     def _mine_job_traced(
         self,
         job_id: str,
@@ -902,37 +1209,118 @@ class MiningService:
             matrix = self._load_matrix(record.matrix_digest)
         params = parameters_from_dict(record.parameters)
 
-        # 2. RWave^gamma index: cache hit or build-and-store.
+        # 1b. Lineage: a job on a revised matrix becomes delta-aware —
+        #     index/kernel are delta-updated from the parent's cached
+        #     artifacts and clean shards are stitched from the parent
+        #     job.  Every reuse path is best-effort; losing the parent
+        #     only loses speed, never correctness.
+        lineage = self._revision_context(record)
+
+        # 2. RWave^gamma index: cache hit, delta-update, or cold build.
         with tracer.span("index", parent=root) as index_span:
             index = self.cache.get_index(record.matrix_digest, params.gamma)
             index_cache_hit = index is not None
+            index_build = "cached" if index_cache_hit else "cold"
+            if index is None and lineage is not None:
+                parent_index = self.cache.get_index(
+                    lineage[0].parent_digest, params.gamma
+                )
+                if parent_index is not None:
+                    try:
+                        index = update_index(
+                            parent_index, matrix, lineage[2]
+                        ).index
+                        index_build = "delta"
+                    except (TypeError, ValueError):
+                        index = None
             if index is None:
                 index = RWaveIndex(matrix, params.gamma)
+            if not index_cache_hit:
                 try:
                     self.cache.put_index(
-                        record.matrix_digest, params.gamma, index
+                        record.matrix_digest,
+                        params.gamma,
+                        index,
+                        parent_digest=(
+                            lineage[0].parent_digest
+                            if index_build == "delta"
+                            else None
+                        ),
                     )
                 except OSError:
                     pass  # best-effort: the in-memory index still serves
             index_span.set_attribute("cache_hit", index_cache_hit)
+            index_span.set_attribute("build", index_build)
 
         # 2b. Regulation kernel: determined by the same (digest, gamma)
         #     key as the index.  On a hit the kernel is attached so the
-        #     miner skips the packbits build; on a miss the miner builds
-        #     it lazily and it is stored after the search.
+        #     miner skips the packbits build; on a revision, the parent
+        #     kernel is delta-updated (only new/changed planes rebuilt)
+        #     and stored immediately; otherwise the miner builds it
+        #     lazily and it is stored after the search.
         with tracer.span("kernel", parent=root) as kernel_span:
             kernel = self.cache.get_kernel(
                 record.matrix_digest, params.gamma
             )
             kernel_cache_hit = kernel is not None
+            kernel_build = "cached" if kernel_cache_hit else "cold"
+            if kernel is None and lineage is not None:
+                parent_kernel = self.cache.get_kernel(
+                    lineage[0].parent_digest, params.gamma
+                )
+                if parent_kernel is not None:
+                    try:
+                        updated = update_kernel(
+                            parent_kernel,
+                            lineage[1],
+                            matrix,
+                            lineage[2],
+                            gamma=params.gamma,
+                        )
+                    except (TypeError, ValueError):
+                        updated = None
+                    if updated is not None:
+                        kernel = updated.kernel
+                        kernel_build = "delta"
+                        kernel_span.set_attribute(
+                            "reused_planes", updated.reused_planes
+                        )
+                        kernel_span.set_attribute(
+                            "rebuilt_planes", updated.rebuilt_planes
+                        )
+                        try:
+                            self.cache.put_kernel(
+                                record.matrix_digest,
+                                params.gamma,
+                                kernel,
+                                parent_digest=lineage[0].parent_digest,
+                            )
+                        except OSError:
+                            pass
+            if kernel is None and lineage is not None:
+                # No cached parent kernel to delta-update (worker pools
+                # build kernels in child processes, so a pool-mined
+                # parent leaves nothing behind).  Build the child's
+                # kernel eagerly and store it: this one hop is cold,
+                # but every later revision in the lineage delta-updates.
+                kernel = index.kernel
+                try:
+                    self.cache.put_kernel(
+                        record.matrix_digest, params.gamma, kernel
+                    )
+                except OSError:
+                    pass
             if kernel is not None:
                 index.attach_kernel(kernel)
             kernel_span.set_attribute("cache_hit", kernel_cache_hit)
+            kernel_span.set_attribute("build", kernel_build)
+        self._m_inc_kernel_builds.labels(mode=kernel_build).inc()
         self.jobs.update(
             job_id,
             index_cache_hit=index_cache_hit,
             kernel_cache_hit=kernel_cache_hit,
             result_cache_hit=False,
+            kernel_build=kernel_build,
         )
 
         # 3. The sharded search, with live progress, cancellation,
@@ -941,6 +1329,57 @@ class MiningService:
         #    re-mining; every newly completed shard is checkpointed the
         #    moment it finishes.
         completed = self.jobs.load_shards(job_id)
+
+        # 3a. Shard revalidation: map the delta to dirty shards and
+        #     stitch every clean shard from the parent job instead of
+        #     re-mining it.  The job's own checkpoints take precedence
+        #     over parent reuse (they are already exact for THIS job).
+        completed_origin: Dict[int, str] = {}
+        reused_list: List[int] = []
+        revision_parent_job: Optional[str] = None
+        if lineage is not None:
+            revision, parent_matrix, delta = lineage
+            with tracer.span("revision.plan", parent=root) as plan_span:
+                try:
+                    plan = self.planner.plan(
+                        parent_matrix, matrix, delta, params.gamma
+                    )
+                except (TypeError, ValueError):
+                    plan = None
+                if plan is not None:
+                    plan_span.set_attributes(
+                        {
+                            "delta": delta.kind,
+                            "n_shards": plan.n_shards,
+                            "dirty_shards": len(plan.dirty_shards),
+                            "clean_shards": len(plan.clean_shards),
+                        }
+                    )
+            if plan is not None and plan.clean_shards:
+                parent_job_id, reusable = self._parent_reusable_shards(
+                    revision, parent_matrix, matrix, params,
+                    plan.clean_shards,
+                )
+                for start in sorted(reusable):  # reglint: disable=RL106
+                    if start not in completed:
+                        completed[start] = reusable[start]
+                        completed_origin[start] = "parent"
+                reused_list = sorted(completed_origin)
+                if reused_list:
+                    revision_parent_job = parent_job_id
+            self._m_inc_shards.labels(source="reused").inc(len(reused_list))
+            self._m_inc_shards.labels(source="mined").inc(
+                matrix.n_conditions - len(completed)
+            )
+            if reused_list:
+                _LOG.info(
+                    "revision.reuse",
+                    job_id=job_id,
+                    parent_job=revision_parent_job,
+                    reused=len(reused_list),
+                    mined=matrix.n_conditions - len(completed),
+                )
+
         progress = {"nodes_expanded": 0, "clusters_emitted": 0}
         # Checkpointed nodes were already counted by the run that mined
         # them (when it shared this process), so the counter tracks the
@@ -1019,6 +1458,7 @@ class MiningService:
                     fault_plan=self.fault_plan,
                     timeout=self.job_timeout,
                     completed=completed,
+                    completed_origin=completed_origin or None,
                     on_shard_complete=on_shard_complete,
                     tracer=tracer,
                     trace_parent=mine_span.context,
@@ -1040,7 +1480,14 @@ class MiningService:
             )
         )
         self._m_lost.inc(len(outcome.missing_shards))
-        self._m_resumed.inc(len(outcome.resumed_shards))
+        # Parent-reused shards enter the driver through the same resume
+        # seam as the job's own checkpoints; split them back apart so
+        # "resumed" keeps meaning "this job's checkpoints".
+        reused_set = set(reused_list)
+        resumed_own = [
+            s for s in outcome.resumed_shards if s not in reused_set
+        ]
+        self._m_resumed.inc(len(resumed_own))
         for kind, count in outcome.fault_injections.items():
             self._m_faults.labels(kind=kind).inc(count)
         mine_span.set_attributes(
@@ -1051,7 +1498,8 @@ class MiningService:
                     outcome.result.statistics.clusters_emitted
                 ),
                 "missing_shards": list(outcome.missing_shards),
-                "resumed_shards": list(outcome.resumed_shards),
+                "resumed_shards": resumed_own,
+                "reused_shards": reused_list,
             }
         )
         mine_span.set_attributes(
@@ -1065,7 +1513,12 @@ class MiningService:
         #    kernels in child processes, so there is nothing to store.
         #    All cache writes are best-effort: a full or flaky disk must
         #    not fail a job that mined successfully.
-        if not kernel_cache_hit and index.has_kernel:
+        if (
+            not kernel_cache_hit
+            and kernel_build == "cold"
+            and lineage is None  # revision jobs stored theirs eagerly
+            and index.has_kernel
+        ):
             try:
                 self.cache.put_kernel(
                     record.matrix_digest, params.gamma, index.kernel
@@ -1089,7 +1542,11 @@ class MiningService:
             missing = set(outcome.missing_shards)
             shard_provenance = {}
             for start in range(matrix.n_conditions):
-                if start in resumed:
+                if start in reused_set:
+                    shard_provenance[str(start)] = {
+                        "node": "parent", "attempts": 0,
+                    }
+                elif start in resumed:
                     shard_provenance[str(start)] = {
                         "node": "checkpoint", "attempts": 0,
                     }
@@ -1132,7 +1589,9 @@ class MiningService:
                 progress=dict(progress),
                 phase_timers=result.statistics.timers.as_dict(),
                 missing_shards=outcome.missing_shards,
-                resumed_shards=outcome.resumed_shards or None,
+                resumed_shards=resumed_own or None,
+                reused_shards=reused_list or None,
+                revision_parent=revision_parent_job,
                 shard_failures=shard_failures,
                 shard_provenance=shard_provenance,
                 error="; ".join(
@@ -1158,7 +1617,9 @@ class MiningService:
             progress=dict(progress),
             phase_timers=result.statistics.timers.as_dict(),
             missing_shards=None,
-            resumed_shards=outcome.resumed_shards or None,
+            resumed_shards=resumed_own or None,
+            reused_shards=reused_list or None,
+            revision_parent=revision_parent_job,
             shard_failures=shard_failures,
             shard_provenance=shard_provenance,
         )

@@ -1,0 +1,32 @@
+"""Shared builders for the incremental-mining tests."""
+
+from __future__ import annotations
+
+import numpy as np
+import pytest
+
+from repro.matrix.expression import ExpressionMatrix
+
+
+def bimodal_matrix(
+    n_genes: int, n_conditions: int, *, seed: int = 0
+) -> ExpressionMatrix:
+    """A matrix whose genes flip between two per-gene levels.
+
+    Bimodal rows give every gene a wide range (so gamma thresholds are
+    meaningful) and plenty of up-regulation bits, which makes kernels,
+    indexes and shard plans non-trivial without being huge.
+    """
+    rng = np.random.default_rng(seed)
+    values = np.zeros((n_genes, n_conditions))
+    for gene in range(n_genes):
+        low, high = sorted(rng.uniform(0.0, 10.0, size=2))
+        if high - low < 2.0:
+            high = low + 2.0
+        values[gene] = rng.choice([low, high], size=n_conditions)
+    return ExpressionMatrix(values)
+
+
+@pytest.fixture
+def base_matrix() -> ExpressionMatrix:
+    return bimodal_matrix(10, 8, seed=7)

@@ -1,0 +1,116 @@
+"""Sweep grids, batch ids, and the sweep store."""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.incremental import (
+    MAX_SWEEP_POINTS,
+    SweepBatch,
+    SweepPoint,
+    SweepStore,
+    compute_sweep_id,
+    expand_grid,
+)
+
+PARAMS = {"min_genes": 2, "min_conditions": 2, "epsilon": 0.1}
+DIGEST = "ab" * 32
+
+
+class TestGrid:
+    def test_gamma_major_order(self):
+        # Gamma-major ordering is what lets the executor build each
+        # (matrix, gamma) kernel exactly once: all points of one gamma
+        # run back to back.
+        grid = expand_grid([0.3, 0.2], [0.1, 0.05])
+        assert grid == [
+            (0.2, 0.05),
+            (0.2, 0.1),
+            (0.3, 0.05),
+            (0.3, 0.1),
+        ]
+
+    def test_empty_axis_rejected(self):
+        with pytest.raises(ValueError, match="at least one"):
+            expand_grid([], [0.1])
+
+    def test_duplicate_axis_value_rejected(self):
+        with pytest.raises(ValueError, match="unique"):
+            expand_grid([0.2, 0.2], [0.1])
+
+    def test_grid_size_cap(self):
+        gammas = [i / 100.0 for i in range(MAX_SWEEP_POINTS + 1)]
+        with pytest.raises(ValueError, match="points"):
+            expand_grid(gammas, [0.1])
+
+
+class TestSweepId:
+    def test_deterministic_and_order_insensitive(self):
+        a = compute_sweep_id(DIGEST, PARAMS, [0.2, 0.3], [0.1])
+        b = compute_sweep_id(DIGEST, PARAMS, [0.3, 0.2], [0.1])
+        assert a == b
+        assert a.startswith("sweep-")
+
+    def test_sensitive_to_grid_and_parameters(self):
+        base = compute_sweep_id(DIGEST, PARAMS, [0.2], [0.1])
+        assert base != compute_sweep_id(DIGEST, PARAMS, [0.25], [0.1])
+        assert base != compute_sweep_id(
+            DIGEST, {**PARAMS, "min_genes": 3}, [0.2], [0.1]
+        )
+        assert base != compute_sweep_id("cd" * 32, PARAMS, [0.2], [0.1])
+
+
+class TestSweepStore:
+    def _batch(self) -> SweepBatch:
+        return SweepBatch(
+            sweep_id=compute_sweep_id(DIGEST, PARAMS, [0.2], [0.1]),
+            matrix_digest=DIGEST,
+            base_parameters={"min_genes": 2},
+            points=(
+                SweepPoint(gamma=0.2, epsilon=0.1, job_id="job-" + "0" * 16),
+            ),
+            created_at=1.0,
+        )
+
+    def test_round_trip(self, tmp_path):
+        store = SweepStore(tmp_path / "sweeps")
+        batch = self._batch()
+        store.save(batch)
+        again = store.get(batch.sweep_id)
+        assert again is not None
+        assert again.to_dict() == batch.to_dict()
+
+    def test_unknown_id_is_none(self, tmp_path):
+        store = SweepStore(tmp_path / "sweeps")
+        assert store.get("sweep-" + "0" * 16) is None
+
+    def test_malformed_id_is_a_miss(self, tmp_path):
+        # A path-traversal-shaped id must never touch the filesystem;
+        # save refuses it, get treats it as unknown.
+        store = SweepStore(tmp_path / "sweeps")
+        assert store.get("../escape") is None
+        with pytest.raises(KeyError):
+            store._path("../escape")
+
+    def test_list_sweeps(self, tmp_path):
+        store = SweepStore(tmp_path / "sweeps")
+        batch = self._batch()
+        store.save(batch)
+        assert [b.sweep_id for b in store.list_sweeps()] == [
+            batch.sweep_id
+        ]
+
+    def test_batch_distinct_gammas(self):
+        batch = SweepBatch(
+            sweep_id="sweep-" + "1" * 16,
+            matrix_digest=DIGEST,
+            base_parameters={},
+            points=(
+                SweepPoint(gamma=0.2, epsilon=0.1, job_id="job-a"),
+                SweepPoint(gamma=0.2, epsilon=0.2, job_id="job-b"),
+                SweepPoint(gamma=0.3, epsilon=0.1, job_id="job-c"),
+            ),
+            created_at=1.0,
+        )
+        assert batch.gammas == (0.2, 0.3)
+        assert batch.job_ids == ("job-a", "job-b", "job-c")
